@@ -1,0 +1,213 @@
+//! Deep active learning for NER (paper §4.3; Shen et al. 2017).
+//!
+//! Pool-based selection with incremental training: each round the model
+//! scores the unlabeled pool, the acquisition strategy picks sentences up to
+//! the next annotation budget, and training *continues* on the augmented set
+//! (Shen et al.'s amortization — retraining from scratch per round is
+//! impractical for deep models). Strategies: random baseline, least
+//! confidence (MNLP — Maximum Normalized Log-Probability) and token entropy.
+
+use ner_core::model::NerModel;
+use ner_core::repr::EncodedSentence;
+use ner_core::trainer::{self, TrainConfig};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::Serialize;
+
+/// Acquisition strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Strategy {
+    /// Uniform random selection (the control).
+    Random,
+    /// Least confidence: ascending normalized best-path log-probability
+    /// (MNLP, Shen et al.).
+    LeastConfidence,
+    /// Descending mean per-token posterior entropy.
+    TokenEntropy,
+    /// Longest sentences first — a classic cheap heuristic included as a
+    /// second baseline.
+    Longest,
+}
+
+/// One point of the budget sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct BudgetPoint {
+    /// Sentences annotated so far.
+    pub annotated: usize,
+    /// Fraction of the pool annotated.
+    pub fraction: f64,
+    /// Test micro-F1 after training on the annotated set.
+    pub test_f1: f64,
+}
+
+/// Result of an active-learning run.
+#[derive(Clone, Debug, Serialize)]
+pub struct ActiveRun {
+    /// The strategy used.
+    pub strategy: Strategy,
+    /// The learning curve over budgets.
+    pub curve: Vec<BudgetPoint>,
+}
+
+/// Ranks `pool` indices by informativeness under `strategy` (most
+/// informative first).
+pub fn rank_pool(
+    model: &NerModel,
+    pool: &[EncodedSentence],
+    candidates: &[usize],
+    strategy: Strategy,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    let mut ranked: Vec<usize> = candidates.to_vec();
+    match strategy {
+        Strategy::Random => ranked.shuffle(rng),
+        Strategy::Longest => ranked.sort_by_key(|&i| std::cmp::Reverse(pool[i].len())),
+        Strategy::LeastConfidence => {
+            let mut scored: Vec<(usize, f64)> =
+                ranked.iter().map(|&i| (i, model.confidence(&pool[i]))).collect();
+            scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite confidence"));
+            ranked = scored.into_iter().map(|(i, _)| i).collect();
+        }
+        Strategy::TokenEntropy => {
+            let mut scored: Vec<(usize, f64)> = ranked
+                .iter()
+                .map(|&i| {
+                    let ent = model.token_entropies(&pool[i]);
+                    let mean = ent.iter().sum::<f64>() / ent.len().max(1) as f64;
+                    (i, mean)
+                })
+                .collect();
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite entropy"));
+            ranked = scored.into_iter().map(|(i, _)| i).collect();
+        }
+    }
+    ranked
+}
+
+/// Runs pool-based active learning over a cumulative `budgets` schedule
+/// (ascending sentence counts). `make_model` builds the initial model (so
+/// the caller controls architecture and vocabularies).
+pub fn run(
+    mut model: NerModel,
+    pool: &[EncodedSentence],
+    test: &[EncodedSentence],
+    strategy: Strategy,
+    budgets: &[usize],
+    epochs_per_round: usize,
+    rng: &mut impl Rng,
+) -> (ActiveRun, NerModel) {
+    assert!(budgets.windows(2).all(|w| w[0] < w[1]), "budgets must be ascending");
+    assert!(*budgets.last().expect("at least one budget") <= pool.len());
+
+    let train_cfg = TrainConfig {
+        epochs: epochs_per_round,
+        patience: None,
+        ..TrainConfig::default()
+    };
+
+    let mut selected: Vec<usize> = Vec::new();
+    let mut remaining: Vec<usize> = (0..pool.len()).collect();
+    let mut curve = Vec::with_capacity(budgets.len());
+
+    for &budget in budgets {
+        let need = budget - selected.len();
+        // First round has an untrained model: fall back to random seeding
+        // for the uncertainty strategies too (their scores are meaningless).
+        let effective = if selected.is_empty() && strategy != Strategy::Longest {
+            Strategy::Random
+        } else {
+            strategy
+        };
+        let ranked = rank_pool(&model, pool, &remaining, effective, rng);
+        let chosen: Vec<usize> = ranked.into_iter().take(need).collect();
+        remaining.retain(|i| !chosen.contains(i));
+        selected.extend(chosen);
+
+        // Incremental training on the augmented annotated set.
+        let batch: Vec<EncodedSentence> = selected.iter().map(|&i| pool[i].clone()).collect();
+        trainer::train(&mut model, &batch, None, &train_cfg, rng);
+
+        let f1 = trainer::evaluate_model(&model, test).micro.f1;
+        curve.push(BudgetPoint {
+            annotated: selected.len(),
+            fraction: selected.len() as f64 / pool.len() as f64,
+            test_f1: f1,
+        });
+    }
+    (ActiveRun { strategy, curve }, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ner_core::config::{CharRepr, DecoderKind, EncoderKind, NerConfig, WordRepr};
+    use ner_core::repr::SentenceEncoder;
+    use ner_corpus::{GeneratorConfig, NewsGenerator};
+    use ner_text::TagScheme;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_cfg() -> NerConfig {
+        NerConfig {
+            scheme: TagScheme::Bio,
+            word: WordRepr::Random { dim: 16 },
+            char_repr: CharRepr::None,
+            encoder: EncoderKind::Lstm { hidden: 16, bidirectional: true, layers: 1 },
+            decoder: DecoderKind::Crf,
+            dropout: 0.1,
+            ..NerConfig::default()
+        }
+    }
+
+    #[test]
+    fn curve_is_produced_and_generally_improves() {
+        let gen = NewsGenerator::new(GeneratorConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool_ds = gen.dataset(&mut rng, 120);
+        let test_ds = gen.dataset(&mut rng, 40);
+        let enc = SentenceEncoder::from_dataset(&pool_ds, TagScheme::Bio, 1);
+        let pool = enc.encode_dataset(&pool_ds, None);
+        let test = enc.encode_dataset(&test_ds, None);
+        let model = NerModel::new(quick_cfg(), &enc, None, &mut rng);
+        let (run, _) = run(model, &pool, &test, Strategy::LeastConfidence, &[20, 60, 120], 3, &mut rng);
+        assert_eq!(run.curve.len(), 3);
+        assert!(run.curve[2].test_f1 > run.curve[0].test_f1, "more data should help: {:?}", run.curve);
+        assert!((run.curve[2].fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranking_respects_strategies() {
+        let gen = NewsGenerator::new(GeneratorConfig::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = gen.dataset(&mut rng, 30);
+        let enc = SentenceEncoder::from_dataset(&ds, TagScheme::Bio, 1);
+        let pool = enc.encode_dataset(&ds, None);
+        let model = NerModel::new(quick_cfg(), &enc, None, &mut rng);
+        let cands: Vec<usize> = (0..pool.len()).collect();
+
+        let longest = rank_pool(&model, &pool, &cands, Strategy::Longest, &mut rng);
+        assert!(pool[longest[0]].len() >= pool[*longest.last().unwrap()].len());
+
+        let lc = rank_pool(&model, &pool, &cands, Strategy::LeastConfidence, &mut rng);
+        assert!(model.confidence(&pool[lc[0]]) <= model.confidence(&pool[*lc.last().unwrap()]));
+
+        let te = rank_pool(&model, &pool, &cands, Strategy::TokenEntropy, &mut rng);
+        let mean_ent = |i: usize| {
+            let e = model.token_entropies(&pool[i]);
+            e.iter().sum::<f64>() / e.len() as f64
+        };
+        assert!(mean_ent(te[0]) >= mean_ent(*te.last().unwrap()));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn non_ascending_budgets_rejected() {
+        let gen = NewsGenerator::new(GeneratorConfig::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds = gen.dataset(&mut rng, 10);
+        let enc = SentenceEncoder::from_dataset(&ds, TagScheme::Bio, 1);
+        let pool = enc.encode_dataset(&ds, None);
+        let model = NerModel::new(quick_cfg(), &enc, None, &mut rng);
+        let _ = run(model, &pool, &pool, Strategy::Random, &[5, 5], 1, &mut rng);
+    }
+}

@@ -1,0 +1,25 @@
+//! # ner-applied — applied deep-learning techniques for NER
+//!
+//! The survey's §4 catalogues how deep learning is *applied* to NER beyond
+//! plain supervised training; this crate implements each family on top of
+//! `ner-core`:
+//!
+//! * [`multitask`] — §4.1: co-training with a bidirectional LM objective
+//!   (Rei 2017, Fig. 9) and an entity-segmentation head (Aguilar et al.).
+//! * [`transfer`] — §4.2: warm-start parameter-sharing transfer with
+//!   fine-tune / freeze-encoder / from-scratch schemes and tag-hierarchy
+//!   label coarsening.
+//! * [`active`] — §4.3: pool-based active learning with incremental
+//!   training and MNLP / token-entropy / random acquisition (Shen et al.).
+//! * [`reinforce`] — §4.4: a REINFORCE-trained instance selector that
+//!   filters distantly supervised label noise (Yang et al. 2018).
+//! * [`adversarial`] — §4.5: FGM ε-bounded input perturbations (the DATNet
+//!   perturbation flavor).
+
+#![warn(missing_docs)]
+
+pub mod active;
+pub mod adversarial;
+pub mod multitask;
+pub mod reinforce;
+pub mod transfer;

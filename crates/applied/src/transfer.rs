@@ -1,0 +1,235 @@
+//! Deep transfer learning for NER (paper §4.2).
+//!
+//! Parameter-sharing transfer in the style of Yang et al. 2017 and Lee et
+//! al. 2017: a model trained on a *source* domain warm-starts a target model
+//! by name-matched parameter copy; the target is then trained under one of
+//! three schemes — fine-tune everything, freeze the representation+encoder
+//! and train only the decoder head, or train from scratch (the control).
+//! Also provides the tag-hierarchy label mapping of Beryozkin et al. 2019
+//! for heterogeneous tag sets (fine-grained ↔ coarse).
+
+use ner_core::config::NerConfig;
+use ner_core::model::NerModel;
+use ner_core::repr::{EncodedSentence, SentenceEncoder};
+use ner_core::trainer::{self, TrainConfig, TrainReport};
+use ner_embed::WordEmbeddings;
+use ner_text::{Dataset, Sentence};
+use rand::Rng;
+use serde::Serialize;
+
+/// How source knowledge is transferred into the target model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum TransferScheme {
+    /// Copy all parameters, fine-tune all on the target.
+    FineTuneAll,
+    /// Copy all parameters, freeze input representation + context encoder,
+    /// train only the decoder head.
+    FreezeEncoder,
+    /// Ignore the source model (lower-bound control).
+    FromScratch,
+}
+
+/// Maps every entity label of a dataset to its coarse prefix
+/// (`"LOC.city"` → `"LOC"`) — the tag-hierarchy projection used when source
+/// and target tag sets differ (paper §4.2, Beryozkin et al.).
+pub fn coarsen_labels(ds: &Dataset) -> Dataset {
+    Dataset::new(
+        ds.sentences
+            .iter()
+            .map(|s| Sentence {
+                tokens: s.tokens.clone(),
+                entities: s
+                    .entities
+                    .iter()
+                    .map(|e| {
+                        let mut e = e.clone();
+                        e.label = e.coarse_label().to_string();
+                        e
+                    })
+                    .collect(),
+            })
+            .collect(),
+    )
+}
+
+/// Trains a target model with warm-start transfer from `source_model`.
+///
+/// The target model is built fresh for `cfg` against `encoder` (which must
+/// be the encoder the source model was built with, so parameter shapes and
+/// vocabularies line up), then receives source weights by name matching.
+pub fn transfer_train(
+    cfg: &NerConfig,
+    encoder: &SentenceEncoder,
+    source_model: Option<&NerModel>,
+    target_train: &[EncodedSentence],
+    scheme: TransferScheme,
+    pretrained: Option<&WordEmbeddings>,
+    train_cfg: &TrainConfig,
+    rng: &mut impl Rng,
+) -> (NerModel, TrainReport) {
+    let mut model = NerModel::new(cfg.clone(), encoder, pretrained, rng);
+
+    match scheme {
+        TransferScheme::FromScratch => {}
+        TransferScheme::FineTuneAll | TransferScheme::FreezeEncoder => {
+            let source = source_model.expect("transfer schemes require a source model");
+            let copied = model.store.load_matching(&source.store);
+            assert!(copied > 0, "no parameters matched between source and target");
+            if scheme == TransferScheme::FreezeEncoder {
+                model.store.freeze_prefix("input.", true);
+                model.store.freeze_prefix("encoder.", true);
+            }
+        }
+    }
+
+    let report = trainer::train(&mut model, target_train, None, train_cfg, rng);
+    (model, report)
+}
+
+/// Target-size sweep: evaluates each scheme at several target-training
+/// sizes, returning `(scheme, size, test_f1)` rows.
+#[allow(clippy::too_many_arguments)]
+pub fn low_resource_sweep(
+    cfg: &NerConfig,
+    encoder: &SentenceEncoder,
+    source_model: &NerModel,
+    target_train: &[EncodedSentence],
+    target_test: &[EncodedSentence],
+    sizes: &[usize],
+    train_cfg: &TrainConfig,
+    rng: &mut impl Rng,
+) -> Vec<(TransferScheme, usize, f64)> {
+    let mut rows = Vec::new();
+    for &size in sizes {
+        let slice = &target_train[..size.min(target_train.len())];
+        for scheme in [
+            TransferScheme::FromScratch,
+            TransferScheme::FreezeEncoder,
+            TransferScheme::FineTuneAll,
+        ] {
+            let (model, _) = transfer_train(
+                cfg,
+                encoder,
+                Some(source_model),
+                slice,
+                scheme,
+                None,
+                train_cfg,
+                rng,
+            );
+            let f1 = trainer::evaluate_model(&model, target_test).micro.f1;
+            rows.push((scheme, slice.len(), f1));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ner_core::config::{CharRepr, DecoderKind, EncoderKind, WordRepr};
+    use ner_corpus::noise::{corrupt_dataset, NoiseModel};
+    use ner_corpus::{GeneratorConfig, NewsGenerator};
+    use ner_text::{EntitySpan, TagScheme};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_cfg() -> NerConfig {
+        NerConfig {
+            scheme: TagScheme::Bio,
+            word: WordRepr::Random { dim: 16 },
+            char_repr: CharRepr::None,
+            encoder: EncoderKind::Lstm { hidden: 16, bidirectional: true, layers: 1 },
+            decoder: DecoderKind::Crf,
+            dropout: 0.1,
+            ..NerConfig::default()
+        }
+    }
+
+    #[test]
+    fn coarsen_strips_subtypes() {
+        let s = Sentence::new(&["Paris"], vec![EntitySpan::new(0, 1, "LOC.city")]);
+        let out = coarsen_labels(&Dataset::new(vec![s]));
+        assert_eq!(out.sentences[0].entities[0].label, "LOC");
+    }
+
+    #[test]
+    fn transfer_beats_scratch_in_low_resource_target() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let gen = NewsGenerator::new(GeneratorConfig::default());
+        // Source: plentiful clean news. Target: scarce noisy text.
+        let source_ds = gen.dataset(&mut rng, 200);
+        let target_train_ds =
+            corrupt_dataset(&gen.dataset(&mut rng, 25), &NoiseModel::social_media(), &mut rng);
+        let target_test_ds =
+            corrupt_dataset(&gen.dataset(&mut rng, 60), &NoiseModel::social_media(), &mut rng);
+
+        let enc = SentenceEncoder::from_dataset(&source_ds, TagScheme::Bio, 1);
+        let source_enc = enc.encode_dataset(&source_ds, None);
+        let tgt_train = enc.encode_dataset(&target_train_ds, None);
+        let tgt_test = enc.encode_dataset(&target_test_ds, None);
+
+        let cfg = quick_cfg();
+        let tc = TrainConfig { epochs: 6, patience: None, ..Default::default() };
+        let mut source_model = NerModel::new(cfg.clone(), &enc, None, &mut rng);
+        trainer::train(&mut source_model, &source_enc, None, &tc, &mut rng);
+
+        let tc_small = TrainConfig { epochs: 4, patience: None, ..Default::default() };
+        let (scratch, _) = transfer_train(
+            &cfg, &enc, None, &tgt_train, TransferScheme::FromScratch, None, &tc_small, &mut rng,
+        );
+        let (finetune, _) = transfer_train(
+            &cfg,
+            &enc,
+            Some(&source_model),
+            &tgt_train,
+            TransferScheme::FineTuneAll,
+            None,
+            &tc_small,
+            &mut rng,
+        );
+        let f1_scratch = trainer::evaluate_model(&scratch, &tgt_test).micro.f1;
+        let f1_ft = trainer::evaluate_model(&finetune, &tgt_test).micro.f1;
+        assert!(
+            f1_ft > f1_scratch,
+            "fine-tuning from source ({f1_ft}) should beat scratch ({f1_scratch}) at 25 target sentences"
+        );
+    }
+
+    #[test]
+    fn freeze_encoder_leaves_encoder_weights_untouched() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let gen = NewsGenerator::new(GeneratorConfig::default());
+        let ds = gen.dataset(&mut rng, 40);
+        let enc = SentenceEncoder::from_dataset(&ds, TagScheme::Bio, 1);
+        let encoded = enc.encode_dataset(&ds, None);
+
+        let cfg = quick_cfg();
+        let tc = TrainConfig { epochs: 2, patience: None, ..Default::default() };
+        let mut source = NerModel::new(cfg.clone(), &enc, None, &mut rng);
+        trainer::train(&mut source, &encoded, None, &tc, &mut rng);
+
+        let (frozen, _) = transfer_train(
+            &cfg,
+            &enc,
+            Some(&source),
+            &encoded[..10],
+            TransferScheme::FreezeEncoder,
+            None,
+            &tc,
+            &mut rng,
+        );
+        // Every encoder-prefixed parameter must equal the source exactly.
+        for id in frozen.store.ids() {
+            let name = frozen.store.name(id).to_string();
+            if name.starts_with("encoder.") || name.starts_with("input.") {
+                let src_id = source.store.find(&name).unwrap();
+                assert_eq!(
+                    frozen.store.value(id),
+                    source.store.value(src_id),
+                    "frozen parameter {name} changed"
+                );
+            }
+        }
+    }
+}

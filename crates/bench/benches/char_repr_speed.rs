@@ -1,0 +1,62 @@
+//! Character-representation cost (Fig. 3 ablation, timing side): the
+//! char-CNN (Fig. 3a) parallelizes over a word's characters, while the
+//! char-BiLSTM (Fig. 3b) is sequential — the same parallel-vs-recurrent
+//! trade-off as the sentence-level encoders, one level down.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ner_tensor::nn::{Embedding, LstmCell};
+use ner_tensor::{init, ParamStore, Tape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const CHAR_VOCAB: usize = 60;
+const CHAR_DIM: usize = 16;
+const OUT: usize = 16;
+
+fn bench_char_reprs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("char_repr_per_word");
+    let mut rng = StdRng::seed_from_u64(9);
+
+    let mut store = ParamStore::new();
+    let emb = Embedding::new(&mut store, &mut rng, "emb", CHAR_VOCAB, CHAR_DIM);
+    let conv_w = store.register("conv.w", init::he(&mut rng, 3 * CHAR_DIM, OUT));
+    let conv_b = store.register("conv.b", Tensor::zeros(1, OUT));
+    let fw = LstmCell::new(&mut store, &mut rng, "fw", CHAR_DIM, OUT / 2);
+    let bw = LstmCell::new(&mut store, &mut rng, "bw", CHAR_DIM, OUT / 2);
+
+    for &word_len in &[4usize, 10, 20] {
+        let chars: Vec<usize> = (0..word_len).map(|i| 2 + (i % (CHAR_VOCAB - 2))).collect();
+        group.bench_with_input(BenchmarkId::new("cnn_maxpool", word_len), &word_len, |bench, _| {
+            bench.iter(|| {
+                let mut tape = Tape::new();
+                let x = emb.lookup(&mut tape, &store, &chars);
+                let w = tape.param(&store, conv_w);
+                let b = tape.param(&store, conv_b);
+                let conv = tape.conv1d(x, w, b, 3, 1);
+                let r = tape.relu(conv);
+                black_box(tape.max_over_rows(r))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bilstm_ends", word_len), &word_len, |bench, _| {
+            bench.iter(|| {
+                let mut tape = Tape::new();
+                let x = emb.lookup(&mut tape, &store, &chars);
+                let f = fw.sequence(&mut tape, &store, x);
+                let n = word_len;
+                let f_last = tape.row(f, n - 1);
+                let b = bw.sequence_rev(&mut tape, &store, x);
+                let b_first = tape.row(b, 0);
+                black_box(tape.concat_cols(&[f_last, b_first]))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_char_reprs
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Decoder-cost micro-benchmarks (paper §3.5's decoder discussion):
+//! CRF Viterbi cost grows with the square of the tag-set size (the paper's
+//! "CRF could be computationally expensive when the number of entity types
+//! is large"), while greedy softmax decoding is linear; the greedy RNN
+//! decoder pays the serialization cost of a graph per step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ner_core::decoder::{Crf, RnnDecoder};
+use ner_tensor::{init, ParamStore, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const LEN: usize = 20;
+
+fn bench_crf_viterbi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crf_viterbi_by_tagset");
+    let mut rng = StdRng::seed_from_u64(5);
+    // 4 coarse types ≈ CoNLL (BIO → 9 tags); 18 ≈ OntoNotes (37); 64 ≈ BBN (129).
+    for &k in &[9usize, 37, 129] {
+        let mut store = ParamStore::new();
+        let crf = Crf::new(&mut store, &mut rng, "crf", k);
+        let emissions = init::uniform(&mut rng, LEN, k, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| black_box(crf.viterbi(&store, &emissions, None)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_crf_loss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crf_nll_by_tagset");
+    let mut rng = StdRng::seed_from_u64(6);
+    for &k in &[9usize, 37] {
+        let mut store = ParamStore::new();
+        let crf = Crf::new(&mut store, &mut rng, "crf", k);
+        let emissions = init::uniform(&mut rng, LEN, k, 1.0);
+        let tags: Vec<usize> = (0..LEN).map(|t| t % k).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| {
+                let mut store = store.clone();
+                let mut tape = Tape::new();
+                let e = tape.constant(emissions.clone());
+                let nll = crf.nll(&mut tape, &store, e, &tags);
+                tape.backward(nll, &mut store);
+                black_box(store.grad_global_norm())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy_decoders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_decoders");
+    let mut rng = StdRng::seed_from_u64(7);
+    let k = 9;
+    let mut store = ParamStore::new();
+    let dec = RnnDecoder::new(&mut store, &mut rng, "dec", 48, 8, 32, k);
+    let enc_states = init::uniform(&mut rng, LEN, 48, 1.0);
+    group.bench_function("rnn_decoder_20x48", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            let e = tape.constant(enc_states.clone());
+            black_box(dec.decode(&mut tape, &store, e))
+        })
+    });
+    // Softmax "decode" = row-wise argmax over emissions, the O(n·k) floor.
+    let emissions = init::uniform(&mut rng, LEN, k, 1.0);
+    group.bench_function("softmax_argmax_20x9", |bench| {
+        bench.iter(|| {
+            let tags: Vec<usize> = (0..LEN).map(|r| emissions.argmax_row(r)).collect();
+            black_box(tags)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_crf_viterbi, bench_crf_loss, bench_greedy_decoders
+}
+criterion_main!(benches);

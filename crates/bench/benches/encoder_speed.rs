@@ -1,0 +1,62 @@
+//! E-F6 / E-S35 timing side — context-encoder inference cost.
+//!
+//! Reproduces the wall-clock claims of the survey:
+//! * Fig. 6: ID-CNN test-time speedup over BiLSTM (the paper reports 14–20×
+//!   with GPU batch parallelism; the CPU trend — ID-CNN faster, gap growing
+//!   with length — is the reproducible shape);
+//! * §3.5: self-attention O(n²·d) vs recurrent O(n·d²) — the Transformer is
+//!   cheaper than the BiLSTM for short sentences and loses at long ones.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ner_core::config::EncoderKind;
+use ner_core::encoder::Encoder;
+use ner_tensor::{init, ParamStore, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const DIM: usize = 48;
+
+fn encoders() -> Vec<(&'static str, EncoderKind)> {
+    vec![
+        ("bilstm", EncoderKind::Lstm { hidden: DIM, bidirectional: true, layers: 1 }),
+        (
+            "idcnn",
+            EncoderKind::IdCnn { filters: DIM, width: 3, dilations: vec![1, 2, 4], iterations: 2 },
+        ),
+        ("cnn", EncoderKind::Cnn { filters: DIM, layers: 2, width: 3, global: false }),
+        ("transformer", EncoderKind::Transformer { d_model: DIM, heads: 4, layers: 2, d_ff: 96 }),
+        ("bigru", EncoderKind::Gru { hidden: DIM, bidirectional: true }),
+    ]
+}
+
+fn bench_encoders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoder_forward");
+    let mut rng = StdRng::seed_from_u64(7);
+    for (name, kind) in encoders() {
+        let mut store = ParamStore::new();
+        let enc = Encoder::new(&mut store, &mut rng, "enc", DIM, &kind);
+        for &len in &[10usize, 40, 160] {
+            let x = init::uniform(&mut rng, len, DIM, 1.0);
+            group.bench_with_input(
+                BenchmarkId::new(name, len),
+                &len,
+                |bench, _| {
+                    bench.iter(|| {
+                        let mut tape = Tape::new();
+                        let xv = tape.constant(x.clone());
+                        black_box(enc.forward(&mut tape, &store, xv))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_encoders
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the tensor substrate's hot kernels: matmul
+//! (plain + fused transpose), 1-D (dilated) convolution, softmax family and
+//! a full LSTM sequence pass. These are the inner loops every experiment in
+//! this workspace spends its time in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ner_tensor::nn::LstmCell;
+use ner_tensor::{init, ParamStore, Tape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = StdRng::seed_from_u64(1);
+    for &n in &[16usize, 64, 128] {
+        let a = init::uniform(&mut rng, n, n, 1.0);
+        let b = init::uniform(&mut rng, n, n, 1.0);
+        group.bench_with_input(BenchmarkId::new("nn", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("nt_fused", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul_nt(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("tn_fused", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul_tn(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv_and_softmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ops");
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = init::uniform(&mut rng, 40, 48, 1.0);
+    let w = init::uniform(&mut rng, 3 * 48, 48, 0.2);
+    let bias = Tensor::zeros(1, 48);
+    for &dilation in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("conv1d_40x48", dilation), &dilation, |bench, &d| {
+            bench.iter(|| {
+                let mut tape = Tape::new();
+                let xv = tape.constant(x.clone());
+                let wv = tape.constant(w.clone());
+                let bv = tape.constant(bias.clone());
+                black_box(tape.conv1d(xv, wv, bv, 3, d))
+            })
+        });
+    }
+    group.bench_function("log_softmax_40x20", |bench| {
+        let logits = init::uniform(&mut rng, 40, 20, 2.0);
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            let l = tape.constant(logits.clone());
+            black_box(tape.log_softmax_rows(l))
+        })
+    });
+    group.finish();
+}
+
+fn bench_lstm_and_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lstm");
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut store = ParamStore::new();
+    let cell = LstmCell::new(&mut store, &mut rng, "cell", 48, 48);
+    let xs = init::uniform(&mut rng, 20, 48, 1.0);
+    group.bench_function("forward_20x48", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            let x = tape.constant(xs.clone());
+            black_box(cell.sequence(&mut tape, &store, x))
+        })
+    });
+    group.bench_function("forward_backward_20x48", |bench| {
+        bench.iter(|| {
+            let mut store = store.clone();
+            let mut tape = Tape::new();
+            let x = tape.constant(xs.clone());
+            let h = cell.sequence(&mut tape, &store, x);
+            let loss = tape.sum(h);
+            tape.backward(loss, &mut store);
+            black_box(store.grad_global_norm())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_matmul, bench_conv_and_softmax, bench_lstm_and_backward
+}
+criterion_main!(benches);

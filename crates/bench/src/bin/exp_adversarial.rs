@@ -1,0 +1,87 @@
+//! E-S45 — reproduces the **§4.5 adversarial-training result** (DATNet's
+//! perturbation mechanism): training on FGM ε-bounded input perturbations
+//! improves generalization/robustness, measured here on clean,
+//! unseen-entity and noise-channel test sets across an ε sweep.
+
+use ner_applied::adversarial::{evaluate_under_attack, train_fgm};
+use ner_bench::{harness_train_config, pct, print_table, standard_data, write_report, Scale};
+use ner_core::config::{CharRepr, NerConfig, WordRepr};
+use ner_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    epsilon: f32,
+    f1_clean: f64,
+    f1_attacked: f64,
+    f1_unseen: f64,
+    f1_noisy: f64,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let data = standard_data(42, scale);
+    let tc = harness_train_config(scale);
+
+    let cfg = NerConfig {
+        scheme: TagScheme::Bio,
+        word: WordRepr::Random { dim: 24 },
+        char_repr: CharRepr::Cnn { dim: 12, filters: 12 },
+        ..NerConfig::default()
+    };
+    let encoder = SentenceEncoder::from_dataset(&data.train, cfg.scheme, 1);
+    let train_enc = encoder.encode_dataset(&data.train, None);
+    let clean = encoder.encode_dataset(&data.test, None);
+    let unseen = encoder.encode_dataset(&data.test_unseen, None);
+    let noisy = encoder.encode_dataset(&data.test_noisy, None);
+
+    let mut rows = Vec::new();
+    for &epsilon in &[0.0f32, 0.25, 0.5, 1.0] {
+        // Same init seed and data order for every ε: the only difference is
+        // the adversarial augmentation.
+        let mut rng = StdRng::seed_from_u64(81);
+        let mut model = NerModel::new(cfg.clone(), &encoder, None, &mut rng);
+        train_fgm(&mut model, &train_enc, epsilon, &tc, &mut rng);
+        let row = Row {
+            epsilon,
+            f1_clean: evaluate_model(&model, &clean).micro.f1,
+            f1_attacked: evaluate_under_attack(&model, &clean, 1.0, &mut rng),
+            f1_unseen: evaluate_model(&model, &unseen).micro.f1,
+            f1_noisy: evaluate_model(&model, &noisy).micro.f1,
+        };
+        println!(
+            "  eps={epsilon:<5} clean {:>6}  attacked {:>6}  unseen {:>6}  noisy {:>6}",
+            pct(row.f1_clean),
+            pct(row.f1_attacked),
+            pct(row.f1_unseen),
+            pct(row.f1_noisy)
+        );
+        rows.push(row);
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.epsilon),
+                pct(r.f1_clean),
+                pct(r.f1_attacked),
+                pct(r.f1_unseen),
+                pct(r.f1_noisy),
+            ]
+        })
+        .collect();
+    print_table(
+        "§4.5 — FGM adversarial training (ε sweep; ε=0 is the standard-training control)",
+        &["epsilon", "F1 clean", "F1 under FGM attack", "F1 unseen", "F1 noisy"],
+        &table,
+    );
+    println!("\nExpected shape (paper §4.5): adversarial training makes the model 'more robust");
+    println!("to attack' — the FGM-attacked column improves with training ε — while clean F1 is");
+    println!("maintained. Char-level channel noise (last column) is a different threat model");
+    println!("that embedding-space FGM does not target.");
+    let path = write_report("adversarial", &rows);
+    println!("report: {}", path.display());
+}

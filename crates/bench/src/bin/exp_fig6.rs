@@ -1,0 +1,123 @@
+//! E-F6 — reproduces **Fig. 6** (Iterated Dilated CNNs, Strubell et al.).
+//!
+//! Two claims from the paper:
+//! 1. ID-CNN retains accuracy comparable to BiLSTM-CRF;
+//! 2. because convolutions parallelize across positions (no sequential
+//!    recurrence), ID-CNN is substantially faster at test time — the paper
+//!    reports 14–20× on GPU batches; on a scalar CPU the expected shape is
+//!    a consistent >1× advantage that *grows with sentence length*.
+//!
+//! (Wall-clock microbenchmarks of the same encoders live in
+//! `benches/encoder_speed.rs`; this harness reports the accuracy side and a
+//! direct timing sweep in one table.)
+
+use ner_bench::{eval_on, harness_train_config, pct, print_table, standard_data, train_model, write_report, Scale};
+use ner_core::config::{CharRepr, EncoderKind, NerConfig, WordRepr};
+use ner_core::prelude::*;
+use ner_corpus::{GeneratorConfig, NewsGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Report {
+    f1_bilstm: f64,
+    f1_idcnn: f64,
+    speedups_by_length: Vec<(usize, f64)>,
+}
+
+fn inference_time(model: &NerModel, enc: &SentenceEncoder, ds: &Dataset, reps: usize) -> f64 {
+    let encoded = enc.encode_dataset(ds, None);
+    let t = Instant::now();
+    for _ in 0..reps {
+        for e in &encoded {
+            let _ = model.predict_spans(e);
+        }
+    }
+    t.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Builds a dataset of concatenated sentences reaching ~`target_len` tokens,
+/// emulating the paper's document-length processing.
+fn long_sentences(target_len: usize, n: usize, seed: u64) -> Dataset {
+    let gen = NewsGenerator::new(GeneratorConfig::default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut tokens: Vec<String> = Vec::new();
+        let mut entities = Vec::new();
+        while tokens.len() < target_len {
+            let s = gen.sentence(&mut rng);
+            let off = tokens.len();
+            tokens.extend(s.tokens.iter().map(|t| t.text.clone()));
+            entities.extend(s.entities.iter().map(|e| {
+                ner_text::EntitySpan::new(e.start + off, e.end + off, e.label.clone())
+            }));
+        }
+        out.push(Sentence::new(&tokens, entities));
+    }
+    Dataset::new(out)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let data = standard_data(42, scale);
+    let tc = harness_train_config(scale);
+
+    let bilstm_cfg = NerConfig {
+        char_repr: CharRepr::None,
+        word: WordRepr::Random { dim: 32 },
+        encoder: EncoderKind::Lstm { hidden: 48, bidirectional: true, layers: 1 },
+        ..NerConfig::default()
+    };
+    let idcnn_cfg = NerConfig {
+        encoder: EncoderKind::IdCnn { filters: 48, width: 3, dilations: vec![1, 2, 4], iterations: 2 },
+        ..bilstm_cfg.clone()
+    };
+
+    println!("training BiLSTM-CRF and ID-CNN-CRF ...");
+    let (enc_l, bilstm) = train_model(bilstm_cfg, &data.train, &tc, 21);
+    let (enc_c, idcnn) = train_model(idcnn_cfg, &data.train, &tc, 21);
+    let f1_l = eval_on(&enc_l, &bilstm, &data.test_unseen).micro.f1;
+    let f1_c = eval_on(&enc_c, &idcnn, &data.test_unseen).micro.f1;
+
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for &len in &[10usize, 20, 40, 80] {
+        let ds = long_sentences(len, scale.size(40), 99);
+        let reps = if scale == Scale::Quick { 1 } else { 3 };
+        let t_l = inference_time(&bilstm, &enc_l, &ds, reps);
+        let t_c = inference_time(&idcnn, &enc_c, &ds, reps);
+        let speedup = t_l / t_c;
+        speedups.push((len, speedup));
+        rows.push(vec![
+            len.to_string(),
+            format!("{:.1} ms", 1e3 * t_l),
+            format!("{:.1} ms", 1e3 * t_c),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+
+    print_table(
+        "Fig. 6 — ID-CNN vs BiLSTM-CRF: accuracy",
+        &["Model", "F1 (unseen)"],
+        &[
+            vec!["BiLSTM-CRF".into(), pct(f1_l)],
+            vec!["ID-CNN-CRF".into(), pct(f1_c)],
+        ],
+    );
+    print_table(
+        "Fig. 6 — test-time cost by sentence length (lower is better)",
+        &["Tokens/sentence", "BiLSTM-CRF", "ID-CNN-CRF", "ID-CNN speedup"],
+        &rows,
+    );
+    println!("\nExpected shape (paper): comparable F1; ID-CNN speedup > 1x and growing with length");
+    println!("(paper reports 14-20x with GPU batch parallelism; scalar CPU shows the trend).");
+
+    let path = write_report(
+        "fig6",
+        &Report { f1_bilstm: f1_l, f1_idcnn: f1_c, speedups_by_length: speedups },
+    );
+    println!("report: {}", path.display());
+}

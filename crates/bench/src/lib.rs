@@ -1,0 +1,199 @@
+//! # ner-bench — experiment harnesses for `neural-ner`
+//!
+//! One binary per table/figure of the survey (see DESIGN.md §3 for the
+//! index and EXPERIMENTS.md for paper-vs-measured results), plus Criterion
+//! micro-benchmarks. This library holds the shared experimental setup so
+//! every harness runs on identical data splits.
+
+#![warn(missing_docs)]
+
+use ner_core::prelude::*;
+use ner_corpus::noise::{corrupt_dataset, NoiseModel};
+use ner_corpus::{GeneratorConfig, NewsGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// The standard experimental split shared by all harnesses.
+pub struct ExperimentData {
+    /// Clean news training set.
+    pub train: Dataset,
+    /// Clean news dev set.
+    pub dev: Dataset,
+    /// Clean in-distribution test set.
+    pub test: Dataset,
+    /// Test set with 40% held-out (unseen) entity surfaces — the harder
+    /// evaluation that differentiates architectures (paper §5.1).
+    pub test_unseen: Dataset,
+    /// The unseen-entity test set passed through the W-NUT noise channel.
+    pub test_noisy: Dataset,
+}
+
+/// Sizing knob: `full` is the default for harness binaries; `quick` keeps
+/// CI/test runs fast.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Full experiment scale.
+    Full,
+    /// Reduced scale for smoke tests (`--quick`).
+    Quick,
+}
+
+impl Scale {
+    /// Reads `--quick` from the process arguments.
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// Scales a size down in quick mode.
+    pub fn size(&self, full: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => (full / 4).max(10),
+        }
+    }
+
+    /// Scales an epoch count down in quick mode.
+    pub fn epochs(&self, full: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => (full / 2).max(2),
+        }
+    }
+}
+
+/// Builds the standard split deterministically from a seed.
+pub fn standard_data(seed: u64, scale: Scale) -> ExperimentData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gen = NewsGenerator::new(GeneratorConfig::default());
+    let unseen = NewsGenerator::new(GeneratorConfig {
+        unseen_entity_rate: 0.4,
+        ..GeneratorConfig::default()
+    });
+    let train = gen.dataset(&mut rng, scale.size(240));
+    let dev = gen.dataset(&mut rng, scale.size(80));
+    let test = gen.dataset(&mut rng, scale.size(150));
+    let test_unseen = unseen.dataset(&mut rng, scale.size(150));
+    let test_noisy = corrupt_dataset(&test_unseen, &NoiseModel::social_media(), &mut rng);
+    ExperimentData { train, dev, test, test_unseen, test_noisy }
+}
+
+/// The default training configuration for harnesses.
+pub fn harness_train_config(scale: Scale) -> TrainConfig {
+    TrainConfig { epochs: scale.epochs(10), patience: None, ..TrainConfig::default() }
+}
+
+/// Trains `cfg` on `train` and returns the model plus its encoder.
+pub fn train_model(
+    cfg: NerConfig,
+    train: &Dataset,
+    tc: &TrainConfig,
+    seed: u64,
+) -> (SentenceEncoder, NerModel) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let encoder = SentenceEncoder::from_dataset(train, cfg.scheme, 1);
+    let mut model = NerModel::new(cfg, &encoder, None, &mut rng);
+    let encoded = encoder.encode_dataset(train, None);
+    ner_core::trainer::train(&mut model, &encoded, None, tc, &mut rng);
+    (encoder, model)
+}
+
+/// Evaluates a trained model on a dataset via its encoder.
+pub fn eval_on(encoder: &SentenceEncoder, model: &NerModel, ds: &Dataset) -> EvalResult {
+    let encoded = encoder.encode_dataset(ds, None);
+    evaluate_model(model, &encoded)
+}
+
+/// Renders an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        let mut parts = Vec::new();
+        for (w, c) in widths.iter().zip(cells) {
+            parts.push(format!("{c:<w$}"));
+        }
+        writeln!(out, "| {} |", parts.join(" | ")).expect("write to String");
+    };
+    line(&mut out, &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    line(&mut out, &sep);
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Prints a table with a title banner.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    print!("{}", render_table(headers, rows));
+}
+
+/// Formats a fraction as a percent with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Writes a JSON report next to the experiment outputs (`results/`),
+/// creating the directory on demand. Returns the path written.
+pub fn write_report<T: Serialize>(name: &str, value: &T) -> std::path::PathBuf {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize report");
+    std::fs::write(&path, json).expect("write report");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_data_is_deterministic_and_disjointly_noisy() {
+        let a = standard_data(7, Scale::Quick);
+        let b = standard_data(7, Scale::Quick);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test_noisy, b.test_noisy);
+        assert_ne!(a.test_unseen, a.test_noisy, "noise channel must change text");
+    }
+
+    #[test]
+    fn scale_reduces_sizes() {
+        assert_eq!(Scale::Quick.size(240), 60);
+        assert_eq!(Scale::Full.size(240), 240);
+        assert!(Scale::Quick.epochs(10) < Scale::Full.epochs(10));
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let s = render_table(
+            &["arch", "F1"],
+            &[vec!["a".into(), "0.9".into()], vec!["longer-name".into(), "0.85".into()]],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "rows must align");
+    }
+
+    #[test]
+    fn quick_end_to_end_through_helpers() {
+        let data = standard_data(3, Scale::Quick);
+        let tc = TrainConfig { epochs: 3, patience: None, ..Default::default() };
+        let (enc, model) = train_model(NerConfig::default(), &data.train, &tc, 1);
+        let clean = eval_on(&enc, &model, &data.test);
+        let noisy = eval_on(&enc, &model, &data.test_noisy);
+        assert!(clean.micro.f1 > noisy.micro.f1, "noise must hurt: {} vs {}", clean.micro.f1, noisy.micro.f1);
+    }
+}

@@ -1,0 +1,113 @@
+//! A small, dependency-free flag parser: `--name value` options,
+//! `--flag` booleans, and positional arguments, with typed accessors and
+//! error messages naming the offending flag.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+    positional: Vec<String>,
+}
+
+/// A parse/validation error, rendered to the user as-is.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Option names that take a value; anything else starting with `--` is a
+/// boolean flag.
+pub fn parse<I: IntoIterator<Item = String>>(raw: I, value_options: &[&str]) -> Result<Args, ArgError> {
+    let mut args = Args::default();
+    let mut iter = raw.into_iter().peekable();
+    while let Some(tok) = iter.next() {
+        if let Some(name) = tok.strip_prefix("--") {
+            if value_options.contains(&name) {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgError(format!("--{name} requires a value")))?;
+                if args.options.insert(name.to_string(), value).is_some() {
+                    return Err(ArgError(format!("--{name} given twice")));
+                }
+            } else {
+                args.flags.push(name.to_string());
+            }
+        } else {
+            args.positional.push(tok);
+        }
+    }
+    Ok(args)
+}
+
+impl Args {
+    /// String option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Required string option.
+    pub fn require(&self, name: &str) -> Result<&str, ArgError> {
+        self.get(name).ok_or_else(|| ArgError(format!("missing required --{name}")))
+    }
+
+    /// Typed option with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name} has invalid value {v:?}"))),
+        }
+    }
+
+    /// Boolean flag presence.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn options_flags_positional() {
+        let a = parse(v(&["--n", "30", "--noisy", "file.conll"]), &["n"]).unwrap();
+        assert_eq!(a.get("n"), Some("30"));
+        assert!(a.flag("noisy"));
+        assert!(!a.flag("nested"));
+        assert_eq!(a.positional(), &["file.conll".to_string()]);
+        assert_eq!(a.get_parsed("n", 0usize).unwrap(), 30);
+        assert_eq!(a.get_parsed("seed", 42u64).unwrap(), 42);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert_eq!(parse(v(&["--n"]), &["n"]).unwrap_err(), ArgError("--n requires a value".into()));
+        assert_eq!(
+            parse(v(&["--n", "1", "--n", "2"]), &["n"]).unwrap_err(),
+            ArgError("--n given twice".into())
+        );
+        let a = parse(v(&["--n", "x"]), &["n"]).unwrap();
+        assert!(a.get_parsed("n", 0usize).is_err());
+        assert!(a.require("out").is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! The CLI subcommands.
+
+use crate::args::{parse, Args};
+use ner_core::persist::Checkpoint;
+use ner_core::prelude::*;
+use ner_corpus::noise::{corrupt_dataset, NoiseModel};
+use ner_corpus::{GeneratorConfig, NewsGenerator};
+use ner_text::conll;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+use std::io::Read;
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// `generate` — write a synthetic CoNLL corpus.
+pub fn generate(raw: Vec<String>) -> CmdResult {
+    let a: Args = parse(raw, &["out", "n", "seed", "unseen-rate", "scheme"])?;
+    let out = a.require("out")?.to_string();
+    let n = a.get_parsed("n", 200usize)?;
+    let seed = a.get_parsed("seed", 42u64)?;
+    let unseen = a.get_parsed("unseen-rate", 0.0f64)?;
+    let scheme = parse_scheme(a.get("scheme").unwrap_or("bio"))?;
+
+    let cfg = GeneratorConfig {
+        unseen_entity_rate: unseen,
+        fine_grained: a.flag("fine-grained"),
+        annotate_nested: a.flag("nested"),
+        institution_rate: if a.flag("nested") { 0.4 } else { 0.15 },
+        ..GeneratorConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = NewsGenerator::new(cfg).dataset(&mut rng, n);
+    if a.flag("noisy") {
+        ds = corrupt_dataset(&ds, &NoiseModel::social_media(), &mut rng);
+    }
+    std::fs::write(&out, conll::write_conll(&ds.sentences, scheme))?;
+    let stats = ds.stats();
+    println!(
+        "wrote {} sentences / {} tokens / {} entities ({} types) to {out}",
+        stats.sentences, stats.tokens, stats.entities, stats.entity_types
+    );
+    Ok(())
+}
+
+/// `train` — fit a preset on a CoNLL file, checkpoint to JSON.
+pub fn train(raw: Vec<String>) -> CmdResult {
+    let a = parse(raw, &["train", "dev", "model", "preset", "epochs", "seed", "scheme", "lr"])?;
+    let train_path = a.require("train")?.to_string();
+    let model_path = a.require("model")?.to_string();
+    let preset_name = a.get("preset").unwrap_or("charcnn-bilstm-crf");
+    let epochs = a.get_parsed("epochs", 12usize)?;
+    let seed = a.get_parsed("seed", 42u64)?;
+    let lr = a.get_parsed("lr", 0.01f32)?;
+    let scheme = parse_scheme(a.get("scheme").unwrap_or("bio"))?;
+
+    let mut cfg = ner_core::zoo::preset(preset_name)
+        .ok_or_else(|| format!("unknown preset {preset_name:?}; run `neural-ner zoo`"))?;
+    cfg.scheme = scheme;
+    // Presets declaring pretrained embeddings fall back to trainable random
+    // tables in the CLI (no embedding file plumbing here).
+    if matches!(cfg.word, ner_core::config::WordRepr::Pretrained { .. }) {
+        cfg.word = ner_core::config::WordRepr::Random { dim: 32 };
+    }
+
+    let train_ds = read_dataset(&train_path, scheme)?;
+    let dev_ds = match a.get("dev") {
+        Some(p) => Some(read_dataset(p, scheme)?),
+        None => None,
+    };
+    println!(
+        "training {} ({}) on {} sentences ...",
+        preset_name,
+        cfg.signature(),
+        train_ds.len()
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let encoder = SentenceEncoder::from_dataset(&train_ds, scheme, 1)
+        .with_features(cfg.use_features);
+    let mut model = NerModel::new(cfg, &encoder, None, &mut rng);
+    let train_enc = encoder.encode_dataset(&train_ds, None);
+    let dev_enc = dev_ds.map(|d| encoder.encode_dataset(&d, None));
+    let tc = TrainConfig { epochs, lr, ..TrainConfig::default() };
+    let report = ner_core::trainer::train(&mut model, &train_enc, dev_enc.as_deref(), &tc, &mut rng);
+    if !a.flag("quiet") {
+        for e in &report.epochs {
+            println!(
+                "epoch {:>2}  loss {:>9.4}{}",
+                e.epoch,
+                e.train_loss,
+                e.dev_f1.map_or(String::new(), |f| format!("  dev-F1 {:.2}%", 100.0 * f))
+            );
+        }
+    }
+    if let Some(f1) = report.best_dev_f1 {
+        println!("best dev F1 {:.2}% at epoch {}", 100.0 * f1, report.best_epoch);
+    }
+
+    Checkpoint::capture(&NerPipeline::new(encoder, model)).save(&model_path)?;
+    println!("checkpoint written to {model_path}");
+    Ok(())
+}
+
+/// `eval` — metrics of a checkpoint on a CoNLL file.
+pub fn eval(raw: Vec<String>) -> CmdResult {
+    let a = parse(raw, &["model", "data"])?;
+    let pipeline = Checkpoint::load(a.require("model")?)?.restore()?;
+    let scheme = pipeline.encoder.tag_set.scheme();
+    let ds = read_dataset(a.require("data")?, scheme)?;
+    let encoded = pipeline.encoder.encode_dataset(&ds, None);
+    let r = ner_core::trainer::evaluate_model(&pipeline.model, &encoded);
+    println!("sentences: {}   gold entities: {}   predicted: {}", encoded.len(), r.gold_entities, r.pred_entities);
+    println!(
+        "exact micro   P {:.2}%  R {:.2}%  F1 {:.2}%",
+        100.0 * r.micro.precision,
+        100.0 * r.micro.recall,
+        100.0 * r.micro.f1
+    );
+    println!("exact macro-F1  {:.2}%", 100.0 * r.macro_f1);
+    println!("relaxed type F1 {:.2}%   boundary F1 {:.2}%", 100.0 * r.relaxed_type.f1, 100.0 * r.boundary.f1);
+    for (ty, prf) in &r.per_type {
+        println!(
+            "  {ty:<10} P {:.2}%  R {:.2}%  F1 {:.2}%",
+            100.0 * prf.precision,
+            100.0 * prf.recall,
+            100.0 * prf.f1
+        );
+    }
+    Ok(())
+}
+
+/// `tag` — annotate raw text (arguments or stdin).
+pub fn tag(raw: Vec<String>) -> CmdResult {
+    let a = parse(raw, &["model"])?;
+    let pipeline = Checkpoint::load(a.require("model")?)?.restore()?;
+    let inputs: Vec<String> = if a.positional().is_empty() {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        buf.lines().filter(|l| !l.trim().is_empty()).map(str::to_string).collect()
+    } else {
+        a.positional().to_vec()
+    };
+    for text in inputs {
+        println!("{}", pipeline.extract(&text).render_brackets());
+    }
+    Ok(())
+}
+
+/// `zoo` — list presets.
+pub fn zoo(_raw: Vec<String>) -> CmdResult {
+    println!("{:<22} {:<44} survey reference", "PRESET", "ARCHITECTURE");
+    for entry in ner_core::zoo::zoo() {
+        println!("{:<22} {:<44} {}", entry.name, entry.config.signature(), entry.reference);
+    }
+    Ok(())
+}
+
+fn parse_scheme(s: &str) -> Result<TagScheme, Box<dyn Error>> {
+    match s.to_lowercase().as_str() {
+        "io" => Ok(TagScheme::Io),
+        "bio" => Ok(TagScheme::Bio),
+        "bioes" | "bilou" | "iobes" => Ok(TagScheme::Bioes),
+        other => Err(format!("unknown tag scheme {other:?} (io|bio|bioes)").into()),
+    }
+}
+
+fn read_dataset(path: &str, scheme: TagScheme) -> Result<Dataset, Box<dyn Error>> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let sentences = conll::read_conll(&text, scheme);
+    if sentences.is_empty() {
+        return Err(format!("{path} contains no sentences").into());
+    }
+    Ok(Dataset::new(sentences))
+}

@@ -1,0 +1,56 @@
+//! `neural-ner` — the command-line face of the toolkit the survey's
+//! future-work section calls for: generate corpora, train any architecture
+//! of the taxonomy, evaluate with the paper's metrics, checkpoint, and tag
+//! raw text.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+neural-ner — deep-learning NER toolkit (synthetic-corpus reproduction of
+\"A Survey on Deep Learning for Named Entity Recognition\")
+
+USAGE:
+  neural-ner generate --out FILE [--n N] [--seed S] [--noisy] [--nested] [--fine-grained] [--unseen-rate R]
+  neural-ner train    --train FILE --model FILE [--dev FILE] [--preset NAME] [--epochs N] [--seed S] [--quiet]
+  neural-ner eval     --model FILE --data FILE
+  neural-ner tag      --model FILE [TEXT ...]        (reads stdin when no TEXT)
+  neural-ner zoo
+
+COMMANDS:
+  generate   write a synthetic annotated corpus in CoNLL format
+  train      train a model preset on a CoNLL corpus and save a checkpoint
+  eval       exact + relaxed span metrics of a checkpoint on a corpus
+  tag        annotate raw text with a trained checkpoint
+  zoo        list the available architecture presets (Table 3 families)
+";
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest: Vec<String> = argv.collect();
+    let result = match command.as_str() {
+        "generate" => commands::generate(rest),
+        "train" => commands::train(rest),
+        "eval" => commands::eval(rest),
+        "tag" => commands::tag(rest),
+        "zoo" => commands::zoo(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; run `neural-ner help`").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Model configuration — one struct spanning the survey's whole taxonomy
+//! (Fig. 2): pick a cell from each of the three axes (input representation,
+//! context encoder, tag decoder) and the builder assembles the model.
+
+use ner_text::TagScheme;
+use serde::{Deserialize, Serialize};
+
+/// Character-level word representation (paper §3.2.2, Fig. 3).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CharRepr {
+    /// No character channel.
+    None,
+    /// CNN over characters with max-over-time pooling (Fig. 3a; Ma & Hovy).
+    Cnn {
+        /// Character embedding dimensionality.
+        dim: usize,
+        /// Number of convolution filters (= output width).
+        filters: usize,
+    },
+    /// Bidirectional LSTM over characters, final states concatenated
+    /// (Fig. 3b; Lample et al.).
+    Lstm {
+        /// Character embedding dimensionality.
+        dim: usize,
+        /// LSTM hidden size per direction (output width = 2·hidden).
+        hidden: usize,
+    },
+}
+
+/// Context encoder choice (paper §3.3).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum EncoderKind {
+    /// No encoding: the decoder sees the input representation directly
+    /// (sensible with contextual LM embeddings, Table 3 rows \[136\]/\[137\]).
+    Identity,
+    /// Per-token MLP over a fixed context window (Collobert's window
+    /// approach).
+    WindowMlp {
+        /// Context radius (tokens on each side).
+        window: usize,
+        /// Hidden width.
+        hidden: usize,
+    },
+    /// Stacked same-padded convolutions (Fig. 5); `global` appends the
+    /// max-over-time sentence feature to every position.
+    Cnn {
+        /// Filters per layer (output width).
+        filters: usize,
+        /// Number of convolution layers.
+        layers: usize,
+        /// Filter width (odd).
+        width: usize,
+        /// Append the sentence-global max-pooled feature.
+        global: bool,
+    },
+    /// Iterated Dilated CNN (Fig. 6; Strubell et al. 2017): a block of
+    /// dilated convolutions applied `iterations` times with shared weights.
+    IdCnn {
+        /// Filters per layer.
+        filters: usize,
+        /// Filter width (odd).
+        width: usize,
+        /// Dilation of each convolution in the block.
+        dilations: Vec<usize>,
+        /// Number of weight-shared block applications.
+        iterations: usize,
+    },
+    /// (Bi)LSTM, optionally stacked (Fig. 7).
+    Lstm {
+        /// Hidden size per direction.
+        hidden: usize,
+        /// Concatenate a backward pass.
+        bidirectional: bool,
+        /// Number of stacked layers.
+        layers: usize,
+    },
+    /// (Bi)GRU.
+    Gru {
+        /// Hidden size per direction.
+        hidden: usize,
+        /// Concatenate a backward pass.
+        bidirectional: bool,
+    },
+    /// Transformer encoder (paper §3.3.5), trained from scratch.
+    Transformer {
+        /// Model width.
+        d_model: usize,
+        /// Attention heads.
+        heads: usize,
+        /// Number of blocks.
+        layers: usize,
+        /// Feed-forward hidden width.
+        d_ff: usize,
+    },
+}
+
+/// Tag decoder choice (paper §3.4, Fig. 12).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DecoderKind {
+    /// Independent per-token softmax (MLP + softmax, §3.4.1).
+    Softmax,
+    /// Linear-chain CRF (§3.4.2); decoding can be structurally constrained.
+    Crf,
+    /// Semi-Markov CRF over segments (§3.4.2; Table 3 rows \[141\]\[142\]).
+    SemiCrf {
+        /// Maximum entity-segment length.
+        max_len: usize,
+    },
+    /// Greedy LSTM tag decoder (§3.4.3, Fig. 12c).
+    Rnn {
+        /// Previous-tag embedding width.
+        tag_dim: usize,
+        /// Decoder LSTM hidden size.
+        hidden: usize,
+    },
+    /// Pointer network: chunk then label (§3.4.4, Fig. 12d).
+    Pointer {
+        /// Attention width.
+        att: usize,
+        /// Maximum segment length.
+        max_len: usize,
+    },
+}
+
+/// Word-level representation (paper §3.2.1).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WordRepr {
+    /// Randomly initialized, trained with the model.
+    Random {
+        /// Embedding dimensionality.
+        dim: usize,
+    },
+    /// Initialized from pretrained embeddings (skip-gram/CBOW/GloVe).
+    Pretrained {
+        /// Continue training the table (`false` freezes it).
+        fine_tune: bool,
+    },
+}
+
+/// Full model configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NerConfig {
+    /// Tag notation.
+    pub scheme: TagScheme,
+    /// Word channel.
+    pub word: WordRepr,
+    /// Character channel.
+    pub char_repr: CharRepr,
+    /// Combine char and word channels with Rei et al.'s attention gate
+    /// instead of concatenation (requires matching widths; falls back to
+    /// concatenation otherwise).
+    pub char_word_gate: bool,
+    /// Include the hand-crafted feature vector (casing, shape, POS; §3.2.3).
+    pub use_features: bool,
+    /// Include gazetteer-match features (requires a gazetteer at encode
+    /// time).
+    pub use_gazetteer: bool,
+    /// Width of frozen contextual-LM features appended to the input
+    /// (0 = none). The vectors themselves are provided per sentence by the
+    /// data encoder.
+    pub context_dim: usize,
+    /// Context encoder.
+    pub encoder: EncoderKind,
+    /// Tag decoder.
+    pub decoder: DecoderKind,
+    /// Dropout on the assembled input representation and encoder output.
+    pub dropout: f32,
+    /// Constrain CRF/softmax decoding to structurally valid tag sequences.
+    pub constrained_decoding: bool,
+}
+
+impl Default for NerConfig {
+    /// The survey's dominant architecture: char-CNN + word embeddings →
+    /// BiLSTM → CRF (Ma & Hovy 2016 / Lample et al. 2016 family).
+    fn default() -> Self {
+        NerConfig {
+            scheme: TagScheme::Bioes,
+            word: WordRepr::Random { dim: 32 },
+            char_repr: CharRepr::Cnn { dim: 16, filters: 16 },
+            char_word_gate: false,
+            use_features: false,
+            use_gazetteer: false,
+            context_dim: 0,
+            encoder: EncoderKind::Lstm { hidden: 48, bidirectional: true, layers: 1 },
+            decoder: DecoderKind::Crf,
+            dropout: 0.3,
+            constrained_decoding: true,
+        }
+    }
+}
+
+impl NerConfig {
+    /// A compact human-readable architecture signature, e.g.
+    /// `"charCNN+word(rand)+BiLSTM+CRF"`. Used by the Table 3 harness.
+    pub fn signature(&self) -> String {
+        let char_part = match &self.char_repr {
+            CharRepr::None => String::new(),
+            CharRepr::Cnn { .. } => "charCNN+".to_string(),
+            CharRepr::Lstm { .. } => "charLSTM+".to_string(),
+        };
+        let word_part = match &self.word {
+            WordRepr::Random { .. } => "word(rand)",
+            WordRepr::Pretrained { fine_tune: true } => "word(pre,ft)",
+            WordRepr::Pretrained { fine_tune: false } => "word(pre)",
+        };
+        let extras = format!(
+            "{}{}{}",
+            if self.use_features { "+feat" } else { "" },
+            if self.use_gazetteer { "+gaz" } else { "" },
+            if self.context_dim > 0 { "+LM" } else { "" },
+        );
+        let enc = match &self.encoder {
+            EncoderKind::Identity => "none",
+            EncoderKind::WindowMlp { .. } => "winMLP",
+            EncoderKind::Cnn { .. } => "CNN",
+            EncoderKind::IdCnn { .. } => "ID-CNN",
+            EncoderKind::Lstm { bidirectional: true, .. } => "BiLSTM",
+            EncoderKind::Lstm { bidirectional: false, .. } => "LSTM",
+            EncoderKind::Gru { bidirectional: true, .. } => "BiGRU",
+            EncoderKind::Gru { bidirectional: false, .. } => "GRU",
+            EncoderKind::Transformer { .. } => "Transformer",
+        };
+        let dec = match &self.decoder {
+            DecoderKind::Softmax => "Softmax",
+            DecoderKind::Crf => "CRF",
+            DecoderKind::SemiCrf { .. } => "SemiCRF",
+            DecoderKind::Rnn { .. } => "RNN",
+            DecoderKind::Pointer { .. } => "Pointer",
+        };
+        format!("{char_part}{word_part}{extras}+{enc}+{dec}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_bilstm_crf() {
+        let cfg = NerConfig::default();
+        assert!(matches!(cfg.encoder, EncoderKind::Lstm { bidirectional: true, .. }));
+        assert!(matches!(cfg.decoder, DecoderKind::Crf));
+        assert_eq!(cfg.signature(), "charCNN+word(rand)+BiLSTM+CRF");
+    }
+
+    #[test]
+    fn signatures_distinguish_architectures() {
+        let mut a = NerConfig::default();
+        a.char_repr = CharRepr::None;
+        a.word = WordRepr::Pretrained { fine_tune: false };
+        a.encoder = EncoderKind::IdCnn { filters: 8, width: 3, dilations: vec![1], iterations: 1 };
+        a.decoder = DecoderKind::Softmax;
+        a.context_dim = 64;
+        assert_eq!(a.signature(), "word(pre)+LM+ID-CNN+Softmax");
+    }
+
+    #[test]
+    fn config_round_trips_through_serde() {
+        let cfg = NerConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: NerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,13 @@
+//! Tag decoder architectures — the final axis of the survey's taxonomy
+//! (paper §3.4, Fig. 12): MLP+softmax, linear-chain CRF, semi-Markov CRF,
+//! greedy RNN decoder and pointer network.
+
+pub mod crf;
+pub mod pointer;
+pub mod rnn_decoder;
+pub mod semicrf;
+
+pub use crf::Crf;
+pub use pointer::PointerDecoder;
+pub use rnn_decoder::RnnDecoder;
+pub use semicrf::{Segment, SemiCrf};

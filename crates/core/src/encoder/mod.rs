@@ -1,0 +1,383 @@
+//! Context encoder architectures — the middle axis of the survey's taxonomy
+//! (paper §3.3): CNN (Fig. 5), Iterated Dilated CNN (Fig. 6), LSTM/BiLSTM
+//! (Fig. 7), GRU, Transformer, a windowed MLP (Collobert's window approach),
+//! and the identity (for decoder-only models over contextual embeddings).
+
+pub mod recursive;
+
+use crate::config::EncoderKind;
+use ner_tensor::nn::{GruCell, Linear, LstmCell, TransformerBlock};
+use ner_tensor::{init, nn, ParamId, ParamStore, Tape, Var};
+use rand::Rng;
+
+/// A built context encoder: maps `[n, in_dim] → [n, out_dim]`.
+pub struct Encoder {
+    imp: EncoderImpl,
+    out_dim: usize,
+}
+
+enum EncoderImpl {
+    Identity,
+    WindowMlp {
+        lin: Linear,
+        window: usize,
+    },
+    Cnn {
+        layers: Vec<(ParamId, ParamId)>,
+        width: usize,
+        global: bool,
+    },
+    IdCnn {
+        initial: (ParamId, ParamId),
+        block: Vec<(ParamId, ParamId, usize)>, // (w, b, dilation)
+        width: usize,
+        iterations: usize,
+    },
+    Lstm {
+        layers: Vec<(LstmCell, Option<LstmCell>)>,
+    },
+    Gru {
+        fw: GruCell,
+        bw: Option<GruCell>,
+    },
+    Transformer {
+        proj: Linear,
+        blocks: Vec<TransformerBlock>,
+        d_model: usize,
+    },
+}
+
+impl Encoder {
+    /// Builds an encoder of the given kind over `in_dim`-wide inputs.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        in_dim: usize,
+        kind: &EncoderKind,
+    ) -> Self {
+        match kind {
+            EncoderKind::Identity => Encoder { imp: EncoderImpl::Identity, out_dim: in_dim },
+            EncoderKind::WindowMlp { window, hidden } => {
+                let span = 2 * window + 1;
+                let lin = Linear::new(store, rng, &format!("{name}.mlp"), span * in_dim, *hidden);
+                Encoder {
+                    imp: EncoderImpl::WindowMlp { lin, window: *window },
+                    out_dim: *hidden,
+                }
+            }
+            EncoderKind::Cnn { filters, layers, width, global } => {
+                assert!(*layers >= 1 && width % 2 == 1);
+                let mut convs = Vec::with_capacity(*layers);
+                let mut d = in_dim;
+                for l in 0..*layers {
+                    let w = store.register(
+                        &format!("{name}.conv{l}.w"),
+                        init::he(rng, width * d, *filters),
+                    );
+                    let b = store.register(&format!("{name}.conv{l}.b"), init::zeros(1, *filters));
+                    convs.push((w, b));
+                    d = *filters;
+                }
+                Encoder {
+                    imp: EncoderImpl::Cnn { layers: convs, width: *width, global: *global },
+                    out_dim: if *global { 2 * filters } else { *filters },
+                }
+            }
+            EncoderKind::IdCnn { filters, width, dilations, iterations } => {
+                assert!(width % 2 == 1 && !dilations.is_empty() && *iterations >= 1);
+                let initial = (
+                    store.register(&format!("{name}.init.w"), init::he(rng, width * in_dim, *filters)),
+                    store.register(&format!("{name}.init.b"), init::zeros(1, *filters)),
+                );
+                // One weight set per dilation, SHARED across iterations —
+                // the parameter sharing that gives ID-CNNs their capacity
+                // at small parameter cost (Strubell et al. 2017).
+                let block = dilations
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &dil)| {
+                        (
+                            store.register(
+                                &format!("{name}.dil{i}.w"),
+                                init::he(rng, width * filters, *filters),
+                            ),
+                            store.register(&format!("{name}.dil{i}.b"), init::zeros(1, *filters)),
+                            dil,
+                        )
+                    })
+                    .collect();
+                Encoder {
+                    imp: EncoderImpl::IdCnn {
+                        initial,
+                        block,
+                        width: *width,
+                        iterations: *iterations,
+                    },
+                    out_dim: *filters,
+                }
+            }
+            EncoderKind::Lstm { hidden, bidirectional, layers } => {
+                assert!(*layers >= 1);
+                let mut cells = Vec::with_capacity(*layers);
+                let mut d = in_dim;
+                for l in 0..*layers {
+                    let fw = LstmCell::new(store, rng, &format!("{name}.l{l}.fw"), d, *hidden);
+                    let bw = bidirectional
+                        .then(|| LstmCell::new(store, rng, &format!("{name}.l{l}.bw"), d, *hidden));
+                    cells.push((fw, bw));
+                    d = if *bidirectional { 2 * hidden } else { *hidden };
+                }
+                Encoder { imp: EncoderImpl::Lstm { layers: cells }, out_dim: d }
+            }
+            EncoderKind::Gru { hidden, bidirectional } => {
+                let fw = GruCell::new(store, rng, &format!("{name}.fw"), in_dim, *hidden);
+                let bw = bidirectional
+                    .then(|| GruCell::new(store, rng, &format!("{name}.bw"), in_dim, *hidden));
+                let out_dim = if *bidirectional { 2 * hidden } else { *hidden };
+                Encoder { imp: EncoderImpl::Gru { fw, bw }, out_dim }
+            }
+            EncoderKind::Transformer { d_model, heads, layers, d_ff } => {
+                let proj = Linear::new(store, rng, &format!("{name}.proj"), in_dim, *d_model);
+                let blocks = (0..*layers)
+                    .map(|i| {
+                        TransformerBlock::new(store, rng, &format!("{name}.block{i}"), *d_model, *heads, *d_ff)
+                    })
+                    .collect();
+                Encoder {
+                    imp: EncoderImpl::Transformer { proj, blocks, d_model: *d_model },
+                    out_dim: *d_model,
+                }
+            }
+        }
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Encodes `x [n, in_dim] → [n, out_dim]`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        match &self.imp {
+            EncoderImpl::Identity => x,
+            EncoderImpl::WindowMlp { lin, window } => {
+                let windowed = window_concat(tape, x, *window);
+                let h = lin.forward(tape, store, windowed);
+                tape.tanh(h)
+            }
+            EncoderImpl::Cnn { layers, width, global } => {
+                let mut h = x;
+                for (w, b) in layers {
+                    let wv = tape.param(store, *w);
+                    let bv = tape.param(store, *b);
+                    let c = tape.conv1d(h, wv, bv, *width, 1);
+                    h = tape.relu(c);
+                }
+                if *global {
+                    // Fig. 5's sentence-level global feature: max over time,
+                    // broadcast back onto every position.
+                    let n = tape.value(h).rows();
+                    let g = tape.max_over_rows(h);
+                    let broadcast = tape.concat_rows(&vec![g; n]);
+                    tape.concat_cols(&[h, broadcast])
+                } else {
+                    h
+                }
+            }
+            EncoderImpl::IdCnn { initial, block, width, iterations } => {
+                let wv = tape.param(store, initial.0);
+                let bv = tape.param(store, initial.1);
+                let c = tape.conv1d(x, wv, bv, *width, 1);
+                let mut h = tape.relu(c);
+                for _ in 0..*iterations {
+                    for (w, b, dil) in block {
+                        let wv = tape.param(store, *w);
+                        let bv = tape.param(store, *b);
+                        let c = tape.conv1d(h, wv, bv, *width, *dil);
+                        h = tape.relu(c);
+                    }
+                }
+                h
+            }
+            EncoderImpl::Lstm { layers } => {
+                let mut h = x;
+                for (fw, bw) in layers {
+                    h = match bw {
+                        Some(bw) => nn::bidirectional(tape, store, fw, bw, h),
+                        None => fw.sequence(tape, store, h),
+                    };
+                }
+                h
+            }
+            EncoderImpl::Gru { fw, bw } => match bw {
+                Some(bw) => {
+                    let f = fw.sequence(tape, store, x);
+                    let b = bw.sequence_rev(tape, store, x);
+                    tape.concat_cols(&[f, b])
+                }
+                None => fw.sequence(tape, store, x),
+            },
+            EncoderImpl::Transformer { proj, blocks, d_model } => {
+                let p = proj.forward(tape, store, x);
+                let n = tape.value(p).rows();
+                let pe = tape.constant(nn::positional_encoding(n, *d_model));
+                let mut h = tape.add(p, pe);
+                for block in blocks {
+                    h = block.forward(tape, store, h, false);
+                }
+                h
+            }
+        }
+    }
+}
+
+/// Concatenates each row with its ±`window` neighbors (zero-padded at the
+/// edges): `[n, d] → [n, (2·window+1)·d]`. Collobert's window approach.
+pub fn window_concat(tape: &mut Tape, x: Var, window: usize) -> Var {
+    let (n, d) = tape.value(x).shape();
+    let mut parts = Vec::with_capacity(2 * window + 1);
+    for offset in -(window as isize)..=(window as isize) {
+        let shifted = if offset == 0 {
+            x
+        } else if offset < 0 {
+            // Row t sees row t+offset (earlier): pad |offset| zero rows on top.
+            let k = (-offset) as usize;
+            if k >= n {
+                tape.constant(ner_tensor::Tensor::zeros(n, d))
+            } else {
+                let zeros = tape.constant(ner_tensor::Tensor::zeros(k, d));
+                let body = tape.slice_rows(x, 0, n - k);
+                tape.concat_rows(&[zeros, body])
+            }
+        } else {
+            let k = offset as usize;
+            if k >= n {
+                tape.constant(ner_tensor::Tensor::zeros(n, d))
+            } else {
+                let body = tape.slice_rows(x, k, n - k);
+                let zeros = tape.constant(ner_tensor::Tensor::zeros(k, d));
+                tape.concat_rows(&[body, zeros])
+            }
+        };
+        parts.push(shifted);
+    }
+    tape.concat_cols(&parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EncoderKind;
+    use ner_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_shape(kind: EncoderKind, in_dim: usize, n: usize) -> usize {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let enc = Encoder::new(&mut store, &mut rng, "enc", in_dim, &kind);
+        let mut tape = Tape::new();
+        let x = tape.constant(init::uniform(&mut rng, n, in_dim, 1.0));
+        let y = enc.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), (n, enc.out_dim()));
+        assert!(tape.value(y).all_finite());
+        enc.out_dim()
+    }
+
+    #[test]
+    fn all_encoders_produce_declared_shapes() {
+        assert_eq!(check_shape(EncoderKind::Identity, 10, 5), 10);
+        assert_eq!(check_shape(EncoderKind::WindowMlp { window: 2, hidden: 16 }, 6, 5), 16);
+        assert_eq!(
+            check_shape(EncoderKind::Cnn { filters: 12, layers: 2, width: 3, global: false }, 8, 6),
+            12
+        );
+        assert_eq!(
+            check_shape(EncoderKind::Cnn { filters: 12, layers: 1, width: 3, global: true }, 8, 6),
+            24
+        );
+        assert_eq!(
+            check_shape(
+                EncoderKind::IdCnn { filters: 10, width: 3, dilations: vec![1, 2, 4], iterations: 2 },
+                8,
+                9
+            ),
+            10
+        );
+        assert_eq!(
+            check_shape(EncoderKind::Lstm { hidden: 7, bidirectional: true, layers: 2 }, 5, 4),
+            14
+        );
+        assert_eq!(
+            check_shape(EncoderKind::Lstm { hidden: 7, bidirectional: false, layers: 1 }, 5, 4),
+            7
+        );
+        assert_eq!(check_shape(EncoderKind::Gru { hidden: 6, bidirectional: true }, 5, 4), 12);
+        assert_eq!(
+            check_shape(
+                EncoderKind::Transformer { d_model: 16, heads: 2, layers: 2, d_ff: 32 },
+                5,
+                4
+            ),
+            16
+        );
+    }
+
+    #[test]
+    fn window_concat_places_neighbors() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::from_rows(&[&[1.0], &[2.0], &[3.0]]));
+        let w = window_concat(&mut tape, x, 1);
+        let v = tape.value(w);
+        assert_eq!(v.shape(), (3, 3));
+        assert_eq!(v.row(0), &[0.0, 1.0, 2.0]); // left edge zero-padded
+        assert_eq!(v.row(1), &[1.0, 2.0, 3.0]);
+        assert_eq!(v.row(2), &[2.0, 3.0, 0.0]); // right edge zero-padded
+    }
+
+    #[test]
+    fn single_token_sentences_are_handled() {
+        for kind in [
+            EncoderKind::Lstm { hidden: 5, bidirectional: true, layers: 1 },
+            EncoderKind::Cnn { filters: 5, layers: 1, width: 3, global: true },
+            EncoderKind::IdCnn { filters: 5, width: 3, dilations: vec![1, 2], iterations: 1 },
+            EncoderKind::WindowMlp { window: 2, hidden: 5 },
+            EncoderKind::Transformer { d_model: 8, heads: 2, layers: 1, d_ff: 16 },
+        ] {
+            check_shape(kind, 4, 1);
+        }
+    }
+
+    #[test]
+    fn idcnn_receptive_field_grows_with_dilation() {
+        // With dilations [1,2,4] and width 3, a change at position 0 must
+        // influence position 7 (receptive field 1+2(1+2+4)=15).
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let enc = Encoder::new(
+            &mut store,
+            &mut rng,
+            "enc",
+            3,
+            &EncoderKind::IdCnn { filters: 6, width: 3, dilations: vec![1, 2, 4], iterations: 1 },
+        );
+        let base = init::uniform(&mut rng, 10, 3, 1.0);
+        let mut tweaked = base.clone();
+        tweaked.set2(0, 0, tweaked.at2(0, 0) + 1.0);
+        let mut t1 = Tape::new();
+        let x1 = t1.constant(base);
+        let y1 = enc.forward(&mut t1, &store, x1);
+        let mut t2 = Tape::new();
+        let x2 = t2.constant(tweaked);
+        let y2 = enc.forward(&mut t2, &store, x2);
+        let diff: f32 = t1
+            .value(y1)
+            .row(7)
+            .iter()
+            .zip(t2.value(y2).row(7))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-7, "dilated stack should reach position 7 from position 0");
+    }
+}

@@ -1,0 +1,328 @@
+//! Bidirectional recursive network over phrase structure (paper §3.3.3,
+//! Fig. 8; Li et al. 2017).
+//!
+//! The survey's point is that entities align with linguistic constituents,
+//! so composing representations along a *tree* rather than the token
+//! sequence is a viable context encoder. Lacking a constituency parser, we
+//! build the tree with a deterministic rule chunker over the POS-lite tags
+//! (DESIGN.md substitution: the encoder only needs a topology correlated
+//! with phrase structure). The bottom-up pass composes each subtree's
+//! semantics; the top-down pass propagates the enclosing structure back to
+//! the leaves; a token is classified from both (Fig. 8's two directions).
+
+use ner_tensor::nn::{Embedding, Linear};
+use ner_tensor::optim::{Adam, Optimizer};
+use ner_tensor::{ParamStore, Tape, Var};
+use ner_text::pos::{tag_sentence, PosTag};
+use ner_text::{EntitySpan, Sentence, TagScheme, TagSet, Vocab};
+use rand::Rng;
+
+/// A binary tree over token indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tree {
+    /// A single token.
+    Leaf(usize),
+    /// An internal node with two children.
+    Node(Box<Tree>, Box<Tree>),
+}
+
+impl Tree {
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        match self {
+            Tree::Leaf(_) => 1,
+            Tree::Node(l, r) => l.len() + r.len(),
+        }
+    }
+
+    /// Trees are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Depth of the tree (leaf = 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Tree::Leaf(_) => 1,
+            Tree::Node(l, r) => 1 + l.depth().max(r.depth()),
+        }
+    }
+}
+
+fn right_branching(indices: &[usize]) -> Tree {
+    match indices {
+        [] => unreachable!("chunks are non-empty"),
+        [i] => Tree::Leaf(*i),
+        [i, rest @ ..] => Tree::Node(Box::new(Tree::Leaf(*i)), Box::new(right_branching(rest))),
+    }
+}
+
+fn chunk_class(tag: PosTag) -> u8 {
+    match tag {
+        PosTag::Det | PosTag::Adj | PosTag::Noun | PosTag::PropN | PosTag::Num => 0, // noun group
+        PosTag::Verb | PosTag::Adv => 1,                                             // verb group
+        PosTag::Adp | PosTag::Conj | PosTag::Pron => 2,                              // function
+        PosTag::Punct | PosTag::Other => 3,
+    }
+}
+
+/// Builds a binarized phrase tree: tokens are grouped into contiguous
+/// POS-class chunks (noun groups, verb groups, …), each chunk becomes a
+/// right-branching subtree, and chunks combine right-branching at the top.
+pub fn chunk_tree(tokens: &[&str]) -> Tree {
+    assert!(!tokens.is_empty(), "cannot build a tree over no tokens");
+    let tags = tag_sentence(tokens);
+    let mut chunks: Vec<Vec<usize>> = Vec::new();
+    for (i, tag) in tags.iter().enumerate() {
+        let class = chunk_class(*tag);
+        match chunks.last_mut() {
+            Some(chunk) if chunk_class(tags[*chunk.last().expect("non-empty")]) == class => {
+                chunk.push(i)
+            }
+            _ => chunks.push(vec![i]),
+        }
+    }
+    let subtrees: Vec<Tree> = chunks.iter().map(|c| right_branching(c)).collect();
+    subtrees
+        .into_iter()
+        .rev()
+        .reduce(|right, left| Tree::Node(Box::new(left), Box::new(right)))
+        .expect("at least one chunk")
+}
+
+/// A recursive-network NER model (softmax decoded, as in Table 3 row \[97\]).
+pub struct RecursiveNer {
+    /// Trainable parameters.
+    pub store: ParamStore,
+    /// Tag inventory (IO scheme keeps per-token classification simple).
+    pub tag_set: TagSet,
+    vocab: Vocab,
+    emb: Embedding,
+    compose_up: Linear,
+    compose_down: Linear,
+    out: Linear,
+    dim: usize,
+}
+
+impl RecursiveNer {
+    /// Builds the model over the given training vocabulary and entity types.
+    pub fn new(
+        vocab: Vocab,
+        entity_types: &[String],
+        dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, rng, "rec.emb", vocab.len(), dim);
+        let compose_up = Linear::new(&mut store, rng, "rec.up", 2 * dim, dim);
+        let compose_down = Linear::new(&mut store, rng, "rec.down", 2 * dim, dim);
+        let tag_set = TagSet::new(TagScheme::Io, entity_types);
+        let out = Linear::new(&mut store, rng, "rec.out", 2 * dim, tag_set.len());
+        RecursiveNer { store, tag_set, vocab, emb, compose_up, compose_down, out, dim }
+    }
+
+    /// Top-down pass: distributes the enclosing-structure state to leaves.
+    fn down(
+        &self,
+        tape: &mut Tape,
+        tree: &Tree,
+        parent_down: Var,
+        up_states: &UpStates,
+        acc: &mut Vec<(usize, Var)>,
+    ) {
+        match tree {
+            Tree::Leaf(i) => acc.push((*i, parent_down)),
+            Tree::Node(l, r) => {
+                // Each child's down state combines the parent's down state
+                // with the *sibling's* bottom-up state (the structure that
+                // contains the child but not the child itself).
+                let ul = up_states.of(l);
+                let ur = up_states.of(r);
+                let cat_l = tape.concat_cols(&[parent_down, ur]);
+                let lin_l = self.compose_down.forward(tape, &self.store, cat_l);
+                let down_l = tape.tanh(lin_l);
+                let cat_r = tape.concat_cols(&[parent_down, ul]);
+                let lin_r = self.compose_down.forward(tape, &self.store, cat_r);
+                let down_r = tape.tanh(lin_r);
+                self.down(tape, l, down_l, up_states, acc);
+                self.down(tape, r, down_r, up_states, acc);
+            }
+        }
+    }
+
+    fn logits(&self, tape: &mut Tape, tokens: &[String]) -> Var {
+        let ids: Vec<usize> =
+            tokens.iter().map(|t| self.vocab.get_or_unk(&t.to_lowercase())).collect();
+        let leaves = self.emb.lookup(tape, &self.store, &ids);
+        let tree = chunk_tree(&tokens.iter().map(String::as_str).collect::<Vec<_>>());
+
+        let mut up_acc = Vec::new();
+        let mut ups = UpStates::default();
+        let root_up = self.up_memo(tape, &tree, leaves, &mut up_acc, &mut ups);
+        let _ = root_up;
+        let root_down = tape.constant(ner_tensor::Tensor::zeros(1, self.dim));
+        let mut down_acc = Vec::new();
+        self.down(tape, &tree, root_down, &ups, &mut down_acc);
+
+        up_acc.sort_by_key(|(i, _)| *i);
+        down_acc.sort_by_key(|(i, _)| *i);
+        let rows: Vec<Var> = up_acc
+            .iter()
+            .zip(&down_acc)
+            .map(|((_, u), (_, d))| tape.concat_cols(&[*u, *d]))
+            .collect();
+        let reps = tape.concat_rows(&rows);
+        self.out.forward(tape, &self.store, reps)
+    }
+
+    /// Bottom-up with memoized subtree states (needed by the top-down pass).
+    fn up_memo(
+        &self,
+        tape: &mut Tape,
+        tree: &Tree,
+        leaves: Var,
+        acc: &mut Vec<(usize, Var)>,
+        memo: &mut UpStates,
+    ) -> Var {
+        let state = match tree {
+            Tree::Leaf(i) => {
+                let h = tape.row(leaves, *i);
+                acc.push((*i, h));
+                h
+            }
+            Tree::Node(l, r) => {
+                let hl = self.up_memo(tape, l, leaves, acc, memo);
+                let hr = self.up_memo(tape, r, leaves, acc, memo);
+                let cat = tape.concat_cols(&[hl, hr]);
+                let lin = self.compose_up.forward(tape, &self.store, cat);
+                tape.tanh(lin)
+            }
+        };
+        memo.insert(tree, state);
+        state
+    }
+
+    /// Summed cross-entropy against IO tags.
+    pub fn loss(&self, tape: &mut Tape, tokens: &[String], tag_ids: &[usize]) -> Var {
+        let logits = self.logits(tape, tokens);
+        tape.cross_entropy_sum(logits, tag_ids)
+    }
+
+    /// Predicts entity spans for a sentence.
+    pub fn predict(&self, tokens: &[String]) -> Vec<EntitySpan> {
+        let mut tape = Tape::new();
+        let logits = self.logits(&mut tape, tokens);
+        let v = tape.value(logits);
+        let ids: Vec<usize> = (0..v.rows()).map(|r| v.argmax_row(r)).collect();
+        let tags = self.tag_set.decode(&ids);
+        TagScheme::Io.tags_to_spans(&tags)
+    }
+
+    /// Trains on (sentence, IO-tag) pairs for `epochs`; returns mean losses.
+    pub fn fit(&mut self, data: &[Sentence], epochs: usize, lr: f32, rng: &mut impl Rng) -> Vec<f64> {
+        let _ = rng;
+        let mut opt = Adam::new(lr);
+        let mut losses = Vec::with_capacity(epochs);
+        let prepared: Vec<(Vec<String>, Vec<usize>)> = data
+            .iter()
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                let tokens: Vec<String> = s.tokens.iter().map(|t| t.text.clone()).collect();
+                let tags = self.tag_set.encode(&s.tags(TagScheme::Io));
+                (tokens, tags)
+            })
+            .collect();
+        for _ in 0..epochs {
+            let mut total = 0.0;
+            for (tokens, tags) in &prepared {
+                let mut tape = Tape::new();
+                let loss = self.loss(&mut tape, tokens, tags);
+                total += tape.value(loss).item() as f64;
+                tape.backward(loss, &mut self.store);
+                self.store.clip_grad_norm(5.0);
+                opt.step(&mut self.store);
+            }
+            losses.push(total / prepared.len().max(1) as f64);
+        }
+        losses
+    }
+}
+
+/// Memo of bottom-up states keyed by subtree identity (pointer address is
+/// unstable across recursion, so key on the leaf range instead — unique in
+/// any tree over distinct indices).
+#[derive(Default)]
+struct UpStates {
+    map: std::collections::HashMap<(usize, usize), Var>,
+}
+
+impl UpStates {
+    fn span(tree: &Tree) -> (usize, usize) {
+        match tree {
+            Tree::Leaf(i) => (*i, *i + 1),
+            Tree::Node(l, r) => (Self::span(l).0, Self::span(r).1),
+        }
+    }
+
+    fn insert(&mut self, tree: &Tree, v: Var) {
+        self.map.insert(Self::span(tree), v);
+    }
+
+    fn of(&self, tree: &Tree) -> Var {
+        self.map[&Self::span(tree)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ner_corpus::{GeneratorConfig, NewsGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chunk_tree_covers_all_tokens_in_order() {
+        let toks = ["the", "old", "man", "quickly", "visited", "Brooklyn", "."];
+        let tree = chunk_tree(&toks);
+        assert_eq!(tree.len(), toks.len());
+        // In-order traversal yields 0..n.
+        fn leaves(t: &Tree, out: &mut Vec<usize>) {
+            match t {
+                Tree::Leaf(i) => out.push(*i),
+                Tree::Node(l, r) => {
+                    leaves(l, out);
+                    leaves(r, out);
+                }
+            }
+        }
+        let mut order = Vec::new();
+        leaves(&tree, &mut order);
+        assert_eq!(order, (0..toks.len()).collect::<Vec<_>>());
+        assert!(tree.depth() >= 3, "chunking should give non-trivial structure");
+    }
+
+    #[test]
+    fn single_token_tree() {
+        assert_eq!(chunk_tree(&["Hello"]), Tree::Leaf(0));
+    }
+
+    #[test]
+    fn recursive_model_learns_synthetic_ner() {
+        let gen = NewsGenerator::new(GeneratorConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let train = gen.dataset(&mut rng, 80);
+        let types = train.entity_types();
+        let mut model = RecursiveNer::new(train.word_vocab(1), &types, 24, &mut rng);
+        let losses = model.fit(&train.sentences, 5, 0.01, &mut rng);
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "recursive training should reduce loss: {losses:?}"
+        );
+        // Prediction produces in-bounds spans.
+        let tokens: Vec<String> =
+            train.sentences[0].tokens.iter().map(|t| t.text.clone()).collect();
+        for s in model.predict(&tokens) {
+            assert!(s.end <= tokens.len());
+        }
+    }
+}

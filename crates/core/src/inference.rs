@@ -1,0 +1,106 @@
+//! End-user inference pipeline: raw string in, annotated sentence out
+//! (the paper's Fig. 1 task illustration).
+
+use crate::model::NerModel;
+use crate::repr::SentenceEncoder;
+use ner_text::{tokenize, Sentence};
+
+/// A trained model bundled with its data encoder — the deployable artifact.
+pub struct NerPipeline {
+    /// The data encoder (vocabularies, tag set, feature switches).
+    pub encoder: SentenceEncoder,
+    /// The trained model.
+    pub model: NerModel,
+}
+
+impl NerPipeline {
+    /// Bundles an encoder and a model.
+    pub fn new(encoder: SentenceEncoder, model: NerModel) -> Self {
+        NerPipeline { encoder, model }
+    }
+
+    /// Tokenizes raw text and annotates it with predicted entities.
+    pub fn extract(&self, text: &str) -> Sentence {
+        let tokens = tokenize::tokenize(text);
+        if tokens.is_empty() {
+            return Sentence::default();
+        }
+        let sentence = Sentence::unlabeled(&tokens);
+        self.annotate(&sentence)
+    }
+
+    /// Annotates a pre-tokenized sentence (existing entities are ignored).
+    pub fn annotate(&self, sentence: &Sentence) -> Sentence {
+        let enc = self.encoder.encode(sentence);
+        let spans = self.model.predict_spans(&enc);
+        Sentence { tokens: sentence.tokens.clone(), entities: spans }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CharRepr, DecoderKind, EncoderKind, NerConfig, WordRepr};
+    use crate::trainer::{self, TrainConfig};
+    use ner_corpus::{GeneratorConfig, NewsGenerator};
+    use ner_text::TagScheme;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pipeline_round_trip_on_raw_text() {
+        let gen = NewsGenerator::new(GeneratorConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let train_ds = gen.dataset(&mut rng, 120);
+        let encoder = SentenceEncoder::from_dataset(&train_ds, TagScheme::Bio, 1);
+        let cfg = NerConfig {
+            scheme: TagScheme::Bio,
+            word: WordRepr::Random { dim: 16 },
+            char_repr: CharRepr::None,
+            encoder: EncoderKind::Lstm { hidden: 16, bidirectional: true, layers: 1 },
+            decoder: DecoderKind::Crf,
+            dropout: 0.1,
+            ..NerConfig::default()
+        };
+        let mut model = NerModel::new(cfg, &encoder, None, &mut rng);
+        let train_enc = encoder.encode_dataset(&train_ds, None);
+        trainer::train(
+            &mut model,
+            &train_enc,
+            None,
+            &TrainConfig { epochs: 5, ..Default::default() },
+            &mut rng,
+        );
+        let pipeline = NerPipeline::new(encoder, model);
+        let out = pipeline.extract("Michael Jordan was born in Brooklyn.");
+        assert_eq!(out.len(), 7, "tokenization: Michael Jordan was born in Brooklyn .");
+        // A trained model should find at least one entity in this sentence.
+        assert!(!out.entities.is_empty(), "expected entities in: {}", out.render_brackets());
+        assert!(out.entities.iter().all(|e| e.end <= out.len()));
+    }
+
+    #[test]
+    fn empty_text_is_handled() {
+        let gen = NewsGenerator::new(GeneratorConfig::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = gen.dataset(&mut rng, 20);
+        let encoder = SentenceEncoder::from_dataset(&ds, TagScheme::Bio, 1);
+        let model = NerModel::new(
+            NerConfig {
+                word: WordRepr::Random { dim: 8 },
+                char_repr: CharRepr::None,
+                encoder: EncoderKind::Identity,
+                decoder: DecoderKind::Softmax,
+                dropout: 0.0,
+                scheme: TagScheme::Bio,
+                ..NerConfig::default()
+            },
+            &encoder,
+            None,
+            &mut rng,
+        );
+        let pipeline = NerPipeline::new(encoder, model);
+        let out = pipeline.extract("   ");
+        assert!(out.is_empty());
+    }
+}

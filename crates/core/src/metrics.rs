@@ -1,0 +1,302 @@
+//! NER evaluation (paper §2.3): exact-match precision/recall/F1 with micro
+//! and macro averaging, the MUC-style relaxed match, token accuracy and the
+//! seen/unseen entity recall split used by the §5.1 experiments.
+
+use ner_text::EntitySpan;
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Precision / recall / F1 triple.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct Prf {
+    /// Precision = TP / (TP + FP).
+    pub precision: f64,
+    /// Recall = TP / (TP + FN).
+    pub recall: f64,
+    /// Balanced F-score.
+    pub f1: f64,
+}
+
+impl Prf {
+    fn from_counts(tp: usize, fp: usize, fn_: usize) -> Prf {
+        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+        let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Prf { precision, recall, f1 }
+    }
+}
+
+/// Full evaluation result over a test set.
+#[derive(Clone, Debug, Serialize)]
+pub struct EvalResult {
+    /// Micro-averaged exact-match scores (every entity counts equally).
+    pub micro: Prf,
+    /// Macro-averaged F1 (every entity *type* counts equally).
+    pub macro_f1: f64,
+    /// Per-type exact-match scores.
+    pub per_type: BTreeMap<String, Prf>,
+    /// MUC-style relaxed *type* match: credit when the type is right and the
+    /// spans overlap (§2.3.2).
+    pub relaxed_type: Prf,
+    /// MUC-style relaxed *boundary* match: credit when boundaries are exact,
+    /// regardless of type.
+    pub boundary: Prf,
+    /// Numbers of gold and predicted entities.
+    pub gold_entities: usize,
+    /// Number of predicted entities.
+    pub pred_entities: usize,
+}
+
+/// Evaluates predicted spans against gold spans, sentence-aligned.
+///
+/// # Panics
+/// Panics if the two slices have different lengths.
+pub fn evaluate(golds: &[Vec<EntitySpan>], preds: &[Vec<EntitySpan>]) -> EvalResult {
+    assert_eq!(golds.len(), preds.len(), "one prediction list per gold sentence");
+
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    let mut by_type: BTreeMap<String, (usize, usize, usize)> = BTreeMap::new();
+    let mut relaxed_tp = 0usize;
+    let mut relaxed_fp = 0usize;
+    let mut relaxed_fn = 0usize;
+    let mut bound_tp = 0usize;
+    let mut bound_fp = 0usize;
+    let mut bound_fn = 0usize;
+    let mut gold_total = 0usize;
+    let mut pred_total = 0usize;
+
+    for (gold, pred) in golds.iter().zip(preds) {
+        gold_total += gold.len();
+        pred_total += pred.len();
+
+        // Exact match (boundaries + type), set semantics.
+        let gold_set: BTreeSet<&EntitySpan> = gold.iter().collect();
+        let pred_set: BTreeSet<&EntitySpan> = pred.iter().collect();
+        for p in &pred_set {
+            let e = by_type.entry(p.label.clone()).or_default();
+            if gold_set.contains(p) {
+                tp += 1;
+                e.0 += 1;
+            } else {
+                fp += 1;
+                e.1 += 1;
+            }
+        }
+        for g in &gold_set {
+            if !pred_set.contains(g) {
+                fn_ += 1;
+                by_type.entry(g.label.clone()).or_default().2 += 1;
+            }
+        }
+
+        // Relaxed type: a prediction is credited if some gold of the same
+        // type overlaps it; a gold is missed if no same-type prediction
+        // overlaps it.
+        for p in pred {
+            if gold.iter().any(|g| g.label == p.label && g.overlaps(p)) {
+                relaxed_tp += 1;
+            } else {
+                relaxed_fp += 1;
+            }
+        }
+        for g in gold {
+            if !pred.iter().any(|p| p.label == g.label && p.overlaps(g)) {
+                relaxed_fn += 1;
+            }
+        }
+
+        // Boundary-only: exact boundaries, type ignored.
+        for p in pred {
+            if gold.iter().any(|g| g.same_boundaries(p)) {
+                bound_tp += 1;
+            } else {
+                bound_fp += 1;
+            }
+        }
+        for g in gold {
+            if !pred.iter().any(|p| p.same_boundaries(g)) {
+                bound_fn += 1;
+            }
+        }
+    }
+
+    let per_type: BTreeMap<String, Prf> = by_type
+        .into_iter()
+        .map(|(ty, (tp, fp, fn_))| (ty, Prf::from_counts(tp, fp, fn_)))
+        .collect();
+    let macro_f1 = if per_type.is_empty() {
+        0.0
+    } else {
+        per_type.values().map(|p| p.f1).sum::<f64>() / per_type.len() as f64
+    };
+
+    EvalResult {
+        micro: Prf::from_counts(tp, fp, fn_),
+        macro_f1,
+        per_type,
+        relaxed_type: Prf::from_counts(relaxed_tp, relaxed_fp, relaxed_fn),
+        boundary: Prf::from_counts(bound_tp, bound_fp, bound_fn),
+        gold_entities: gold_total,
+        pred_entities: pred_total,
+    }
+}
+
+/// Recall split by whether a gold entity's surface was seen as a training
+/// entity (paper §5.1's "previously-unseen entities" axis).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct SeenUnseenRecall {
+    /// Recall over test entities whose lowercased surface occurs among
+    /// training entity surfaces.
+    pub seen_recall: f64,
+    /// Recall over test entities with novel surfaces.
+    pub unseen_recall: f64,
+    /// Number of seen gold entities.
+    pub seen_count: usize,
+    /// Number of unseen gold entities.
+    pub unseen_count: usize,
+}
+
+/// Computes the seen/unseen recall split. `surfaces[i]` must hold the
+/// lowercased surface string of `golds[i]`'s entities, aligned 1:1.
+pub fn seen_unseen_recall(
+    golds: &[Vec<EntitySpan>],
+    preds: &[Vec<EntitySpan>],
+    surfaces: &[Vec<String>],
+    train_surfaces: &BTreeSet<String>,
+) -> SeenUnseenRecall {
+    let mut seen_tp = 0usize;
+    let mut seen_total = 0usize;
+    let mut unseen_tp = 0usize;
+    let mut unseen_total = 0usize;
+    for ((gold, pred), surf) in golds.iter().zip(preds).zip(surfaces) {
+        assert_eq!(gold.len(), surf.len(), "one surface per gold entity");
+        for (g, s) in gold.iter().zip(surf) {
+            let hit = pred.contains(g);
+            if train_surfaces.contains(s) {
+                seen_total += 1;
+                seen_tp += hit as usize;
+            } else {
+                unseen_total += 1;
+                unseen_tp += hit as usize;
+            }
+        }
+    }
+    SeenUnseenRecall {
+        seen_recall: if seen_total == 0 { 0.0 } else { seen_tp as f64 / seen_total as f64 },
+        unseen_recall: if unseen_total == 0 { 0.0 } else { unseen_tp as f64 / unseen_total as f64 },
+        seen_count: seen_total,
+        unseen_count: unseen_total,
+    }
+}
+
+/// Fraction of identical positions between two tag sequences, micro-averaged
+/// over the dataset.
+pub fn token_accuracy<S: AsRef<str>>(golds: &[Vec<S>], preds: &[Vec<S>]) -> f64 {
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (g, p) in golds.iter().zip(preds) {
+        assert_eq!(g.len(), p.len(), "tag sequences must align");
+        total += g.len();
+        hits += g.iter().zip(p).filter(|(a, b)| a.as_ref() == b.as_ref()).count();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(s: usize, e: usize, l: &str) -> EntitySpan {
+        EntitySpan::new(s, e, l)
+    }
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let gold = vec![vec![span(0, 2, "PER"), span(4, 5, "LOC")]];
+        let r = evaluate(&gold, &gold);
+        assert_eq!(r.micro.f1, 1.0);
+        assert_eq!(r.macro_f1, 1.0);
+        assert_eq!(r.relaxed_type.f1, 1.0);
+        assert_eq!(r.boundary.f1, 1.0);
+    }
+
+    #[test]
+    fn empty_predictions_have_zero_recall() {
+        let gold = vec![vec![span(0, 2, "PER")]];
+        let pred = vec![vec![]];
+        let r = evaluate(&gold, &pred);
+        assert_eq!(r.micro.recall, 0.0);
+        assert_eq!(r.micro.f1, 0.0);
+        assert_eq!(r.gold_entities, 1);
+        assert_eq!(r.pred_entities, 0);
+    }
+
+    #[test]
+    fn exact_vs_relaxed_distinction() {
+        // Prediction overlaps gold with the right type but wrong boundary:
+        // exact-match says wrong, relaxed-type says right.
+        let gold = vec![vec![span(0, 3, "PER")]];
+        let pred = vec![vec![span(1, 3, "PER")]];
+        let r = evaluate(&gold, &pred);
+        assert_eq!(r.micro.f1, 0.0);
+        assert_eq!(r.relaxed_type.f1, 1.0);
+        assert_eq!(r.boundary.f1, 0.0);
+
+        // Right boundary, wrong type: boundary credit only.
+        let pred = vec![vec![span(0, 3, "LOC")]];
+        let r = evaluate(&gold, &pred);
+        assert_eq!(r.micro.f1, 0.0);
+        assert_eq!(r.relaxed_type.f1, 0.0);
+        assert_eq!(r.boundary.f1, 1.0);
+    }
+
+    #[test]
+    fn micro_vs_macro_weighting() {
+        // PER: 9 correct + 1 missed (f1 high); LOC: 0/1 (f1 zero).
+        let mut golds = Vec::new();
+        let mut preds = Vec::new();
+        for _ in 0..9 {
+            golds.push(vec![span(0, 1, "PER")]);
+            preds.push(vec![span(0, 1, "PER")]);
+        }
+        golds.push(vec![span(0, 1, "PER"), span(2, 3, "LOC")]);
+        preds.push(vec![]);
+        let r = evaluate(&golds, &preds);
+        // micro over 11 golds: tp=9, fn=2, fp=0 → R=9/11
+        assert!((r.micro.recall - 9.0 / 11.0).abs() < 1e-9);
+        // macro: mean of PER f1 (9/9 prec, 9/10 rec) and LOC f1 (0)
+        let per_f1 = r.per_type["PER"].f1;
+        assert!((r.macro_f1 - per_f1 / 2.0).abs() < 1e-9);
+        assert!(r.macro_f1 < r.micro.f1, "macro punishes the small failed class");
+    }
+
+    #[test]
+    fn seen_unseen_split() {
+        let golds = vec![vec![span(0, 1, "PER"), span(2, 3, "LOC")]];
+        let preds = vec![vec![span(0, 1, "PER")]];
+        let surfaces = vec![vec!["jordan".to_string(), "atlantis".to_string()]];
+        let train: BTreeSet<String> = ["jordan".to_string()].into_iter().collect();
+        let r = seen_unseen_recall(&golds, &preds, &surfaces, &train);
+        assert_eq!(r.seen_recall, 1.0);
+        assert_eq!(r.unseen_recall, 0.0);
+        assert_eq!(r.seen_count, 1);
+        assert_eq!(r.unseen_count, 1);
+    }
+
+    #[test]
+    fn token_accuracy_counts_positions() {
+        let gold = vec![vec!["O", "B-PER", "O"]];
+        let pred = vec![vec!["O", "O", "O"]];
+        assert!((token_accuracy(&gold, &pred) - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,496 @@
+//! The assembled NER model: input representation → context encoder → tag
+//! decoder, exactly the pipeline of the survey's Fig. 2 taxonomy.
+
+use crate::config::{DecoderKind, NerConfig};
+use crate::decoder::{Crf, PointerDecoder, RnnDecoder, Segment, SemiCrf};
+use crate::encoder::Encoder;
+use crate::repr::{EncodedSentence, InputLayer, SentenceEncoder};
+use ner_embed::WordEmbeddings;
+use ner_tensor::nn::Linear;
+use ner_tensor::{ParamStore, Tape, Tensor, Var};
+use ner_text::{EntitySpan, TagSet};
+use rand::Rng;
+
+enum Head {
+    Softmax { proj: Linear },
+    Crf { proj: Linear, crf: Crf },
+    SemiCrf { proj: Linear, crf: SemiCrf },
+    Rnn { dec: RnnDecoder },
+    Pointer { dec: PointerDecoder },
+}
+
+/// A complete neural NER model.
+pub struct NerModel {
+    /// The architecture this model was built from.
+    pub cfg: NerConfig,
+    /// All trainable parameters.
+    pub store: ParamStore,
+    /// Tag inventory.
+    pub tag_set: TagSet,
+    /// Entity-type names (sorted) for segment-level decoders.
+    pub entity_types: Vec<String>,
+    input: InputLayer,
+    encoder: Encoder,
+    head: Head,
+}
+
+impl NerModel {
+    /// Builds a model for the vocabularies of `encoder`; `pretrained` is
+    /// required iff the config selects pretrained word embeddings.
+    pub fn new(
+        cfg: NerConfig,
+        encoder: &SentenceEncoder,
+        pretrained: Option<&WordEmbeddings>,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut store = ParamStore::new();
+        let input = InputLayer::new(
+            &mut store,
+            rng,
+            &cfg,
+            encoder.word_vocab.len(),
+            encoder.char_vocab.len(),
+            encoder.feat_dim(),
+            pretrained,
+        );
+        let ctx_encoder = Encoder::new(&mut store, rng, "encoder", input.out_dim(), &cfg.encoder);
+        let enc_dim = ctx_encoder.out_dim();
+        let k = encoder.tag_set.len();
+        let types = encoder.entity_types.len();
+        let head = match &cfg.decoder {
+            DecoderKind::Softmax => {
+                Head::Softmax { proj: Linear::new(&mut store, rng, "head.proj", enc_dim, k) }
+            }
+            DecoderKind::Crf => Head::Crf {
+                proj: Linear::new(&mut store, rng, "head.proj", enc_dim, k),
+                crf: Crf::new(&mut store, rng, "head.crf", k),
+            },
+            DecoderKind::SemiCrf { max_len } => Head::SemiCrf {
+                proj: Linear::new(&mut store, rng, "head.proj", enc_dim, types + 1),
+                crf: SemiCrf::new(&mut store, rng, "head.semicrf", types, *max_len),
+            },
+            DecoderKind::Rnn { tag_dim, hidden } => Head::Rnn {
+                dec: RnnDecoder::new(&mut store, rng, "head.rnn", enc_dim, *tag_dim, *hidden, k),
+            },
+            DecoderKind::Pointer { att, max_len } => Head::Pointer {
+                dec: PointerDecoder::new(&mut store, rng, "head.ptr", enc_dim, *att, types, *max_len),
+            },
+        };
+        NerModel {
+            cfg,
+            store,
+            tag_set: encoder.tag_set.clone(),
+            entity_types: encoder.entity_types.clone(),
+            input,
+            encoder: ctx_encoder,
+            head,
+        }
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_params(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// Runs representation + context encoding; dropout only when `train`.
+    fn encode(&self, tape: &mut Tape, enc: &EncodedSentence, train: bool, rng: &mut impl Rng) -> Var {
+        let x = self.input.forward(tape, &self.store, enc, train, rng);
+        let h = self.encoder.forward(tape, &self.store, x);
+        if train && self.cfg.dropout > 0.0 {
+            tape.dropout(h, self.cfg.dropout, rng)
+        } else {
+            h
+        }
+    }
+
+    /// Maps gold spans to segment-decoder segments (labels `1..=Y`), with
+    /// spans of unknown type or excess length degraded gracefully.
+    fn gold_entity_segments(&self, enc: &EncodedSentence, max_len: usize) -> Vec<Segment> {
+        let mut segs: Vec<Segment> = enc
+            .gold
+            .iter()
+            .filter_map(|e| {
+                let label = self.entity_types.iter().position(|t| *t == e.label)? + 1;
+                let end = e.end.min(e.start + max_len);
+                Some(Segment { start: e.start, end, label })
+            })
+            .collect();
+        segs.sort_by_key(|s| s.start);
+        segs
+    }
+
+    /// Differentiable training loss for one sentence.
+    pub fn loss(&self, tape: &mut Tape, enc: &EncodedSentence, rng: &mut impl Rng) -> Var {
+        let h = self.encode(tape, enc, true, rng);
+        match &self.head {
+            Head::Softmax { proj } => {
+                let logits = proj.forward(tape, &self.store, h);
+                tape.cross_entropy_sum(logits, &enc.tag_ids)
+            }
+            Head::Crf { proj, crf } => {
+                let emissions = proj.forward(tape, &self.store, h);
+                crf.nll(tape, &self.store, emissions, &enc.tag_ids)
+            }
+            Head::SemiCrf { proj, crf } => {
+                let emissions = proj.forward(tape, &self.store, h);
+                let ents = self.gold_entity_segments(enc, crf.max_len());
+                let gold = SemiCrf::gold_segments(enc.len(), &ents);
+                crf.nll(tape, &self.store, emissions, &gold)
+            }
+            Head::Rnn { dec } => dec.nll(tape, &self.store, h, &enc.tag_ids),
+            Head::Pointer { dec } => {
+                let ents = self.gold_entity_segments(enc, dec.max_len());
+                let gold = SemiCrf::gold_segments(enc.len(), &ents);
+                dec.nll(tape, &self.store, h, &gold)
+            }
+        }
+    }
+
+    /// Predicted entity spans for one sentence (evaluation mode).
+    pub fn predict_spans(&self, enc: &EncodedSentence) -> Vec<EntitySpan> {
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let mut tape = Tape::new();
+        let h = self.encode(&mut tape, enc, false, &mut rng);
+        self.decode_from_states(&mut tape, h)
+    }
+
+    /// Predicts from an externally supplied input-representation matrix
+    /// (evaluation mode) — used by test-time adversarial-attack evaluation
+    /// (§4.5), which perturbs the representation directly.
+    pub fn predict_spans_from_input(&self, enc: &EncodedSentence, input: Tensor) -> Vec<EntitySpan> {
+        debug_assert_eq!(input.rows(), enc.len());
+        let mut tape = Tape::new();
+        let x = tape.constant(input);
+        let h = self.encoder.forward(&mut tape, &self.store, x);
+        self.decode_from_states(&mut tape, h)
+    }
+
+    fn decode_from_states(&self, tape: &mut Tape, h: Var) -> Vec<EntitySpan> {
+        let tape = &mut *tape;
+        match &self.head {
+            Head::Softmax { proj } => {
+                let logits = proj.forward(tape, &self.store, h);
+                let v = tape.value(logits);
+                let tags: Vec<usize> = (0..v.rows()).map(|r| v.argmax_row(r)).collect();
+                self.tags_to_spans(&tags)
+            }
+            Head::Crf { proj, crf } => {
+                let emissions = proj.forward(tape, &self.store, h);
+                let constraints = self.cfg.constrained_decoding.then_some(&self.tag_set);
+                let (tags, _) = crf.viterbi(&self.store, tape.value(emissions), constraints);
+                self.tags_to_spans(&tags)
+            }
+            Head::SemiCrf { proj, crf } => {
+                let emissions = proj.forward(tape, &self.store, h);
+                let segs = crf.decode(&self.store, tape.value(emissions));
+                SemiCrf::segments_to_spans(&segs, &self.entity_types)
+            }
+            Head::Rnn { dec } => {
+                let tags = dec.decode(tape, &self.store, h);
+                self.tags_to_spans(&tags)
+            }
+            Head::Pointer { dec } => {
+                let segs = dec.decode(tape, &self.store, h);
+                SemiCrf::segments_to_spans(&segs, &self.entity_types)
+            }
+        }
+    }
+
+    /// Predicted per-token tag strings (all decoders; segment decoders are
+    /// rendered through the tag scheme).
+    pub fn predict_tags(&self, enc: &EncodedSentence) -> Vec<String> {
+        let spans = self.predict_spans(enc);
+        self.tag_set.scheme().spans_to_tags(enc.len(), &spans)
+    }
+
+    /// The decoder's *raw* tag sequence for token-level decoders (softmax,
+    /// CRF, RNN) — may be structurally ill-formed for greedy decoders, which
+    /// is exactly what the Fig. 12 analysis measures. Segment-level decoders
+    /// (semi-CRF, pointer) return `None`: their output is well-formed by
+    /// construction.
+    pub fn predict_raw_tags(&self, enc: &EncodedSentence) -> Option<Vec<String>> {
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let mut tape = Tape::new();
+        let h = self.encode(&mut tape, enc, false, &mut rng);
+        let ids = match &self.head {
+            Head::Softmax { proj } => {
+                let logits = proj.forward(&mut tape, &self.store, h);
+                let v = tape.value(logits);
+                (0..v.rows()).map(|r| v.argmax_row(r)).collect()
+            }
+            Head::Crf { proj, crf } => {
+                let emissions = proj.forward(&mut tape, &self.store, h);
+                let constraints = self.cfg.constrained_decoding.then_some(&self.tag_set);
+                crf.viterbi(&self.store, tape.value(emissions), constraints).0
+            }
+            Head::Rnn { dec } => dec.decode(&mut tape, &self.store, h),
+            Head::SemiCrf { .. } | Head::Pointer { .. } => return None,
+        };
+        Some(self.tag_set.decode(&ids))
+    }
+
+    fn tags_to_spans(&self, tags: &[usize]) -> Vec<EntitySpan> {
+        let labels = self.tag_set.decode(tags);
+        self.tag_set.scheme().tags_to_spans(&labels)
+    }
+
+    /// Sentence-level confidence: length-normalized log-probability of the
+    /// decoded analysis — the MNLP criterion of Shen et al. (paper §4.3).
+    /// Lower = less confident = more informative to annotate.
+    pub fn confidence(&self, enc: &EncodedSentence) -> f64 {
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let mut tape = Tape::new();
+        let h = self.encode(&mut tape, enc, false, &mut rng);
+        let n = enc.len() as f64;
+        match &self.head {
+            Head::Crf { proj, crf } => {
+                let emissions = proj.forward(&mut tape, &self.store, h);
+                let v = tape.value(emissions);
+                let (_, best) = crf.viterbi(&self.store, v, None);
+                (best - crf.log_partition(&self.store, v)) / n
+            }
+            Head::Softmax { proj } => {
+                let logits = proj.forward(&mut tape, &self.store, h);
+                let ls = tape.log_softmax_rows(logits);
+                let v = tape.value(ls);
+                (0..v.rows())
+                    .map(|r| v.row(r).iter().cloned().fold(f32::NEG_INFINITY, f32::max) as f64)
+                    .sum::<f64>()
+                    / n
+            }
+            // Segment-level decoder: emission-softmax proxy.
+            Head::SemiCrf { proj, .. } => self.softmax_proxy_confidence(&mut tape, proj, h, n),
+            // Greedy decoders expose no tractable sequence probability;
+            // report the neutral value (uncertainty sampling degrades to
+            // random selection, which the caller can detect via 0.0).
+            Head::Pointer { .. } | Head::Rnn { .. } => 0.0,
+        }
+    }
+
+    fn softmax_proxy_confidence(&self, tape: &mut Tape, proj: &Linear, h: Var, n: f64) -> f64 {
+        let logits = proj.forward(tape, &self.store, h);
+        let ls = tape.log_softmax_rows(logits);
+        let v = tape.value(ls);
+        (0..v.rows())
+            .map(|r| v.row(r).iter().cloned().fold(f32::NEG_INFINITY, f32::max) as f64)
+            .sum::<f64>()
+            / n
+    }
+
+    /// Per-token posterior entropies (nats) — the token-entropy acquisition
+    /// signal for active learning. Supported for softmax and CRF heads;
+    /// other decoders fall back to the emission-softmax entropy.
+    pub fn token_entropies(&self, enc: &EncodedSentence) -> Vec<f64> {
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let mut tape = Tape::new();
+        let h = self.encode(&mut tape, enc, false, &mut rng);
+        let probs: Tensor = match &self.head {
+            Head::Crf { proj, crf } => {
+                let emissions = proj.forward(&mut tape, &self.store, h);
+                crf.marginals(&self.store, tape.value(emissions))
+            }
+            Head::Softmax { proj } | Head::SemiCrf { proj, .. } => {
+                let logits = proj.forward(&mut tape, &self.store, h);
+                let sm = tape.softmax_rows(logits);
+                tape.value(sm).clone()
+            }
+            Head::Rnn { .. } | Head::Pointer { .. } => {
+                let v = tape.value(h);
+                return vec![0.0; v.rows()];
+            }
+        };
+        (0..probs.rows())
+            .map(|r| {
+                probs
+                    .row(r)
+                    .iter()
+                    .filter(|&&p| p > 1e-12)
+                    .map(|&p| -(p as f64) * (p as f64).ln())
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// The raw input-representation node alongside the loss — the hook
+    /// adversarial (FGM) training needs to read ∂loss/∂input (paper §4.5).
+    /// Evaluation-mode negative log-likelihood of the sentence's *given*
+    /// labels, normalized per token. High values flag annotations the model
+    /// finds implausible — the standard noisy-label signal used by the
+    /// §4.4 instance selector.
+    pub fn nll_of_labels(&self, enc: &EncodedSentence) -> f64 {
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let mut tape = Tape::new();
+        let x = self.input.forward(&mut tape, &self.store, enc, false, &mut rng);
+        let h = self.encoder.forward(&mut tape, &self.store, x);
+        let loss = self.loss_from_states(&mut tape, h, enc);
+        tape.value(loss).item() as f64 / enc.len().max(1) as f64
+    }
+
+    /// `train` toggles dropout: `true` for FGM training passes, `false`
+    /// when computing test-time attacks (robustness evaluation).
+    pub fn loss_with_input(
+        &self,
+        tape: &mut Tape,
+        enc: &EncodedSentence,
+        train: bool,
+        rng: &mut impl Rng,
+    ) -> (Var, Var) {
+        let x = self.input.forward(tape, &self.store, enc, train, rng);
+        let h0 = self.encoder.forward(tape, &self.store, x);
+        let h = if train && self.cfg.dropout > 0.0 {
+            tape.dropout(h0, self.cfg.dropout, rng)
+        } else {
+            h0
+        };
+        let loss = self.loss_from_states(tape, h, enc);
+        (loss, x)
+    }
+
+    /// Training loss computed from an externally supplied input matrix
+    /// (used for the FGM second pass on perturbed inputs).
+    pub fn loss_from_input_override(
+        &self,
+        tape: &mut Tape,
+        enc: &EncodedSentence,
+        input: Tensor,
+        rng: &mut impl Rng,
+    ) -> Var {
+        let x = tape.constant(input);
+        let h0 = self.encoder.forward(tape, &self.store, x);
+        let h = if self.cfg.dropout > 0.0 { tape.dropout(h0, self.cfg.dropout, rng) } else { h0 };
+        self.loss_from_states(tape, h, enc)
+    }
+
+    fn loss_from_states(&self, tape: &mut Tape, h: Var, enc: &EncodedSentence) -> Var {
+        match &self.head {
+            Head::Softmax { proj } => {
+                let logits = proj.forward(tape, &self.store, h);
+                tape.cross_entropy_sum(logits, &enc.tag_ids)
+            }
+            Head::Crf { proj, crf } => {
+                let emissions = proj.forward(tape, &self.store, h);
+                crf.nll(tape, &self.store, emissions, &enc.tag_ids)
+            }
+            Head::SemiCrf { proj, crf } => {
+                let emissions = proj.forward(tape, &self.store, h);
+                let ents = self.gold_entity_segments(enc, crf.max_len());
+                let gold = SemiCrf::gold_segments(enc.len(), &ents);
+                crf.nll(tape, &self.store, emissions, &gold)
+            }
+            Head::Rnn { dec } => dec.nll(tape, &self.store, h, &enc.tag_ids),
+            Head::Pointer { dec } => {
+                let ents = self.gold_entity_segments(enc, dec.max_len());
+                let gold = SemiCrf::gold_segments(enc.len(), &ents);
+                dec.nll(tape, &self.store, h, &gold)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CharRepr, EncoderKind, WordRepr};
+    use ner_corpus::{GeneratorConfig, NewsGenerator};
+    use ner_text::{Dataset, TagScheme};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(cfg: NerConfig) -> (NerModel, Vec<EncodedSentence>) {
+        let ds: Dataset =
+            NewsGenerator::new(GeneratorConfig::default()).dataset(&mut StdRng::seed_from_u64(1), 25);
+        let enc = SentenceEncoder::from_dataset(&ds, cfg.scheme, 1);
+        let encoded = enc.encode_dataset(&ds, None);
+        let model = NerModel::new(cfg, &enc, None, &mut StdRng::seed_from_u64(2));
+        (model, encoded)
+    }
+
+    fn small(decoder: DecoderKind) -> NerConfig {
+        NerConfig {
+            word: WordRepr::Random { dim: 12 },
+            char_repr: CharRepr::None,
+            encoder: EncoderKind::Lstm { hidden: 10, bidirectional: true, layers: 1 },
+            decoder,
+            dropout: 0.0,
+            scheme: TagScheme::Bio,
+            ..NerConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_decoder_produces_finite_loss_and_valid_predictions() {
+        for decoder in [
+            DecoderKind::Softmax,
+            DecoderKind::Crf,
+            DecoderKind::SemiCrf { max_len: 4 },
+            DecoderKind::Rnn { tag_dim: 6, hidden: 10 },
+            DecoderKind::Pointer { att: 8, max_len: 4 },
+        ] {
+            let (mut model, encoded) = setup(small(decoder.clone()));
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut tape = Tape::new();
+            let loss = model.loss(&mut tape, &encoded[0], &mut rng);
+            let v = tape.value(loss).item();
+            assert!(v.is_finite() && v > 0.0, "{decoder:?} loss was {v}");
+            tape.backward(loss, &mut model.store);
+            assert!(model.store.grad_global_norm() > 0.0, "{decoder:?} produced no gradient");
+
+            let spans = model.predict_spans(&encoded[0]);
+            for s in &spans {
+                assert!(s.end <= encoded[0].len());
+            }
+            let tags = model.predict_tags(&encoded[0]);
+            assert_eq!(tags.len(), encoded[0].len());
+        }
+    }
+
+    #[test]
+    fn constrained_crf_predictions_are_well_formed() {
+        let mut cfg = small(DecoderKind::Crf);
+        cfg.scheme = TagScheme::Bioes;
+        cfg.constrained_decoding = true;
+        let (model, encoded) = setup(cfg);
+        for e in encoded.iter().take(10) {
+            let tags = model.predict_tags(e);
+            assert!(TagScheme::Bioes.is_valid(&tags), "invalid: {tags:?}");
+        }
+    }
+
+    #[test]
+    fn confidence_and_entropy_are_finite() {
+        for decoder in [DecoderKind::Softmax, DecoderKind::Crf] {
+            let (model, encoded) = setup(small(decoder));
+            let c = model.confidence(&encoded[0]);
+            assert!(c.is_finite() && c <= 0.0, "confidence (log prob) should be <= 0, got {c}");
+            let ent = model.token_entropies(&encoded[0]);
+            assert_eq!(ent.len(), encoded[0].len());
+            assert!(ent.iter().all(|e| e.is_finite() && *e >= 0.0));
+        }
+    }
+
+    #[test]
+    fn loss_with_input_exposes_gradient_on_representation() {
+        let (mut model, encoded) = setup(small(DecoderKind::Crf));
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut tape = Tape::new();
+        let (loss, x) = model.loss_with_input(&mut tape, &encoded[0], true, &mut rng);
+        tape.backward(loss, &mut model.store);
+        let g = tape.grad(x).expect("input grad must exist");
+        assert!(g.sq_norm() > 0.0);
+        // Second pass on a perturbed copy also yields a finite loss.
+        let perturbed = {
+            let mut t = tape.value(x).clone();
+            t.add_scaled(g, 0.01);
+            t
+        };
+        let mut tape2 = Tape::new();
+        let loss2 = model.loss_from_input_override(&mut tape2, &encoded[0], perturbed, &mut rng);
+        assert!(tape2.value(loss2).item().is_finite());
+    }
+
+    #[test]
+    fn param_count_is_positive_and_reported() {
+        let (model, _) = setup(small(DecoderKind::Crf));
+        assert!(model.num_params() > 1000);
+    }
+}

@@ -1,0 +1,223 @@
+//! Pipeline persistence: a [`Checkpoint`] captures everything needed to
+//! rebuild a trained [`NerPipeline`] — configuration, data encoder
+//! (vocabularies, tag set, feature switches, gazetteer) and trained
+//! parameters — as a single JSON document.
+
+use crate::config::{NerConfig, WordRepr};
+use crate::inference::NerPipeline;
+use crate::model::NerModel;
+use crate::repr::SentenceEncoder;
+use ner_tensor::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A serializable snapshot of a trained pipeline.
+#[derive(Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// The model architecture.
+    pub config: NerConfig,
+    /// The data encoder (vocabularies, tag set, features, gazetteer).
+    pub encoder: SentenceEncoder,
+    /// Trained parameters, addressed by name.
+    pub params: ParamStore,
+}
+
+/// Errors raised when restoring a checkpoint.
+#[derive(Debug)]
+pub enum RestoreError {
+    /// The JSON did not parse as a checkpoint.
+    Parse(String),
+    /// The checkpoint's parameters do not fit the declared architecture.
+    ParameterMismatch {
+        /// How many parameters were matched by name and shape.
+        matched: usize,
+        /// How many the freshly built model expected.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Parse(e) => write!(f, "checkpoint parse error: {e}"),
+            RestoreError::ParameterMismatch { matched, expected } => {
+                write!(f, "checkpoint parameters do not match architecture: {matched}/{expected} restored")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl Checkpoint {
+    /// Snapshots a trained pipeline.
+    pub fn capture(pipeline: &NerPipeline) -> Self {
+        Checkpoint {
+            config: pipeline.model.cfg.clone(),
+            encoder: pipeline.encoder.clone(),
+            params: pipeline.model.store.clone(),
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serialization cannot fail")
+    }
+
+    /// Parses a checkpoint from JSON.
+    pub fn from_json(json: &str) -> Result<Self, RestoreError> {
+        serde_json::from_str(json).map_err(|e| RestoreError::Parse(e.to_string()))
+    }
+
+    /// Rebuilds the runnable pipeline.
+    ///
+    /// The model skeleton is constructed from the stored config (with a
+    /// placeholder word table when the config declares pretrained
+    /// embeddings — the checkpointed values overwrite it), then every
+    /// parameter is restored by name.
+    pub fn restore(self) -> Result<NerPipeline, RestoreError> {
+        let mut cfg = self.config.clone();
+        // A pretrained-word config normally demands the embedding file at
+        // construction; the checkpoint already carries the trained table,
+        // so build with a same-shaped random table instead.
+        let frozen_words = if let WordRepr::Pretrained { fine_tune } = cfg.word {
+            let table = self
+                .params
+                .find("input.word_emb")
+                .map(|id| self.params.value(id).cols())
+                .ok_or(RestoreError::ParameterMismatch { matched: 0, expected: 1 })?;
+            cfg.word = WordRepr::Random { dim: table };
+            !fine_tune
+        } else {
+            false
+        };
+
+        // Construction RNG is irrelevant: every weight is overwritten.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = NerModel::new(cfg, &self.encoder, None, &mut rng);
+        model.cfg = self.config;
+        let expected = model.store.len();
+        let matched = model.store.load_matching(&self.params);
+        if matched != expected {
+            return Err(RestoreError::ParameterMismatch { matched, expected });
+        }
+        if frozen_words {
+            model.store.freeze_prefix("input.word_emb", true);
+        }
+        Ok(NerPipeline::new(self.encoder, model))
+    }
+
+    /// Writes the checkpoint to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads a checkpoint from a file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, RestoreError> {
+        let text = std::fs::read_to_string(path).map_err(|e| RestoreError::Parse(e.to_string()))?;
+        Self::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CharRepr, DecoderKind, EncoderKind};
+    use crate::prelude::*;
+    use ner_corpus::{GeneratorConfig, NewsGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trained_pipeline(decoder: DecoderKind) -> (NerPipeline, Dataset) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let gen = NewsGenerator::new(GeneratorConfig::default());
+        let train_ds = gen.dataset(&mut rng, 60);
+        let encoder = SentenceEncoder::from_dataset(&train_ds, TagScheme::Bio, 1);
+        let cfg = NerConfig {
+            scheme: TagScheme::Bio,
+            word: ner_core_wordrepr(),
+            char_repr: CharRepr::Cnn { dim: 8, filters: 8 },
+            encoder: EncoderKind::Lstm { hidden: 12, bidirectional: true, layers: 1 },
+            decoder,
+            dropout: 0.1,
+            ..NerConfig::default()
+        };
+        let mut model = NerModel::new(cfg, &encoder, None, &mut rng);
+        let train_enc = encoder.encode_dataset(&train_ds, None);
+        crate::trainer::train(
+            &mut model,
+            &train_enc,
+            None,
+            &TrainConfig { epochs: 2, patience: None, ..Default::default() },
+            &mut rng,
+        );
+        (NerPipeline::new(encoder, model), train_ds)
+    }
+
+    fn ner_core_wordrepr() -> crate::config::WordRepr {
+        crate::config::WordRepr::Random { dim: 16 }
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let (pipeline, ds) = trained_pipeline(DecoderKind::Crf);
+        let json = Checkpoint::capture(&pipeline).to_json();
+        let restored = Checkpoint::from_json(&json).unwrap().restore().unwrap();
+        for s in ds.sentences.iter().take(10) {
+            assert_eq!(
+                pipeline.annotate(s).entities,
+                restored.annotate(s).entities,
+                "restored pipeline must predict identically"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_works_for_every_decoder() {
+        for decoder in [
+            DecoderKind::Softmax,
+            DecoderKind::SemiCrf { max_len: 3 },
+            DecoderKind::Rnn { tag_dim: 4, hidden: 8 },
+            DecoderKind::Pointer { att: 8, max_len: 3 },
+        ] {
+            let (pipeline, ds) = trained_pipeline(decoder.clone());
+            let restored =
+                Checkpoint::capture(&pipeline).to_json();
+            let restored = Checkpoint::from_json(&restored).unwrap().restore().unwrap();
+            let s = &ds.sentences[0];
+            assert_eq!(pipeline.annotate(s).entities, restored.annotate(s).entities, "{decoder:?}");
+        }
+    }
+
+    #[test]
+    fn corrupted_json_is_rejected() {
+        let Err(err) = Checkpoint::from_json("{not json") else {
+            panic!("corrupted JSON must not parse");
+        };
+        assert!(matches!(err, RestoreError::Parse(_)));
+    }
+
+    #[test]
+    fn architecture_mismatch_is_detected() {
+        let (pipeline, _) = trained_pipeline(DecoderKind::Crf);
+        let mut ckpt = Checkpoint::capture(&pipeline);
+        // Declare a different encoder width: the stored params no longer fit.
+        ckpt.config.encoder = EncoderKind::Lstm { hidden: 99, bidirectional: true, layers: 1 };
+        let Err(err) = ckpt.restore() else {
+            panic!("mismatched architecture must not restore");
+        };
+        assert!(matches!(err, RestoreError::ParameterMismatch { .. }), "got {err}");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (pipeline, ds) = trained_pipeline(DecoderKind::Crf);
+        let dir = std::env::temp_dir().join("neural-ner-test-ckpt.json");
+        Checkpoint::capture(&pipeline).save(&dir).unwrap();
+        let restored = Checkpoint::load(&dir).unwrap().restore().unwrap();
+        let s = &ds.sentences[0];
+        assert_eq!(pipeline.annotate(s).entities, restored.annotate(s).entities);
+        let _ = std::fs::remove_file(dir);
+    }
+}

@@ -1,0 +1,165 @@
+//! The model zoo: named, ready-to-train configurations for the
+//! architectures the survey's Table 3 surveys — this library's analog of
+//! the "off-the-shelf NER tools" inventory of Table 2.
+
+use crate::config::{CharRepr, DecoderKind, EncoderKind, NerConfig, WordRepr};
+use ner_text::TagScheme;
+use serde::Serialize;
+
+/// A named preset with its provenance in the survey.
+#[derive(Clone, Debug, Serialize)]
+pub struct ZooEntry {
+    /// Short preset name (CLI-friendly).
+    pub name: &'static str,
+    /// The survey reference the preset reproduces.
+    pub reference: &'static str,
+    /// The configuration.
+    pub config: NerConfig,
+}
+
+/// All presets.
+pub fn zoo() -> Vec<ZooEntry> {
+    let base = NerConfig::default();
+    vec![
+        ZooEntry {
+            name: "bilstm-crf",
+            reference: "Huang et al. 2015 [18] — the field's workhorse",
+            config: NerConfig {
+                char_repr: CharRepr::None,
+                word: WordRepr::Pretrained { fine_tune: true },
+                ..base.clone()
+            },
+        },
+        ZooEntry {
+            name: "charcnn-bilstm-crf",
+            reference: "Ma & Hovy 2016 [96]",
+            config: NerConfig {
+                word: WordRepr::Pretrained { fine_tune: true },
+                ..base.clone()
+            },
+        },
+        ZooEntry {
+            name: "charlstm-bilstm-crf",
+            reference: "Lample et al. 2016 [19]",
+            config: NerConfig {
+                char_repr: CharRepr::Lstm { dim: 16, hidden: 12 },
+                word: WordRepr::Pretrained { fine_tune: true },
+                ..base.clone()
+            },
+        },
+        ZooEntry {
+            name: "idcnn-crf",
+            reference: "Strubell et al. 2017 [90]",
+            config: NerConfig {
+                char_repr: CharRepr::None,
+                word: WordRepr::Pretrained { fine_tune: true },
+                encoder: EncoderKind::IdCnn {
+                    filters: 48,
+                    width: 3,
+                    dilations: vec![1, 2, 4],
+                    iterations: 2,
+                },
+                ..base.clone()
+            },
+        },
+        ZooEntry {
+            name: "cnn-crf",
+            reference: "Collobert et al. 2011 [17] sentence approach",
+            config: NerConfig {
+                char_repr: CharRepr::None,
+                encoder: EncoderKind::Cnn { filters: 48, layers: 2, width: 3, global: true },
+                ..base.clone()
+            },
+        },
+        ZooEntry {
+            name: "bigru-crf",
+            reference: "Yang et al. 2016 [105]",
+            config: NerConfig {
+                char_repr: CharRepr::Lstm { dim: 16, hidden: 12 },
+                encoder: EncoderKind::Gru { hidden: 48, bidirectional: true },
+                ..base.clone()
+            },
+        },
+        ZooEntry {
+            name: "transformer-softmax",
+            reference: "Devlin et al. 2019 [118] fine-tuning style head",
+            config: NerConfig {
+                char_repr: CharRepr::None,
+                encoder: EncoderKind::Transformer { d_model: 48, heads: 4, layers: 2, d_ff: 96 },
+                decoder: DecoderKind::Softmax,
+                ..base.clone()
+            },
+        },
+        ZooEntry {
+            name: "bilstm-semicrf",
+            reference: "Ye & Ling 2018 [142]",
+            config: NerConfig {
+                decoder: DecoderKind::SemiCrf { max_len: 4 },
+                ..base.clone()
+            },
+        },
+        ZooEntry {
+            name: "bilstm-rnn",
+            reference: "Shen et al. 2017 [87] greedy decoder",
+            config: NerConfig {
+                decoder: DecoderKind::Rnn { tag_dim: 8, hidden: 32 },
+                ..base.clone()
+            },
+        },
+        ZooEntry {
+            name: "lstm-pointer",
+            reference: "Zhai et al. 2017 [94]",
+            config: NerConfig {
+                decoder: DecoderKind::Pointer { att: 24, max_len: 4 },
+                ..base.clone()
+            },
+        },
+        ZooEntry {
+            name: "window-mlp",
+            reference: "Collobert window approach baseline",
+            config: NerConfig {
+                char_repr: CharRepr::None,
+                encoder: EncoderKind::WindowMlp { window: 2, hidden: 48 },
+                decoder: DecoderKind::Softmax,
+                scheme: TagScheme::Bio,
+                ..base.clone()
+            },
+        },
+    ]
+}
+
+/// Looks a preset up by name.
+pub fn preset(name: &str) -> Option<NerConfig> {
+    zoo().into_iter().find(|e| e.name == name).map(|e| e.config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_names_are_unique() {
+        let entries = zoo();
+        let mut names: Vec<_> = entries.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), entries.len());
+        assert!(entries.len() >= 10, "the zoo should cover the survey's main families");
+    }
+
+    #[test]
+    fn preset_lookup() {
+        assert!(preset("bilstm-crf").is_some());
+        assert!(preset("charcnn-bilstm-crf").is_some());
+        assert!(preset("nope").is_none());
+    }
+
+    #[test]
+    fn presets_have_distinct_signatures() {
+        let entries = zoo();
+        let mut sigs: Vec<String> = entries.iter().map(|e| e.config.signature()).collect();
+        sigs.sort();
+        sigs.dedup();
+        assert_eq!(sigs.len(), entries.len(), "each preset must be a distinct architecture");
+    }
+}

@@ -1,0 +1,167 @@
+//! Label-noise channel simulating distant supervision (paper §4.4).
+//!
+//! Distantly supervised NER annotates text by dictionary matching against a
+//! knowledge base, which yields *missing* mentions (KB incomplete), *wrong
+//! types* (ambiguous surface forms) and *wrong boundaries* (partial
+//! matches). This channel injects exactly those three error modes at known
+//! rates, giving the reinforcement-learning instance selector (§4.4,
+//! `ner-applied::reinforce`) a controlled playground.
+
+use ner_text::{Dataset, Sentence};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Error rates of the distant-supervision channel.
+#[derive(Clone, Debug)]
+pub struct LabelNoise {
+    /// Probability an entity annotation is silently dropped.
+    pub p_miss: f64,
+    /// Probability an entity's type is replaced by a random other type.
+    pub p_flip: f64,
+    /// Probability a multi-token entity loses its first or last token.
+    pub p_shrink: f64,
+}
+
+impl LabelNoise {
+    /// The preset used in the §4.4 experiment: 30% of sentences carry at
+    /// least one corrupted annotation.
+    pub fn distant_supervision() -> Self {
+        LabelNoise { p_miss: 0.15, p_flip: 0.12, p_shrink: 0.08 }
+    }
+}
+
+/// Result of corrupting one sentence, with a flag recording whether any
+/// annotation was altered (the selector's hidden ground truth).
+#[derive(Clone, Debug)]
+pub struct NoisySentence {
+    /// The (possibly) corrupted sentence.
+    pub sentence: Sentence,
+    /// True when at least one annotation differs from gold.
+    pub corrupted: bool,
+}
+
+/// Applies the channel to one sentence.
+pub fn corrupt_labels(
+    s: &Sentence,
+    noise: &LabelNoise,
+    types: &[String],
+    rng: &mut impl Rng,
+) -> NoisySentence {
+    let mut corrupted = false;
+    let mut entities = Vec::with_capacity(s.entities.len());
+    for e in &s.entities {
+        if rng.gen_bool(noise.p_miss) {
+            corrupted = true;
+            continue;
+        }
+        let mut e = e.clone();
+        if rng.gen_bool(noise.p_flip) {
+            let others: Vec<&String> = types.iter().filter(|t| **t != e.label).collect();
+            if let Some(new_label) = others.choose(rng) {
+                e.label = (*new_label).clone();
+                corrupted = true;
+            }
+        }
+        if e.len() > 1 && rng.gen_bool(noise.p_shrink) {
+            if rng.gen_bool(0.5) {
+                e.start += 1;
+            } else {
+                e.end -= 1;
+            }
+            corrupted = true;
+        }
+        entities.push(e);
+    }
+    NoisySentence { sentence: Sentence { tokens: s.tokens.clone(), entities }, corrupted }
+}
+
+/// Applies the channel to a dataset, returning the noisy sentences together
+/// with their corruption flags.
+pub fn corrupt_dataset_labels(
+    ds: &Dataset,
+    noise: &LabelNoise,
+    rng: &mut impl Rng,
+) -> Vec<NoisySentence> {
+    let types = ds.entity_types();
+    ds.sentences.iter().map(|s| corrupt_labels(s, noise, &types, rng)).collect()
+}
+
+/// Fraction of sentences flagged as corrupted.
+pub fn corruption_rate(noisy: &[NoisySentence]) -> f64 {
+    if noisy.is_empty() {
+        return 0.0;
+    }
+    noisy.iter().filter(|n| n.corrupted).count() as f64 / noisy.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, NewsGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> Dataset {
+        let gen = NewsGenerator::new(GeneratorConfig::default());
+        gen.dataset(&mut StdRng::seed_from_u64(1), 200)
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let ds = sample();
+        let noise = LabelNoise { p_miss: 0.0, p_flip: 0.0, p_shrink: 0.0 };
+        let out = corrupt_dataset_labels(&ds, &noise, &mut StdRng::seed_from_u64(2));
+        assert!(out.iter().all(|n| !n.corrupted));
+        assert_eq!(corruption_rate(&out), 0.0);
+        for (orig, noisy) in ds.sentences.iter().zip(&out) {
+            assert_eq!(orig, &noisy.sentence);
+        }
+    }
+
+    #[test]
+    fn corruption_flags_are_truthful() {
+        let ds = sample();
+        let out = corrupt_dataset_labels(
+            &ds,
+            &LabelNoise::distant_supervision(),
+            &mut StdRng::seed_from_u64(3),
+        );
+        for (orig, noisy) in ds.sentences.iter().zip(&out) {
+            let changed = orig.entities != noisy.sentence.entities;
+            assert_eq!(changed, noisy.corrupted, "flag must match actual change");
+        }
+        let rate = corruption_rate(&out);
+        assert!(rate > 0.2 && rate < 0.95, "rate was {rate}");
+    }
+
+    #[test]
+    fn flipped_types_remain_valid() {
+        let ds = sample();
+        let types = ds.entity_types();
+        let out = corrupt_dataset_labels(
+            &ds,
+            &LabelNoise { p_miss: 0.0, p_flip: 1.0, p_shrink: 0.0 },
+            &mut StdRng::seed_from_u64(4),
+        );
+        for n in &out {
+            for e in &n.sentence.entities {
+                assert!(types.contains(&e.label));
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_never_empties_spans() {
+        let ds = sample();
+        let out = corrupt_dataset_labels(
+            &ds,
+            &LabelNoise { p_miss: 0.0, p_flip: 0.0, p_shrink: 1.0 },
+            &mut StdRng::seed_from_u64(5),
+        );
+        for n in &out {
+            for e in &n.sentence.entities {
+                assert!(e.end > e.start);
+            }
+        }
+    }
+}

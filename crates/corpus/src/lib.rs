@@ -1,0 +1,25 @@
+//! # ner-corpus — synthetic NER corpora for `neural-ner`
+//!
+//! The licensed corpora of the survey's Table 1 (CoNLL-2003, OntoNotes,
+//! W-NUT, GENIA, …) cannot be redistributed, so this crate builds faithful
+//! synthetic analogs (the substitution table lives in DESIGN.md §1):
+//!
+//! * [`generator`] — a template-grammar news generator over bundled
+//!   [`lexicon`]s, with controllable unseen-entity rate, fine-grained
+//!   subtypes and nested institutional entities.
+//! * [`noise`] — the W-NUT-style user-generated-text channel (casing loss,
+//!   typos, slang, hashtags) that preserves gold spans.
+//! * [`distant`] — the distant-supervision *label*-noise channel (§4.4).
+//! * [`profiles`] — the Table 1 inventory mapped to analog configurations.
+
+#![warn(missing_docs)]
+
+pub mod distant;
+pub mod generator;
+pub mod lexicon;
+pub mod noise;
+pub mod profiles;
+pub mod templates;
+
+pub use generator::{GeneratorConfig, NewsGenerator};
+pub use noise::NoiseModel;

@@ -1,0 +1,130 @@
+//! Dataset profiles reproducing the paper's Table 1 inventory.
+//!
+//! Each profile records a Table 1 row (corpus, year, source, #tags) and, for
+//! the corpora this workspace can emulate, the generator configuration of
+//! its synthetic analog. The `exp_table1` harness prints the inventory next
+//! to measured statistics of each analog.
+
+use crate::generator::GeneratorConfig;
+use crate::noise::NoiseModel;
+use serde::Serialize;
+
+/// One row of the Table 1 inventory, with an optional synthetic analog.
+#[derive(Clone, Debug, Serialize)]
+pub struct DatasetProfile {
+    /// Corpus name as listed in Table 1.
+    pub name: &'static str,
+    /// Publication year(s).
+    pub year: &'static str,
+    /// Text source.
+    pub source: &'static str,
+    /// Number of entity types ("#Tags").
+    pub tags: usize,
+    /// How this workspace emulates the corpus, if it does.
+    pub analog: Analog,
+}
+
+/// The synthetic analog of a profiled corpus.
+#[derive(Clone, Debug, Serialize)]
+pub enum Analog {
+    /// Clean news-register generation (CoNLL/MUC/OntoNotes-style).
+    News {
+        /// Fine-grained subtypes on/off.
+        fine_grained: bool,
+    },
+    /// News generation followed by the social-media noise channel (W-NUT).
+    Noisy,
+    /// Nested-entity generation (GENIA/ACE-style).
+    Nested,
+    /// Not emulated (domain out of scope, e.g. biomedical corpora).
+    None,
+}
+
+impl DatasetProfile {
+    /// Generator configuration for this profile's analog, or `None` when the
+    /// corpus is not emulated.
+    pub fn generator_config(&self) -> Option<GeneratorConfig> {
+        match self.analog {
+            Analog::News { fine_grained } => {
+                Some(GeneratorConfig { fine_grained, ..GeneratorConfig::default() })
+            }
+            Analog::Noisy => Some(GeneratorConfig::default()),
+            Analog::Nested => Some(GeneratorConfig {
+                annotate_nested: true,
+                institution_rate: 0.35,
+                ..GeneratorConfig::default()
+            }),
+            Analog::None => None,
+        }
+    }
+
+    /// Noise channel to apply after generation (only the W-NUT analog).
+    pub fn noise_model(&self) -> Option<NoiseModel> {
+        matches!(self.analog, Analog::Noisy).then(NoiseModel::social_media)
+    }
+}
+
+/// The Table 1 inventory (the widely-used general-domain subset, plus the
+/// biomedical rows recorded for completeness).
+pub fn table1_profiles() -> Vec<DatasetProfile> {
+    vec![
+        DatasetProfile { name: "MUC-6", year: "1995", source: "Wall Street Journal", tags: 7, analog: Analog::News { fine_grained: false } },
+        DatasetProfile { name: "MUC-7", year: "1997", source: "New York Times news", tags: 7, analog: Analog::News { fine_grained: false } },
+        DatasetProfile { name: "CoNLL03", year: "2003", source: "Reuters news", tags: 4, analog: Analog::News { fine_grained: false } },
+        DatasetProfile { name: "ACE", year: "2000-2008", source: "Transcripts, news", tags: 7, analog: Analog::Nested },
+        DatasetProfile { name: "OntoNotes", year: "2007-2012", source: "Magazine, news, web", tags: 18, analog: Analog::News { fine_grained: true } },
+        DatasetProfile { name: "W-NUT", year: "2015-2018", source: "User-generated text", tags: 6, analog: Analog::Noisy },
+        DatasetProfile { name: "BBN", year: "2005", source: "Wall Street Journal", tags: 64, analog: Analog::News { fine_grained: true } },
+        DatasetProfile { name: "WikiGold", year: "2009", source: "Wikipedia", tags: 4, analog: Analog::News { fine_grained: false } },
+        DatasetProfile { name: "WiNER", year: "2012", source: "Wikipedia", tags: 4, analog: Analog::News { fine_grained: false } },
+        DatasetProfile { name: "WikiFiger", year: "2012", source: "Wikipedia", tags: 112, analog: Analog::News { fine_grained: true } },
+        DatasetProfile { name: "HYENA", year: "2012", source: "Wikipedia", tags: 505, analog: Analog::None },
+        DatasetProfile { name: "N3", year: "2014", source: "News", tags: 3, analog: Analog::News { fine_grained: false } },
+        DatasetProfile { name: "Gillick", year: "2016", source: "Magazine, news, web", tags: 89, analog: Analog::None },
+        DatasetProfile { name: "FG-NER", year: "2018", source: "Various", tags: 200, analog: Analog::None },
+        DatasetProfile { name: "NNE", year: "2019", source: "Newswire", tags: 114, analog: Analog::Nested },
+        DatasetProfile { name: "GENIA", year: "2004", source: "Biology and clinical text", tags: 36, analog: Analog::Nested },
+        DatasetProfile { name: "GENETAG", year: "2005", source: "MEDLINE", tags: 2, analog: Analog::None },
+        DatasetProfile { name: "FSU-PRGE", year: "2010", source: "PubMed and MEDLINE", tags: 5, analog: Analog::None },
+        DatasetProfile { name: "NCBI-Disease", year: "2014", source: "PubMed", tags: 1, analog: Analog::None },
+        DatasetProfile { name: "BC5CDR", year: "2015", source: "PubMed", tags: 3, analog: Analog::None },
+        DatasetProfile { name: "DFKI", year: "2018", source: "Business news and social media", tags: 7, analog: Analog::Noisy },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::NewsGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn inventory_matches_table1_row_count() {
+        assert_eq!(table1_profiles().len(), 21);
+    }
+
+    #[test]
+    fn conll_profile_generates_four_types() {
+        let p = table1_profiles().into_iter().find(|p| p.name == "CoNLL03").unwrap();
+        let cfg = p.generator_config().unwrap();
+        let ds = NewsGenerator::new(cfg).dataset(&mut StdRng::seed_from_u64(1), 200);
+        assert_eq!(ds.entity_types().len(), 4);
+    }
+
+    #[test]
+    fn nested_profile_produces_nesting() {
+        let p = table1_profiles().into_iter().find(|p| p.name == "GENIA").unwrap();
+        let cfg = p.generator_config().unwrap();
+        let ds = NewsGenerator::new(cfg).dataset(&mut StdRng::seed_from_u64(1), 300);
+        assert!(ds.stats().nested_fraction > 0.05);
+    }
+
+    #[test]
+    fn wnut_profile_has_noise_model() {
+        let p = table1_profiles().into_iter().find(|p| p.name == "W-NUT").unwrap();
+        assert!(p.noise_model().is_some());
+        let p2 = table1_profiles().into_iter().find(|p| p.name == "CoNLL03").unwrap();
+        assert!(p2.noise_model().is_none());
+    }
+}

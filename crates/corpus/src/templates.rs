@@ -1,0 +1,183 @@
+//! The template grammar for news-register sentence generation.
+//!
+//! Each template is a space-separated token string with `{...}` slots.
+//! Entity slots (`{PER}`, `{LOC}`, `{ORG}`, `{MISC}`, and `2`-suffixed
+//! variants for a second distinct mention) are realized by the generator
+//! with gold spans; context slots (`{ROLE}`, `{DAY}`, `{NUM}`) are filled
+//! from plain word pools and never annotated.
+//!
+//! The context words around each slot type are deliberately *predictive* of
+//! the type (e.g. "visited {LOC}", "shares of {ORG}"), mirroring the
+//! distributional signal real corpora carry — this is what context encoders
+//! in the survey's taxonomy learn to exploit.
+
+/// A parsed template piece.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Piece {
+    /// A literal token emitted verbatim.
+    Lit(&'static str),
+    /// An entity slot: (kind, discriminator) — discriminator distinguishes
+    /// multiple same-kind mentions within one template.
+    Entity(SlotKind, u8),
+    /// A context-word slot filled from a pool.
+    Context(ContextKind),
+}
+
+/// Entity slot kinds (the CoNLL-2003 coarse types).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SlotKind {
+    /// Person.
+    Per,
+    /// Location.
+    Loc,
+    /// Organization.
+    Org,
+    /// Miscellaneous (nationality / event).
+    Misc,
+}
+
+/// Non-entity context slots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ContextKind {
+    /// A job/role word.
+    Role,
+    /// A weekday or relative day.
+    Day,
+    /// A number token.
+    Num,
+}
+
+/// A parsed sentence template.
+#[derive(Clone, Debug)]
+pub struct Template {
+    /// The pieces, in order.
+    pub pieces: Vec<Piece>,
+}
+
+impl Template {
+    /// Parses a template string.
+    ///
+    /// # Panics
+    /// Panics on an unknown slot name — templates are compiled in, so this
+    /// is a programmer error.
+    pub fn parse(spec: &'static str) -> Self {
+        let pieces = spec
+            .split_whitespace()
+            .map(|tok| match tok {
+                "{PER}" => Piece::Entity(SlotKind::Per, 0),
+                "{PER2}" => Piece::Entity(SlotKind::Per, 1),
+                "{LOC}" => Piece::Entity(SlotKind::Loc, 0),
+                "{LOC2}" => Piece::Entity(SlotKind::Loc, 1),
+                "{ORG}" => Piece::Entity(SlotKind::Org, 0),
+                "{ORG2}" => Piece::Entity(SlotKind::Org, 1),
+                "{MISC}" => Piece::Entity(SlotKind::Misc, 0),
+                "{ROLE}" => Piece::Context(ContextKind::Role),
+                "{DAY}" => Piece::Context(ContextKind::Day),
+                "{NUM}" => Piece::Context(ContextKind::Num),
+                t if t.starts_with('{') => panic!("unknown template slot {t}"),
+                t => Piece::Lit(t),
+            })
+            .collect();
+        Template { pieces }
+    }
+
+    /// Number of entity slots.
+    pub fn entity_slots(&self) -> usize {
+        self.pieces.iter().filter(|p| matches!(p, Piece::Entity(..))).count()
+    }
+}
+
+/// The news-register template bank.
+pub fn news_templates() -> Vec<Template> {
+    NEWS_SPECS.iter().map(|s| Template::parse(s)).collect()
+}
+
+/// Entity-free filler templates used to enrich the unlabeled LM corpus.
+pub fn filler_templates() -> Vec<Template> {
+    FILLER_SPECS.iter().map(|s| Template::parse(s)).collect()
+}
+
+const NEWS_SPECS: &[&str] = &[
+    "{PER} was born in {LOC} .",
+    "{PER} , the {ROLE} of {ORG} , said {DAY} that profits rose {NUM} percent .",
+    "{PER} visited {LOC} on {DAY} to meet {PER2} .",
+    "shares of {ORG} fell {NUM} percent in {LOC} trading {DAY} .",
+    "{ORG} announced {DAY} it would open a new office in {LOC} .",
+    "the {MISC} government signed an agreement with {ORG} in {LOC} .",
+    "{PER} scored {NUM} points as the team beat {ORG} {DAY} .",
+    "{ORG} named {PER} as its new {ROLE} , replacing {PER2} .",
+    "officials in {LOC} said {DAY} that {PER} would attend the summit .",
+    "{PER} , a {MISC} {ROLE} , arrived in {LOC} from {LOC2} .",
+    "the {ROLE} of {ORG} , {PER} , resigned {DAY} .",
+    "{ORG} and {ORG2} agreed to merge their operations in {LOC} .",
+    "analysts at {ORG} expect growth of {NUM} percent in {LOC} .",
+    "{PER} told reporters in {LOC} that the talks with {ORG} had failed .",
+    "a spokesman for {ORG} declined to comment on the {MISC} deal .",
+    "{PER} won the {MISC} after defeating {PER2} in {LOC} .",
+    "thousands gathered in {LOC} {DAY} to hear {PER} speak .",
+    "{ORG} reported {DAY} that revenue in {LOC} grew {NUM} percent .",
+    "the {MISC} striker {PER} joined {ORG} from {ORG2} for {NUM} million .",
+    "{PER} flew from {LOC} to {LOC2} for talks with the {ROLE} .",
+    "prosecutors in {LOC} charged {PER} , a former {ROLE} at {ORG} .",
+    "{ORG} shares rose after {PER} , its {ROLE} , unveiled plans in {LOC} .",
+    "the {MISC} parliament approved the {ORG} takeover {DAY} .",
+    "{PER} and {PER2} met in {LOC} to discuss the {MISC} crisis .",
+    "{ORG} opened its {LOC} plant {DAY} , employing {NUM} workers .",
+    "in {LOC} , {PER} praised the work of {ORG} volunteers .",
+    "{PER} , {NUM} , grew up in {LOC} before joining {ORG} .",
+    "the {ROLE} {PER} returned to {LOC} {DAY} after visiting {LOC2} .",
+    "{ORG} cut {NUM} jobs at its {LOC} headquarters {DAY} .",
+    "critics of {PER} said the {MISC} reforms favored {ORG} .",
+    "{PER} will lead the {ORG} delegation to {LOC} next week .",
+    "heavy rain in {LOC} delayed the match between {ORG} and {ORG2} .",
+    "{PER} signed a {NUM} year contract with {ORG} {DAY} .",
+    "the mayor of {LOC} welcomed {PER} and the {MISC} delegation .",
+    "{ORG} , based in {LOC} , hired {NUM} engineers {DAY} .",
+    "{PER} defended the decision , saying {ORG} had no choice .",
+    "residents of {LOC} protested against the {ORG} project {DAY} .",
+    "{PER} , speaking in {LOC} , called the {MISC} vote historic .",
+    "{ORG} acquired a {NUM} percent stake in {ORG2} {DAY} .",
+    "the {MISC} team arrived in {LOC} ahead of the match with {ORG} .",
+];
+
+const FILLER_SPECS: &[&str] = &[
+    "the market closed higher {DAY} after a quiet session .",
+    "officials said the talks would continue next week .",
+    "the report showed prices rose {NUM} percent last month .",
+    "traders said volumes were thin ahead of the holiday .",
+    "the weather service forecast rain for {DAY} .",
+    "the committee will publish its findings next month .",
+    "economists expect the index to climb {NUM} percent .",
+    "the new policy takes effect at the start of next year .",
+    "lawmakers debated the budget late into the night .",
+    "the survey found most voters remain undecided .",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_recognizes_all_slot_kinds() {
+        let t = Template::parse("{PER} met {PER2} in {LOC} at {ORG} over {MISC} on {DAY} , {ROLE} , {NUM} .");
+        assert_eq!(t.entity_slots(), 5);
+        assert!(matches!(t.pieces[0], Piece::Entity(SlotKind::Per, 0)));
+        assert!(matches!(t.pieces[2], Piece::Entity(SlotKind::Per, 1)));
+        assert!(matches!(t.pieces[1], Piece::Lit("met")));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown template slot")]
+    fn unknown_slot_rejected() {
+        let _ = Template::parse("{WAT} happened");
+    }
+
+    #[test]
+    fn bank_parses_and_has_variety() {
+        let bank = news_templates();
+        assert!(bank.len() >= 40);
+        assert!(bank.iter().all(|t| t.entity_slots() >= 1));
+        assert!(!filler_templates().is_empty());
+        assert!(filler_templates().iter().all(|t| t.entity_slots() == 0));
+    }
+}

@@ -1,0 +1,251 @@
+//! BERT-lite: a bidirectional Transformer pretrained with a masked
+//! (cloze-style) language-model objective over a BPE subword vocabulary
+//! (Devlin et al. 2019; paper §3.3.5, Fig. 11 left; Baevski et al.'s
+//! cloze-driven pretraining is the same objective family).
+//!
+//! As a feature extractor, a word's representation is the mean of its
+//! subword pieces' final hidden states — each of which conditions on *both*
+//! left and right context, the property Fig. 11 credits for BERT's edge over
+//! the causal GPT.
+
+use crate::subword::Bpe;
+use crate::ContextualEmbedder;
+use ner_tensor::nn::{positional_encoding, Embedding, Linear, TransformerBlock};
+use ner_tensor::optim::{Adam, Optimizer};
+use ner_tensor::{ParamStore, Tape, Var};
+use ner_text::Vocab;
+use rand::Rng;
+
+/// BERT-lite hyperparameters.
+#[derive(Clone, Debug)]
+pub struct BertConfig {
+    /// Model width.
+    pub d_model: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Transformer blocks.
+    pub layers: usize,
+    /// Feed-forward hidden width.
+    pub d_ff: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Fraction of pieces selected for masking.
+    pub mask_prob: f64,
+    /// Number of BPE merges to learn.
+    pub merges: usize,
+}
+
+impl Default for BertConfig {
+    fn default() -> Self {
+        BertConfig {
+            d_model: 32,
+            heads: 2,
+            layers: 2,
+            d_ff: 64,
+            epochs: 3,
+            lr: 0.005,
+            mask_prob: 0.15,
+            merges: 150,
+        }
+    }
+}
+
+/// A trained masked-LM Transformer.
+pub struct BertLite {
+    bpe: Bpe,
+    vocab: Vocab,
+    emb: Embedding,
+    blocks: Vec<TransformerBlock>,
+    out: Linear,
+    store: ParamStore,
+    d_model: usize,
+}
+
+const CLS: &str = "<cls>";
+const MASK: &str = "<mask>";
+
+impl BertLite {
+    /// Encodes tokens to piece ids plus, per word, its piece span.
+    fn pieces(&self, tokens: &[String]) -> (Vec<usize>, Vec<(usize, usize)>) {
+        let mut ids = vec![self.vocab.get_or_unk(CLS)];
+        let mut spans = Vec::with_capacity(tokens.len());
+        for tok in tokens {
+            let start = ids.len();
+            for piece in self.bpe.encode_word(tok) {
+                ids.push(self.vocab.get_or_unk(&piece));
+            }
+            spans.push((start, ids.len()));
+        }
+        (ids, spans)
+    }
+
+    fn encode(&self, tape: &mut Tape, ids: &[usize]) -> Var {
+        let e = self.emb.lookup(tape, &self.store, ids);
+        let pe = tape.constant(positional_encoding(ids.len(), self.d_model));
+        let mut h = tape.add(e, pe);
+        for block in &self.blocks {
+            h = block.forward(tape, &self.store, h, false);
+        }
+        h
+    }
+
+    /// Trains on a tokenized corpus; returns the model and per-epoch average
+    /// masked-position NLL.
+    pub fn train(corpus: &[Vec<String>], cfg: &BertConfig, rng: &mut impl Rng) -> (Self, Vec<f32>) {
+        let bpe = Bpe::learn(corpus, cfg.merges);
+        let mut vocab = Vocab::new();
+        vocab.add(CLS);
+        vocab.add(MASK);
+        for piece in bpe.piece_inventory(corpus) {
+            vocab.add(&piece);
+        }
+
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, rng, "bert.emb", vocab.len(), cfg.d_model);
+        let blocks = (0..cfg.layers)
+            .map(|i| TransformerBlock::new(&mut store, rng, &format!("bert.block{i}"), cfg.d_model, cfg.heads, cfg.d_ff))
+            .collect();
+        let out = Linear::new(&mut store, rng, "bert.out", cfg.d_model, vocab.len());
+        let mut model = BertLite { bpe, vocab, emb, blocks, out, store, d_model: cfg.d_model };
+
+        let mask_id = model.vocab.get(MASK).expect("mask token registered");
+        let vocab_len = model.vocab.len();
+        let mut opt = Adam::new(cfg.lr);
+        let mut epoch_nll = Vec::with_capacity(cfg.epochs);
+
+        for _ in 0..cfg.epochs {
+            let mut total = 0.0f64;
+            let mut preds = 0usize;
+            for sent in corpus {
+                let (ids, _) = model.pieces(sent);
+                if ids.len() < 3 {
+                    continue;
+                }
+                // BERT's 80/10/10 corruption of selected positions.
+                let mut corrupted = ids.clone();
+                let mut masked: Vec<(usize, usize)> = Vec::new(); // (position, original)
+                for (pos, &orig) in ids.iter().enumerate().skip(1) {
+                    if rng.gen_bool(cfg.mask_prob) {
+                        let roll: f64 = rng.gen();
+                        corrupted[pos] = if roll < 0.8 {
+                            mask_id
+                        } else if roll < 0.9 {
+                            rng.gen_range(2..vocab_len)
+                        } else {
+                            orig
+                        };
+                        masked.push((pos, orig));
+                    }
+                }
+                if masked.is_empty() {
+                    continue;
+                }
+                let mut tape = Tape::new();
+                let h = model.encode(&mut tape, &corrupted);
+                // Score only the masked rows.
+                let rows: Vec<ner_tensor::Var> =
+                    masked.iter().map(|&(pos, _)| tape.row(h, pos)).collect();
+                let picked = tape.concat_rows(&rows);
+                let logits = model.out.forward(&mut tape, &model.store, picked);
+                let targets: Vec<usize> = masked.iter().map(|&(_, orig)| orig).collect();
+                let loss = tape.cross_entropy_sum(logits, &targets);
+                total += tape.value(loss).item() as f64;
+                preds += targets.len();
+                tape.backward(loss, &mut model.store);
+                model.store.clip_grad_norm(5.0);
+                opt.step(&mut model.store);
+            }
+            epoch_nll.push((total / preds.max(1) as f64) as f32);
+        }
+        (model, epoch_nll)
+    }
+
+    /// The learned BPE table.
+    pub fn bpe(&self) -> &Bpe {
+        &self.bpe
+    }
+}
+
+impl ContextualEmbedder for BertLite {
+    fn dim(&self) -> usize {
+        self.d_model
+    }
+
+    fn embed(&self, tokens: &[String]) -> Vec<Vec<f32>> {
+        if tokens.is_empty() {
+            return vec![];
+        }
+        let (ids, spans) = self.pieces(tokens);
+        let mut tape = Tape::new();
+        let h = self.encode(&mut tape, &ids);
+        let v = tape.value(h);
+        spans
+            .iter()
+            .map(|&(s, e)| {
+                let mut mean = vec![0.0f32; self.d_model];
+                for r in s..e {
+                    for (m, &x) in mean.iter_mut().zip(v.row(r)) {
+                        *m += x;
+                    }
+                }
+                let inv = 1.0 / (e - s) as f32;
+                mean.iter_mut().for_each(|m| *m *= inv);
+                mean
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ner_corpus::{GeneratorConfig, NewsGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn corpus(n: usize, seed: u64) -> Vec<Vec<String>> {
+        NewsGenerator::new(GeneratorConfig::default())
+            .lm_sentences(&mut StdRng::seed_from_u64(seed), n)
+    }
+
+    #[test]
+    fn training_reduces_masked_nll() {
+        let c = corpus(60, 1);
+        let cfg = BertConfig { epochs: 3, merges: 80, ..Default::default() };
+        let (_, nll) = BertLite::train(&c, &cfg, &mut StdRng::seed_from_u64(2));
+        assert!(nll.last().unwrap() < nll.first().unwrap(), "masked NLL should fall: {nll:?}");
+    }
+
+    #[test]
+    fn representations_are_bidirectional() {
+        let c = corpus(30, 3);
+        let (lm, _) = BertLite::train(
+            &c,
+            &BertConfig { epochs: 1, merges: 60, ..Default::default() },
+            &mut StdRng::seed_from_u64(4),
+        );
+        let a: Vec<String> = ["Jordan", "visited", "Paris"].iter().map(|s| s.to_string()).collect();
+        let b: Vec<String> = ["Jordan", "visited", "Tokyo"].iter().map(|s| s.to_string()).collect();
+        let (ea, eb) = (lm.embed(&a), lm.embed(&b));
+        assert_eq!(ea[0].len(), lm.dim());
+        // Changing a future token DOES change position 0 (unlike GPT-lite).
+        let diff: f32 = ea[0].iter().zip(&eb[0]).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-6, "bidirectional embedding should see right context");
+    }
+
+    #[test]
+    fn word_reps_average_their_pieces() {
+        let c = corpus(20, 5);
+        let (lm, _) = BertLite::train(
+            &c,
+            &BertConfig { epochs: 1, merges: 40, ..Default::default() },
+            &mut StdRng::seed_from_u64(6),
+        );
+        let toks: Vec<String> = ["unbelievableword"].iter().map(|s| s.to_string()).collect();
+        let e = lm.embed(&toks);
+        assert_eq!(e.len(), 1);
+        assert!(e[0].iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,211 @@
+//! ELMo-style contextual embeddings from a word-level bidirectional LSTM
+//! language model (Peters et al. 2018; paper §3.3.4, Fig. 11 right).
+//!
+//! A forward LM predicts the next word, an independent backward LM predicts
+//! the previous word; a token's contextual representation concatenates the
+//! two hidden states at its position. Following the original ELMo recipe the
+//! two directions share the input embedding table but nothing else.
+
+use crate::ContextualEmbedder;
+use ner_tensor::nn::{Embedding, Linear, LstmCell};
+use ner_tensor::optim::{Adam, Optimizer};
+use ner_tensor::{ParamStore, Tape};
+use ner_text::Vocab;
+use rand::Rng;
+
+/// ELMo-lite hyperparameters.
+#[derive(Clone, Debug)]
+pub struct ElmoConfig {
+    /// Word embedding dimensionality.
+    pub dim: usize,
+    /// LSTM hidden size per direction.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Vocabulary frequency floor.
+    pub min_count: usize,
+}
+
+impl Default for ElmoConfig {
+    fn default() -> Self {
+        ElmoConfig { dim: 24, hidden: 32, epochs: 3, lr: 0.01, min_count: 1 }
+    }
+}
+
+/// A trained bidirectional word-level LM.
+pub struct ElmoLm {
+    vocab: Vocab,
+    emb: Embedding,
+    fw: LstmCell,
+    bw: LstmCell,
+    out_fw: Linear,
+    out_bw: Linear,
+    store: ParamStore,
+    hidden: usize,
+}
+
+const BOS: &str = "<s>";
+const EOS: &str = "</s>";
+
+impl ElmoLm {
+    fn ids(&self, tokens: &[String]) -> Vec<usize> {
+        let mut ids = vec![self.vocab.get_or_unk(BOS)];
+        ids.extend(tokens.iter().map(|t| self.vocab.get_or_unk(&t.to_lowercase())));
+        ids.push(self.vocab.get_or_unk(EOS));
+        ids
+    }
+
+    /// Trains on a tokenized corpus; returns the model and per-epoch average
+    /// NLL per prediction.
+    pub fn train(corpus: &[Vec<String>], cfg: &ElmoConfig, rng: &mut impl Rng) -> (Self, Vec<f32>) {
+        let mut vocab = Vocab::build(
+            corpus.iter().flat_map(|s| s.iter().map(|t| t.to_lowercase())),
+            cfg.min_count,
+        );
+        vocab.add(BOS);
+        vocab.add(EOS);
+
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, rng, "elmo.emb", vocab.len(), cfg.dim);
+        let fw = LstmCell::new(&mut store, rng, "elmo.fw", cfg.dim, cfg.hidden);
+        let bw = LstmCell::new(&mut store, rng, "elmo.bw", cfg.dim, cfg.hidden);
+        let out_fw = Linear::new(&mut store, rng, "elmo.out_fw", cfg.hidden, vocab.len());
+        let out_bw = Linear::new(&mut store, rng, "elmo.out_bw", cfg.hidden, vocab.len());
+        let mut model = ElmoLm { vocab, emb, fw, bw, out_fw, out_bw, store, hidden: cfg.hidden };
+
+        let mut opt = Adam::new(cfg.lr);
+        let mut epoch_nll = Vec::with_capacity(cfg.epochs);
+        for _ in 0..cfg.epochs {
+            let mut total = 0.0f64;
+            let mut preds = 0usize;
+            for sent in corpus {
+                let ids = model.ids(sent);
+                if ids.len() < 3 {
+                    continue;
+                }
+                let mut tape = Tape::new();
+                let loss = model.lm_loss(&mut tape, &ids);
+                total += tape.value(loss).item() as f64;
+                preds += 2 * (ids.len() - 1);
+                tape.backward(loss, &mut model.store);
+                model.store.clip_grad_norm(5.0);
+                opt.step(&mut model.store);
+            }
+            epoch_nll.push((total / preds.max(1) as f64) as f32);
+        }
+        (model, epoch_nll)
+    }
+
+    fn lm_loss(&self, tape: &mut Tape, ids: &[usize]) -> ner_tensor::Var {
+        let n = ids.len();
+        let x = self.emb.lookup(tape, &self.store, &ids[..n - 1]);
+        let hs = self.fw.sequence(tape, &self.store, x);
+        let logits = self.out_fw.forward(tape, &self.store, hs);
+        let loss_f = tape.cross_entropy_sum(logits, &ids[1..]);
+
+        let rev: Vec<usize> = ids[1..].iter().rev().copied().collect();
+        let targets_rev: Vec<usize> = ids[..n - 1].iter().rev().copied().collect();
+        let xb = self.emb.lookup(tape, &self.store, &rev);
+        let hb = self.bw.sequence(tape, &self.store, xb);
+        let logits_b = self.out_bw.forward(tape, &self.store, hb);
+        let loss_b = tape.cross_entropy_sum(logits_b, &targets_rev);
+        tape.add(loss_f, loss_b)
+    }
+
+    /// Average NLL per prediction on held-out data.
+    pub fn nll(&self, corpus: &[Vec<String>]) -> f64 {
+        let mut total = 0.0f64;
+        let mut preds = 0usize;
+        for sent in corpus {
+            let ids = self.ids(sent);
+            if ids.len() < 3 {
+                continue;
+            }
+            let mut tape = Tape::new();
+            let loss = self.lm_loss(&mut tape, &ids);
+            total += tape.value(loss).item() as f64;
+            preds += 2 * (ids.len() - 1);
+        }
+        total / preds.max(1) as f64
+    }
+}
+
+impl ContextualEmbedder for ElmoLm {
+    fn dim(&self) -> usize {
+        2 * self.hidden
+    }
+
+    fn embed(&self, tokens: &[String]) -> Vec<Vec<f32>> {
+        if tokens.is_empty() {
+            return vec![];
+        }
+        let ids = self.ids(tokens);
+        let mut tape = Tape::new();
+        let x = self.emb.lookup(&mut tape, &self.store, &ids);
+        let fw_out = self.fw.sequence(&mut tape, &self.store, x);
+        let bw_out = self.bw.sequence_rev(&mut tape, &self.store, x);
+        let fw_v = tape.value(fw_out);
+        let bw_v = tape.value(bw_out);
+        // Token k sits at id position k+1 (after BOS).
+        (0..tokens.len())
+            .map(|k| {
+                let mut v = Vec::with_capacity(2 * self.hidden);
+                v.extend_from_slice(fw_v.row(k + 1));
+                v.extend_from_slice(bw_v.row(k + 1));
+                v
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ner_corpus::{GeneratorConfig, NewsGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn corpus(n: usize, seed: u64) -> Vec<Vec<String>> {
+        NewsGenerator::new(GeneratorConfig::default())
+            .lm_sentences(&mut StdRng::seed_from_u64(seed), n)
+    }
+
+    #[test]
+    fn training_reduces_nll() {
+        let c = corpus(60, 1);
+        let cfg = ElmoConfig { epochs: 3, ..Default::default() };
+        let (_, nll) = ElmoLm::train(&c, &cfg, &mut StdRng::seed_from_u64(2));
+        assert!(nll.last().unwrap() < nll.first().unwrap(), "NLL should fall: {nll:?}");
+    }
+
+    #[test]
+    fn embeddings_have_declared_dim_and_are_contextual() {
+        let c = corpus(60, 3);
+        let (lm, _) = ElmoLm::train(
+            &c,
+            &ElmoConfig { epochs: 2, ..Default::default() },
+            &mut StdRng::seed_from_u64(4),
+        );
+        let s1: Vec<String> = ["Jordan", "visited", "Paris"].iter().map(|s| s.to_string()).collect();
+        let s2: Vec<String> = ["shares", "of", "Jordan"].iter().map(|s| s.to_string()).collect();
+        let (e1, e2) = (lm.embed(&s1), lm.embed(&s2));
+        assert_eq!(e1.len(), 3);
+        assert_eq!(e1[0].len(), lm.dim());
+        let diff: f32 = e1[0].iter().zip(&e2[2]).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-4, "same word in different contexts must differ");
+    }
+
+    #[test]
+    fn held_out_nll_is_finite() {
+        let c = corpus(40, 5);
+        let (lm, _) = ElmoLm::train(
+            &c,
+            &ElmoConfig { epochs: 1, ..Default::default() },
+            &mut StdRng::seed_from_u64(6),
+        );
+        let held = corpus(10, 99);
+        assert!(lm.nll(&held).is_finite());
+    }
+}

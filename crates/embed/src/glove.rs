@@ -1,0 +1,162 @@
+//! GloVe-style embeddings (Pennington et al. 2014; paper §3.2.1): weighted
+//! least-squares factorization of the log co-occurrence matrix,
+//! `wᵢ·w̃ⱼ + bᵢ + b̃ⱼ ≈ log Xᵢⱼ`, with the f(X) = (X/x_max)^α weighting.
+
+use crate::pretrained::WordEmbeddings;
+use ner_tensor::Tensor;
+use ner_text::Vocab;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// GloVe training hyperparameters.
+#[derive(Clone, Debug)]
+pub struct GloveConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Co-occurrence window radius (with 1/distance weighting).
+    pub window: usize,
+    /// Training epochs over the non-zero co-occurrence entries.
+    pub epochs: usize,
+    /// AdaGrad learning rate.
+    pub lr: f32,
+    /// Weighting cutoff `x_max`.
+    pub x_max: f32,
+    /// Weighting exponent α.
+    pub alpha: f32,
+    /// Minimum token frequency for the vocabulary.
+    pub min_count: usize,
+}
+
+impl Default for GloveConfig {
+    fn default() -> Self {
+        GloveConfig { dim: 32, window: 5, epochs: 15, lr: 0.05, x_max: 50.0, alpha: 0.75, min_count: 2 }
+    }
+}
+
+/// Builds the symmetric, distance-weighted co-occurrence counts.
+fn cooccurrences(corpus: &[Vec<String>], vocab: &Vocab, window: usize) -> HashMap<(usize, usize), f32> {
+    let mut counts: HashMap<(usize, usize), f32> = HashMap::new();
+    for sent in corpus {
+        let ids: Vec<usize> =
+            sent.iter().filter_map(|t| vocab.get(&t.to_lowercase())).collect();
+        for (i, &a) in ids.iter().enumerate() {
+            let hi = (i + window + 1).min(ids.len());
+            for (dist, &b) in ids[i + 1..hi].iter().enumerate() {
+                let w = 1.0 / (dist as f32 + 1.0);
+                *counts.entry((a, b)).or_insert(0.0) += w;
+                *counts.entry((b, a)).or_insert(0.0) += w;
+            }
+        }
+    }
+    counts
+}
+
+/// Trains GloVe-style embeddings. The returned matrix is the conventional
+/// `w + w̃` sum of the two factor matrices.
+pub fn train(corpus: &[Vec<String>], cfg: &GloveConfig, rng: &mut impl Rng) -> WordEmbeddings {
+    let vocab = Vocab::build(
+        corpus.iter().flat_map(|s| s.iter().map(|t| t.to_lowercase())),
+        cfg.min_count,
+    );
+    let pairs: Vec<((usize, usize), f32)> =
+        cooccurrences(corpus, &vocab, cfg.window).into_iter().collect();
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+
+    let v = vocab.len();
+    let d = cfg.dim;
+    let scale = 0.5 / d as f32;
+    let mut w: Vec<f32> = (0..v * d).map(|_| (rng.gen::<f32>() - 0.5) * 2.0 * scale).collect();
+    let mut wt: Vec<f32> = (0..v * d).map(|_| (rng.gen::<f32>() - 0.5) * 2.0 * scale).collect();
+    let mut b = vec![0.0f32; v];
+    let mut bt = vec![0.0f32; v];
+    // AdaGrad accumulators.
+    let mut gw = vec![1.0f32; v * d];
+    let mut gwt = vec![1.0f32; v * d];
+    let mut gb = vec![1.0f32; v];
+    let mut gbt = vec![1.0f32; v];
+
+    for _ in 0..cfg.epochs {
+        order.shuffle(rng);
+        for &p in &order {
+            let ((i, j), x) = pairs[p];
+            let weight = (x / cfg.x_max).powf(cfg.alpha).min(1.0);
+            let (wi, wj) = (i * d, j * d);
+            let dot: f32 = (0..d).map(|k| w[wi + k] * wt[wj + k]).sum();
+            let diff = dot + b[i] + bt[j] - x.ln();
+            let coef = weight * diff;
+            for k in 0..d {
+                let grad_w = coef * wt[wj + k];
+                let grad_wt = coef * w[wi + k];
+                w[wi + k] -= cfg.lr * grad_w / gw[wi + k].sqrt();
+                wt[wj + k] -= cfg.lr * grad_wt / gwt[wj + k].sqrt();
+                gw[wi + k] += grad_w * grad_w;
+                gwt[wj + k] += grad_wt * grad_wt;
+            }
+            b[i] -= cfg.lr * coef / gb[i].sqrt();
+            bt[j] -= cfg.lr * coef / gbt[j].sqrt();
+            gb[i] += coef * coef;
+            gbt[j] += coef * coef;
+        }
+    }
+
+    let combined: Vec<f32> = w.iter().zip(&wt).map(|(a, b)| a + b).collect();
+    WordEmbeddings::new(vocab, Tensor::from_vec(v, d, combined))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ner_corpus::{GeneratorConfig, NewsGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cooccurrence_symmetry_and_distance_weighting() {
+        let mut vocab = Vocab::new();
+        vocab.add("a");
+        vocab.add("b");
+        vocab.add("c");
+        let corpus = vec![vec!["a".to_string(), "b".to_string(), "c".to_string()]];
+        let co = cooccurrences(&corpus, &vocab, 5);
+        let a = vocab.get("a").unwrap();
+        let b = vocab.get("b").unwrap();
+        let c = vocab.get("c").unwrap();
+        assert_eq!(co[&(a, b)], co[&(b, a)]);
+        assert_eq!(co[&(a, b)], 1.0);
+        assert_eq!(co[&(a, c)], 0.5, "distance-2 pair weighted 1/2");
+    }
+
+    #[test]
+    fn glove_learns_class_structure() {
+        let gen = NewsGenerator::new(GeneratorConfig::default());
+        let mut rng = StdRng::seed_from_u64(23);
+        let corpus = gen.lm_sentences(&mut rng, 2000);
+        let cfg = GloveConfig { dim: 24, epochs: 25, ..Default::default() };
+        let emb = train(&corpus, &cfg, &mut rng);
+        // Average within-class similarity must beat cross-class similarity;
+        // aggregating over pairs smooths out per-word sampling noise.
+        let cities = ["paris", "tokyo", "london", "brooklyn", "berlin", "madrid"];
+        let funcs = ["said", "percent", "the", "that", "would", "with"];
+        let mut within = 0.0;
+        let mut count = 0;
+        for (i, a) in cities.iter().enumerate() {
+            for b in &cities[i + 1..] {
+                within += emb.cosine(a, b);
+                count += 1;
+            }
+        }
+        within /= count as f32;
+        let mut cross = 0.0;
+        for a in &cities {
+            for b in &funcs {
+                cross += emb.cosine(a, b);
+            }
+        }
+        cross /= (cities.len() * funcs.len()) as f32;
+        assert!(
+            within > cross,
+            "mean city-city similarity {within} should exceed city-function {cross}"
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! GPT-lite: a left-to-right Transformer language model (Radford et al.
+//! 2018; paper §3.3.5, Fig. 11 middle).
+//!
+//! Pretrained with the causal next-token objective; as a feature extractor a
+//! token's representation is the final hidden state at its own position —
+//! which, by construction, conditions only on the *left* context. The
+//! Fig. 11 experiment contrasts this with BERT-lite's bidirectional
+//! conditioning.
+
+use crate::ContextualEmbedder;
+use ner_tensor::nn::{positional_encoding, Embedding, Linear, TransformerBlock};
+use ner_tensor::optim::{Adam, Optimizer};
+use ner_tensor::{ParamStore, Tape, Var};
+use ner_text::Vocab;
+use rand::Rng;
+
+/// GPT-lite hyperparameters.
+#[derive(Clone, Debug)]
+pub struct GptConfig {
+    /// Model width.
+    pub d_model: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Transformer blocks.
+    pub layers: usize,
+    /// Feed-forward hidden width.
+    pub d_ff: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Vocabulary frequency floor.
+    pub min_count: usize,
+}
+
+impl Default for GptConfig {
+    fn default() -> Self {
+        GptConfig { d_model: 32, heads: 2, layers: 2, d_ff: 64, epochs: 3, lr: 0.005, min_count: 1 }
+    }
+}
+
+/// A trained causal Transformer LM.
+pub struct GptLite {
+    vocab: Vocab,
+    emb: Embedding,
+    blocks: Vec<TransformerBlock>,
+    out: Linear,
+    store: ParamStore,
+    d_model: usize,
+}
+
+const BOS: &str = "<s>";
+
+impl GptLite {
+    fn ids(&self, tokens: &[String]) -> Vec<usize> {
+        let mut ids = vec![self.vocab.get_or_unk(BOS)];
+        ids.extend(tokens.iter().map(|t| self.vocab.get_or_unk(&t.to_lowercase())));
+        ids
+    }
+
+    fn encode(&self, tape: &mut Tape, ids: &[usize]) -> Var {
+        let e = self.emb.lookup(tape, &self.store, ids);
+        let pe = tape.constant(positional_encoding(ids.len(), self.d_model));
+        let mut h = tape.add(e, pe);
+        for block in &self.blocks {
+            h = block.forward(tape, &self.store, h, true);
+        }
+        h
+    }
+
+    /// Trains on a tokenized corpus; returns the model and per-epoch average
+    /// NLL per predicted token.
+    pub fn train(corpus: &[Vec<String>], cfg: &GptConfig, rng: &mut impl Rng) -> (Self, Vec<f32>) {
+        let mut vocab = Vocab::build(
+            corpus.iter().flat_map(|s| s.iter().map(|t| t.to_lowercase())),
+            cfg.min_count,
+        );
+        vocab.add(BOS);
+
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, rng, "gpt.emb", vocab.len(), cfg.d_model);
+        let blocks = (0..cfg.layers)
+            .map(|i| TransformerBlock::new(&mut store, rng, &format!("gpt.block{i}"), cfg.d_model, cfg.heads, cfg.d_ff))
+            .collect();
+        let out = Linear::new(&mut store, rng, "gpt.out", cfg.d_model, vocab.len());
+        let mut model = GptLite { vocab, emb, blocks, out, store, d_model: cfg.d_model };
+
+        let mut opt = Adam::new(cfg.lr);
+        let mut epoch_nll = Vec::with_capacity(cfg.epochs);
+        for _ in 0..cfg.epochs {
+            let mut total = 0.0f64;
+            let mut preds = 0usize;
+            for sent in corpus {
+                let ids = model.ids(sent);
+                if ids.len() < 2 {
+                    continue;
+                }
+                let mut tape = Tape::new();
+                // Inputs: all but last position; targets: the next token.
+                let h = model.encode(&mut tape, &ids[..ids.len() - 1]);
+                let logits = model.out.forward(&mut tape, &model.store, h);
+                let loss = tape.cross_entropy_sum(logits, &ids[1..]);
+                total += tape.value(loss).item() as f64;
+                preds += ids.len() - 1;
+                tape.backward(loss, &mut model.store);
+                model.store.clip_grad_norm(5.0);
+                opt.step(&mut model.store);
+            }
+            epoch_nll.push((total / preds.max(1) as f64) as f32);
+        }
+        (model, epoch_nll)
+    }
+
+    /// Average next-token NLL on held-out data.
+    pub fn nll(&self, corpus: &[Vec<String>]) -> f64 {
+        let mut total = 0.0f64;
+        let mut preds = 0usize;
+        for sent in corpus {
+            let ids = self.ids(sent);
+            if ids.len() < 2 {
+                continue;
+            }
+            let mut tape = Tape::new();
+            let h = self.encode(&mut tape, &ids[..ids.len() - 1]);
+            let logits = self.out.forward(&mut tape, &self.store, h);
+            let loss = tape.cross_entropy_sum(logits, &ids[1..]);
+            total += tape.value(loss).item() as f64;
+            preds += ids.len() - 1;
+        }
+        total / preds.max(1) as f64
+    }
+}
+
+impl ContextualEmbedder for GptLite {
+    fn dim(&self) -> usize {
+        self.d_model
+    }
+
+    fn embed(&self, tokens: &[String]) -> Vec<Vec<f32>> {
+        if tokens.is_empty() {
+            return vec![];
+        }
+        let ids = self.ids(tokens);
+        let mut tape = Tape::new();
+        let h = self.encode(&mut tape, &ids);
+        let v = tape.value(h);
+        // Token k sits at position k+1 (after BOS).
+        (0..tokens.len()).map(|k| v.row(k + 1).to_vec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ner_corpus::{GeneratorConfig, NewsGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn corpus(n: usize, seed: u64) -> Vec<Vec<String>> {
+        NewsGenerator::new(GeneratorConfig::default())
+            .lm_sentences(&mut StdRng::seed_from_u64(seed), n)
+    }
+
+    #[test]
+    fn training_reduces_nll() {
+        let c = corpus(50, 1);
+        let cfg = GptConfig { epochs: 3, ..Default::default() };
+        let (_, nll) = GptLite::train(&c, &cfg, &mut StdRng::seed_from_u64(2));
+        assert!(nll.last().unwrap() < nll.first().unwrap(), "NLL should fall: {nll:?}");
+    }
+
+    #[test]
+    fn representations_are_left_context_only() {
+        let c = corpus(30, 3);
+        let (lm, _) = GptLite::train(
+            &c,
+            &GptConfig { epochs: 1, ..Default::default() },
+            &mut StdRng::seed_from_u64(4),
+        );
+        let a: Vec<String> = ["Jordan", "visited", "Paris"].iter().map(|s| s.to_string()).collect();
+        let b: Vec<String> = ["Jordan", "visited", "Tokyo"].iter().map(|s| s.to_string()).collect();
+        let (ea, eb) = (lm.embed(&a), lm.embed(&b));
+        // Changing a FUTURE token must not change a causal representation.
+        for (x, y) in ea[0].iter().zip(&eb[0]) {
+            assert!((x - y).abs() < 1e-6, "causal embedding saw the future");
+        }
+        // But the changed position itself differs.
+        let diff: f32 = ea[2].iter().zip(&eb[2]).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-4);
+    }
+}

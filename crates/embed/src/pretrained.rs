@@ -1,0 +1,145 @@
+//! The pretrained static word-embedding artifact shared by all trainers.
+
+use ner_tensor::Tensor;
+use ner_text::Vocab;
+use serde::{Deserialize, Serialize};
+
+/// A trained word-embedding table: vocabulary + `[vocab, dim]` matrix.
+///
+/// This is the workspace analog of "Google Word2Vec / Stanford GloVe /
+/// SENNA" files (paper §3.2.1) — produced by the [`crate::skipgram`],
+/// [`crate::cbow`] or [`crate::glove`] trainers and consumed by
+/// `ner-core`'s word-representation layer, either *fixed* or *fine-tuned*
+/// (both modes the paper describes).
+#[derive(Clone, Serialize, Deserialize)]
+pub struct WordEmbeddings {
+    vocab: Vocab,
+    matrix: Tensor,
+}
+
+impl WordEmbeddings {
+    /// Wraps a vocabulary and its embedding matrix.
+    ///
+    /// # Panics
+    /// Panics when the matrix row count differs from the vocabulary size.
+    pub fn new(vocab: Vocab, matrix: Tensor) -> Self {
+        assert_eq!(vocab.len(), matrix.rows(), "one embedding row per vocab item required");
+        WordEmbeddings { vocab, matrix }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// The vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// The full `[vocab, dim]` matrix.
+    pub fn matrix(&self) -> &Tensor {
+        &self.matrix
+    }
+
+    /// The vector of `word` (lowercased lookup), falling back to `<unk>`.
+    pub fn vector(&self, word: &str) -> &[f32] {
+        self.matrix.row(self.vocab.get_or_unk(&word.to_lowercase()))
+    }
+
+    /// Rescales every non-zero row to L2 norm `target`. Cosine geometry is
+    /// unchanged; downstream networks get inputs on the scale their
+    /// initializers assume. (Raw SGNS/GloVe vectors have norms ~1–5, an
+    /// order of magnitude above typical embedding-layer init — feeding them
+    /// unnormalized measurably hurts small-data fine-tuning.)
+    pub fn normalize_rows(&mut self, target: f32) {
+        for r in 0..self.matrix.rows() {
+            let row = self.matrix.row_mut(r);
+            let norm: f32 = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > 1e-12 {
+                let s = target / norm;
+                row.iter_mut().for_each(|x| *x *= s);
+            }
+        }
+    }
+
+    /// Cosine similarity between two words' vectors.
+    pub fn cosine(&self, a: &str, b: &str) -> f32 {
+        cosine(self.vector(a), self.vector(b))
+    }
+
+    /// The `k` nearest vocabulary items to `word` by cosine similarity
+    /// (excluding the word itself and the reserved entries).
+    pub fn nearest(&self, word: &str, k: usize) -> Vec<(String, f32)> {
+        let target = self.vector(word).to_vec();
+        let lower = word.to_lowercase();
+        let mut scored: Vec<(String, f32)> = (2..self.vocab.len())
+            .filter(|&i| self.vocab.item(i) != lower)
+            .map(|i| (self.vocab.item(i).to_string(), cosine(&target, self.matrix.row(i))))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k);
+        scored
+    }
+}
+
+/// Cosine similarity of two equal-length vectors (0 when either is zero).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> WordEmbeddings {
+        let mut vocab = Vocab::new();
+        vocab.add("paris");
+        vocab.add("london");
+        vocab.add("banana");
+        let matrix = Tensor::from_rows(&[
+            &[0.0, 0.0],  // <pad>
+            &[0.1, 0.1],  // <unk>
+            &[1.0, 0.1],  // paris
+            &[0.9, 0.2],  // london
+            &[-0.1, 1.0], // banana
+        ]);
+        WordEmbeddings::new(vocab, matrix)
+    }
+
+    #[test]
+    fn lookup_is_lowercased_with_unk_fallback() {
+        let e = toy();
+        assert_eq!(e.vector("Paris"), &[1.0, 0.1]);
+        assert_eq!(e.vector("zzz"), &[0.1, 0.1]);
+        assert_eq!(e.dim(), 2);
+    }
+
+    #[test]
+    fn cosine_geometry() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn nearest_ranks_similar_words_first() {
+        let e = toy();
+        let nn = e.nearest("paris", 2);
+        assert_eq!(nn[0].0, "london");
+        assert!(nn[0].1 > nn[1].1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one embedding row")]
+    fn shape_mismatch_rejected() {
+        let _ = WordEmbeddings::new(Vocab::new(), Tensor::zeros(5, 2));
+    }
+}

@@ -1,0 +1,166 @@
+//! Byte-pair encoding — the WordPiece-style subword vocabulary used by
+//! `bert_lite` (paper §3.3.5 notes BERT's WordPiece input; Table 3 row
+//! \[118\]).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// End-of-word marker appended to every word before merging, so pieces are
+/// position-aware (`ing</w>` ≠ `ing`).
+pub const END_OF_WORD: &str = "</w>";
+
+/// A learned BPE merge table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Bpe {
+    merges: Vec<(String, String)>,
+}
+
+impl Bpe {
+    /// Learns `n_merges` merges from a word-frequency view of the corpus.
+    pub fn learn(corpus: &[Vec<String>], n_merges: usize) -> Self {
+        let mut word_freq: HashMap<Vec<String>, usize> = HashMap::new();
+        for sent in corpus {
+            for word in sent {
+                let mut symbols: Vec<String> =
+                    word.to_lowercase().chars().map(String::from).collect();
+                if symbols.is_empty() {
+                    continue;
+                }
+                symbols.push(END_OF_WORD.to_string());
+                *word_freq.entry(symbols).or_insert(0) += 1;
+            }
+        }
+
+        let mut merges = Vec::with_capacity(n_merges);
+        for _ in 0..n_merges {
+            let mut pair_counts: HashMap<(String, String), usize> = HashMap::new();
+            for (symbols, freq) in &word_freq {
+                for win in symbols.windows(2) {
+                    *pair_counts.entry((win[0].clone(), win[1].clone())).or_insert(0) += freq;
+                }
+            }
+            // Deterministic best pair: max count, ties by lexicographic order.
+            let Some(best) = pair_counts
+                .into_iter()
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+                .filter(|(_, c)| *c >= 2)
+                .map(|(p, _)| p)
+            else {
+                break;
+            };
+            word_freq = word_freq
+                .into_iter()
+                .map(|(symbols, freq)| (apply_merge(&symbols, &best), freq))
+                .collect();
+            merges.push(best);
+        }
+        Bpe { merges }
+    }
+
+    /// Number of learned merges.
+    pub fn num_merges(&self) -> usize {
+        self.merges.len()
+    }
+
+    /// Encodes one word into its BPE pieces (last piece carries
+    /// [`END_OF_WORD`]).
+    pub fn encode_word(&self, word: &str) -> Vec<String> {
+        let mut symbols: Vec<String> = word.to_lowercase().chars().map(String::from).collect();
+        if symbols.is_empty() {
+            return vec![END_OF_WORD.to_string()];
+        }
+        symbols.push(END_OF_WORD.to_string());
+        for merge in &self.merges {
+            symbols = apply_merge(&symbols, merge);
+        }
+        symbols
+    }
+
+    /// All distinct pieces producible from the corpus (for vocabulary
+    /// construction).
+    pub fn piece_inventory(&self, corpus: &[Vec<String>]) -> Vec<String> {
+        let mut set = std::collections::BTreeSet::new();
+        for sent in corpus {
+            for word in sent {
+                for piece in self.encode_word(word) {
+                    set.insert(piece);
+                }
+            }
+        }
+        set.into_iter().collect()
+    }
+}
+
+fn apply_merge(symbols: &[String], pair: &(String, String)) -> Vec<String> {
+    let mut out = Vec::with_capacity(symbols.len());
+    let mut i = 0;
+    while i < symbols.len() {
+        if i + 1 < symbols.len() && symbols[i] == pair.0 && symbols[i + 1] == pair.1 {
+            out.push(format!("{}{}", pair.0, pair.1));
+            i += 2;
+        } else {
+            out.push(symbols[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<Vec<String>> {
+        let words = ["lower", "lowest", "newer", "newest", "wider", "widest"];
+        (0..20)
+            .map(|_| words.iter().map(|w| w.to_string()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn learns_shared_suffixes() {
+        let bpe = Bpe::learn(&corpus(), 30);
+        assert!(bpe.num_merges() > 0);
+        let pieces = bpe.encode_word("lowest");
+        // "est</w>" (or a superset merge) should appear as a single piece.
+        assert!(
+            pieces.iter().any(|p| p.contains("est") || p.contains("st</w>")),
+            "expected a suffix piece, got {pieces:?}"
+        );
+        // The same suffix piece tokenizes an unseen word.
+        let unseen = bpe.encode_word("greenest");
+        assert!(unseen.len() < "greenest".len() + 1, "merges should compress: {unseen:?}");
+    }
+
+    #[test]
+    fn round_trip_concatenation_reconstructs_word() {
+        let bpe = Bpe::learn(&corpus(), 20);
+        for word in ["lower", "unseen", "xyz"] {
+            let joined: String = bpe.encode_word(word).concat();
+            assert_eq!(joined, format!("{word}{END_OF_WORD}"));
+        }
+    }
+
+    #[test]
+    fn deterministic_learning() {
+        let a = Bpe::learn(&corpus(), 15);
+        let b = Bpe::learn(&corpus(), 15);
+        assert_eq!(a.merges, b.merges);
+    }
+
+    #[test]
+    fn empty_word_yields_marker() {
+        let bpe = Bpe::learn(&corpus(), 5);
+        assert_eq!(bpe.encode_word(""), vec![END_OF_WORD.to_string()]);
+    }
+
+    #[test]
+    fn piece_inventory_covers_corpus() {
+        let c = corpus();
+        let bpe = Bpe::learn(&c, 10);
+        let inv = bpe.piece_inventory(&c);
+        for p in bpe.encode_word("lowest") {
+            assert!(inv.contains(&p));
+        }
+    }
+}

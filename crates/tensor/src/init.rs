@@ -1,0 +1,69 @@
+//! Weight initializers. All take a caller-provided RNG so experiments are
+//! reproducible end to end.
+
+use crate::Tensor;
+use rand::Rng;
+
+/// Uniform initialization in `[-bound, bound]`.
+pub fn uniform(rng: &mut impl Rng, rows: usize, cols: usize, bound: f32) -> Tensor {
+    let data = (0..rows * cols).map(|_| rng.gen_range(-bound..=bound)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Xavier/Glorot uniform initialization: `bound = √(6/(fan_in+fan_out))`.
+/// The default for tanh/sigmoid-activated layers (LSTM/GRU gates, attention).
+pub fn xavier(rng: &mut impl Rng, rows: usize, cols: usize) -> Tensor {
+    let bound = (6.0 / (rows + cols) as f32).sqrt();
+    uniform(rng, rows, cols, bound)
+}
+
+/// He/Kaiming uniform initialization: `bound = √(6/fan_in)`.
+/// The default for ReLU-activated layers (CNN filter banks, MLPs).
+pub fn he(rng: &mut impl Rng, rows: usize, cols: usize) -> Tensor {
+    let bound = (6.0 / rows as f32).sqrt();
+    uniform(rng, rows, cols, bound)
+}
+
+/// Small-scale uniform initialization for embedding tables
+/// (`±0.5/cols`, the word2vec convention).
+pub fn embedding(rng: &mut impl Rng, vocab: usize, dim: usize) -> Tensor {
+    uniform(rng, vocab, dim, 0.5 / dim as f32)
+}
+
+/// All-zeros — the conventional start for biases.
+pub fn zeros(rows: usize, cols: usize) -> Tensor {
+    Tensor::zeros(rows, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = xavier(&mut rng, 100, 50);
+        let bound = (6.0 / 150.0_f32).sqrt();
+        assert!(x.data().iter().all(|&v| v.abs() <= bound + 1e-6));
+
+        let h = he(&mut rng, 64, 64);
+        let bound = (6.0 / 64.0_f32).sqrt();
+        assert!(h.data().iter().all(|&v| v.abs() <= bound + 1e-6));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = xavier(&mut StdRng::seed_from_u64(9), 4, 4);
+        let b = xavier(&mut StdRng::seed_from_u64(9), 4, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn embedding_scale_is_small() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = embedding(&mut rng, 10, 100);
+        assert!(e.data().iter().all(|&v| v.abs() <= 0.005 + 1e-6));
+    }
+}

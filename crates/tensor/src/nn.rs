@@ -1,0 +1,578 @@
+//! Reusable neural building blocks composed from tape primitives:
+//! linear layers, embeddings, LSTM/GRU cells with sequence runners,
+//! multi-head self-attention and (pre-LN) Transformer blocks.
+//!
+//! These are substrate components shared by the embedding pretrainers
+//! (`ner-embed`) and the NER models (`ner-core`); everything here is
+//! architecture-agnostic.
+
+use crate::{init, ParamId, ParamStore, Tape, Tensor, Var};
+use rand::Rng;
+
+/// A fully connected layer `y = x·W + b`.
+#[derive(Clone, Copy, Debug)]
+pub struct Linear {
+    /// Weight matrix `[d_in, d_out]`.
+    pub w: ParamId,
+    /// Bias row `[1, d_out]`.
+    pub b: ParamId,
+}
+
+impl Linear {
+    /// Registers a Xavier-initialized linear layer under `name`.
+    pub fn new(store: &mut ParamStore, rng: &mut impl Rng, name: &str, d_in: usize, d_out: usize) -> Self {
+        Linear {
+            w: store.register(&format!("{name}.w"), init::xavier(rng, d_in, d_out)),
+            b: store.register(&format!("{name}.b"), init::zeros(1, d_out)),
+        }
+    }
+
+    /// Registers a He-initialized layer (use before ReLU).
+    pub fn new_he(store: &mut ParamStore, rng: &mut impl Rng, name: &str, d_in: usize, d_out: usize) -> Self {
+        Linear {
+            w: store.register(&format!("{name}.w"), init::he(rng, d_in, d_out)),
+            b: store.register(&format!("{name}.b"), init::zeros(1, d_out)),
+        }
+    }
+
+    /// Applies the layer to `x [n, d_in] → [n, d_out]`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let w = tape.param(store, self.w);
+        let b = tape.param(store, self.b);
+        tape.affine(x, w, b)
+    }
+}
+
+/// An embedding table with gather-based lookup.
+#[derive(Clone, Copy, Debug)]
+pub struct Embedding {
+    /// The table parameter `[vocab, dim]`.
+    pub table: ParamId,
+}
+
+impl Embedding {
+    /// Registers a small-uniform-initialized table.
+    pub fn new(store: &mut ParamStore, rng: &mut impl Rng, name: &str, vocab: usize, dim: usize) -> Self {
+        Embedding { table: store.register(name, init::embedding(rng, vocab, dim)) }
+    }
+
+    /// Looks up `ids`, producing `[ids.len(), dim]`. Gradients scatter-add
+    /// into the selected rows only.
+    pub fn lookup(&self, tape: &mut Tape, store: &ParamStore, ids: &[usize]) -> Var {
+        tape.param_rows(store, self.table, ids)
+    }
+}
+
+/// A long short-term memory cell (gate order i, f, g, o; forget bias 1).
+#[derive(Clone, Copy, Debug)]
+pub struct LstmCell {
+    w_ih: ParamId,
+    w_hh: ParamId,
+    b: ParamId,
+    hidden: usize,
+}
+
+/// Per-tape running state of an LSTM: leased weights plus `(h, c)`.
+pub struct LstmRun {
+    w_ih: Var,
+    w_hh: Var,
+    b: Var,
+    /// Current hidden state `[1, h]`.
+    pub h: Var,
+    /// Current cell state `[1, h]`.
+    pub c: Var,
+}
+
+impl LstmCell {
+    /// Registers an LSTM cell mapping `d_in → hidden`.
+    pub fn new(store: &mut ParamStore, rng: &mut impl Rng, name: &str, d_in: usize, hidden: usize) -> Self {
+        let w_ih = store.register(&format!("{name}.w_ih"), init::xavier(rng, d_in, 4 * hidden));
+        let w_hh = store.register(&format!("{name}.w_hh"), init::xavier(rng, hidden, 4 * hidden));
+        let mut bias = init::zeros(1, 4 * hidden);
+        // Forget-gate bias of 1: the standard trick to ease long-range
+        // gradient flow early in training.
+        for i in hidden..2 * hidden {
+            bias.set2(0, i, 1.0);
+        }
+        let b = store.register(&format!("{name}.b"), bias);
+        LstmCell { w_ih, w_hh, b, hidden }
+    }
+
+    /// Hidden dimensionality.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Leases weights into `tape` and returns zeroed `(h, c)` state.
+    pub fn begin(&self, tape: &mut Tape, store: &ParamStore) -> LstmRun {
+        LstmRun {
+            w_ih: tape.param(store, self.w_ih),
+            w_hh: tape.param(store, self.w_hh),
+            b: tape.param(store, self.b),
+            h: tape.constant(Tensor::zeros(1, self.hidden)),
+            c: tape.constant(Tensor::zeros(1, self.hidden)),
+        }
+    }
+
+    /// One timestep on input `x [1, d_in]`; updates `run.h` / `run.c`.
+    pub fn step(&self, tape: &mut Tape, run: &mut LstmRun, x: Var) {
+        let xp = tape.matmul(x, run.w_ih);
+        let hp = tape.matmul(run.h, run.w_hh);
+        let s = tape.add(xp, hp);
+        let pre = tape.add_bias(s, run.b);
+        let h = self.hidden;
+        let i_pre = tape.slice_cols(pre, 0, h);
+        let f_pre = tape.slice_cols(pre, h, h);
+        let g_pre = tape.slice_cols(pre, 2 * h, h);
+        let o_pre = tape.slice_cols(pre, 3 * h, h);
+        let i = tape.sigmoid(i_pre);
+        let f = tape.sigmoid(f_pre);
+        let g = tape.tanh(g_pre);
+        let o = tape.sigmoid(o_pre);
+        let fc = tape.mul(f, run.c);
+        let ig = tape.mul(i, g);
+        run.c = tape.add(fc, ig);
+        let ct = tape.tanh(run.c);
+        run.h = tape.mul(o, ct);
+    }
+
+    /// Runs the whole sequence `xs [n, d_in] → [n, hidden]` left to right.
+    pub fn sequence(&self, tape: &mut Tape, store: &ParamStore, xs: Var) -> Var {
+        let n = tape.value(xs).rows();
+        let mut run = self.begin(tape, store);
+        let mut outputs = Vec::with_capacity(n);
+        for t in 0..n {
+            let x_t = tape.row(xs, t);
+            self.step(tape, &mut run, x_t);
+            outputs.push(run.h);
+        }
+        tape.concat_rows(&outputs)
+    }
+
+    /// Runs right to left, returning outputs aligned with the input order
+    /// (row `t` is the backward state at position `t`).
+    pub fn sequence_rev(&self, tape: &mut Tape, store: &ParamStore, xs: Var) -> Var {
+        let rev = tape.reverse_rows(xs);
+        let out = self.sequence(tape, store, rev);
+        tape.reverse_rows(out)
+    }
+}
+
+/// A gated recurrent unit cell (PyTorch gate conventions).
+#[derive(Clone, Copy, Debug)]
+pub struct GruCell {
+    w_ih: ParamId,
+    w_hh: ParamId,
+    b_ih: ParamId,
+    b_hh: ParamId,
+    hidden: usize,
+}
+
+/// Per-tape running state of a GRU.
+pub struct GruRun {
+    w_ih: Var,
+    w_hh: Var,
+    b_ih: Var,
+    b_hh: Var,
+    /// Current hidden state `[1, h]`.
+    pub h: Var,
+}
+
+impl GruCell {
+    /// Registers a GRU cell mapping `d_in → hidden`.
+    pub fn new(store: &mut ParamStore, rng: &mut impl Rng, name: &str, d_in: usize, hidden: usize) -> Self {
+        GruCell {
+            w_ih: store.register(&format!("{name}.w_ih"), init::xavier(rng, d_in, 3 * hidden)),
+            w_hh: store.register(&format!("{name}.w_hh"), init::xavier(rng, hidden, 3 * hidden)),
+            b_ih: store.register(&format!("{name}.b_ih"), init::zeros(1, 3 * hidden)),
+            b_hh: store.register(&format!("{name}.b_hh"), init::zeros(1, 3 * hidden)),
+            hidden,
+        }
+    }
+
+    /// Hidden dimensionality.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Leases weights and returns a zeroed state.
+    pub fn begin(&self, tape: &mut Tape, store: &ParamStore) -> GruRun {
+        GruRun {
+            w_ih: tape.param(store, self.w_ih),
+            w_hh: tape.param(store, self.w_hh),
+            b_ih: tape.param(store, self.b_ih),
+            b_hh: tape.param(store, self.b_hh),
+            h: tape.constant(Tensor::zeros(1, self.hidden)),
+        }
+    }
+
+    /// One timestep on `x [1, d_in]`; updates `run.h`.
+    pub fn step(&self, tape: &mut Tape, run: &mut GruRun, x: Var) {
+        let h = self.hidden;
+        let xp0 = tape.matmul(x, run.w_ih);
+        let xp = tape.add_bias(xp0, run.b_ih);
+        let hp0 = tape.matmul(run.h, run.w_hh);
+        let hp = tape.add_bias(hp0, run.b_hh);
+        let xz = tape.slice_cols(xp, 0, h);
+        let xr = tape.slice_cols(xp, h, h);
+        let xn = tape.slice_cols(xp, 2 * h, h);
+        let hz = tape.slice_cols(hp, 0, h);
+        let hr = tape.slice_cols(hp, h, h);
+        let hn = tape.slice_cols(hp, 2 * h, h);
+        let z_pre = tape.add(xz, hz);
+        let z = tape.sigmoid(z_pre);
+        let r_pre = tape.add(xr, hr);
+        let r = tape.sigmoid(r_pre);
+        let rhn = tape.mul(r, hn);
+        let n_pre = tape.add(xn, rhn);
+        let n = tape.tanh(n_pre);
+        // h' = (1−z)⊙n + z⊙h  =  n − z⊙n + z⊙h
+        let zn = tape.mul(z, n);
+        let zh = tape.mul(z, run.h);
+        let n_minus = tape.sub(n, zn);
+        run.h = tape.add(n_minus, zh);
+    }
+
+    /// Runs the whole sequence left to right: `[n, d_in] → [n, hidden]`.
+    pub fn sequence(&self, tape: &mut Tape, store: &ParamStore, xs: Var) -> Var {
+        let n = tape.value(xs).rows();
+        let mut run = self.begin(tape, store);
+        let mut outputs = Vec::with_capacity(n);
+        for t in 0..n {
+            let x_t = tape.row(xs, t);
+            self.step(tape, &mut run, x_t);
+            outputs.push(run.h);
+        }
+        tape.concat_rows(&outputs)
+    }
+
+    /// Runs right to left with outputs aligned to input order.
+    pub fn sequence_rev(&self, tape: &mut Tape, store: &ParamStore, xs: Var) -> Var {
+        let rev = tape.reverse_rows(xs);
+        let out = self.sequence(tape, store, rev);
+        tape.reverse_rows(out)
+    }
+}
+
+/// Concatenates a forward and a backward recurrent pass: `[n, 2·hidden]`.
+/// This is the "bidirectional RNN as de-facto standard" of paper §3.3.2.
+pub fn bidirectional(
+    tape: &mut Tape,
+    store: &ParamStore,
+    forward: &LstmCell,
+    backward: &LstmCell,
+    xs: Var,
+) -> Var {
+    let fw = forward.sequence(tape, store, xs);
+    let bw = backward.sequence_rev(tape, store, xs);
+    tape.concat_cols(&[fw, bw])
+}
+
+/// Sinusoidal positional encodings `[n, d]` (Vaswani et al. 2017).
+pub fn positional_encoding(n: usize, d: usize) -> Tensor {
+    let mut pe = Tensor::zeros(n, d);
+    for pos in 0..n {
+        for i in 0..d {
+            let angle = pos as f64 / 10_000f64.powf((2 * (i / 2)) as f64 / d as f64);
+            let v = if i % 2 == 0 { angle.sin() } else { angle.cos() };
+            pe.set2(pos, i, v as f32);
+        }
+    }
+    pe
+}
+
+/// Multi-head scaled-dot-product self-attention.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    d_model: usize,
+}
+
+impl MultiHeadAttention {
+    /// Registers an attention layer with `heads` heads over `d_model`
+    /// (must divide evenly).
+    pub fn new(store: &mut ParamStore, rng: &mut impl Rng, name: &str, d_model: usize, heads: usize) -> Self {
+        assert_eq!(d_model % heads, 0, "d_model must be divisible by heads");
+        MultiHeadAttention {
+            wq: Linear::new(store, rng, &format!("{name}.wq"), d_model, d_model),
+            wk: Linear::new(store, rng, &format!("{name}.wk"), d_model, d_model),
+            wv: Linear::new(store, rng, &format!("{name}.wv"), d_model, d_model),
+            wo: Linear::new(store, rng, &format!("{name}.wo"), d_model, d_model),
+            heads,
+            d_model,
+        }
+    }
+
+    /// Self-attention over `x [n, d_model]`. With `causal = true`, position
+    /// `t` may only attend to positions `≤ t` (the GPT-style mask); with
+    /// `false`, attention is bidirectional (the BERT-style encoder).
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var, causal: bool) -> Var {
+        let n = tape.value(x).rows();
+        let dk = self.d_model / self.heads;
+        let scale = 1.0 / (dk as f32).sqrt();
+        let q = self.wq.forward(tape, store, x);
+        let k = self.wk.forward(tape, store, x);
+        let v = self.wv.forward(tape, store, x);
+
+        let mask = causal.then(|| {
+            let mut m = Tensor::zeros(n, n);
+            for r in 0..n {
+                for c in (r + 1)..n {
+                    m.set2(r, c, -1e9);
+                }
+            }
+            tape.constant(m)
+        });
+
+        let mut head_outputs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let qh = tape.slice_cols(q, h * dk, dk);
+            let kh = tape.slice_cols(k, h * dk, dk);
+            let vh = tape.slice_cols(v, h * dk, dk);
+            let kt = tape.transpose(kh);
+            let scores0 = tape.matmul(qh, kt);
+            let mut scores = tape.scale(scores0, scale);
+            if let Some(m) = mask {
+                scores = tape.add(scores, m);
+            }
+            let attn = tape.softmax_rows(scores);
+            head_outputs.push(tape.matmul(attn, vh));
+        }
+        let concat = tape.concat_cols(&head_outputs);
+        self.wo.forward(tape, store, concat)
+    }
+}
+
+/// A pre-LN Transformer block: `x + Attn(LN(x))` then `· + FF(LN(·))`.
+#[derive(Clone, Copy, Debug)]
+pub struct TransformerBlock {
+    attn: MultiHeadAttention,
+    ln1_g: ParamId,
+    ln1_b: ParamId,
+    ln2_g: ParamId,
+    ln2_b: ParamId,
+    ff1: Linear,
+    ff2: Linear,
+}
+
+impl TransformerBlock {
+    /// Registers a block over `d_model` with `heads` heads and a feed-forward
+    /// hidden width of `d_ff`.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        d_model: usize,
+        heads: usize,
+        d_ff: usize,
+    ) -> Self {
+        TransformerBlock {
+            attn: MultiHeadAttention::new(store, rng, &format!("{name}.attn"), d_model, heads),
+            ln1_g: store.register(&format!("{name}.ln1.g"), Tensor::full(1, d_model, 1.0)),
+            ln1_b: store.register(&format!("{name}.ln1.b"), init::zeros(1, d_model)),
+            ln2_g: store.register(&format!("{name}.ln2.g"), Tensor::full(1, d_model, 1.0)),
+            ln2_b: store.register(&format!("{name}.ln2.b"), init::zeros(1, d_model)),
+            ff1: Linear::new_he(store, rng, &format!("{name}.ff1"), d_model, d_ff),
+            ff2: Linear::new(store, rng, &format!("{name}.ff2"), d_ff, d_model),
+        }
+    }
+
+    /// Applies the block to `x [n, d_model]`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var, causal: bool) -> Var {
+        let g1 = tape.param(store, self.ln1_g);
+        let b1 = tape.param(store, self.ln1_b);
+        let normed = tape.layer_norm(x, g1, b1);
+        let attended = self.attn.forward(tape, store, normed, causal);
+        let x = tape.add(x, attended);
+
+        let g2 = tape.param(store, self.ln2_g);
+        let b2 = tape.param(store, self.ln2_b);
+        let normed = tape.layer_norm(x, g2, b2);
+        let h = self.ff1.forward(tape, store, normed);
+        let h = tape.relu(h);
+        let h = self.ff2.forward(tape, store, h);
+        tape.add(x, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn train_sequence_task(
+        forward: impl Fn(&mut Tape, &ParamStore, Var) -> Var,
+        store: &mut ParamStore,
+    ) -> (f32, f32) {
+        // Task: given a 4-step sequence of 2-d inputs, predict at each step
+        // whether the *first* step's first feature was positive — requires
+        // carrying information across time.
+        let mut opt = Adam::new(0.02);
+        let inputs = [
+            (Tensor::from_rows(&[&[1.0, 0.2], &[0.0, 1.0], &[0.3, 0.3], &[0.1, 0.9]]), 1.0),
+            (Tensor::from_rows(&[&[-1.0, 0.2], &[0.0, 1.0], &[0.3, 0.3], &[0.1, 0.9]]), 0.0),
+            (Tensor::from_rows(&[&[0.8, -0.5], &[0.5, 0.5], &[-0.2, 0.1], &[0.9, 0.0]]), 1.0),
+            (Tensor::from_rows(&[&[-0.7, -0.5], &[0.5, 0.5], &[-0.2, 0.1], &[0.9, 0.0]]), 0.0),
+        ];
+        let mut first_loss = 0.0;
+        let mut last_loss = 0.0;
+        for epoch in 0..150 {
+            let mut total = 0.0;
+            for (x, y) in &inputs {
+                let mut tape = Tape::new();
+                let xs = tape.constant(x.clone());
+                let probs = forward(&mut tape, store, xs);
+                let labels = Tensor::full(
+                    tape.value(probs).rows(),
+                    tape.value(probs).cols(),
+                    *y,
+                );
+                let loss = tape.binary_cross_entropy_sum(probs, &labels);
+                total += tape.value(loss).item();
+                tape.backward(loss, store);
+                opt.step(store);
+            }
+            if epoch == 0 {
+                first_loss = total;
+            }
+            last_loss = total;
+        }
+        (first_loss, last_loss)
+    }
+
+    #[test]
+    fn lstm_learns_to_carry_state() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, &mut rng, "lstm", 2, 8);
+        let head = Linear::new(&mut store, &mut rng, "head", 8, 1);
+        let (first, last) = train_sequence_task(
+            |tape, store, xs| {
+                let hs = cell.sequence(tape, store, xs);
+                let logits = head.forward(tape, store, hs);
+                tape.sigmoid(logits)
+            },
+            &mut store,
+        );
+        assert!(last < first * 0.3, "LSTM loss should fall sharply: {first} -> {last}");
+    }
+
+    #[test]
+    fn gru_learns_to_carry_state() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let cell = GruCell::new(&mut store, &mut rng, "gru", 2, 8);
+        let head = Linear::new(&mut store, &mut rng, "head", 8, 1);
+        let (first, last) = train_sequence_task(
+            |tape, store, xs| {
+                let hs = cell.sequence(tape, store, xs);
+                let logits = head.forward(tape, store, hs);
+                tape.sigmoid(logits)
+            },
+            &mut store,
+        );
+        assert!(last < first * 0.3, "GRU loss should fall sharply: {first} -> {last}");
+    }
+
+    #[test]
+    fn bidirectional_sees_both_directions() {
+        // Predict at every position whether the LAST step's first feature is
+        // positive — impossible for a forward-only pass at position 0, easy
+        // for a bidirectional one.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let fw = LstmCell::new(&mut store, &mut rng, "fw", 2, 6);
+        let bw = LstmCell::new(&mut store, &mut rng, "bw", 2, 6);
+        let head = Linear::new(&mut store, &mut rng, "head", 12, 1);
+        let mut opt = Adam::new(0.02);
+        let inputs = [
+            (Tensor::from_rows(&[&[0.1, 0.2], &[0.0, 1.0], &[1.0, 0.3]]), 1.0),
+            (Tensor::from_rows(&[&[0.1, 0.2], &[0.0, 1.0], &[-1.0, 0.3]]), 0.0),
+        ];
+        let mut last = 0.0;
+        for _ in 0..150 {
+            last = 0.0;
+            for (x, y) in &inputs {
+                let mut tape = Tape::new();
+                let xs = tape.constant(x.clone());
+                let hs = bidirectional(&mut tape, &store, &fw, &bw, xs);
+                let logits = head.forward(&mut tape, &store, hs);
+                let probs = tape.sigmoid(logits);
+                let labels = Tensor::full(3, 1, *y);
+                let loss = tape.binary_cross_entropy_sum(probs, &labels);
+                last += tape.value(loss).item();
+                tape.backward(loss, &mut store);
+                opt.step(&mut store);
+            }
+        }
+        assert!(last < 0.5, "bidirectional loss at position 0 should vanish, got {last}");
+    }
+
+    #[test]
+    fn attention_output_shape_and_causality() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let attn = MultiHeadAttention::new(&mut store, &mut rng, "attn", 8, 2);
+        let x1 = Tensor::from_rows(&[&[0.1; 8], &[0.5; 8], &[0.9; 8]]);
+        let mut x2 = x1.clone();
+        // Change only the LAST row; causal attention must leave row 0 unchanged.
+        x2.row_mut(2).iter_mut().for_each(|v| *v = -1.0);
+
+        let mut t1 = Tape::new();
+        let v1 = t1.constant(x1);
+        let o1 = attn.forward(&mut t1, &store, v1, true);
+        let mut t2 = Tape::new();
+        let v2 = t2.constant(x2);
+        let o2 = attn.forward(&mut t2, &store, v2, true);
+        assert_eq!(t1.value(o1).shape(), (3, 8));
+        for (a, b) in t1.value(o1).row(0).iter().zip(t2.value(o2).row(0)) {
+            assert!((a - b).abs() < 1e-6, "causal row 0 must not see future tokens");
+        }
+        // Bidirectional attention DOES propagate the change to row 0.
+        let mut t3 = Tape::new();
+        let v3 = t3.constant(t2.value(v2).clone());
+        let o3 = attn.forward(&mut t3, &store, v3, false);
+        let differs = t1
+            .value(o1)
+            .row(0)
+            .iter()
+            .zip(t3.value(o3).row(0))
+            .any(|(a, b)| (a - b).abs() > 1e-6);
+        assert!(differs, "bidirectional row 0 should see the changed future token");
+    }
+
+    #[test]
+    fn transformer_block_trains() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let block = TransformerBlock::new(&mut store, &mut rng, "blk", 8, 2, 16);
+        let head = Linear::new(&mut store, &mut rng, "head", 8, 1);
+        let proj = Linear::new(&mut store, &mut rng, "proj", 2, 8);
+        let (first, last) = train_sequence_task(
+            |tape, store, xs| {
+                let x = proj.forward(tape, store, xs);
+                let h = block.forward(tape, store, x, false);
+                let logits = head.forward(tape, store, h);
+                tape.sigmoid(logits)
+            },
+            &mut store,
+        );
+        assert!(last < first, "transformer loss should decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn positional_encoding_shape_and_range() {
+        let pe = positional_encoding(10, 8);
+        assert_eq!(pe.shape(), (10, 8));
+        assert!(pe.data().iter().all(|v| v.abs() <= 1.0 + 1e-6));
+        // Row 0 alternates sin(0)=0, cos(0)=1.
+        assert_eq!(pe.at2(0, 0), 0.0);
+        assert!((pe.at2(0, 1) - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,184 @@
+//! 1-D convolution over a sequence, with dilation.
+//!
+//! This single kernel powers three of the survey's architectures: the
+//! char-CNN word representation (Fig. 3a), Collobert's sentence-approach CNN
+//! encoder (Fig. 5) and the Iterated Dilated CNN (Fig. 6) — the latter simply
+//! passes `dilation > 1`.
+
+use crate::{Tape, Tensor, Var};
+
+impl Tape {
+    /// Same-padded 1-D convolution along the row (time) axis.
+    ///
+    /// * `x` — input sequence `[n, d_in]` (one row per position).
+    /// * `w` — filter bank `[k · d_in, d_out]`: tap `j`'s weights occupy rows
+    ///   `j·d_in .. (j+1)·d_in`.
+    /// * `bias` — `[1, d_out]`.
+    /// * `k` — filter width (must be odd so "same" padding is symmetric).
+    /// * `dilation` — spacing between taps (1 = ordinary convolution).
+    ///
+    /// Positions reaching outside the sequence contribute zeros (zero
+    /// padding), so the output is `[n, d_out]`.
+    pub fn conv1d(&mut self, x: Var, w: Var, bias: Var, k: usize, dilation: usize) -> Var {
+        assert!(k % 2 == 1, "conv1d requires an odd filter width");
+        assert!(dilation >= 1, "dilation must be >= 1");
+        let (vx, vw, vb) = (self.value(x), self.value(w), self.value(bias));
+        let (n, d_in) = vx.shape();
+        let d_out = vw.cols();
+        assert_eq!(vw.rows(), k * d_in, "filter bank shape must be [k*d_in, d_out]");
+        assert_eq!(vb.shape(), (1, d_out), "bias shape must be [1, d_out]");
+
+        let half = (k / 2) as isize;
+        let mut out = Tensor::zeros(n, d_out);
+        for t in 0..n as isize {
+            let out_row = out.row_mut(t as usize);
+            out_row.copy_from_slice(vb.row(0));
+            for j in 0..k as isize {
+                let src = t + (j - half) * dilation as isize;
+                if src < 0 || src >= n as isize {
+                    continue;
+                }
+                let x_row = vx.row(src as usize);
+                for (i, &xv) in x_row.iter().enumerate() {
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    let w_row = vw.row(j as usize * d_in + i);
+                    for (o, &wv) in out_row.iter_mut().zip(w_row) {
+                        *o += xv * wv;
+                    }
+                }
+            }
+        }
+
+        let (cx, cw) = (vx.clone(), vw.clone());
+        self.custom(out, &[x, w, bias], move |g| {
+            let mut gx = Tensor::zeros(n, d_in);
+            let mut gw = Tensor::zeros(k * d_in, d_out);
+            let mut gb = Tensor::zeros(1, d_out);
+            for t in 0..n as isize {
+                let g_row = g.row(t as usize);
+                for (o, &gv) in gb.row_mut(0).iter_mut().zip(g_row) {
+                    *o += gv;
+                }
+                for j in 0..k as isize {
+                    let src = t + (j - half) * dilation as isize;
+                    if src < 0 || src >= n as isize {
+                        continue;
+                    }
+                    let x_row = cx.row(src as usize);
+                    let gx_row_base = src as usize;
+                    for i in 0..d_in {
+                        let w_row = cw.row(j as usize * d_in + i);
+                        let gw_row = gw.row_mut(j as usize * d_in + i);
+                        let xv = x_row[i];
+                        let mut gx_acc = 0.0;
+                        for ((&gv, &wv), gw_v) in
+                            g_row.iter().zip(w_row).zip(gw_row.iter_mut())
+                        {
+                            gx_acc += gv * wv;
+                            *gw_v += gv * xv;
+                        }
+                        gx.row_mut(gx_row_base)[i] += gx_acc;
+                    }
+                }
+            }
+            vec![Some(gx), Some(gw), Some(gb)]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ops::gradcheck::assert_grads;
+    use crate::{Tape, Tensor};
+
+    #[test]
+    fn identity_filter_reproduces_input() {
+        // k=1, d_in=d_out=2, identity weights, zero bias.
+        let mut t = Tape::new();
+        let x = t.constant(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let w = t.constant(Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
+        let b = t.constant(Tensor::zeros(1, 2));
+        let y = t.conv1d(x, w, b, 1, 1);
+        assert_eq!(t.value(y).data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn width3_moving_sum() {
+        // d_in=d_out=1, all-ones width-3 filter → padded moving sum.
+        let mut t = Tape::new();
+        let x = t.constant(Tensor::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]));
+        let w = t.constant(Tensor::from_rows(&[&[1.0], &[1.0], &[1.0]]));
+        let b = t.constant(Tensor::zeros(1, 1));
+        let y = t.conv1d(x, w, b, 3, 1);
+        let vals: Vec<f32> = t.value(y).data().to_vec();
+        assert_eq!(vals, vec![3.0, 6.0, 9.0, 7.0]);
+    }
+
+    #[test]
+    fn dilation_widens_receptive_field() {
+        // dilation=2 with width 3 reaches positions t−2, t, t+2.
+        let mut t = Tape::new();
+        let x = t.constant(Tensor::from_rows(&[&[1.0], &[10.0], &[100.0], &[1000.0], &[10000.0]]));
+        let w = t.constant(Tensor::from_rows(&[&[1.0], &[1.0], &[1.0]]));
+        let b = t.constant(Tensor::zeros(1, 1));
+        let y = t.conv1d(x, w, b, 3, 2);
+        assert_eq!(t.value(y).at2(2, 0), 1.0 + 100.0 + 10000.0);
+    }
+
+    #[test]
+    fn conv_grads_wrt_input_weights_and_bias() {
+        let x0 = Tensor::from_rows(&[&[0.5, -1.0], &[1.0, 0.3], &[-0.7, 0.9], &[0.2, -0.4]]);
+        assert_grads(x0.clone(), 1e-2, |t, x| {
+            let w = t.constant(Tensor::from_rows(&[
+                &[0.1, -0.2, 0.3],
+                &[0.4, 0.5, -0.6],
+                &[-0.7, 0.8, 0.9],
+                &[0.2, -0.3, 0.1],
+                &[0.6, 0.4, -0.5],
+                &[-0.1, 0.2, 0.7],
+            ]));
+            let b = t.constant(Tensor::row_vector(&[0.1, -0.1, 0.2]));
+            let y = t.conv1d(x, w, b, 3, 1);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        });
+        // with respect to the weights (and dilation 2)
+        assert_grads(
+            Tensor::from_rows(&[&[0.1, -0.2], &[0.4, 0.5], &[-0.7, 0.8], &[0.2, -0.3], &[0.6, 0.4], &[-0.1, 0.2]]),
+            1e-2,
+            move |t, w| {
+                let x = t.constant(Tensor::from_rows(&[
+                    &[0.5, -1.0],
+                    &[1.0, 0.3],
+                    &[-0.7, 0.9],
+                    &[0.2, -0.4],
+                    &[0.8, 0.1],
+                ]));
+                let b = t.constant(Tensor::row_vector(&[0.1, -0.1]));
+                let y = t.conv1d(x, w, b, 3, 2);
+                let sq = t.mul(y, y);
+                t.sum(sq)
+            },
+        );
+        // with respect to the bias
+        assert_grads(Tensor::row_vector(&[0.3, -0.2]), 1e-2, |t, b| {
+            let x = t.constant(Tensor::from_rows(&[&[0.5], &[1.0], &[-0.7]]));
+            let w = t.constant(Tensor::from_rows(&[&[0.1, -0.2], &[0.4, 0.5], &[-0.7, 0.8]]));
+            let y = t.conv1d(x, w, b, 3, 1);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "odd filter width")]
+    fn even_width_rejected() {
+        let mut t = Tape::new();
+        let x = t.constant(Tensor::zeros(3, 1));
+        let w = t.constant(Tensor::zeros(2, 1));
+        let b = t.constant(Tensor::zeros(1, 1));
+        let _ = t.conv1d(x, w, b, 2, 1);
+    }
+}

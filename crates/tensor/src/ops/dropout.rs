@@ -1,0 +1,79 @@
+//! Inverted dropout.
+
+use crate::{Tape, Var};
+use rand::Rng;
+
+impl Tape {
+    /// Inverted dropout: zeroes each element with probability `p` and scales
+    /// survivors by `1/(1−p)` so the expected activation is unchanged.
+    /// With `p == 0` this is the identity (use that for evaluation mode, or
+    /// simply skip the call).
+    pub fn dropout(&mut self, a: Var, p: f32, rng: &mut impl Rng) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
+        if p == 0.0 {
+            return a;
+        }
+        let v = self.value(a);
+        let keep = 1.0 - p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..v.len())
+            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let mut out = v.clone();
+        for (o, &m) in out.data_mut().iter_mut().zip(&mask) {
+            *o *= m;
+        }
+        let (r, c) = v.shape();
+        self.custom(out, &[a], move |g| {
+            let mut ga = g.clone();
+            for (o, &m) in ga.data_mut().iter_mut().zip(&mask) {
+                *o *= m;
+            }
+            debug_assert_eq!(ga.shape(), (r, c));
+            vec![Some(ga)]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Tape, Tensor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut t = Tape::new();
+        let x = t.constant(Tensor::row_vector(&[1.0, 2.0, 3.0]));
+        let y = t.dropout(x, 0.0, &mut rng);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn preserves_expectation_approximately() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut t = Tape::new();
+        let x = t.constant(Tensor::full(1, 10_000, 1.0));
+        let y = t.dropout(x, 0.5, &mut rng);
+        let mean = t.value(y).sum() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean after dropout was {mean}");
+    }
+
+    #[test]
+    fn gradient_uses_same_mask() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut store = crate::ParamStore::new();
+        let p = store.register("w", Tensor::full(1, 8, 2.0));
+        let mut t = Tape::new();
+        let w = t.param(&store, p);
+        let y = t.dropout(w, 0.5, &mut rng);
+        let s = t.sum(y);
+        let forward: Vec<f32> = t.value(y).data().to_vec();
+        t.backward(s, &mut store);
+        // grad is scale where kept, 0 where dropped — i.e. forward/2.0
+        for (g, f) in store.grad(p).data().iter().zip(&forward) {
+            assert!((g - f / 2.0).abs() < 1e-6);
+        }
+    }
+}

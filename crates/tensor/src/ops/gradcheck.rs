@@ -1,0 +1,58 @@
+//! Finite-difference gradient checking.
+//!
+//! Used pervasively by this crate's (and downstream crates') tests to verify
+//! hand-written backward rules, and exported publicly so users adding custom
+//! ops via [`crate::Tape::custom`] can verify theirs the same way.
+
+use crate::{ParamStore, Tape, Tensor};
+
+/// Compares the analytic gradient of `f` with a central finite difference.
+///
+/// `f` receives a fresh tape and a leaf holding the current parameter value
+/// and must return a scalar loss node. Returns the maximum absolute
+/// difference between analytic and numeric gradients, normalized by
+/// `1 + |numeric|` so the tolerance is meaningful for both tiny and large
+/// gradients.
+pub fn max_grad_error(param_value: Tensor, f: impl Fn(&mut Tape, crate::Var) -> crate::Var) -> f32 {
+    let mut store = ParamStore::new();
+    let pid = store.register("gradcheck", param_value);
+
+    // Analytic gradient.
+    let mut tape = Tape::new();
+    let leaf = tape.param(&store, pid);
+    let loss = f(&mut tape, leaf);
+    tape.backward(loss, &mut store);
+    let analytic = store.grad(pid).clone();
+
+    // Central differences.
+    let h = 1e-3_f32;
+    let mut worst = 0.0_f32;
+    for i in 0..store.value(pid).len() {
+        let orig = store.value(pid).data()[i];
+
+        store.value_mut(pid).data_mut()[i] = orig + h;
+        let mut tp = Tape::new();
+        let leaf = tp.param(&store, pid);
+        let loss_p = f(&mut tp, leaf);
+        let plus = tp.value(loss_p).item() as f64;
+
+        store.value_mut(pid).data_mut()[i] = orig - h;
+        let mut tm = Tape::new();
+        let leaf = tm.param(&store, pid);
+        let loss_m = f(&mut tm, leaf);
+        let minus = tm.value(loss_m).item() as f64;
+
+        store.value_mut(pid).data_mut()[i] = orig;
+
+        let numeric = ((plus - minus) / (2.0 * h as f64)) as f32;
+        let err = (analytic.data()[i] - numeric).abs() / (1.0 + numeric.abs());
+        worst = worst.max(err);
+    }
+    worst
+}
+
+/// Asserts the analytic gradient of `f` matches finite differences to `tol`.
+pub fn assert_grads(param_value: Tensor, tol: f32, f: impl Fn(&mut Tape, crate::Var) -> crate::Var) {
+    let err = max_grad_error(param_value, f);
+    assert!(err < tol, "gradcheck failed: max normalized error {err} >= tolerance {tol}");
+}

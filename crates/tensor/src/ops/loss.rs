@@ -1,0 +1,124 @@
+//! Classification losses.
+
+use crate::ops::softmax::softmax_rows_tensor;
+use crate::{Tape, Tensor, Var};
+
+impl Tape {
+    /// Summed cross-entropy of row-wise `logits [n,k]` against integer
+    /// `targets` (one class index per row).
+    ///
+    /// Fuses log-softmax + NLL for numerical stability; the backward rule is
+    /// the classic `softmax − one-hot`.
+    pub fn cross_entropy_sum(&mut self, logits: Var, targets: &[usize]) -> Var {
+        let v = self.value(logits);
+        let (n, k) = v.shape();
+        assert_eq!(targets.len(), n, "one target per logits row required");
+        assert!(targets.iter().all(|&t| t < k), "target class out of range");
+
+        let probs = softmax_rows_tensor(v);
+        let mut loss = 0.0_f64;
+        for (r, &t) in targets.iter().enumerate() {
+            // log p = logit_t − logsumexp(row); recompute stably from probs.
+            loss -= (probs.at2(r, t).max(1e-30) as f64).ln();
+        }
+        let targets = targets.to_vec();
+        self.custom(Tensor::scalar(loss as f32), &[logits], move |g| {
+            let scale = g.item();
+            let mut ga = probs.clone();
+            for (r, &t) in targets.iter().enumerate() {
+                let row = ga.row_mut(r);
+                row[t] -= 1.0;
+                row.iter_mut().for_each(|x| *x *= scale);
+            }
+            vec![Some(ga)]
+        })
+    }
+
+    /// Mean cross-entropy (see [`Tape::cross_entropy_sum`]).
+    pub fn cross_entropy_mean(&mut self, logits: Var, targets: &[usize]) -> Var {
+        let n = targets.len().max(1) as f32;
+        let s = self.cross_entropy_sum(logits, targets);
+        self.scale(s, 1.0 / n)
+    }
+
+    /// Summed binary cross-entropy of `probs` (already in `(0,1)`, e.g. from
+    /// a sigmoid) against `{0,1}` float labels of the same shape.
+    pub fn binary_cross_entropy_sum(&mut self, probs: Var, labels: &Tensor) -> Var {
+        let p = self.value(probs);
+        assert_eq!(p.shape(), labels.shape(), "bce shape mismatch");
+        let eps = 1e-7_f32;
+        let mut loss = 0.0_f64;
+        for (&pi, &yi) in p.data().iter().zip(labels.data()) {
+            let pc = pi.clamp(eps, 1.0 - eps);
+            loss -= (yi as f64) * (pc as f64).ln() + (1.0 - yi as f64) * (1.0 - pc as f64).ln();
+        }
+        let (pc, yc) = (p.clone(), labels.clone());
+        self.custom(Tensor::scalar(loss as f32), &[probs], move |g| {
+            let scale = g.item();
+            let mut ga = Tensor::zeros(pc.rows(), pc.cols());
+            for ((o, &pi), &yi) in ga.data_mut().iter_mut().zip(pc.data()).zip(yc.data()) {
+                let pcl = pi.clamp(eps, 1.0 - eps);
+                *o = scale * (pcl - yi) / (pcl * (1.0 - pcl));
+            }
+            vec![Some(ga)]
+        })
+    }
+
+    /// Summed squared error between `a` and a constant target.
+    pub fn mse_sum(&mut self, a: Var, target: &Tensor) -> Var {
+        let t = self.constant(target.clone());
+        let d = self.sub(a, t);
+        let sq = self.mul(d, d);
+        self.sum(sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ops::gradcheck::assert_grads;
+    use crate::{Tape, Tensor};
+
+    #[test]
+    fn cross_entropy_value_matches_manual() {
+        let mut t = Tape::new();
+        let logits = t.constant(Tensor::from_rows(&[&[2.0, 0.0], &[0.0, 0.0]]));
+        let l = t.cross_entropy_sum(logits, &[0, 1]);
+        let expect = -(2.0_f32.exp() / (2.0_f32.exp() + 1.0)).ln() - 0.5_f32.ln();
+        assert!((t.value(l).item() - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_grads() {
+        assert_grads(Tensor::from_rows(&[&[0.5, -1.0, 0.2], &[1.5, 0.0, -0.3]]), 1e-2, |t, x| {
+            t.cross_entropy_sum(x, &[2, 0])
+        });
+        assert_grads(Tensor::from_rows(&[&[0.5, -1.0, 0.2]]), 1e-2, |t, x| {
+            t.cross_entropy_mean(x, &[1])
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_entropy_rejects_bad_target() {
+        let mut t = Tape::new();
+        let logits = t.constant(Tensor::zeros(1, 2));
+        let _ = t.cross_entropy_sum(logits, &[2]);
+    }
+
+    #[test]
+    fn bce_grads() {
+        let labels = Tensor::from_rows(&[&[1.0, 0.0]]);
+        assert_grads(Tensor::row_vector(&[0.3, -0.4]), 1e-2, move |t, x| {
+            let p = t.sigmoid(x);
+            t.binary_cross_entropy_sum(p, &labels)
+        });
+    }
+
+    #[test]
+    fn mse_reaches_zero_at_target() {
+        let mut t = Tape::new();
+        let x = t.constant(Tensor::row_vector(&[1.0, 2.0]));
+        let l = t.mse_sum(x, &Tensor::row_vector(&[1.0, 2.0]));
+        assert_eq!(t.value(l).item(), 0.0);
+    }
+}

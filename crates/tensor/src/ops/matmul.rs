@@ -1,0 +1,66 @@
+//! Matrix product and transpose.
+
+use crate::{Tape, Var};
+
+impl Tape {
+    /// Matrix product `a [m,k] × b [k,n] → [m,n]`.
+    ///
+    /// Backward: `∂L/∂a = g · bᵀ`, `∂L/∂b = aᵀ · g`, both computed with the
+    /// transpose-fused kernels so no transposed copies are materialized.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value(a), self.value(b));
+        let out = va.matmul(vb);
+        let (ca, cb) = (va.clone(), vb.clone());
+        self.custom(out, &[a, b], move |g| {
+            vec![Some(g.matmul_nt(&cb)), Some(ca.matmul_tn(g))]
+        })
+    }
+
+    /// Transpose `a [m,n] → [n,m]`.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let out = self.value(a).transposed();
+        self.custom(out, &[a], |g| vec![Some(g.transposed())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ops::gradcheck::assert_grads;
+    use crate::{Tape, Tensor};
+
+    #[test]
+    fn matmul_grads_left_and_right() {
+        // Gradient with respect to the left operand.
+        assert_grads(Tensor::from_rows(&[&[0.5, -1.0], &[2.0, 0.3]]), 1e-2, |t, x| {
+            let b = t.constant(Tensor::from_rows(&[&[1.0, 2.0, -1.0], &[0.5, -0.5, 1.5]]));
+            let y = t.matmul(x, b);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        });
+        // Gradient with respect to the right operand.
+        assert_grads(Tensor::from_rows(&[&[1.0, 2.0], &[-0.5, 0.7]]), 1e-2, |t, x| {
+            let a = t.constant(Tensor::from_rows(&[&[0.3, -0.2], &[1.1, 0.8], &[-0.4, 0.6]]));
+            let y = t.matmul(a, x);
+            let sq = t.mul(y, y);
+            t.sum(sq)
+        });
+    }
+
+    #[test]
+    fn transpose_round_trip_grads() {
+        assert_grads(Tensor::from_rows(&[&[1.0, -2.0, 3.0]]), 1e-2, |t, x| {
+            let xt = t.transpose(x);
+            let y = t.matmul(x, xt); // x·xᵀ = squared norm as 1x1
+            t.sum(y)
+        });
+    }
+
+    #[test]
+    fn matmul_forward_shape() {
+        let mut t = Tape::new();
+        let a = t.constant(Tensor::zeros(3, 4));
+        let b = t.constant(Tensor::zeros(4, 5));
+        let c = t.matmul(a, b);
+        assert_eq!(t.value(c).shape(), (3, 5));
+    }
+}

@@ -1,0 +1,18 @@
+//! The differentiable operation set, implemented as methods on [`crate::Tape`].
+//!
+//! Each module contributes one family of operations:
+//! elementwise arithmetic & nonlinearities, matrix products, reductions and
+//! poolings, softmax-family ops, classification losses, shape manipulation
+//! (concat/slice), 1-D dilated convolution, layer normalization and dropout.
+
+mod conv;
+mod dropout;
+mod elementwise;
+mod loss;
+mod matmul;
+mod norm;
+mod reduce;
+mod shape_ops;
+mod softmax;
+
+pub mod gradcheck;

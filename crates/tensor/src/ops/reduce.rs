@@ -1,0 +1,158 @@
+//! Reductions and over-time poolings.
+
+use crate::{Tape, Tensor, Var};
+
+impl Tape {
+    /// Sum of all elements → scalar `[1,1]`.
+    pub fn sum(&mut self, a: Var) -> Var {
+        let v = self.value(a);
+        let (r, c) = v.shape();
+        let out = Tensor::scalar(v.sum());
+        self.custom(out, &[a], move |g| vec![Some(Tensor::full(r, c, g.item()))])
+    }
+
+    /// Mean of all elements → scalar `[1,1]`.
+    pub fn mean(&mut self, a: Var) -> Var {
+        let v = self.value(a);
+        let (r, c) = v.shape();
+        let n = (r * c) as f32;
+        let out = Tensor::scalar(v.sum() / n);
+        self.custom(out, &[a], move |g| vec![Some(Tensor::full(r, c, g.item() / n))])
+    }
+
+    /// Column-wise maximum over rows: `[n,d] → [1,d]`.
+    ///
+    /// This is "max over time" pooling — the global-feature extraction of
+    /// Collobert's sentence-approach network (paper Fig. 5) and of the
+    /// char-CNN word representation (paper Fig. 3a). Gradients route to the
+    /// arg-max row of each column (first row on ties).
+    pub fn max_over_rows(&mut self, a: Var) -> Var {
+        let v = self.value(a);
+        let (n, d) = v.shape();
+        assert!(n > 0, "max_over_rows on empty tensor");
+        let mut out = Tensor::zeros(1, d);
+        let mut argmax = vec![0usize; d];
+        for c in 0..d {
+            let mut best = v.at2(0, c);
+            for r in 1..n {
+                let x = v.at2(r, c);
+                if x > best {
+                    best = x;
+                    argmax[c] = r;
+                }
+            }
+            out.set2(0, c, best);
+        }
+        self.custom(out, &[a], move |g| {
+            let mut ga = Tensor::zeros(n, d);
+            for (c, &r) in argmax.iter().enumerate() {
+                ga.set2(r, c, g.at2(0, c));
+            }
+            vec![Some(ga)]
+        })
+    }
+
+    /// Column-wise mean over rows: `[n,d] → [1,d]` (average pooling).
+    pub fn mean_over_rows(&mut self, a: Var) -> Var {
+        let v = self.value(a);
+        let (n, d) = v.shape();
+        assert!(n > 0, "mean_over_rows on empty tensor");
+        let mut out = Tensor::zeros(1, d);
+        for r in 0..n {
+            let src = v.row(r);
+            for (o, &x) in out.data_mut().iter_mut().zip(src) {
+                *o += x;
+            }
+        }
+        out.scale_in_place(1.0 / n as f32);
+        self.custom(out, &[a], move |g| {
+            let mut ga = Tensor::zeros(n, d);
+            let inv = 1.0 / n as f32;
+            for r in 0..n {
+                let dst = ga.row_mut(r);
+                for (o, &x) in dst.iter_mut().zip(g.data()) {
+                    *o = x * inv;
+                }
+            }
+            vec![Some(ga)]
+        })
+    }
+
+    /// Row-wise sum: `[n,d] → [n,1]`.
+    pub fn sum_cols(&mut self, a: Var) -> Var {
+        let v = self.value(a);
+        let (n, d) = v.shape();
+        let mut out = Tensor::zeros(n, 1);
+        for r in 0..n {
+            out.set2(r, 0, v.row(r).iter().sum());
+        }
+        self.custom(out, &[a], move |g| {
+            let mut ga = Tensor::zeros(n, d);
+            for r in 0..n {
+                let gv = g.at2(r, 0);
+                ga.row_mut(r).iter_mut().for_each(|x| *x = gv);
+            }
+            vec![Some(ga)]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ops::gradcheck::assert_grads;
+    use crate::{Tape, Tensor};
+
+    fn probe() -> Tensor {
+        Tensor::from_rows(&[&[0.3, -0.7, 1.2], &[1.5, 0.1, 0.4], &[-0.2, 2.0, 0.9]])
+    }
+
+    #[test]
+    fn sum_and_mean_grads() {
+        assert_grads(probe(), 1e-2, |t, x| {
+            let sq = t.mul(x, x);
+            t.mean(sq)
+        });
+        assert_grads(probe(), 1e-2, |t, x| {
+            let sq = t.mul(x, x);
+            t.sum(sq)
+        });
+    }
+
+    #[test]
+    fn max_over_rows_forward_and_grads() {
+        let mut t = Tape::new();
+        let x = t.constant(probe());
+        let m = t.max_over_rows(x);
+        assert_eq!(t.value(m).data(), &[1.5, 2.0, 1.2]);
+
+        assert_grads(probe(), 1e-2, |t, x| {
+            let m = t.max_over_rows(x);
+            let sq = t.mul(m, m);
+            t.sum(sq)
+        });
+    }
+
+    #[test]
+    fn mean_over_rows_grads() {
+        assert_grads(probe(), 1e-2, |t, x| {
+            let m = t.mean_over_rows(x);
+            let sq = t.mul(m, m);
+            t.sum(sq)
+        });
+    }
+
+    #[test]
+    fn sum_cols_grads_and_shape() {
+        let mut t = Tape::new();
+        let x = t.constant(probe());
+        let s = t.sum_cols(x);
+        assert_eq!(t.value(s).shape(), (3, 1));
+        assert!((t.value(s).at2(0, 0) - 0.8).abs() < 1e-6);
+
+        assert_grads(probe(), 1e-2, |t, x| {
+            let s = t.sum_cols(x);
+            let sq = t.mul(s, s);
+            t.sum(sq)
+        });
+    }
+}

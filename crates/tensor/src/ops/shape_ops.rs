@@ -1,0 +1,238 @@
+//! Shape manipulation: concatenation, slicing and row selection.
+
+use crate::{Tape, Tensor, Var};
+
+impl Tape {
+    /// Horizontal concatenation: `[n,d1] ⧺ [n,d2] ⧺ … → [n, Σdᵢ]`.
+    ///
+    /// This is how hybrid input representations are assembled (paper §3.2.3):
+    /// word ⧺ char ⧺ features ⧺ contextual-LM columns.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols needs at least one part");
+        let n = self.value(parts[0]).rows();
+        let widths: Vec<usize> = parts
+            .iter()
+            .map(|&p| {
+                let v = self.value(p);
+                assert_eq!(v.rows(), n, "concat_cols row-count mismatch");
+                v.cols()
+            })
+            .collect();
+        let total: usize = widths.iter().sum();
+        let mut out = Tensor::zeros(n, total);
+        for r in 0..n {
+            let mut off = 0;
+            for (&p, &w) in parts.iter().zip(&widths) {
+                out.row_mut(r)[off..off + w].copy_from_slice(self.value(p).row(r));
+                off += w;
+            }
+        }
+        let widths_c = widths.clone();
+        self.custom(out, parts, move |g| {
+            let mut grads: Vec<Tensor> = widths_c.iter().map(|&w| Tensor::zeros(n, w)).collect();
+            for r in 0..n {
+                let mut off = 0;
+                for (gi, &w) in grads.iter_mut().zip(&widths_c) {
+                    gi.row_mut(r).copy_from_slice(&g.row(r)[off..off + w]);
+                    off += w;
+                }
+            }
+            grads.into_iter().map(Some).collect()
+        })
+    }
+
+    /// Vertical concatenation: `[n1,d] ⧺ [n2,d] ⧺ … → [Σnᵢ, d]`.
+    ///
+    /// Used to stack per-timestep hidden states into a sequence matrix.
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_rows needs at least one part");
+        let d = self.value(parts[0]).cols();
+        let heights: Vec<usize> = parts
+            .iter()
+            .map(|&p| {
+                let v = self.value(p);
+                assert_eq!(v.cols(), d, "concat_rows column-count mismatch");
+                v.rows()
+            })
+            .collect();
+        let total: usize = heights.iter().sum();
+        let mut out = Tensor::zeros(total, d);
+        let mut off = 0;
+        for &p in parts {
+            let v = self.value(p);
+            for r in 0..v.rows() {
+                out.row_mut(off + r).copy_from_slice(v.row(r));
+            }
+            off += v.rows();
+        }
+        let heights_c = heights.clone();
+        self.custom(out, parts, move |g| {
+            let mut grads = Vec::with_capacity(heights_c.len());
+            let mut off = 0;
+            for &h in &heights_c {
+                let mut gi = Tensor::zeros(h, d);
+                for r in 0..h {
+                    gi.row_mut(r).copy_from_slice(g.row(off + r));
+                }
+                off += h;
+                grads.push(Some(gi));
+            }
+            grads
+        })
+    }
+
+    /// Rows `[start, start+len)` of `a` as a new `[len, d]` tensor.
+    pub fn slice_rows(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let v = self.value(a);
+        let (n, d) = v.shape();
+        assert!(start + len <= n, "slice_rows out of bounds");
+        let mut out = Tensor::zeros(len, d);
+        for r in 0..len {
+            out.row_mut(r).copy_from_slice(v.row(start + r));
+        }
+        self.custom(out, &[a], move |g| {
+            let mut ga = Tensor::zeros(n, d);
+            for r in 0..len {
+                ga.row_mut(start + r).copy_from_slice(g.row(r));
+            }
+            vec![Some(ga)]
+        })
+    }
+
+    /// Row `i` of `a` as a `[1, d]` tensor.
+    pub fn row(&mut self, a: Var, i: usize) -> Var {
+        self.slice_rows(a, i, 1)
+    }
+
+    /// Columns `[start, start+len)` of `a` as a new `[n, len]` tensor —
+    /// used to split fused gate pre-activations (LSTM/GRU) and attention
+    /// heads.
+    pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let v = self.value(a);
+        let (n, d) = v.shape();
+        assert!(start + len <= d, "slice_cols out of bounds");
+        let mut out = Tensor::zeros(n, len);
+        for r in 0..n {
+            out.row_mut(r).copy_from_slice(&v.row(r)[start..start + len]);
+        }
+        self.custom(out, &[a], move |g| {
+            let mut ga = Tensor::zeros(n, d);
+            for r in 0..n {
+                ga.row_mut(r)[start..start + len].copy_from_slice(g.row(r));
+            }
+            vec![Some(ga)]
+        })
+    }
+
+    /// Reverses the row order of `a` — used to run "backward" RNN passes
+    /// with the same cell code as forward passes.
+    pub fn reverse_rows(&mut self, a: Var) -> Var {
+        let v = self.value(a);
+        let (n, d) = v.shape();
+        let mut out = Tensor::zeros(n, d);
+        for r in 0..n {
+            out.row_mut(r).copy_from_slice(v.row(n - 1 - r));
+        }
+        self.custom(out, &[a], move |g| {
+            let mut ga = Tensor::zeros(n, d);
+            for r in 0..n {
+                ga.row_mut(r).copy_from_slice(g.row(n - 1 - r));
+            }
+            vec![Some(ga)]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ops::gradcheck::assert_grads;
+    use crate::{Tape, Tensor};
+
+    fn probe() -> Tensor {
+        Tensor::from_rows(&[&[0.3, -0.7], &[1.5, 0.1], &[-0.2, 2.0]])
+    }
+
+    #[test]
+    fn concat_cols_forward_and_grads() {
+        let mut t = Tape::new();
+        let a = t.constant(Tensor::from_rows(&[&[1.0], &[2.0]]));
+        let b = t.constant(Tensor::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]));
+        let c = t.concat_cols(&[a, b]);
+        assert_eq!(t.value(c).row(0), &[1.0, 3.0, 4.0]);
+        assert_eq!(t.value(c).row(1), &[2.0, 5.0, 6.0]);
+
+        assert_grads(probe(), 1e-2, |t, x| {
+            let c = t.concat_cols(&[x, x]);
+            let sq = t.mul(c, c);
+            t.sum(sq)
+        });
+    }
+
+    #[test]
+    fn concat_rows_forward_and_grads() {
+        let mut t = Tape::new();
+        let a = t.constant(Tensor::from_rows(&[&[1.0, 2.0]]));
+        let b = t.constant(Tensor::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]));
+        let c = t.concat_rows(&[a, b]);
+        assert_eq!(t.value(c).shape(), (3, 2));
+        assert_eq!(t.value(c).row(2), &[5.0, 6.0]);
+
+        assert_grads(probe(), 1e-2, |t, x| {
+            let c = t.concat_rows(&[x, x]);
+            let sq = t.mul(c, c);
+            t.sum(sq)
+        });
+    }
+
+    #[test]
+    fn slice_and_row_grads() {
+        assert_grads(probe(), 1e-2, |t, x| {
+            let s = t.slice_rows(x, 1, 2);
+            let sq = t.mul(s, s);
+            t.sum(sq)
+        });
+        let mut t = Tape::new();
+        let x = t.constant(probe());
+        let r = t.row(x, 2);
+        assert_eq!(t.value(r).data(), &[-0.2, 2.0]);
+    }
+
+    #[test]
+    fn reverse_rows_is_involutive_and_differentiable() {
+        let mut t = Tape::new();
+        let x = t.constant(probe());
+        let r = t.reverse_rows(x);
+        let rr = t.reverse_rows(r);
+        assert_eq!(t.value(rr).data(), probe().data());
+
+        assert_grads(probe(), 1e-2, |t, x| {
+            let r = t.reverse_rows(x);
+            let w = t.constant(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]));
+            let p = t.mul(r, w);
+            t.sum(p)
+        });
+    }
+
+    #[test]
+    fn slice_cols_forward_and_grads() {
+        let mut t = Tape::new();
+        let x = t.constant(probe());
+        let c = t.slice_cols(x, 1, 1);
+        assert_eq!(t.value(c).shape(), (3, 1));
+        assert_eq!(t.value(c).data(), &[-0.7, 0.1, 2.0]);
+
+        assert_grads(probe(), 1e-2, |t, x| {
+            let c = t.slice_cols(x, 0, 2);
+            let sq = t.mul(c, c);
+            t.sum(sq)
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_rows_bounds_checked() {
+        let mut t = Tape::new();
+        let x = t.constant(probe());
+        let _ = t.slice_rows(x, 2, 2);
+    }
+}

@@ -1,0 +1,240 @@
+use crate::{ParamId, ParamStore, Tensor};
+
+/// Handle to a node in a [`Tape`]. Cheap to copy; only valid for the tape
+/// that produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+/// Where a leaf node's gradient should be delivered after backpropagation.
+enum Sink {
+    /// Whole-tensor gradient for a parameter.
+    Param(ParamId),
+    /// Row-scattered gradient for an embedding lookup: row `i` of the node's
+    /// gradient is added into row `indices[i]` of the parameter's gradient.
+    ParamRows(ParamId, Vec<usize>),
+}
+
+/// Backward rule: given the gradient flowing into a node's output, produce
+/// the gradient contribution for each parent (aligned with the node's parent
+/// list; `None` means "no gradient to this parent").
+type BackFn = Box<dyn Fn(&Tensor) -> Vec<Option<Tensor>>>;
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    parents: Vec<usize>,
+    backward: Option<BackFn>,
+    sink: Option<Sink>,
+}
+
+/// A reverse-mode automatic-differentiation graph.
+///
+/// Operations append nodes; since every node's parents precede it, reverse
+/// insertion order is a valid reverse topological order and
+/// [`Tape::backward`] is a single reverse sweep. A tape is intended to live
+/// for exactly one forward/backward pass (one sentence, in the NER setting).
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes currently on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tape holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, node: Node) -> Var {
+        self.nodes.push(node);
+        Var(self.nodes.len() - 1)
+    }
+
+    /// A leaf holding a constant (no gradient is tracked through it).
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(Node { value, grad: None, parents: vec![], backward: None, sink: None })
+    }
+
+    /// A differentiable leaf for parameter `id`: its value is the parameter's
+    /// current value and its gradient is delivered to the store on
+    /// [`Tape::backward`].
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(Node {
+            value: store.value(id).clone(),
+            grad: None,
+            parents: vec![],
+            backward: None,
+            sink: Some(Sink::Param(id)),
+        })
+    }
+
+    /// An embedding-lookup leaf: gathers `indices` rows of parameter `id`
+    /// without cloning the whole table; gradients scatter-add back into the
+    /// selected rows. This is the input-representation workhorse.
+    pub fn param_rows(&mut self, store: &ParamStore, id: ParamId, indices: &[usize]) -> Var {
+        let table = store.value(id);
+        self.push(Node {
+            value: table.gather_rows(indices),
+            grad: None,
+            parents: vec![],
+            backward: None,
+            sink: Some(Sink::ParamRows(id, indices.to_vec())),
+        })
+    }
+
+    /// Appends a custom differentiable operation. `backward` receives the
+    /// output gradient and must return one gradient (or `None`) per parent,
+    /// in order. This is the extension point used by e.g. the CRF layer in
+    /// `ner-core`, whose gradients are hand-derived via forward–backward.
+    pub fn custom(
+        &mut self,
+        value: Tensor,
+        parents: &[Var],
+        backward: impl Fn(&Tensor) -> Vec<Option<Tensor>> + 'static,
+    ) -> Var {
+        debug_assert!(parents.iter().all(|p| p.0 < self.nodes.len()), "parent from another tape");
+        self.push(Node {
+            value,
+            grad: None,
+            parents: parents.iter().map(|p| p.0).collect(),
+            backward: Some(Box::new(backward)),
+            sink: None,
+        })
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The gradient of the loss with respect to a node, if `backward` has
+    /// been run and the node was reached. Needed e.g. by adversarial (FGM)
+    /// training, which perturbs inputs along their gradient.
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Backpropagates from scalar node `loss`, accumulating parameter
+    /// gradients into `store`.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not a `1 × 1` tensor.
+    pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward requires a scalar loss node"
+        );
+        self.nodes[loss.0].grad = Some(Tensor::scalar(1.0));
+
+        for i in (0..self.nodes.len()).rev() {
+            // Split so we can read node `i` while mutating earlier parents.
+            let (before, rest) = self.nodes.split_at_mut(i);
+            let node = &mut rest[0];
+            let Some(grad_out) = node.grad.as_ref() else { continue };
+
+            if let Some(back) = node.backward.as_ref() {
+                let deltas = back(grad_out);
+                debug_assert_eq!(deltas.len(), node.parents.len());
+                for (slot, delta) in node.parents.iter().zip(deltas) {
+                    let Some(delta) = delta else { continue };
+                    let parent = &mut before[*slot];
+                    debug_assert_eq!(
+                        parent.value.shape(),
+                        delta.shape(),
+                        "gradient shape mismatch for parent"
+                    );
+                    match parent.grad.as_mut() {
+                        Some(g) => g.add_scaled(&delta, 1.0),
+                        None => parent.grad = Some(delta),
+                    }
+                }
+            }
+
+            match node.sink.as_ref() {
+                Some(Sink::Param(id)) => store.accumulate_grad(*id, node.grad.as_ref().unwrap()),
+                Some(Sink::ParamRows(id, ix)) => {
+                    store.accumulate_grad_rows(*id, ix, node.grad.as_ref().unwrap())
+                }
+                None => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    #[test]
+    fn constant_has_no_grad_after_backward() {
+        let mut store = ParamStore::new();
+        let mut tape = Tape::new();
+        let c = tape.constant(Tensor::scalar(2.0));
+        let p = store.register("w", Tensor::scalar(3.0));
+        let w = tape.param(&store, p);
+        let y = tape.mul(c, w);
+        tape.backward(y, &mut store);
+        // d(c*w)/dw = c = 2
+        assert_eq!(store.grad(p).item(), 2.0);
+        assert!(tape.grad(c).is_some()); // gradient flows through, but is not sunk
+    }
+
+    #[test]
+    fn param_rows_scatter_grads() {
+        let mut store = ParamStore::new();
+        let table = store.register("emb", Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, 2.0]]));
+        let mut tape = Tape::new();
+        let rows = tape.param_rows(&store, table, &[2, 0, 2]);
+        assert_eq!(tape.value(rows).rows(), 3);
+        let s = tape.sum(rows);
+        tape.backward(s, &mut store);
+        // rows 2 picked twice, row 0 once, row 1 never
+        assert_eq!(store.grad(table).row(2), &[2.0, 2.0]);
+        assert_eq!(store.grad(table).row(0), &[1.0, 1.0]);
+        assert_eq!(store.grad(table).row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn gradient_accumulates_over_fanout() {
+        let mut store = ParamStore::new();
+        let p = store.register("w", Tensor::scalar(4.0));
+        let mut tape = Tape::new();
+        let w = tape.param(&store, p);
+        let y = tape.mul(w, w); // y = w², dy/dw = 2w = 8
+        tape.backward(y, &mut store);
+        assert_eq!(store.grad(p).item(), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_rejects_non_scalar_loss() {
+        let mut store = ParamStore::new();
+        let mut tape = Tape::new();
+        let c = tape.constant(Tensor::zeros(2, 2));
+        tape.backward(c, &mut store);
+    }
+
+    #[test]
+    fn custom_op_backward_is_invoked() {
+        let mut store = ParamStore::new();
+        let p = store.register("w", Tensor::scalar(5.0));
+        let mut tape = Tape::new();
+        let w = tape.param(&store, p);
+        // y = 3w via a custom node.
+        let val = Tensor::scalar(tape.value(w).item() * 3.0);
+        let y = tape.custom(val, &[w], |g| vec![Some(Tensor::scalar(g.item() * 3.0))]);
+        tape.backward(y, &mut store);
+        assert_eq!(store.grad(p).item(), 3.0);
+    }
+}

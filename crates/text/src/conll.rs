@@ -1,0 +1,108 @@
+//! CoNLL-format reading and writing.
+//!
+//! The two-column variant (`token<space-or-tab>tag`, blank line between
+//! sentences) used by the CoNLL-2003 shared task and virtually every NER
+//! toolkit since. Reading is scheme-lenient: tags are decoded to spans with
+//! the tolerant parser of [`TagScheme::tags_to_spans`].
+
+use crate::{Sentence, TagScheme};
+use std::fmt::Write as _;
+
+/// Serializes a dataset slice to CoNLL format under the given scheme.
+pub fn write_conll(sentences: &[Sentence], scheme: TagScheme) -> String {
+    let mut out = String::new();
+    for s in sentences {
+        let tags = s.tags(scheme);
+        for (tok, tag) in s.tokens.iter().zip(tags) {
+            writeln!(out, "{} {}", tok.text, tag).expect("writing to String cannot fail");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses CoNLL text; tags are interpreted under `scheme`.
+///
+/// Tolerates: repeated blank lines, trailing whitespace, and extra middle
+/// columns (token is first, tag last, as in the 4-column CoNLL-2003
+/// layout). Lines are never treated as comments: `#`-initial tokens are
+/// real data in social-media corpora.
+pub fn read_conll(text: &str, scheme: TagScheme) -> Vec<Sentence> {
+    let mut sentences = Vec::new();
+    let mut tokens: Vec<String> = Vec::new();
+    let mut tags: Vec<String> = Vec::new();
+
+    let mut flush = |tokens: &mut Vec<String>, tags: &mut Vec<String>| {
+        if tokens.is_empty() {
+            return;
+        }
+        let spans = scheme.tags_to_spans(tags);
+        sentences.push(Sentence::new(tokens.as_slice(), spans));
+        tokens.clear();
+        tags.clear();
+    };
+
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            flush(&mut tokens, &mut tags);
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let token = fields.next().expect("non-empty line has a first field");
+        let tag = fields.last().unwrap_or("O");
+        tokens.push(token.to_string());
+        tags.push(tag.to_string());
+    }
+    flush(&mut tokens, &mut tags);
+    sentences
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EntitySpan;
+
+    fn sample() -> Vec<Sentence> {
+        vec![
+            Sentence::new(
+                &["Jordan", "visited", "New", "York", "."],
+                vec![EntitySpan::new(0, 1, "PER"), EntitySpan::new(2, 4, "LOC")],
+            ),
+            Sentence::new(&["No", "entities", "here"], vec![]),
+        ]
+    }
+
+    #[test]
+    fn round_trip_bio_and_bioes() {
+        for scheme in [TagScheme::Bio, TagScheme::Bioes] {
+            let text = write_conll(&sample(), scheme);
+            let back = read_conll(&text, scheme);
+            assert_eq!(back, sample(), "round trip failed for {scheme:?}");
+        }
+    }
+
+    #[test]
+    fn format_shape() {
+        let text = write_conll(&sample()[..1], TagScheme::Bio);
+        let first_line = text.lines().next().unwrap();
+        assert_eq!(first_line, "Jordan B-PER");
+        assert!(text.ends_with("\n\n"));
+    }
+
+    #[test]
+    fn tolerant_reading() {
+        let text = "Jordan NNP B-PER\nvisited VBD O\n\n\n#Brooklyn B-LOC\n";
+        let sents = read_conll(text, TagScheme::Bio);
+        assert_eq!(sents.len(), 2);
+        assert_eq!(sents[0].entities, vec![EntitySpan::new(0, 1, "PER")]);
+        assert_eq!(sents[1].entities, vec![EntitySpan::new(0, 1, "LOC")]);
+        assert_eq!(sents[1].tokens[0].text, "#Brooklyn", "hashtag tokens are data, not comments");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(read_conll("", TagScheme::Bio).is_empty());
+        assert!(read_conll("\n\n\n", TagScheme::Bio).is_empty());
+    }
+}

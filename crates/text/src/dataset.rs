@@ -1,0 +1,226 @@
+use crate::{Sentence, Vocab};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A collection of annotated sentences, plus split and statistics helpers.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Sentences in corpus order.
+    pub sentences: Vec<Sentence>,
+}
+
+/// Summary statistics of a dataset, in the spirit of the paper's Table 1
+/// dataset inventory.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of sentences.
+    pub sentences: usize,
+    /// Number of tokens.
+    pub tokens: usize,
+    /// Total entity mentions.
+    pub entities: usize,
+    /// Number of distinct entity types ("#Tags" in Table 1).
+    pub entity_types: usize,
+    /// Mentions per type.
+    pub per_type: BTreeMap<String, usize>,
+    /// Fraction of entities nested inside another entity (×100 = the
+    /// "17% in GENIA / 30% of ACE sentences" statistic of §5.1).
+    pub nested_fraction: f64,
+    /// Mean sentence length in tokens.
+    pub mean_len: f64,
+}
+
+impl Dataset {
+    /// Wraps a sentence list.
+    pub fn new(sentences: Vec<Sentence>) -> Self {
+        Dataset { sentences }
+    }
+
+    /// Number of sentences.
+    pub fn len(&self) -> usize {
+        self.sentences.len()
+    }
+
+    /// True when there are no sentences.
+    pub fn is_empty(&self) -> bool {
+        self.sentences.is_empty()
+    }
+
+    /// The distinct entity-type labels, sorted.
+    pub fn entity_types(&self) -> Vec<String> {
+        let set: BTreeSet<String> = self
+            .sentences
+            .iter()
+            .flat_map(|s| s.entities.iter().map(|e| e.label.clone()))
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// Shuffles and splits into (train, dev, test) by the given fractions
+    /// (test receives the remainder).
+    ///
+    /// # Panics
+    /// Panics if the fractions are not in `(0,1)` or sum to ≥ 1.
+    pub fn split(&self, rng: &mut impl Rng, train: f64, dev: f64) -> (Dataset, Dataset, Dataset) {
+        assert!(train > 0.0 && dev > 0.0 && train + dev < 1.0, "invalid split fractions");
+        let mut order: Vec<usize> = (0..self.sentences.len()).collect();
+        order.shuffle(rng);
+        let n_train = (self.len() as f64 * train).round() as usize;
+        let n_dev = (self.len() as f64 * dev).round() as usize;
+        let pick = |ix: &[usize]| {
+            Dataset::new(ix.iter().map(|&i| self.sentences[i].clone()).collect())
+        };
+        (
+            pick(&order[..n_train]),
+            pick(&order[n_train..n_train + n_dev]),
+            pick(&order[n_train + n_dev..]),
+        )
+    }
+
+    /// Builds the word vocabulary (lowercased) with a frequency floor.
+    pub fn word_vocab(&self, min_count: usize) -> Vocab {
+        Vocab::build(
+            self.sentences.iter().flat_map(|s| s.lower_texts()),
+            min_count,
+        )
+    }
+
+    /// Builds the character vocabulary.
+    pub fn char_vocab(&self) -> Vocab {
+        Vocab::build_chars(
+            self.sentences.iter().flat_map(|s| s.tokens.iter().map(|t| t.text.clone())),
+            1,
+        )
+    }
+
+    /// Computes Table-1-style summary statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let tokens: usize = self.sentences.iter().map(Sentence::len).sum();
+        let mut per_type: BTreeMap<String, usize> = BTreeMap::new();
+        let mut entities = 0;
+        let mut nested = 0;
+        for s in &self.sentences {
+            entities += s.entities.len();
+            nested += s.nested_entities().len();
+            for e in &s.entities {
+                *per_type.entry(e.label.clone()).or_insert(0) += 1;
+            }
+        }
+        DatasetStats {
+            sentences: self.len(),
+            tokens,
+            entities,
+            entity_types: per_type.len(),
+            nested_fraction: if entities == 0 { 0.0 } else { nested as f64 / entities as f64 },
+            per_type,
+            mean_len: if self.is_empty() { 0.0 } else { tokens as f64 / self.len() as f64 },
+        }
+    }
+
+    /// The set of distinct entity surface forms (lowercased) — used to
+    /// measure *unseen entity* recall (§5.1): test entities whose surface
+    /// never occurs as a training entity.
+    pub fn entity_surfaces(&self) -> BTreeSet<String> {
+        let mut set = BTreeSet::new();
+        for s in &self.sentences {
+            for e in &s.entities {
+                let surface: Vec<String> =
+                    s.tokens[e.start..e.end].iter().map(|t| t.text.to_lowercase()).collect();
+                set.insert(surface.join(" "));
+            }
+        }
+        set
+    }
+
+    /// Concatenates two datasets.
+    pub fn concat(&self, other: &Dataset) -> Dataset {
+        let mut sentences = self.sentences.clone();
+        sentences.extend(other.sentences.clone());
+        Dataset::new(sentences)
+    }
+
+    /// A dataset of the first `n` sentences (for budget/low-resource sweeps).
+    pub fn take(&self, n: usize) -> Dataset {
+        Dataset::new(self.sentences.iter().take(n).cloned().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EntitySpan;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample(n: usize) -> Dataset {
+        let sentences = (0..n)
+            .map(|i| {
+                Sentence::new(
+                    &["Jordan", "visited", "Brooklyn", &format!("x{i}")],
+                    vec![EntitySpan::new(0, 1, "PER"), EntitySpan::new(2, 3, "LOC")],
+                )
+            })
+            .collect();
+        Dataset::new(sentences)
+    }
+
+    #[test]
+    fn stats_reflect_content() {
+        let d = sample(10);
+        let st = d.stats();
+        assert_eq!(st.sentences, 10);
+        assert_eq!(st.tokens, 40);
+        assert_eq!(st.entities, 20);
+        assert_eq!(st.entity_types, 2);
+        assert_eq!(st.per_type["PER"], 10);
+        assert_eq!(st.nested_fraction, 0.0);
+        assert_eq!(st.mean_len, 4.0);
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let d = sample(100);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (tr, dv, te) = d.split(&mut rng, 0.7, 0.15);
+        assert_eq!(tr.len() + dv.len() + te.len(), 100);
+        assert_eq!(tr.len(), 70);
+        assert_eq!(dv.len(), 15);
+    }
+
+    #[test]
+    fn vocab_building() {
+        let d = sample(3);
+        let v = d.word_vocab(1);
+        assert!(v.get("jordan").is_some());
+        assert!(v.get("Jordan").is_none(), "vocab is lowercased");
+        let cv = d.char_vocab();
+        assert!(cv.get("J").is_some());
+    }
+
+    #[test]
+    fn entity_surfaces_lowercased() {
+        let d = sample(1);
+        let s = d.entity_surfaces();
+        assert!(s.contains("jordan"));
+        assert!(s.contains("brooklyn"));
+    }
+
+    #[test]
+    fn take_and_concat() {
+        let d = sample(5);
+        assert_eq!(d.take(2).len(), 2);
+        assert_eq!(d.concat(&d.take(2)).len(), 7);
+    }
+
+    #[test]
+    fn nested_fraction_counts_inner() {
+        let s = Sentence::new(
+            &["University", "of", "Singapore"],
+            vec![EntitySpan::new(0, 3, "ORG"), EntitySpan::new(2, 3, "LOC")],
+        );
+        let st = Dataset::new(vec![s]).stats();
+        assert!((st.nested_fraction - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,187 @@
+//! Hand-crafted word features (paper §2.4.3) packaged as dense vectors for
+//! hybrid neural input representations (paper §3.2.3).
+//!
+//! The feature groups mirror the classics: Chiu & Nichols' 4-way character
+//! type and capitalization features, Strubell et al.'s 5-dimensional word
+//! shape vector, and affix/lexical indicators.
+
+use serde::{Deserialize, Serialize};
+
+/// Coarse casing category of a token (Chiu & Nichols 2016).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Casing {
+    /// Entirely lowercase letters.
+    Lower,
+    /// Entirely uppercase letters ("NASA").
+    Upper,
+    /// First letter uppercase, rest lowercase ("London").
+    Title,
+    /// Mixed case ("iPhone").
+    Mixed,
+    /// No letters at all (digits, punctuation).
+    NoLetters,
+}
+
+/// Classifies the casing of a word.
+pub fn casing(word: &str) -> Casing {
+    let letters: Vec<char> = word.chars().filter(|c| c.is_alphabetic()).collect();
+    if letters.is_empty() {
+        return Casing::NoLetters;
+    }
+    let upper = letters.iter().filter(|c| c.is_uppercase()).count();
+    if upper == 0 {
+        Casing::Lower
+    } else if upper == letters.len() {
+        Casing::Upper
+    } else if letters[0].is_uppercase() && upper == 1 {
+        Casing::Title
+    } else {
+        Casing::Mixed
+    }
+}
+
+/// Compressed word shape: uppercase→`X`, lowercase→`x`, digit→`d`,
+/// other→`-`, with runs collapsed ("Brooklyn"→"Xx", "W-NUT17"→"X-Xd").
+pub fn word_shape(word: &str) -> String {
+    let mut out = String::new();
+    let mut last = '\0';
+    for c in word.chars() {
+        let s = if c.is_uppercase() {
+            'X'
+        } else if c.is_lowercase() {
+            'x'
+        } else if c.is_ascii_digit() {
+            'd'
+        } else {
+            '-'
+        };
+        if s != last {
+            out.push(s);
+            last = s;
+        }
+    }
+    out
+}
+
+/// Width of the dense feature vector produced by [`token_features`].
+pub const FEATURE_DIM: usize = 16;
+
+/// Encodes one token (with its neighbors for boundary awareness) as a dense
+/// `FEATURE_DIM`-dimensional 0/1 vector:
+///
+/// * dims 0–4: one-hot casing category,
+/// * dim 5: all characters are digits,
+/// * dim 6: contains a digit,
+/// * dim 7: contains a hyphen,
+/// * dim 8: contains an apostrophe,
+/// * dim 9: is punctuation-only,
+/// * dim 10: length == 1,
+/// * dim 11: length >= 8,
+/// * dim 12: starts a sentence (position 0),
+/// * dim 13: previous token is sentence punctuation,
+/// * dim 14: looks like an @mention or #hashtag,
+/// * dim 15: looks like a URL.
+pub fn token_features(tokens: &[&str], position: usize) -> [f32; FEATURE_DIM] {
+    let word = tokens[position];
+    let mut f = [0.0f32; FEATURE_DIM];
+    f[match casing(word) {
+        Casing::Lower => 0,
+        Casing::Upper => 1,
+        Casing::Title => 2,
+        Casing::Mixed => 3,
+        Casing::NoLetters => 4,
+    }] = 1.0;
+    let chars: Vec<char> = word.chars().collect();
+    if !chars.is_empty() && chars.iter().all(|c| c.is_ascii_digit()) {
+        f[5] = 1.0;
+    }
+    if chars.iter().any(|c| c.is_ascii_digit()) {
+        f[6] = 1.0;
+    }
+    if word.contains('-') {
+        f[7] = 1.0;
+    }
+    if word.contains('\'') {
+        f[8] = 1.0;
+    }
+    if !chars.is_empty() && chars.iter().all(|c| c.is_ascii_punctuation()) {
+        f[9] = 1.0;
+    }
+    if chars.len() == 1 {
+        f[10] = 1.0;
+    }
+    if chars.len() >= 8 {
+        f[11] = 1.0;
+    }
+    if position == 0 {
+        f[12] = 1.0;
+    }
+    if position > 0 && matches!(tokens[position - 1], "." | "!" | "?") {
+        f[13] = 1.0;
+    }
+    if word.starts_with('@') || word.starts_with('#') {
+        f[14] = 1.0;
+    }
+    if word.starts_with("http://") || word.starts_with("https://") {
+        f[15] = 1.0;
+    }
+    f
+}
+
+/// The lowercase prefix of `word` up to `n` characters (affix feature).
+pub fn prefix(word: &str, n: usize) -> String {
+    word.chars().take(n).collect::<String>().to_lowercase()
+}
+
+/// The lowercase suffix of `word` up to `n` characters (affix feature).
+pub fn suffix(word: &str, n: usize) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    let start = chars.len().saturating_sub(n);
+    chars[start..].iter().collect::<String>().to_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn casing_categories() {
+        assert_eq!(casing("london"), Casing::Lower);
+        assert_eq!(casing("NASA"), Casing::Upper);
+        assert_eq!(casing("London"), Casing::Title);
+        assert_eq!(casing("iPhone"), Casing::Mixed);
+        assert_eq!(casing("42"), Casing::NoLetters);
+        assert_eq!(casing("McDonald"), Casing::Mixed);
+    }
+
+    #[test]
+    fn shapes_collapse_runs() {
+        assert_eq!(word_shape("Brooklyn"), "Xx");
+        assert_eq!(word_shape("W-NUT17"), "X-Xd");
+        assert_eq!(word_shape("3.5"), "d-d");
+        assert_eq!(word_shape(""), "");
+    }
+
+    #[test]
+    fn feature_vector_flags() {
+        let toks = ["He", "visited", "Brooklyn", ".", "Great"];
+        let f = token_features(&toks, 2);
+        assert_eq!(f[2], 1.0, "Title case");
+        assert_eq!(f[12], 0.0, "not sentence start");
+        let f0 = token_features(&toks, 0);
+        assert_eq!(f0[12], 1.0, "sentence start");
+        let f4 = token_features(&toks, 4);
+        assert_eq!(f4[13], 1.0, "after period");
+        let toks2 = ["#nyc", "42", "https://x.io"];
+        assert_eq!(token_features(&toks2, 0)[14], 1.0);
+        assert_eq!(token_features(&toks2, 1)[5], 1.0);
+        assert_eq!(token_features(&toks2, 2)[15], 1.0);
+    }
+
+    #[test]
+    fn affixes() {
+        assert_eq!(prefix("Washington", 3), "was");
+        assert_eq!(suffix("Washington", 3), "ton");
+        assert_eq!(suffix("ab", 5), "ab");
+    }
+}

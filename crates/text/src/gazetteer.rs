@@ -1,0 +1,130 @@
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+
+/// A typed phrase list with longest-match lookup — the classic gazetteer
+/// feature (paper §2.4.1, §3.2.3; Huang et al. 2015's BiLSTM-CRF uses
+/// exactly this as an extra input feature).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Gazetteer {
+    /// type name → set of lowercased phrases (token-joined with a space)
+    entries: BTreeMap<String, HashSet<String>>,
+    max_phrase_len: usize,
+}
+
+impl Gazetteer {
+    /// An empty gazetteer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a phrase (given as tokens) under an entity type.
+    pub fn add<S: AsRef<str>>(&mut self, entity_type: &str, phrase_tokens: &[S]) {
+        assert!(!phrase_tokens.is_empty(), "empty gazetteer phrase");
+        let key = phrase_tokens
+            .iter()
+            .map(|t| t.as_ref().to_lowercase())
+            .collect::<Vec<_>>()
+            .join(" ");
+        self.max_phrase_len = self.max_phrase_len.max(phrase_tokens.len());
+        self.entries.entry(entity_type.to_string()).or_default().insert(key);
+    }
+
+    /// The entity types present, in sorted order (stable feature layout).
+    pub fn types(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// Number of phrases across all types.
+    pub fn len(&self) -> usize {
+        self.entries.values().map(HashSet::len).sum()
+    }
+
+    /// True when no phrases have been added.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the token span matches a phrase of `entity_type`
+    /// (case-insensitive).
+    pub fn contains<S: AsRef<str>>(&self, entity_type: &str, phrase_tokens: &[S]) -> bool {
+        let key = phrase_tokens
+            .iter()
+            .map(|t| t.as_ref().to_lowercase())
+            .collect::<Vec<_>>()
+            .join(" ");
+        self.entries.get(entity_type).is_some_and(|set| set.contains(&key))
+    }
+
+    /// Per-token gazetteer features: for each token a 0/1 vector over
+    /// [`Gazetteer::types`] where dimension `k` is 1 when the token is
+    /// covered by a longest-first match of any phrase of type `k`.
+    pub fn features(&self, tokens: &[&str]) -> Vec<Vec<f32>> {
+        let types = self.types();
+        let mut feats = vec![vec![0.0; types.len()]; tokens.len()];
+        for (k, ty) in types.iter().enumerate() {
+            let mut i = 0;
+            while i < tokens.len() {
+                let mut matched = 0;
+                let longest = self.max_phrase_len.min(tokens.len() - i);
+                for len in (1..=longest).rev() {
+                    if self.contains(ty, &tokens[i..i + len]) {
+                        matched = len;
+                        break;
+                    }
+                }
+                if matched > 0 {
+                    for f in feats.iter_mut().skip(i).take(matched) {
+                        f[k] = 1.0;
+                    }
+                    i += matched;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        feats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Gazetteer {
+        let mut g = Gazetteer::new();
+        g.add("LOC", &["New", "York"]);
+        g.add("LOC", &["Brooklyn"]);
+        g.add("PER", &["Jordan"]);
+        g
+    }
+
+    #[test]
+    fn membership_is_case_insensitive() {
+        let g = sample();
+        assert!(g.contains("LOC", &["new", "york"]));
+        assert!(g.contains("LOC", &["NEW", "YORK"]));
+        assert!(!g.contains("LOC", &["York"]));
+        assert!(!g.contains("ORG", &["Brooklyn"]));
+    }
+
+    #[test]
+    fn features_mark_longest_matches() {
+        let g = sample();
+        let toks = ["Jordan", "visited", "New", "York"];
+        let f = g.features(&toks);
+        let types = g.types(); // ["LOC", "PER"]
+        assert_eq!(types, vec!["LOC", "PER"]);
+        assert_eq!(f[0], vec![0.0, 1.0]); // Jordan = PER
+        assert_eq!(f[1], vec![0.0, 0.0]);
+        assert_eq!(f[2], vec![1.0, 0.0]); // New York = LOC
+        assert_eq!(f[3], vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn counts_and_types() {
+        let g = sample();
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+        assert!(Gazetteer::new().is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! # ner-text — text processing for `neural-ner`
+//!
+//! The "data-processing" module the survey's future-work section calls for:
+//!
+//! * [`Token`] / [`Sentence`] / [`Dataset`] — the core data model. Gold
+//!   annotations are stored as [`EntitySpan`]s (start, end, type), matching
+//!   the paper's formal definition of NER output (§2.1), and converted to
+//!   per-token tags on demand.
+//! * [`TagScheme`] (IO / BIO / BIOES) with span↔tag conversion, validation
+//!   and scheme conversion, plus [`TagSet`] mapping tag strings to indices.
+//! * [`Vocab`] — frequency-thresholded token/character vocabularies with
+//!   `<unk>` handling.
+//! * [`tokenize`] — a rule tokenizer for raw strings.
+//! * [`features`] — the hand-crafted features of feature-based NER (§2.4.3)
+//!   reused as *hybrid* neural inputs (§3.2.3): word shape, casing, affixes.
+//! * [`pos`] — a lightweight rule POS tagger (POS features, §3.2.3).
+//! * [`Gazetteer`] — longest-match phrase lists (gazetteer features, §3.2.3).
+//! * [`conll`] — CoNLL-format reading and writing.
+
+#![warn(missing_docs)]
+
+pub mod conll;
+mod dataset;
+pub mod features;
+mod gazetteer;
+pub mod pos;
+mod sentence;
+mod span;
+mod tag;
+pub mod tokenize;
+mod vocab;
+
+pub use dataset::{Dataset, DatasetStats};
+pub use gazetteer::Gazetteer;
+pub use sentence::{Sentence, Token};
+pub use span::EntitySpan;
+pub use tag::{TagScheme, TagSet};
+pub use vocab::{Vocab, PAD, UNK};

@@ -1,0 +1,183 @@
+//! A lightweight rule-based part-of-speech tagger.
+//!
+//! Several hybrid NER systems in the survey (Collobert et al., Yao et al.,
+//! Lin et al.) concatenate POS features with embeddings (§3.2.3). We provide
+//! the substrate: a closed-class-lexicon plus suffix-heuristic tagger over a
+//! coarse universal-style tag set. It is deliberately simple — the NER
+//! experiments only require a *correlated* syntactic signal, not a perfect
+//! parser.
+
+use serde::{Deserialize, Serialize};
+
+/// Coarse part-of-speech tags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PosTag {
+    /// Common noun.
+    Noun,
+    /// Proper noun (capitalized, non-initial heuristic).
+    PropN,
+    /// Verb (including auxiliaries).
+    Verb,
+    /// Adjective.
+    Adj,
+    /// Adverb.
+    Adv,
+    /// Pronoun.
+    Pron,
+    /// Determiner / article.
+    Det,
+    /// Adposition (preposition).
+    Adp,
+    /// Conjunction.
+    Conj,
+    /// Numeral.
+    Num,
+    /// Punctuation.
+    Punct,
+    /// Everything else.
+    Other,
+}
+
+/// Number of distinct [`PosTag`] values (one-hot width).
+pub const POS_DIM: usize = 12;
+
+impl PosTag {
+    /// Dense index for one-hot encoding.
+    pub fn index(self) -> usize {
+        match self {
+            PosTag::Noun => 0,
+            PosTag::PropN => 1,
+            PosTag::Verb => 2,
+            PosTag::Adj => 3,
+            PosTag::Adv => 4,
+            PosTag::Pron => 5,
+            PosTag::Det => 6,
+            PosTag::Adp => 7,
+            PosTag::Conj => 8,
+            PosTag::Num => 9,
+            PosTag::Punct => 10,
+            PosTag::Other => 11,
+        }
+    }
+
+    /// One-hot feature vector.
+    pub fn one_hot(self) -> [f32; POS_DIM] {
+        let mut v = [0.0; POS_DIM];
+        v[self.index()] = 1.0;
+        v
+    }
+}
+
+const DETERMINERS: &[&str] = &["the", "a", "an", "this", "that", "these", "those", "its", "his", "her", "their", "our", "my", "your"];
+const PRONOUNS: &[&str] = &["he", "she", "it", "they", "we", "i", "you", "him", "her", "them", "us", "me", "who", "which"];
+const ADPOSITIONS: &[&str] = &["in", "on", "at", "of", "to", "from", "with", "by", "for", "near", "over", "under", "into", "about", "after", "before", "against"];
+const CONJUNCTIONS: &[&str] = &["and", "or", "but", "nor", "yet", "so", "while", "because", "although"];
+const AUX_VERBS: &[&str] = &["is", "are", "was", "were", "be", "been", "being", "has", "have", "had", "will", "would", "can", "could", "may", "might", "shall", "should", "must", "do", "does", "did", "said", "says", "say"];
+const COMMON_ADVERBS: &[&str] = &["very", "quite", "also", "not", "never", "always", "often", "here", "there", "now", "then", "yesterday", "today", "tomorrow", "reportedly"];
+
+/// Tags one token given its sentence context.
+pub fn tag_token(tokens: &[&str], position: usize) -> PosTag {
+    let word = tokens[position];
+    let lower = word.to_lowercase();
+    let chars: Vec<char> = word.chars().collect();
+
+    if chars.iter().all(|c| c.is_ascii_punctuation()) && !chars.is_empty() {
+        return PosTag::Punct;
+    }
+    if chars.iter().all(|c| c.is_ascii_digit() || *c == '.' || *c == ',') && chars.iter().any(|c| c.is_ascii_digit()) {
+        return PosTag::Num;
+    }
+    if DETERMINERS.contains(&lower.as_str()) {
+        return PosTag::Det;
+    }
+    if PRONOUNS.contains(&lower.as_str()) {
+        return PosTag::Pron;
+    }
+    if ADPOSITIONS.contains(&lower.as_str()) {
+        return PosTag::Adp;
+    }
+    if CONJUNCTIONS.contains(&lower.as_str()) {
+        return PosTag::Conj;
+    }
+    if AUX_VERBS.contains(&lower.as_str()) {
+        return PosTag::Verb;
+    }
+    if COMMON_ADVERBS.contains(&lower.as_str()) {
+        return PosTag::Adv;
+    }
+
+    // Capitalized away from the sentence start → proper noun; at the start,
+    // only if it doesn't carry a common suffix.
+    let capitalized = chars.first().is_some_and(|c| c.is_uppercase());
+    if capitalized && position > 0 {
+        return PosTag::PropN;
+    }
+
+    if lower.ends_with("ly") {
+        return PosTag::Adv;
+    }
+    if lower.ends_with("ing") || lower.ends_with("ed") || lower.ends_with("ise") || lower.ends_with("ize") {
+        return PosTag::Verb;
+    }
+    if lower.ends_with("ous")
+        || lower.ends_with("ful")
+        || lower.ends_with("ive")
+        || lower.ends_with("able")
+        || lower.ends_with("al")
+        || lower.ends_with("ic")
+    {
+        return PosTag::Adj;
+    }
+    // Simple present 3sg verb between a likely subject and object is hard
+    // without a lexicon; default content words to Noun, matching the
+    // majority class.
+    if capitalized {
+        return PosTag::PropN;
+    }
+    PosTag::Noun
+}
+
+/// Tags every token of a sentence.
+pub fn tag_sentence(tokens: &[&str]) -> Vec<PosTag> {
+    (0..tokens.len()).map(|i| tag_token(tokens, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_classes() {
+        let toks = ["the", "cat", "sat", "on", "a", "mat", "."];
+        let tags = tag_sentence(&toks);
+        assert_eq!(tags[0], PosTag::Det);
+        assert_eq!(tags[3], PosTag::Adp);
+        assert_eq!(tags[6], PosTag::Punct);
+    }
+
+    #[test]
+    fn proper_nouns_mid_sentence() {
+        let toks = ["Yesterday", "Jordan", "visited", "Brooklyn"];
+        let tags = tag_sentence(&toks);
+        assert_eq!(tags[1], PosTag::PropN);
+        assert_eq!(tags[3], PosTag::PropN);
+        assert_eq!(tags[2], PosTag::Verb); // -ed suffix
+    }
+
+    #[test]
+    fn morphology_heuristics() {
+        assert_eq!(tag_token(&["running"], 0), PosTag::Verb);
+        assert_eq!(tag_token(&["quickly"], 0), PosTag::Adv);
+        assert_eq!(tag_token(&["beautiful"], 0), PosTag::Adj);
+        assert_eq!(tag_token(&["3.5"], 0), PosTag::Num);
+    }
+
+    #[test]
+    fn one_hot_is_valid() {
+        for tag in [PosTag::Noun, PosTag::Punct, PosTag::Other] {
+            let v = tag.one_hot();
+            assert_eq!(v.iter().sum::<f32>(), 1.0);
+            assert_eq!(v[tag.index()], 1.0);
+        }
+    }
+}

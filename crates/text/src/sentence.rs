@@ -1,0 +1,168 @@
+use crate::{EntitySpan, TagScheme};
+use serde::{Deserialize, Serialize};
+
+/// A single token (word, number or punctuation mark).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// Surface form.
+    pub text: String,
+}
+
+impl Token {
+    /// Wraps a surface form.
+    pub fn new(text: impl Into<String>) -> Self {
+        Token { text: text.into() }
+    }
+}
+
+/// A tokenized sentence with gold entity annotations stored as spans.
+///
+/// Spans are the canonical representation (they survive tag-scheme changes
+/// and support nesting); per-token tags are derived on demand via
+/// [`Sentence::tags`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize, Default)]
+pub struct Sentence {
+    /// The tokens, in order.
+    pub tokens: Vec<Token>,
+    /// Gold entity mentions. For flat NER these never overlap; nested
+    /// corpora (GENIA-style) may contain contained spans.
+    pub entities: Vec<EntitySpan>,
+}
+
+impl Sentence {
+    /// Builds a sentence from token strings and spans.
+    ///
+    /// # Panics
+    /// Panics if any span reaches past the end of the sentence.
+    pub fn new<S: AsRef<str>>(tokens: &[S], entities: Vec<EntitySpan>) -> Self {
+        let tokens: Vec<Token> = tokens.iter().map(|t| Token::new(t.as_ref())).collect();
+        for e in &entities {
+            assert!(e.end <= tokens.len(), "entity span out of sentence bounds");
+        }
+        Sentence { tokens, entities }
+    }
+
+    /// A sentence with no annotations (e.g. raw text for LM pretraining).
+    pub fn unlabeled<S: AsRef<str>>(tokens: &[S]) -> Self {
+        Sentence::new(tokens, vec![])
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True for the empty sentence.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Token surface forms as `&str`s.
+    pub fn texts(&self) -> Vec<&str> {
+        self.tokens.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    /// Lowercased surface forms (for embedding lookup).
+    pub fn lower_texts(&self) -> Vec<String> {
+        self.tokens.iter().map(|t| t.text.to_lowercase()).collect()
+    }
+
+    /// Per-token tag strings under `scheme`, using only the *outermost*
+    /// entities when spans nest (the flat-NER projection).
+    pub fn tags(&self, scheme: TagScheme) -> Vec<String> {
+        scheme.spans_to_tags(self.len(), &self.outermost_entities())
+    }
+
+    /// Entities that are not strictly contained in another entity.
+    pub fn outermost_entities(&self) -> Vec<EntitySpan> {
+        self.entities
+            .iter()
+            .filter(|e| !self.entities.iter().any(|o| o.strictly_contains(e)))
+            .cloned()
+            .collect()
+    }
+
+    /// Entities strictly contained inside some other entity (the "inner"
+    /// layer of a nested corpus).
+    pub fn nested_entities(&self) -> Vec<EntitySpan> {
+        self.entities
+            .iter()
+            .filter(|e| self.entities.iter().any(|o| o.strictly_contains(e)))
+            .cloned()
+            .collect()
+    }
+
+    /// True if any entity nests inside another.
+    pub fn has_nesting(&self) -> bool {
+        !self.nested_entities().is_empty()
+    }
+
+    /// Renders the sentence with bracketed entities, e.g.
+    /// `"[PER Michael Jordan] was born in [LOC Brooklyn]"`.
+    /// Useful for examples and error analysis output.
+    pub fn render_brackets(&self) -> String {
+        let outer = self.outermost_entities();
+        let mut parts: Vec<String> = Vec::new();
+        let mut i = 0;
+        while i < self.len() {
+            if let Some(e) = outer.iter().find(|e| e.start == i) {
+                let text: Vec<&str> =
+                    self.tokens[e.start..e.end].iter().map(|t| t.text.as_str()).collect();
+                parts.push(format!("[{} {}]", e.label, text.join(" ")));
+                i = e.end;
+            } else {
+                parts.push(self.tokens[i].text.clone());
+                i += 1;
+            }
+        }
+        parts.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> Sentence {
+        // "Michael Jordan was born in Brooklyn ."
+        Sentence::new(
+            &["Michael", "Jordan", "was", "born", "in", "Brooklyn", "."],
+            vec![EntitySpan::new(0, 2, "PER"), EntitySpan::new(5, 6, "LOC")],
+        )
+    }
+
+    #[test]
+    fn construction_and_tags() {
+        let s = example();
+        assert_eq!(s.len(), 7);
+        let tags = s.tags(TagScheme::Bio);
+        assert_eq!(tags, vec!["B-PER", "I-PER", "O", "O", "O", "B-LOC", "O"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of sentence bounds")]
+    fn span_bounds_enforced() {
+        let _ = Sentence::new(&["a"], vec![EntitySpan::new(0, 2, "PER")]);
+    }
+
+    #[test]
+    fn nesting_partition() {
+        let s = Sentence::new(
+            &["University", "of", "Singapore"],
+            vec![EntitySpan::new(0, 3, "ORG"), EntitySpan::new(2, 3, "LOC")],
+        );
+        assert!(s.has_nesting());
+        assert_eq!(s.outermost_entities(), vec![EntitySpan::new(0, 3, "ORG")]);
+        assert_eq!(s.nested_entities(), vec![EntitySpan::new(2, 3, "LOC")]);
+        // Flat projection keeps only the outer entity.
+        assert_eq!(s.tags(TagScheme::Bio), vec!["B-ORG", "I-ORG", "I-ORG"]);
+    }
+
+    #[test]
+    fn bracket_rendering() {
+        assert_eq!(
+            example().render_brackets(),
+            "[PER Michael Jordan] was born in [LOC Brooklyn] ."
+        );
+    }
+}

@@ -1,0 +1,91 @@
+use serde::{Deserialize, Serialize};
+
+/// A labeled entity mention: token span `[start, end)` with an entity type.
+///
+/// This mirrors the paper's formal task definition (§2.1): NER outputs
+/// tuples ⟨I_s, I_e, t⟩ of start index, end index and type.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EntitySpan {
+    /// First token index of the mention (inclusive).
+    pub start: usize,
+    /// One past the last token index (exclusive). Always `> start`.
+    pub end: usize,
+    /// Entity type, e.g. `"PER"`, `"LOC"`, or fine-grained `"LOC.city"`.
+    pub label: String,
+}
+
+impl EntitySpan {
+    /// Creates a span; panics if `end <= start`.
+    pub fn new(start: usize, end: usize, label: impl Into<String>) -> Self {
+        assert!(end > start, "entity span must be non-empty");
+        EntitySpan { start, end, label: label.into() }
+    }
+
+    /// Number of tokens covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Spans are never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True when the token ranges share at least one position — the
+    /// "relaxed match" overlap criterion of MUC-6 (§2.3.2).
+    pub fn overlaps(&self, other: &EntitySpan) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// True when token ranges are identical (labels may differ).
+    pub fn same_boundaries(&self, other: &EntitySpan) -> bool {
+        self.start == other.start && self.end == other.end
+    }
+
+    /// True when `other` is strictly inside `self` (proper nesting, as in
+    /// GENIA/ACE nested entities, §5.1).
+    pub fn strictly_contains(&self, other: &EntitySpan) -> bool {
+        self.start <= other.start && other.end <= self.end && self.len() > other.len()
+    }
+
+    /// The coarse part of a possibly fine-grained label:
+    /// `"LOC.city"` → `"LOC"`, `"PER"` → `"PER"`.
+    pub fn coarse_label(&self) -> &str {
+        self.label.split('.').next().unwrap_or(&self.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_geometry() {
+        let a = EntitySpan::new(1, 3, "PER");
+        assert_eq!(a.len(), 2);
+        assert!(a.overlaps(&EntitySpan::new(2, 5, "LOC")));
+        assert!(!a.overlaps(&EntitySpan::new(3, 5, "LOC")));
+        assert!(a.same_boundaries(&EntitySpan::new(1, 3, "ORG")));
+    }
+
+    #[test]
+    fn nesting() {
+        let outer = EntitySpan::new(0, 4, "ORG");
+        let inner = EntitySpan::new(2, 4, "LOC");
+        assert!(outer.strictly_contains(&inner));
+        assert!(!inner.strictly_contains(&outer));
+        assert!(!outer.strictly_contains(&outer));
+    }
+
+    #[test]
+    fn coarse_label_strips_subtype() {
+        assert_eq!(EntitySpan::new(0, 1, "LOC.city").coarse_label(), "LOC");
+        assert_eq!(EntitySpan::new(0, 1, "PER").coarse_label(), "PER");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_span_rejected() {
+        let _ = EntitySpan::new(2, 2, "PER");
+    }
+}

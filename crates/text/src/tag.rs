@@ -1,0 +1,397 @@
+use crate::EntitySpan;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Tag notation for casting span annotation as per-token sequence labeling
+/// (paper §3.1: B/I/E/S/O and BIO notations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TagScheme {
+    /// Inside/Outside only: `I-TYPE` or `O`. Adjacent same-type entities
+    /// merge — lossy but minimal.
+    Io,
+    /// Begin/Inside/Outside: `B-TYPE`, `I-TYPE`, `O` (CoNLL-2003 style).
+    Bio,
+    /// Begin/Inside/End/Single/Outside (also known as BILOU/IOBES), the
+    /// scheme in the paper's Fig. 2 example.
+    Bioes,
+}
+
+impl TagScheme {
+    /// The tag strings this scheme assigns to an entity of `label` spanning
+    /// `len` tokens, in order.
+    fn span_tags(&self, label: &str, len: usize) -> Vec<String> {
+        match self {
+            TagScheme::Io => (0..len).map(|_| format!("I-{label}")).collect(),
+            TagScheme::Bio => (0..len)
+                .map(|i| if i == 0 { format!("B-{label}") } else { format!("I-{label}") })
+                .collect(),
+            TagScheme::Bioes => {
+                if len == 1 {
+                    vec![format!("S-{label}")]
+                } else {
+                    (0..len)
+                        .map(|i| {
+                            if i == 0 {
+                                format!("B-{label}")
+                            } else if i == len - 1 {
+                                format!("E-{label}")
+                            } else {
+                                format!("I-{label}")
+                            }
+                        })
+                        .collect()
+                }
+            }
+        }
+    }
+
+    /// Converts non-overlapping spans into a full tag sequence of length
+    /// `n` (`"O"` outside all spans).
+    ///
+    /// # Panics
+    /// Panics if spans overlap or run past `n` — nested input must be
+    /// projected to outermost spans first (see
+    /// [`crate::Sentence::outermost_entities`]).
+    pub fn spans_to_tags(&self, n: usize, spans: &[EntitySpan]) -> Vec<String> {
+        let mut tags = vec!["O".to_string(); n];
+        let mut occupied = vec![false; n];
+        for s in spans {
+            assert!(s.end <= n, "span out of bounds");
+            for (i, tag) in self.span_tags(&s.label, s.len()).into_iter().enumerate() {
+                let pos = s.start + i;
+                assert!(!occupied[pos], "overlapping spans passed to spans_to_tags");
+                occupied[pos] = true;
+                tags[pos] = tag;
+            }
+        }
+        tags
+    }
+
+    /// Decodes a tag sequence back into spans.
+    ///
+    /// Lenient, in the style of the CoNLL evaluation script: an `I-X` that
+    /// does not continue a compatible entity opens a new one, a label change
+    /// closes the previous entity, and trailing entities are closed at the
+    /// end. This tolerance matters because *predicted* sequences from
+    /// greedy decoders are frequently ill-formed.
+    pub fn tags_to_spans<S: AsRef<str>>(&self, tags: &[S]) -> Vec<EntitySpan> {
+        let mut spans = Vec::new();
+        let mut open: Option<(usize, String)> = None;
+        for (i, tag) in tags.iter().enumerate() {
+            let tag = tag.as_ref();
+            let (prefix, label) = split_tag(tag);
+            let continues = matches!(prefix, 'I' | 'E')
+                && open.as_ref().is_some_and(|(_, l)| l == label);
+            match prefix {
+                'O' => {
+                    if let Some((start, l)) = open.take() {
+                        spans.push(EntitySpan::new(start, i, l));
+                    }
+                }
+                'B' | 'S' => {
+                    if let Some((start, l)) = open.take() {
+                        spans.push(EntitySpan::new(start, i, l));
+                    }
+                    open = Some((i, label.to_string()));
+                    if prefix == 'S' {
+                        let (start, l) = open.take().unwrap();
+                        spans.push(EntitySpan::new(start, i + 1, l));
+                    }
+                }
+                'I' | 'E' => {
+                    if !continues {
+                        if let Some((start, l)) = open.take() {
+                            spans.push(EntitySpan::new(start, i, l));
+                        }
+                        open = Some((i, label.to_string()));
+                    }
+                    if prefix == 'E' {
+                        let (start, l) = open.take().unwrap();
+                        spans.push(EntitySpan::new(start, i + 1, l));
+                    }
+                }
+                _ => {
+                    // Unknown prefix: treat as O.
+                    if let Some((start, l)) = open.take() {
+                        spans.push(EntitySpan::new(start, i, l));
+                    }
+                }
+            }
+        }
+        if let Some((start, l)) = open.take() {
+            spans.push(EntitySpan::new(start, tags.len(), l));
+        }
+        spans
+    }
+
+    /// True when the tag sequence is well-formed under this scheme (e.g. in
+    /// BIOES, `B-X` must be followed by `I-X` or `E-X`).
+    pub fn is_valid<S: AsRef<str>>(&self, tags: &[S]) -> bool {
+        let round_trip = self.spans_to_tags(tags.len(), &self.tags_to_spans(tags));
+        round_trip.iter().zip(tags).all(|(a, b)| a == b.as_ref())
+    }
+
+    /// Converts a tag sequence from this scheme to `target` (via spans).
+    pub fn convert<S: AsRef<str>>(&self, tags: &[S], target: TagScheme) -> Vec<String> {
+        target.spans_to_tags(tags.len(), &self.tags_to_spans(tags))
+    }
+}
+
+/// Splits `"B-PER"` into `('B', "PER")`; bare `"O"` becomes `('O', "")`.
+fn split_tag(tag: &str) -> (char, &str) {
+    if tag == "O" || tag.is_empty() {
+        return ('O', "");
+    }
+    match tag.split_once('-') {
+        Some((p, label)) if p.len() == 1 => (p.chars().next().unwrap(), label),
+        _ => ('?', tag),
+    }
+}
+
+/// A closed set of tag strings with dense indices, as required by neural
+/// tag decoders (each output neuron = one tag).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TagSet {
+    scheme: TagScheme,
+    tags: Vec<String>,
+}
+
+impl TagSet {
+    /// Builds the tag set for `scheme` over the given entity types.
+    /// `"O"` is always index 0; remaining tags are sorted for determinism.
+    pub fn new<S: AsRef<str>>(scheme: TagScheme, entity_types: &[S]) -> Self {
+        let mut tags: BTreeSet<String> = BTreeSet::new();
+        for ty in entity_types {
+            let ty = ty.as_ref();
+            match scheme {
+                TagScheme::Io => {
+                    tags.insert(format!("I-{ty}"));
+                }
+                TagScheme::Bio => {
+                    tags.insert(format!("B-{ty}"));
+                    tags.insert(format!("I-{ty}"));
+                }
+                TagScheme::Bioes => {
+                    for p in ["B", "I", "E", "S"] {
+                        tags.insert(format!("{p}-{ty}"));
+                    }
+                }
+            }
+        }
+        let mut all = vec!["O".to_string()];
+        all.extend(tags);
+        TagSet { scheme, tags: all }
+    }
+
+    /// The scheme this set was built for.
+    pub fn scheme(&self) -> TagScheme {
+        self.scheme
+    }
+
+    /// Number of tags (the decoder's output dimensionality).
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Tag sets always contain at least `"O"`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Index of a tag string; `None` if absent.
+    pub fn index(&self, tag: &str) -> Option<usize> {
+        self.tags.iter().position(|t| t == tag)
+    }
+
+    /// Tag string at `index`.
+    pub fn tag(&self, index: usize) -> &str {
+        &self.tags[index]
+    }
+
+    /// All tag strings, `"O"` first.
+    pub fn tags(&self) -> &[String] {
+        &self.tags
+    }
+
+    /// Encodes a tag-string sequence to indices, treating unknown tags as
+    /// `"O"` (robustness against label mismatch in transfer settings, §4.2).
+    pub fn encode<S: AsRef<str>>(&self, tags: &[S]) -> Vec<usize> {
+        tags.iter().map(|t| self.index(t.as_ref()).unwrap_or(0)).collect()
+    }
+
+    /// Decodes indices back to tag strings.
+    pub fn decode(&self, ids: &[usize]) -> Vec<String> {
+        ids.iter().map(|&i| self.tags[i].clone()).collect()
+    }
+
+    /// True when tag `to` may follow tag `from` in a well-formed sequence
+    /// under this scheme — the structural constraint a CRF's transition
+    /// matrix learns, exposed so decoders can also hard-mask transitions.
+    pub fn transition_allowed(&self, from: usize, to: usize) -> bool {
+        let (fp, fl) = split_tag(&self.tags[from]);
+        let (tp, tl) = split_tag(&self.tags[to]);
+        match self.scheme {
+            TagScheme::Io => true,
+            TagScheme::Bio => match tp {
+                // I-X must extend a same-typed B-X or I-X.
+                'I' => (fp == 'B' || fp == 'I') && fl == tl,
+                _ => true,
+            },
+            TagScheme::Bioes => {
+                let from_open = fp == 'B' || fp == 'I';
+                match (fp, tp) {
+                    // an open entity must continue with same-typed I/E
+                    _ if from_open => (tp == 'I' || tp == 'E') && fl == tl,
+                    // a closed position cannot continue an entity
+                    (_, 'I') | (_, 'E') => false,
+                    _ => true,
+                }
+            }
+        }
+    }
+
+    /// True when a well-formed sequence may *start* with tag `t`.
+    pub fn start_allowed(&self, t: usize) -> bool {
+        let (tp, _) = split_tag(&self.tags[t]);
+        match self.scheme {
+            TagScheme::Io => true,
+            TagScheme::Bio => tp != 'I',
+            TagScheme::Bioes => !matches!(tp, 'I' | 'E'),
+        }
+    }
+
+    /// True when a well-formed sequence may *end* with tag `t`.
+    pub fn end_allowed(&self, t: usize) -> bool {
+        let (tp, _) = split_tag(&self.tags[t]);
+        match self.scheme {
+            TagScheme::Io | TagScheme::Bio => true,
+            TagScheme::Bioes => !matches!(tp, 'B' | 'I'),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spans() -> Vec<EntitySpan> {
+        vec![EntitySpan::new(0, 3, "PER"), EntitySpan::new(6, 7, "LOC"), EntitySpan::new(8, 10, "LOC")]
+    }
+
+    #[test]
+    fn bioes_matches_paper_figure2() {
+        // "Michael Jeffrey Jordan was born in Brooklyn , New York ."
+        let tags = TagScheme::Bioes.spans_to_tags(11, &spans());
+        assert_eq!(
+            tags,
+            vec!["B-PER", "I-PER", "E-PER", "O", "O", "O", "S-LOC", "O", "B-LOC", "E-LOC", "O"]
+        );
+    }
+
+    #[test]
+    fn bio_and_io_render() {
+        assert_eq!(
+            TagScheme::Bio.spans_to_tags(4, &[EntitySpan::new(1, 3, "ORG")]),
+            vec!["O", "B-ORG", "I-ORG", "O"]
+        );
+        assert_eq!(
+            TagScheme::Io.spans_to_tags(3, &[EntitySpan::new(0, 2, "ORG")]),
+            vec!["I-ORG", "I-ORG", "O"]
+        );
+    }
+
+    #[test]
+    fn round_trip_all_schemes() {
+        for scheme in [TagScheme::Io, TagScheme::Bio, TagScheme::Bioes] {
+            let tags = scheme.spans_to_tags(11, &spans());
+            let mut back = scheme.tags_to_spans(&tags);
+            back.sort();
+            let mut expect = spans();
+            expect.sort();
+            assert_eq!(back, expect, "round trip failed for {scheme:?}");
+        }
+    }
+
+    #[test]
+    fn io_merges_adjacent_same_type() {
+        // IO cannot distinguish adjacent same-type entities — documented lossiness.
+        let adjacent = vec![EntitySpan::new(0, 1, "LOC"), EntitySpan::new(1, 2, "LOC")];
+        let tags = TagScheme::Io.spans_to_tags(2, &adjacent);
+        let back = TagScheme::Io.tags_to_spans(&tags);
+        assert_eq!(back, vec![EntitySpan::new(0, 2, "LOC")]);
+    }
+
+    #[test]
+    fn lenient_decoding_of_illformed_sequences() {
+        // Orphan I- opens an entity.
+        let spans = TagScheme::Bio.tags_to_spans(&["O", "I-PER", "I-PER", "O"]);
+        assert_eq!(spans, vec![EntitySpan::new(1, 3, "PER")]);
+        // Label switch without B closes and reopens.
+        let spans = TagScheme::Bio.tags_to_spans(&["B-PER", "I-LOC"]);
+        assert_eq!(spans, vec![EntitySpan::new(0, 1, "PER"), EntitySpan::new(1, 2, "LOC")]);
+        // Trailing open entity is closed at the end.
+        let spans = TagScheme::Bioes.tags_to_spans(&["B-ORG", "I-ORG"]);
+        assert_eq!(spans, vec![EntitySpan::new(0, 2, "ORG")]);
+    }
+
+    #[test]
+    fn validity_check() {
+        assert!(TagScheme::Bio.is_valid(&["B-PER", "I-PER", "O"]));
+        assert!(!TagScheme::Bio.is_valid(&["O", "I-PER"]));
+        assert!(TagScheme::Bioes.is_valid(&["B-PER", "E-PER", "S-LOC"]));
+        assert!(!TagScheme::Bioes.is_valid(&["B-PER", "O"]));
+    }
+
+    #[test]
+    fn scheme_conversion() {
+        let bio = ["B-PER", "I-PER", "O", "B-LOC"];
+        let bioes = TagScheme::Bio.convert(&bio, TagScheme::Bioes);
+        assert_eq!(bioes, vec!["B-PER", "E-PER", "O", "S-LOC"]);
+        let back = TagScheme::Bioes.convert(&bioes, TagScheme::Bio);
+        assert_eq!(back, bio.to_vec());
+    }
+
+    #[test]
+    fn tagset_indexing_deterministic() {
+        let ts = TagSet::new(TagScheme::Bio, &["PER", "LOC"]);
+        assert_eq!(ts.tag(0), "O");
+        assert_eq!(ts.len(), 5);
+        assert_eq!(ts.index("B-LOC"), Some(1)); // sorted: B-LOC, B-PER, I-LOC, I-PER
+        assert_eq!(ts.encode(&["O", "B-PER", "B-MISC"]), vec![0, 2, 0]);
+        assert_eq!(ts.decode(&[0, 2]), vec!["O", "B-PER"]);
+    }
+
+    #[test]
+    fn transition_constraints_bio() {
+        let ts = TagSet::new(TagScheme::Bio, &["PER", "LOC"]);
+        let o = ts.index("O").unwrap();
+        let b_per = ts.index("B-PER").unwrap();
+        let i_per = ts.index("I-PER").unwrap();
+        let i_loc = ts.index("I-LOC").unwrap();
+        assert!(ts.transition_allowed(b_per, i_per));
+        assert!(!ts.transition_allowed(o, i_per));
+        assert!(!ts.transition_allowed(b_per, i_loc));
+        assert!(ts.transition_allowed(i_per, o));
+    }
+
+    #[test]
+    fn transition_constraints_bioes() {
+        let ts = TagSet::new(TagScheme::Bioes, &["PER"]);
+        let o = ts.index("O").unwrap();
+        let b = ts.index("B-PER").unwrap();
+        let i = ts.index("I-PER").unwrap();
+        let e = ts.index("E-PER").unwrap();
+        let s = ts.index("S-PER").unwrap();
+        assert!(ts.transition_allowed(b, i));
+        assert!(ts.transition_allowed(b, e));
+        assert!(!ts.transition_allowed(b, o));
+        assert!(!ts.transition_allowed(b, s));
+        assert!(ts.transition_allowed(e, o));
+        assert!(ts.transition_allowed(s, b));
+        assert!(!ts.transition_allowed(o, e));
+        assert!(ts.start_allowed(b) && ts.start_allowed(s) && ts.start_allowed(o));
+        assert!(!ts.start_allowed(i) && !ts.start_allowed(e));
+        assert!(ts.end_allowed(e) && ts.end_allowed(s) && ts.end_allowed(o));
+        assert!(!ts.end_allowed(b) && !ts.end_allowed(i));
+    }
+}

@@ -1,0 +1,121 @@
+//! Rule-based tokenization of raw strings.
+//!
+//! Whitespace splitting plus punctuation peeling, adequate for the
+//! news-register and social-media text this workspace generates. The
+//! tokenizer deliberately keeps `@mentions`, `#hashtags` and `URLs` intact,
+//! since those are entity-bearing units in user-generated content (§5.1).
+
+/// Splits raw text into tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for chunk in text.split_whitespace() {
+        split_chunk(chunk, &mut out);
+    }
+    out
+}
+
+fn is_protected(chunk: &str) -> bool {
+    chunk.starts_with('@')
+        || chunk.starts_with('#')
+        || chunk.starts_with("http://")
+        || chunk.starts_with("https://")
+}
+
+fn split_chunk(chunk: &str, out: &mut Vec<String>) {
+    if chunk.is_empty() {
+        return;
+    }
+    if is_protected(chunk) {
+        // Peel only trailing sentence punctuation from protected tokens.
+        let trimmed = chunk.trim_end_matches(['.', ',', '!', '?']);
+        if trimmed.is_empty() {
+            out.push(chunk.to_string());
+            return;
+        }
+        out.push(trimmed.to_string());
+        for c in chunk[trimmed.len()..].chars() {
+            out.push(c.to_string());
+        }
+        return;
+    }
+
+    // Peel leading punctuation.
+    let mut rest = chunk;
+    while let Some(c) = rest.chars().next() {
+        if c.is_ascii_punctuation() && rest.chars().count() > 1 && c != '$' {
+            out.push(c.to_string());
+            rest = &rest[c.len_utf8()..];
+        } else {
+            break;
+        }
+    }
+    // Peel trailing punctuation (but keep interior ones: "U.S." stays whole
+    // apart from its final period handling below, "don't" stays whole).
+    let mut tail: Vec<char> = Vec::new();
+    while let Some(c) = rest.chars().last() {
+        let peel = match c {
+            ',' | '!' | '?' | ';' | ':' | ')' | ']' | '}' | '"' | '\'' | '%' => true,
+            '.' => {
+                // Keep the period of abbreviation-like tokens ("U.S.").
+                let body = &rest[..rest.len() - 1];
+                !body.contains('.')
+            }
+            _ => false,
+        };
+        if peel && rest.chars().count() > 1 {
+            tail.push(c);
+            rest = &rest[..rest.len() - c.len_utf8()];
+        } else {
+            break;
+        }
+    }
+    if !rest.is_empty() {
+        out.push(rest.to_string());
+    }
+    for c in tail.into_iter().rev() {
+        out.push(c.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_sentence() {
+        assert_eq!(
+            tokenize("Michael Jordan was born in Brooklyn, New York."),
+            vec!["Michael", "Jordan", "was", "born", "in", "Brooklyn", ",", "New", "York", "."]
+        );
+    }
+
+    #[test]
+    fn abbreviations_keep_periods() {
+        assert_eq!(tokenize("He works at I.B.M. now"), vec!["He", "works", "at", "I.B.M.", "now"]);
+    }
+
+    #[test]
+    fn social_tokens_protected() {
+        assert_eq!(
+            tokenize("@jordan23 landed in #Brooklyn!"),
+            vec!["@jordan23", "landed", "in", "#Brooklyn", "!"]
+        );
+        assert_eq!(tokenize("see https://x.io/a."), vec!["see", "https://x.io/a", "."]);
+    }
+
+    #[test]
+    fn quotes_and_brackets_peel() {
+        assert_eq!(tokenize("(\"hello\")"), vec!["(", "\"", "hello", "\"", ")"]);
+    }
+
+    #[test]
+    fn currency_and_percent() {
+        assert_eq!(tokenize("$5 rose 3%"), vec!["$5", "rose", "3", "%"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n ").is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! A simulated annotation campaign (§4.3): you have a large unlabeled pool
+//! and a fixed labeling budget — which sentences should the annotators do
+//! first? Compares MNLP uncertainty sampling against random selection, the
+//! way an annotation tool built on this library would drive its queue.
+//!
+//! ```text
+//! cargo run --release -p ner-examples --bin active_annotation
+//! ```
+
+use ner_applied::active::{rank_pool, run, Strategy};
+use ner_core::prelude::*;
+use ner_corpus::{GeneratorConfig, NewsGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let gen = NewsGenerator::new(GeneratorConfig::default());
+    let pool_ds = gen.dataset(&mut rng, 240);
+    let test_ds = NewsGenerator::new(GeneratorConfig { unseen_entity_rate: 0.4, ..Default::default() })
+        .dataset(&mut rng, 120);
+
+    let cfg = NerConfig::default();
+    let encoder = SentenceEncoder::from_dataset(&pool_ds, cfg.scheme, 1);
+    let pool = encoder.encode_dataset(&pool_ds, None);
+    let test = encoder.encode_dataset(&test_ds, None);
+
+    let budgets = [12, 36, 60, 120];
+    println!("annotation budgets: {budgets:?} of {} pool sentences\n", pool.len());
+
+    for strategy in [Strategy::Random, Strategy::LeastConfidence] {
+        let mut rng = StdRng::seed_from_u64(24);
+        let model = NerModel::new(cfg.clone(), &encoder, None, &mut rng);
+        let (result, final_model) = run(model, &pool, &test, strategy, &budgets, 4, &mut rng);
+        println!("strategy {strategy:?}:");
+        for point in &result.curve {
+            println!(
+                "  after {:>3} annotations ({:>5.1}% of pool): test F1 {:.1}%",
+                point.annotated,
+                100.0 * point.fraction,
+                100.0 * point.test_f1
+            );
+        }
+        // Show what the strategy would ask the annotator for NEXT.
+        if strategy == Strategy::LeastConfidence {
+            let all: Vec<usize> = (0..pool.len()).collect();
+            let ranked = rank_pool(&final_model, &pool, &all, strategy, &mut rng);
+            println!("  next sentences the model is least sure about:");
+            for &i in ranked.iter().take(3) {
+                println!(
+                    "    (conf {:>7.3}) {}",
+                    final_model.confidence(&pool[i]),
+                    pool_ds.sentences[i].render_brackets()
+                );
+            }
+        }
+        println!();
+    }
+    println!("Uncertainty sampling reaches the same F1 with a fraction of the annotations —");
+    println!("the paper reports 99% of full-data performance at ~25% of the data (§4.3).");
+}

@@ -1,0 +1,103 @@
+//! A fuller newsroom pipeline: pretrained word embeddings, hybrid features
+//! and a gazetteer feeding a BiLSTM-CRF; evaluation with the paper's full
+//! metric suite (exact micro/macro, relaxed MUC-style, per-type breakdown)
+//! plus a worked error analysis on the hardest sentences.
+//!
+//! ```text
+//! cargo run --release -p ner-examples --bin news_pipeline
+//! ```
+
+use ner_core::config::{CharRepr, NerConfig, WordRepr};
+use ner_core::prelude::*;
+use ner_corpus::{GeneratorConfig, NewsGenerator};
+use ner_embed::skipgram::{self, SkipGramConfig};
+use ner_text::Gazetteer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let gen = NewsGenerator::new(GeneratorConfig::default());
+
+    // Pretrain word embeddings on unlabeled text (the Word2Vec analog).
+    println!("pretraining skip-gram embeddings ...");
+    let lm_corpus = gen.lm_sentences(&mut rng, 1500);
+    let embeddings = skipgram::train(
+        &lm_corpus,
+        &SkipGramConfig { dim: 32, epochs: 5, min_count: 1, ..Default::default() },
+        &mut rng,
+    );
+    println!("nearest to 'brooklyn': {:?}", embeddings.nearest("brooklyn", 3));
+
+    // Annotated data + a gazetteer compiled from the training annotations.
+    let train_ds = gen.dataset(&mut rng, 300);
+    let test_gen = NewsGenerator::new(GeneratorConfig { unseen_entity_rate: 0.4, ..Default::default() });
+    let test_ds = test_gen.dataset(&mut rng, 150);
+    let mut gazetteer = Gazetteer::new();
+    for s in &train_ds.sentences {
+        for e in &s.entities {
+            let toks: Vec<&str> = s.tokens[e.start..e.end].iter().map(|t| t.text.as_str()).collect();
+            gazetteer.add(e.coarse_label(), &toks);
+        }
+    }
+    println!("gazetteer: {} phrases over {:?}", gazetteer.len(), gazetteer.types());
+
+    let encoder = SentenceEncoder::from_dataset(&train_ds, TagScheme::Bioes, 1)
+        .with_pretrained_vocab(&embeddings)
+        .with_features(true)
+        .with_gazetteer(gazetteer);
+    let cfg = NerConfig {
+        word: WordRepr::Pretrained { fine_tune: true },
+        char_repr: CharRepr::Cnn { dim: 16, filters: 16 },
+        use_features: true,
+        use_gazetteer: true,
+        ..NerConfig::default()
+    };
+    println!("architecture: {}", cfg.signature());
+
+    let mut model = NerModel::new(cfg, &encoder, Some(&embeddings), &mut rng);
+    let train_enc = encoder.encode_dataset(&train_ds, None);
+    ner_core::trainer::train(&mut model, &train_enc, None, &TrainConfig::default(), &mut rng);
+
+    // Full metric suite (paper §2.3).
+    let test_enc = encoder.encode_dataset(&test_ds, None);
+    let result = evaluate_model(&model, &test_enc);
+    println!("\n== evaluation (unseen-entity test set) ==");
+    println!(
+        "exact micro:   P {:.1}%  R {:.1}%  F1 {:.1}%",
+        100.0 * result.micro.precision,
+        100.0 * result.micro.recall,
+        100.0 * result.micro.f1
+    );
+    println!("exact macro-F1: {:.1}%", 100.0 * result.macro_f1);
+    println!("relaxed type (MUC): F1 {:.1}%", 100.0 * result.relaxed_type.f1);
+    println!("boundary only:      F1 {:.1}%", 100.0 * result.boundary.f1);
+    for (ty, prf) in &result.per_type {
+        println!("  {ty:<6} P {:.1}%  R {:.1}%  F1 {:.1}%", 100.0 * prf.precision, 100.0 * prf.recall, 100.0 * prf.f1);
+    }
+
+    // Error analysis: show the sentences with the most disagreements.
+    println!("\n== hardest sentences ==");
+    let mut scored: Vec<(usize, usize)> = test_enc
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let pred = model.predict_spans(e);
+            let misses = e.gold.iter().filter(|g| !pred.contains(g)).count()
+                + pred.iter().filter(|p| !e.gold.contains(p)).count();
+            (i, misses)
+        })
+        .collect();
+    scored.sort_by_key(|&(_, m)| std::cmp::Reverse(m));
+    for &(i, misses) in scored.iter().take(3) {
+        if misses == 0 {
+            break;
+        }
+        let sent = &test_ds.sentences[i];
+        let pred = model.predict_spans(&test_enc[i]);
+        println!("({misses} errors)");
+        println!("  gold: {}", sent.render_brackets());
+        let pred_sent = Sentence { tokens: sent.tokens.clone(), entities: pred };
+        println!("  pred: {}", pred_sent.render_brackets());
+    }
+}

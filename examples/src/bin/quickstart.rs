@@ -1,0 +1,61 @@
+//! Quickstart: train the survey's workhorse architecture (char-CNN + word
+//! embeddings → BiLSTM → CRF) on a generated news corpus and run it on the
+//! paper's own Fig. 1 example sentence.
+//!
+//! ```text
+//! cargo run --release -p ner-examples --bin quickstart
+//! ```
+
+use ner_core::prelude::*;
+use ner_corpus::{GeneratorConfig, NewsGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // 1. Data: a synthetic CoNLL-analog news corpus (see DESIGN.md §1).
+    let gen = NewsGenerator::new(GeneratorConfig::default());
+    let train_ds = gen.dataset(&mut rng, 300);
+    let dev_ds = gen.dataset(&mut rng, 80);
+    println!("generated {} training / {} dev sentences", train_ds.len(), dev_ds.len());
+    println!("sample: {}", train_ds.sentences[0].render_brackets());
+
+    // 2. Model: the default config IS the survey's dominant architecture.
+    let encoder = SentenceEncoder::from_dataset(&train_ds, TagScheme::Bioes, 1);
+    let cfg = NerConfig::default();
+    println!("\narchitecture: {}", cfg.signature());
+    let mut model = NerModel::new(cfg, &encoder, None, &mut rng);
+    println!("parameters: {}", model.num_params());
+
+    // 3. Train with dev-based early stopping.
+    let train_enc = encoder.encode_dataset(&train_ds, None);
+    let dev_enc = encoder.encode_dataset(&dev_ds, None);
+    let report = ner_core::trainer::train(
+        &mut model,
+        &train_enc,
+        Some(&dev_enc),
+        &TrainConfig::default(),
+        &mut rng,
+    );
+    for e in &report.epochs {
+        println!(
+            "epoch {:>2}  loss {:>8.4}  dev-F1 {}",
+            e.epoch,
+            e.train_loss,
+            e.dev_f1.map_or("-".to_string(), |f| format!("{:.1}%", 100.0 * f))
+        );
+    }
+
+    // 4. Extract entities from raw text — the paper's Fig. 1 sentence.
+    let pipeline = NerPipeline::new(encoder, model);
+    for text in [
+        "Michael Jeffrey Jordan was born in Brooklyn, New York.",
+        "Shares of Acme Corp fell 7 percent in London trading on Monday.",
+        "The French striker joined Quantum Industries from Helios Labs.",
+    ] {
+        let annotated = pipeline.extract(text);
+        println!("\nin : {text}");
+        println!("out: {}", annotated.render_brackets());
+    }
+}

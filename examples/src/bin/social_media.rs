@@ -1,0 +1,77 @@
+//! The informal-text scenario from the survey's motivation (§5.1): a model
+//! trained on clean newswire meets user-generated content (typos, slang,
+//! lost casing, hashtags) — and the standard mitigation, transfer learning
+//! into the noisy domain (§4.2).
+//!
+//! ```text
+//! cargo run --release -p ner-examples --bin social_media
+//! ```
+
+use ner_applied::transfer::{transfer_train, TransferScheme};
+use ner_core::prelude::*;
+use ner_corpus::noise::{corrupt_dataset, NoiseModel};
+use ner_corpus::{GeneratorConfig, NewsGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let gen = NewsGenerator::new(GeneratorConfig::default());
+
+    // Source domain: clean newswire. Target domain: the same text through
+    // the W-NUT-style noise channel.
+    let source_train = gen.dataset(&mut rng, 300);
+    let target_train = corrupt_dataset(&gen.dataset(&mut rng, 40), &NoiseModel::social_media(), &mut rng);
+    let target_test = corrupt_dataset(&gen.dataset(&mut rng, 120), &NoiseModel::social_media(), &mut rng);
+
+    println!("clean:  {}", source_train.sentences[0].render_brackets());
+    println!("noisy:  {}", target_test.sentences[0].render_brackets());
+
+    let cfg = NerConfig::default();
+    let encoder = SentenceEncoder::from_dataset(&source_train, cfg.scheme, 1);
+    let source_enc = encoder.encode_dataset(&source_train, None);
+    let tgt_train_enc = encoder.encode_dataset(&target_train, None);
+    let tgt_test_enc = encoder.encode_dataset(&target_test, None);
+
+    println!("\ntraining the newswire model ...");
+    let mut source_model = NerModel::new(cfg.clone(), &encoder, None, &mut rng);
+    ner_core::trainer::train(&mut source_model, &source_enc, None, &TrainConfig::default(), &mut rng);
+
+    let clean_f1 = {
+        let clean_test = encoder.encode_dataset(&gen.dataset(&mut rng, 120), None);
+        evaluate_model(&source_model, &clean_test).micro.f1
+    };
+    let zero_shot = evaluate_model(&source_model, &tgt_test_enc).micro.f1;
+    println!("newswire F1 {:.1}%  →  social-media F1 {:.1}% (the §5.1 gap)", 100.0 * clean_f1, 100.0 * zero_shot);
+
+    println!("\nfine-tuning on 40 noisy sentences (transfer, §4.2) ...");
+    let tc = TrainConfig { epochs: 6, patience: None, ..TrainConfig::default() };
+    let (tuned, _) = transfer_train(
+        &cfg,
+        &encoder,
+        Some(&source_model),
+        &tgt_train_enc,
+        TransferScheme::FineTuneAll,
+        None,
+        &tc,
+        &mut rng,
+    );
+    let (scratch, _) = transfer_train(
+        &cfg,
+        &encoder,
+        None,
+        &tgt_train_enc,
+        TransferScheme::FromScratch,
+        None,
+        &tc,
+        &mut rng,
+    );
+    println!("social-media F1 after fine-tuning:   {:.1}%", 100.0 * evaluate_model(&tuned, &tgt_test_enc).micro.f1);
+    println!("social-media F1 training from scratch: {:.1}%", 100.0 * evaluate_model(&scratch, &tgt_test_enc).micro.f1);
+
+    // Show the fine-tuned model reading a tweetish line.
+    let pipeline = NerPipeline::new(encoder, tuned);
+    let tweet = "omg sarah chen just landed in #brooklyn w/ da acme corp crew";
+    println!("\nin : {tweet}");
+    println!("out: {}", pipeline.extract(tweet).render_brackets());
+}

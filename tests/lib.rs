@@ -1,0 +1,1 @@
+//! Integration-test crate for the neural-ner workspace; see `tests/`.

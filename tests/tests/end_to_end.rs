@@ -1,0 +1,145 @@
+//! Cross-crate end-to-end quality gates: corpus generation → encoding →
+//! training → evaluation → raw-text inference, exercising the same path the
+//! experiment harnesses and examples use.
+
+use ner_core::config::{CharRepr, DecoderKind, EncoderKind, NerConfig, WordRepr};
+use ner_core::prelude::*;
+use ner_corpus::noise::{corrupt_dataset, NoiseModel};
+use ner_corpus::{GeneratorConfig, NewsGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quick_cfg(decoder: DecoderKind) -> NerConfig {
+    NerConfig {
+        scheme: TagScheme::Bio,
+        word: WordRepr::Random { dim: 20 },
+        char_repr: CharRepr::Cnn { dim: 12, filters: 12 },
+        encoder: EncoderKind::Lstm { hidden: 24, bidirectional: true, layers: 1 },
+        decoder,
+        dropout: 0.1,
+        ..NerConfig::default()
+    }
+}
+
+#[test]
+fn bilstm_crf_reaches_high_f1_on_clean_news() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let gen = NewsGenerator::new(GeneratorConfig::default());
+    let train_ds = gen.dataset(&mut rng, 200);
+    let test_ds = gen.dataset(&mut rng, 80);
+    let encoder = SentenceEncoder::from_dataset(&train_ds, TagScheme::Bio, 1);
+    let mut model = NerModel::new(quick_cfg(DecoderKind::Crf), &encoder, None, &mut rng);
+    let train_enc = encoder.encode_dataset(&train_ds, None);
+    ner_core::trainer::train(
+        &mut model,
+        &train_enc,
+        None,
+        &TrainConfig { epochs: 8, patience: None, ..Default::default() },
+        &mut rng,
+    );
+    let result = evaluate_model(&model, &encoder.encode_dataset(&test_ds, None));
+    assert!(result.micro.f1 > 0.9, "clean-news F1 should exceed 90%, got {}", result.micro.f1);
+    // Relaxed metrics bound the exact ones from above.
+    assert!(result.relaxed_type.f1 >= result.micro.f1 - 1e-9);
+    assert!(result.boundary.f1 >= result.micro.f1 - 1e-9);
+}
+
+#[test]
+fn noise_channel_degrades_performance() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let gen = NewsGenerator::new(GeneratorConfig::default());
+    let train_ds = gen.dataset(&mut rng, 150);
+    let clean_test = gen.dataset(&mut rng, 80);
+    let noisy_test = corrupt_dataset(&clean_test, &NoiseModel::social_media(), &mut rng);
+
+    let encoder = SentenceEncoder::from_dataset(&train_ds, TagScheme::Bio, 1);
+    let mut model = NerModel::new(quick_cfg(DecoderKind::Crf), &encoder, None, &mut rng);
+    let train_enc = encoder.encode_dataset(&train_ds, None);
+    ner_core::trainer::train(
+        &mut model,
+        &train_enc,
+        None,
+        &TrainConfig { epochs: 6, patience: None, ..Default::default() },
+        &mut rng,
+    );
+    let clean = evaluate_model(&model, &encoder.encode_dataset(&clean_test, None)).micro.f1;
+    let noisy = evaluate_model(&model, &encoder.encode_dataset(&noisy_test, None)).micro.f1;
+    assert!(
+        clean - noisy > 0.1,
+        "the informal-text gap (§5.1) should be substantial: clean {clean} vs noisy {noisy}"
+    );
+}
+
+#[test]
+fn segment_decoders_train_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let gen = NewsGenerator::new(GeneratorConfig::default());
+    let train_ds = gen.dataset(&mut rng, 120);
+    let test_ds = gen.dataset(&mut rng, 50);
+    for decoder in [DecoderKind::SemiCrf { max_len: 4 }, DecoderKind::Pointer { att: 16, max_len: 4 }] {
+        let encoder = SentenceEncoder::from_dataset(&train_ds, TagScheme::Bio, 1);
+        let mut model = NerModel::new(quick_cfg(decoder.clone()), &encoder, None, &mut rng);
+        let train_enc = encoder.encode_dataset(&train_ds, None);
+        ner_core::trainer::train(
+            &mut model,
+            &train_enc,
+            None,
+            &TrainConfig { epochs: 6, patience: None, ..Default::default() },
+            &mut rng,
+        );
+        let f1 = evaluate_model(&model, &encoder.encode_dataset(&test_ds, None)).micro.f1;
+        assert!(f1 > 0.6, "{decoder:?} should learn the task, got F1 {f1}");
+    }
+}
+
+#[test]
+fn pipeline_handles_arbitrary_raw_text() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let gen = NewsGenerator::new(GeneratorConfig::default());
+    let train_ds = gen.dataset(&mut rng, 80);
+    let encoder = SentenceEncoder::from_dataset(&train_ds, TagScheme::Bio, 1);
+    let mut model = NerModel::new(quick_cfg(DecoderKind::Crf), &encoder, None, &mut rng);
+    let train_enc = encoder.encode_dataset(&train_ds, None);
+    ner_core::trainer::train(
+        &mut model,
+        &train_enc,
+        None,
+        &TrainConfig { epochs: 3, patience: None, ..Default::default() },
+        &mut rng,
+    );
+    let pipeline = NerPipeline::new(encoder, model);
+    // Robustness: OOV text, unicode, punctuation-only, single token.
+    for text in [
+        "Zxqwv Blorptag visited Qqqland!!!",
+        "übermensch café naïve — №42",
+        "...",
+        "Hello",
+        "@user #tag https://x.io/y ?!",
+    ] {
+        let out = pipeline.extract(text);
+        for e in &out.entities {
+            assert!(e.end <= out.len(), "span out of bounds on {text:?}");
+        }
+    }
+}
+
+#[test]
+fn deterministic_training_given_seed() {
+    let build = || {
+        let mut rng = StdRng::seed_from_u64(5);
+        let gen = NewsGenerator::new(GeneratorConfig::default());
+        let train_ds = gen.dataset(&mut rng, 60);
+        let encoder = SentenceEncoder::from_dataset(&train_ds, TagScheme::Bio, 1);
+        let mut model = NerModel::new(quick_cfg(DecoderKind::Crf), &encoder, None, &mut rng);
+        let train_enc = encoder.encode_dataset(&train_ds, None);
+        let report = ner_core::trainer::train(
+            &mut model,
+            &train_enc,
+            None,
+            &TrainConfig { epochs: 3, patience: None, ..Default::default() },
+            &mut rng,
+        );
+        report.epochs.iter().map(|e| e.train_loss).collect::<Vec<_>>()
+    };
+    assert_eq!(build(), build(), "training must be bit-reproducible given the seed");
+}

@@ -1,0 +1,148 @@
+//! Cross-crate integration: embedding pretraining (`ner-embed`) feeding the
+//! tagger (`ner-core`), and the applied-technique crates composing on top.
+
+use ner_applied::transfer::{transfer_train, TransferScheme};
+use ner_core::config::{CharRepr, EncoderKind, NerConfig, WordRepr};
+use ner_core::prelude::*;
+use ner_corpus::{GeneratorConfig, NewsGenerator};
+use ner_embed::charlm::{CharLm, CharLmConfig};
+use ner_embed::skipgram::{self, SkipGramConfig};
+use ner_embed::ContextualEmbedder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tagger_f1(
+    train: &Dataset,
+    test: &Dataset,
+    pretrained: Option<&ner_embed::WordEmbeddings>,
+    ctx: Option<&dyn ContextualEmbedder>,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut encoder = SentenceEncoder::from_dataset(train, TagScheme::Bio, 1);
+    if let Some(emb) = pretrained {
+        encoder = encoder.with_pretrained_vocab(emb);
+    }
+    let cfg = NerConfig {
+        scheme: TagScheme::Bio,
+        word: if pretrained.is_some() {
+            WordRepr::Pretrained { fine_tune: true }
+        } else {
+            WordRepr::Random { dim: 24 }
+        },
+        char_repr: CharRepr::None,
+        encoder: EncoderKind::Lstm { hidden: 20, bidirectional: true, layers: 1 },
+        context_dim: ctx.map_or(0, |c| c.dim()),
+        dropout: 0.1,
+        ..NerConfig::default()
+    };
+    let mut model = NerModel::new(cfg, &encoder, pretrained, &mut rng);
+    let train_enc = encoder.encode_dataset(train, ctx);
+    ner_core::trainer::train(
+        &mut model,
+        &train_enc,
+        None,
+        &TrainConfig { epochs: 6, patience: None, ..Default::default() },
+        &mut rng,
+    );
+    evaluate_model(&model, &encoder.encode_dataset(test, ctx)).micro.f1
+}
+
+#[test]
+fn pretrained_embeddings_help_low_resource_ner() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let gen = NewsGenerator::new(GeneratorConfig::default());
+    let lm_corpus = gen.lm_sentences(&mut rng, 700);
+    let train_ds = gen.dataset(&mut rng, 40); // deliberately tiny
+    let test_ds = gen.dataset(&mut rng, 100); // in-distribution test
+
+    let emb = skipgram::train(
+        &lm_corpus,
+        &SkipGramConfig { dim: 24, epochs: 4, min_count: 1, ..Default::default() },
+        &mut rng,
+    );
+    // The paper's §3.2.1 claim: pretrained > random init, measured on the
+    // training distribution. (On the *unseen-entity* split, fine-tuning a
+    // tiny dataset can memorize seen-entity vectors and regress — the
+    // classic small-data fine-tuning failure; the frozen variant is immune.
+    // EXPERIMENTS.md records that nuance.)
+    let random = tagger_f1(&train_ds, &test_ds, None, None);
+    let pretrained = tagger_f1(&train_ds, &test_ds, Some(&emb), None);
+    assert!(
+        pretrained > random,
+        "pretrained embeddings should beat random init at 40 sentences: {pretrained} vs {random}"
+    );
+}
+
+#[test]
+fn contextual_embeddings_help_low_resource_ner() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let gen = NewsGenerator::new(GeneratorConfig::default());
+    let lm_corpus = gen.lm_sentences(&mut rng, 400);
+    let train_ds = gen.dataset(&mut rng, 40);
+    let test_gen =
+        NewsGenerator::new(GeneratorConfig { unseen_entity_rate: 0.4, ..Default::default() });
+    let test_ds = test_gen.dataset(&mut rng, 100);
+
+    let (charlm, _) = CharLm::train(
+        &lm_corpus,
+        &CharLmConfig { hidden: 32, epochs: 2, ..Default::default() },
+        &mut rng,
+    );
+    let without = tagger_f1(&train_ds, &test_ds, None, None);
+    let with_lm = tagger_f1(&train_ds, &test_ds, None, Some(&charlm));
+    assert!(
+        with_lm > without,
+        "contextual LM features should help at 40 sentences: {with_lm} vs {without}"
+    );
+}
+
+#[test]
+fn transfer_pipeline_composes_across_crates() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let gen = NewsGenerator::new(GeneratorConfig::default());
+    let source_ds = gen.dataset(&mut rng, 120);
+    let target_ds = gen.dataset(&mut rng, 15);
+    let test_ds = gen.dataset(&mut rng, 60);
+
+    let cfg = NerConfig {
+        scheme: TagScheme::Bio,
+        word: WordRepr::Random { dim: 20 },
+        char_repr: CharRepr::None,
+        encoder: EncoderKind::Lstm { hidden: 20, bidirectional: true, layers: 1 },
+        dropout: 0.1,
+        ..NerConfig::default()
+    };
+    let encoder = SentenceEncoder::from_dataset(&source_ds, cfg.scheme, 1);
+    let source_enc = encoder.encode_dataset(&source_ds, None);
+    let target_enc = encoder.encode_dataset(&target_ds, None);
+    let test_enc = encoder.encode_dataset(&test_ds, None);
+
+    let tc = TrainConfig { epochs: 5, patience: None, ..Default::default() };
+    let mut source = NerModel::new(cfg.clone(), &encoder, None, &mut rng);
+    ner_core::trainer::train(&mut source, &source_enc, None, &tc, &mut rng);
+
+    let tc_small = TrainConfig { epochs: 3, patience: None, ..Default::default() };
+    let (ft, _) = transfer_train(
+        &cfg,
+        &encoder,
+        Some(&source),
+        &target_enc,
+        TransferScheme::FineTuneAll,
+        None,
+        &tc_small,
+        &mut rng,
+    );
+    let (scratch, _) = transfer_train(
+        &cfg,
+        &encoder,
+        None,
+        &target_enc,
+        TransferScheme::FromScratch,
+        None,
+        &tc_small,
+        &mut rng,
+    );
+    let f1_ft = evaluate_model(&ft, &test_enc).micro.f1;
+    let f1_scratch = evaluate_model(&scratch, &test_enc).micro.f1;
+    assert!(f1_ft > f1_scratch, "warm start must help at 15 sentences: {f1_ft} vs {f1_scratch}");
+}

@@ -1,0 +1,248 @@
+//! Property-based tests over the workspace's core invariants.
+
+use ner_core::decoder::{Crf, Segment, SemiCrf};
+use ner_core::metrics::evaluate;
+use ner_tensor::{ParamStore, Tape, Tensor};
+use ner_text::{conll, EntitySpan, Sentence, TagScheme, TagSet, Vocab};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Arbitrary non-overlapping spans over a sentence of length `n`.
+fn arb_spans(n: usize) -> impl Strategy<Value = Vec<EntitySpan>> {
+    // Random label per position cut into segments: derive spans from a
+    // random per-token type assignment (0 = O), which is non-overlapping by
+    // construction.
+    prop::collection::vec(0usize..4, n).prop_map(|types| {
+        let labels = ["PER", "LOC", "ORG"];
+        let mut spans = Vec::new();
+        let mut i = 0;
+        while i < types.len() {
+            if types[i] == 0 {
+                i += 1;
+                continue;
+            }
+            let ty = types[i];
+            let start = i;
+            while i < types.len() && types[i] == ty {
+                i += 1;
+            }
+            spans.push(EntitySpan::new(start, i, labels[ty - 1]));
+        }
+        spans
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tag_scheme_round_trip(spans_and_n in (1usize..20).prop_flat_map(|n| (arb_spans(n), Just(n)))) {
+        let (spans, n) = spans_and_n;
+        for scheme in [TagScheme::Io, TagScheme::Bio, TagScheme::Bioes] {
+            let tags = scheme.spans_to_tags(n, &spans);
+            prop_assert_eq!(tags.len(), n);
+            let back = scheme.tags_to_spans(&tags);
+            // IO merges adjacent same-type spans; BIO/BIOES must round-trip.
+            if scheme != TagScheme::Io {
+                let mut a = back.clone();
+                a.sort();
+                let mut b = spans.clone();
+                b.sort();
+                prop_assert_eq!(a, b);
+            }
+            // All schemes re-render identically after one round trip (idempotence).
+            let tags2 = scheme.spans_to_tags(n, &back);
+            prop_assert_eq!(scheme.tags_to_spans(&tags2), back);
+        }
+    }
+
+    #[test]
+    fn scheme_conversion_preserves_spans(n in 1usize..15, types in prop::collection::vec(0usize..3, 1..15)) {
+        let n = n.min(types.len());
+        let types = &types[..n];
+        let mut spans = Vec::new();
+        let mut i = 0;
+        while i < n {
+            if types[i] == 0 { i += 1; continue; }
+            let start = i;
+            let ty = types[i];
+            while i < n && types[i] == ty { i += 1; }
+            spans.push(EntitySpan::new(start, i, if ty == 1 { "PER" } else { "LOC" }));
+        }
+        let bio = TagScheme::Bio.spans_to_tags(n, &spans);
+        let bioes = TagScheme::Bio.convert(&bio, TagScheme::Bioes);
+        prop_assert!(TagScheme::Bioes.is_valid(&bioes));
+        let back = TagScheme::Bioes.convert(&bioes, TagScheme::Bio);
+        prop_assert_eq!(back, bio);
+    }
+
+    #[test]
+    fn crf_viterbi_matches_brute_force(seed in 0u64..200, t_len in 1usize..6) {
+        let k = 3usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let crf = Crf::new(&mut store, &mut rng, "crf", k);
+        let emissions = ner_tensor::init::uniform(&mut rng, t_len, k, 2.0);
+
+        let (tags, score) = crf.viterbi(&store, &emissions, None);
+        // Brute force over all k^T paths.
+        let trans = store.value(crf.transitions);
+        let start = store.value(crf.start);
+        let end = store.value(crf.end);
+        let mut best = f64::NEG_INFINITY;
+        let total = k.pow(t_len as u32);
+        for code in 0..total {
+            let mut path = Vec::with_capacity(t_len);
+            let mut c = code;
+            for _ in 0..t_len {
+                path.push(c % k);
+                c /= k;
+            }
+            let mut s = start.at2(0, path[0]) as f64 + emissions.at2(0, path[0]) as f64;
+            for t in 1..t_len {
+                s += trans.at2(path[t - 1], path[t]) as f64 + emissions.at2(t, path[t]) as f64;
+            }
+            s += end.at2(0, path[t_len - 1]) as f64;
+            best = best.max(s);
+        }
+        prop_assert!((score - best).abs() < 1e-4, "viterbi {score} vs brute force {best}");
+        prop_assert_eq!(tags.len(), t_len);
+
+        // log partition >= best path score, and marginals sum to one.
+        let log_z = crf.log_partition(&store, &emissions);
+        prop_assert!(log_z >= best - 1e-6);
+        let marginals = crf.marginals(&store, &emissions);
+        for t in 0..t_len {
+            let s: f32 = marginals.row(t).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn semicrf_decode_tiles_any_input(seed in 0u64..100, n in 1usize..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let crf = SemiCrf::new(&mut store, &mut rng, "s", 2, 3);
+        let emissions = ner_tensor::init::uniform(&mut rng, n, 3, 2.0);
+        let segs = crf.decode(&store, &emissions);
+        let mut pos = 0;
+        for s in &segs {
+            prop_assert_eq!(s.start, pos);
+            prop_assert!(s.end > s.start && s.end <= n);
+            if s.label == 0 {
+                prop_assert_eq!(s.end - s.start, 1);
+            } else {
+                prop_assert!(s.end - s.start <= 3);
+            }
+            pos = s.end;
+        }
+        prop_assert_eq!(pos, n);
+
+        // The decoded segmentation has NLL >= 0 relative to itself being in
+        // the hypothesis space: its nll is finite.
+        let mut tape = Tape::new();
+        let e = tape.constant(emissions.clone());
+        let gold: Vec<Segment> = segs;
+        let nll = crf.nll(&mut tape, &store, e, &gold);
+        prop_assert!(tape.value(nll).item().is_finite());
+        // The MAP segmentation has the lowest NLL of any we can easily test:
+        // compare against the all-O segmentation.
+        let all_o: Vec<Segment> =
+            (0..n).map(|i| Segment { start: i, end: i + 1, label: 0 }).collect();
+        if all_o != gold {
+            let mut tape2 = Tape::new();
+            let e2 = tape2.constant(emissions);
+            let nll_o = crf.nll(&mut tape2, &store, e2, &all_o);
+            prop_assert!(tape.value(nll).item() <= tape2.value(nll_o).item() + 1e-4);
+        }
+    }
+
+    #[test]
+    fn metrics_are_bounded_and_perfect_on_self(n in 1usize..10, types in prop::collection::vec(0usize..4, 1..10)) {
+        let n = n.min(types.len());
+        let mut spans = Vec::new();
+        let mut i = 0;
+        while i < n {
+            if types[i] == 0 { i += 1; continue; }
+            let start = i;
+            let ty = types[i];
+            while i < n && types[i] == ty { i += 1; }
+            spans.push(EntitySpan::new(start, i, format!("T{ty}")));
+        }
+        let golds = vec![spans.clone()];
+        let self_eval = evaluate(&golds, &golds);
+        if !spans.is_empty() {
+            prop_assert_eq!(self_eval.micro.f1, 1.0);
+        }
+        let empty_eval = evaluate(&golds, &[vec![]]);
+        prop_assert!(empty_eval.micro.f1 >= 0.0 && empty_eval.micro.f1 <= 1.0);
+        prop_assert_eq!(empty_eval.micro.precision, 0.0);
+    }
+
+    #[test]
+    fn conll_round_trip(tokens in prop::collection::vec("[A-Za-z0-9,.@#']{1,12}", 1..12), types in prop::collection::vec(0usize..3, 1..12)) {
+        let n = tokens.len().min(types.len());
+        let tokens = &tokens[..n];
+        let mut spans = Vec::new();
+        let mut i = 0;
+        while i < n {
+            if types[i] == 0 { i += 1; continue; }
+            let start = i;
+            let ty = types[i];
+            while i < n && types[i] == ty { i += 1; }
+            spans.push(EntitySpan::new(start, i, if ty == 1 { "PER" } else { "LOC" }));
+        }
+        let sentence = Sentence::new(tokens, spans);
+        let text = conll::write_conll(std::slice::from_ref(&sentence), TagScheme::Bioes);
+        let back = conll::read_conll(&text, TagScheme::Bioes);
+        prop_assert_eq!(back.len(), 1);
+        prop_assert_eq!(&back[0], &sentence);
+    }
+
+    #[test]
+    fn vocab_encode_never_panics_and_is_stable(words in prop::collection::vec("[a-z]{1,8}", 1..30)) {
+        let vocab = Vocab::build(words.iter(), 1);
+        let enc1 = vocab.encode(&words);
+        let enc2 = vocab.encode(&words);
+        prop_assert_eq!(&enc1, &enc2);
+        prop_assert!(enc1.iter().all(|&i| i < vocab.len()));
+        // Unknown word maps to UNK.
+        prop_assert_eq!(vocab.get_or_unk("ZZZ-not-in-vocab"), ner_text::UNK);
+    }
+
+    #[test]
+    fn tagset_transitions_agree_with_validity(seed in 0u64..100) {
+        let ts = TagSet::new(TagScheme::Bioes, &["PER", "LOC"]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        // Random 2-tag sequences: transition_allowed+start/end must exactly
+        // predict is_valid.
+        let a = rng.gen_range(0..ts.len());
+        let b = rng.gen_range(0..ts.len());
+        let tags = vec![ts.tag(a).to_string(), ts.tag(b).to_string()];
+        let structurally_ok =
+            ts.start_allowed(a) && ts.transition_allowed(a, b) && ts.end_allowed(b);
+        prop_assert_eq!(
+            structurally_ok,
+            TagScheme::Bioes.is_valid(&tags),
+            "disagreement on {:?}",
+            tags
+        );
+    }
+}
+
+#[test]
+fn tensor_softmax_invariants() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = ner_tensor::init::uniform(&mut rng, 6, 9, 5.0);
+    let mut tape = Tape::new();
+    let v = tape.constant(x);
+    let s = tape.softmax_rows(v);
+    let val: &Tensor = tape.value(s);
+    for r in 0..6 {
+        let sum: f32 = val.row(r).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(val.row(r).iter().all(|&p| p >= 0.0));
+    }
+}

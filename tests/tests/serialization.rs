@@ -1,0 +1,114 @@
+//! Persistence round trips: datasets, configurations and trained model
+//! parameters all survive serde, and a parameter-restored model makes
+//! identical predictions — the checkpointing story for the toolkit.
+
+use ner_core::config::{CharRepr, DecoderKind, EncoderKind, NerConfig, WordRepr};
+use ner_core::prelude::*;
+use ner_corpus::{GeneratorConfig, NewsGenerator};
+use ner_tensor::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn dataset_round_trips_through_json() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let ds = NewsGenerator::new(GeneratorConfig { annotate_nested: true, ..Default::default() })
+        .dataset(&mut rng, 40);
+    let json = serde_json::to_string(&ds).unwrap();
+    let back: Dataset = serde_json::from_str(&json).unwrap();
+    assert_eq!(ds, back);
+    assert_eq!(ds.stats(), back.stats());
+}
+
+#[test]
+fn config_round_trips_through_json() {
+    let cfg = NerConfig {
+        scheme: TagScheme::Bioes,
+        word: WordRepr::Pretrained { fine_tune: false },
+        char_repr: CharRepr::Lstm { dim: 16, hidden: 12 },
+        encoder: EncoderKind::IdCnn { filters: 24, width: 3, dilations: vec![1, 2, 4], iterations: 2 },
+        decoder: DecoderKind::SemiCrf { max_len: 5 },
+        ..NerConfig::default()
+    };
+    let json = serde_json::to_string_pretty(&cfg).unwrap();
+    let back: NerConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(cfg, back);
+}
+
+#[test]
+fn trained_parameters_restore_identical_predictions() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let gen = NewsGenerator::new(GeneratorConfig::default());
+    let train_ds = gen.dataset(&mut rng, 60);
+    let test_ds = gen.dataset(&mut rng, 20);
+
+    let cfg = NerConfig {
+        scheme: TagScheme::Bio,
+        word: WordRepr::Random { dim: 16 },
+        char_repr: CharRepr::None,
+        encoder: EncoderKind::Lstm { hidden: 16, bidirectional: true, layers: 1 },
+        dropout: 0.1,
+        ..NerConfig::default()
+    };
+    let encoder = SentenceEncoder::from_dataset(&train_ds, cfg.scheme, 1);
+    let mut model = NerModel::new(cfg.clone(), &encoder, None, &mut rng);
+    let train_enc = encoder.encode_dataset(&train_ds, None);
+    ner_core::trainer::train(
+        &mut model,
+        &train_enc,
+        None,
+        &TrainConfig { epochs: 3, patience: None, ..Default::default() },
+        &mut rng,
+    );
+
+    // Checkpoint the parameter store to JSON and restore into a fresh model.
+    let checkpoint = serde_json::to_string(&model.store).unwrap();
+    let mut rng2 = StdRng::seed_from_u64(777); // different init on purpose
+    let mut restored = NerModel::new(cfg, &encoder, None, &mut rng2);
+    let loaded: ParamStore = serde_json::from_str(&checkpoint).unwrap();
+    let copied = restored.store.load_matching(&loaded);
+    assert!(copied > 0, "checkpoint restore must match parameters by name");
+
+    let test_enc = encoder.encode_dataset(&test_ds, None);
+    for e in &test_enc {
+        assert_eq!(
+            model.predict_spans(e),
+            restored.predict_spans(e),
+            "restored model must predict identically"
+        );
+    }
+}
+
+#[test]
+fn vocab_and_tagset_round_trip() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let ds = NewsGenerator::new(GeneratorConfig::default()).dataset(&mut rng, 30);
+    let vocab = ds.word_vocab(1);
+    let json = serde_json::to_string(&vocab).unwrap();
+    let back: ner_text::Vocab = serde_json::from_str(&json).unwrap();
+    assert_eq!(vocab.len(), back.len());
+    for i in 0..vocab.len() {
+        assert_eq!(vocab.item(i), back.item(i));
+    }
+
+    let ts = ner_text::TagSet::new(TagScheme::Bioes, &ds.entity_types());
+    let json = serde_json::to_string(&ts).unwrap();
+    let back: ner_text::TagSet = serde_json::from_str(&json).unwrap();
+    assert_eq!(ts.tags(), back.tags());
+}
+
+#[test]
+fn embeddings_round_trip() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let gen = NewsGenerator::new(GeneratorConfig::default());
+    let corpus = gen.lm_sentences(&mut rng, 80);
+    let emb = ner_embed::skipgram::train(
+        &corpus,
+        &ner_embed::skipgram::SkipGramConfig { dim: 8, epochs: 1, ..Default::default() },
+        &mut rng,
+    );
+    let json = serde_json::to_string(&emb).unwrap();
+    let back: ner_embed::WordEmbeddings = serde_json::from_str(&json).unwrap();
+    assert_eq!(emb.matrix(), back.matrix());
+    assert_eq!(emb.vector("the"), back.vector("the"));
+}
