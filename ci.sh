@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Continuous-integration gate for the neural-ner workspace.
+#
+# Runs the same three checks as .github/workflows/ci.yml:
+#   1. formatting       (cargo fmt --check, rustfmt.toml style)
+#   2. lints            (cargo clippy --workspace, warnings are errors)
+#   3. tier-1 tests     (release build + full test suite)
+#
+# The build is fully offline: every external dependency is a vendored stub
+# under compat/, so no network access is required.
+set -eu
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: release build + tests =="
+cargo build --release
+cargo test -q
+
+echo "CI OK"

@@ -1,0 +1,214 @@
+//! A minimal stand-in for [`criterion`](https://crates.io/crates/criterion):
+//! wall-clock micro-benchmarks with per-sample median/mean reporting, the
+//! API subset this workspace's `benches/` use. No statistical regression
+//! testing — each benchmark prints `name  time: [median]  (mean, n samples)`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        run_benchmark(name, self.sample_size, f);
+    }
+}
+
+/// A named set of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.0), self.criterion.sample_size, f);
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.0), self.criterion.sample_size, |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (drop would do; mirrors the upstream API).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally `function/parameter`-shaped.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the payload.
+pub struct Bencher {
+    /// Duration of the most recent timed batch.
+    sample: Duration,
+    /// Iterations per timed batch (chosen during warm-up).
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, running it enough times for a stable wall-clock reading.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.sample = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    // Warm-up: find an iteration count putting one batch near ~2 ms.
+    let mut bencher = Bencher { sample: Duration::ZERO, iters: 1 };
+    loop {
+        f(&mut bencher);
+        if bencher.sample >= Duration::from_millis(2) || bencher.iters >= 1 << 20 {
+            break;
+        }
+        bencher.iters *= 4;
+    }
+
+    let mut per_iter: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            f(&mut bencher);
+            bencher.sample.as_secs_f64() / bencher.iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "{name:<40} time: [{}]   mean {}   ({sample_size} samples x {} iters)",
+        format_time(median),
+        format_time(mean),
+        bencher.iters,
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Declares a group of benchmark functions (both upstream forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                {
+                    let mut criterion: $crate::Criterion = $cfg;
+                    $target(&mut criterion);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("demo");
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                (0..n).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(runs > 0, "payload must actually execute");
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).0, "7");
+    }
+}

@@ -1,0 +1,387 @@
+//! A minimal stand-in for [`proptest`](https://crates.io/crates/proptest):
+//! seeded random property testing with the strategy combinators this
+//! workspace uses (`prop_map`, `prop_flat_map`, `Just`, ranges, tuples and
+//! `prop::collection::vec`). No shrinking — a failing case reports its seed
+//! and case index instead; runs are fully deterministic per test name.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// The generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a second strategy from each generated value and samples it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// String strategies from a regex subset: sequences of literal characters
+/// and character classes `[a-z0-9,.]`, each optionally repeated `{n}` or
+/// `{m,n}`. This covers the patterns used in this workspace's tests.
+impl Strategy for str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_regex_subset(self);
+        let mut out = String::new();
+        for (chars, lo, hi) in &atoms {
+            let n = rng.gen_range(*lo..=*hi);
+            for _ in 0..n {
+                out.push(chars[rng.gen_range(0..chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Parses the supported regex subset into (choices, min_reps, max_reps) atoms.
+fn parse_regex_subset(pattern: &str) -> Vec<(Vec<char>, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("unclosed '[' in regex strategy {pattern:?}"))
+                + i;
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (a, b) = (chars[j], chars[j + 2]);
+                    assert!(a <= b, "bad class range {a}-{b} in {pattern:?}");
+                    set.extend((a..=b).filter(|c| c.is_ascii()));
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else {
+            let c = chars[i];
+            assert!(
+                !matches!(c, '(' | ')' | '|' | '\\' | '.' | '*' | '+' | '?'),
+                "regex strategy stub does not support {c:?} in {pattern:?}"
+            );
+            i += 1;
+            vec![c]
+        };
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed '{{' in regex strategy {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repeat lower bound"),
+                    hi.trim().parse().expect("bad repeat upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((choices, lo, hi));
+    }
+    atoms
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+pub mod strategy {
+    //! Strategy types (upstream-compatible module path).
+    pub use super::{FlatMap, Just, Map, Strategy};
+}
+
+pub mod prop {
+    //! The `prop::` namespace (`prop::collection::vec` etc.).
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Anything usable as the length argument of [`vec`].
+        pub trait SizeRange {
+            /// Picks a concrete length.
+            fn pick(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl SizeRange for usize {
+            fn pick(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl SizeRange for Range<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        /// Generates `Vec`s whose elements come from `element` and whose
+        /// length comes from `size` (a fixed `usize` or a range).
+        pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+            VecStrategy { element, size }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S, L> {
+            element: S,
+            size: L,
+        }
+
+        impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.size.pick(rng);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a over the test path, so adding or
+/// reordering tests never perturbs another test's stream.
+pub fn seed_for(test_path: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Runs `body` for `cases` deterministic random cases. Used by the
+/// [`proptest!`] macro; not intended to be called directly.
+pub fn run_cases(cases: u32, test_path: &str, mut body: impl FnMut(&mut TestRng, u32)) {
+    let seed = seed_for(test_path);
+    for case in 0..cases {
+        let mut rng =
+            TestRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1)));
+        body(&mut rng, case);
+    }
+}
+
+/// Convenience prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use super::{prop, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each function runs its body over many sampled
+/// inputs. Supports the upstream syntax subset used in this workspace.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (@run ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(cfg.cases, concat!(module_path!(), "::", stringify!($name)), |rng, _case| {
+                    $(let $pat = $crate::Strategy::sample(&($strat), rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts inside a property body (no shrinking: behaves like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0usize..5, 1i32..=3), x in -1.0f32..1.0) {
+            prop_assert!(a < 5);
+            prop_assert!((1..=3).contains(&b));
+            prop_assert!((-1.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_and_map(xs in prop::collection::vec(0u8..10, 3).prop_map(|v| v.len())) {
+            prop_assert_eq!(xs, 3);
+        }
+
+        #[test]
+        fn flat_map_links_strategies(
+            (n, xs) in (1usize..6).prop_flat_map(|n| (Just(n), prop::collection::vec(0usize..100, n)))
+        ) {
+            prop_assert_eq!(xs.len(), n);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_test_path() {
+        let mut first = Vec::new();
+        super::run_cases(5, "mod::test_a", |rng, _| {
+            first.push(super::Strategy::sample(&(0u64..1_000_000), rng))
+        });
+        let mut second = Vec::new();
+        super::run_cases(5, "mod::test_a", |rng, _| {
+            second.push(super::Strategy::sample(&(0u64..1_000_000), rng))
+        });
+        assert_eq!(first, second);
+        let mut other = Vec::new();
+        super::run_cases(5, "mod::test_b", |rng, _| {
+            other.push(super::Strategy::sample(&(0u64..1_000_000), rng))
+        });
+        assert_ne!(first, other);
+    }
+}

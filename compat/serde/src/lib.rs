@@ -1,0 +1,445 @@
+//! A minimal, dependency-free stand-in for [`serde`](https://serde.rs),
+//! providing the subset this workspace uses: `#[derive(Serialize, Deserialize)]`
+//! on plain structs and enums, and JSON conversion through the sibling
+//! `serde_json` stub. The build environment has no network access to
+//! crates.io, so the workspace vendors this compatible implementation.
+//!
+//! Unlike upstream serde's zero-copy visitor architecture, this stub uses a
+//! concrete [`Value`] tree as the interchange format: `Serialize` renders a
+//! value tree, `Deserialize` reads one. That is dramatically simpler and
+//! entirely sufficient for checkpointing, run logs and experiment reports.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the interchange format between `Serialize`,
+/// `Deserialize` and the `serde_json` reader/writer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for non-finite floats, as upstream serde_json does).
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integral values print without `.0`).
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion order is preserved when printing.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// One-word description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a human-readable message with coarse path context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A new error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// Prefixes the message with a location (field or variant name).
+    pub fn context(self, what: &str) -> Self {
+        DeError(format!("{what}: {}", self.0))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves as a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Reads a struct field from an object, erroring with the field name.
+/// Used by generated `Deserialize` impls.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v.get(name) {
+        Some(f) => T::deserialize(f).map_err(|e| e.context(name)),
+        None => Err(DeError::new(format!("missing field {name:?}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize / Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_serde_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let n = *self as f64;
+                if n.is_finite() { Value::Num(n) } else { Value::Null }
+            }
+        }
+        impl Deserialize for $t {
+            #[allow(clippy::float_cmp, clippy::cast_nan_to_int)]
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) => {
+                        let cast = *n as $t;
+                        // Reject lossy narrowing for integer targets.
+                        if !matches!(stringify!($t), "f32" | "f64") && (cast as f64) != *n {
+                            return Err(DeError::new(format!(
+                                "number {n} does not fit in {}", stringify!($t)
+                            )));
+                        }
+                        Ok(cast)
+                    }
+                    // Upstream serde_json writes non-finite floats as null.
+                    Value::Null if matches!(stringify!($t), "f32" | "f64") => Ok(f64::NAN as $t),
+                    other => Err(DeError::new(format!(
+                        "expected number for {}, found {}", stringify!($t), other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let s = String::deserialize(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new(format!("expected single-char string, found {s:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| DeError::new(format!("expected array, found {}", v.kind())))?;
+        items.iter().map(T::deserialize).collect()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| DeError::new(format!("expected tuple array, found {}", v.kind())))?;
+                let arity = [$($idx),+].len();
+                if items.len() != arity {
+                    return Err(DeError::new(format!(
+                        "expected {arity}-tuple, found array of {}", items.len()
+                    )));
+                }
+                Ok(($($name::deserialize(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Map keys must render as JSON object keys (strings).
+pub trait SerdeKey: Ord {
+    /// The key as an object-key string.
+    fn to_key(&self) -> String;
+    /// The key parsed back from an object-key string.
+    fn from_key(s: &str) -> Result<Self, DeError>
+    where
+        Self: Sized;
+}
+
+impl SerdeKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_serde_key_int {
+    ($($t:ty),*) => {$(
+        impl SerdeKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, DeError> {
+                s.parse().map_err(|_| DeError::new(format!("bad integer key {s:?}")))
+            }
+        }
+    )*};
+}
+impl_serde_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: SerdeKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_key(), v.serialize())).collect())
+    }
+}
+
+impl<K: SerdeKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::new(format!("expected object, found {}", v.kind())))?;
+        fields.iter().map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?))).collect()
+    }
+}
+
+impl<K: SerdeKey + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self) -> Value {
+        // Deterministic output: sort keys like a BTreeMap would.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(entries.into_iter().map(|(k, v)| (k.to_key(), v.serialize())).collect())
+    }
+}
+
+impl<K: SerdeKey + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::new(format!("expected object, found {}", v.kind())))?;
+        fields.iter().map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?))).collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(Vec::<T>::deserialize(v)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize + Ord + std::hash::Hash> Serialize for HashSet<T> {
+    fn serialize(&self) -> Value {
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Value::Array(items.into_iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for HashSet<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(Vec::<T>::deserialize(v)?.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(usize::deserialize(&7usize.serialize()).unwrap(), 7);
+        assert_eq!(f32::deserialize(&1.5f32.serialize()).unwrap(), 1.5);
+        assert_eq!(String::deserialize(&"hi".to_string().serialize()).unwrap(), "hi");
+        assert_eq!(Option::<u8>::deserialize(&Value::Null).unwrap(), None);
+        assert!(usize::deserialize(&Value::Num(1.5)).is_err(), "lossy narrowing must fail");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::NAN.serialize(), Value::Null);
+        assert!(f64::deserialize(&Value::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let m: BTreeMap<String, usize> =
+            [("a".to_string(), 1), ("b".to_string(), 2)].into_iter().collect();
+        assert_eq!(BTreeMap::<String, usize>::deserialize(&m.serialize()).unwrap(), m);
+        let h: HashMap<String, Vec<f32>> =
+            [("x".to_string(), vec![1.0, 2.0])].into_iter().collect();
+        assert_eq!(HashMap::<String, Vec<f32>>::deserialize(&h.serialize()).unwrap(), h);
+        let t = ("k".to_string(), 3usize);
+        assert_eq!(<(String, usize)>::deserialize(&t.serialize()).unwrap(), t);
+    }
+}

@@ -1,0 +1,362 @@
+//! Derive macros for the in-tree `serde` stub.
+//!
+//! Supports the shapes this workspace actually uses — no generics, no
+//! `#[serde(...)]` attributes:
+//!
+//! * structs with named fields → JSON objects
+//! * one-field tuple structs (newtypes) → the inner value, transparently
+//! * multi-field tuple structs → JSON arrays
+//! * unit enum variants → `"Variant"` strings
+//! * struct enum variants → `{"Variant": {..fields..}}` (externally tagged)
+//! * tuple enum variants → `{"Variant": value}` (newtype) or `{"Variant": [..]}`
+//!
+//! The input item is parsed directly from the raw [`TokenStream`]; generated
+//! impls are rendered as source text and re-parsed, which keeps this crate
+//! free of `syn`/`quote` (unavailable offline).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+/// What a derive input turned out to be.
+enum Item {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Tuple struct with `arity` unnamed fields.
+    TupleStruct { name: String, arity: usize },
+    /// Unit struct.
+    UnitStruct { name: String },
+    /// Enum; each variant is (name, shape).
+    Enum { name: String, variants: Vec<(String, VariantShape)> },
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Generates `impl serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    match &item {
+        Item::Struct { name, fields } => {
+            let mut body = String::from("let mut fields = Vec::new();\n");
+            for f in fields {
+                let _ = writeln!(
+                    body,
+                    "fields.push(({f:?}.to_string(), ::serde::Serialize::serialize(&self.{f})));"
+                );
+            }
+            body.push_str("::serde::Value::Object(fields)");
+            let _ = write!(out, "{}", impl_serialize(name, &body));
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            let _ =
+                write!(out, "{}", impl_serialize(name, "::serde::Serialize::serialize(&self.0)"));
+        }
+        Item::TupleStruct { name, arity } => {
+            let items = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let body = format!("::serde::Value::Array(vec![{items}])");
+            let _ = write!(out, "{}", impl_serialize(name, &body));
+        }
+        Item::UnitStruct { name } => {
+            let _ = write!(out, "{}", impl_serialize(name, "::serde::Value::Null"));
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => {
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{v} => ::serde::Value::Str({v:?}.to_string()),"
+                        );
+                    }
+                    VariantShape::Tuple(arity) => {
+                        let binds =
+                            (0..*arity).map(|i| format!("f{i}")).collect::<Vec<_>>().join(", ");
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::serialize(f0)".to_string()
+                        } else {
+                            let items = (0..*arity)
+                                .map(|i| format!("::serde::Serialize::serialize(f{i})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!("::serde::Value::Array(vec![{items}])")
+                        };
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{v}({binds}) => ::serde::Value::Object(vec![({v:?}.to_string(), {inner})]),"
+                        );
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from("let mut fields = Vec::new();\n");
+                        for f in fields {
+                            let _ = writeln!(
+                                inner,
+                                "fields.push(({f:?}.to_string(), ::serde::Serialize::serialize({f})));"
+                            );
+                        }
+                        inner.push_str("::serde::Value::Object(fields)");
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![({v:?}.to_string(), {{ {inner} }})]),"
+                        );
+                    }
+                }
+            }
+            let body = format!("match self {{\n{arms}\n}}");
+            let _ = write!(out, "{}", impl_serialize(name, &body));
+        }
+    }
+    out.parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Generates `impl serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    match &item {
+        Item::Struct { name, fields } => {
+            let mut body = format!(
+                "if v.as_object().is_none() {{\n\
+                 return Err(::serde::DeError::new(format!(\"expected object for {name}, found {{}}\", v.kind())));\n\
+                 }}\nOk({name} {{\n"
+            );
+            for f in fields {
+                let _ = writeln!(body, "{f}: ::serde::field(v, {f:?})?,");
+            }
+            body.push_str("})");
+            let _ = write!(out, "{}", impl_deserialize(name, &body));
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            let body = format!("Ok({name}(::serde::Deserialize::deserialize(v)?))");
+            let _ = write!(out, "{}", impl_deserialize(name, &body));
+        }
+        Item::TupleStruct { name, arity } => {
+            let mut body = format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::DeError::new(\
+                 format!(\"expected array for {name}, found {{}}\", v.kind())))?;\n\
+                 if items.len() != {arity} {{\n\
+                 return Err(::serde::DeError::new(format!(\"expected {arity} elements for {name}, found {{}}\", items.len())));\n\
+                 }}\nOk({name}(\n"
+            );
+            for i in 0..*arity {
+                let _ = writeln!(body, "::serde::Deserialize::deserialize(&items[{i}])?,");
+            }
+            body.push_str("))");
+            let _ = write!(out, "{}", impl_deserialize(name, &body));
+        }
+        Item::UnitStruct { name } => {
+            let body = format!("Ok({name})");
+            let _ = write!(out, "{}", impl_deserialize(name, &body));
+        }
+        Item::Enum { name, variants } => {
+            // Unit variants arrive as strings; data variants as 1-key objects.
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => {
+                        let _ = writeln!(str_arms, "{v:?} => return Ok({name}::{v}),");
+                    }
+                    VariantShape::Tuple(arity) => {
+                        let ctor = if *arity == 1 {
+                            format!("{name}::{v}(::serde::Deserialize::deserialize(inner)?)")
+                        } else {
+                            let mut c = format!(
+                                "{{ let items = inner.as_array().ok_or_else(|| ::serde::DeError::new(\
+                                 format!(\"expected array for {name}::{v}\")))?;\n\
+                                 if items.len() != {arity} {{ return Err(::serde::DeError::new(\
+                                 format!(\"expected {arity} elements for {name}::{v}\"))); }}\n\
+                                 {name}::{v}(\n"
+                            );
+                            for i in 0..*arity {
+                                let _ =
+                                    writeln!(c, "::serde::Deserialize::deserialize(&items[{i}])?,");
+                            }
+                            c.push_str(") }");
+                            c
+                        };
+                        let _ = writeln!(obj_arms, "{v:?} => return Ok({ctor}),");
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut c = format!("{name}::{v} {{\n");
+                        for f in fields {
+                            let _ = writeln!(c, "{f}: ::serde::field(inner, {f:?})?,");
+                        }
+                        c.push('}');
+                        let _ = writeln!(obj_arms, "{v:?} => return Ok({c}),");
+                    }
+                }
+            }
+            let body = format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{str_arms}\n\
+                 other => Err(::serde::DeError::new(format!(\"unknown {name} variant {{other:?}}\"))),\n}},\n\
+                 ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                 let (tag, inner) = &fields[0];\n\
+                 #[allow(clippy::match_single_binding)]\n\
+                 match tag.as_str() {{\n{obj_arms}\n\
+                 other => Err(::serde::DeError::new(format!(\"unknown {name} variant {{other:?}}\"))),\n}}\n}},\n\
+                 other => Err(::serde::DeError::new(format!(\"expected {name} variant, found {{}}\", other.kind()))),\n\
+                 }}"
+            );
+            let _ = write!(out, "{}", impl_deserialize(name, &body));
+        }
+    }
+    out.parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing of the derive input
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kw = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive does not support generic type `{name}`");
+    }
+
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Struct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde stub derive supports struct/enum, found `{other}`"),
+    }
+}
+
+/// Advances past `#[...]` attributes (incl. doc comments) and `pub`/`pub(...)`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Splits a token run on top-level commas, treating `<...>` as nesting (angle
+/// brackets are punctuation, not groups, so depth must be tracked by hand).
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        parts.last_mut().expect("parts is never empty").push(tt);
+    }
+    if parts.last().is_some_and(Vec::is_empty) {
+        parts.pop(); // trailing comma
+    }
+    parts
+}
+
+/// Field names of `{ vis name: Type, ... }`.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|part| {
+            let mut i = 0;
+            skip_attrs_and_vis(&part, &mut i);
+            expect_ident(&part, &mut i)
+        })
+        .collect()
+}
+
+/// Arity of `( vis Type, ... )`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream).len()
+}
+
+/// Variants of `{ Name, Name(T, ..), Name { f: T, .. }, ... }`.
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|part| {
+            let mut i = 0;
+            skip_attrs_and_vis(&part, &mut i);
+            let name = expect_ident(&part, &mut i);
+            let shape = match part.get(i) {
+                None => VariantShape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Struct(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(count_tuple_fields(g.stream()))
+                }
+                other => panic!("unsupported enum variant shape after `{name}`: {other:?}"),
+            };
+            (name, shape)
+        })
+        .collect()
+}

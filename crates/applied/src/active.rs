@@ -99,11 +99,8 @@ pub fn run(
     assert!(budgets.windows(2).all(|w| w[0] < w[1]), "budgets must be ascending");
     assert!(*budgets.last().expect("at least one budget") <= pool.len());
 
-    let train_cfg = TrainConfig {
-        epochs: epochs_per_round,
-        patience: None,
-        ..TrainConfig::default()
-    };
+    let train_cfg =
+        TrainConfig { epochs: epochs_per_round, patience: None, ..TrainConfig::default() };
 
     let mut selected: Vec<usize> = Vec::new();
     let mut remaining: Vec<usize> = (0..pool.len()).collect();
@@ -169,9 +166,14 @@ mod tests {
         let pool = enc.encode_dataset(&pool_ds, None);
         let test = enc.encode_dataset(&test_ds, None);
         let model = NerModel::new(quick_cfg(), &enc, None, &mut rng);
-        let (run, _) = run(model, &pool, &test, Strategy::LeastConfidence, &[20, 60, 120], 3, &mut rng);
+        let (run, _) =
+            run(model, &pool, &test, Strategy::LeastConfidence, &[20, 60, 120], 3, &mut rng);
         assert_eq!(run.curve.len(), 3);
-        assert!(run.curve[2].test_f1 > run.curve[0].test_f1, "more data should help: {:?}", run.curve);
+        assert!(
+            run.curve[2].test_f1 > run.curve[0].test_f1,
+            "more data should help: {:?}",
+            run.curve
+        );
         assert!((run.curve[2].fraction - 1.0).abs() < 1e-9);
     }
 

@@ -66,8 +66,7 @@ pub fn train_fgm(
                     let mut perturbed = tape.value(x).clone();
                     perturbed.add_scaled(grad, epsilon / norm);
                     let mut tape2 = Tape::new();
-                    let adv_loss =
-                        model.loss_from_input_override(&mut tape2, sent, perturbed, rng);
+                    let adv_loss = model.loss_from_input_override(&mut tape2, sent, perturbed, rng);
                     adv_total += tape2.value(adv_loss).item() as f64;
                     tape2.backward(adv_loss, &mut model.store);
                 }

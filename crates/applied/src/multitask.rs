@@ -66,11 +66,7 @@ impl MultitaskNer {
             scheme: encoder.tag_set.scheme(),
             word: WordRepr::Random { dim: word_dim },
             char_repr: CharRepr::None,
-            encoder: ner_core::config::EncoderKind::Lstm {
-                hidden,
-                bidirectional: true,
-                layers: 1,
-            },
+            encoder: ner_core::config::EncoderKind::Lstm { hidden, bidirectional: true, layers: 1 },
             dropout: 0.2,
             ..NerConfig::default()
         };
@@ -104,7 +100,12 @@ impl MultitaskNer {
     }
 
     /// Combined multi-task loss for one sentence.
-    pub fn loss(&self, tape: &mut Tape, enc: &EncodedSentence, rng: &mut impl Rng) -> ner_tensor::Var {
+    pub fn loss(
+        &self,
+        tape: &mut Tape,
+        enc: &EncodedSentence,
+        rng: &mut impl Rng,
+    ) -> ner_tensor::Var {
         let x = self.input.forward(tape, &self.store, enc, true, rng);
         let h = self.encoder.forward(tape, &self.store, x);
         let emissions = self.proj.forward(tape, &self.store, h);
@@ -249,10 +250,7 @@ mod tests {
         let l1 = single.loss(&mut t1, &encoded[0], &mut rng);
         let mut t2 = Tape::new();
         let l2 = multi.loss(&mut t2, &encoded[0], &mut rng);
-        assert!(
-            t2.value(l2).item() > t1.value(l1).item(),
-            "aux objectives should add loss mass"
-        );
+        assert!(t2.value(l2).item() > t1.value(l1).item(), "aux objectives should add loss mass");
         let s_losses = single.fit(&encoded, 2, 0.01, &mut rng);
         let m_losses = multi.fit(&encoded, 2, 0.01, &mut rng);
         assert!(s_losses[1] < s_losses[0]);

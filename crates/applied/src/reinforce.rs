@@ -116,8 +116,8 @@ pub fn train_selector(
         // Continuous reward: negative mean per-token dev NLL of the GOLD dev
         // labels — far lower variance than span F1, which is what a
         // handful-of-episodes REINFORCE loop needs.
-        let reward = -dev.iter().map(|e| model.nll_of_labels(e)).sum::<f64>()
-            / dev.len().max(1) as f64;
+        let reward =
+            -dev.iter().map(|e| model.nll_of_labels(e)).sum::<f64>() / dev.len().max(1) as f64;
         model.store = snapshot.clone();
 
         // Moving-average baseline for variance reduction.
@@ -232,8 +232,7 @@ mod tests {
             &mut rng,
         );
 
-        let (policy, report) =
-            train_selector(&mut model, &train_enc, &dev_enc, 4, 1.0, &mut rng);
+        let (policy, report) = train_selector(&mut model, &train_enc, &dev_enc, 4, 1.0, &mut rng);
         assert_eq!(report.episode_rewards.len(), 4);
         assert!(policy.w.iter().any(|w| *w != 0.0 && *w != 1.0), "policy should move: {policy:?}");
         assert!(report.final_keep_rate > 0.0 && report.final_keep_rate <= 1.0);

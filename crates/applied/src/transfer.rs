@@ -57,6 +57,7 @@ pub fn coarsen_labels(ds: &Dataset) -> Dataset {
 /// The target model is built fresh for `cfg` against `encoder` (which must
 /// be the encoder the source model was built with, so parameter shapes and
 /// vocabularies line up), then receives source weights by name matching.
+#[allow(clippy::too_many_arguments)]
 pub fn transfer_train(
     cfg: &NerConfig,
     encoder: &SentenceEncoder,
@@ -176,7 +177,14 @@ mod tests {
 
         let tc_small = TrainConfig { epochs: 4, patience: None, ..Default::default() };
         let (scratch, _) = transfer_train(
-            &cfg, &enc, None, &tgt_train, TransferScheme::FromScratch, None, &tc_small, &mut rng,
+            &cfg,
+            &enc,
+            None,
+            &tgt_train,
+            TransferScheme::FromScratch,
+            None,
+            &tc_small,
+            &mut rng,
         );
         let (finetune, _) = transfer_train(
             &cfg,

@@ -38,17 +38,13 @@ fn bench_encoders(c: &mut Criterion) {
         let enc = Encoder::new(&mut store, &mut rng, "enc", DIM, &kind);
         for &len in &[10usize, 40, 160] {
             let x = init::uniform(&mut rng, len, DIM, 1.0);
-            group.bench_with_input(
-                BenchmarkId::new(name, len),
-                &len,
-                |bench, _| {
-                    bench.iter(|| {
-                        let mut tape = Tape::new();
-                        let xv = tape.constant(x.clone());
-                        black_box(enc.forward(&mut tape, &store, xv))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, len), &len, |bench, _| {
+                bench.iter(|| {
+                    let mut tape = Tape::new();
+                    let xv = tape.constant(x.clone());
+                    black_box(enc.forward(&mut tape, &store, xv))
+                })
+            });
         }
     }
     group.finish();

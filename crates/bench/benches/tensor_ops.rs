@@ -36,15 +36,19 @@ fn bench_conv_and_softmax(c: &mut Criterion) {
     let w = init::uniform(&mut rng, 3 * 48, 48, 0.2);
     let bias = Tensor::zeros(1, 48);
     for &dilation in &[1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::new("conv1d_40x48", dilation), &dilation, |bench, &d| {
-            bench.iter(|| {
-                let mut tape = Tape::new();
-                let xv = tape.constant(x.clone());
-                let wv = tape.constant(w.clone());
-                let bv = tape.constant(bias.clone());
-                black_box(tape.conv1d(xv, wv, bv, 3, d))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("conv1d_40x48", dilation),
+            &dilation,
+            |bench, &d| {
+                bench.iter(|| {
+                    let mut tape = Tape::new();
+                    let xv = tape.constant(x.clone());
+                    let wv = tape.constant(w.clone());
+                    let bv = tape.constant(bias.clone());
+                    black_box(tape.conv1d(xv, wv, bv, 3, d))
+                })
+            },
+        );
     }
     group.bench_function("log_softmax_40x20", |bench| {
         let logits = init::uniform(&mut rng, 40, 20, 2.0);

@@ -8,7 +8,9 @@
 //! strategy first reaches 99% of the full-data ceiling.
 
 use ner_applied::active::{run, Strategy};
-use ner_bench::{harness_train_config, pct, print_table, standard_data, write_report, Scale};
+use ner_bench::{
+    harness_train_config, init_harness, pct, print_table, standard_data, write_report, Scale,
+};
 use ner_core::config::{CharRepr, NerConfig, WordRepr};
 use ner_core::prelude::*;
 use rand::rngs::StdRng;
@@ -25,6 +27,7 @@ struct StrategyCurve {
 
 fn main() {
     let scale = Scale::from_args();
+    init_harness("active", 42, scale);
     let data = standard_data(42, scale);
     let tc = harness_train_config(scale);
 
@@ -47,28 +50,36 @@ fn main() {
     println!("full-data F1 = {}", pct(ceiling));
 
     let n = pool.len();
-    let budgets: Vec<usize> =
-        [0.05, 0.10, 0.15, 0.25, 0.40, 0.60, 1.00].iter().map(|f| ((n as f64 * f) as usize).max(2)).collect();
+    let budgets: Vec<usize> = [0.05, 0.10, 0.15, 0.25, 0.40, 0.60, 1.00]
+        .iter()
+        .map(|f| ((n as f64 * f) as usize).max(2))
+        .collect();
     let epochs_per_round = scale.epochs(4);
 
     let mut curves = Vec::new();
     let mut table = Vec::new();
-    for strategy in [Strategy::Random, Strategy::Longest, Strategy::TokenEntropy, Strategy::LeastConfidence] {
+    for strategy in
+        [Strategy::Random, Strategy::Longest, Strategy::TokenEntropy, Strategy::LeastConfidence]
+    {
         let mut rng = StdRng::seed_from_u64(56);
         let model = NerModel::new(cfg.clone(), &encoder, None, &mut rng);
-        let (run_result, _) = run(model, &pool, &test, strategy, &budgets, epochs_per_round, &mut rng);
+        let (run_result, _) =
+            run(model, &pool, &test, strategy, &budgets, epochs_per_round, &mut rng);
         let quarter = run_result
             .curve
             .iter()
             .find(|p| p.fraction >= 0.249)
             .map(|p| p.test_f1 / ceiling)
             .unwrap_or(0.0);
-        println!("{strategy:?}: {}", run_result
-            .curve
-            .iter()
-            .map(|p| format!("{}→{}", pct(p.fraction), pct(p.test_f1)))
-            .collect::<Vec<_>>()
-            .join("  "));
+        println!(
+            "{strategy:?}: {}",
+            run_result
+                .curve
+                .iter()
+                .map(|p| format!("{}→{}", pct(p.fraction), pct(p.test_f1)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
         let mut row = vec![format!("{strategy:?}")];
         row.extend(run_result.curve.iter().map(|p| pct(p.test_f1)));
         row.push(format!("{:.1}% of ceiling @25%", 100.0 * quarter));
@@ -85,7 +96,11 @@ fn main() {
     headers.extend(budgets.iter().map(|b| format!("{}s ({})", b, pct(*b as f64 / n as f64))));
     headers.push("Shen et al. criterion".into());
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    print_table("§4.3 — active-learning curves (unseen-entity F1 per budget)", &header_refs, &table);
+    print_table(
+        "§4.3 — active-learning curves (unseen-entity F1 per budget)",
+        &header_refs,
+        &table,
+    );
     println!("\nFull-data ceiling: {}", pct(ceiling));
     println!("Expected shape (paper): uncertainty strategies (MNLP/entropy) reach ~99% of the");
     println!("ceiling near the 25% budget and beat random at every low budget.");

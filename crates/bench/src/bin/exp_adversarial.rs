@@ -4,7 +4,9 @@
 //! unseen-entity and noise-channel test sets across an ε sweep.
 
 use ner_applied::adversarial::{evaluate_under_attack, train_fgm};
-use ner_bench::{harness_train_config, pct, print_table, standard_data, write_report, Scale};
+use ner_bench::{
+    harness_train_config, init_harness, pct, print_table, standard_data, write_report, Scale,
+};
 use ner_core::config::{CharRepr, NerConfig, WordRepr};
 use ner_core::prelude::*;
 use rand::rngs::StdRng;
@@ -22,6 +24,7 @@ struct Row {
 
 fn main() {
     let scale = Scale::from_args();
+    init_harness("adversarial", 42, scale);
     let data = standard_data(42, scale);
     let tc = harness_train_config(scale);
 

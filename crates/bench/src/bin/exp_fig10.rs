@@ -7,7 +7,9 @@
 //! hand-crafted features, gazetteers, and contextual-LM vectors — the
 //! columns of the paper's Table 3 "input representation" axis.
 
-use ner_bench::{harness_train_config, pct, print_table, standard_data, write_report, Scale};
+use ner_bench::{
+    harness_train_config, init_harness, pct, print_table, standard_data, write_report, Scale,
+};
 use ner_core::config::{CharRepr, NerConfig, WordRepr};
 use ner_core::prelude::*;
 use ner_corpus::{GeneratorConfig, NewsGenerator};
@@ -29,6 +31,7 @@ struct Row {
 
 fn main() {
     let scale = Scale::from_args();
+    init_harness("fig10", 42, scale);
     let data = standard_data(42, scale);
     let tc = harness_train_config(scale);
     let mut rng = StdRng::seed_from_u64(5);
@@ -48,7 +51,8 @@ fn main() {
     let mut gazetteer = Gazetteer::new();
     for s in &data.train.sentences {
         for e in &s.entities {
-            let toks: Vec<&str> = s.tokens[e.start..e.end].iter().map(|t| t.text.as_str()).collect();
+            let toks: Vec<&str> =
+                s.tokens[e.start..e.end].iter().map(|t| t.text.as_str()).collect();
             gazetteer.add(e.coarse_label(), &toks);
         }
     }
@@ -62,12 +66,54 @@ fn main() {
         lm: bool,
     }
     let ladder = [
-        Rung { name: "word (random)", pretrained: false, char: false, feats: false, gaz: false, lm: false },
-        Rung { name: "+ pretrained words", pretrained: true, char: false, feats: false, gaz: false, lm: false },
-        Rung { name: "+ char-CNN", pretrained: true, char: true, feats: false, gaz: false, lm: false },
-        Rung { name: "+ handcrafted features", pretrained: true, char: true, feats: true, gaz: false, lm: false },
-        Rung { name: "+ gazetteers", pretrained: true, char: true, feats: true, gaz: true, lm: false },
-        Rung { name: "+ contextual LM (Fig. 10 stack)", pretrained: true, char: true, feats: true, gaz: true, lm: true },
+        Rung {
+            name: "word (random)",
+            pretrained: false,
+            char: false,
+            feats: false,
+            gaz: false,
+            lm: false,
+        },
+        Rung {
+            name: "+ pretrained words",
+            pretrained: true,
+            char: false,
+            feats: false,
+            gaz: false,
+            lm: false,
+        },
+        Rung {
+            name: "+ char-CNN",
+            pretrained: true,
+            char: true,
+            feats: false,
+            gaz: false,
+            lm: false,
+        },
+        Rung {
+            name: "+ handcrafted features",
+            pretrained: true,
+            char: true,
+            feats: true,
+            gaz: false,
+            lm: false,
+        },
+        Rung {
+            name: "+ gazetteers",
+            pretrained: true,
+            char: true,
+            feats: true,
+            gaz: true,
+            lm: false,
+        },
+        Rung {
+            name: "+ contextual LM (Fig. 10 stack)",
+            pretrained: true,
+            char: true,
+            feats: true,
+            gaz: true,
+            lm: true,
+        },
     ];
 
     let mut rows = Vec::new();
@@ -86,7 +132,11 @@ fn main() {
             } else {
                 WordRepr::Random { dim: 32 }
             },
-            char_repr: if rung.char { CharRepr::Cnn { dim: 16, filters: 16 } } else { CharRepr::None },
+            char_repr: if rung.char {
+                CharRepr::Cnn { dim: 16, filters: 16 }
+            } else {
+                CharRepr::None
+            },
             use_features: rung.feats,
             use_gazetteer: rung.gaz,
             context_dim: if rung.lm { charlm.dim() } else { 0 },

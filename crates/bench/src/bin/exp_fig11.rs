@@ -12,7 +12,9 @@
 //! ELMo-lite / char-LM) beats the strictly causal GPT-lite; every
 //! pretrained regime beats no pretraining.
 
-use ner_bench::{harness_train_config, pct, print_table, standard_data, write_report, Scale};
+use ner_bench::{
+    harness_train_config, init_harness, pct, print_table, standard_data, write_report, Scale,
+};
 use ner_core::config::{CharRepr, EncoderKind, NerConfig, WordRepr};
 use ner_core::prelude::*;
 use ner_corpus::{GeneratorConfig, NewsGenerator};
@@ -56,6 +58,7 @@ fn downstream(
 
 fn main() {
     let scale = Scale::from_args();
+    init_harness("fig11", 42, scale);
     let data = standard_data(42, scale);
     // Downstream is data-starved on purpose: pretraining matters most there.
     let starved = ner_bench::ExperimentData {
@@ -98,11 +101,31 @@ fn main() {
 
     println!("running the shared downstream tagger per regime ...");
     let mut rows = vec![
-        Row { regime: "no pretraining".into(), lm_nll: None, f1_unseen: downstream(&starved, &tc, None, 77) },
-        Row { regime: "GPT-lite (causal Transformer)".into(), lm_nll: Some(gpt.nll(&held_out)), f1_unseen: downstream(&starved, &tc, Some(&gpt), 77) },
-        Row { regime: "ELMo-lite (biLSTM LM)".into(), lm_nll: Some(elmo.nll(&held_out)), f1_unseen: downstream(&starved, &tc, Some(&elmo), 77) },
-        Row { regime: "char-LM (contextual string)".into(), lm_nll: Some(charlm.nll_per_char(&held_out)), f1_unseen: downstream(&starved, &tc, Some(&charlm), 77) },
-        Row { regime: "BERT-lite (masked bidirectional)".into(), lm_nll: None, f1_unseen: downstream(&starved, &tc, Some(&bert), 77) },
+        Row {
+            regime: "no pretraining".into(),
+            lm_nll: None,
+            f1_unseen: downstream(&starved, &tc, None, 77),
+        },
+        Row {
+            regime: "GPT-lite (causal Transformer)".into(),
+            lm_nll: Some(gpt.nll(&held_out)),
+            f1_unseen: downstream(&starved, &tc, Some(&gpt), 77),
+        },
+        Row {
+            regime: "ELMo-lite (biLSTM LM)".into(),
+            lm_nll: Some(elmo.nll(&held_out)),
+            f1_unseen: downstream(&starved, &tc, Some(&elmo), 77),
+        },
+        Row {
+            regime: "char-LM (contextual string)".into(),
+            lm_nll: Some(charlm.nll_per_char(&held_out)),
+            f1_unseen: downstream(&starved, &tc, Some(&charlm), 77),
+        },
+        Row {
+            regime: "BERT-lite (masked bidirectional)".into(),
+            lm_nll: None,
+            f1_unseen: downstream(&starved, &tc, Some(&bert), 77),
+        },
     ];
     rows.sort_by(|a, b| b.f1_unseen.partial_cmp(&a.f1_unseen).expect("finite"));
 

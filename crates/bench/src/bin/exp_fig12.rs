@@ -8,7 +8,9 @@
 //! the CRF-over-softmax margin shrinks; greedy decoders (RNN/pointer) pay
 //! for serialization.
 
-use ner_bench::{harness_train_config, pct, print_table, standard_data, write_report, Scale};
+use ner_bench::{
+    harness_train_config, init_harness, pct, print_table, standard_data, write_report, Scale,
+};
 use ner_core::config::{CharRepr, DecoderKind, NerConfig, WordRepr};
 use ner_core::prelude::*;
 use ner_corpus::{GeneratorConfig, NewsGenerator};
@@ -28,6 +30,7 @@ struct Row {
 
 fn main() {
     let scale = Scale::from_args();
+    init_harness("fig12", 42, scale);
     let data = standard_data(42, scale);
     let tc = harness_train_config(scale);
     let mut rng = StdRng::seed_from_u64(3);
@@ -74,9 +77,7 @@ fn main() {
             let invalid = test_enc
                 .iter()
                 .filter(|e| {
-                    model
-                        .predict_raw_tags(e)
-                        .is_some_and(|tags| !TagScheme::Bio.is_valid(&tags))
+                    model.predict_raw_tags(e).is_some_and(|tags| !TagScheme::Bio.is_valid(&tags))
                 })
                 .count();
             println!("  [{regime}] {name:<13} F1(unseen) {:>6}  ill-formed {}", pct(f1), invalid);

@@ -6,7 +6,10 @@
 //! the paper's motivation for char reps is exactly OOV/morphology handling
 //! (§3.2.2).
 
-use ner_bench::{eval_on, harness_train_config, pct, print_table, standard_data, train_model, write_report, Scale};
+use ner_bench::{
+    eval_on, harness_train_config, init_harness, pct, print_table, standard_data, train_model,
+    write_report, Scale,
+};
 use ner_core::config::{CharRepr, NerConfig, WordRepr};
 use ner_core::metrics::seen_unseen_recall;
 use ner_core::prelude::*;
@@ -23,6 +26,7 @@ struct Row {
 
 fn main() {
     let scale = Scale::from_args();
+    init_harness("fig3", 42, scale);
     let data = standard_data(42, scale);
     let tc = harness_train_config(scale);
     let train_surfaces = data.train.entity_surfaces();
@@ -35,11 +39,8 @@ fn main() {
 
     let mut rows = Vec::new();
     for (name, char_repr) in variants {
-        let cfg = NerConfig {
-            char_repr,
-            word: WordRepr::Random { dim: 32 },
-            ..NerConfig::default()
-        };
+        let cfg =
+            NerConfig { char_repr, word: WordRepr::Random { dim: 32 }, ..NerConfig::default() };
         let (enc, model) = train_model(cfg, &data.train, &tc, 11);
         let f1_test = eval_on(&enc, &model, &data.test).micro.f1;
         let unseen_enc = enc.encode_dataset(&data.test_unseen, None);

@@ -8,7 +8,9 @@
 //! 2. the downstream effect: appending char-LM embeddings to a BiLSTM-CRF
 //!    lifts F1, especially on unseen entities.
 
-use ner_bench::{harness_train_config, pct, print_table, standard_data, write_report, Scale};
+use ner_bench::{
+    harness_train_config, init_harness, pct, print_table, standard_data, write_report, Scale,
+};
 use ner_core::config::{CharRepr, NerConfig, WordRepr};
 use ner_core::prelude::*;
 use ner_corpus::{GeneratorConfig, NewsGenerator};
@@ -32,6 +34,7 @@ fn tokens(words: &[&str]) -> Vec<String> {
 
 fn main() {
     let scale = Scale::from_args();
+    init_harness("fig4", 42, scale);
     let data = standard_data(42, scale);
     let tc = harness_train_config(scale);
     let mut rng = StdRng::seed_from_u64(9);
@@ -47,8 +50,10 @@ fn main() {
 
     // --- Polysemy probe: "Jordan" as PERSON vs as COUNTRY context. ---
     let per_ctx_a = charlm.embed(&tokens(&["Jordan", "scored", "44", "points", "yesterday", "."]));
-    let per_ctx_b = charlm.embed(&tokens(&["Jordan", "told", "reporters", "the", "talks", "failed", "."]));
-    let loc_ctx = charlm.embed(&tokens(&["officials", "arrived", "in", "Jordan", "on", "Monday", "."]));
+    let per_ctx_b =
+        charlm.embed(&tokens(&["Jordan", "told", "reporters", "the", "talks", "failed", "."]));
+    let loc_ctx =
+        charlm.embed(&tokens(&["officials", "arrived", "in", "Jordan", "on", "Monday", "."]));
     let same_word_cross = cosine(&per_ctx_a[0], &loc_ctx[3]);
     let same_role = cosine(&per_ctx_a[0], &per_ctx_b[0]);
     println!("\ncos(Jordan|PER-ctx, Jordan|PER-ctx') = {same_role:.3}");

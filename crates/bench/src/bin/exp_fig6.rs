@@ -11,7 +11,10 @@
 //! `benches/encoder_speed.rs`; this harness reports the accuracy side and a
 //! direct timing sweep in one table.)
 
-use ner_bench::{eval_on, harness_train_config, pct, print_table, standard_data, train_model, write_report, Scale};
+use ner_bench::{
+    eval_on, harness_train_config, init_harness, pct, print_table, standard_data, train_model,
+    write_report, Scale,
+};
 use ner_core::config::{CharRepr, EncoderKind, NerConfig, WordRepr};
 use ner_core::prelude::*;
 use ner_corpus::{GeneratorConfig, NewsGenerator};
@@ -32,7 +35,10 @@ fn inference_time(model: &NerModel, enc: &SentenceEncoder, ds: &Dataset, reps: u
     let t = Instant::now();
     for _ in 0..reps {
         for e in &encoded {
+            let ts = Instant::now();
             let _ = model.predict_spans(e);
+            ner_obs::observe("infer.sentence_us", ts.elapsed().as_secs_f64() * 1e6);
+            ner_obs::counter("infer.tokens", e.len() as f64);
         }
     }
     t.elapsed().as_secs_f64() / reps as f64
@@ -51,9 +57,11 @@ fn long_sentences(target_len: usize, n: usize, seed: u64) -> Dataset {
             let s = gen.sentence(&mut rng);
             let off = tokens.len();
             tokens.extend(s.tokens.iter().map(|t| t.text.clone()));
-            entities.extend(s.entities.iter().map(|e| {
-                ner_text::EntitySpan::new(e.start + off, e.end + off, e.label.clone())
-            }));
+            entities.extend(
+                s.entities.iter().map(|e| {
+                    ner_text::EntitySpan::new(e.start + off, e.end + off, e.label.clone())
+                }),
+            );
         }
         out.push(Sentence::new(&tokens, entities));
     }
@@ -62,6 +70,7 @@ fn long_sentences(target_len: usize, n: usize, seed: u64) -> Dataset {
 
 fn main() {
     let scale = Scale::from_args();
+    init_harness("fig6", 42, scale);
     let data = standard_data(42, scale);
     let tc = harness_train_config(scale);
 
@@ -72,7 +81,12 @@ fn main() {
         ..NerConfig::default()
     };
     let idcnn_cfg = NerConfig {
-        encoder: EncoderKind::IdCnn { filters: 48, width: 3, dilations: vec![1, 2, 4], iterations: 2 },
+        encoder: EncoderKind::IdCnn {
+            filters: 48,
+            width: 3,
+            dilations: vec![1, 2, 4],
+            iterations: 2,
+        },
         ..bilstm_cfg.clone()
     };
 
@@ -102,17 +116,16 @@ fn main() {
     print_table(
         "Fig. 6 — ID-CNN vs BiLSTM-CRF: accuracy",
         &["Model", "F1 (unseen)"],
-        &[
-            vec!["BiLSTM-CRF".into(), pct(f1_l)],
-            vec!["ID-CNN-CRF".into(), pct(f1_c)],
-        ],
+        &[vec!["BiLSTM-CRF".into(), pct(f1_l)], vec!["ID-CNN-CRF".into(), pct(f1_c)]],
     );
     print_table(
         "Fig. 6 — test-time cost by sentence length (lower is better)",
         &["Tokens/sentence", "BiLSTM-CRF", "ID-CNN-CRF", "ID-CNN speedup"],
         &rows,
     );
-    println!("\nExpected shape (paper): comparable F1; ID-CNN speedup > 1x and growing with length");
+    println!(
+        "\nExpected shape (paper): comparable F1; ID-CNN speedup > 1x and growing with length"
+    );
     println!("(paper reports 14-20x with GPU batch parallelism; scalar CPU shows the trend).");
 
     let path = write_report(

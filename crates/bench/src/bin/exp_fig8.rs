@@ -7,7 +7,9 @@
 //! point being that composing along linguistic structure is a *viable*
 //! context encoder.
 
-use ner_bench::{harness_train_config, pct, print_table, standard_data, write_report, Scale};
+use ner_bench::{
+    harness_train_config, init_harness, pct, print_table, standard_data, write_report, Scale,
+};
 use ner_core::config::{CharRepr, DecoderKind, EncoderKind, NerConfig, WordRepr};
 use ner_core::encoder::recursive::{chunk_tree, RecursiveNer};
 use ner_core::metrics::evaluate;
@@ -25,6 +27,7 @@ struct Report {
 
 fn main() {
     let scale = Scale::from_args();
+    init_harness("fig8", 42, scale);
     let data = standard_data(42, scale);
     let tc = harness_train_config(scale);
     let mut rng = StdRng::seed_from_u64(31);

@@ -7,8 +7,8 @@
 //! objective yields consistent improvements, most visible in lower-resource
 //! regimes — so the harness sweeps two training sizes.
 
-use ner_bench::{pct, print_table, standard_data, write_report, Scale};
 use ner_applied::multitask::{MultitaskNer, MultitaskWeights};
+use ner_bench::{init_harness, pct, print_table, standard_data, write_report, Scale};
 use ner_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,6 +24,7 @@ struct Row {
 
 fn main() {
     let scale = Scale::from_args();
+    init_harness("fig9", 42, scale);
     let data = standard_data(42, scale);
     let epochs = scale.epochs(10);
 
@@ -57,7 +58,12 @@ fn main() {
                 .sum::<f64>()
                 / seeds.len() as f64;
             println!("  n={size:<4} {name:<26} F1(unseen, mean of 3 seeds) {}", pct(f1));
-            rows.push(Row { train_size: size, lm_weight: weights.lm, seg_weight: weights.segmentation, f1_unseen: f1 });
+            rows.push(Row {
+                train_size: size,
+                lm_weight: weights.lm,
+                seg_weight: weights.segmentation,
+                f1_unseen: f1,
+            });
             table.push(vec![size.to_string(), name.to_string(), pct(f1)]);
         }
     }

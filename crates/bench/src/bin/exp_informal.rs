@@ -8,7 +8,10 @@
 //! news with unseen entities, (c) the W-NUT noise channel; then retrain
 //! with in-domain noisy data added, the standard mitigation.
 
-use ner_bench::{harness_train_config, pct, print_table, standard_data, train_model, write_report, Scale};
+use ner_bench::{
+    harness_train_config, init_harness, pct, print_table, standard_data, train_model, write_report,
+    Scale,
+};
 use ner_core::config::NerConfig;
 use ner_core::metrics::seen_unseen_recall;
 use ner_core::prelude::*;
@@ -29,6 +32,7 @@ struct Report {
 
 fn main() {
     let scale = Scale::from_args();
+    init_harness("informal", 42, scale);
     let data = standard_data(42, scale);
     let tc = harness_train_config(scale);
 
@@ -49,8 +53,11 @@ fn main() {
     // Mitigation: add in-domain noisy training data.
     println!("retraining with in-domain noisy data added ...");
     let mut rng = StdRng::seed_from_u64(92);
-    let noisy_train =
-        corrupt_dataset(&data.train.take(data.train.len() / 2), &NoiseModel::social_media(), &mut rng);
+    let noisy_train = corrupt_dataset(
+        &data.train.take(data.train.len() / 2),
+        &NoiseModel::social_media(),
+        &mut rng,
+    );
     let combined = data.train.concat(&noisy_train);
     let (enc2, model2) = train_model(NerConfig::default(), &combined, &tc, 93);
     let f1_noisy2 = ner_bench::eval_on(&enc2, &model2, &data.test_noisy).micro.f1;

@@ -5,7 +5,7 @@
 //! capped; stacking an inner-layer model on top recovers the nested
 //! mentions.
 
-use ner_bench::{harness_train_config, pct, print_table, write_report, Scale};
+use ner_bench::{harness_train_config, init_harness, pct, print_table, write_report, Scale};
 use ner_core::config::{CharRepr, NerConfig, WordRepr};
 use ner_core::nested::{evaluate_nested, flat_predictions, outer_layer, LayeredNer};
 use ner_core::prelude::*;
@@ -27,6 +27,7 @@ struct Report {
 
 fn main() {
     let scale = Scale::from_args();
+    init_harness("nested", 101, scale);
     let tc = harness_train_config(scale);
     let gen = NewsGenerator::new(GeneratorConfig {
         annotate_nested: true,

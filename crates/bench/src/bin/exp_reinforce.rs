@@ -7,7 +7,9 @@
 //! the REINFORCE-trained selector.
 
 use ner_applied::reinforce::{select, train_selector};
-use ner_bench::{harness_train_config, pct, print_table, standard_data, write_report, Scale};
+use ner_bench::{
+    harness_train_config, init_harness, pct, print_table, standard_data, write_report, Scale,
+};
 use ner_core::config::{CharRepr, NerConfig, WordRepr};
 use ner_core::prelude::*;
 use ner_corpus::distant::{corrupt_dataset_labels, corruption_rate, LabelNoise};
@@ -27,6 +29,7 @@ struct Report {
 
 fn main() {
     let scale = Scale::from_args();
+    init_harness("reinforce", 42, scale);
     let data = standard_data(42, scale);
     let tc = harness_train_config(scale);
     let mut rng = StdRng::seed_from_u64(71);
@@ -67,9 +70,14 @@ fn main() {
     let episodes = scale.epochs(30);
     let (policy, rl_report) =
         train_selector(&mut selector_model, &noisy_enc, &dev_enc, episodes, 400.0, &mut rng);
-    println!("episode rewards (−dev NLL): {:?}", rl_report.episode_rewards.iter().map(|r| (r * 1000.0).round() / 1000.0).collect::<Vec<_>>());
-    println!("learned policy weights [label-NLL, conf, entropy, bias]: {:?}",
-        policy.w.iter().map(|w| (w * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "episode rewards (−dev NLL): {:?}",
+        rl_report.episode_rewards.iter().map(|r| (r * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+    );
+    println!(
+        "learned policy weights [label-NLL, conf, entropy, bias]: {:?}",
+        policy.w.iter().map(|w| (w * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
 
     // Final model trained from scratch on the selected subset.
     let kept = select(&policy, &selector_model, &noisy_enc);
@@ -82,7 +90,8 @@ fn main() {
             !n.corrupted && kept.iter().any(|k| k.tokens == e.tokens && k.gold == e.gold)
         })
         .count();
-    let selector_precision = if kept.is_empty() { 0.0 } else { kept_clean as f64 / kept.len() as f64 };
+    let selector_precision =
+        if kept.is_empty() { 0.0 } else { kept_clean as f64 / kept.len() as f64 };
 
     let mut final_model = NerModel::new(cfg, &encoder, None, &mut rng);
     ner_core::trainer::train(&mut final_model, &kept, None, &tc, &mut rng);

@@ -5,7 +5,7 @@
 //! reports measured statistics (sentences, tokens, entities, measured #tags,
 //! nesting fraction) so the substitution of DESIGN.md §1 is auditable.
 
-use ner_bench::{print_table, write_report, Scale};
+use ner_bench::{init_harness, print_table, write_report, Scale};
 use ner_corpus::noise::corrupt_dataset;
 use ner_corpus::profiles::table1_profiles;
 use ner_corpus::NewsGenerator;
@@ -29,6 +29,7 @@ struct Row {
 
 fn main() {
     let scale = Scale::from_args();
+    init_harness("table1", 41, scale);
     let n = scale.size(400);
     let mut rows = Vec::new();
     for profile in table1_profiles() {
@@ -49,7 +50,9 @@ fn main() {
             }
         };
         let (sentences, tokens, entities, measured_tags, nested_pct) = match &stats {
-            Some(s) => (s.sentences, s.tokens, s.entities, s.entity_types, 100.0 * s.nested_fraction),
+            Some(s) => {
+                (s.sentences, s.tokens, s.entities, s.entity_types, 100.0 * s.nested_fraction)
+            }
             None => (0, 0, 0, 0, 0.0),
         };
         rows.push(Row {
@@ -84,7 +87,17 @@ fn main() {
         .collect();
     print_table(
         "Table 1 — annotated datasets for English NER (paper inventory + synthetic analogs)",
-        &["Corpus", "Year", "Text Source", "#Tags(paper)", "Analog", "Sents", "Entities", "#Tags(measured)", "Nested"],
+        &[
+            "Corpus",
+            "Year",
+            "Text Source",
+            "#Tags(paper)",
+            "Analog",
+            "Sents",
+            "Entities",
+            "#Tags(measured)",
+            "Nested",
+        ],
         &table,
     );
     let path = write_report("table1", &rows);

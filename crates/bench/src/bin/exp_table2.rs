@@ -5,7 +5,7 @@
 //! the survey's architecture families. Each row is instantiated (to count
 //! parameters) against a small reference corpus.
 
-use ner_bench::{print_table, write_report, Scale};
+use ner_bench::{init_harness, print_table, write_report, Scale};
 use ner_core::model::NerModel;
 use ner_core::repr::SentenceEncoder;
 use ner_core::zoo::zoo;
@@ -24,6 +24,7 @@ struct Row {
 
 fn main() {
     let scale = Scale::from_args();
+    init_harness("table2", 17, scale);
     let mut rng = StdRng::seed_from_u64(17);
     let ds = NewsGenerator::new(GeneratorConfig::default()).dataset(&mut rng, scale.size(100));
 

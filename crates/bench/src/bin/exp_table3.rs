@@ -13,13 +13,15 @@
 //! rows; char channels and pretrained words help; contextual LM embeddings
 //! are best; un-pretrained Transformers fail on limited data.
 
-use ner_bench::{harness_train_config, pct, print_table, standard_data, write_report, Scale};
+use ner_bench::{
+    harness_train_config, init_harness, pct, print_table, standard_data, write_report, Scale,
+};
 use ner_core::config::{CharRepr, DecoderKind, EncoderKind, NerConfig, WordRepr};
 use ner_core::prelude::*;
+use ner_corpus::{GeneratorConfig, NewsGenerator};
 use ner_embed::charlm::{CharLm, CharLmConfig};
 use ner_embed::skipgram::{self, SkipGramConfig};
 use ner_embed::{ContextualEmbedder, WordEmbeddings};
-use ner_corpus::{GeneratorConfig, NewsGenerator};
 use ner_text::Gazetteer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -81,8 +83,7 @@ fn run(
         cfg.context_dim = ctx.charlm.dim();
     }
 
-    let pretrained =
-        matches!(cfg.word, WordRepr::Pretrained { .. }).then_some(&ctx.pretrained);
+    let pretrained = matches!(cfg.word, WordRepr::Pretrained { .. }).then_some(&ctx.pretrained);
     let mut model = NerModel::new(cfg.clone(), &encoder, pretrained, &mut rng);
     let train_enc = encoder.encode_dataset(&ctx.data.train, ctx_embed);
     ner_core::trainer::train(&mut model, &train_enc, None, &ctx.tc, &mut rng);
@@ -91,12 +92,7 @@ fn run(
     let unseen_enc = encoder.encode_dataset(&ctx.data.test_unseen, ctx_embed);
     let f1_test = evaluate_model(&model, &test_enc).micro.f1;
     let f1_unseen = evaluate_model(&model, &unseen_enc).micro.f1;
-    println!(
-        "  {:<42} test {:>6}  unseen {:>6}",
-        cfg.signature(),
-        pct(f1_test),
-        pct(f1_unseen)
-    );
+    println!("  {:<42} test {:>6}  unseen {:>6}", cfg.signature(), pct(f1_test), pct(f1_unseen));
     rows.push(Row {
         signature: cfg.signature(),
         reference: reference.to_string(),
@@ -108,6 +104,7 @@ fn run(
 
 fn main() {
     let scale = Scale::from_args();
+    init_harness("table3", 42, scale);
     let data = standard_data(42, scale);
     let tc = harness_train_config(scale);
 
@@ -136,35 +133,328 @@ fn main() {
 
     println!("training the architecture matrix ...");
     // --- Word representation & simple encoders ---
-    run(&ctx, &mut rows, NerConfig { char_repr: CharRepr::None, word: WordRepr::Random { dim: 32 }, encoder: EncoderKind::WindowMlp { window: 2, hidden: 48 }, decoder: DecoderKind::Softmax, ..base.clone() }, "Collobert window approach [17]", false, false, false, 1);
-    run(&ctx, &mut rows, NerConfig { char_repr: CharRepr::None, word: WordRepr::Random { dim: 32 }, encoder: EncoderKind::Cnn { filters: 48, layers: 2, width: 3, global: true }, decoder: DecoderKind::Crf, ..base.clone() }, "Collobert sentence approach + CRF [17]", false, false, false, 2);
-    run(&ctx, &mut rows, NerConfig { char_repr: CharRepr::None, word: pre.clone(), encoder: EncoderKind::Cnn { filters: 48, layers: 2, width: 3, global: true }, decoder: DecoderKind::Crf, ..base.clone() }, "CNN-CRF + pretrained words [93]", false, false, false, 3);
-    run(&ctx, &mut rows, NerConfig { char_repr: CharRepr::None, word: pre.clone(), encoder: EncoderKind::IdCnn { filters: 48, width: 3, dilations: vec![1, 2, 4], iterations: 2 }, decoder: DecoderKind::Crf, ..base.clone() }, "ID-CNN-CRF [90]", false, false, false, 4);
+    run(
+        &ctx,
+        &mut rows,
+        NerConfig {
+            char_repr: CharRepr::None,
+            word: WordRepr::Random { dim: 32 },
+            encoder: EncoderKind::WindowMlp { window: 2, hidden: 48 },
+            decoder: DecoderKind::Softmax,
+            ..base.clone()
+        },
+        "Collobert window approach [17]",
+        false,
+        false,
+        false,
+        1,
+    );
+    run(
+        &ctx,
+        &mut rows,
+        NerConfig {
+            char_repr: CharRepr::None,
+            word: WordRepr::Random { dim: 32 },
+            encoder: EncoderKind::Cnn { filters: 48, layers: 2, width: 3, global: true },
+            decoder: DecoderKind::Crf,
+            ..base.clone()
+        },
+        "Collobert sentence approach + CRF [17]",
+        false,
+        false,
+        false,
+        2,
+    );
+    run(
+        &ctx,
+        &mut rows,
+        NerConfig {
+            char_repr: CharRepr::None,
+            word: pre.clone(),
+            encoder: EncoderKind::Cnn { filters: 48, layers: 2, width: 3, global: true },
+            decoder: DecoderKind::Crf,
+            ..base.clone()
+        },
+        "CNN-CRF + pretrained words [93]",
+        false,
+        false,
+        false,
+        3,
+    );
+    run(
+        &ctx,
+        &mut rows,
+        NerConfig {
+            char_repr: CharRepr::None,
+            word: pre.clone(),
+            encoder: EncoderKind::IdCnn {
+                filters: 48,
+                width: 3,
+                dilations: vec![1, 2, 4],
+                iterations: 2,
+            },
+            decoder: DecoderKind::Crf,
+            ..base.clone()
+        },
+        "ID-CNN-CRF [90]",
+        false,
+        false,
+        false,
+        4,
+    );
 
     // --- RNN encoders ---
-    run(&ctx, &mut rows, NerConfig { char_repr: CharRepr::None, word: pre.clone(), encoder: EncoderKind::Lstm { hidden: 48, bidirectional: false, layers: 1 }, decoder: DecoderKind::Crf, ..base.clone() }, "uni-LSTM-CRF (ablation)", false, false, false, 5);
-    run(&ctx, &mut rows, NerConfig { char_repr: CharRepr::None, word: pre.clone(), encoder: bilstm.clone(), decoder: DecoderKind::Crf, ..base.clone() }, "BiLSTM-CRF [18]", false, false, false, 6);
-    run(&ctx, &mut rows, NerConfig { char_repr: CharRepr::Cnn { dim: 16, filters: 16 }, word: pre.clone(), encoder: bilstm.clone(), decoder: DecoderKind::Crf, ..base.clone() }, "charCNN-BiLSTM-CRF [96]", false, false, false, 7);
-    run(&ctx, &mut rows, NerConfig { char_repr: CharRepr::Lstm { dim: 16, hidden: 12 }, word: pre.clone(), encoder: bilstm.clone(), decoder: DecoderKind::Crf, ..base.clone() }, "charLSTM-BiLSTM-CRF [19]", false, false, false, 8);
-    run(&ctx, &mut rows, NerConfig { char_repr: CharRepr::Lstm { dim: 16, hidden: 12 }, word: pre.clone(), encoder: EncoderKind::Gru { hidden: 48, bidirectional: true }, decoder: DecoderKind::Crf, ..base.clone() }, "charGRU-BiGRU-CRF [105]", false, false, false, 9);
+    run(
+        &ctx,
+        &mut rows,
+        NerConfig {
+            char_repr: CharRepr::None,
+            word: pre.clone(),
+            encoder: EncoderKind::Lstm { hidden: 48, bidirectional: false, layers: 1 },
+            decoder: DecoderKind::Crf,
+            ..base.clone()
+        },
+        "uni-LSTM-CRF (ablation)",
+        false,
+        false,
+        false,
+        5,
+    );
+    run(
+        &ctx,
+        &mut rows,
+        NerConfig {
+            char_repr: CharRepr::None,
+            word: pre.clone(),
+            encoder: bilstm.clone(),
+            decoder: DecoderKind::Crf,
+            ..base.clone()
+        },
+        "BiLSTM-CRF [18]",
+        false,
+        false,
+        false,
+        6,
+    );
+    run(
+        &ctx,
+        &mut rows,
+        NerConfig {
+            char_repr: CharRepr::Cnn { dim: 16, filters: 16 },
+            word: pre.clone(),
+            encoder: bilstm.clone(),
+            decoder: DecoderKind::Crf,
+            ..base.clone()
+        },
+        "charCNN-BiLSTM-CRF [96]",
+        false,
+        false,
+        false,
+        7,
+    );
+    run(
+        &ctx,
+        &mut rows,
+        NerConfig {
+            char_repr: CharRepr::Lstm { dim: 16, hidden: 12 },
+            word: pre.clone(),
+            encoder: bilstm.clone(),
+            decoder: DecoderKind::Crf,
+            ..base.clone()
+        },
+        "charLSTM-BiLSTM-CRF [19]",
+        false,
+        false,
+        false,
+        8,
+    );
+    run(
+        &ctx,
+        &mut rows,
+        NerConfig {
+            char_repr: CharRepr::Lstm { dim: 16, hidden: 12 },
+            word: pre.clone(),
+            encoder: EncoderKind::Gru { hidden: 48, bidirectional: true },
+            decoder: DecoderKind::Crf,
+            ..base.clone()
+        },
+        "charGRU-BiGRU-CRF [105]",
+        false,
+        false,
+        false,
+        9,
+    );
 
     // --- Decoders (BiLSTM encoder held fixed) ---
-    run(&ctx, &mut rows, NerConfig { char_repr: CharRepr::None, word: pre.clone(), encoder: bilstm.clone(), decoder: DecoderKind::Softmax, ..base.clone() }, "BiLSTM-Softmax (ablation)", false, false, false, 10);
-    run(&ctx, &mut rows, NerConfig { char_repr: CharRepr::None, word: pre.clone(), encoder: bilstm.clone(), decoder: DecoderKind::Rnn { tag_dim: 8, hidden: 32 }, ..base.clone() }, "BiLSTM + RNN decoder [87]", false, false, false, 11);
-    run(&ctx, &mut rows, NerConfig { char_repr: CharRepr::None, word: pre.clone(), encoder: bilstm.clone(), decoder: DecoderKind::Pointer { att: 24, max_len: 4 }, ..base.clone() }, "LSTM + pointer network [94]", false, false, false, 12);
-    run(&ctx, &mut rows, NerConfig { char_repr: CharRepr::None, word: pre.clone(), encoder: bilstm.clone(), decoder: DecoderKind::SemiCrf { max_len: 4 }, ..base.clone() }, "BiLSTM + semi-CRF [142]", false, false, false, 13);
+    run(
+        &ctx,
+        &mut rows,
+        NerConfig {
+            char_repr: CharRepr::None,
+            word: pre.clone(),
+            encoder: bilstm.clone(),
+            decoder: DecoderKind::Softmax,
+            ..base.clone()
+        },
+        "BiLSTM-Softmax (ablation)",
+        false,
+        false,
+        false,
+        10,
+    );
+    run(
+        &ctx,
+        &mut rows,
+        NerConfig {
+            char_repr: CharRepr::None,
+            word: pre.clone(),
+            encoder: bilstm.clone(),
+            decoder: DecoderKind::Rnn { tag_dim: 8, hidden: 32 },
+            ..base.clone()
+        },
+        "BiLSTM + RNN decoder [87]",
+        false,
+        false,
+        false,
+        11,
+    );
+    run(
+        &ctx,
+        &mut rows,
+        NerConfig {
+            char_repr: CharRepr::None,
+            word: pre.clone(),
+            encoder: bilstm.clone(),
+            decoder: DecoderKind::Pointer { att: 24, max_len: 4 },
+            ..base.clone()
+        },
+        "LSTM + pointer network [94]",
+        false,
+        false,
+        false,
+        12,
+    );
+    run(
+        &ctx,
+        &mut rows,
+        NerConfig {
+            char_repr: CharRepr::None,
+            word: pre.clone(),
+            encoder: bilstm.clone(),
+            decoder: DecoderKind::SemiCrf { max_len: 4 },
+            ..base.clone()
+        },
+        "BiLSTM + semi-CRF [142]",
+        false,
+        false,
+        false,
+        13,
+    );
 
     // --- Hybrid features ---
-    run(&ctx, &mut rows, NerConfig { char_repr: CharRepr::Cnn { dim: 16, filters: 16 }, word: pre.clone(), encoder: bilstm.clone(), decoder: DecoderKind::Crf, use_features: true, ..base.clone() }, "+ spelling/POS features [18][111]", true, false, false, 14);
-    run(&ctx, &mut rows, NerConfig { char_repr: CharRepr::Cnn { dim: 16, filters: 16 }, word: pre.clone(), encoder: bilstm.clone(), decoder: DecoderKind::Crf, use_features: true, use_gazetteer: true, ..base.clone() }, "+ gazetteers [18][107]", true, true, false, 15);
+    run(
+        &ctx,
+        &mut rows,
+        NerConfig {
+            char_repr: CharRepr::Cnn { dim: 16, filters: 16 },
+            word: pre.clone(),
+            encoder: bilstm.clone(),
+            decoder: DecoderKind::Crf,
+            use_features: true,
+            ..base.clone()
+        },
+        "+ spelling/POS features [18][111]",
+        true,
+        false,
+        false,
+        14,
+    );
+    run(
+        &ctx,
+        &mut rows,
+        NerConfig {
+            char_repr: CharRepr::Cnn { dim: 16, filters: 16 },
+            word: pre.clone(),
+            encoder: bilstm.clone(),
+            decoder: DecoderKind::Crf,
+            use_features: true,
+            use_gazetteer: true,
+            ..base.clone()
+        },
+        "+ gazetteers [18][107]",
+        true,
+        true,
+        false,
+        15,
+    );
 
     // --- Transformer without pretraining (expected to fail, §3.5) ---
-    run(&ctx, &mut rows, NerConfig { char_repr: CharRepr::None, word: pre.clone(), encoder: EncoderKind::Transformer { d_model: 48, heads: 4, layers: 2, d_ff: 96 }, decoder: DecoderKind::Softmax, ..base.clone() }, "Transformer from scratch [146][147]", false, false, false, 16);
+    run(
+        &ctx,
+        &mut rows,
+        NerConfig {
+            char_repr: CharRepr::None,
+            word: pre.clone(),
+            encoder: EncoderKind::Transformer { d_model: 48, heads: 4, layers: 2, d_ff: 96 },
+            decoder: DecoderKind::Softmax,
+            ..base.clone()
+        },
+        "Transformer from scratch [146][147]",
+        false,
+        false,
+        false,
+        16,
+    );
 
     // --- Contextual LM embeddings (paper's SOTA rows) ---
-    run(&ctx, &mut rows, NerConfig { char_repr: CharRepr::None, word: pre.clone(), encoder: bilstm.clone(), decoder: DecoderKind::Crf, ..base.clone() }, "contextual string emb + BiLSTM-CRF [106]", false, false, true, 17);
-    run(&ctx, &mut rows, NerConfig { char_repr: CharRepr::Cnn { dim: 16, filters: 16 }, word: pre.clone(), encoder: bilstm.clone(), decoder: DecoderKind::Crf, ..base.clone() }, "char+word+LM stack (LM-LSTM-CRF) [124]", false, false, true, 18);
-    run(&ctx, &mut rows, NerConfig { char_repr: CharRepr::None, word: WordRepr::Random { dim: 16 }, encoder: EncoderKind::Identity, decoder: DecoderKind::Softmax, ..base.clone() }, "LM embeddings + softmax head [136]", false, false, true, 19);
+    run(
+        &ctx,
+        &mut rows,
+        NerConfig {
+            char_repr: CharRepr::None,
+            word: pre.clone(),
+            encoder: bilstm.clone(),
+            decoder: DecoderKind::Crf,
+            ..base.clone()
+        },
+        "contextual string emb + BiLSTM-CRF [106]",
+        false,
+        false,
+        true,
+        17,
+    );
+    run(
+        &ctx,
+        &mut rows,
+        NerConfig {
+            char_repr: CharRepr::Cnn { dim: 16, filters: 16 },
+            word: pre.clone(),
+            encoder: bilstm.clone(),
+            decoder: DecoderKind::Crf,
+            ..base.clone()
+        },
+        "char+word+LM stack (LM-LSTM-CRF) [124]",
+        false,
+        false,
+        true,
+        18,
+    );
+    run(
+        &ctx,
+        &mut rows,
+        NerConfig {
+            char_repr: CharRepr::None,
+            word: WordRepr::Random { dim: 16 },
+            encoder: EncoderKind::Identity,
+            decoder: DecoderKind::Softmax,
+            ..base.clone()
+        },
+        "LM embeddings + softmax head [136]",
+        false,
+        false,
+        true,
+        19,
+    );
 
     rows.sort_by(|a, b| b.f1_unseen.partial_cmp(&a.f1_unseen).expect("finite"));
     let table: Vec<Vec<String>> = rows

@@ -8,7 +8,9 @@
 //! Beryozkin et al.
 
 use ner_applied::transfer::{coarsen_labels, low_resource_sweep};
-use ner_bench::{harness_train_config, pct, print_table, standard_data, write_report, Scale};
+use ner_bench::{
+    harness_train_config, init_harness, pct, print_table, standard_data, write_report, Scale,
+};
 use ner_core::config::{CharRepr, NerConfig, WordRepr};
 use ner_core::prelude::*;
 use ner_corpus::noise::{corrupt_dataset, NoiseModel};
@@ -26,13 +28,15 @@ struct Row {
 
 fn main() {
     let scale = Scale::from_args();
+    init_harness("transfer", 42, scale);
     let data = standard_data(42, scale);
     let tc = harness_train_config(scale);
     let mut rng = StdRng::seed_from_u64(61);
 
     // Target domain: noisy user-generated text with fine-grained labels,
     // projected to the source's coarse tag set via the tag hierarchy.
-    let noisy_gen = NewsGenerator::new(GeneratorConfig { fine_grained: true, ..Default::default() });
+    let noisy_gen =
+        NewsGenerator::new(GeneratorConfig { fine_grained: true, ..Default::default() });
     let target_train_ds = coarsen_labels(&corrupt_dataset(
         &noisy_gen.dataset(&mut rng, scale.size(120)),
         &NoiseModel::social_media(),
@@ -62,7 +66,8 @@ fn main() {
     println!("zero-shot source→target F1: {}", pct(zero_shot));
 
     let sizes = [scale.size(10), scale.size(30), scale.size(120)];
-    let tc_target = TrainConfig { epochs: scale.epochs(6), patience: None, ..TrainConfig::default() };
+    let tc_target =
+        TrainConfig { epochs: scale.epochs(6), patience: None, ..TrainConfig::default() };
     println!("sweeping target sizes {sizes:?} × schemes ...");
     let sweep = low_resource_sweep(
         &cfg,
@@ -77,12 +82,14 @@ fn main() {
 
     let rows: Vec<Row> = sweep
         .iter()
-        .map(|(scheme, size, f1)| Row { scheme: format!("{scheme:?}"), target_size: *size, f1: *f1 })
+        .map(|(scheme, size, f1)| Row {
+            scheme: format!("{scheme:?}"),
+            target_size: *size,
+            f1: *f1,
+        })
         .collect();
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| vec![r.target_size.to_string(), r.scheme.clone(), pct(r.f1)])
-        .collect();
+    let table: Vec<Vec<String>> =
+        rows.iter().map(|r| vec![r.target_size.to_string(), r.scheme.clone(), pct(r.f1)]).collect();
     print_table(
         "§4.2 — transfer to the low-resource noisy target (coarse-mapped labels)",
         &["Target sentences", "Scheme", "F1 (target test)"],

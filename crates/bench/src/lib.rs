@@ -14,6 +14,27 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Run identity registered by [`init_harness`], consumed by [`write_report`]
+/// to stamp the run manifest.
+struct RunInfo {
+    name: String,
+    seed: u64,
+    scale: Scale,
+}
+
+static RUN: Mutex<Option<RunInfo>> = Mutex::new(None);
+
+/// Standard harness prologue: installs the observability layer from the
+/// process arguments and environment (`--log-json <path>`, `--verbosity
+/// <level>`, `NER_LOG_JSON`, `NER_VERBOSITY`) and records the run identity
+/// so [`write_report`] can emit a manifest alongside the results.
+pub fn init_harness(name: &str, seed: u64, scale: Scale) {
+    ner_obs::init_from_process_args();
+    *RUN.lock().expect("run info lock") = Some(RunInfo { name: name.to_string(), seed, scale });
+    ner_obs::info(format!("harness {name}: seed={seed} scale={scale:?}"));
+}
 
 /// The standard experimental split shared by all harnesses.
 pub struct ExperimentData {
@@ -147,13 +168,62 @@ pub fn pct(x: f64) -> String {
 
 /// Writes a JSON report next to the experiment outputs (`results/`),
 /// creating the directory on demand. Returns the path written.
+///
+/// When the harness went through [`init_harness`], a run manifest (seed,
+/// config signature, wall clock, peak tape nodes, flattened final metrics)
+/// is written to `results/<name>.manifest.json`, emitted to any installed
+/// sinks, and the observability layer is drained via [`ner_obs::finish`].
 pub fn write_report<T: Serialize>(name: &str, value: &T) -> std::path::PathBuf {
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir).expect("create results dir");
     let path = dir.join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value).expect("serialize report");
     std::fs::write(&path, json).expect("write report");
+    if let Some(manifest) = build_manifest(name, value) {
+        let mjson = serde_json::to_string_pretty(&manifest).expect("serialize manifest");
+        std::fs::write(dir.join(format!("{name}.manifest.json")), mjson).expect("write manifest");
+        ner_obs::emit_manifest(&manifest);
+        ner_obs::finish();
+    }
     path
+}
+
+/// Builds the run manifest for a report, or `None` when [`init_harness`]
+/// was never called (library tests, ad-hoc binaries).
+fn build_manifest<T: Serialize>(name: &str, value: &T) -> Option<ner_obs::RunManifest> {
+    let run = RUN.lock().expect("run info lock");
+    let run = run.as_ref()?;
+    let mut final_metrics = Vec::new();
+    numeric_leaves("", &value.serialize(), &mut final_metrics);
+    Some(ner_obs::RunManifest {
+        name: name.to_string(),
+        version: env!("CARGO_PKG_VERSION").to_string(),
+        seed: run.seed,
+        config_signature: format!("{}:seed={}:{:?}", run.name, run.seed, run.scale),
+        wall_clock_secs: ner_obs::elapsed_secs(),
+        peak_tape_nodes: ner_obs::gauge_value("tape.peak_nodes").unwrap_or(0.0) as u64,
+        final_metrics,
+    })
+}
+
+/// Collects every numeric leaf of a serialized report as a dotted-path
+/// metric, so manifests stay comparable across heterogeneous report shapes.
+fn numeric_leaves(prefix: &str, v: &serde::Value, out: &mut Vec<(String, f64)>) {
+    match v {
+        serde::Value::Num(n) => out.push((prefix.to_string(), *n)),
+        serde::Value::Object(fields) => {
+            for (k, val) in fields {
+                let p = if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+                numeric_leaves(&p, val, out);
+            }
+        }
+        serde::Value::Array(items) => {
+            for (i, val) in items.iter().enumerate() {
+                numeric_leaves(&format!("{prefix}[{i}]"), val, out);
+            }
+        }
+        _ => {}
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +264,11 @@ mod tests {
         let (enc, model) = train_model(NerConfig::default(), &data.train, &tc, 1);
         let clean = eval_on(&enc, &model, &data.test);
         let noisy = eval_on(&enc, &model, &data.test_noisy);
-        assert!(clean.micro.f1 > noisy.micro.f1, "noise must hurt: {} vs {}", clean.micro.f1, noisy.micro.f1);
+        assert!(
+            clean.micro.f1 > noisy.micro.f1,
+            "noise must hurt: {} vs {}",
+            clean.micro.f1,
+            noisy.micro.f1
+        );
     }
 }

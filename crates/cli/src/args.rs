@@ -26,15 +26,17 @@ impl std::error::Error for ArgError {}
 
 /// Option names that take a value; anything else starting with `--` is a
 /// boolean flag.
-pub fn parse<I: IntoIterator<Item = String>>(raw: I, value_options: &[&str]) -> Result<Args, ArgError> {
+pub fn parse<I: IntoIterator<Item = String>>(
+    raw: I,
+    value_options: &[&str],
+) -> Result<Args, ArgError> {
     let mut args = Args::default();
     let mut iter = raw.into_iter().peekable();
     while let Some(tok) = iter.next() {
         if let Some(name) = tok.strip_prefix("--") {
             if value_options.contains(&name) {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| ArgError(format!("--{name} requires a value")))?;
+                let value =
+                    iter.next().ok_or_else(|| ArgError(format!("--{name} requires a value")))?;
                 if args.options.insert(name.to_string(), value).is_some() {
                     return Err(ArgError(format!("--{name} given twice")));
                 }
@@ -63,9 +65,7 @@ impl Args {
     pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| ArgError(format!("--{name} has invalid value {v:?}"))),
+            Some(v) => v.parse().map_err(|_| ArgError(format!("--{name} has invalid value {v:?}"))),
         }
     }
 
@@ -101,7 +101,10 @@ mod tests {
 
     #[test]
     fn errors_are_specific() {
-        assert_eq!(parse(v(&["--n"]), &["n"]).unwrap_err(), ArgError("--n requires a value".into()));
+        assert_eq!(
+            parse(v(&["--n"]), &["n"]).unwrap_err(),
+            ArgError("--n requires a value".into())
+        );
         assert_eq!(
             parse(v(&["--n", "1", "--n", "2"]), &["n"]).unwrap_err(),
             ArgError("--n given twice".into())

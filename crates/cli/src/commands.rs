@@ -36,10 +36,10 @@ pub fn generate(raw: Vec<String>) -> CmdResult {
     }
     std::fs::write(&out, conll::write_conll(&ds.sentences, scheme))?;
     let stats = ds.stats();
-    println!(
+    ner_obs::info(format!(
         "wrote {} sentences / {} tokens / {} entities ({} types) to {out}",
         stats.sentences, stats.tokens, stats.entities, stats.entity_types
-    );
+    ));
     Ok(())
 }
 
@@ -68,37 +68,33 @@ pub fn train(raw: Vec<String>) -> CmdResult {
         Some(p) => Some(read_dataset(p, scheme)?),
         None => None,
     };
-    println!(
+    if a.flag("quiet") {
+        ner_obs::set_verbosity(ner_obs::Verbosity::Quiet);
+    }
+    ner_obs::info(format!(
         "training {} ({}) on {} sentences ...",
         preset_name,
         cfg.signature(),
         train_ds.len()
-    );
+    ));
 
     let mut rng = StdRng::seed_from_u64(seed);
-    let encoder = SentenceEncoder::from_dataset(&train_ds, scheme, 1)
-        .with_features(cfg.use_features);
+    let encoder =
+        SentenceEncoder::from_dataset(&train_ds, scheme, 1).with_features(cfg.use_features);
     let mut model = NerModel::new(cfg, &encoder, None, &mut rng);
     let train_enc = encoder.encode_dataset(&train_ds, None);
     let dev_enc = dev_ds.map(|d| encoder.encode_dataset(&d, None));
     let tc = TrainConfig { epochs, lr, ..TrainConfig::default() };
-    let report = ner_core::trainer::train(&mut model, &train_enc, dev_enc.as_deref(), &tc, &mut rng);
-    if !a.flag("quiet") {
-        for e in &report.epochs {
-            println!(
-                "epoch {:>2}  loss {:>9.4}{}",
-                e.epoch,
-                e.train_loss,
-                e.dev_f1.map_or(String::new(), |f| format!("  dev-F1 {:.2}%", 100.0 * f))
-            );
-        }
-    }
+    // Per-epoch progress is emitted by the trainer itself through the
+    // observability sinks (stderr at normal verbosity, JSONL when enabled).
+    let report =
+        ner_core::trainer::train(&mut model, &train_enc, dev_enc.as_deref(), &tc, &mut rng);
     if let Some(f1) = report.best_dev_f1 {
-        println!("best dev F1 {:.2}% at epoch {}", 100.0 * f1, report.best_epoch);
+        ner_obs::info(format!("best dev F1 {:.2}% at epoch {}", 100.0 * f1, report.best_epoch));
     }
 
     Checkpoint::capture(&NerPipeline::new(encoder, model)).save(&model_path)?;
-    println!("checkpoint written to {model_path}");
+    ner_obs::info(format!("checkpoint written to {model_path}"));
     Ok(())
 }
 
@@ -110,7 +106,12 @@ pub fn eval(raw: Vec<String>) -> CmdResult {
     let ds = read_dataset(a.require("data")?, scheme)?;
     let encoded = pipeline.encoder.encode_dataset(&ds, None);
     let r = ner_core::trainer::evaluate_model(&pipeline.model, &encoded);
-    println!("sentences: {}   gold entities: {}   predicted: {}", encoded.len(), r.gold_entities, r.pred_entities);
+    println!(
+        "sentences: {}   gold entities: {}   predicted: {}",
+        encoded.len(),
+        r.gold_entities,
+        r.pred_entities
+    );
     println!(
         "exact micro   P {:.2}%  R {:.2}%  F1 {:.2}%",
         100.0 * r.micro.precision,
@@ -118,7 +119,11 @@ pub fn eval(raw: Vec<String>) -> CmdResult {
         100.0 * r.micro.f1
     );
     println!("exact macro-F1  {:.2}%", 100.0 * r.macro_f1);
-    println!("relaxed type F1 {:.2}%   boundary F1 {:.2}%", 100.0 * r.relaxed_type.f1, 100.0 * r.boundary.f1);
+    println!(
+        "relaxed type F1 {:.2}%   boundary F1 {:.2}%",
+        100.0 * r.relaxed_type.f1,
+        100.0 * r.boundary.f1
+    );
     for (ty, prf) in &r.per_type {
         println!(
             "  {ty:<10} P {:.2}%  R {:.2}%  F1 {:.2}%",
@@ -152,6 +157,131 @@ pub fn zoo(_raw: Vec<String>) -> CmdResult {
     println!("{:<22} {:<44} survey reference", "PRESET", "ARCHITECTURE");
     for entry in ner_core::zoo::zoo() {
         println!("{:<22} {:<44} {}", entry.name, entry.config.signature(), entry.reference);
+    }
+    Ok(())
+}
+
+/// `report` — summarize a JSONL run log produced with `--log-json`.
+pub fn report(raw: Vec<String>) -> CmdResult {
+    let a = parse(raw, &[])?;
+    let pos = a.positional();
+    if pos.len() != 1 {
+        return Err("usage: neural-ner report RUN.jsonl".into());
+    }
+    let path = &pos[0];
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+
+    let mut manifest: Option<ner_obs::RunManifest> = None;
+    let mut warnings: Vec<(u64, String)> = Vec::new();
+    let mut epochs: Vec<serde::Value> = Vec::new();
+    let mut histograms: Vec<ner_obs::HistogramSummary> = Vec::new();
+    let mut spans: Vec<(String, u64, f64, f64)> = Vec::new();
+    let mut counters: Vec<(String, f64)> = Vec::new();
+    let mut last_t_ms = 0u64;
+    let mut n_lines = 0usize;
+    for (i, l) in text.lines().enumerate() {
+        if l.trim().is_empty() {
+            continue;
+        }
+        let line: ner_obs::LogLine = serde_json::from_str(l)
+            .map_err(|e| format!("{path}:{}: not a run-log line ({e:?})", i + 1))?;
+        n_lines += 1;
+        last_t_ms = last_t_ms.max(line.t_ms);
+        match line.event {
+            ner_obs::Event::Manifest(m) => manifest = Some(m),
+            ner_obs::Event::Message { level, text } if level == "warn" => {
+                warnings.push((line.t_ms, text));
+            }
+            ner_obs::Event::Record { kind, body } if kind == "epoch" => epochs.push(body),
+            // `finish` re-emits each histogram; keep the latest per name.
+            ner_obs::Event::Histogram(h) => {
+                histograms.retain(|o| o.name != h.name);
+                histograms.push(h);
+            }
+            ner_obs::Event::SpanSummary { path, count, total_ms, max_ms } => {
+                spans.retain(|(p, ..)| *p != path);
+                spans.push((path, count, total_ms, max_ms));
+            }
+            ner_obs::Event::Counter { name, value } => {
+                counters.retain(|(n, _)| *n != name);
+                counters.push((name, value));
+            }
+            _ => {}
+        }
+    }
+    println!("{path}: {n_lines} events over {:.2} s", last_t_ms as f64 / 1e3);
+
+    if let Some(m) = &manifest {
+        println!("\n== run manifest ==");
+        println!("name {}   version {}   seed {}", m.name, m.version, m.seed);
+        println!("config {}", m.config_signature);
+        println!("wall clock {:.2} s   peak tape nodes {}", m.wall_clock_secs, m.peak_tape_nodes);
+        if !m.final_metrics.is_empty() {
+            println!("final metrics:");
+            let shown = m.final_metrics.len().min(16);
+            for (k, v) in &m.final_metrics[..shown] {
+                println!("  {k:<32} {v:.4}");
+            }
+            if m.final_metrics.len() > shown {
+                println!("  ... and {} more", m.final_metrics.len() - shown);
+            }
+        }
+    }
+
+    if !epochs.is_empty() {
+        let num = |v: &serde::Value, k: &str| v.get(k).and_then(|x| x.as_f64());
+        println!("\n== loss curve ==");
+        println!(
+            "{:>5}  {:>10}  {:>9}  {:>8}  {:>7}  {:>8}  {:>7}",
+            "epoch", "loss", "grad", "lr", "dev-F1", "wall", "skipped"
+        );
+        for e in &epochs {
+            println!(
+                "{:>5}  {:>10.4}  {:>9.3}  {:>8.5}  {:>7}  {:>6.1}ms  {:>7}",
+                num(e, "epoch").unwrap_or(0.0) as u64,
+                num(e, "train_loss").unwrap_or(f64::NAN),
+                num(e, "grad_norm").unwrap_or(f64::NAN),
+                num(e, "lr").unwrap_or(f64::NAN),
+                num(e, "dev_f1").map_or("-".to_string(), |f| format!("{:.2}%", 100.0 * f)),
+                num(e, "wall_ms").unwrap_or(0.0),
+                num(e, "skipped_updates").unwrap_or(0.0) as u64,
+            );
+        }
+    }
+
+    if !histograms.is_empty() {
+        println!("\n== latency ==");
+        for h in &histograms {
+            println!(
+                "{}: n={}  mean={:.1}  p50={:.1}  p90={:.1}  p99={:.1}  max={:.1}",
+                h.name, h.count, h.mean, h.p50, h.p90, h.p99, h.max
+            );
+            if h.name == "infer.sentence_us" && h.count > 0 && h.mean > 0.0 {
+                if let Some((_, tokens)) = counters.iter().find(|(n, _)| n == "infer.tokens") {
+                    let secs = h.count as f64 * h.mean / 1e6;
+                    println!("  throughput ~{:.0} tokens/sec", tokens / secs);
+                }
+            }
+        }
+    }
+
+    if !spans.is_empty() {
+        spans.sort_by(|a, b| b.2.total_cmp(&a.2));
+        println!("\n== slowest spans ==");
+        println!("{:<28} {:>8}  {:>10}  {:>9}", "span", "count", "total", "max");
+        for (p, count, total_ms, max_ms) in spans.iter().take(10) {
+            println!("{p:<28} {count:>8}  {total_ms:>8.1}ms  {max_ms:>7.1}ms");
+        }
+    }
+
+    if !warnings.is_empty() {
+        println!("\n== warnings ({}) ==", warnings.len());
+        for (t, w) in warnings.iter().take(20) {
+            println!("[{:>8.2}s] {w}", *t as f64 / 1e3);
+        }
+        if warnings.len() > 20 {
+            println!("... and {} more", warnings.len() - 20);
+        }
     }
     Ok(())
 }

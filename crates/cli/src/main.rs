@@ -18,6 +18,7 @@ USAGE:
   neural-ner eval     --model FILE --data FILE
   neural-ner tag      --model FILE [TEXT ...]        (reads stdin when no TEXT)
   neural-ner zoo
+  neural-ner report   RUN.jsonl
 
 COMMANDS:
   generate   write a synthetic annotated corpus in CoNLL format
@@ -25,6 +26,11 @@ COMMANDS:
   eval       exact + relaxed span metrics of a checkpoint on a corpus
   tag        annotate raw text with a trained checkpoint
   zoo        list the available architecture presets (Table 3 families)
+  report     summarize a JSONL run log (loss curve, latency, slowest spans)
+
+GLOBAL OPTIONS (any command):
+  --verbosity LEVEL   stderr chatter: quiet|normal|verbose|trace (or 0-3)
+  --log-json FILE     append every event as one JSON object per line
 ";
 
 fn main() -> ExitCode {
@@ -33,19 +39,34 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let rest: Vec<String> = argv.collect();
+    let mut rest: Vec<String> = argv.collect();
+    let obs_cfg = match ner_obs::ObsConfig::from_env().take_args(&mut rest) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = ner_obs::init(obs_cfg) {
+        eprintln!("error: cannot open run log: {e}");
+        return ExitCode::FAILURE;
+    }
     let result = match command.as_str() {
         "generate" => commands::generate(rest),
         "train" => commands::train(rest),
         "eval" => commands::eval(rest),
         "tag" => commands::tag(rest),
         "zoo" => commands::zoo(rest),
+        "report" => commands::report(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command {other:?}; run `neural-ner help`").into()),
     };
+    // Drain accumulated metrics (counters, histograms, span summaries)
+    // into the sinks before exiting; a no-op when nothing was recorded.
+    ner_obs::finish();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -245,12 +245,14 @@ mod tests {
 
     #[test]
     fn signatures_distinguish_architectures() {
-        let mut a = NerConfig::default();
-        a.char_repr = CharRepr::None;
-        a.word = WordRepr::Pretrained { fine_tune: false };
-        a.encoder = EncoderKind::IdCnn { filters: 8, width: 3, dilations: vec![1], iterations: 1 };
-        a.decoder = DecoderKind::Softmax;
-        a.context_dim = 64;
+        let a = NerConfig {
+            char_repr: CharRepr::None,
+            word: WordRepr::Pretrained { fine_tune: false },
+            encoder: EncoderKind::IdCnn { filters: 8, width: 3, dilations: vec![1], iterations: 1 },
+            decoder: DecoderKind::Softmax,
+            context_dim: 64,
+            ..NerConfig::default()
+        };
         assert_eq!(a.signature(), "word(pre)+LM+ID-CNN+Softmax");
     }
 

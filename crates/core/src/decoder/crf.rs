@@ -144,24 +144,20 @@ impl Crf {
         }
         d_end.set2(0, tags[t_len - 1], d_end.at2(0, tags[t_len - 1]) - 1.0);
 
-        tape.custom(
-            Tensor::scalar(nll),
-            &[emissions, trans_var, start_var, end_var],
-            move |g| {
-                let s = g.item();
-                let scaled = |t: &Tensor| {
-                    let mut t = t.clone();
-                    t.scale_in_place(s);
-                    t
-                };
-                vec![
-                    Some(scaled(&d_emis)),
-                    Some(scaled(&d_trans)),
-                    Some(scaled(&d_start)),
-                    Some(scaled(&d_end)),
-                ]
-            },
-        )
+        tape.custom(Tensor::scalar(nll), &[emissions, trans_var, start_var, end_var], move |g| {
+            let s = g.item();
+            let scaled = |t: &Tensor| {
+                let mut t = t.clone();
+                t.scale_in_place(s);
+                t
+            };
+            vec![
+                Some(scaled(&d_emis)),
+                Some(scaled(&d_trans)),
+                Some(scaled(&d_start)),
+                Some(scaled(&d_end)),
+            ]
+        })
     }
 
     /// Viterbi decoding: the maximum-scoring tag sequence for `emissions`,
@@ -181,9 +177,9 @@ impl Crf {
         let end = store.value(self.end);
         const NEG: f64 = -1e18;
 
-        let allowed_start = |j: usize| constraints.map_or(true, |c| c.start_allowed(j));
-        let allowed_end = |j: usize| constraints.map_or(true, |c| c.end_allowed(j));
-        let allowed = |i: usize, j: usize| constraints.map_or(true, |c| c.transition_allowed(i, j));
+        let allowed_start = |j: usize| constraints.is_none_or(|c| c.start_allowed(j));
+        let allowed_end = |j: usize| constraints.is_none_or(|c| c.end_allowed(j));
+        let allowed = |i: usize, j: usize| constraints.is_none_or(|c| c.transition_allowed(i, j));
 
         let mut score = vec![vec![NEG; k]; t_len];
         let mut back = vec![vec![0usize; k]; t_len];

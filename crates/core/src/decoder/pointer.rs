@@ -39,7 +39,13 @@ impl PointerDecoder {
             w_start: Linear::new(store, rng, &format!("{name}.w_start"), enc_dim, att),
             w_end: Linear::new(store, rng, &format!("{name}.w_end"), enc_dim, att),
             v: store.register(&format!("{name}.v"), init::xavier(rng, att, 1)),
-            classify: Linear::new(store, rng, &format!("{name}.classify"), 2 * enc_dim, entity_types + 1),
+            classify: Linear::new(
+                store,
+                rng,
+                &format!("{name}.classify"),
+                2 * enc_dim,
+                entity_types + 1,
+            ),
             labels: entity_types + 1,
             max_len,
         }
@@ -56,7 +62,14 @@ impl PointerDecoder {
     }
 
     /// Pointer logits over candidate ends `e ∈ (s, s+cands]` as `[1, cands]`.
-    fn pointer_logits(&self, tape: &mut Tape, store: &ParamStore, enc: Var, s: usize, cands: usize) -> Var {
+    fn pointer_logits(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        enc: Var,
+        s: usize,
+        cands: usize,
+    ) -> Var {
         let h_s = tape.row(enc, s);
         let proj_s = self.w_start.forward(tape, store, h_s); // [1, att]
         let ends = tape.slice_rows(enc, s, cands); // h_s .. h_{s+cands-1}
@@ -68,7 +81,14 @@ impl PointerDecoder {
         tape.transpose(scores) // [1, cands]
     }
 
-    fn segment_logits(&self, tape: &mut Tape, store: &ParamStore, enc: Var, s: usize, e: usize) -> Var {
+    fn segment_logits(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        enc: Var,
+        s: usize,
+        e: usize,
+    ) -> Var {
         let h_s = tape.row(enc, s);
         let h_e = tape.row(enc, e - 1);
         let rep = tape.concat_cols(&[h_s, h_e]);

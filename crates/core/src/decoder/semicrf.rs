@@ -58,10 +58,12 @@ impl SemiCrf {
     ) -> Self {
         let labels = entity_types + 1;
         SemiCrf {
-            transitions: store.register(&format!("{name}.trans"), init::uniform(rng, labels, labels, 0.1)),
+            transitions: store
+                .register(&format!("{name}.trans"), init::uniform(rng, labels, labels, 0.1)),
             start: store.register(&format!("{name}.start"), init::uniform(rng, 1, labels, 0.1)),
             end: store.register(&format!("{name}.end"), init::uniform(rng, 1, labels, 0.1)),
-            length_bias: store.register(&format!("{name}.len"), init::uniform(rng, max_len, labels, 0.1)),
+            length_bias: store
+                .register(&format!("{name}.len"), init::uniform(rng, max_len, labels, 0.1)),
             labels,
             max_len,
         }
@@ -115,7 +117,13 @@ impl SemiCrf {
 
     /// Negative log-likelihood of the gold segmentation given per-token
     /// emissions `[n, Y+1]`.
-    pub fn nll(&self, tape: &mut Tape, store: &ParamStore, emissions: Var, gold: &[Segment]) -> Var {
+    pub fn nll(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        emissions: Var,
+        gold: &[Segment],
+    ) -> Var {
         let emis = tape.value(emissions).clone();
         let (n, l) = emis.shape();
         assert!(n > 0, "semi-CRF nll on empty sequence");
@@ -525,12 +533,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut store = ParamStore::new();
         let crf = SemiCrf::new(&mut store, &mut rng, "s", 1, 3);
-        let emis = Tensor::from_rows(&[
-            &[2.0, -2.0],
-            &[-2.0, 2.0],
-            &[-2.0, 2.0],
-            &[2.0, -2.0],
-        ]);
+        let emis = Tensor::from_rows(&[&[2.0, -2.0], &[-2.0, 2.0], &[-2.0, 2.0], &[2.0, -2.0]]);
         let gold = vec![
             Segment { start: 0, end: 1, label: 0 },
             Segment { start: 1, end: 3, label: 1 },
@@ -578,9 +581,6 @@ mod tests {
             Segment { start: 3, end: 4, label: 2 },
         ];
         let spans = SemiCrf::segments_to_spans(&segs, &types);
-        assert_eq!(
-            spans,
-            vec![EntitySpan::new(1, 3, "PER"), EntitySpan::new(3, 4, "LOC")]
-        );
+        assert_eq!(spans, vec![EntitySpan::new(1, 3, "PER"), EntitySpan::new(3, 4, "LOC")]);
     }
 }

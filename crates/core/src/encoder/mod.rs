@@ -61,20 +61,15 @@ impl Encoder {
             EncoderKind::WindowMlp { window, hidden } => {
                 let span = 2 * window + 1;
                 let lin = Linear::new(store, rng, &format!("{name}.mlp"), span * in_dim, *hidden);
-                Encoder {
-                    imp: EncoderImpl::WindowMlp { lin, window: *window },
-                    out_dim: *hidden,
-                }
+                Encoder { imp: EncoderImpl::WindowMlp { lin, window: *window }, out_dim: *hidden }
             }
             EncoderKind::Cnn { filters, layers, width, global } => {
                 assert!(*layers >= 1 && width % 2 == 1);
                 let mut convs = Vec::with_capacity(*layers);
                 let mut d = in_dim;
                 for l in 0..*layers {
-                    let w = store.register(
-                        &format!("{name}.conv{l}.w"),
-                        init::he(rng, width * d, *filters),
-                    );
+                    let w = store
+                        .register(&format!("{name}.conv{l}.w"), init::he(rng, width * d, *filters));
                     let b = store.register(&format!("{name}.conv{l}.b"), init::zeros(1, *filters));
                     convs.push((w, b));
                     d = *filters;
@@ -87,7 +82,10 @@ impl Encoder {
             EncoderKind::IdCnn { filters, width, dilations, iterations } => {
                 assert!(width % 2 == 1 && !dilations.is_empty() && *iterations >= 1);
                 let initial = (
-                    store.register(&format!("{name}.init.w"), init::he(rng, width * in_dim, *filters)),
+                    store.register(
+                        &format!("{name}.init.w"),
+                        init::he(rng, width * in_dim, *filters),
+                    ),
                     store.register(&format!("{name}.init.b"), init::zeros(1, *filters)),
                 );
                 // One weight set per dilation, SHARED across iterations —
@@ -141,7 +139,14 @@ impl Encoder {
                 let proj = Linear::new(store, rng, &format!("{name}.proj"), in_dim, *d_model);
                 let blocks = (0..*layers)
                     .map(|i| {
-                        TransformerBlock::new(store, rng, &format!("{name}.block{i}"), *d_model, *heads, *d_ff)
+                        TransformerBlock::new(
+                            store,
+                            rng,
+                            &format!("{name}.block{i}"),
+                            *d_model,
+                            *heads,
+                            *d_ff,
+                        )
                     })
                     .collect();
                 Encoder {
@@ -299,7 +304,12 @@ mod tests {
         );
         assert_eq!(
             check_shape(
-                EncoderKind::IdCnn { filters: 10, width: 3, dilations: vec![1, 2, 4], iterations: 2 },
+                EncoderKind::IdCnn {
+                    filters: 10,
+                    width: 3,
+                    dilations: vec![1, 2, 4],
+                    iterations: 2
+                },
                 8,
                 9
             ),
@@ -371,13 +381,8 @@ mod tests {
         let mut t2 = Tape::new();
         let x2 = t2.constant(tweaked);
         let y2 = enc.forward(&mut t2, &store, x2);
-        let diff: f32 = t1
-            .value(y1)
-            .row(7)
-            .iter()
-            .zip(t2.value(y2).row(7))
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let diff: f32 =
+            t1.value(y1).row(7).iter().zip(t2.value(y2).row(7)).map(|(a, b)| (a - b).abs()).sum();
         assert!(diff > 1e-7, "dilated stack should reach position 7 from position 0");
     }
 }

@@ -106,12 +106,7 @@ pub struct RecursiveNer {
 
 impl RecursiveNer {
     /// Builds the model over the given training vocabulary and entity types.
-    pub fn new(
-        vocab: Vocab,
-        entity_types: &[String],
-        dim: usize,
-        rng: &mut impl Rng,
-    ) -> Self {
+    pub fn new(vocab: Vocab, entity_types: &[String], dim: usize, rng: &mut impl Rng) -> Self {
         let mut store = ParamStore::new();
         let emb = Embedding::new(&mut store, rng, "rec.emb", vocab.len(), dim);
         let compose_up = Linear::new(&mut store, rng, "rec.up", 2 * dim, dim);
@@ -219,7 +214,13 @@ impl RecursiveNer {
     }
 
     /// Trains on (sentence, IO-tag) pairs for `epochs`; returns mean losses.
-    pub fn fit(&mut self, data: &[Sentence], epochs: usize, lr: f32, rng: &mut impl Rng) -> Vec<f64> {
+    pub fn fit(
+        &mut self,
+        data: &[Sentence],
+        epochs: usize,
+        lr: f32,
+        rng: &mut impl Rng,
+    ) -> Vec<f64> {
         let _ = rng;
         let mut opt = Adam::new(lr);
         let mut losses = Vec::with_capacity(epochs);

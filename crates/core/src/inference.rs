@@ -30,9 +30,15 @@ impl NerPipeline {
     }
 
     /// Annotates a pre-tokenized sentence (existing entities are ignored).
+    ///
+    /// Feeds the `infer.sentence_us` latency histogram and the
+    /// `infer.tokens` counter, from which tokens/sec throughput is derived.
     pub fn annotate(&self, sentence: &Sentence) -> Sentence {
+        let t = std::time::Instant::now();
         let enc = self.encoder.encode(sentence);
         let spans = self.model.predict_spans(&enc);
+        ner_obs::observe("infer.sentence_us", t.elapsed().as_secs_f64() * 1e6);
+        ner_obs::counter("infer.tokens", sentence.len() as f64);
         Sentence { tokens: sentence.tokens.clone(), entities: spans }
     }
 }

@@ -58,9 +58,9 @@ pub mod zoo;
 pub mod prelude {
     pub use crate::config::{CharRepr, DecoderKind, EncoderKind, NerConfig, WordRepr};
     pub use crate::inference::NerPipeline;
-    pub use crate::persist::Checkpoint;
     pub use crate::metrics::{evaluate, EvalResult, Prf};
     pub use crate::model::NerModel;
+    pub use crate::persist::Checkpoint;
     pub use crate::repr::{EncodedSentence, SentenceEncoder};
     pub use crate::trainer::{evaluate_model, predict_all, train, TrainConfig};
     pub use ner_text::{Dataset, EntitySpan, Sentence, TagScheme};

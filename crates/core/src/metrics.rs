@@ -299,4 +299,68 @@ mod tests {
         let pred = vec![vec!["O", "O", "O"]];
         assert!((token_accuracy(&gold, &pred) - 2.0 / 3.0).abs() < 1e-9);
     }
+
+    #[test]
+    fn from_counts_never_divides_by_zero() {
+        // All-zero counts: both denominators are 0 → everything 0, no NaN.
+        let r = Prf::from_counts(0, 0, 0);
+        assert_eq!(r, Prf { precision: 0.0, recall: 0.0, f1: 0.0 });
+        // Only false positives: recall denominator is 0.
+        let r = Prf::from_counts(0, 3, 0);
+        assert_eq!((r.precision, r.recall, r.f1), (0.0, 0.0, 0.0));
+        // Only false negatives: precision denominator is 0.
+        let r = Prf::from_counts(0, 0, 3);
+        assert_eq!((r.precision, r.recall, r.f1), (0.0, 0.0, 0.0));
+        assert!(r.f1.is_finite());
+    }
+
+    #[test]
+    fn fully_empty_evaluation_is_all_zeros() {
+        // No sentences at all.
+        let r = evaluate(&[], &[]);
+        assert_eq!(r.micro, Prf::default());
+        assert_eq!(r.macro_f1, 0.0);
+        assert!(r.per_type.is_empty());
+        assert_eq!((r.gold_entities, r.pred_entities), (0, 0));
+        // Sentences with no entities on either side.
+        let r = evaluate(&[vec![], vec![]], &[vec![], vec![]]);
+        assert_eq!(r.micro.f1, 0.0);
+        assert!(r.macro_f1.is_finite());
+        // Empty tag sequences: accuracy must not divide by zero.
+        assert_eq!(token_accuracy::<&str>(&[vec![]], &[vec![]]), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_counts_types_absent_from_predictions() {
+        // ORG exists only in gold (never predicted): it still contributes a
+        // zero F1 term to the macro average instead of being dropped.
+        let golds = vec![vec![span(0, 1, "PER"), span(2, 3, "ORG")]];
+        let preds = vec![vec![span(0, 1, "PER")]];
+        let r = evaluate(&golds, &preds);
+        assert_eq!(r.per_type.len(), 2);
+        assert_eq!(r.per_type["ORG"], Prf::default());
+        assert!((r.macro_f1 - 0.5).abs() < 1e-9);
+
+        // Conversely a hallucinated type (prediction only) also drags macro.
+        let golds = vec![vec![span(0, 1, "PER")]];
+        let preds = vec![vec![span(0, 1, "PER"), span(2, 3, "MISC")]];
+        let r = evaluate(&golds, &preds);
+        assert_eq!(r.per_type["MISC"], Prf::default());
+        assert!((r.macro_f1 - 0.5 * r.per_type["PER"].f1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seen_unseen_split_with_no_unseen_entities() {
+        // Every gold surface was seen in training: the unseen bucket is
+        // empty and its recall reports 0 instead of NaN.
+        let golds = vec![vec![span(0, 1, "PER")]];
+        let preds = vec![vec![span(0, 1, "PER")]];
+        let surfaces = vec![vec!["jordan".to_string()]];
+        let train: BTreeSet<String> = ["jordan".to_string()].into_iter().collect();
+        let r = seen_unseen_recall(&golds, &preds, &surfaces, &train);
+        assert_eq!((r.seen_count, r.unseen_count), (1, 0));
+        assert_eq!(r.seen_recall, 1.0);
+        assert_eq!(r.unseen_recall, 0.0);
+        assert!(r.unseen_recall.is_finite());
+    }
 }

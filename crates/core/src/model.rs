@@ -73,7 +73,9 @@ impl NerModel {
                 dec: RnnDecoder::new(&mut store, rng, "head.rnn", enc_dim, *tag_dim, *hidden, k),
             },
             DecoderKind::Pointer { att, max_len } => Head::Pointer {
-                dec: PointerDecoder::new(&mut store, rng, "head.ptr", enc_dim, *att, types, *max_len),
+                dec: PointerDecoder::new(
+                    &mut store, rng, "head.ptr", enc_dim, *att, types, *max_len,
+                ),
             },
         };
         NerModel {
@@ -93,7 +95,13 @@ impl NerModel {
     }
 
     /// Runs representation + context encoding; dropout only when `train`.
-    fn encode(&self, tape: &mut Tape, enc: &EncodedSentence, train: bool, rng: &mut impl Rng) -> Var {
+    fn encode(
+        &self,
+        tape: &mut Tape,
+        enc: &EncodedSentence,
+        train: bool,
+        rng: &mut impl Rng,
+    ) -> Var {
         let x = self.input.forward(tape, &self.store, enc, train, rng);
         let h = self.encoder.forward(tape, &self.store, x);
         if train && self.cfg.dropout > 0.0 {
@@ -157,7 +165,11 @@ impl NerModel {
     /// Predicts from an externally supplied input-representation matrix
     /// (evaluation mode) — used by test-time adversarial-attack evaluation
     /// (§4.5), which perturbs the representation directly.
-    pub fn predict_spans_from_input(&self, enc: &EncodedSentence, input: Tensor) -> Vec<EntitySpan> {
+    pub fn predict_spans_from_input(
+        &self,
+        enc: &EncodedSentence,
+        input: Tensor,
+    ) -> Vec<EntitySpan> {
         debug_assert_eq!(input.rows(), enc.len());
         let mut tape = Tape::new();
         let x = tape.constant(input);
@@ -397,8 +409,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup(cfg: NerConfig) -> (NerModel, Vec<EncodedSentence>) {
-        let ds: Dataset =
-            NewsGenerator::new(GeneratorConfig::default()).dataset(&mut StdRng::seed_from_u64(1), 25);
+        let ds: Dataset = NewsGenerator::new(GeneratorConfig::default())
+            .dataset(&mut StdRng::seed_from_u64(1), 25);
         let enc = SentenceEncoder::from_dataset(&ds, cfg.scheme, 1);
         let encoded = enc.encode_dataset(&ds, None);
         let model = NerModel::new(cfg, &enc, None, &mut StdRng::seed_from_u64(2));

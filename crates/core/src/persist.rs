@@ -182,8 +182,7 @@ mod tests {
             DecoderKind::Pointer { att: 8, max_len: 3 },
         ] {
             let (pipeline, ds) = trained_pipeline(decoder.clone());
-            let restored =
-                Checkpoint::capture(&pipeline).to_json();
+            let restored = Checkpoint::capture(&pipeline).to_json();
             let restored = Checkpoint::from_json(&restored).unwrap().restore().unwrap();
             let s = &ds.sentences[0];
             assert_eq!(pipeline.annotate(s).entities, restored.annotate(s).entities, "{decoder:?}");

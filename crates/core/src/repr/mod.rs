@@ -278,13 +278,9 @@ impl InputLayer {
 
         // Rei et al.'s char/word attention gate needs matching widths.
         let gate = match (&char, cfg.char_word_gate) {
-            (Some(c), true) if c.out_dim() == word_dim => Some(Linear::new(
-                store,
-                rng,
-                "input.gate",
-                2 * word_dim,
-                word_dim,
-            )),
+            (Some(c), true) if c.out_dim() == word_dim => {
+                Some(Linear::new(store, rng, "input.gate", 2 * word_dim, word_dim))
+            }
             _ => None,
         };
 
@@ -331,11 +327,8 @@ impl InputLayer {
         let words = self.word_emb.lookup(tape, store, &enc.word_ids);
 
         let char_rows = self.char.as_ref().map(|cm| {
-            let rows: Vec<Var> = enc
-                .char_ids
-                .iter()
-                .map(|chars| cm.word_vector(tape, store, chars))
-                .collect();
+            let rows: Vec<Var> =
+                enc.char_ids.iter().map(|chars| cm.word_vector(tape, store, chars)).collect();
             tape.concat_rows(&rows)
         });
 
@@ -465,10 +458,12 @@ mod tests {
 
     #[test]
     fn gate_replaces_concatenation_when_widths_match() {
-        let mut cfg = NerConfig::default();
-        cfg.word = WordRepr::Random { dim: 16 };
-        cfg.char_repr = CharRepr::Cnn { dim: 8, filters: 16 };
-        cfg.char_word_gate = true;
+        let mut cfg = NerConfig {
+            word: WordRepr::Random { dim: 16 },
+            char_repr: CharRepr::Cnn { dim: 8, filters: 16 },
+            char_word_gate: true,
+            ..NerConfig::default()
+        };
         assert_eq!(forward_dim(&cfg, false), 16, "gated output keeps word width");
 
         // Width mismatch falls back to concatenation.
@@ -479,8 +474,7 @@ mod tests {
     #[test]
     fn pretrained_embeddings_seed_and_freeze_the_table() {
         let ds = dataset(30);
-        let corpus: Vec<Vec<String>> =
-            ds.sentences.iter().map(|s| s.lower_texts()).collect();
+        let corpus: Vec<Vec<String>> = ds.sentences.iter().map(|s| s.lower_texts()).collect();
         let mut rng = StdRng::seed_from_u64(3);
         let emb = ner_embed::skipgram::train(
             &corpus,
@@ -488,9 +482,11 @@ mod tests {
             &mut rng,
         );
         let enc = SentenceEncoder::from_dataset(&ds, TagScheme::Bio, 1).with_pretrained_vocab(&emb);
-        let mut cfg = NerConfig::default();
-        cfg.word = WordRepr::Pretrained { fine_tune: false };
-        cfg.char_repr = CharRepr::None;
+        let cfg = NerConfig {
+            word: WordRepr::Pretrained { fine_tune: false },
+            char_repr: CharRepr::None,
+            ..NerConfig::default()
+        };
         let mut store = ParamStore::new();
         let layer = InputLayer::new(
             &mut store,

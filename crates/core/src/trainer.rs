@@ -69,7 +69,8 @@ impl Default for TrainConfig {
     }
 }
 
-/// Per-epoch training record.
+/// Per-epoch training record, also emitted as a structured `"epoch"` event
+/// through `ner-obs` when a sink is installed.
 #[derive(Clone, Debug, Serialize)]
 pub struct EpochRecord {
     /// Epoch index (0-based).
@@ -78,6 +79,16 @@ pub struct EpochRecord {
     pub train_loss: f64,
     /// Dev micro-F1 (when a dev set was supplied).
     pub dev_f1: Option<f64>,
+    /// Mean pre-clip global gradient norm over applied updates.
+    pub grad_norm: f64,
+    /// Effective learning rate this epoch (after the schedule).
+    pub lr: f32,
+    /// Wall-clock milliseconds spent on the epoch (including dev eval).
+    pub wall_ms: u64,
+    /// Largest autodiff tape built during the epoch, in nodes.
+    pub peak_tape_nodes: usize,
+    /// Updates skipped because the loss or gradient norm was non-finite.
+    pub skipped_updates: usize,
 }
 
 /// Outcome of a training run.
@@ -89,6 +100,8 @@ pub struct TrainReport {
     pub best_epoch: usize,
     /// Best dev micro-F1 (when a dev set was supplied).
     pub best_dev_f1: Option<f64>,
+    /// Why training ended: `"completed"` or an early-stop description.
+    pub stop_reason: String,
 }
 
 fn make_optimizer(cfg: &TrainConfig) -> Box<dyn Optimizer> {
@@ -106,6 +119,13 @@ fn schedule(cfg: &TrainConfig) -> LrSchedule {
     }
 }
 
+fn effective_lr(cfg: &TrainConfig, epoch: usize) -> f32 {
+    match cfg.schedule {
+        LrScheduleKind::Constant => cfg.lr,
+        LrScheduleKind::InverseTime { decay } => cfg.lr / (1.0 + decay * epoch as f32),
+    }
+}
+
 /// Trains `model` on `train`, optionally early-stopping on `dev` micro-F1.
 pub fn train(
     model: &mut NerModel,
@@ -115,6 +135,8 @@ pub fn train(
     rng: &mut impl Rng,
 ) -> TrainReport {
     assert!(!train.is_empty(), "training set is empty");
+    let _train_span = ner_obs::span("train");
+    ner_obs::gauge("params.scalars", model.store.num_scalars() as f64);
     let mut opt = make_optimizer(cfg);
     let sched = schedule(cfg);
     let mut order: Vec<usize> = (0..train.len()).collect();
@@ -124,13 +146,21 @@ pub fn train(
     let mut best_epoch = 0usize;
     let mut best_params = None;
     let mut stale = 0usize;
+    let mut stop_reason = "completed".to_string();
+    let mut op_totals = [0u64; ner_tensor::OpClass::ALL.len()];
 
     for epoch in 0..cfg.epochs {
+        let epoch_span = ner_obs::span("epoch");
+        let epoch_start = std::time::Instant::now();
         sched.apply(opt.as_mut(), cfg.lr, epoch);
         if cfg.shuffle {
             order.shuffle(rng);
         }
         let mut total = 0.0f64;
+        let mut norm_sum = 0.0f64;
+        let mut applied = 0usize;
+        let mut skipped = 0usize;
+        let mut peak_nodes = 0usize;
         for &i in &order {
             let sent = &train[i];
             if sent.is_empty() {
@@ -138,17 +168,66 @@ pub fn train(
             }
             let mut tape = Tape::new();
             let loss = model.loss(&mut tape, sent, rng);
-            total += tape.value(loss).item() as f64;
+            let loss_val = tape.value(loss).item() as f64;
+            if !loss_val.is_finite() {
+                skipped += 1;
+                ner_obs::warn(format!(
+                    "epoch {epoch}: non-finite loss ({loss_val}) on sentence {i}; update skipped"
+                ));
+                continue;
+            }
+            total += loss_val;
             tape.backward(loss, &mut model.store);
-            if cfg.clip > 0.0 {
-                model.store.clip_grad_norm(cfg.clip);
+            let norm = if cfg.clip > 0.0 {
+                model.store.clip_grad_norm(cfg.clip)
+            } else {
+                model.store.grad_global_norm()
+            };
+            if !norm.is_finite() {
+                skipped += 1;
+                ner_obs::warn(format!(
+                    "epoch {epoch}: non-finite gradient norm on sentence {i}; update skipped"
+                ));
+                model.store.zero_grad();
+                continue;
+            }
+            norm_sum += norm as f64;
+            applied += 1;
+            peak_nodes = peak_nodes.max(tape.len());
+            for (class, n) in tape.op_counts() {
+                op_totals[class as usize] += n as u64;
             }
             opt.step(&mut model.store);
         }
         let train_loss = total / train.len() as f64;
 
-        let dev_f1 = dev.map(|d| evaluate_model(model, d).micro.f1);
-        records.push(EpochRecord { epoch, train_loss, dev_f1 });
+        let dev_f1 = dev.map(|d| {
+            let _eval_span = ner_obs::span("eval");
+            evaluate_model(model, d).micro.f1
+        });
+        drop(epoch_span);
+        let record = EpochRecord {
+            epoch,
+            train_loss,
+            dev_f1,
+            grad_norm: if applied > 0 { norm_sum / applied as f64 } else { 0.0 },
+            lr: effective_lr(cfg, epoch),
+            wall_ms: epoch_start.elapsed().as_millis() as u64,
+            peak_tape_nodes: peak_nodes,
+            skipped_updates: skipped,
+        };
+        ner_obs::gauge_max("tape.peak_nodes", peak_nodes as f64);
+        ner_obs::emit_record("epoch", &record);
+        ner_obs::info(format!(
+            "epoch {:>2}  loss {:>9.4}  |grad| {:>7.3}  lr {:.4}{}  [{} ms]",
+            record.epoch,
+            record.train_loss,
+            record.grad_norm,
+            record.lr,
+            record.dev_f1.map_or(String::new(), |f| format!("  dev-F1 {:.2}%", 100.0 * f)),
+            record.wall_ms,
+        ));
+        records.push(record);
 
         if let Some(f1) = dev_f1 {
             if f1 > best_f1 {
@@ -159,6 +238,9 @@ pub fn train(
             } else {
                 stale += 1;
                 if cfg.patience.is_some_and(|p| stale >= p) {
+                    stop_reason = format!(
+                        "early-stop: dev F1 stale for {stale} epochs (best {best_f1:.4} at epoch {best_epoch})"
+                    );
                     break;
                 }
             }
@@ -167,6 +249,14 @@ pub fn train(
         }
     }
 
+    for (class, &n) in ner_tensor::OpClass::ALL.iter().zip(&op_totals) {
+        if n > 0 {
+            ner_obs::counter(&format!("tape.ops.{}", class.name()), n as f64);
+        }
+    }
+    if stop_reason != "completed" {
+        ner_obs::info(stop_reason.clone());
+    }
     if let Some(params) = best_params {
         model.store = params;
     }
@@ -174,6 +264,7 @@ pub fn train(
         epochs: records,
         best_epoch,
         best_dev_f1: (best_f1 > f64::NEG_INFINITY).then_some(best_f1),
+        stop_reason,
     }
 }
 

@@ -33,10 +33,7 @@ pub fn zoo() -> Vec<ZooEntry> {
         ZooEntry {
             name: "charcnn-bilstm-crf",
             reference: "Ma & Hovy 2016 [96]",
-            config: NerConfig {
-                word: WordRepr::Pretrained { fine_tune: true },
-                ..base.clone()
-            },
+            config: NerConfig { word: WordRepr::Pretrained { fine_tune: true }, ..base.clone() },
         },
         ZooEntry {
             name: "charlstm-bilstm-crf",
@@ -93,10 +90,7 @@ pub fn zoo() -> Vec<ZooEntry> {
         ZooEntry {
             name: "bilstm-semicrf",
             reference: "Ye & Ling 2018 [142]",
-            config: NerConfig {
-                decoder: DecoderKind::SemiCrf { max_len: 4 },
-                ..base.clone()
-            },
+            config: NerConfig { decoder: DecoderKind::SemiCrf { max_len: 4 }, ..base.clone() },
         },
         ZooEntry {
             name: "bilstm-rnn",

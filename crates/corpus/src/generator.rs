@@ -124,9 +124,8 @@ impl NewsGenerator {
                 inner: None,
             },
             _ => {
-                let dir = ["Northern", "Southern", "Eastern", "Western"]
-                    .choose(rng)
-                    .expect("non-empty");
+                let dir =
+                    ["Northern", "Southern", "Eastern", "Western"].choose(rng).expect("non-empty");
                 Realized {
                     tokens: vec![dir.to_string(), self.pick(rng, &self.countries).to_string()],
                     label: self.label("LOC", "region"),
@@ -303,11 +302,7 @@ mod tests {
             ..GeneratorConfig::default()
         });
         let test = unseen_gen.dataset(&mut rng, 100);
-        let novel = test
-            .entity_surfaces()
-            .iter()
-            .filter(|s| !train_surfaces.contains(*s))
-            .count();
+        let novel = test.entity_surfaces().iter().filter(|s| !train_surfaces.contains(*s)).count();
         assert!(
             novel as f64 / test.entity_surfaces().len() as f64 > 0.5,
             "held-out pools should yield mostly novel entity surfaces"

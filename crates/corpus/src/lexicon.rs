@@ -9,41 +9,172 @@
 pub const FIRST_NAMES: &[&str] = &[
     "Michael", "Sarah", "David", "Elena", "James", "Maria", "Robert", "Anna", "John", "Laura",
     "Thomas", "Sofia", "Daniel", "Emma", "Peter", "Julia", "Andrew", "Nina", "Carlos", "Aisha",
-    "Kenji", "Priya", "Ivan", "Fatima", "Lars", "Mei", "Omar", "Ingrid", "Pablo", "Yuki",
-    "Ahmed", "Chloe", "Viktor", "Amara", "Hassan", "Greta", "Mateo", "Leila", "Stefan", "Rosa",
-    "Dmitri", "Hannah", "Rajesh", "Clara", "Felipe", "Noor", "Gustav", "Amina", "Marco", "Iris",
-    "Tariq", "Elsa", "Javier", "Mira", "Anders", "Zara", "Kwame", "Lena", "Hiroshi", "Petra",
+    "Kenji", "Priya", "Ivan", "Fatima", "Lars", "Mei", "Omar", "Ingrid", "Pablo", "Yuki", "Ahmed",
+    "Chloe", "Viktor", "Amara", "Hassan", "Greta", "Mateo", "Leila", "Stefan", "Rosa", "Dmitri",
+    "Hannah", "Rajesh", "Clara", "Felipe", "Noor", "Gustav", "Amina", "Marco", "Iris", "Tariq",
+    "Elsa", "Javier", "Mira", "Anders", "Zara", "Kwame", "Lena", "Hiroshi", "Petra",
 ];
 
 /// Family names (PER last tokens).
 pub const LAST_NAMES: &[&str] = &[
-    "Jordan", "Chen", "Smith", "Garcia", "Johnson", "Kim", "Brown", "Patel", "Miller", "Nguyen",
-    "Davis", "Kowalski", "Wilson", "Sato", "Anderson", "Silva", "Taylor", "Ivanov", "Moore",
-    "Hassan", "Jackson", "Tanaka", "Martin", "Okafor", "Lee", "Novak", "Walker", "Fernandez",
-    "Hall", "Yamamoto", "Young", "Petrov", "King", "Santos", "Wright", "Haddad", "Scott",
-    "Lindgren", "Green", "Rossi", "Baker", "Dubois", "Adams", "Karlsson", "Nelson", "Moreau",
-    "Hill", "Schmidt", "Campbell", "Bergstrom", "Mitchell", "Costa", "Roberts", "Eriksson",
-    "Carter", "Weber", "Phillips", "Olsen", "Evans", "Fischer",
+    "Jordan",
+    "Chen",
+    "Smith",
+    "Garcia",
+    "Johnson",
+    "Kim",
+    "Brown",
+    "Patel",
+    "Miller",
+    "Nguyen",
+    "Davis",
+    "Kowalski",
+    "Wilson",
+    "Sato",
+    "Anderson",
+    "Silva",
+    "Taylor",
+    "Ivanov",
+    "Moore",
+    "Hassan",
+    "Jackson",
+    "Tanaka",
+    "Martin",
+    "Okafor",
+    "Lee",
+    "Novak",
+    "Walker",
+    "Fernandez",
+    "Hall",
+    "Yamamoto",
+    "Young",
+    "Petrov",
+    "King",
+    "Santos",
+    "Wright",
+    "Haddad",
+    "Scott",
+    "Lindgren",
+    "Green",
+    "Rossi",
+    "Baker",
+    "Dubois",
+    "Adams",
+    "Karlsson",
+    "Nelson",
+    "Moreau",
+    "Hill",
+    "Schmidt",
+    "Campbell",
+    "Bergstrom",
+    "Mitchell",
+    "Costa",
+    "Roberts",
+    "Eriksson",
+    "Carter",
+    "Weber",
+    "Phillips",
+    "Olsen",
+    "Evans",
+    "Fischer",
 ];
 
 /// City names (LOC, subtype `city`).
 pub const CITIES: &[&str] = &[
-    "Brooklyn", "Singapore", "London", "Tokyo", "Paris", "Berlin", "Madrid", "Rome", "Vienna",
-    "Oslo", "Lisbon", "Dublin", "Prague", "Athens", "Cairo", "Lagos", "Nairobi", "Mumbai",
-    "Seoul", "Bangkok", "Jakarta", "Manila", "Sydney", "Auckland", "Toronto", "Chicago",
-    "Boston", "Seattle", "Denver", "Austin", "Atlanta", "Houston", "Phoenix", "Portland",
-    "Geneva", "Zurich", "Munich", "Hamburg", "Lyon", "Marseille", "Valencia", "Porto",
-    "Krakow", "Helsinki", "Stockholm", "Copenhagen", "Brussels", "Amsterdam", "Rotterdam",
+    "Brooklyn",
+    "Singapore",
+    "London",
+    "Tokyo",
+    "Paris",
+    "Berlin",
+    "Madrid",
+    "Rome",
+    "Vienna",
+    "Oslo",
+    "Lisbon",
+    "Dublin",
+    "Prague",
+    "Athens",
+    "Cairo",
+    "Lagos",
+    "Nairobi",
+    "Mumbai",
+    "Seoul",
+    "Bangkok",
+    "Jakarta",
+    "Manila",
+    "Sydney",
+    "Auckland",
+    "Toronto",
+    "Chicago",
+    "Boston",
+    "Seattle",
+    "Denver",
+    "Austin",
+    "Atlanta",
+    "Houston",
+    "Phoenix",
+    "Portland",
+    "Geneva",
+    "Zurich",
+    "Munich",
+    "Hamburg",
+    "Lyon",
+    "Marseille",
+    "Valencia",
+    "Porto",
+    "Krakow",
+    "Helsinki",
+    "Stockholm",
+    "Copenhagen",
+    "Brussels",
+    "Amsterdam",
+    "Rotterdam",
     "Osaka",
 ];
 
 /// Country names (LOC, subtype `country`).
 pub const COUNTRIES: &[&str] = &[
-    "France", "Germany", "Japan", "Brazil", "India", "Canada", "Australia", "Spain", "Italy",
-    "Norway", "Sweden", "Denmark", "Finland", "Poland", "Austria", "Greece", "Egypt", "Kenya",
-    "Nigeria", "Thailand", "Vietnam", "Indonesia", "Mexico", "Argentina", "Chile", "Peru",
-    "Portugal", "Ireland", "Belgium", "Switzerland", "Netherlands", "Morocco", "Jordan",
-    "Iceland", "Hungary", "Croatia", "Estonia", "Latvia", "Malaysia", "Singapore",
+    "France",
+    "Germany",
+    "Japan",
+    "Brazil",
+    "India",
+    "Canada",
+    "Australia",
+    "Spain",
+    "Italy",
+    "Norway",
+    "Sweden",
+    "Denmark",
+    "Finland",
+    "Poland",
+    "Austria",
+    "Greece",
+    "Egypt",
+    "Kenya",
+    "Nigeria",
+    "Thailand",
+    "Vietnam",
+    "Indonesia",
+    "Mexico",
+    "Argentina",
+    "Chile",
+    "Peru",
+    "Portugal",
+    "Ireland",
+    "Belgium",
+    "Switzerland",
+    "Netherlands",
+    "Morocco",
+    "Jordan",
+    "Iceland",
+    "Hungary",
+    "Croatia",
+    "Estonia",
+    "Latvia",
+    "Malaysia",
+    "Singapore",
 ];
 
 /// Organization core names; combined with [`ORG_SUFFIXES`] and templates.
@@ -51,13 +182,23 @@ pub const ORG_CORES: &[&str] = &[
     "Acme", "Globex", "Initech", "Vertex", "Nimbus", "Quantum", "Stellar", "Apex", "Fusion",
     "Horizon", "Pinnacle", "Cascade", "Meridian", "Zenith", "Atlas", "Orion", "Polaris",
     "Vanguard", "Summit", "Crescent", "Aurora", "Beacon", "Catalyst", "Dynamo", "Electra",
-    "Frontier", "Gemini", "Helios", "Ionis", "Juniper", "Keystone", "Lumina", "Momentum",
-    "Nova", "Obsidian", "Paragon", "Quasar", "Radiant", "Sapphire", "Titan",
+    "Frontier", "Gemini", "Helios", "Ionis", "Juniper", "Keystone", "Lumina", "Momentum", "Nova",
+    "Obsidian", "Paragon", "Quasar", "Radiant", "Sapphire", "Titan",
 ];
 
 /// Organization suffixes (company register).
-pub const ORG_SUFFIXES: &[&str] =
-    &["Corp", "Inc", "Ltd", "Group", "Holdings", "Systems", "Industries", "Partners", "Labs", "Bank"];
+pub const ORG_SUFFIXES: &[&str] = &[
+    "Corp",
+    "Inc",
+    "Ltd",
+    "Group",
+    "Holdings",
+    "Systems",
+    "Industries",
+    "Partners",
+    "Labs",
+    "Bank",
+];
 
 /// Institutional organization patterns built around a location
 /// ("University of X") — the natural source of ORG⊃LOC nesting (§5.1).
@@ -66,34 +207,93 @@ pub const ORG_INSTITUTION_HEADS: &[&str] =
 
 /// Miscellaneous entities (CoNLL MISC analog): nationalities and events.
 pub const NATIONALITIES: &[&str] = &[
-    "French", "German", "Japanese", "Brazilian", "Indian", "Canadian", "Australian", "Spanish",
-    "Italian", "Norwegian", "Swedish", "Danish", "Finnish", "Polish", "Austrian", "Greek",
-    "Egyptian", "Kenyan", "Nigerian", "Thai", "Mexican", "Chilean", "Portuguese", "Irish",
-    "Belgian", "Swiss", "Dutch", "Moroccan",
+    "French",
+    "German",
+    "Japanese",
+    "Brazilian",
+    "Indian",
+    "Canadian",
+    "Australian",
+    "Spanish",
+    "Italian",
+    "Norwegian",
+    "Swedish",
+    "Danish",
+    "Finnish",
+    "Polish",
+    "Austrian",
+    "Greek",
+    "Egyptian",
+    "Kenyan",
+    "Nigerian",
+    "Thai",
+    "Mexican",
+    "Chilean",
+    "Portuguese",
+    "Irish",
+    "Belgian",
+    "Swiss",
+    "Dutch",
+    "Moroccan",
 ];
 
 /// Named events (MISC analog, subtype `event`).
 pub const EVENTS: &[&str] = &[
-    "Olympics", "Euro2024", "Worldcup", "Ryder Cup", "Grand Slam", "Tour de France",
-    "Expo", "Biennale", "Oktoberfest", "Carnival",
+    "Olympics",
+    "Euro2024",
+    "Worldcup",
+    "Ryder Cup",
+    "Grand Slam",
+    "Tour de France",
+    "Expo",
+    "Biennale",
+    "Oktoberfest",
+    "Carnival",
 ];
 
 /// Job/role words used in PER contexts ("X, the ROLE of Y").
 pub const ROLES: &[&str] = &[
-    "chairman", "director", "president", "minister", "spokesman", "economist", "analyst",
-    "coach", "striker", "goalkeeper", "defender", "researcher", "professor", "governor",
-    "senator", "ambassador", "manager", "founder", "editor", "correspondent",
+    "chairman",
+    "director",
+    "president",
+    "minister",
+    "spokesman",
+    "economist",
+    "analyst",
+    "coach",
+    "striker",
+    "goalkeeper",
+    "defender",
+    "researcher",
+    "professor",
+    "governor",
+    "senator",
+    "ambassador",
+    "manager",
+    "founder",
+    "editor",
+    "correspondent",
 ];
 
 /// Roles implying the `athlete` PER subtype in fine-grained mode.
 pub const ATHLETE_ROLES: &[&str] = &["coach", "striker", "goalkeeper", "defender"];
 
 /// Roles implying the `politician` PER subtype in fine-grained mode.
-pub const POLITICIAN_ROLES: &[&str] = &["minister", "governor", "senator", "ambassador", "president"];
+pub const POLITICIAN_ROLES: &[&str] =
+    &["minister", "governor", "senator", "ambassador", "president"];
 
 /// Weekday / time expressions used as plain context (never entities here).
-pub const DAYS: &[&str] =
-    &["Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday", "yesterday", "today"];
+pub const DAYS: &[&str] = &[
+    "Monday",
+    "Tuesday",
+    "Wednesday",
+    "Thursday",
+    "Friday",
+    "Saturday",
+    "Sunday",
+    "yesterday",
+    "today",
+];
 
 /// A partition of one lexicon pool into seen (training) and held-out
 /// (unseen-entity) halves.

@@ -89,13 +89,16 @@ const SLANG: &[(&str, &str)] = &[
     ("about", "abt"),
 ];
 
-fn corrupt_token(token: &str, at_entity_start: bool, model: &NoiseModel, rng: &mut impl Rng) -> String {
+fn corrupt_token(
+    token: &str,
+    at_entity_start: bool,
+    model: &NoiseModel,
+    rng: &mut impl Rng,
+) -> String {
     let mut t = token.to_string();
 
-    if let Some(&(_, slang)) = SLANG
-        .iter()
-        .find(|(w, _)| *w == t.to_lowercase())
-        .filter(|_| rng.gen_bool(model.p_slang))
+    if let Some(&(_, slang)) =
+        SLANG.iter().find(|(w, _)| *w == t.to_lowercase()).filter(|_| rng.gen_bool(model.p_slang))
     {
         return slang.to_string();
     }
@@ -204,9 +207,8 @@ mod tests {
         let vocab = train.word_vocab(1);
         let clean = gen.dataset(&mut rng, 100);
         let noisy = corrupt_dataset(&clean, &NoiseModel::social_media(), &mut rng);
-        let flat = |d: &Dataset| {
-            d.sentences.iter().flat_map(|s| s.lower_texts()).collect::<Vec<_>>()
-        };
+        let flat =
+            |d: &Dataset| d.sentences.iter().flat_map(|s| s.lower_texts()).collect::<Vec<_>>();
         assert!(vocab.oov_rate(&flat(&noisy)) > vocab.oov_rate(&flat(&clean)));
     }
 }

@@ -68,27 +68,153 @@ impl DatasetProfile {
 /// biomedical rows recorded for completeness).
 pub fn table1_profiles() -> Vec<DatasetProfile> {
     vec![
-        DatasetProfile { name: "MUC-6", year: "1995", source: "Wall Street Journal", tags: 7, analog: Analog::News { fine_grained: false } },
-        DatasetProfile { name: "MUC-7", year: "1997", source: "New York Times news", tags: 7, analog: Analog::News { fine_grained: false } },
-        DatasetProfile { name: "CoNLL03", year: "2003", source: "Reuters news", tags: 4, analog: Analog::News { fine_grained: false } },
-        DatasetProfile { name: "ACE", year: "2000-2008", source: "Transcripts, news", tags: 7, analog: Analog::Nested },
-        DatasetProfile { name: "OntoNotes", year: "2007-2012", source: "Magazine, news, web", tags: 18, analog: Analog::News { fine_grained: true } },
-        DatasetProfile { name: "W-NUT", year: "2015-2018", source: "User-generated text", tags: 6, analog: Analog::Noisy },
-        DatasetProfile { name: "BBN", year: "2005", source: "Wall Street Journal", tags: 64, analog: Analog::News { fine_grained: true } },
-        DatasetProfile { name: "WikiGold", year: "2009", source: "Wikipedia", tags: 4, analog: Analog::News { fine_grained: false } },
-        DatasetProfile { name: "WiNER", year: "2012", source: "Wikipedia", tags: 4, analog: Analog::News { fine_grained: false } },
-        DatasetProfile { name: "WikiFiger", year: "2012", source: "Wikipedia", tags: 112, analog: Analog::News { fine_grained: true } },
-        DatasetProfile { name: "HYENA", year: "2012", source: "Wikipedia", tags: 505, analog: Analog::None },
-        DatasetProfile { name: "N3", year: "2014", source: "News", tags: 3, analog: Analog::News { fine_grained: false } },
-        DatasetProfile { name: "Gillick", year: "2016", source: "Magazine, news, web", tags: 89, analog: Analog::None },
-        DatasetProfile { name: "FG-NER", year: "2018", source: "Various", tags: 200, analog: Analog::None },
-        DatasetProfile { name: "NNE", year: "2019", source: "Newswire", tags: 114, analog: Analog::Nested },
-        DatasetProfile { name: "GENIA", year: "2004", source: "Biology and clinical text", tags: 36, analog: Analog::Nested },
-        DatasetProfile { name: "GENETAG", year: "2005", source: "MEDLINE", tags: 2, analog: Analog::None },
-        DatasetProfile { name: "FSU-PRGE", year: "2010", source: "PubMed and MEDLINE", tags: 5, analog: Analog::None },
-        DatasetProfile { name: "NCBI-Disease", year: "2014", source: "PubMed", tags: 1, analog: Analog::None },
-        DatasetProfile { name: "BC5CDR", year: "2015", source: "PubMed", tags: 3, analog: Analog::None },
-        DatasetProfile { name: "DFKI", year: "2018", source: "Business news and social media", tags: 7, analog: Analog::Noisy },
+        DatasetProfile {
+            name: "MUC-6",
+            year: "1995",
+            source: "Wall Street Journal",
+            tags: 7,
+            analog: Analog::News { fine_grained: false },
+        },
+        DatasetProfile {
+            name: "MUC-7",
+            year: "1997",
+            source: "New York Times news",
+            tags: 7,
+            analog: Analog::News { fine_grained: false },
+        },
+        DatasetProfile {
+            name: "CoNLL03",
+            year: "2003",
+            source: "Reuters news",
+            tags: 4,
+            analog: Analog::News { fine_grained: false },
+        },
+        DatasetProfile {
+            name: "ACE",
+            year: "2000-2008",
+            source: "Transcripts, news",
+            tags: 7,
+            analog: Analog::Nested,
+        },
+        DatasetProfile {
+            name: "OntoNotes",
+            year: "2007-2012",
+            source: "Magazine, news, web",
+            tags: 18,
+            analog: Analog::News { fine_grained: true },
+        },
+        DatasetProfile {
+            name: "W-NUT",
+            year: "2015-2018",
+            source: "User-generated text",
+            tags: 6,
+            analog: Analog::Noisy,
+        },
+        DatasetProfile {
+            name: "BBN",
+            year: "2005",
+            source: "Wall Street Journal",
+            tags: 64,
+            analog: Analog::News { fine_grained: true },
+        },
+        DatasetProfile {
+            name: "WikiGold",
+            year: "2009",
+            source: "Wikipedia",
+            tags: 4,
+            analog: Analog::News { fine_grained: false },
+        },
+        DatasetProfile {
+            name: "WiNER",
+            year: "2012",
+            source: "Wikipedia",
+            tags: 4,
+            analog: Analog::News { fine_grained: false },
+        },
+        DatasetProfile {
+            name: "WikiFiger",
+            year: "2012",
+            source: "Wikipedia",
+            tags: 112,
+            analog: Analog::News { fine_grained: true },
+        },
+        DatasetProfile {
+            name: "HYENA",
+            year: "2012",
+            source: "Wikipedia",
+            tags: 505,
+            analog: Analog::None,
+        },
+        DatasetProfile {
+            name: "N3",
+            year: "2014",
+            source: "News",
+            tags: 3,
+            analog: Analog::News { fine_grained: false },
+        },
+        DatasetProfile {
+            name: "Gillick",
+            year: "2016",
+            source: "Magazine, news, web",
+            tags: 89,
+            analog: Analog::None,
+        },
+        DatasetProfile {
+            name: "FG-NER",
+            year: "2018",
+            source: "Various",
+            tags: 200,
+            analog: Analog::None,
+        },
+        DatasetProfile {
+            name: "NNE",
+            year: "2019",
+            source: "Newswire",
+            tags: 114,
+            analog: Analog::Nested,
+        },
+        DatasetProfile {
+            name: "GENIA",
+            year: "2004",
+            source: "Biology and clinical text",
+            tags: 36,
+            analog: Analog::Nested,
+        },
+        DatasetProfile {
+            name: "GENETAG",
+            year: "2005",
+            source: "MEDLINE",
+            tags: 2,
+            analog: Analog::None,
+        },
+        DatasetProfile {
+            name: "FSU-PRGE",
+            year: "2010",
+            source: "PubMed and MEDLINE",
+            tags: 5,
+            analog: Analog::None,
+        },
+        DatasetProfile {
+            name: "NCBI-Disease",
+            year: "2014",
+            source: "PubMed",
+            tags: 1,
+            analog: Analog::None,
+        },
+        DatasetProfile {
+            name: "BC5CDR",
+            year: "2015",
+            source: "PubMed",
+            tags: 3,
+            analog: Analog::None,
+        },
+        DatasetProfile {
+            name: "DFKI",
+            year: "2018",
+            source: "Business news and social media",
+            tags: 7,
+            analog: Analog::Noisy,
+        },
     ]
 }
 

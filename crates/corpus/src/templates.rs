@@ -159,7 +159,9 @@ mod tests {
 
     #[test]
     fn parse_recognizes_all_slot_kinds() {
-        let t = Template::parse("{PER} met {PER2} in {LOC} at {ORG} over {MISC} on {DAY} , {ROLE} , {NUM} .");
+        let t = Template::parse(
+            "{PER} met {PER2} in {LOC} at {ORG} over {MISC} on {DAY} , {ROLE} , {NUM} .",
+        );
         assert_eq!(t.entity_slots(), 5);
         assert!(matches!(t.pieces[0], Piece::Entity(SlotKind::Per, 0)));
         assert!(matches!(t.pieces[2], Piece::Entity(SlotKind::Per, 1)));

@@ -105,7 +105,16 @@ impl BertLite {
         let mut store = ParamStore::new();
         let emb = Embedding::new(&mut store, rng, "bert.emb", vocab.len(), cfg.d_model);
         let blocks = (0..cfg.layers)
-            .map(|i| TransformerBlock::new(&mut store, rng, &format!("bert.block{i}"), cfg.d_model, cfg.heads, cfg.d_ff))
+            .map(|i| {
+                TransformerBlock::new(
+                    &mut store,
+                    rng,
+                    &format!("bert.block{i}"),
+                    cfg.d_model,
+                    cfg.heads,
+                    cfg.d_ff,
+                )
+            })
             .collect();
         let out = Linear::new(&mut store, rng, "bert.out", cfg.d_model, vocab.len());
         let mut model = BertLite { bpe, vocab, emb, blocks, out, store, d_model: cfg.d_model };

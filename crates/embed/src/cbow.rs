@@ -15,10 +15,8 @@ fn sigmoid(x: f32) -> f32 {
 /// Trains CBOW embeddings on a tokenized corpus. Shares the configuration
 /// struct with skip-gram (the hyperparameters have identical meanings).
 pub fn train(corpus: &[Vec<String>], cfg: &SkipGramConfig, rng: &mut impl Rng) -> WordEmbeddings {
-    let vocab = Vocab::build(
-        corpus.iter().flat_map(|s| s.iter().map(|t| t.to_lowercase())),
-        cfg.min_count,
-    );
+    let vocab =
+        Vocab::build(corpus.iter().flat_map(|s| s.iter().map(|t| t.to_lowercase())), cfg.min_count);
     let counts = index_counts(corpus, &vocab);
     let negatives = NegativeTable::new(&counts);
 
@@ -44,8 +42,7 @@ pub fn train(corpus: &[Vec<String>], cfg: &SkipGramConfig, rng: &mut impl Rng) -
                 let radius = rng.gen_range(1..=cfg.window);
                 let lo = pos.saturating_sub(radius);
                 let hi = (pos + radius + 1).min(sent.len());
-                let context: Vec<usize> =
-                    (lo..hi).filter(|&p| p != pos).map(|p| sent[p]).collect();
+                let context: Vec<usize> = (lo..hi).filter(|&p| p != pos).map(|p| sent[p]).collect();
                 if context.is_empty() {
                     continue;
                 }

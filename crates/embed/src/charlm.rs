@@ -72,7 +72,11 @@ fn char_ids(vocab: &Vocab, tokens: &[String]) -> (Vec<usize>, Vec<(usize, usize)
 impl CharLm {
     /// Trains the model on a tokenized corpus; returns the model and the
     /// per-epoch average NLL-per-character (should be decreasing).
-    pub fn train(corpus: &[Vec<String>], cfg: &CharLmConfig, rng: &mut impl Rng) -> (Self, Vec<f32>) {
+    pub fn train(
+        corpus: &[Vec<String>],
+        cfg: &CharLmConfig,
+        rng: &mut impl Rng,
+    ) -> (Self, Vec<f32>) {
         let mut vocab = Vocab::new();
         vocab.add(BOS);
         vocab.add(EOS);
@@ -92,8 +96,7 @@ impl CharLm {
         let out_fw = Linear::new(&mut store, rng, "charlm.out_fw", cfg.hidden, vocab.len());
         let out_bw = Linear::new(&mut store, rng, "charlm.out_bw", cfg.hidden, vocab.len());
 
-        let mut model =
-            CharLm { vocab, emb, fw, bw, out_fw, out_bw, store, hidden: cfg.hidden };
+        let mut model = CharLm { vocab, emb, fw, bw, out_fw, out_bw, store, hidden: cfg.hidden };
         let mut opt = Adam::new(cfg.lr);
         let mut epoch_nll = Vec::with_capacity(cfg.epochs);
 
@@ -228,24 +231,24 @@ mod tests {
         let corpus = tiny_corpus(60, 3);
         let cfg = CharLmConfig { epochs: 2, ..Default::default() };
         let (lm, _) = CharLm::train(&corpus, &cfg, &mut StdRng::seed_from_u64(4));
-        let a: Vec<String> =
-            ["Jordan", "visited", "Paris"].iter().map(|s| s.to_string()).collect();
-        let b: Vec<String> =
-            ["shares", "of", "Jordan"].iter().map(|s| s.to_string()).collect();
+        let a: Vec<String> = ["Jordan", "visited", "Paris"].iter().map(|s| s.to_string()).collect();
+        let b: Vec<String> = ["shares", "of", "Jordan"].iter().map(|s| s.to_string()).collect();
         let ea = lm.embed(&a);
         let eb = lm.embed(&b);
         assert_eq!(ea[0].len(), lm.dim());
         // Same surface "Jordan", different contexts → different vectors.
-        let diff: f32 =
-            ea[0].iter().zip(&eb[2]).map(|(x, y)| (x - y).abs()).sum();
+        let diff: f32 = ea[0].iter().zip(&eb[2]).map(|(x, y)| (x - y).abs()).sum();
         assert!(diff > 1e-4, "contextual embeddings must differ across contexts");
     }
 
     #[test]
     fn empty_sentence_embeds_to_empty() {
         let corpus = tiny_corpus(20, 5);
-        let (lm, _) =
-            CharLm::train(&corpus, &CharLmConfig { epochs: 1, ..Default::default() }, &mut StdRng::seed_from_u64(6));
+        let (lm, _) = CharLm::train(
+            &corpus,
+            &CharLmConfig { epochs: 1, ..Default::default() },
+            &mut StdRng::seed_from_u64(6),
+        );
         assert!(lm.embed(&[]).is_empty());
     }
 }

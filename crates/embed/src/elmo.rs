@@ -188,7 +188,8 @@ mod tests {
             &ElmoConfig { epochs: 2, ..Default::default() },
             &mut StdRng::seed_from_u64(4),
         );
-        let s1: Vec<String> = ["Jordan", "visited", "Paris"].iter().map(|s| s.to_string()).collect();
+        let s1: Vec<String> =
+            ["Jordan", "visited", "Paris"].iter().map(|s| s.to_string()).collect();
         let s2: Vec<String> = ["shares", "of", "Jordan"].iter().map(|s| s.to_string()).collect();
         let (e1, e2) = (lm.embed(&s1), lm.embed(&s2));
         assert_eq!(e1.len(), 3);

@@ -30,16 +30,27 @@ pub struct GloveConfig {
 
 impl Default for GloveConfig {
     fn default() -> Self {
-        GloveConfig { dim: 32, window: 5, epochs: 15, lr: 0.05, x_max: 50.0, alpha: 0.75, min_count: 2 }
+        GloveConfig {
+            dim: 32,
+            window: 5,
+            epochs: 15,
+            lr: 0.05,
+            x_max: 50.0,
+            alpha: 0.75,
+            min_count: 2,
+        }
     }
 }
 
 /// Builds the symmetric, distance-weighted co-occurrence counts.
-fn cooccurrences(corpus: &[Vec<String>], vocab: &Vocab, window: usize) -> HashMap<(usize, usize), f32> {
+fn cooccurrences(
+    corpus: &[Vec<String>],
+    vocab: &Vocab,
+    window: usize,
+) -> HashMap<(usize, usize), f32> {
     let mut counts: HashMap<(usize, usize), f32> = HashMap::new();
     for sent in corpus {
-        let ids: Vec<usize> =
-            sent.iter().filter_map(|t| vocab.get(&t.to_lowercase())).collect();
+        let ids: Vec<usize> = sent.iter().filter_map(|t| vocab.get(&t.to_lowercase())).collect();
         for (i, &a) in ids.iter().enumerate() {
             let hi = (i + window + 1).min(ids.len());
             for (dist, &b) in ids[i + 1..hi].iter().enumerate() {
@@ -55,10 +66,8 @@ fn cooccurrences(corpus: &[Vec<String>], vocab: &Vocab, window: usize) -> HashMa
 /// Trains GloVe-style embeddings. The returned matrix is the conventional
 /// `w + w̃` sum of the two factor matrices.
 pub fn train(corpus: &[Vec<String>], cfg: &GloveConfig, rng: &mut impl Rng) -> WordEmbeddings {
-    let vocab = Vocab::build(
-        corpus.iter().flat_map(|s| s.iter().map(|t| t.to_lowercase())),
-        cfg.min_count,
-    );
+    let vocab =
+        Vocab::build(corpus.iter().flat_map(|s| s.iter().map(|t| t.to_lowercase())), cfg.min_count);
     let pairs: Vec<((usize, usize), f32)> =
         cooccurrences(corpus, &vocab, cfg.window).into_iter().collect();
     let mut order: Vec<usize> = (0..pairs.len()).collect();

@@ -80,7 +80,16 @@ impl GptLite {
         let mut store = ParamStore::new();
         let emb = Embedding::new(&mut store, rng, "gpt.emb", vocab.len(), cfg.d_model);
         let blocks = (0..cfg.layers)
-            .map(|i| TransformerBlock::new(&mut store, rng, &format!("gpt.block{i}"), cfg.d_model, cfg.heads, cfg.d_ff))
+            .map(|i| {
+                TransformerBlock::new(
+                    &mut store,
+                    rng,
+                    &format!("gpt.block{i}"),
+                    cfg.d_model,
+                    cfg.heads,
+                    cfg.d_ff,
+                )
+            })
             .collect();
         let out = Linear::new(&mut store, rng, "gpt.out", cfg.d_model, vocab.len());
         let mut model = GptLite { vocab, emb, blocks, out, store, d_model: cfg.d_model };
@@ -177,8 +186,15 @@ mod tests {
             &GptConfig { epochs: 1, ..Default::default() },
             &mut StdRng::seed_from_u64(4),
         );
-        let a: Vec<String> = ["Jordan", "visited", "Paris"].iter().map(|s| s.to_string()).collect();
-        let b: Vec<String> = ["Jordan", "visited", "Tokyo"].iter().map(|s| s.to_string()).collect();
+        // Substitute two distinct in-vocab words at the final position so the
+        // contrast is meaningful regardless of which names the sampled corpus
+        // happens to contain (out-of-vocab words would both collapse to UNK).
+        let mut words: Vec<String> = c.iter().flatten().map(|w| w.to_lowercase()).collect();
+        words.sort();
+        words.dedup();
+        let (w1, w2) = (words[0].clone(), words[1].clone());
+        let a: Vec<String> = vec!["Jordan".into(), "visited".into(), w1];
+        let b: Vec<String> = vec!["Jordan".into(), "visited".into(), w2];
         let (ea, eb) = (lm.embed(&a), lm.embed(&b));
         // Changing a FUTURE token must not change a causal representation.
         for (x, y) in ea[0].iter().zip(&eb[0]) {

@@ -49,7 +49,7 @@ impl NegativeTable {
         if total > 0.0 {
             for (i, w) in weights.iter().enumerate() {
                 let n = ((w / total) * TABLE_SIZE as f64).round() as usize;
-                table.extend(std::iter::repeat(i).take(n.max(if *w > 0.0 { 1 } else { 0 })));
+                table.extend(std::iter::repeat_n(i, n.max(if *w > 0.0 { 1 } else { 0 })));
             }
         }
         if table.is_empty() {
@@ -82,10 +82,8 @@ fn sigmoid(x: f32) -> f32 {
 
 /// Trains skip-gram embeddings on a tokenized corpus.
 pub fn train(corpus: &[Vec<String>], cfg: &SkipGramConfig, rng: &mut impl Rng) -> WordEmbeddings {
-    let vocab = Vocab::build(
-        corpus.iter().flat_map(|s| s.iter().map(|t| t.to_lowercase())),
-        cfg.min_count,
-    );
+    let vocab =
+        Vocab::build(corpus.iter().flat_map(|s| s.iter().map(|t| t.to_lowercase())), cfg.min_count);
     let counts = index_counts(corpus, &vocab);
     let negatives = NegativeTable::new(&counts);
 
@@ -99,8 +97,7 @@ pub fn train(corpus: &[Vec<String>], cfg: &SkipGramConfig, rng: &mut impl Rng) -
         .iter()
         .map(|s| s.iter().filter_map(|t| vocab.get(&t.to_lowercase())).collect())
         .collect();
-    let total_steps: usize =
-        cfg.epochs * encoded.iter().map(Vec::len).sum::<usize>().max(1);
+    let total_steps: usize = cfg.epochs * encoded.iter().map(Vec::len).sum::<usize>().max(1);
     let mut step = 0usize;
 
     let mut grad_center = vec![0.0f32; d];
@@ -120,11 +117,8 @@ pub fn train(corpus: &[Vec<String>], cfg: &SkipGramConfig, rng: &mut impl Rng) -
                     grad_center.iter_mut().for_each(|g| *g = 0.0);
                     // one positive + k negatives
                     for neg in 0..=cfg.negatives {
-                        let (target, label) = if neg == 0 {
-                            (context, 1.0)
-                        } else {
-                            (negatives.sample(rng), 0.0)
-                        };
+                        let (target, label) =
+                            if neg == 0 { (context, 1.0) } else { (negatives.sample(rng), 0.0) };
                         if neg > 0 && target == context {
                             continue;
                         }

@@ -112,9 +112,7 @@ mod tests {
 
     fn corpus() -> Vec<Vec<String>> {
         let words = ["lower", "lowest", "newer", "newest", "wider", "widest"];
-        (0..20)
-            .map(|_| words.iter().map(|w| w.to_string()).collect())
-            .collect()
+        (0..20).map(|_| words.iter().map(|w| w.to_string()).collect()).collect()
     }
 
     #[test]

@@ -1,0 +1,861 @@
+//! # ner-obs — observability for the `neural-ner` toolkit
+//!
+//! A dependency-light tracing/metrics layer (only `serde`/`serde_json`)
+//! giving every crate in the workspace a uniform way to answer *how a run
+//! unfolded*: per-epoch training trajectories, inference latency
+//! distributions, tape growth, and a run manifest tying a reported number
+//! back to its seed and configuration.
+//!
+//! Three pieces:
+//!
+//! * **Spans** — [`span`] returns an RAII guard that measures a scoped,
+//!   monotonic duration; nesting builds `parent/child` paths and per-path
+//!   aggregate statistics (count, total, max) feed the "slowest spans"
+//!   report.
+//! * **Metrics** — [`counter`], [`gauge`], [`gauge_max`] and [`observe`]
+//!   (fixed-bucket exponential histograms with p50/p90/p99 summaries)
+//!   accumulate in a thread-safe global registry whether or not any sink is
+//!   installed, so a harness can always assemble a [`RunManifest`].
+//! * **Sinks** — [`StderrSink`] renders human-readable lines filtered by
+//!   [`Verbosity`]; [`JsonlSink`] writes every [`Event`] as one JSON line
+//!   for machine-readable run logs (`neural-ner report` consumes these).
+//!
+//! Until [`init`] installs a sink the layer is passive: emission is gated
+//! by one relaxed atomic load, so instrumented library code costs nothing
+//! measurable in tests and benches that never opt in.
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize, Value};
+use std::cell::RefCell;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Verbosity
+// ---------------------------------------------------------------------------
+
+/// How much the human-readable sink prints. JSONL sinks ignore this and
+/// always record everything.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verbosity {
+    /// Warnings only.
+    Quiet,
+    /// Progress messages, manifests (default).
+    Normal,
+    /// Plus metric summaries and structured records.
+    Verbose,
+    /// Plus every span end and debug message.
+    Trace,
+}
+
+impl std::str::FromStr for Verbosity {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "quiet" | "0" => Ok(Verbosity::Quiet),
+            "normal" | "1" => Ok(Verbosity::Normal),
+            "verbose" | "2" => Ok(Verbosity::Verbose),
+            "trace" | "3" => Ok(Verbosity::Trace),
+            other => Err(format!("unknown verbosity {other:?} (quiet|normal|verbose|trace)")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// Everything the observability layer can report, in one serializable type.
+/// A JSONL run log is a sequence of [`LogLine`]s wrapping these.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A free-text message at a level (`"info"`, `"warn"`, `"debug"`).
+    Message {
+        /// Severity label.
+        level: String,
+        /// Message text.
+        text: String,
+    },
+    /// A monotonically accumulated count.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Accumulated value.
+        value: f64,
+    },
+    /// A last-value (or max-tracked) measurement.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Current value.
+        value: f64,
+    },
+    /// A completed span with its measured duration.
+    SpanEnd {
+        /// Slash-joined nesting path, e.g. `train/epoch/eval`.
+        path: String,
+        /// Monotonic duration in microseconds.
+        micros: f64,
+        /// Nesting depth (1 = top level).
+        depth: u64,
+    },
+    /// Aggregate statistics for one span path over the whole run.
+    SpanSummary {
+        /// Slash-joined nesting path.
+        path: String,
+        /// Number of completed spans at this path.
+        count: u64,
+        /// Total time spent, milliseconds.
+        total_ms: f64,
+        /// Longest single span, milliseconds.
+        max_ms: f64,
+    },
+    /// Percentile summary of a histogram metric.
+    Histogram(HistogramSummary),
+    /// A structured record from an instrumented subsystem (e.g. the
+    /// trainer's per-epoch record), carried as a generic JSON value.
+    Record {
+        /// Record kind tag, e.g. `"epoch"`.
+        kind: String,
+        /// The record payload.
+        body: Value,
+    },
+    /// The run manifest.
+    Manifest(RunManifest),
+}
+
+/// One line of a JSONL run log: an event stamped with milliseconds since
+/// observability initialization.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LogLine {
+    /// Milliseconds since the observability layer first woke up.
+    pub t_ms: u64,
+    /// The event.
+    pub event: Event,
+}
+
+/// Everything needed to tie a reported number back to the run that
+/// produced it — written alongside experiment results and into the JSONL
+/// log.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Run/experiment name (e.g. `"fig6"`).
+    pub name: String,
+    /// Toolkit version (crate version of the harness).
+    pub version: String,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Configuration signature (architecture string, scale, flags).
+    pub config_signature: String,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_clock_secs: f64,
+    /// Largest autodiff tape observed during the run (0 if untracked).
+    pub peak_tape_nodes: u64,
+    /// Flattened final metrics (name → value).
+    pub final_metrics: Vec<(String, f64)>,
+}
+
+/// The minimum stderr verbosity at which an event is rendered.
+fn event_level(e: &Event) -> Verbosity {
+    match e {
+        Event::Message { level, .. } if level == "warn" => Verbosity::Quiet,
+        Event::Message { level, .. } if level == "debug" => Verbosity::Trace,
+        Event::Message { .. } | Event::Manifest(_) => Verbosity::Normal,
+        Event::Counter { .. }
+        | Event::Gauge { .. }
+        | Event::Histogram(_)
+        | Event::SpanSummary { .. }
+        | Event::Record { .. } => Verbosity::Verbose,
+        Event::SpanEnd { .. } => Verbosity::Trace,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+/// A fixed-bucket histogram: `bounds` are ascending inclusive upper bounds,
+/// with one implicit overflow bucket at the end. Percentiles are estimated
+/// by linear interpolation inside the bucket containing the target rank and
+/// clamped to the observed `[min, max]`, so the estimate always lands in
+/// the same bucket as the exact order statistic.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram with exponentially growing buckets:
+    /// `(-∞, first], (first, first·factor], …` plus an overflow bucket.
+    ///
+    /// # Panics
+    /// Panics unless `first > 0`, `factor > 1` and `buckets ≥ 1`.
+    pub fn exponential(first: f64, factor: f64, buckets: usize) -> Histogram {
+        assert!(first > 0.0 && factor > 1.0 && buckets >= 1, "bad histogram shape");
+        let mut bounds = Vec::with_capacity(buckets);
+        let mut b = first;
+        for _ in 0..buckets {
+            bounds.push(b);
+            b *= factor;
+        }
+        let counts = vec![0; buckets + 1];
+        Histogram { bounds, counts, count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// The default shape for microsecond latencies: 1 µs to ~17 s, ×2.
+    pub fn latency_micros() -> Histogram {
+        Histogram::exponential(1.0, 2.0, 24)
+    }
+
+    /// Index of the bucket a value falls into (last bucket = overflow).
+    pub fn bucket_index(&self, v: f64) -> usize {
+        self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len())
+    }
+
+    /// Records one observation. Non-finite values are ignored.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let i = self.bucket_index(v);
+        self.counts[i] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`); `NaN` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 && cum + c >= rank {
+                let lo = if i == 0 { f64::NEG_INFINITY } else { self.bounds[i - 1] };
+                let hi = if i < self.bounds.len() { self.bounds[i] } else { f64::INFINITY };
+                let (lo, hi) = (lo.max(self.min), hi.min(self.max));
+                if hi <= lo {
+                    return lo;
+                }
+                return lo + (hi - lo) * ((rank - cum) as f64 / c as f64);
+            }
+            cum += c;
+        }
+        self.max
+    }
+
+    /// Percentile summary under a metric name; zeros when empty.
+    pub fn summary(&self, name: &str) -> HistogramSummary {
+        if self.count == 0 {
+            return HistogramSummary {
+                name: name.to_string(),
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+            };
+        }
+        HistogramSummary {
+            name: name.to_string(),
+            count: self.count,
+            mean: self.sum / self.count as f64,
+            min: self.min,
+            max: self.max,
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time percentile summary of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Metric name.
+    pub name: String,
+    /// Observation count.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 90th percentile estimate.
+    pub p90: f64,
+    /// 99th percentile estimate.
+    pub p99: f64,
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// A destination for emitted events.
+pub trait Sink: Send {
+    /// Handles one event. `verbosity` is the current global verbosity;
+    /// sinks may use it to filter (the stderr sink does, JSONL does not).
+    fn emit(&mut self, t_ms: u64, verbosity: Verbosity, event: &Event);
+
+    /// Flushes buffered output.
+    fn flush(&mut self) {}
+}
+
+/// Human-readable rendering to stderr, filtered by [`Verbosity`].
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn emit(&mut self, t_ms: u64, verbosity: Verbosity, event: &Event) {
+        if verbosity < event_level(event) {
+            return;
+        }
+        let t = t_ms as f64 / 1000.0;
+        let line = match event {
+            Event::Message { level, text } => format!("{level:<5} {text}"),
+            Event::Counter { name, value } => format!("count {name} = {value}"),
+            Event::Gauge { name, value } => format!("gauge {name} = {value}"),
+            Event::SpanEnd { path, micros, depth } => {
+                let indent = "  ".repeat(depth.saturating_sub(1) as usize);
+                format!("span  {indent}{path} {:.2} ms", micros / 1e3)
+            }
+            Event::SpanSummary { path, count, total_ms, max_ms } => {
+                format!("span  {path}: n={count} total={total_ms:.1}ms max={max_ms:.1}ms")
+            }
+            Event::Histogram(h) => format!(
+                "hist  {}: n={} mean={:.1} p50={:.1} p90={:.1} p99={:.1} max={:.1}",
+                h.name, h.count, h.mean, h.p50, h.p90, h.p99, h.max
+            ),
+            Event::Record { kind, body } => {
+                format!("{kind} {}", serde_json::to_string(body).unwrap_or_default())
+            }
+            Event::Manifest(m) => format!(
+                "manifest {} v{} seed={} cfg={} wall={:.1}s",
+                m.name, m.version, m.seed, m.config_signature, m.wall_clock_secs
+            ),
+        };
+        eprintln!("[{t:>8.2}s] {line}");
+    }
+}
+
+/// Machine-readable JSONL: one [`LogLine`] per event, flushed per line.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: std::io::BufWriter<std::fs::File>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the log file at `path`.
+    pub fn create(path: &std::path::Path) -> std::io::Result<JsonlSink> {
+        Ok(JsonlSink { out: std::io::BufWriter::new(std::fs::File::create(path)?) })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&mut self, t_ms: u64, _verbosity: Verbosity, event: &Event) {
+        let line = LogLine { t_ms, event: event.clone() };
+        if let Ok(json) = serde_json::to_string(&line) {
+            let _ = writeln!(self.out, "{json}");
+            let _ = self.out.flush();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global registry
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Inner {
+    sinks: Vec<Box<dyn Sink>>,
+    counters: Vec<(String, f64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+    spans: Vec<(String, SpanStat)>,
+}
+
+/// Aggregate statistics for one span path.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SpanStat {
+    /// Completed spans at this path.
+    pub count: u64,
+    /// Total microseconds.
+    pub total_micros: f64,
+    /// Longest single span, microseconds.
+    pub max_micros: f64,
+}
+
+struct Global {
+    start: Instant,
+    verbosity: AtomicU8,
+    active: AtomicBool,
+    inner: Mutex<Inner>,
+}
+
+fn global() -> &'static Global {
+    static GLOBAL: OnceLock<Global> = OnceLock::new();
+    GLOBAL.get_or_init(|| Global {
+        start: Instant::now(),
+        verbosity: AtomicU8::new(Verbosity::Normal as u8),
+        active: AtomicBool::new(false),
+        inner: Mutex::new(Inner::default()),
+    })
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Inner> {
+    global().inner.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Configuration for [`init`].
+#[derive(Clone, Debug)]
+pub struct ObsConfig {
+    /// Stderr verbosity.
+    pub verbosity: Verbosity,
+    /// Optional JSONL run-log path.
+    pub jsonl_path: Option<std::path::PathBuf>,
+    /// Install the human-readable stderr sink.
+    pub stderr: bool,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig { verbosity: Verbosity::Normal, jsonl_path: None, stderr: true }
+    }
+}
+
+impl ObsConfig {
+    /// Reads `NER_VERBOSITY` and `NER_LOG_JSON` from the environment.
+    pub fn from_env() -> ObsConfig {
+        let mut cfg = ObsConfig::default();
+        if let Ok(v) = std::env::var("NER_VERBOSITY") {
+            if let Ok(v) = v.parse() {
+                cfg.verbosity = v;
+            }
+        }
+        if let Ok(p) = std::env::var("NER_LOG_JSON") {
+            if !p.is_empty() {
+                cfg.jsonl_path = Some(p.into());
+            }
+        }
+        cfg
+    }
+
+    /// Overrides from `--verbosity <level>` / `--log-json <path>` anywhere
+    /// in `args` (other arguments are ignored).
+    pub fn apply_args(mut self, args: &[String]) -> Result<ObsConfig, String> {
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--verbosity" => {
+                    let v = it.next().ok_or("--verbosity requires a value")?;
+                    self.verbosity = v.parse()?;
+                }
+                "--log-json" => {
+                    let p = it.next().ok_or("--log-json requires a value")?;
+                    self.jsonl_path = Some(p.into());
+                }
+                _ => {}
+            }
+        }
+        Ok(self)
+    }
+
+    /// Like [`ObsConfig::apply_args`], but *removes* the recognized flags
+    /// and their values from `args` — for CLIs whose subcommand parsers
+    /// reject unknown options.
+    pub fn take_args(mut self, args: &mut Vec<String>) -> Result<ObsConfig, String> {
+        let mut kept = Vec::with_capacity(args.len());
+        let mut it = std::mem::take(args).into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--verbosity" => {
+                    let v = it.next().ok_or("--verbosity requires a value")?;
+                    self.verbosity = v.parse()?;
+                }
+                "--log-json" => {
+                    let p = it.next().ok_or("--log-json requires a value")?;
+                    self.jsonl_path = Some(p.into());
+                }
+                _ => kept.push(a),
+            }
+        }
+        *args = kept;
+        Ok(self)
+    }
+}
+
+/// Installs sinks and sets the verbosity; before this call the layer is
+/// passive (metrics accumulate, nothing is emitted).
+pub fn init(cfg: ObsConfig) -> std::io::Result<()> {
+    let g = global();
+    g.verbosity.store(cfg.verbosity as u8, Ordering::Relaxed);
+    let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
+    if cfg.stderr {
+        sinks.push(Box::new(StderrSink));
+    }
+    if let Some(path) = &cfg.jsonl_path {
+        sinks.push(Box::new(JsonlSink::create(path)?));
+    }
+    let mut inner = lock();
+    inner.sinks = sinks;
+    g.active.store(!inner.sinks.is_empty(), Ordering::Relaxed);
+    Ok(())
+}
+
+/// Convenience for harness binaries: env + process args, exiting on a
+/// malformed flag.
+pub fn init_from_process_args() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = ObsConfig::from_env().apply_args(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    init(cfg).unwrap_or_else(|e| {
+        eprintln!("error: cannot open run log: {e}");
+        std::process::exit(2);
+    });
+}
+
+/// Current stderr verbosity.
+pub fn verbosity() -> Verbosity {
+    match global().verbosity.load(Ordering::Relaxed) {
+        0 => Verbosity::Quiet,
+        1 => Verbosity::Normal,
+        2 => Verbosity::Verbose,
+        _ => Verbosity::Trace,
+    }
+}
+
+/// Overrides the stderr verbosity after `init` (e.g. for a `--quiet` flag).
+pub fn set_verbosity(v: Verbosity) {
+    global().verbosity.store(v as u8, Ordering::Relaxed);
+}
+
+/// True when at least one sink is installed (i.e. emission does work).
+pub fn enabled() -> bool {
+    global().active.load(Ordering::Relaxed)
+}
+
+/// Seconds since the observability layer first woke up.
+pub fn elapsed_secs() -> f64 {
+    global().start.elapsed().as_secs_f64()
+}
+
+fn dispatch(event: Event) {
+    let g = global();
+    if !g.active.load(Ordering::Relaxed) {
+        return;
+    }
+    let t_ms = g.start.elapsed().as_millis() as u64;
+    let v = verbosity();
+    // Sinks are taken out of the registry while emitting so sink I/O never
+    // holds the metrics lock.
+    let mut sinks = std::mem::take(&mut lock().sinks);
+    for s in &mut sinks {
+        s.emit(t_ms, v, &event);
+    }
+    lock().sinks = sinks;
+}
+
+// ---------------------------------------------------------------------------
+// Emission API
+// ---------------------------------------------------------------------------
+
+/// Emits an informational message.
+pub fn info(text: impl Into<String>) {
+    dispatch(Event::Message { level: "info".into(), text: text.into() });
+}
+
+/// Emits a warning (shown even at quiet verbosity).
+pub fn warn(text: impl Into<String>) {
+    dispatch(Event::Message { level: "warn".into(), text: text.into() });
+}
+
+/// Emits a debug message (trace verbosity only on stderr).
+pub fn debug(text: impl Into<String>) {
+    dispatch(Event::Message { level: "debug".into(), text: text.into() });
+}
+
+/// Adds `delta` to a named counter (registry always; emitted on [`finish`]).
+pub fn counter(name: &str, delta: f64) {
+    let mut inner = lock();
+    match inner.counters.iter_mut().find(|(n, _)| n == name) {
+        Some((_, v)) => *v += delta,
+        None => inner.counters.push((name.to_string(), delta)),
+    }
+}
+
+/// Sets a named gauge to `value`.
+pub fn gauge(name: &str, value: f64) {
+    let mut inner = lock();
+    match inner.gauges.iter_mut().find(|(n, _)| n == name) {
+        Some((_, v)) => *v = value,
+        None => inner.gauges.push((name.to_string(), value)),
+    }
+}
+
+/// Raises a named gauge to `value` if larger (peak tracking).
+pub fn gauge_max(name: &str, value: f64) {
+    let mut inner = lock();
+    match inner.gauges.iter_mut().find(|(n, _)| n == name) {
+        Some((_, v)) => *v = v.max(value),
+        None => inner.gauges.push((name.to_string(), value)),
+    }
+}
+
+/// Records `value` into the named histogram (created on first use with
+/// [`Histogram::latency_micros`] buckets).
+pub fn observe(name: &str, value: f64) {
+    let mut inner = lock();
+    match inner.histograms.iter_mut().find(|(n, _)| n == name) {
+        Some((_, h)) => h.record(value),
+        None => {
+            let mut h = Histogram::latency_micros();
+            h.record(value);
+            inner.histograms.push((name.to_string(), h));
+        }
+    }
+}
+
+/// Emits a structured record event of the given kind.
+pub fn emit_record(kind: &str, payload: &impl Serialize) {
+    if !enabled() {
+        return;
+    }
+    dispatch(Event::Record { kind: kind.to_string(), body: payload.serialize() });
+}
+
+/// Emits the run manifest event.
+pub fn emit_manifest(manifest: &RunManifest) {
+    dispatch(Event::Manifest(manifest.clone()));
+}
+
+/// Current value of a counter, if any.
+pub fn counter_value(name: &str) -> Option<f64> {
+    lock().counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+}
+
+/// Current value of a gauge, if any.
+pub fn gauge_value(name: &str) -> Option<f64> {
+    lock().gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+}
+
+/// Summary of a named histogram, if it exists and is non-empty.
+pub fn histogram_summary(name: &str) -> Option<HistogramSummary> {
+    let inner = lock();
+    let (n, h) = inner.histograms.iter().find(|(n, _)| n == name)?;
+    if h.is_empty() {
+        return None;
+    }
+    Some(h.summary(n))
+}
+
+/// All span statistics, largest total time first.
+pub fn span_report() -> Vec<(String, SpanStat)> {
+    let mut spans = lock().spans.clone();
+    spans.sort_by(|a, b| b.1.total_micros.total_cmp(&a.1.total_micros));
+    spans
+}
+
+/// Emits all counters/gauges, summaries of every non-empty histogram, and
+/// per-path span statistics, then flushes all sinks. Harnesses call this
+/// once before exiting.
+pub fn finish() {
+    let events: Vec<Event> = {
+        let inner = lock();
+        let mut ev = Vec::new();
+        for (n, v) in &inner.counters {
+            ev.push(Event::Counter { name: n.clone(), value: *v });
+        }
+        for (n, v) in &inner.gauges {
+            ev.push(Event::Gauge { name: n.clone(), value: *v });
+        }
+        for (n, h) in &inner.histograms {
+            if !h.is_empty() {
+                ev.push(Event::Histogram(h.summary(n)));
+            }
+        }
+        let mut spans: Vec<_> = inner.spans.clone();
+        spans.sort_by(|a, b| b.1.total_micros.total_cmp(&a.1.total_micros));
+        for (path, s) in spans {
+            ev.push(Event::SpanSummary {
+                path,
+                count: s.count,
+                total_ms: s.total_micros / 1e3,
+                max_ms: s.max_micros / 1e3,
+            });
+        }
+        ev
+    };
+    for e in events {
+        dispatch(e);
+    }
+    for s in &mut lock().sinks {
+        s.flush();
+    }
+}
+
+/// Clears all metrics, spans and sinks and restores defaults — test helper.
+pub fn reset() {
+    let g = global();
+    g.verbosity.store(Verbosity::Normal as u8, Ordering::Relaxed);
+    g.active.store(false, Ordering::Relaxed);
+    *lock() = Inner::default();
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An in-flight scoped measurement; records on drop.
+#[must_use = "a span measures until dropped"]
+pub struct SpanGuard {
+    path: String,
+    depth: u64,
+    start: Instant,
+}
+
+/// Opens a scoped span. Nested spans build `parent/child` paths per thread.
+pub fn span(name: &'static str) -> SpanGuard {
+    let (path, depth) = SPAN_STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.push(name);
+        (s.join("/"), s.len() as u64)
+    });
+    SpanGuard { path, depth, start: Instant::now() }
+}
+
+impl SpanGuard {
+    /// The span's full nesting path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let micros = self.start.elapsed().as_secs_f64() * 1e6;
+        SPAN_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        {
+            let mut inner = lock();
+            match inner.spans.iter_mut().find(|(p, _)| *p == self.path) {
+                Some((_, st)) => {
+                    st.count += 1;
+                    st.total_micros += micros;
+                    st.max_micros = st.max_micros.max(micros);
+                }
+                None => inner.spans.push((
+                    self.path.clone(),
+                    SpanStat { count: 1, total_micros: micros, max_micros: micros },
+                )),
+            }
+        }
+        if enabled() && verbosity() >= Verbosity::Trace {
+            dispatch(Event::SpanEnd {
+                path: std::mem::take(&mut self.path),
+                micros,
+                depth: self.depth,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbosity_parses_and_orders() {
+        assert!(Verbosity::Quiet < Verbosity::Trace);
+        assert_eq!("verbose".parse::<Verbosity>().unwrap(), Verbosity::Verbose);
+        assert_eq!("2".parse::<Verbosity>().unwrap(), Verbosity::Verbose);
+        assert!("loud".parse::<Verbosity>().is_err());
+    }
+
+    #[test]
+    fn histogram_buckets_and_edges() {
+        let mut h = Histogram::exponential(1.0, 2.0, 4); // 1,2,4,8,+inf
+        assert_eq!(h.bucket_index(0.5), 0);
+        assert_eq!(h.bucket_index(1.0), 0); // inclusive upper bound
+        assert_eq!(h.bucket_index(1.5), 1);
+        assert_eq!(h.bucket_index(100.0), 4);
+        assert!(h.quantile(0.5).is_nan());
+        h.record(f64::NAN); // ignored
+        h.record(f64::INFINITY); // ignored
+        assert!(h.is_empty());
+        h.record(3.0);
+        assert_eq!(h.count(), 1);
+        // Single observation: every quantile collapses to it.
+        assert_eq!(h.quantile(0.0), 3.0);
+        assert_eq!(h.quantile(1.0), 3.0);
+        let s = h.summary("x");
+        assert_eq!((s.min, s.max, s.mean), (3.0, 3.0, 3.0));
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Histogram::latency_micros().summary("empty");
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, 0.0);
+    }
+
+    #[test]
+    fn config_takes_flags_out_of_args() {
+        let mut args: Vec<String> =
+            ["--train", "a.conll", "--verbosity", "trace", "--log-json", "run.jsonl", "--quiet"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let cfg = ObsConfig::default().take_args(&mut args).unwrap();
+        assert_eq!(cfg.verbosity, Verbosity::Trace);
+        assert_eq!(cfg.jsonl_path.as_deref(), Some(std::path::Path::new("run.jsonl")));
+        assert_eq!(args, vec!["--train", "a.conll", "--quiet"]);
+        let bad = ObsConfig::default().take_args(&mut vec!["--verbosity".into()]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn event_levels_route_warnings_through_quiet() {
+        let warn = Event::Message { level: "warn".into(), text: "x".into() };
+        let info = Event::Message { level: "info".into(), text: "x".into() };
+        assert_eq!(event_level(&warn), Verbosity::Quiet);
+        assert_eq!(event_level(&info), Verbosity::Normal);
+        assert_eq!(
+            event_level(&Event::SpanEnd { path: "a".into(), micros: 1.0, depth: 1 }),
+            Verbosity::Trace
+        );
+    }
+}

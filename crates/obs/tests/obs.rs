@@ -1,0 +1,228 @@
+//! Integration and property tests for `ner-obs`: histogram percentiles
+//! against a sorted-vector oracle, span nesting/ordering through the global
+//! registry, and JSONL round trips for every event type.
+
+use ner_obs::{Event, Histogram, HistogramSummary, LogLine, RunManifest};
+use proptest::prelude::*;
+use serde::{Serialize, Value};
+use std::sync::Mutex;
+
+/// The global registry is process-wide; tests that touch it serialize here.
+static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+/// Exact order statistic matching the histogram's rank convention:
+/// smallest value whose cumulative count reaches `ceil(q·n)`.
+fn oracle_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The interpolated estimate must land in the same bucket as the exact
+    /// order statistic and inside the observed value range.
+    #[test]
+    fn histogram_quantiles_agree_with_sorted_oracle(
+        values in prop::collection::vec(0.1f64..5e6, 1..200),
+        qs in prop::collection::vec(0.0f64..=1.0, 1..8),
+    ) {
+        let mut h = Histogram::latency_micros();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        for &q in &qs {
+            let est = h.quantile(q);
+            let exact = oracle_quantile(&sorted, q);
+            prop_assert!(est >= sorted[0] && est <= sorted[sorted.len() - 1],
+                "q={q}: estimate {est} outside observed range");
+            prop_assert_eq!(h.bucket_index(est), h.bucket_index(exact),
+                "q={}: estimate {} and exact {} in different buckets", q, est, exact);
+        }
+    }
+
+    /// Mean/min/max/count come straight from the stream, bucketing aside.
+    #[test]
+    fn histogram_moments_are_exact(
+        values in prop::collection::vec(0.1f64..1e6, 1..100),
+    ) {
+        let mut h = Histogram::exponential(0.5, 3.0, 10);
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.summary("m");
+        prop_assert_eq!(s.count, values.len() as u64);
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((s.mean - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert_eq!(s.min, values.iter().cloned().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max, values.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// Quantiles are monotone in q.
+    #[test]
+    fn histogram_quantiles_are_monotone(
+        values in prop::collection::vec(0.1f64..1e5, 2..150),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        let mut h = Histogram::latency_micros();
+        for &v in &values {
+            h.record(v);
+        }
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(h.quantile(lo) <= h.quantile(hi));
+    }
+}
+
+fn round_trip(event: Event) {
+    let line = LogLine { t_ms: 1234, event };
+    let json = serde_json::to_string(&line).expect("serialize");
+    let back: LogLine = serde_json::from_str(&json).expect("parse own output");
+    assert_eq!(line, back, "JSONL round trip changed the event");
+}
+
+#[test]
+fn every_event_type_round_trips_through_jsonl() {
+    round_trip(Event::Message { level: "warn".into(), text: "loss went non-finite".into() });
+    round_trip(Event::Counter { name: "infer.tokens".into(), value: 48213.0 });
+    round_trip(Event::Gauge { name: "params.scalars".into(), value: 91344.0 });
+    round_trip(Event::SpanEnd { path: "train/epoch".into(), micros: 15321.25, depth: 2 });
+    round_trip(Event::SpanSummary {
+        path: "train/epoch/eval".into(),
+        count: 12,
+        total_ms: 93.5,
+        max_ms: 11.25,
+    });
+    round_trip(Event::Histogram(HistogramSummary {
+        name: "infer.sentence_us".into(),
+        count: 150,
+        mean: 812.5,
+        min: 90.0,
+        max: 4096.0,
+        p50: 700.0,
+        p90: 1900.0,
+        p99: 3800.0,
+    }));
+    round_trip(Event::Record {
+        kind: "epoch".into(),
+        body: Value::Object(vec![
+            ("epoch".into(), Value::Num(3.0)),
+            ("train_loss".into(), Value::Num(1.25)),
+            ("dev_f1".into(), Value::Null),
+        ]),
+    });
+    round_trip(Event::Manifest(RunManifest {
+        name: "fig6".into(),
+        version: "0.1.0".into(),
+        seed: 42,
+        config_signature: "fig6:seed=42:Full".into(),
+        wall_clock_secs: 123.75,
+        peak_tape_nodes: 15000,
+        final_metrics: vec![("f1_bilstm".into(), 0.82), ("f1_idcnn".into(), 0.81)],
+    }));
+}
+
+#[test]
+fn jsonl_lines_parse_as_generic_json_too() {
+    // The `report` subcommand walks lines generically; the externally
+    // tagged layout must expose the variant name as the single object key.
+    let line = LogLine { t_ms: 7, event: Event::Counter { name: "c".into(), value: 2.0 } };
+    let json = serde_json::to_string(&line).unwrap();
+    let v: Value = serde_json::from_str(&json).unwrap();
+    let event = v.get("event").expect("event field");
+    let fields = event.as_object().expect("tagged object");
+    assert_eq!(fields.len(), 1);
+    assert_eq!(fields[0].0, "Counter");
+}
+
+#[test]
+fn spans_nest_paths_and_aggregate_in_order() {
+    let _guard = REGISTRY_LOCK.lock().unwrap();
+    ner_obs::reset();
+
+    {
+        let _outer = ner_obs::span("outer");
+        for _ in 0..3 {
+            let inner = ner_obs::span("inner");
+            assert_eq!(inner.path(), "outer/inner");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+    {
+        let _other = ner_obs::span("other");
+    }
+
+    let report = ner_obs::span_report();
+    let paths: Vec<&str> = report.iter().map(|(p, _)| p.as_str()).collect();
+    assert!(paths.contains(&"outer"), "paths: {paths:?}");
+    assert!(paths.contains(&"outer/inner"), "paths: {paths:?}");
+    assert!(paths.contains(&"other"), "paths: {paths:?}");
+
+    let inner = report.iter().find(|(p, _)| p == "outer/inner").unwrap();
+    assert_eq!(inner.1.count, 3);
+    assert!(inner.1.max_micros <= inner.1.total_micros);
+    let outer = report.iter().find(|(p, _)| p == "outer").unwrap();
+    assert_eq!(outer.1.count, 1);
+    // The parent encloses its children, so it must dominate their total,
+    // and the report is sorted by total time descending.
+    assert!(outer.1.total_micros >= inner.1.total_micros);
+    let totals: Vec<f64> = report.iter().map(|(_, s)| s.total_micros).collect();
+    assert!(totals.windows(2).all(|w| w[0] >= w[1]), "not sorted: {totals:?}");
+
+    ner_obs::reset();
+}
+
+#[test]
+fn metrics_accumulate_without_sinks_and_jsonl_sink_records_a_run() {
+    let _guard = REGISTRY_LOCK.lock().unwrap();
+    ner_obs::reset();
+
+    // Passive mode: metrics accumulate, nothing is emitted.
+    assert!(!ner_obs::enabled());
+    ner_obs::counter("c", 2.0);
+    ner_obs::counter("c", 3.0);
+    ner_obs::gauge_max("g", 10.0);
+    ner_obs::gauge_max("g", 4.0);
+    ner_obs::observe("h", 100.0);
+    assert_eq!(ner_obs::counter_value("c"), Some(5.0));
+    assert_eq!(ner_obs::gauge_value("g"), Some(10.0));
+    assert_eq!(ner_obs::histogram_summary("h").unwrap().count, 1);
+
+    // Now attach a JSONL sink and drain everything through finish().
+    let dir = std::env::temp_dir().join("ner-obs-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("run-{}.jsonl", std::process::id()));
+    ner_obs::init(ner_obs::ObsConfig {
+        verbosity: ner_obs::Verbosity::Quiet,
+        jsonl_path: Some(path.clone()),
+        stderr: false,
+    })
+    .unwrap();
+    ner_obs::warn("synthetic warning");
+    ner_obs::emit_record("epoch", &ExampleRecord { epoch: 1, loss: 0.5 });
+    ner_obs::finish();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let events: Vec<Event> = text
+        .lines()
+        .map(|l| serde_json::from_str::<LogLine>(l).expect("valid JSONL line").event)
+        .collect();
+    assert!(events.iter().any(|e| matches!(e, Event::Message { level, .. } if level == "warn")));
+    assert!(events.iter().any(|e| matches!(e, Event::Record { kind, .. } if kind == "epoch")));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::Counter { name, value } if name == "c" && *value == 5.0)));
+    assert!(events.iter().any(|e| matches!(e, Event::Histogram(h) if h.name == "h")));
+
+    std::fs::remove_file(&path).ok();
+    ner_obs::reset();
+}
+
+#[derive(Serialize)]
+struct ExampleRecord {
+    epoch: usize,
+    loss: f64,
+}

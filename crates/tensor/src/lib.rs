@@ -63,5 +63,5 @@ mod tape;
 mod tensor;
 
 pub use param::{ParamId, ParamStore};
-pub use tape::{Tape, Var};
+pub use tape::{OpClass, Tape, Var};
 pub use tensor::Tensor;

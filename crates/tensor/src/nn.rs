@@ -20,7 +20,13 @@ pub struct Linear {
 
 impl Linear {
     /// Registers a Xavier-initialized linear layer under `name`.
-    pub fn new(store: &mut ParamStore, rng: &mut impl Rng, name: &str, d_in: usize, d_out: usize) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        d_in: usize,
+        d_out: usize,
+    ) -> Self {
         Linear {
             w: store.register(&format!("{name}.w"), init::xavier(rng, d_in, d_out)),
             b: store.register(&format!("{name}.b"), init::zeros(1, d_out)),
@@ -28,7 +34,13 @@ impl Linear {
     }
 
     /// Registers a He-initialized layer (use before ReLU).
-    pub fn new_he(store: &mut ParamStore, rng: &mut impl Rng, name: &str, d_in: usize, d_out: usize) -> Self {
+    pub fn new_he(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        d_in: usize,
+        d_out: usize,
+    ) -> Self {
         Linear {
             w: store.register(&format!("{name}.w"), init::he(rng, d_in, d_out)),
             b: store.register(&format!("{name}.b"), init::zeros(1, d_out)),
@@ -52,7 +64,13 @@ pub struct Embedding {
 
 impl Embedding {
     /// Registers a small-uniform-initialized table.
-    pub fn new(store: &mut ParamStore, rng: &mut impl Rng, name: &str, vocab: usize, dim: usize) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+    ) -> Self {
         Embedding { table: store.register(name, init::embedding(rng, vocab, dim)) }
     }
 
@@ -85,7 +103,13 @@ pub struct LstmRun {
 
 impl LstmCell {
     /// Registers an LSTM cell mapping `d_in → hidden`.
-    pub fn new(store: &mut ParamStore, rng: &mut impl Rng, name: &str, d_in: usize, hidden: usize) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        d_in: usize,
+        hidden: usize,
+    ) -> Self {
         let w_ih = store.register(&format!("{name}.w_ih"), init::xavier(rng, d_in, 4 * hidden));
         let w_hh = store.register(&format!("{name}.w_hh"), init::xavier(rng, hidden, 4 * hidden));
         let mut bias = init::zeros(1, 4 * hidden);
@@ -180,7 +204,13 @@ pub struct GruRun {
 
 impl GruCell {
     /// Registers a GRU cell mapping `d_in → hidden`.
-    pub fn new(store: &mut ParamStore, rng: &mut impl Rng, name: &str, d_in: usize, hidden: usize) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        d_in: usize,
+        hidden: usize,
+    ) -> Self {
         GruCell {
             w_ih: store.register(&format!("{name}.w_ih"), init::xavier(rng, d_in, 3 * hidden)),
             w_hh: store.register(&format!("{name}.w_hh"), init::xavier(rng, hidden, 3 * hidden)),
@@ -295,7 +325,13 @@ pub struct MultiHeadAttention {
 impl MultiHeadAttention {
     /// Registers an attention layer with `heads` heads over `d_model`
     /// (must divide evenly).
-    pub fn new(store: &mut ParamStore, rng: &mut impl Rng, name: &str, d_model: usize, heads: usize) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        d_model: usize,
+        heads: usize,
+    ) -> Self {
         assert_eq!(d_model % heads, 0, "d_model must be divisible by heads");
         MultiHeadAttention {
             wq: Linear::new(store, rng, &format!("{name}.wq"), d_model, d_model),
@@ -428,11 +464,7 @@ mod tests {
                 let mut tape = Tape::new();
                 let xs = tape.constant(x.clone());
                 let probs = forward(&mut tape, store, xs);
-                let labels = Tensor::full(
-                    tape.value(probs).rows(),
-                    tape.value(probs).cols(),
-                    *y,
-                );
+                let labels = Tensor::full(tape.value(probs).rows(), tape.value(probs).cols(), *y);
                 let loss = tape.binary_cross_entropy_sum(probs, &labels);
                 total += tape.value(loss).item();
                 tape.backward(loss, store);
@@ -538,12 +570,8 @@ mod tests {
         let mut t3 = Tape::new();
         let v3 = t3.constant(t2.value(v2).clone());
         let o3 = attn.forward(&mut t3, &store, v3, false);
-        let differs = t1
-            .value(o1)
-            .row(0)
-            .iter()
-            .zip(t3.value(o3).row(0))
-            .any(|(a, b)| (a - b).abs() > 1e-6);
+        let differs =
+            t1.value(o1).row(0).iter().zip(t3.value(o3).row(0)).any(|(a, b)| (a - b).abs() > 1e-6);
         assert!(differs, "bidirectional row 0 should see the changed future token");
     }
 

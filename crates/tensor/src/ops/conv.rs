@@ -5,7 +5,7 @@
 //! encoder (Fig. 5) and the Iterated Dilated CNN (Fig. 6) — the latter simply
 //! passes `dilation > 1`.
 
-use crate::{Tape, Tensor, Var};
+use crate::{OpClass, Tape, Tensor, Var};
 
 impl Tape {
     /// Same-padded 1-D convolution along the row (time) axis.
@@ -52,7 +52,7 @@ impl Tape {
         }
 
         let (cx, cw) = (vx.clone(), vw.clone());
-        self.custom(out, &[x, w, bias], move |g| {
+        self.custom_in_class(OpClass::Conv, out, &[x, w, bias], move |g| {
             let mut gx = Tensor::zeros(n, d_in);
             let mut gw = Tensor::zeros(k * d_in, d_out);
             let mut gb = Tensor::zeros(1, d_out);
@@ -73,9 +73,7 @@ impl Tape {
                         let gw_row = gw.row_mut(j as usize * d_in + i);
                         let xv = x_row[i];
                         let mut gx_acc = 0.0;
-                        for ((&gv, &wv), gw_v) in
-                            g_row.iter().zip(w_row).zip(gw_row.iter_mut())
-                        {
+                        for ((&gv, &wv), gw_v) in g_row.iter().zip(w_row).zip(gw_row.iter_mut()) {
                             gx_acc += gv * wv;
                             *gw_v += gv * xv;
                         }
@@ -146,7 +144,14 @@ mod tests {
         });
         // with respect to the weights (and dilation 2)
         assert_grads(
-            Tensor::from_rows(&[&[0.1, -0.2], &[0.4, 0.5], &[-0.7, 0.8], &[0.2, -0.3], &[0.6, 0.4], &[-0.1, 0.2]]),
+            Tensor::from_rows(&[
+                &[0.1, -0.2],
+                &[0.4, 0.5],
+                &[-0.7, 0.8],
+                &[0.2, -0.3],
+                &[0.6, 0.4],
+                &[-0.1, 0.2],
+            ]),
             1e-2,
             move |t, w| {
                 let x = t.constant(Tensor::from_rows(&[

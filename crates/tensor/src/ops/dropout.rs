@@ -1,6 +1,6 @@
 //! Inverted dropout.
 
-use crate::{Tape, Var};
+use crate::{OpClass, Tape, Var};
 use rand::Rng;
 
 impl Tape {
@@ -16,15 +16,14 @@ impl Tape {
         let v = self.value(a);
         let keep = 1.0 - p;
         let scale = 1.0 / keep;
-        let mask: Vec<f32> = (0..v.len())
-            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
-            .collect();
+        let mask: Vec<f32> =
+            (0..v.len()).map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 }).collect();
         let mut out = v.clone();
         for (o, &m) in out.data_mut().iter_mut().zip(&mask) {
             *o *= m;
         }
         let (r, c) = v.shape();
-        self.custom(out, &[a], move |g| {
+        self.custom_in_class(OpClass::Dropout, out, &[a], move |g| {
             let mut ga = g.clone();
             for (o, &m) in ga.data_mut().iter_mut().zip(&mask) {
                 *o *= m;

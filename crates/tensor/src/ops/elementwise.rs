@@ -1,6 +1,6 @@
 //! Elementwise arithmetic, broadcasting bias addition and nonlinearities.
 
-use crate::{Tape, Tensor, Var};
+use crate::{OpClass, Tape, Tensor, Var};
 
 impl Tape {
     /// Elementwise `a + b` (same shape).
@@ -9,7 +9,9 @@ impl Tape {
         assert_eq!(va.shape(), vb.shape(), "add shape mismatch");
         let mut out = va.clone();
         out.add_scaled(vb, 1.0);
-        self.custom(out, &[a, b], |g| vec![Some(g.clone()), Some(g.clone())])
+        self.custom_in_class(OpClass::Elementwise, out, &[a, b], |g| {
+            vec![Some(g.clone()), Some(g.clone())]
+        })
     }
 
     /// Elementwise `a - b` (same shape).
@@ -18,7 +20,7 @@ impl Tape {
         assert_eq!(va.shape(), vb.shape(), "sub shape mismatch");
         let mut out = va.clone();
         out.add_scaled(vb, -1.0);
-        self.custom(out, &[a, b], |g| {
+        self.custom_in_class(OpClass::Elementwise, out, &[a, b], |g| {
             vec![Some(g.clone()), Some(g.map(|x| -x))]
         })
     }
@@ -32,7 +34,7 @@ impl Tape {
             *o *= x;
         }
         let (ca, cb) = (va.clone(), vb.clone());
-        self.custom(out, &[a, b], move |g| {
+        self.custom_in_class(OpClass::Elementwise, out, &[a, b], move |g| {
             let mut ga = g.clone();
             for (o, &x) in ga.data_mut().iter_mut().zip(cb.data()) {
                 *o *= x;
@@ -48,13 +50,13 @@ impl Tape {
     /// `a * s` for a compile-time-known scalar `s`.
     pub fn scale(&mut self, a: Var, s: f32) -> Var {
         let out = self.value(a).map(|x| x * s);
-        self.custom(out, &[a], move |g| vec![Some(g.map(|x| x * s))])
+        self.custom_in_class(OpClass::Elementwise, out, &[a], move |g| vec![Some(g.map(|x| x * s))])
     }
 
     /// `a + s` elementwise for a scalar constant `s`.
     pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
         let out = self.value(a).map(|x| x + s);
-        self.custom(out, &[a], |g| vec![Some(g.clone())])
+        self.custom_in_class(OpClass::Elementwise, out, &[a], |g| vec![Some(g.clone())])
     }
 
     /// Broadcast add: matrix `m` of shape `[n, d]` plus row vector `bias`
@@ -70,7 +72,7 @@ impl Tape {
                 *o += b;
             }
         }
-        self.custom(out, &[m, bias], |g| {
+        self.custom_in_class(OpClass::Elementwise, out, &[m, bias], |g| {
             let mut gb = Tensor::zeros(1, g.cols());
             for r in 0..g.rows() {
                 let src = g.row(r);
@@ -86,7 +88,7 @@ impl Tape {
     pub fn tanh(&mut self, a: Var) -> Var {
         let out = self.value(a).map(f32::tanh);
         let y = out.clone();
-        self.custom(out, &[a], move |g| {
+        self.custom_in_class(OpClass::Elementwise, out, &[a], move |g| {
             let mut ga = g.clone();
             for (o, &v) in ga.data_mut().iter_mut().zip(y.data()) {
                 *o *= 1.0 - v * v;
@@ -99,7 +101,7 @@ impl Tape {
     pub fn sigmoid(&mut self, a: Var) -> Var {
         let out = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
         let y = out.clone();
-        self.custom(out, &[a], move |g| {
+        self.custom_in_class(OpClass::Elementwise, out, &[a], move |g| {
             let mut ga = g.clone();
             for (o, &v) in ga.data_mut().iter_mut().zip(y.data()) {
                 *o *= v * (1.0 - v);
@@ -112,7 +114,7 @@ impl Tape {
     pub fn relu(&mut self, a: Var) -> Var {
         let x = self.value(a).clone();
         let out = x.map(|v| v.max(0.0));
-        self.custom(out, &[a], move |g| {
+        self.custom_in_class(OpClass::Elementwise, out, &[a], move |g| {
             let mut ga = g.clone();
             for (o, &v) in ga.data_mut().iter_mut().zip(x.data()) {
                 if v <= 0.0 {
@@ -127,7 +129,7 @@ impl Tape {
     pub fn exp(&mut self, a: Var) -> Var {
         let out = self.value(a).map(f32::exp);
         let y = out.clone();
-        self.custom(out, &[a], move |g| {
+        self.custom_in_class(OpClass::Elementwise, out, &[a], move |g| {
             let mut ga = g.clone();
             for (o, &v) in ga.data_mut().iter_mut().zip(y.data()) {
                 *o *= v;

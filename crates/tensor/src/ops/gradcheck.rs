@@ -52,7 +52,11 @@ pub fn max_grad_error(param_value: Tensor, f: impl Fn(&mut Tape, crate::Var) -> 
 }
 
 /// Asserts the analytic gradient of `f` matches finite differences to `tol`.
-pub fn assert_grads(param_value: Tensor, tol: f32, f: impl Fn(&mut Tape, crate::Var) -> crate::Var) {
+pub fn assert_grads(
+    param_value: Tensor,
+    tol: f32,
+    f: impl Fn(&mut Tape, crate::Var) -> crate::Var,
+) {
     let err = max_grad_error(param_value, f);
     assert!(err < tol, "gradcheck failed: max normalized error {err} >= tolerance {tol}");
 }

@@ -1,7 +1,7 @@
 //! Classification losses.
 
 use crate::ops::softmax::softmax_rows_tensor;
-use crate::{Tape, Tensor, Var};
+use crate::{OpClass, Tape, Tensor, Var};
 
 impl Tape {
     /// Summed cross-entropy of row-wise `logits [n,k]` against integer
@@ -22,7 +22,7 @@ impl Tape {
             loss -= (probs.at2(r, t).max(1e-30) as f64).ln();
         }
         let targets = targets.to_vec();
-        self.custom(Tensor::scalar(loss as f32), &[logits], move |g| {
+        self.custom_in_class(OpClass::Loss, Tensor::scalar(loss as f32), &[logits], move |g| {
             let scale = g.item();
             let mut ga = probs.clone();
             for (r, &t) in targets.iter().enumerate() {
@@ -53,7 +53,7 @@ impl Tape {
             loss -= (yi as f64) * (pc as f64).ln() + (1.0 - yi as f64) * (1.0 - pc as f64).ln();
         }
         let (pc, yc) = (p.clone(), labels.clone());
-        self.custom(Tensor::scalar(loss as f32), &[probs], move |g| {
+        self.custom_in_class(OpClass::Loss, Tensor::scalar(loss as f32), &[probs], move |g| {
             let scale = g.item();
             let mut ga = Tensor::zeros(pc.rows(), pc.cols());
             for ((o, &pi), &yi) in ga.data_mut().iter_mut().zip(pc.data()).zip(yc.data()) {

@@ -1,6 +1,6 @@
 //! Matrix product and transpose.
 
-use crate::{Tape, Var};
+use crate::{OpClass, Tape, Var};
 
 impl Tape {
     /// Matrix product `a [m,k] × b [k,n] → [m,n]`.
@@ -11,7 +11,7 @@ impl Tape {
         let (va, vb) = (self.value(a), self.value(b));
         let out = va.matmul(vb);
         let (ca, cb) = (va.clone(), vb.clone());
-        self.custom(out, &[a, b], move |g| {
+        self.custom_in_class(OpClass::MatMul, out, &[a, b], move |g| {
             vec![Some(g.matmul_nt(&cb)), Some(ca.matmul_tn(g))]
         })
     }
@@ -19,7 +19,7 @@ impl Tape {
     /// Transpose `a [m,n] → [n,m]`.
     pub fn transpose(&mut self, a: Var) -> Var {
         let out = self.value(a).transposed();
-        self.custom(out, &[a], |g| vec![Some(g.transposed())])
+        self.custom_in_class(OpClass::MatMul, out, &[a], |g| vec![Some(g.transposed())])
     }
 }
 

@@ -1,6 +1,6 @@
 //! Layer normalization (per row), as used inside the Transformer encoder.
 
-use crate::{Tape, Tensor, Var};
+use crate::{OpClass, Tape, Tensor, Var};
 
 impl Tape {
     /// Row-wise layer normalization with learned gain and bias:
@@ -32,7 +32,7 @@ impl Tape {
         }
 
         let gain_c = vg.clone();
-        self.custom(out, &[x, gain, bias], move |g| {
+        self.custom_in_class(OpClass::Norm, out, &[x, gain, bias], move |g| {
             let mut gx = Tensor::zeros(n, d);
             let mut ggain = Tensor::zeros(1, d);
             let mut gbias = Tensor::zeros(1, d);

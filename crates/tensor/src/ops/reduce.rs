@@ -1,6 +1,6 @@
 //! Reductions and over-time poolings.
 
-use crate::{Tape, Tensor, Var};
+use crate::{OpClass, Tape, Tensor, Var};
 
 impl Tape {
     /// Sum of all elements → scalar `[1,1]`.
@@ -8,7 +8,9 @@ impl Tape {
         let v = self.value(a);
         let (r, c) = v.shape();
         let out = Tensor::scalar(v.sum());
-        self.custom(out, &[a], move |g| vec![Some(Tensor::full(r, c, g.item()))])
+        self.custom_in_class(OpClass::Reduce, out, &[a], move |g| {
+            vec![Some(Tensor::full(r, c, g.item()))]
+        })
     }
 
     /// Mean of all elements → scalar `[1,1]`.
@@ -17,7 +19,9 @@ impl Tape {
         let (r, c) = v.shape();
         let n = (r * c) as f32;
         let out = Tensor::scalar(v.sum() / n);
-        self.custom(out, &[a], move |g| vec![Some(Tensor::full(r, c, g.item() / n))])
+        self.custom_in_class(OpClass::Reduce, out, &[a], move |g| {
+            vec![Some(Tensor::full(r, c, g.item() / n))]
+        })
     }
 
     /// Column-wise maximum over rows: `[n,d] → [1,d]`.
@@ -43,7 +47,7 @@ impl Tape {
             }
             out.set2(0, c, best);
         }
-        self.custom(out, &[a], move |g| {
+        self.custom_in_class(OpClass::Reduce, out, &[a], move |g| {
             let mut ga = Tensor::zeros(n, d);
             for (c, &r) in argmax.iter().enumerate() {
                 ga.set2(r, c, g.at2(0, c));
@@ -65,7 +69,7 @@ impl Tape {
             }
         }
         out.scale_in_place(1.0 / n as f32);
-        self.custom(out, &[a], move |g| {
+        self.custom_in_class(OpClass::Reduce, out, &[a], move |g| {
             let mut ga = Tensor::zeros(n, d);
             let inv = 1.0 / n as f32;
             for r in 0..n {
@@ -86,7 +90,7 @@ impl Tape {
         for r in 0..n {
             out.set2(r, 0, v.row(r).iter().sum());
         }
-        self.custom(out, &[a], move |g| {
+        self.custom_in_class(OpClass::Reduce, out, &[a], move |g| {
             let mut ga = Tensor::zeros(n, d);
             for r in 0..n {
                 let gv = g.at2(r, 0);

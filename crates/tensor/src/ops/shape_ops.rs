@@ -1,6 +1,6 @@
 //! Shape manipulation: concatenation, slicing and row selection.
 
-use crate::{Tape, Tensor, Var};
+use crate::{OpClass, Tape, Tensor, Var};
 
 impl Tape {
     /// Horizontal concatenation: `[n,d1] ⧺ [n,d2] ⧺ … → [n, Σdᵢ]`.
@@ -28,7 +28,7 @@ impl Tape {
             }
         }
         let widths_c = widths.clone();
-        self.custom(out, parts, move |g| {
+        self.custom_in_class(OpClass::Shape, out, parts, move |g| {
             let mut grads: Vec<Tensor> = widths_c.iter().map(|&w| Tensor::zeros(n, w)).collect();
             for r in 0..n {
                 let mut off = 0;
@@ -66,7 +66,7 @@ impl Tape {
             off += v.rows();
         }
         let heights_c = heights.clone();
-        self.custom(out, parts, move |g| {
+        self.custom_in_class(OpClass::Shape, out, parts, move |g| {
             let mut grads = Vec::with_capacity(heights_c.len());
             let mut off = 0;
             for &h in &heights_c {
@@ -90,7 +90,7 @@ impl Tape {
         for r in 0..len {
             out.row_mut(r).copy_from_slice(v.row(start + r));
         }
-        self.custom(out, &[a], move |g| {
+        self.custom_in_class(OpClass::Shape, out, &[a], move |g| {
             let mut ga = Tensor::zeros(n, d);
             for r in 0..len {
                 ga.row_mut(start + r).copy_from_slice(g.row(r));
@@ -115,7 +115,7 @@ impl Tape {
         for r in 0..n {
             out.row_mut(r).copy_from_slice(&v.row(r)[start..start + len]);
         }
-        self.custom(out, &[a], move |g| {
+        self.custom_in_class(OpClass::Shape, out, &[a], move |g| {
             let mut ga = Tensor::zeros(n, d);
             for r in 0..n {
                 ga.row_mut(r)[start..start + len].copy_from_slice(g.row(r));
@@ -133,7 +133,7 @@ impl Tape {
         for r in 0..n {
             out.row_mut(r).copy_from_slice(v.row(n - 1 - r));
         }
-        self.custom(out, &[a], move |g| {
+        self.custom_in_class(OpClass::Shape, out, &[a], move |g| {
             let mut ga = Tensor::zeros(n, d);
             for r in 0..n {
                 ga.row_mut(r).copy_from_slice(g.row(n - 1 - r));

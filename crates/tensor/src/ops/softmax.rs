@@ -1,7 +1,7 @@
 //! Softmax family: softmax, log-softmax and log-sum-exp, all row-wise and
 //! numerically stabilized by max subtraction.
 
-use crate::{Tape, Tensor, Var};
+use crate::{OpClass, Tape, Tensor, Var};
 
 pub(crate) fn softmax_rows_tensor(x: &Tensor) -> Tensor {
     let mut out = x.clone();
@@ -24,7 +24,7 @@ impl Tape {
     pub fn softmax_rows(&mut self, a: Var) -> Var {
         let out = softmax_rows_tensor(self.value(a));
         let y = out.clone();
-        self.custom(out, &[a], move |g| {
+        self.custom_in_class(OpClass::Softmax, out, &[a], move |g| {
             // dL/dx = y ⊙ (g − ⟨g, y⟩ per row)
             let mut ga = g.clone();
             for r in 0..ga.rows() {
@@ -49,7 +49,7 @@ impl Tape {
             row.iter_mut().for_each(|x| *x -= lse);
         }
         let probs = out.map(f32::exp);
-        self.custom(out, &[a], move |g| {
+        self.custom_in_class(OpClass::Softmax, out, &[a], move |g| {
             // dL/dx = g − softmax(x) · rowsum(g)
             let mut ga = g.clone();
             for r in 0..ga.rows() {
@@ -73,7 +73,7 @@ impl Tape {
             out.set2(r, 0, max + row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln());
         }
         let probs = softmax_rows_tensor(v);
-        self.custom(out, &[a], move |g| {
+        self.custom_in_class(OpClass::Softmax, out, &[a], move |g| {
             let mut ga = Tensor::zeros(n, d);
             for r in 0..n {
                 let gv = g.at2(r, 0);

@@ -57,8 +57,8 @@ impl Optimizer for Sgd {
                 }
                 value.add_scaled(grad, -lr);
             } else {
-                let v = velocity[i]
-                    .get_or_insert_with(|| Tensor::zeros(value.rows(), value.cols()));
+                let v =
+                    velocity[i].get_or_insert_with(|| Tensor::zeros(value.rows(), value.cols()));
                 v.scale_in_place(mu);
                 v.add_scaled(grad, 1.0);
                 if wd > 0.0 {

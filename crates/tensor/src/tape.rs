@@ -27,6 +27,77 @@ struct Node {
     sink: Option<Sink>,
 }
 
+/// Coarse classes of tape operations, counted per tape so observability
+/// layers can report where graph nodes come from without any per-op
+/// bookkeeping beyond one array increment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpClass {
+    /// Constant leaves.
+    Constant,
+    /// Whole-parameter leaves.
+    Param,
+    /// Embedding-lookup (row-gather) leaves.
+    Embedding,
+    /// Matrix products and transposes.
+    MatMul,
+    /// Pointwise arithmetic and activations.
+    Elementwise,
+    /// Reductions (sums, means, norms).
+    Reduce,
+    /// Softmax-family ops.
+    Softmax,
+    /// Convolutions.
+    Conv,
+    /// Normalization layers.
+    Norm,
+    /// Dropout.
+    Dropout,
+    /// Reshapes, concatenations, slicing.
+    Shape,
+    /// Loss heads.
+    Loss,
+    /// External custom ops (e.g. the CRF forward–backward in `ner-core`).
+    Custom,
+}
+
+impl OpClass {
+    /// Every class, in counter order.
+    pub const ALL: [OpClass; 13] = [
+        OpClass::Constant,
+        OpClass::Param,
+        OpClass::Embedding,
+        OpClass::MatMul,
+        OpClass::Elementwise,
+        OpClass::Reduce,
+        OpClass::Softmax,
+        OpClass::Conv,
+        OpClass::Norm,
+        OpClass::Dropout,
+        OpClass::Shape,
+        OpClass::Loss,
+        OpClass::Custom,
+    ];
+
+    /// Stable lowercase metric-name suffix.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Constant => "constant",
+            OpClass::Param => "param",
+            OpClass::Embedding => "embedding",
+            OpClass::MatMul => "matmul",
+            OpClass::Elementwise => "elementwise",
+            OpClass::Reduce => "reduce",
+            OpClass::Softmax => "softmax",
+            OpClass::Conv => "conv",
+            OpClass::Norm => "norm",
+            OpClass::Dropout => "dropout",
+            OpClass::Shape => "shape",
+            OpClass::Loss => "loss",
+            OpClass::Custom => "custom",
+        }
+    }
+}
+
 /// A reverse-mode automatic-differentiation graph.
 ///
 /// Operations append nodes; since every node's parents precede it, reverse
@@ -36,6 +107,7 @@ struct Node {
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    op_counts: [u32; OpClass::ALL.len()],
 }
 
 impl Tape {
@@ -54,27 +126,39 @@ impl Tape {
         self.nodes.is_empty()
     }
 
-    fn push(&mut self, node: Node) -> Var {
+    /// Nodes appended per operation class, non-zero entries only.
+    pub fn op_counts(&self) -> impl Iterator<Item = (OpClass, u32)> + '_ {
+        OpClass::ALL.iter().map(|&c| (c, self.op_counts[c as usize])).filter(|&(_, n)| n > 0)
+    }
+
+    fn push(&mut self, class: OpClass, node: Node) -> Var {
+        self.op_counts[class as usize] += 1;
         self.nodes.push(node);
         Var(self.nodes.len() - 1)
     }
 
     /// A leaf holding a constant (no gradient is tracked through it).
     pub fn constant(&mut self, value: Tensor) -> Var {
-        self.push(Node { value, grad: None, parents: vec![], backward: None, sink: None })
+        self.push(
+            OpClass::Constant,
+            Node { value, grad: None, parents: vec![], backward: None, sink: None },
+        )
     }
 
     /// A differentiable leaf for parameter `id`: its value is the parameter's
     /// current value and its gradient is delivered to the store on
     /// [`Tape::backward`].
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
-        self.push(Node {
-            value: store.value(id).clone(),
-            grad: None,
-            parents: vec![],
-            backward: None,
-            sink: Some(Sink::Param(id)),
-        })
+        self.push(
+            OpClass::Param,
+            Node {
+                value: store.value(id).clone(),
+                grad: None,
+                parents: vec![],
+                backward: None,
+                sink: Some(Sink::Param(id)),
+            },
+        )
     }
 
     /// An embedding-lookup leaf: gathers `indices` rows of parameter `id`
@@ -82,13 +166,16 @@ impl Tape {
     /// selected rows. This is the input-representation workhorse.
     pub fn param_rows(&mut self, store: &ParamStore, id: ParamId, indices: &[usize]) -> Var {
         let table = store.value(id);
-        self.push(Node {
-            value: table.gather_rows(indices),
-            grad: None,
-            parents: vec![],
-            backward: None,
-            sink: Some(Sink::ParamRows(id, indices.to_vec())),
-        })
+        self.push(
+            OpClass::Embedding,
+            Node {
+                value: table.gather_rows(indices),
+                grad: None,
+                parents: vec![],
+                backward: None,
+                sink: Some(Sink::ParamRows(id, indices.to_vec())),
+            },
+        )
     }
 
     /// Appends a custom differentiable operation. `backward` receives the
@@ -101,14 +188,29 @@ impl Tape {
         parents: &[Var],
         backward: impl Fn(&Tensor) -> Vec<Option<Tensor>> + 'static,
     ) -> Var {
+        self.custom_in_class(OpClass::Custom, value, parents, backward)
+    }
+
+    /// [`Tape::custom`] with an explicit [`OpClass`] — used by the in-crate
+    /// op modules so the per-class counters stay exact.
+    pub fn custom_in_class(
+        &mut self,
+        class: OpClass,
+        value: Tensor,
+        parents: &[Var],
+        backward: impl Fn(&Tensor) -> Vec<Option<Tensor>> + 'static,
+    ) -> Var {
         debug_assert!(parents.iter().all(|p| p.0 < self.nodes.len()), "parent from another tape");
-        self.push(Node {
-            value,
-            grad: None,
-            parents: parents.iter().map(|p| p.0).collect(),
-            backward: Some(Box::new(backward)),
-            sink: None,
-        })
+        self.push(
+            class,
+            Node {
+                value,
+                grad: None,
+                parents: parents.iter().map(|p| p.0).collect(),
+                backward: Some(Box::new(backward)),
+                sink: None,
+            },
+        )
     }
 
     /// The forward value of a node.
@@ -193,7 +295,8 @@ mod tests {
     #[test]
     fn param_rows_scatter_grads() {
         let mut store = ParamStore::new();
-        let table = store.register("emb", Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, 2.0]]));
+        let table =
+            store.register("emb", Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, 2.0]]));
         let mut tape = Tape::new();
         let rows = tape.param_rows(&store, table, &[2, 0, 2]);
         assert_eq!(tape.value(rows).rows(), 3);
@@ -223,6 +326,27 @@ mod tests {
         let mut tape = Tape::new();
         let c = tape.constant(Tensor::zeros(2, 2));
         tape.backward(c, &mut store);
+    }
+
+    #[test]
+    fn op_counts_classify_nodes() {
+        let mut store = ParamStore::new();
+        let table = store.register("emb", Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
+        let p = store.register("w", Tensor::scalar(3.0));
+        let mut tape = Tape::new();
+        let _rows = tape.param_rows(&store, table, &[0, 1]);
+        let w = tape.param(&store, p);
+        let c = tape.constant(Tensor::scalar(2.0));
+        let m = tape.mul(c, w);
+        let _s = tape.sum(m);
+        let counts: std::collections::HashMap<&str, u32> =
+            tape.op_counts().map(|(c, n)| (c.name(), n)).collect();
+        assert_eq!(counts.get("embedding"), Some(&1));
+        assert_eq!(counts.get("param"), Some(&1));
+        assert_eq!(counts.get("constant"), Some(&1));
+        assert_eq!(counts.get("elementwise"), Some(&1));
+        assert_eq!(counts.get("reduce"), Some(&1));
+        assert_eq!(counts.values().sum::<u32>() as usize, tape.len());
     }
 
     #[test]

@@ -146,11 +146,7 @@ impl Tensor {
 
     /// Applies `f` elementwise, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Tensor { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Elementwise `self[i] += alpha * other[i]`.
@@ -331,7 +327,7 @@ mod tests {
         let a = Tensor::from_rows(&[&[1.0, -2.0, 0.5], &[3.0, 4.0, -1.0]]);
         let b = Tensor::from_rows(&[&[2.0, 1.0], &[0.0, -1.0], &[1.0, 1.0]]);
         let tn = a.matmul_tn(&b.transposed()); // aᵀ × bᵀᵀ? — validate shapes carefully below
-        // aᵀ is 3x2; bᵀ is 2x3 so matmul_tn(a, x) needs x with 2 rows.
+                                               // aᵀ is 3x2; bᵀ is 2x3 so matmul_tn(a, x) needs x with 2 rows.
         let explicit = a.transposed().matmul(&b.transposed());
         assert_eq!(tn.shape(), explicit.shape());
         for (x, y) in tn.data().iter().zip(explicit.data()) {

@@ -69,9 +69,8 @@ impl Dataset {
         order.shuffle(rng);
         let n_train = (self.len() as f64 * train).round() as usize;
         let n_dev = (self.len() as f64 * dev).round() as usize;
-        let pick = |ix: &[usize]| {
-            Dataset::new(ix.iter().map(|&i| self.sentences[i].clone()).collect())
-        };
+        let pick =
+            |ix: &[usize]| Dataset::new(ix.iter().map(|&i| self.sentences[i].clone()).collect());
         (
             pick(&order[..n_train]),
             pick(&order[n_train..n_train + n_dev]),
@@ -81,10 +80,7 @@ impl Dataset {
 
     /// Builds the word vocabulary (lowercased) with a frequency floor.
     pub fn word_vocab(&self, min_count: usize) -> Vocab {
-        Vocab::build(
-            self.sentences.iter().flat_map(|s| s.lower_texts()),
-            min_count,
-        )
+        Vocab::build(self.sentences.iter().flat_map(|s| s.lower_texts()), min_count)
     }
 
     /// Builds the character vocabulary.

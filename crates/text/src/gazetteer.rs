@@ -20,11 +20,8 @@ impl Gazetteer {
     /// Adds a phrase (given as tokens) under an entity type.
     pub fn add<S: AsRef<str>>(&mut self, entity_type: &str, phrase_tokens: &[S]) {
         assert!(!phrase_tokens.is_empty(), "empty gazetteer phrase");
-        let key = phrase_tokens
-            .iter()
-            .map(|t| t.as_ref().to_lowercase())
-            .collect::<Vec<_>>()
-            .join(" ");
+        let key =
+            phrase_tokens.iter().map(|t| t.as_ref().to_lowercase()).collect::<Vec<_>>().join(" ");
         self.max_phrase_len = self.max_phrase_len.max(phrase_tokens.len());
         self.entries.entry(entity_type.to_string()).or_default().insert(key);
     }
@@ -47,11 +44,8 @@ impl Gazetteer {
     /// True when the token span matches a phrase of `entity_type`
     /// (case-insensitive).
     pub fn contains<S: AsRef<str>>(&self, entity_type: &str, phrase_tokens: &[S]) -> bool {
-        let key = phrase_tokens
-            .iter()
-            .map(|t| t.as_ref().to_lowercase())
-            .collect::<Vec<_>>()
-            .join(" ");
+        let key =
+            phrase_tokens.iter().map(|t| t.as_ref().to_lowercase()).collect::<Vec<_>>().join(" ");
         self.entries.get(entity_type).is_some_and(|set| set.contains(&key))
     }
 

@@ -68,12 +68,41 @@ impl PosTag {
     }
 }
 
-const DETERMINERS: &[&str] = &["the", "a", "an", "this", "that", "these", "those", "its", "his", "her", "their", "our", "my", "your"];
-const PRONOUNS: &[&str] = &["he", "she", "it", "they", "we", "i", "you", "him", "her", "them", "us", "me", "who", "which"];
-const ADPOSITIONS: &[&str] = &["in", "on", "at", "of", "to", "from", "with", "by", "for", "near", "over", "under", "into", "about", "after", "before", "against"];
-const CONJUNCTIONS: &[&str] = &["and", "or", "but", "nor", "yet", "so", "while", "because", "although"];
-const AUX_VERBS: &[&str] = &["is", "are", "was", "were", "be", "been", "being", "has", "have", "had", "will", "would", "can", "could", "may", "might", "shall", "should", "must", "do", "does", "did", "said", "says", "say"];
-const COMMON_ADVERBS: &[&str] = &["very", "quite", "also", "not", "never", "always", "often", "here", "there", "now", "then", "yesterday", "today", "tomorrow", "reportedly"];
+const DETERMINERS: &[&str] = &[
+    "the", "a", "an", "this", "that", "these", "those", "its", "his", "her", "their", "our", "my",
+    "your",
+];
+const PRONOUNS: &[&str] = &[
+    "he", "she", "it", "they", "we", "i", "you", "him", "her", "them", "us", "me", "who", "which",
+];
+const ADPOSITIONS: &[&str] = &[
+    "in", "on", "at", "of", "to", "from", "with", "by", "for", "near", "over", "under", "into",
+    "about", "after", "before", "against",
+];
+const CONJUNCTIONS: &[&str] =
+    &["and", "or", "but", "nor", "yet", "so", "while", "because", "although"];
+const AUX_VERBS: &[&str] = &[
+    "is", "are", "was", "were", "be", "been", "being", "has", "have", "had", "will", "would",
+    "can", "could", "may", "might", "shall", "should", "must", "do", "does", "did", "said", "says",
+    "say",
+];
+const COMMON_ADVERBS: &[&str] = &[
+    "very",
+    "quite",
+    "also",
+    "not",
+    "never",
+    "always",
+    "often",
+    "here",
+    "there",
+    "now",
+    "then",
+    "yesterday",
+    "today",
+    "tomorrow",
+    "reportedly",
+];
 
 /// Tags one token given its sentence context.
 pub fn tag_token(tokens: &[&str], position: usize) -> PosTag {
@@ -84,7 +113,9 @@ pub fn tag_token(tokens: &[&str], position: usize) -> PosTag {
     if chars.iter().all(|c| c.is_ascii_punctuation()) && !chars.is_empty() {
         return PosTag::Punct;
     }
-    if chars.iter().all(|c| c.is_ascii_digit() || *c == '.' || *c == ',') && chars.iter().any(|c| c.is_ascii_digit()) {
+    if chars.iter().all(|c| c.is_ascii_digit() || *c == '.' || *c == ',')
+        && chars.iter().any(|c| c.is_ascii_digit())
+    {
         return PosTag::Num;
     }
     if DETERMINERS.contains(&lower.as_str()) {
@@ -116,7 +147,11 @@ pub fn tag_token(tokens: &[&str], position: usize) -> PosTag {
     if lower.ends_with("ly") {
         return PosTag::Adv;
     }
-    if lower.ends_with("ing") || lower.ends_with("ed") || lower.ends_with("ise") || lower.ends_with("ize") {
+    if lower.ends_with("ing")
+        || lower.ends_with("ed")
+        || lower.ends_with("ise")
+        || lower.ends_with("ize")
+    {
         return PosTag::Verb;
     }
     if lower.ends_with("ous")

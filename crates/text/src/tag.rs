@@ -80,8 +80,8 @@ impl TagScheme {
         for (i, tag) in tags.iter().enumerate() {
             let tag = tag.as_ref();
             let (prefix, label) = split_tag(tag);
-            let continues = matches!(prefix, 'I' | 'E')
-                && open.as_ref().is_some_and(|(_, l)| l == label);
+            let continues =
+                matches!(prefix, 'I' | 'E') && open.as_ref().is_some_and(|(_, l)| l == label);
             match prefix {
                 'O' => {
                     if let Some((start, l)) = open.take() {
@@ -275,7 +275,11 @@ mod tests {
     use super::*;
 
     fn spans() -> Vec<EntitySpan> {
-        vec![EntitySpan::new(0, 3, "PER"), EntitySpan::new(6, 7, "LOC"), EntitySpan::new(8, 10, "LOC")]
+        vec![
+            EntitySpan::new(0, 3, "PER"),
+            EntitySpan::new(6, 7, "LOC"),
+            EntitySpan::new(8, 10, "LOC"),
+        ]
     }
 
     #[test]

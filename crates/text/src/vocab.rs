@@ -52,8 +52,10 @@ impl Vocab {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let chars: Vec<String> =
-            words.into_iter().flat_map(|w| w.as_ref().chars().map(String::from).collect::<Vec<_>>()).collect();
+        let chars: Vec<String> = words
+            .into_iter()
+            .flat_map(|w| w.as_ref().chars().map(String::from).collect::<Vec<_>>())
+            .collect();
         Vocab::build(chars, min_count)
     }
 
@@ -146,7 +148,10 @@ mod tests {
     #[test]
     fn encode_with_unk_fallback() {
         let v = Vocab::build(["x", "x", "y", "y"], 1);
-        assert_eq!(v.encode(&["x", "zzz", "y"]), vec![v.get("x").unwrap(), UNK, v.get("y").unwrap()]);
+        assert_eq!(
+            v.encode(&["x", "zzz", "y"]),
+            vec![v.get("x").unwrap(), UNK, v.get("y").unwrap()]
+        );
     }
 
     #[test]

@@ -17,8 +17,9 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(23);
     let gen = NewsGenerator::new(GeneratorConfig::default());
     let pool_ds = gen.dataset(&mut rng, 240);
-    let test_ds = NewsGenerator::new(GeneratorConfig { unseen_entity_rate: 0.4, ..Default::default() })
-        .dataset(&mut rng, 120);
+    let test_ds =
+        NewsGenerator::new(GeneratorConfig { unseen_entity_rate: 0.4, ..Default::default() })
+            .dataset(&mut rng, 120);
 
     let cfg = NerConfig::default();
     let encoder = SentenceEncoder::from_dataset(&pool_ds, cfg.scheme, 1);

@@ -31,12 +31,14 @@ fn main() {
 
     // Annotated data + a gazetteer compiled from the training annotations.
     let train_ds = gen.dataset(&mut rng, 300);
-    let test_gen = NewsGenerator::new(GeneratorConfig { unseen_entity_rate: 0.4, ..Default::default() });
+    let test_gen =
+        NewsGenerator::new(GeneratorConfig { unseen_entity_rate: 0.4, ..Default::default() });
     let test_ds = test_gen.dataset(&mut rng, 150);
     let mut gazetteer = Gazetteer::new();
     for s in &train_ds.sentences {
         for e in &s.entities {
-            let toks: Vec<&str> = s.tokens[e.start..e.end].iter().map(|t| t.text.as_str()).collect();
+            let toks: Vec<&str> =
+                s.tokens[e.start..e.end].iter().map(|t| t.text.as_str()).collect();
             gazetteer.add(e.coarse_label(), &toks);
         }
     }
@@ -73,7 +75,12 @@ fn main() {
     println!("relaxed type (MUC): F1 {:.1}%", 100.0 * result.relaxed_type.f1);
     println!("boundary only:      F1 {:.1}%", 100.0 * result.boundary.f1);
     for (ty, prf) in &result.per_type {
-        println!("  {ty:<6} P {:.1}%  R {:.1}%  F1 {:.1}%", 100.0 * prf.precision, 100.0 * prf.recall, 100.0 * prf.f1);
+        println!(
+            "  {ty:<6} P {:.1}%  R {:.1}%  F1 {:.1}%",
+            100.0 * prf.precision,
+            100.0 * prf.recall,
+            100.0 * prf.f1
+        );
     }
 
     // Error analysis: show the sentences with the most disagreements.

@@ -56,9 +56,14 @@ fn main() {
     // Plenty of unlabeled text, very little labeled data.
     let lm_corpus = gen.lm_sentences(&mut rng, 1000);
     let train_ds = gen.dataset(&mut rng, 60);
-    let test_ds = NewsGenerator::new(GeneratorConfig { unseen_entity_rate: 0.4, ..Default::default() })
-        .dataset(&mut rng, 120);
-    println!("{} unlabeled sentences, {} labeled training sentences\n", lm_corpus.len(), train_ds.len());
+    let test_ds =
+        NewsGenerator::new(GeneratorConfig { unseen_entity_rate: 0.4, ..Default::default() })
+            .dataset(&mut rng, 120);
+    println!(
+        "{} unlabeled sentences, {} labeled training sentences\n",
+        lm_corpus.len(),
+        train_ds.len()
+    );
 
     println!("[1/4] skip-gram static vectors ...");
     let skip = skipgram::train(
@@ -73,16 +78,33 @@ fn main() {
         &mut rng,
     );
     println!("[3/4] ELMo-lite biLSTM LM ...");
-    let (elmo, _) = ElmoLm::train(&lm_corpus, &ElmoConfig { epochs: 3, ..Default::default() }, &mut rng);
+    let (elmo, _) =
+        ElmoLm::train(&lm_corpus, &ElmoConfig { epochs: 3, ..Default::default() }, &mut rng);
     println!("[4/4] BERT-lite masked-LM transformer ...");
-    let (bert, _) = BertLite::train(&lm_corpus, &BertConfig { epochs: 3, ..Default::default() }, &mut rng);
+    let (bert, _) =
+        BertLite::train(&lm_corpus, &BertConfig { epochs: 3, ..Default::default() }, &mut rng);
 
     println!("\ndownstream tagger F1 on unseen-entity test (60 labeled sentences):");
-    println!("  random init:             {:.1}%", 100.0 * tagger_f1(&train_ds, &test_ds, None, None, 1));
-    println!("  + skip-gram vectors:     {:.1}%", 100.0 * tagger_f1(&train_ds, &test_ds, Some(&skip), None, 1));
-    println!("  + char-LM contextual:    {:.1}%", 100.0 * tagger_f1(&train_ds, &test_ds, None, Some(&charlm), 1));
-    println!("  + ELMo-lite contextual:  {:.1}%", 100.0 * tagger_f1(&train_ds, &test_ds, None, Some(&elmo), 1));
-    println!("  + BERT-lite contextual:  {:.1}%", 100.0 * tagger_f1(&train_ds, &test_ds, None, Some(&bert), 1));
+    println!(
+        "  random init:             {:.1}%",
+        100.0 * tagger_f1(&train_ds, &test_ds, None, None, 1)
+    );
+    println!(
+        "  + skip-gram vectors:     {:.1}%",
+        100.0 * tagger_f1(&train_ds, &test_ds, Some(&skip), None, 1)
+    );
+    println!(
+        "  + char-LM contextual:    {:.1}%",
+        100.0 * tagger_f1(&train_ds, &test_ds, None, Some(&charlm), 1)
+    );
+    println!(
+        "  + ELMo-lite contextual:  {:.1}%",
+        100.0 * tagger_f1(&train_ds, &test_ds, None, Some(&elmo), 1)
+    );
+    println!(
+        "  + BERT-lite contextual:  {:.1}%",
+        100.0 * tagger_f1(&train_ds, &test_ds, None, Some(&bert), 1)
+    );
     println!("\nThe survey's §3.3.5 conclusion: pretrained contextual representations are the");
     println!("new paradigm — they carry most of the lift when labeled data is scarce.");
 }

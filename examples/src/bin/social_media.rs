@@ -21,8 +21,10 @@ fn main() {
     // Source domain: clean newswire. Target domain: the same text through
     // the W-NUT-style noise channel.
     let source_train = gen.dataset(&mut rng, 300);
-    let target_train = corrupt_dataset(&gen.dataset(&mut rng, 40), &NoiseModel::social_media(), &mut rng);
-    let target_test = corrupt_dataset(&gen.dataset(&mut rng, 120), &NoiseModel::social_media(), &mut rng);
+    let target_train =
+        corrupt_dataset(&gen.dataset(&mut rng, 40), &NoiseModel::social_media(), &mut rng);
+    let target_test =
+        corrupt_dataset(&gen.dataset(&mut rng, 120), &NoiseModel::social_media(), &mut rng);
 
     println!("clean:  {}", source_train.sentences[0].render_brackets());
     println!("noisy:  {}", target_test.sentences[0].render_brackets());
@@ -35,14 +37,24 @@ fn main() {
 
     println!("\ntraining the newswire model ...");
     let mut source_model = NerModel::new(cfg.clone(), &encoder, None, &mut rng);
-    ner_core::trainer::train(&mut source_model, &source_enc, None, &TrainConfig::default(), &mut rng);
+    ner_core::trainer::train(
+        &mut source_model,
+        &source_enc,
+        None,
+        &TrainConfig::default(),
+        &mut rng,
+    );
 
     let clean_f1 = {
         let clean_test = encoder.encode_dataset(&gen.dataset(&mut rng, 120), None);
         evaluate_model(&source_model, &clean_test).micro.f1
     };
     let zero_shot = evaluate_model(&source_model, &tgt_test_enc).micro.f1;
-    println!("newswire F1 {:.1}%  →  social-media F1 {:.1}% (the §5.1 gap)", 100.0 * clean_f1, 100.0 * zero_shot);
+    println!(
+        "newswire F1 {:.1}%  →  social-media F1 {:.1}% (the §5.1 gap)",
+        100.0 * clean_f1,
+        100.0 * zero_shot
+    );
 
     println!("\nfine-tuning on 40 noisy sentences (transfer, §4.2) ...");
     let tc = TrainConfig { epochs: 6, patience: None, ..TrainConfig::default() };
@@ -66,8 +78,14 @@ fn main() {
         &tc,
         &mut rng,
     );
-    println!("social-media F1 after fine-tuning:   {:.1}%", 100.0 * evaluate_model(&tuned, &tgt_test_enc).micro.f1);
-    println!("social-media F1 training from scratch: {:.1}%", 100.0 * evaluate_model(&scratch, &tgt_test_enc).micro.f1);
+    println!(
+        "social-media F1 after fine-tuning:   {:.1}%",
+        100.0 * evaluate_model(&tuned, &tgt_test_enc).micro.f1
+    );
+    println!(
+        "social-media F1 training from scratch: {:.1}%",
+        100.0 * evaluate_model(&scratch, &tgt_test_enc).micro.f1
+    );
 
     // Show the fine-tuned model reading a tweetish line.
     let pipeline = NerPipeline::new(encoder, tuned);

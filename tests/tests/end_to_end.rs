@@ -76,7 +76,9 @@ fn segment_decoders_train_end_to_end() {
     let gen = NewsGenerator::new(GeneratorConfig::default());
     let train_ds = gen.dataset(&mut rng, 120);
     let test_ds = gen.dataset(&mut rng, 50);
-    for decoder in [DecoderKind::SemiCrf { max_len: 4 }, DecoderKind::Pointer { att: 16, max_len: 4 }] {
+    for decoder in
+        [DecoderKind::SemiCrf { max_len: 4 }, DecoderKind::Pointer { att: 16, max_len: 4 }]
+    {
         let encoder = SentenceEncoder::from_dataset(&train_ds, TagScheme::Bio, 1);
         let mut model = NerModel::new(quick_cfg(decoder.clone()), &encoder, None, &mut rng);
         let train_enc = encoder.encode_dataset(&train_ds, None);

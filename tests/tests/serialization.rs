@@ -26,7 +26,12 @@ fn config_round_trips_through_json() {
         scheme: TagScheme::Bioes,
         word: WordRepr::Pretrained { fine_tune: false },
         char_repr: CharRepr::Lstm { dim: 16, hidden: 12 },
-        encoder: EncoderKind::IdCnn { filters: 24, width: 3, dilations: vec![1, 2, 4], iterations: 2 },
+        encoder: EncoderKind::IdCnn {
+            filters: 24,
+            width: 3,
+            dilations: vec![1, 2, 4],
+            iterations: 2,
+        },
         decoder: DecoderKind::SemiCrf { max_len: 5 },
         ..NerConfig::default()
     };
