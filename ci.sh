@@ -1,10 +1,13 @@
 #!/usr/bin/env sh
 # Continuous-integration gate for the neural-ner workspace.
 #
-# Runs the same three checks as .github/workflows/ci.yml:
+# Runs the same checks as .github/workflows/ci.yml:
 #   1. formatting       (cargo fmt --check, rustfmt.toml style)
 #   2. lints            (cargo clippy --workspace, warnings are errors)
-#   3. tier-1 tests     (release build + full test suite)
+#   3. tier-1 tests     (release build + full test suite, serial and at
+#      4 threads — the parallel paths must not change results)
+#   4. kernel smoke     (exp_kernels --smoke exits non-zero on any
+#      parallel-vs-serial kernel divergence)
 #
 # The build is fully offline: every external dependency is a vendored stub
 # under compat/, so no network access is required.
@@ -16,8 +19,14 @@ cargo fmt --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== tier-1: release build + tests =="
+echo "== tier-1: release build + tests (NER_THREADS=1) =="
 cargo build --release
-cargo test -q
+NER_THREADS=1 cargo test -q
+
+echo "== tier-1: tests again on the parallel paths (NER_THREADS=4) =="
+NER_THREADS=4 cargo test -q
+
+echo "== kernel smoke: parallel must match the serial oracle =="
+cargo run --release -p ner-bench --bin exp_kernels -- --smoke
 
 echo "CI OK"

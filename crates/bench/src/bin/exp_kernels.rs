@@ -1,0 +1,418 @@
+//! Kernel and batch-scoring throughput: naive vs blocked vs parallel.
+//!
+//! Benchmarks the three matmul variants (`matmul`, `matmul_tn`,
+//! `matmul_nt`) at several shapes against a local copy of the original
+//! naive kernels, then measures encoder-class batch scoring
+//! (`predict_all`) at thread counts 1/2/4 on the global `ner-par` pool.
+//!
+//! The blocked and parallel kernels preserve the naive kernels'
+//! per-element accumulation order, so every variant must agree with the
+//! naive oracle **bit for bit** — any divergence beyond 1e-5 makes the
+//! harness exit non-zero (CI runs this via `--smoke`).
+//!
+//! Results land in `results/exp_kernels.json` (with a run manifest) and,
+//! for the repo-level benchmark snapshot, `BENCH_kernels.json` at the
+//! current directory root.
+
+use ner_bench::{init_harness, print_table, write_report, Scale};
+use ner_core::config::NerConfig;
+use ner_core::model::NerModel;
+use ner_core::repr::SentenceEncoder;
+use ner_core::trainer::predict_all;
+use ner_corpus::{GeneratorConfig, NewsGenerator};
+use ner_tensor::Tensor;
+use ner_text::TagScheme;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+
+const SEED: u64 = 17;
+
+/// Divergence beyond this between any kernel variant and the naive oracle
+/// fails the harness (the contract is exact equality; the tolerance only
+/// guards the exit code).
+const MAX_DIVERGENCE: f64 = 1e-5;
+
+/// One timed kernel measurement.
+#[derive(Serialize)]
+struct KernelRow {
+    op: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    variant: String,
+    threads: usize,
+    best_ms: f64,
+    gflops: f64,
+    speedup_vs_naive: f64,
+    max_abs_diff_vs_naive: f64,
+}
+
+/// One batch-scoring measurement.
+#[derive(Serialize)]
+struct ScoringRow {
+    threads: usize,
+    sentences: usize,
+    tokens: usize,
+    best_ms: f64,
+    tokens_per_sec: f64,
+    speedup_vs_1: f64,
+    identical_to_serial: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    experiment: String,
+    description: String,
+    seed: u64,
+    smoke: bool,
+    host_parallelism: usize,
+    kernels: Vec<KernelRow>,
+    batch_scoring: Vec<ScoringRow>,
+    divergence_failures: usize,
+}
+
+/// The pre-blocking matmul from `ner-tensor` (i → p-with-zero-skip → j),
+/// kept here verbatim as the numerical oracle and speed baseline.
+fn naive_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// The pre-blocking `matmul_tn` oracle: `out = aᵀ·b` with `a` of shape
+/// `(k, m)`.
+fn naive_matmul_tn(a: &[f32], b: &[f32], k: usize, m: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for p in 0..k {
+        let brow = &b[p * n..(p + 1) * n];
+        for i in 0..m {
+            let av = a[p * m + i];
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// The pre-blocking `matmul_nt` oracle: `out = a·bᵀ` with `b` of shape
+/// `(n, k)`.
+fn naive_matmul_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            out[i * n + j] += acc;
+        }
+    }
+    out
+}
+
+fn random_vec(rng: &mut StdRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect()
+}
+
+/// Best-of-`reps` wall time of `f` in milliseconds.
+fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn max_abs_diff(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y).abs() as f64).fold(0.0, f64::max)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_variant(
+    rows: &mut Vec<KernelRow>,
+    failures: &mut usize,
+    op: &str,
+    (m, k, n): (usize, usize, usize),
+    variant: &str,
+    threads: usize,
+    naive_best: f64,
+    reps: usize,
+    oracle: &[f32],
+    run: impl Fn() -> Tensor,
+) {
+    let ms = best_ms(reps, || {
+        std::hint::black_box(run());
+    });
+    let diff = max_abs_diff(run().data(), oracle);
+    if diff > MAX_DIVERGENCE {
+        *failures += 1;
+        eprintln!("DIVERGENCE: {op} {m}x{k}x{n} {variant}@{threads}: max|Δ| = {diff:e}");
+    }
+    rows.push(KernelRow {
+        op: op.to_string(),
+        m,
+        k,
+        n,
+        variant: variant.to_string(),
+        threads,
+        best_ms: ms,
+        gflops: (2.0 * m as f64 * k as f64 * n as f64) / (ms * 1e6),
+        speedup_vs_naive: naive_best / ms,
+        max_abs_diff_vs_naive: diff,
+    });
+}
+
+fn bench_kernels(
+    shapes: &[(usize, usize, usize)],
+    thread_counts: &[usize],
+    reps: usize,
+    failures: &mut usize,
+) -> Vec<KernelRow> {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut rows = Vec::new();
+    for &(m, k, n) in shapes {
+        let a = random_vec(&mut rng, m * k); // also reads as (k, m) for tn
+        let b = random_vec(&mut rng, k * n);
+        let bt = Tensor::from_vec(k, n, b.clone()).transposed(); // (n, k) for nt
+        let ta = Tensor::from_vec(m, k, a.clone());
+        let ta_tn = Tensor::from_vec(k, m, a[..k * m].to_vec());
+        let tb = Tensor::from_vec(k, n, b.clone());
+
+        // matmul: naive oracle, then blocked/parallel at each thread count.
+        let oracle = naive_matmul(&a, &b, m, k, n);
+        let naive_best = best_ms(reps, || {
+            std::hint::black_box(naive_matmul(&a, &b, m, k, n));
+        });
+        rows.push(KernelRow {
+            op: "matmul".into(),
+            m,
+            k,
+            n,
+            variant: "naive".into(),
+            threads: 1,
+            best_ms: naive_best,
+            gflops: (2.0 * m as f64 * k as f64 * n as f64) / (naive_best * 1e6),
+            speedup_vs_naive: 1.0,
+            max_abs_diff_vs_naive: 0.0,
+        });
+        for &t in thread_counts {
+            ner_par::set_global_threads(t);
+            let variant = if t == 1 { "blocked" } else { "parallel" };
+            push_variant(
+                &mut rows,
+                failures,
+                "matmul",
+                (m, k, n),
+                variant,
+                t,
+                naive_best,
+                reps,
+                &oracle,
+                || ta.matmul(&tb),
+            );
+        }
+
+        // matmul_tn and matmul_nt: correctness at every thread count,
+        // timing at the highest (the row-split story is the same).
+        let top = *thread_counts.iter().max().unwrap_or(&1);
+        let oracle_tn = naive_matmul_tn(&a[..k * m], &b, k, m, n);
+        let oracle_nt = naive_matmul_nt(&a, bt.data(), m, k, n);
+        for &t in thread_counts {
+            ner_par::set_global_threads(t);
+            if t == top {
+                let naive_tn = best_ms(reps, || {
+                    std::hint::black_box(naive_matmul_tn(&a[..k * m], &b, k, m, n));
+                });
+                let naive_nt = best_ms(reps, || {
+                    std::hint::black_box(naive_matmul_nt(&a, bt.data(), m, k, n));
+                });
+                push_variant(
+                    &mut rows,
+                    failures,
+                    "matmul_tn",
+                    (m, k, n),
+                    "parallel",
+                    t,
+                    naive_tn,
+                    reps,
+                    &oracle_tn,
+                    || ta_tn.matmul_tn(&tb),
+                );
+                push_variant(
+                    &mut rows,
+                    failures,
+                    "matmul_nt",
+                    (m, k, n),
+                    "parallel",
+                    t,
+                    naive_nt,
+                    reps,
+                    &oracle_nt,
+                    || ta.matmul_nt(&bt),
+                );
+            } else {
+                let d_tn = max_abs_diff(ta_tn.matmul_tn(&tb).data(), &oracle_tn);
+                let d_nt = max_abs_diff(ta.matmul_nt(&bt).data(), &oracle_nt);
+                for (op, d) in [("matmul_tn", d_tn), ("matmul_nt", d_nt)] {
+                    if d > MAX_DIVERGENCE {
+                        *failures += 1;
+                        eprintln!("DIVERGENCE: {op} {m}x{k}x{n} @{t} threads: max|Δ| = {d:e}");
+                    }
+                }
+            }
+        }
+        ner_par::set_global_threads(1);
+    }
+    rows
+}
+
+fn bench_scoring(scale: Scale, thread_counts: &[usize]) -> Vec<ScoringRow> {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let gen = NewsGenerator::new(GeneratorConfig::default());
+    let ds = gen.dataset(&mut rng, scale.size(200));
+    let encoder = SentenceEncoder::from_dataset(&ds, TagScheme::Bio, 1);
+    let model = NerModel::new(NerConfig::default(), &encoder, None, &mut rng);
+    let encoded = encoder.encode_dataset(&ds, None);
+    let tokens: usize = encoded.iter().map(|e| e.len()).sum();
+    let reps = match scale {
+        Scale::Full => 3,
+        Scale::Quick => 2,
+    };
+
+    ner_par::set_global_threads(1);
+    let serial_preds = predict_all(&model, &encoded);
+
+    let mut rows: Vec<ScoringRow> = Vec::new();
+    for &t in thread_counts {
+        ner_par::set_global_threads(t);
+        let ms = best_ms(reps, || {
+            std::hint::black_box(predict_all(&model, &encoded));
+        });
+        let identical = predict_all(&model, &encoded) == serial_preds;
+        let base = rows.first().map_or(ms, |r| r.best_ms);
+        rows.push(ScoringRow {
+            threads: t,
+            sentences: encoded.len(),
+            tokens,
+            best_ms: ms,
+            tokens_per_sec: tokens as f64 / (ms / 1e3),
+            speedup_vs_1: base / ms,
+            identical_to_serial: identical,
+        });
+    }
+    ner_par::set_global_threads(1);
+    rows
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::Quick } else { Scale::from_args() };
+    init_harness("exp_kernels", SEED, scale);
+
+    let shapes: Vec<(usize, usize, usize)> = match scale {
+        // 64³ sits exactly on PAR_MIN_FLOPS; 40×128×512 is an LSTM-gate
+        // shaped workload (sentence × hidden × 4·hidden).
+        Scale::Full => {
+            vec![(32, 32, 32), (64, 64, 64), (128, 128, 128), (256, 256, 256), (40, 128, 512)]
+        }
+        Scale::Quick => vec![(32, 32, 32), (64, 64, 64), (96, 96, 96)],
+    };
+    let thread_counts = [1usize, 2, 4];
+    let reps = match scale {
+        Scale::Full => 5,
+        Scale::Quick => 3,
+    };
+
+    let mut failures = 0usize;
+    let kernels = bench_kernels(&shapes, &thread_counts, reps, &mut failures);
+    let batch_scoring = bench_scoring(scale, &thread_counts);
+    for r in &batch_scoring {
+        if !r.identical_to_serial {
+            failures += 1;
+            eprintln!("DIVERGENCE: batch scoring at {} threads differs from serial", r.threads);
+        }
+    }
+
+    print_table(
+        "kernel throughput (best of reps)",
+        &["op", "shape", "variant", "thr", "ms", "GFLOP/s", "×naive", "max|Δ|"],
+        &kernels
+            .iter()
+            .map(|r| {
+                vec![
+                    r.op.clone(),
+                    format!("{}x{}x{}", r.m, r.k, r.n),
+                    r.variant.clone(),
+                    r.threads.to_string(),
+                    format!("{:.3}", r.best_ms),
+                    format!("{:.2}", r.gflops),
+                    format!("{:.2}", r.speedup_vs_naive),
+                    format!("{:.1e}", r.max_abs_diff_vs_naive),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    print_table(
+        "batch scoring (predict_all)",
+        &["thr", "sent", "tokens", "ms", "tok/s", "×1thr", "identical"],
+        &batch_scoring
+            .iter()
+            .map(|r| {
+                vec![
+                    r.threads.to_string(),
+                    r.sentences.to_string(),
+                    r.tokens.to_string(),
+                    format!("{:.1}", r.best_ms),
+                    format!("{:.0}", r.tokens_per_sec),
+                    format!("{:.2}", r.speedup_vs_1),
+                    r.identical_to_serial.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let report = Report {
+        experiment: "exp_kernels".into(),
+        description: "Serial vs blocked vs parallel kernel and batch-scoring throughput; all variants must match the naive oracle bit-for-bit".into(),
+        seed: SEED,
+        smoke,
+        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        kernels,
+        batch_scoring,
+        divergence_failures: failures,
+    };
+    let path = write_report("exp_kernels", &report);
+    let bench_json = serde_json::to_string_pretty(&report).expect("serialize BENCH report");
+    std::fs::write("BENCH_kernels.json", bench_json).expect("write BENCH_kernels.json");
+    println!("\nreport: {} (+ BENCH_kernels.json)", path.display());
+
+    if failures > 0 {
+        eprintln!(
+            "{failures} divergence failure(s); parallel kernels must match the serial oracle"
+        );
+        std::process::exit(1);
+    }
+}

@@ -146,8 +146,11 @@ pub fn tag(raw: Vec<String>) -> CmdResult {
     } else {
         a.positional().to_vec()
     };
-    for text in inputs {
-        println!("{}", pipeline.extract(&text).render_brackets());
+    // Batch annotation fans out over the global thread pool; output order
+    // (and content) is identical to tagging one line at a time.
+    let refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+    for sentence in pipeline.extract_batch(&refs) {
+        println!("{}", sentence.render_brackets());
     }
     Ok(())
 }
@@ -263,6 +266,17 @@ pub fn report(raw: Vec<String>) -> CmdResult {
                 }
             }
         }
+    }
+
+    let counter = |name: &str| counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v);
+    if let (Some(hits), Some(misses)) = (counter("pool.hits"), counter("pool.misses")) {
+        println!("\n== tensor buffer pool ==");
+        let total = hits + misses;
+        let rate = if total > 0.0 { 100.0 * hits / total } else { 0.0 };
+        println!(
+            "hits {hits:.0}  misses {misses:.0}  hit-rate {rate:.1}%  recycled {:.0}",
+            counter("pool.recycled").unwrap_or(0.0)
+        );
     }
 
     if !spans.is_empty() {

@@ -31,7 +31,27 @@ COMMANDS:
 GLOBAL OPTIONS (any command):
   --verbosity LEVEL   stderr chatter: quiet|normal|verbose|trace (or 0-3)
   --log-json FILE     append every event as one JSON object per line
+  --threads N         worker threads for kernels, training and batch tagging
+                      (default: NER_THREADS env var, else the core count;
+                      1 = fully serial, bit-identical to historical runs)
 ";
+
+/// Strips a global `--threads N` from the argument list, mirroring how the
+/// observability flags are taken before command dispatch.
+fn take_threads(rest: &mut Vec<String>) -> Result<Option<usize>, String> {
+    let Some(pos) = rest.iter().position(|a| a == "--threads") else {
+        return Ok(None);
+    };
+    if pos + 1 >= rest.len() {
+        return Err("--threads requires a value".into());
+    }
+    let value = rest.remove(pos + 1);
+    rest.remove(pos);
+    match value.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(Some(n)),
+        _ => Err(format!("--threads has invalid value {value:?} (want an integer >= 1)")),
+    }
+}
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
@@ -50,6 +70,14 @@ fn main() -> ExitCode {
     if let Err(e) = ner_obs::init(obs_cfg) {
         eprintln!("error: cannot open run log: {e}");
         return ExitCode::FAILURE;
+    }
+    match take_threads(&mut rest) {
+        Ok(Some(n)) => ner_par::set_global_threads(n),
+        Ok(None) => {} // NER_THREADS / core count via ner_par::default_threads
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     let result = match command.as_str() {
         "generate" => commands::generate(rest),

@@ -41,6 +41,43 @@ impl NerPipeline {
         ner_obs::counter("infer.tokens", sentence.len() as f64);
         Sentence { tokens: sentence.tokens.clone(), entities: spans }
     }
+
+    /// Tokenizes and annotates a batch of raw texts, fanning the sentences
+    /// out over the global `ner-par` pool. Scoring is read-only, so the
+    /// output is identical to calling [`extract`](Self::extract) per text,
+    /// at any thread count; each sentence still feeds the
+    /// `infer.sentence_us` histogram individually.
+    pub fn extract_batch(&self, texts: &[&str]) -> Vec<Sentence> {
+        let pool = ner_par::global();
+        if pool.threads() <= 1 || texts.len() < 2 {
+            return texts.iter().map(|t| self.extract(t)).collect();
+        }
+        let out = pool.map(texts.len(), |i| self.extract(texts[i]));
+        export_pool_stats();
+        out
+    }
+
+    /// Annotates a batch of pre-tokenized sentences in parallel (see
+    /// [`extract_batch`](Self::extract_batch) for the guarantees).
+    pub fn annotate_batch(&self, sentences: &[Sentence]) -> Vec<Sentence> {
+        let pool = ner_par::global();
+        if pool.threads() <= 1 || sentences.len() < 2 {
+            return sentences.iter().map(|s| self.annotate(s)).collect();
+        }
+        let out = pool.map(sentences.len(), |i| self.annotate(&sentences[i]));
+        export_pool_stats();
+        out
+    }
+}
+
+/// Publishes the calling thread's tensor-buffer-pool counters to `ner-obs`.
+fn export_pool_stats() {
+    let s = ner_tensor::pool::take_stats();
+    if s.hits + s.misses + s.recycled > 0 {
+        ner_obs::counter("pool.hits", s.hits as f64);
+        ner_obs::counter("pool.misses", s.misses as f64);
+        ner_obs::counter("pool.recycled", s.recycled as f64);
+    }
 }
 
 #[cfg(test)]

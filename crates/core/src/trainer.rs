@@ -1,15 +1,28 @@
 //! The training loop: per-sentence SGD with gradient clipping, optional
 //! learning-rate schedules, dev-set early stopping with best-model
 //! restoration, and evaluation helpers.
+//!
+//! # Threading
+//!
+//! When the global `ner-par` pool has more than one thread, each epoch is
+//! processed in minibatches of `threads` sentences: every worker builds its
+//! own [`Tape`] and backpropagates into a private [`GradBuffer`], and the
+//! coordinator merges the buffers **in shard order** (deterministic for a
+//! fixed thread count), clips once, and takes one optimizer step per batch.
+//! Gradients are summed — not averaged — over the shard, so the total SGD
+//! displacement per epoch matches the serial path's; Adam's update is
+//! scale-invariant either way. With `NER_THREADS=1` (or one core) the
+//! original per-sentence serial loop runs unchanged, bit for bit.
 
 use crate::metrics::{evaluate, EvalResult};
 use crate::model::NerModel;
 use crate::repr::EncodedSentence;
 use ner_tensor::optim::{Adam, LrSchedule, Optimizer, Sgd};
-use ner_tensor::Tape;
+use ner_tensor::{GradBuffer, OpClass, Tape};
 use ner_text::EntitySpan;
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
 /// Optimizer selection.
@@ -104,6 +117,186 @@ pub struct TrainReport {
     pub stop_reason: String,
 }
 
+/// Accumulators for one epoch's pass over the training order.
+#[derive(Default)]
+struct EpochStats {
+    total_loss: f64,
+    norm_sum: f64,
+    applied: usize,
+    skipped: usize,
+    peak_nodes: usize,
+}
+
+/// What one worker produced for one training sentence.
+enum SentenceOutcome {
+    /// Sentence was empty; nothing to do.
+    Empty,
+    /// Loss came out non-finite; the coordinator logs and skips it.
+    NonFinite { index: usize, loss: f64 },
+    /// A usable gradient contribution.
+    Update {
+        loss: f64,
+        grads: GradBuffer,
+        nodes: usize,
+        ops: Vec<(OpClass, u32)>,
+        pool: ner_tensor::pool::PoolStats,
+    },
+}
+
+/// The original per-sentence serial loop: one tape, one backward, one
+/// optimizer step per sentence. Kept verbatim so single-thread runs
+/// reproduce historical trajectories exactly.
+#[allow(clippy::too_many_arguments)]
+fn run_epoch_serial(
+    model: &mut NerModel,
+    train: &[EncodedSentence],
+    order: &[usize],
+    opt: &mut dyn Optimizer,
+    cfg: &TrainConfig,
+    epoch: usize,
+    rng: &mut impl Rng,
+    op_totals: &mut [u64],
+) -> EpochStats {
+    let mut stats = EpochStats::default();
+    for &i in order {
+        let sent = &train[i];
+        if sent.is_empty() {
+            continue;
+        }
+        let mut tape = Tape::new();
+        let loss = model.loss(&mut tape, sent, rng);
+        let loss_val = tape.value(loss).item() as f64;
+        if !loss_val.is_finite() {
+            stats.skipped += 1;
+            ner_obs::warn(format!(
+                "epoch {epoch}: non-finite loss ({loss_val}) on sentence {i}; update skipped"
+            ));
+            continue;
+        }
+        stats.total_loss += loss_val;
+        tape.backward(loss, &mut model.store);
+        let norm = if cfg.clip > 0.0 {
+            model.store.clip_grad_norm(cfg.clip)
+        } else {
+            model.store.grad_global_norm()
+        };
+        if !norm.is_finite() {
+            stats.skipped += 1;
+            ner_obs::warn(format!(
+                "epoch {epoch}: non-finite gradient norm on sentence {i}; update skipped"
+            ));
+            model.store.zero_grad();
+            continue;
+        }
+        stats.norm_sum += norm as f64;
+        stats.applied += 1;
+        stats.peak_nodes = stats.peak_nodes.max(tape.len());
+        for (class, n) in tape.op_counts() {
+            op_totals[class as usize] += n as u64;
+        }
+        opt.step(&mut model.store);
+    }
+    stats
+}
+
+/// Data-parallel epoch: minibatches of `pool.threads()` sentences, each
+/// sentence's forward/backward on its own worker tape, gradients merged in
+/// shard order and applied with a single clipped optimizer step per batch.
+#[allow(clippy::too_many_arguments)]
+fn run_epoch_parallel(
+    model: &mut NerModel,
+    train: &[EncodedSentence],
+    order: &[usize],
+    opt: &mut dyn Optimizer,
+    cfg: &TrainConfig,
+    epoch: usize,
+    pool: &ner_par::ThreadPool,
+    rng: &mut impl Rng,
+    op_totals: &mut [u64],
+) -> EpochStats {
+    let mut stats = EpochStats::default();
+    for chunk in order.chunks(pool.threads()) {
+        // One seed per batch; each shard derives an independent stream so
+        // dropout masks don't depend on worker scheduling.
+        let batch_seed: u64 = rng.gen();
+        let model_ref: &NerModel = model;
+        let results = pool.map(chunk.len(), |j| {
+            let i = chunk[j];
+            let sent = &train[i];
+            if sent.is_empty() {
+                return SentenceOutcome::Empty;
+            }
+            let mut shard_rng = StdRng::seed_from_u64(
+                batch_seed.wrapping_add((j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            );
+            let mut tape = Tape::new();
+            let loss = model_ref.loss(&mut tape, sent, &mut shard_rng);
+            let loss_val = tape.value(loss).item() as f64;
+            if !loss_val.is_finite() {
+                return SentenceOutcome::NonFinite { index: i, loss: loss_val };
+            }
+            let mut grads = GradBuffer::new(model_ref.store.len());
+            tape.backward_into(loss, &mut grads);
+            let ops: Vec<(OpClass, u32)> = tape.op_counts().collect();
+            let nodes = tape.len();
+            drop(tape); // recycle node buffers into this worker's pool
+            SentenceOutcome::Update {
+                loss: loss_val,
+                grads,
+                nodes,
+                ops,
+                pool: ner_tensor::pool::take_stats(),
+            }
+        });
+
+        // Merge in shard order — deterministic for a fixed thread count.
+        let mut contributed = 0usize;
+        for outcome in results {
+            match outcome {
+                SentenceOutcome::Empty => {}
+                SentenceOutcome::NonFinite { index, loss } => {
+                    stats.skipped += 1;
+                    ner_obs::warn(format!(
+                        "epoch {epoch}: non-finite loss ({loss}) on sentence {index}; update skipped"
+                    ));
+                }
+                SentenceOutcome::Update { loss, grads, nodes, ops, pool } => {
+                    stats.total_loss += loss;
+                    stats.peak_nodes = stats.peak_nodes.max(nodes);
+                    for (class, n) in ops {
+                        op_totals[class as usize] += n as u64;
+                    }
+                    ner_obs::counter("pool.hits", pool.hits as f64);
+                    ner_obs::counter("pool.misses", pool.misses as f64);
+                    ner_obs::counter("pool.recycled", pool.recycled as f64);
+                    grads.apply_to(&mut model.store);
+                    contributed += 1;
+                }
+            }
+        }
+        if contributed == 0 {
+            continue;
+        }
+        let norm = if cfg.clip > 0.0 {
+            model.store.clip_grad_norm(cfg.clip)
+        } else {
+            model.store.grad_global_norm()
+        };
+        if !norm.is_finite() {
+            stats.skipped += contributed;
+            ner_obs::warn(format!(
+                "epoch {epoch}: non-finite gradient norm on a {contributed}-sentence batch; update skipped"
+            ));
+            model.store.zero_grad();
+            continue;
+        }
+        stats.norm_sum += norm as f64;
+        stats.applied += 1;
+        opt.step(&mut model.store);
+    }
+    stats
+}
+
 fn make_optimizer(cfg: &TrainConfig) -> Box<dyn Optimizer> {
     match cfg.optimizer {
         OptimizerKind::Sgd => Box::new(Sgd::new(cfg.lr)),
@@ -137,6 +330,8 @@ pub fn train(
     assert!(!train.is_empty(), "training set is empty");
     let _train_span = ner_obs::span("train");
     ner_obs::gauge("params.scalars", model.store.num_scalars() as f64);
+    let pool = ner_par::global();
+    ner_obs::gauge("par.threads", pool.threads() as f64);
     let mut opt = make_optimizer(cfg);
     let sched = schedule(cfg);
     let mut order: Vec<usize> = (0..train.len()).collect();
@@ -156,50 +351,32 @@ pub fn train(
         if cfg.shuffle {
             order.shuffle(rng);
         }
-        let mut total = 0.0f64;
-        let mut norm_sum = 0.0f64;
-        let mut applied = 0usize;
-        let mut skipped = 0usize;
-        let mut peak_nodes = 0usize;
-        for &i in &order {
-            let sent = &train[i];
-            if sent.is_empty() {
-                continue;
-            }
-            let mut tape = Tape::new();
-            let loss = model.loss(&mut tape, sent, rng);
-            let loss_val = tape.value(loss).item() as f64;
-            if !loss_val.is_finite() {
-                skipped += 1;
-                ner_obs::warn(format!(
-                    "epoch {epoch}: non-finite loss ({loss_val}) on sentence {i}; update skipped"
-                ));
-                continue;
-            }
-            total += loss_val;
-            tape.backward(loss, &mut model.store);
-            let norm = if cfg.clip > 0.0 {
-                model.store.clip_grad_norm(cfg.clip)
-            } else {
-                model.store.grad_global_norm()
-            };
-            if !norm.is_finite() {
-                skipped += 1;
-                ner_obs::warn(format!(
-                    "epoch {epoch}: non-finite gradient norm on sentence {i}; update skipped"
-                ));
-                model.store.zero_grad();
-                continue;
-            }
-            norm_sum += norm as f64;
-            applied += 1;
-            peak_nodes = peak_nodes.max(tape.len());
-            for (class, n) in tape.op_counts() {
-                op_totals[class as usize] += n as u64;
-            }
-            opt.step(&mut model.store);
+        let stats = if pool.threads() > 1 {
+            run_epoch_parallel(
+                model,
+                train,
+                &order,
+                opt.as_mut(),
+                cfg,
+                epoch,
+                &pool,
+                rng,
+                &mut op_totals,
+            )
+        } else {
+            run_epoch_serial(model, train, &order, opt.as_mut(), cfg, epoch, rng, &mut op_totals)
+        };
+        let EpochStats { total_loss, norm_sum, applied, skipped, peak_nodes } = stats;
+        let train_loss = total_loss / train.len() as f64;
+
+        // Export the coordinator thread's buffer-pool counters (workers
+        // export their own deltas per update in the parallel path).
+        let pstats = ner_tensor::pool::take_stats();
+        if pstats.hits + pstats.misses + pstats.recycled > 0 {
+            ner_obs::counter("pool.hits", pstats.hits as f64);
+            ner_obs::counter("pool.misses", pstats.misses as f64);
+            ner_obs::counter("pool.recycled", pstats.recycled as f64);
         }
-        let train_loss = total / train.len() as f64;
 
         let dev_f1 = dev.map(|d| {
             let _eval_span = ner_obs::span("eval");
@@ -268,9 +445,15 @@ pub fn train(
     }
 }
 
-/// Predicts spans for every sentence.
+/// Predicts spans for every sentence, fanning out over the global
+/// `ner-par` pool. Prediction is read-only, so the result is identical at
+/// any thread count.
 pub fn predict_all(model: &NerModel, data: &[EncodedSentence]) -> Vec<Vec<EntitySpan>> {
-    data.iter().map(|e| model.predict_spans(e)).collect()
+    let pool = ner_par::global();
+    if pool.threads() <= 1 || data.len() < 2 {
+        return data.iter().map(|e| model.predict_spans(e)).collect();
+    }
+    pool.map(data.len(), |i| model.predict_spans(&data[i]))
 }
 
 /// Evaluates the model on encoded data with exact/relaxed span metrics.

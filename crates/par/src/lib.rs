@@ -1,0 +1,484 @@
+//! # ner-par — the parallel compute substrate for `neural-ner`
+//!
+//! A dependency-free work-stealing thread pool built on `std::thread` and
+//! mutex-protected deques, plus the two data-parallel primitives everything
+//! else in the workspace is written against:
+//!
+//! * [`ThreadPool::for_each_chunk`] — splits an index range into fixed,
+//!   deterministic chunks and runs them across the pool (the kernel
+//!   primitive: every chunk writes a disjoint output region, so results are
+//!   independent of scheduling order).
+//! * [`ThreadPool::map`] — runs a closure per index and collects results in
+//!   index order (the trainer/inference primitive: one sentence per task).
+//!
+//! Each worker owns a deque; submitted jobs are distributed round-robin and
+//! idle workers *steal* from the back of their siblings' deques, so uneven
+//! task costs (long sentences next to short ones) still keep every core
+//! busy. The submitting thread participates too: it runs its own share of
+//! chunks and steals pending jobs while waiting, so a pool of `n` threads
+//! applies `n + 1` workers to each batch without oversubscribing the
+//! machine (the pool is sized to `available_parallelism - 1` by default).
+//!
+//! ## Sizing
+//!
+//! The global pool ([`global`]) is sized on first use from, in order:
+//! the `NER_THREADS` environment variable, then
+//! [`std::thread::available_parallelism`]. [`set_global_threads`] resizes it
+//! at runtime (the CLI `--threads` flag and the kernel benchmark's thread
+//! sweep both use this). A pool of size 1 spawns no threads at all and runs
+//! every batch inline, which keeps single-thread runs bit-identical to code
+//! that never heard of this crate.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send>;
+
+/// State shared between the pool handle and its worker threads.
+struct Shared {
+    /// One deque per worker; owners pop the front, thieves pop the back.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Jobs submitted but not yet started, used to avoid missed wakeups.
+    pending: AtomicUsize,
+    /// Sleep coordination: workers wait here when every deque is empty.
+    idle: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    /// Round-robin cursor for job placement.
+    next_queue: AtomicUsize,
+}
+
+impl Shared {
+    /// Pops a job: own queue front first, then steal from siblings' backs.
+    fn find_job(&self, me: usize) -> Option<Job> {
+        let w = self.queues.len();
+        if let Some(job) = self.queues[me].lock().unwrap_or_else(|e| e.into_inner()).pop_front() {
+            self.pending.fetch_sub(1, Ordering::AcqRel);
+            return Some(job);
+        }
+        for off in 1..w {
+            let victim = (me + off) % w;
+            let stolen = self.queues[victim].lock().unwrap_or_else(|e| e.into_inner()).pop_back();
+            if let Some(job) = stolen {
+                self.pending.fetch_sub(1, Ordering::AcqRel);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Steals a job from any queue — used by the submitting thread while it
+    /// waits for a batch to finish.
+    fn steal_any(&self) -> Option<Job> {
+        for q in &self.queues {
+            if let Some(job) = q.lock().unwrap_or_else(|e| e.into_inner()).pop_back() {
+                self.pending.fetch_sub(1, Ordering::AcqRel);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn submit(&self, job: Job) {
+        let slot = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        self.queues[slot].lock().unwrap_or_else(|e| e.into_inner()).push_back(job);
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        // Taking the idle lock orders this notify after any worker's
+        // pending-check, so a worker can't sleep through a fresh job.
+        let _guard = self.idle.lock().unwrap_or_else(|e| e.into_inner());
+        self.wake.notify_all();
+    }
+}
+
+fn worker_loop(me: usize, shared: Arc<Shared>) {
+    loop {
+        if let Some(job) = shared.find_job(me) {
+            job();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let guard = shared.idle.lock().unwrap_or_else(|e| e.into_inner());
+        if shared.pending.load(Ordering::Acquire) == 0 && !shared.shutdown.load(Ordering::Acquire) {
+            // Timed wait bounds the cost of any wakeup race to one tick.
+            let _ = shared.wake.wait_timeout(guard, Duration::from_millis(10));
+        }
+    }
+}
+
+/// Completion latch for one `for_each_chunk` batch. Lives on the caller's
+/// stack; workers hold raw pointers to it, which is sound because the caller
+/// blocks until the count reaches zero before returning.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    poisoned: AtomicBool,
+}
+
+impl Latch {
+    fn new(count: usize) -> Latch {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    fn complete(&self) {
+        let mut left = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        *self.remaining.lock().unwrap_or_else(|e| e.into_inner()) == 0
+    }
+
+    /// Waits briefly for completion; returns whether the batch finished.
+    fn wait_briefly(&self) -> bool {
+        let left = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        if *left == 0 {
+            return true;
+        }
+        let (left, _) = self
+            .done
+            .wait_timeout(left, Duration::from_millis(1))
+            .unwrap_or_else(|e| e.into_inner());
+        *left == 0
+    }
+}
+
+/// A `*const` that may cross threads. Safety rests on the batch protocol:
+/// the pointee outlives every task of the batch because the submitting
+/// thread blocks on the [`Latch`] before the pointee leaves scope.
+struct SendConst<T: ?Sized>(*const T);
+impl<T: ?Sized> SendConst<T> {
+    /// The wrapped pointer (method access keeps closure captures on the
+    /// wrapper, which carries the `Send` bound).
+    fn get(&self) -> *const T {
+        self.0
+    }
+}
+impl<T: ?Sized> Clone for SendConst<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: ?Sized> Copy for SendConst<T> {}
+unsafe impl<T: ?Sized + Sync> Send for SendConst<T> {}
+
+/// A mutable pointer that may cross threads; used for disjoint writes into
+/// a caller-owned output buffer (each task touches its own index range).
+struct SendMut<T>(*mut T);
+impl<T> SendMut<T> {
+    /// The wrapped pointer. Going through a method (rather than field
+    /// access) makes closures capture the whole `Send`/`Sync` wrapper
+    /// instead of the raw pointer field.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+impl<T> Clone for SendMut<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendMut<T> {}
+unsafe impl<T: Send> Send for SendMut<T> {}
+unsafe impl<T: Send> Sync for SendMut<T> {}
+
+/// A fixed-size work-stealing thread pool.
+///
+/// Construct with [`ThreadPool::new`] or use the process-wide [`global`]
+/// pool. Dropping the pool joins all workers (pending jobs are drained
+/// first).
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool applying `threads` workers to each batch. `threads <= 1`
+    /// spawns nothing and runs every call inline on the caller.
+    ///
+    /// The submitting thread always participates in its own batches, so
+    /// `threads` worker *threads* are actually `threads - 1` spawned
+    /// threads plus the caller.
+    pub fn new(threads: usize) -> Arc<ThreadPool> {
+        let threads = threads.clamp(1, 256);
+        let spawn = threads.saturating_sub(1);
+        let shared = Arc::new(Shared {
+            queues: (0..spawn.max(1)).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_queue: AtomicUsize::new(0),
+        });
+        let mut handles = Vec::with_capacity(spawn);
+        for i in 0..spawn {
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("ner-par-{i}"))
+                .spawn(move || worker_loop(i, shared))
+                .expect("spawn ner-par worker");
+            handles.push(handle);
+        }
+        Arc::new(ThreadPool { shared, handles, threads })
+    }
+
+    /// Number of workers applied to each batch (including the caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Splits `0..n` into deterministic contiguous chunks of at least
+    /// `grain` indices and runs `f` on each chunk across the pool, blocking
+    /// until all chunks complete. Chunk boundaries depend only on `n`,
+    /// `grain` and the pool size — never on scheduling — so kernels that
+    /// write disjoint per-chunk output regions are reproducible.
+    ///
+    /// Runs inline when the pool has one thread or `n` is within one grain.
+    ///
+    /// # Panics
+    /// Propagates a panic if any chunk panics (after the batch drains).
+    pub fn for_each_chunk<F>(&self, n: usize, grain: usize, f: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        let grain = grain.max(1);
+        if n == 0 {
+            return;
+        }
+        if self.threads <= 1 || n <= grain {
+            f(0..n);
+            return;
+        }
+        // Aim for a few chunks per worker so stealing can even out skew,
+        // but never smaller than the caller's grain.
+        let target = (n / (self.threads * 4)).max(grain);
+        let nchunks = n.div_ceil(target);
+        let latch = Latch::new(nchunks);
+        // Erase the borrow's lifetime so tasks can be boxed as `'static`
+        // jobs. Sound under the batch protocol: this function blocks on the
+        // latch until every task referencing `f`/`latch` has completed.
+        let f_static: &'static (dyn Fn(Range<usize>) + Sync) = unsafe {
+            std::mem::transmute::<
+                &(dyn Fn(Range<usize>) + Sync),
+                &'static (dyn Fn(Range<usize>) + Sync),
+            >(&f)
+        };
+        let fp: SendConst<dyn Fn(Range<usize>) + Sync> = SendConst(f_static);
+        let lp: SendConst<Latch> = SendConst(&latch);
+        for c in 1..nchunks {
+            let range = (c * target)..(((c + 1) * target).min(n));
+            self.shared.submit(Box::new(move || {
+                let f = unsafe { &*fp.get() };
+                let latch = unsafe { &*lp.get() };
+                if catch_unwind(AssertUnwindSafe(|| f(range))).is_err() {
+                    latch.poisoned.store(true, Ordering::Release);
+                }
+                latch.complete();
+            }));
+        }
+        // The caller runs chunk 0 itself, then helps drain the queues.
+        let own = catch_unwind(AssertUnwindSafe(|| f(0..target.min(n))));
+        latch.complete();
+        while !latch.is_done() {
+            match self.shared.steal_any() {
+                Some(job) => job(),
+                None => {
+                    latch.wait_briefly();
+                }
+            }
+        }
+        match own {
+            Err(payload) => resume_unwind(payload),
+            Ok(()) if latch.poisoned.load(Ordering::Acquire) => {
+                panic!("ner-par: a worker task panicked")
+            }
+            Ok(()) => {}
+        }
+    }
+
+    /// Runs `f(i)` for every `i` in `0..n` across the pool and returns the
+    /// results in index order. One task per index — meant for coarse units
+    /// of work (a sentence forward/backward pass, not a single row).
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.threads <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        let slots = SendMut(out.as_mut_ptr());
+        self.for_each_chunk(n, 1, |range| {
+            for i in range {
+                let value = f(i);
+                // Disjoint by construction: chunk ranges never overlap.
+                unsafe { *slots.get().add(i) = Some(value) };
+            }
+        });
+        out.into_iter().map(|slot| slot.expect("ner-par: map slot unfilled")).collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _guard = self.shared.idle.lock().unwrap_or_else(|e| e.into_inner());
+            self.shared.wake.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global pool
+// ---------------------------------------------------------------------------
+
+fn global_slot() -> &'static RwLock<Arc<ThreadPool>> {
+    static GLOBAL: OnceLock<RwLock<Arc<ThreadPool>>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(ThreadPool::new(default_threads())))
+}
+
+/// The pool size the global pool starts with: `NER_THREADS` when set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`].
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("NER_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n.min(256);
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The process-wide pool, created on first use.
+pub fn global() -> Arc<ThreadPool> {
+    Arc::clone(&global_slot().read().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// Number of workers the global pool applies to each batch.
+pub fn global_threads() -> usize {
+    global().threads()
+}
+
+/// Replaces the global pool with one of `threads` workers (the `--threads`
+/// CLI flag and benchmark thread sweeps). In-flight batches keep the old
+/// pool alive until they finish; new work lands on the new pool.
+pub fn set_global_threads(threads: usize) {
+    let pool = ThreadPool::new(threads);
+    *global_slot().write().unwrap_or_else(|e| e.into_inner()) = pool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn for_each_chunk_covers_every_index_once() {
+        let pool = ThreadPool::new(4);
+        let n = 10_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.for_each_chunk(n, 1, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn map_preserves_index_order() {
+        let pool = ThreadPool::new(3);
+        let out = pool.map(257, |i| i * i);
+        assert_eq!(out.len(), 257);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * i));
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let caller = std::thread::current().id();
+        let mut seen = Vec::new();
+        pool.for_each_chunk(5, 1, |range| {
+            assert_eq!(std::thread::current().id(), caller);
+            let _ = &range;
+        });
+        let out = pool.map(5, |i| {
+            assert_eq!(std::thread::current().id(), caller);
+            i
+        });
+        seen.extend(out);
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn uneven_tasks_all_complete() {
+        let pool = ThreadPool::new(4);
+        let total = AtomicU64::new(0);
+        let out = pool.map(64, |i| {
+            // Skewed workloads exercise the stealing path.
+            let mut acc = 0u64;
+            for k in 0..(i % 7) * 1500 {
+                acc = acc.wrapping_add(k as u64);
+            }
+            total.fetch_add(acc, Ordering::Relaxed);
+            i as u64
+        });
+        assert_eq!(out.iter().sum::<u64>(), 63 * 64 / 2);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = ThreadPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.for_each_chunk(100, 1, |range| {
+                if range.contains(&37) {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic in a chunk must reach the caller");
+        // The pool must remain usable after a poisoned batch.
+        let out = pool.map(8, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn global_pool_resizes() {
+        set_global_threads(2);
+        assert_eq!(global_threads(), 2);
+        set_global_threads(1);
+        assert_eq!(global_threads(), 1);
+        set_global_threads(default_threads());
+    }
+
+    #[test]
+    fn empty_and_degenerate_batches() {
+        let pool = ThreadPool::new(2);
+        pool.for_each_chunk(0, 4, |_| panic!("must not run"));
+        assert!(pool.map(0, |i| i).is_empty());
+        let one = pool.map(1, |i| i + 41);
+        assert_eq!(one, vec![41]);
+    }
+}

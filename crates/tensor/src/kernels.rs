@@ -1,0 +1,269 @@
+//! Cache-blocked, row-parallel matrix kernels.
+//!
+//! Every kernel here is written so that the floating-point accumulation
+//! order *per output element* is identical to the textbook loop it
+//! replaces: blocking only reorders which elements are worked on, never the
+//! ascending `p` sweep that accumulates into one element, and the parallel
+//! path splits the *output rows* across workers, which partitions elements
+//! without touching their accumulation order. Serial, blocked and parallel
+//! results are therefore bit-identical at every size and thread count — the
+//! determinism contract the trainer and the experiment harnesses rely on
+//! (see DESIGN.md).
+//!
+//! Parallelism kicks in only above [`PAR_MIN_FLOPS`] multiply-adds so
+//! unit-scale tensors never pay pool overhead, and only when the global
+//! [`ner_par`] pool has more than one thread.
+
+/// Rows of the left operand / output processed per cache block.
+const MC: usize = 32;
+
+/// Output columns processed per cache block (×4 bytes ≈ a 512-byte panel
+/// per row, small enough that an `MC`-row working set stays in L1/L2).
+const NC: usize = 128;
+
+/// Square tile edge for the blocked transpose.
+const TC: usize = 32;
+
+/// Minimum multiply-add count (`m·k·n`) before a kernel consults the
+/// thread pool. Below this, dispatch overhead exceeds the work: a
+/// `64×64×64` product is ~260k FLOPs ≈ tens of microseconds.
+pub const PAR_MIN_FLOPS: usize = 64 * 64 * 64;
+
+/// A `*mut f32` that can cross threads for disjoint row-range writes.
+struct SendMut(*mut f32);
+impl SendMut {
+    /// Method access keeps closures capturing the wrapper, not the field.
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
+}
+unsafe impl Send for SendMut {}
+unsafe impl Sync for SendMut {}
+
+/// Runs `body(r0, r1, out_rows)` over `[0, m)` either serially or split
+/// into disjoint row ranges across the global pool. `row_len` is the
+/// number of `f32`s per output row; `flops` gates the parallel path.
+fn over_rows<F>(m: usize, row_len: usize, flops: usize, out: &mut [f32], body: F)
+where
+    F: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(out.len(), m * row_len);
+    if flops < PAR_MIN_FLOPS || m < 2 {
+        body(0, m, out);
+        return;
+    }
+    let pool = ner_par::global();
+    if pool.threads() <= 1 {
+        body(0, m, out);
+        return;
+    }
+    let base = SendMut(out.as_mut_ptr());
+    pool.for_each_chunk(m, 1, |range| {
+        // Disjoint: every chunk covers distinct rows of `out`.
+        let rows = unsafe {
+            std::slice::from_raw_parts_mut(
+                base.get().add(range.start * row_len),
+                (range.end - range.start) * row_len,
+            )
+        };
+        body(range.start, range.end, rows);
+    });
+}
+
+/// `out[r0..r1] = a[r0..r1] × b` for `a: [m,k]`, `b: [k,n]`.
+///
+/// i-k-j ordering with `i`/`j` cache blocking: the innermost loop streams
+/// an output-row panel and the matching `b`-row panel (autovectorizes),
+/// while the `j` blocking keeps the `b` panel resident across the `MC`
+/// rows of the block. `p` ascends over the full inner dimension for every
+/// element, so the summation order matches the unblocked loop exactly.
+fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], r0: usize, r1: usize, k: usize, n: usize) {
+    for ib in (r0..r1).step_by(MC) {
+        let ie = (ib + MC).min(r1);
+        for jb in (0..n).step_by(NC) {
+            let je = (jb + NC).min(n);
+            for i in ib..ie {
+                let a_row = &a[i * k..(i + 1) * k];
+                let out_row = &mut out[(i - r0) * n + jb..(i - r0) * n + je];
+                for (p, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[p * n + jb..p * n + je];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `a [m,k] × b [k,n] → out [m,n]` (zero-initialized by the caller),
+/// parallel over output rows above the FLOP threshold.
+pub(crate) fn matmul(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    over_rows(m, n, m * k * n, out, |r0, r1, rows| matmul_rows(a, b, rows, r0, r1, k, n));
+}
+
+/// `out[r0..r1] = (aᵀ × b)[r0..r1]` for `a: [k,m]`, `b: [k,n]` (no
+/// transpose materialized). `p` walks the shared leading dimension in
+/// ascending order for every output element; the row blocking only keeps
+/// an `MC × n` output panel hot across the whole `p` sweep.
+fn matmul_tn_rows(a: &[f32], b: &[f32], out: &mut [f32], r0: usize, r1: usize, k: usize, n: usize) {
+    let m = a.len().checked_div(k).unwrap_or(0);
+    for ib in (r0..r1).step_by(MC) {
+        let ie = (ib + MC).min(r1);
+        for p in 0..k {
+            let b_row = &b[p * n..(p + 1) * n];
+            for i in ib..ie {
+                let av = a[p * m + i];
+                if av == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[(i - r0) * n..(i - r0 + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// `aᵀ [m,k-rows] × b → out [m,n]` where `a: [k,m]`, `b: [k,n]`.
+pub(crate) fn matmul_tn(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+    over_rows(m, n, m * k * n, out, |r0, r1, rows| matmul_tn_rows(a, b, rows, r0, r1, k, n));
+}
+
+/// `out[r0..r1] = (a × bᵀ)[r0..r1]` for `a: [m,k]`, `b: [n,k]`. Each
+/// output element is an independent dot product accumulated in ascending
+/// `p` order; blocking keeps a panel of `b` rows hot across `MC` rows of
+/// `a`.
+fn matmul_nt_rows(a: &[f32], b: &[f32], out: &mut [f32], r0: usize, r1: usize, k: usize, n: usize) {
+    for ib in (r0..r1).step_by(MC) {
+        let ie = (ib + MC).min(r1);
+        for jb in (0..n).step_by(MC) {
+            let je = (jb + MC).min(n);
+            for i in ib..ie {
+                let a_row = &a[i * k..(i + 1) * k];
+                for j in jb..je {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0;
+                    for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                        acc += av * bv;
+                    }
+                    out[(i - r0) * n + j] += acc;
+                }
+            }
+        }
+    }
+}
+
+/// `a [m,k] × bᵀ [k,n-rows] → out [m,n]` where `b: [n,k]`.
+pub(crate) fn matmul_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    over_rows(m, n, m * k * n, out, |r0, r1, rows| matmul_nt_rows(a, b, rows, r0, r1, k, n));
+}
+
+/// Tiled transpose of the `[rows, cols]` matrix `src` into the
+/// `[cols, rows]` matrix rows `[r0, r1)` of `out` (pure permutation —
+/// numerics cannot differ from the scalar double loop).
+fn transpose_rows(src: &[f32], out: &mut [f32], r0: usize, r1: usize, rows: usize, cols: usize) {
+    debug_assert_eq!(src.len(), rows * cols);
+    for cb in (r0..r1).step_by(TC) {
+        let ce = (cb + TC).min(r1);
+        for rb in (0..rows).step_by(TC) {
+            let re = (rb + TC).min(rows);
+            for c in cb..ce {
+                let out_row = &mut out[(c - r0) * rows..(c - r0 + 1) * rows];
+                for r in rb..re {
+                    out_row[r] = src[r * cols + c];
+                }
+            }
+        }
+    }
+}
+
+/// Transpose `src: [rows, cols]` into `out: [cols, rows]`, parallel over
+/// output rows for large matrices.
+pub(crate) fn transpose(src: &[f32], out: &mut [f32], rows: usize, cols: usize) {
+    // A transpose moves rows*cols elements; treat each as ~one "flop" and
+    // scale by TC so only genuinely large permutations go parallel.
+    over_rows(cols, rows, rows * cols * TC, out, |r0, r1, out_rows| {
+        transpose_rows(src, out_rows, r0, r1, rows, cols)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let av = a[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[i * n + j] += av * b[p * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn ramp(len: usize, scale: f32) -> Vec<f32> {
+        (0..len).map(|i| ((i % 13) as f32 - 6.0) * scale).collect()
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_naive_across_block_edges() {
+        // Sizes straddling the MC/NC block boundaries.
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (31, 33, 127), (32, 64, 128), (33, 17, 129)] {
+            let a = ramp(m * k, 0.25);
+            let b = ramp(k * n, 0.5);
+            let mut out = vec![0.0f32; m * n];
+            matmul_rows(&a, &b, &mut out, 0, m, k, n);
+            assert_eq!(out, naive_matmul(&a, &b, m, k, n), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn tn_and_nt_match_explicit_transpose_compositions() {
+        let (k, m, n) = (37, 33, 29);
+        let a = ramp(k * m, 0.1); // a: [k, m]
+        let b = ramp(k * n, 0.2); // b: [k, n]
+        let mut tn = vec![0.0f32; m * n];
+        matmul_tn_rows(&a, &b, &mut tn, 0, m, k, n);
+        let mut at = vec![0.0f32; m * k];
+        transpose_rows(&a, &mut at, 0, m, k, m);
+        assert_eq!(tn, naive_matmul(&at, &b, m, k, n));
+
+        let c = ramp(m * k, 0.3); // c: [m, k]
+        let d = ramp(n * k, 0.4); // d: [n, k]
+        let mut nt = vec![0.0f32; m * n];
+        matmul_nt_rows(&c, &d, &mut nt, 0, m, k, n);
+        let mut dt = vec![0.0f32; k * n];
+        transpose_rows(&d, &mut dt, 0, k, n, k);
+        let expect = naive_matmul(&c, &dt, m, k, n);
+        for (x, y) in nt.iter().zip(&expect) {
+            // nt accumulates each dot product before the final add, so it
+            // agrees with the naive j-inner loop only to rounding.
+            assert!((x - y).abs() <= 1e-4 * y.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn transpose_tiles_cover_ragged_shapes() {
+        for &(r, c) in &[(1, 1), (5, 3), (31, 33), (32, 32), (65, 31)] {
+            let src = ramp(r * c, 1.0);
+            let mut out = vec![0.0f32; r * c];
+            transpose_rows(&src, &mut out, 0, c, r, c);
+            for i in 0..r {
+                for j in 0..c {
+                    assert_eq!(out[j * r + i], src[i * c + j]);
+                }
+            }
+        }
+    }
+}

@@ -21,9 +21,15 @@
 //!   gradient clipping and learning-rate schedules.
 //! * [`init`] — Xavier/Glorot, He/Kaiming and uniform initializers.
 //!
-//! The design favours clarity and determinism over raw throughput: graphs are
-//! built per sentence (lengths ≤ ~50), every random component is seeded, and
-//! all kernels are straightforward loops the optimizer can autovectorize.
+//! The design favours clarity and determinism: graphs are built per sentence
+//! (lengths ≤ ~50) and every random component is seeded. Throughput comes
+//! from three mechanisms that never change the floats: cache-blocked matmul
+//! and transpose kernels that split output rows across the `ner-par`
+//! work-stealing pool above a size threshold (accumulation order per output
+//! element is preserved exactly, so serial and parallel results are
+//! bit-identical), a thread-local [`pool`] of `Vec<f32>` buffers that tape
+//! nodes recycle on drop, and a [`GradBuffer`] sink that lets data-parallel
+//! trainers backpropagate without mutable access to shared parameters.
 //!
 //! ```
 //! use ner_tensor::{ParamStore, Tape, Tensor, init, optim::{Optimizer, Sgd}};
@@ -55,13 +61,16 @@
 #![warn(missing_docs)]
 
 pub mod init;
+mod kernels;
 pub mod nn;
 pub mod ops;
 pub mod optim;
 mod param;
+pub mod pool;
 mod tape;
 mod tensor;
 
+pub use kernels::PAR_MIN_FLOPS;
 pub use param::{ParamId, ParamStore};
-pub use tape::{OpClass, Tape, Var};
+pub use tape::{GradBuffer, GradSink, OpClass, Tape, Var};
 pub use tensor::Tensor;

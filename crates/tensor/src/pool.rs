@@ -1,0 +1,202 @@
+//! Thread-local `Vec<f32>` buffer pool.
+//!
+//! Autograd tapes allocate one value tensor per node and one gradient
+//! tensor per reached node, every forward/backward pass, for every
+//! sentence. The shapes recur exactly from sentence to sentence (they
+//! depend only on layer dimensions and sentence length), so instead of
+//! round-tripping the allocator, [`Tape`](crate::Tape) returns every
+//! node's buffer here on drop and the kernels pull from here via
+//! [`crate::Tensor::zeros_pooled`].
+//!
+//! The pool is strictly thread-local (no locks on the hot path), holds
+//! exact-length free lists, and is bounded both per length and in total so
+//! a one-off giant tape cannot pin memory forever. Hit/miss/recycle
+//! counters are kept per thread; the trainer and inference layers export
+//! them through `ner-obs` as `pool.hits` / `pool.misses` (see
+//! [`take_stats`]).
+
+use std::cell::RefCell;
+
+/// Buffers shorter than this are cheaper to allocate than to pool.
+const MIN_POOLED_LEN: usize = 16;
+
+/// Free-list depth per distinct length.
+const MAX_BUFS_PER_LEN: usize = 64;
+
+/// Total `f32`s the pool may hold per thread (16M floats = 64 MiB).
+const MAX_POOLED_FLOATS: usize = 1 << 24;
+
+/// Point-in-time counters of one thread's buffer pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Pooled allocations served from a free list.
+    pub hits: u64,
+    /// Pooled allocations that fell through to the system allocator.
+    pub misses: u64,
+    /// Buffers accepted back into the pool.
+    pub recycled: u64,
+    /// `f32`s currently held in free lists.
+    pub held_floats: usize,
+}
+
+#[derive(Default)]
+struct PoolInner {
+    /// Exact-length free lists; small linear scan (a model uses a handful
+    /// of distinct shapes).
+    buckets: Vec<(usize, Vec<Vec<f32>>)>,
+    held_floats: usize,
+    hits: u64,
+    misses: u64,
+    recycled: u64,
+}
+
+thread_local! {
+    static POOL: RefCell<PoolInner> = RefCell::new(PoolInner::default());
+}
+
+/// A zeroed buffer of exactly `len` elements, reusing a pooled allocation
+/// when one of the right length is available.
+pub fn take(len: usize) -> Vec<f32> {
+    if len < MIN_POOLED_LEN {
+        return vec![0.0; len];
+    }
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        let slot = p.buckets.iter().position(|(l, _)| *l == len);
+        if let Some(i) = slot {
+            if let Some(mut buf) = p.buckets[i].1.pop() {
+                p.held_floats -= len;
+                p.hits += 1;
+                buf.fill(0.0);
+                return buf;
+            }
+        }
+        p.misses += 1;
+        vec![0.0; len]
+    })
+}
+
+/// Offers a buffer back to the current thread's pool. Buffers that are too
+/// small, or that would push a free list or the pool past its bounds, are
+/// simply dropped.
+pub fn recycle(buf: Vec<f32>) {
+    let len = buf.len();
+    if len < MIN_POOLED_LEN || buf.capacity() != len {
+        return;
+    }
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.held_floats + len > MAX_POOLED_FLOATS {
+            return;
+        }
+        let slot = p.buckets.iter().position(|(l, _)| *l == len);
+        let i = match slot {
+            Some(i) => i,
+            None => {
+                p.buckets.push((len, Vec::new()));
+                p.buckets.len() - 1
+            }
+        };
+        if p.buckets[i].1.len() >= MAX_BUFS_PER_LEN {
+            return;
+        }
+        p.buckets[i].1.push(buf);
+        p.held_floats += len;
+        p.recycled += 1;
+    });
+}
+
+/// Current counters for this thread's pool.
+pub fn stats() -> PoolStats {
+    POOL.with(|p| {
+        let p = p.borrow();
+        PoolStats {
+            hits: p.hits,
+            misses: p.misses,
+            recycled: p.recycled,
+            held_floats: p.held_floats,
+        }
+    })
+}
+
+/// Reads and resets this thread's counters (buffers stay pooled) — the
+/// export primitive: callers add the deltas into `ner-obs` counters.
+pub fn take_stats() -> PoolStats {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        let out = PoolStats {
+            hits: p.hits,
+            misses: p.misses,
+            recycled: p.recycled,
+            held_floats: p.held_floats,
+        };
+        p.hits = 0;
+        p.misses = 0;
+        p.recycled = 0;
+        out
+    })
+}
+
+/// Drops every pooled buffer and zeroes the counters — test isolation.
+pub fn clear() {
+    POOL.with(|p| *p.borrow_mut() = PoolInner::default());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_reuses_the_allocation() {
+        clear();
+        let buf = take(64);
+        let ptr = buf.as_ptr();
+        recycle(buf);
+        let again = take(64);
+        assert_eq!(again.as_ptr(), ptr, "same-length take must reuse the buffer");
+        assert!(again.iter().all(|&x| x == 0.0));
+        let s = stats();
+        assert_eq!((s.hits, s.recycled), (1, 1));
+        clear();
+    }
+
+    #[test]
+    fn recycled_buffers_are_rezeroed() {
+        clear();
+        let mut buf = take(32);
+        buf.fill(7.5);
+        recycle(buf);
+        assert!(take(32).iter().all(|&x| x == 0.0));
+        clear();
+    }
+
+    #[test]
+    fn tiny_buffers_bypass_the_pool() {
+        clear();
+        let buf = take(4);
+        recycle(buf);
+        assert_eq!(stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn take_stats_resets_counters_only() {
+        clear();
+        recycle(take(128));
+        let first = take_stats();
+        assert_eq!(first.recycled, 1);
+        assert_eq!(take_stats().recycled, 0);
+        // The buffer itself survives the counter reset.
+        assert_eq!(stats().held_floats, 128);
+        clear();
+    }
+
+    #[test]
+    fn per_length_depth_is_bounded() {
+        clear();
+        for _ in 0..(MAX_BUFS_PER_LEN + 8) {
+            recycle(vec![0.0; 1024]);
+        }
+        assert_eq!(stats().held_floats, MAX_BUFS_PER_LEN * 1024);
+        clear();
+    }
+}

@@ -98,6 +98,97 @@ impl OpClass {
     }
 }
 
+/// A destination for parameter gradients produced by
+/// [`Tape::backward_into`].
+///
+/// [`ParamStore`] is the direct sink (gradients land on the parameters);
+/// [`GradBuffer`] is the deferred sink used by data-parallel training,
+/// where worker threads each backpropagate into a private buffer and the
+/// coordinator merges buffers into the store in a deterministic order.
+pub trait GradSink {
+    /// Adds `delta` into the gradient of parameter `id`.
+    fn accumulate(&mut self, id: ParamId, delta: &Tensor);
+
+    /// Scatter-adds row `i` of `delta` into gradient row `indices[i]` of
+    /// parameter `id` (embedding lookups).
+    fn accumulate_rows(&mut self, id: ParamId, indices: &[usize], delta: &Tensor);
+}
+
+impl GradSink for ParamStore {
+    fn accumulate(&mut self, id: ParamId, delta: &Tensor) {
+        self.accumulate_grad(id, delta);
+    }
+
+    fn accumulate_rows(&mut self, id: ParamId, indices: &[usize], delta: &Tensor) {
+        self.accumulate_grad_rows(id, indices, delta);
+    }
+}
+
+/// A store-detached gradient accumulator.
+///
+/// Holds dense whole-parameter gradients plus *sparse* embedding-row
+/// updates (so a worker never materializes a vocabulary-sized gradient
+/// table for the handful of rows one sentence touches). Merging into a
+/// [`ParamStore`] via [`GradBuffer::apply_to`] visits dense slots in
+/// ascending parameter order and sparse updates in insertion order, so a
+/// fixed merge sequence of buffers reproduces the same floats every run —
+/// the determinism contract of data-parallel training (DESIGN.md).
+#[derive(Default)]
+pub struct GradBuffer {
+    dense: Vec<Option<Tensor>>,
+    sparse: Vec<(ParamId, Vec<usize>, Tensor)>,
+}
+
+impl GradBuffer {
+    /// An empty buffer able to hold gradients for `num_params` parameters.
+    pub fn new(num_params: usize) -> GradBuffer {
+        let mut dense = Vec::with_capacity(num_params);
+        dense.resize_with(num_params, || None);
+        GradBuffer { dense, sparse: Vec::new() }
+    }
+
+    /// True when no gradient has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.dense.iter().all(Option::is_none) && self.sparse.is_empty()
+    }
+
+    /// Scales every accumulated gradient in place (minibatch averaging).
+    pub fn scale(&mut self, alpha: f32) {
+        for g in self.dense.iter_mut().flatten() {
+            g.scale_in_place(alpha);
+        }
+        for (_, _, g) in &mut self.sparse {
+            g.scale_in_place(alpha);
+        }
+    }
+
+    /// Merges the buffer into `store` gradients: dense slots in ascending
+    /// parameter order, then sparse row updates in insertion order.
+    pub fn apply_to(self, store: &mut ParamStore) {
+        for (i, g) in self.dense.into_iter().enumerate() {
+            if let Some(g) = g {
+                store.accumulate_grad(ParamId(i), &g);
+            }
+        }
+        for (id, indices, g) in self.sparse {
+            store.accumulate_grad_rows(id, &indices, &g);
+        }
+    }
+}
+
+impl GradSink for GradBuffer {
+    fn accumulate(&mut self, id: ParamId, delta: &Tensor) {
+        match &mut self.dense[id.0] {
+            Some(g) => g.add_scaled(delta, 1.0),
+            slot => *slot = Some(delta.clone()),
+        }
+    }
+
+    fn accumulate_rows(&mut self, id: ParamId, indices: &[usize], delta: &Tensor) {
+        self.sparse.push((id, indices.to_vec(), delta.clone()));
+    }
+}
+
 /// A reverse-mode automatic-differentiation graph.
 ///
 /// Operations append nodes; since every node's parents precede it, reverse
@@ -231,6 +322,16 @@ impl Tape {
     /// # Panics
     /// Panics if `loss` is not a `1 × 1` tensor.
     pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
+        self.backward_into(loss, store);
+    }
+
+    /// [`Tape::backward`] with an arbitrary [`GradSink`] — data-parallel
+    /// workers pass a [`GradBuffer`] here so backpropagation needs no
+    /// mutable access to the shared parameters.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not a `1 × 1` tensor.
+    pub fn backward_into(&mut self, loss: Var, sink: &mut impl GradSink) {
         assert_eq!(
             self.nodes[loss.0].value.shape(),
             (1, 1),
@@ -263,11 +364,24 @@ impl Tape {
             }
 
             match node.sink.as_ref() {
-                Some(Sink::Param(id)) => store.accumulate_grad(*id, node.grad.as_ref().unwrap()),
+                Some(Sink::Param(id)) => sink.accumulate(*id, node.grad.as_ref().unwrap()),
                 Some(Sink::ParamRows(id, ix)) => {
-                    store.accumulate_grad_rows(*id, ix, node.grad.as_ref().unwrap())
+                    sink.accumulate_rows(*id, ix, node.grad.as_ref().unwrap())
                 }
                 None => {}
+            }
+        }
+    }
+}
+
+impl Drop for Tape {
+    fn drop(&mut self) {
+        // Return every node buffer to the thread-local pool: the next tape
+        // for a same-shaped sentence reuses them instead of reallocating.
+        for node in self.nodes.drain(..) {
+            crate::pool::recycle(node.value.into_data());
+            if let Some(grad) = node.grad {
+                crate::pool::recycle(grad.into_data());
             }
         }
     }
@@ -277,6 +391,51 @@ impl Tape {
 mod tests {
     use super::*;
     use crate::Tensor;
+
+    #[test]
+    fn grad_buffer_backward_matches_direct_backward() {
+        let build = |tape: &mut Tape, store: &ParamStore, w: ParamId, emb: ParamId| {
+            let rows = tape.param_rows(store, emb, &[1, 0, 1]);
+            let wv = tape.param(store, w);
+            let x = tape.matmul(rows, wv);
+            let sq = tape.mul(x, x);
+            tape.sum(sq)
+        };
+        let mut store = ParamStore::new();
+        let emb = store.register("emb", Tensor::from_rows(&[&[0.5, -1.0], &[2.0, 0.25]]));
+        let w = store.register("w", Tensor::from_rows(&[&[1.5], &[-0.5]]));
+
+        let mut direct = store.clone();
+        let mut tape = Tape::new();
+        let loss = build(&mut tape, &direct, w, emb);
+        tape.backward(loss, &mut direct);
+
+        let mut buffered = store.clone();
+        let mut tape = Tape::new();
+        let loss = build(&mut tape, &buffered, w, emb);
+        let mut buf = GradBuffer::new(buffered.len());
+        tape.backward_into(loss, &mut buf);
+        assert!(!buf.is_empty());
+        buf.apply_to(&mut buffered);
+
+        for id in direct.ids() {
+            assert_eq!(direct.grad(id).data(), buffered.grad(id).data(), "param {id:?}");
+        }
+    }
+
+    #[test]
+    fn grad_buffer_scale_averages_gradients() {
+        let mut store = ParamStore::new();
+        let p = store.register("w", Tensor::scalar(3.0));
+        let mut tape = Tape::new();
+        let w = tape.param(&store, p);
+        let y = tape.mul(w, w); // dy/dw = 2w = 6
+        let mut buf = GradBuffer::new(store.len());
+        tape.backward_into(y, &mut buf);
+        buf.scale(0.5);
+        buf.apply_to(&mut store);
+        assert_eq!(store.grad(p).item(), 3.0);
+    }
 
     #[test]
     fn constant_has_no_grad_after_backward() {

@@ -25,6 +25,20 @@ impl Tensor {
         Tensor { rows, cols, data: vec![value; rows * cols] }
     }
 
+    /// A `rows × cols` zeroed tensor whose buffer is drawn from the
+    /// thread-local [`crate::pool`] when a matching allocation is free.
+    /// Kernels and tape ops use this for intermediates; [`crate::Tape`]
+    /// recycles node buffers on drop, closing the loop.
+    pub fn zeros_pooled(rows: usize, cols: usize) -> Self {
+        Tensor { rows, cols, data: crate::pool::take(rows * cols) }
+    }
+
+    /// Consumes the tensor, returning its flat buffer (so callers can
+    /// recycle it through [`crate::pool::recycle`]).
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
     /// A `1 × 1` tensor holding a single scalar.
     pub fn scalar(value: f32) -> Self {
         Tensor { rows: 1, cols: 1, data: vec![value] }
@@ -146,7 +160,9 @@ impl Tensor {
 
     /// Applies `f` elementwise, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+        let mut data = Vec::with_capacity(self.data.len());
+        data.extend(self.data.iter().map(|&x| f(x)));
+        Tensor { rows: self.rows, cols: self.cols, data }
     }
 
     /// Elementwise `self[i] += alpha * other[i]`.
@@ -169,7 +185,7 @@ impl Tensor {
 
     /// Resets all elements to zero, keeping the allocation.
     pub fn fill_zero(&mut self) {
-        self.data.iter_mut().for_each(|x| *x = 0.0);
+        self.data.fill(0.0);
     }
 
     /// Sum of all elements.
@@ -184,28 +200,18 @@ impl Tensor {
 
     /// Matrix product `self [m,k] × rhs [k,n] → [m,n]`.
     ///
-    /// Straightforward i-k-j loop ordering: the innermost loop streams both
-    /// the output row and the rhs row, which autovectorizes well.
+    /// Cache-blocked i-k-j kernel (see [`crate::kernels`]); splits output
+    /// rows across the global `ner-par` pool above the FLOP threshold.
+    /// Parallel and serial results are bit-identical — blocking and row
+    /// splitting never reorder the per-element accumulation.
     ///
     /// # Panics
     /// Panics on an inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.cols, rhs.rows, "matmul inner dimension mismatch");
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Tensor::zeros(m, n);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        let mut out = Tensor::zeros_pooled(m, n);
+        crate::kernels::matmul(&self.data, &rhs.data, &mut out.data, m, k, n);
         out
     }
 
@@ -213,20 +219,8 @@ impl Tensor {
     pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.rows, rhs.rows, "matmul_tn dimension mismatch");
         let (k, m, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Tensor::zeros(m, n);
-        for p in 0..k {
-            let a_row = &self.data[p * m..(p + 1) * m];
-            let b_row = &rhs.data[p * n..(p + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        let mut out = Tensor::zeros_pooled(m, n);
+        crate::kernels::matmul_tn(&self.data, &rhs.data, &mut out.data, k, m, n);
         out
     }
 
@@ -234,30 +228,15 @@ impl Tensor {
     pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.cols, rhs.cols, "matmul_nt dimension mismatch");
         let (m, k, n) = (self.rows, self.cols, rhs.rows);
-        let mut out = Tensor::zeros(m, n);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &rhs.data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                *o += acc;
-            }
-        }
+        let mut out = Tensor::zeros_pooled(m, n);
+        crate::kernels::matmul_nt(&self.data, &rhs.data, &mut out.data, m, k, n);
         out
     }
 
-    /// Returns the transposed tensor.
+    /// Returns the transposed tensor (tiled kernel, parallel when large).
     pub fn transposed(&self) -> Tensor {
-        let mut out = Tensor::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
-            }
-        }
+        let mut out = Tensor::zeros_pooled(self.cols, self.rows);
+        crate::kernels::transpose(&self.data, &mut out.data, self.rows, self.cols);
         out
     }
 
@@ -323,19 +302,28 @@ mod tests {
     }
 
     #[test]
-    fn matmul_transposed_variants_agree_with_explicit_transpose() {
+    fn matmul_tn_transposes_the_left_operand() {
+        // a is [k=2, m=3]; a.matmul_tn(b) computes aᵀ × b, so b must have
+        // k=2 rows and the result is [3, n].
         let a = Tensor::from_rows(&[&[1.0, -2.0, 0.5], &[3.0, 4.0, -1.0]]);
-        let b = Tensor::from_rows(&[&[2.0, 1.0], &[0.0, -1.0], &[1.0, 1.0]]);
-        let tn = a.matmul_tn(&b.transposed()); // aᵀ × bᵀᵀ? — validate shapes carefully below
-                                               // aᵀ is 3x2; bᵀ is 2x3 so matmul_tn(a, x) needs x with 2 rows.
-        let explicit = a.transposed().matmul(&b.transposed());
+        let b = Tensor::from_rows(&[&[2.0, 1.0], &[0.0, -1.0]]);
+        let tn = a.matmul_tn(&b);
+        let explicit = a.transposed().matmul(&b);
+        assert_eq!(tn.shape(), (3, 2));
         assert_eq!(tn.shape(), explicit.shape());
         for (x, y) in tn.data().iter().zip(explicit.data()) {
             assert!((x - y).abs() < 1e-6);
         }
+    }
 
-        let nt = a.matmul_nt(&a); // a × aᵀ, 2x2 gram matrix
+    #[test]
+    fn matmul_nt_transposes_the_right_operand() {
+        // a is [m=2, k=3]; a.matmul_nt(a) computes a × aᵀ — the [2, 2]
+        // Gram matrix of a's rows.
+        let a = Tensor::from_rows(&[&[1.0, -2.0, 0.5], &[3.0, 4.0, -1.0]]);
+        let nt = a.matmul_nt(&a);
         let explicit = a.matmul(&a.transposed());
+        assert_eq!(nt.shape(), (2, 2));
         for (x, y) in nt.data().iter().zip(explicit.data()) {
             assert!((x - y).abs() < 1e-6);
         }

@@ -1,0 +1,187 @@
+//! Property tests for the threading/pooling contract: the blocked kernels,
+//! at every thread count, must match a straightforward serial oracle — and
+//! since blocking preserves each output element's accumulation order, they
+//! must in fact match **bit for bit**. Pooled allocations must behave like
+//! fresh zeroed memory.
+
+use ner_tensor::{pool, Tensor, PAR_MIN_FLOPS};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes tests that touch the global thread pool: `set_global_threads`
+/// swaps a process-wide pool, so these tests must not interleave.
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    ner_par::set_global_threads(threads);
+    let out = f();
+    ner_par::set_global_threads(1);
+    out
+}
+
+/// The pre-blocking matmul (i → p-with-zero-skip → j), the numerical oracle.
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        for p in 0..k {
+            let av = a.at2(i, p);
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let v = out.at2(i, j) + av * b.at2(p, j);
+                out.set2(i, j, v);
+            }
+        }
+    }
+    out
+}
+
+/// Oracle for `aᵀ·b` with `a` of shape `(k, m)`: p-outer with zero-skip,
+/// matching the original `matmul_tn` loop nest.
+fn naive_matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = a.shape();
+    let n = b.cols();
+    let mut out = Tensor::zeros(m, n);
+    for p in 0..k {
+        for i in 0..m {
+            let av = a.at2(p, i);
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let v = out.at2(i, j) + av * b.at2(p, j);
+                out.set2(i, j, v);
+            }
+        }
+    }
+    out
+}
+
+/// Oracle for `a·bᵀ` with `b` of shape `(n, k)`: a dot product per output
+/// element, matching the original `matmul_nt`.
+fn naive_matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let n = b.rows();
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a.at2(i, p) * b.at2(j, p);
+            }
+            out.set2(i, j, acc);
+        }
+    }
+    out
+}
+
+/// Exact (bit-level) equality with a readable failure message.
+fn assert_bit_identical(got: &Tensor, want: &Tensor, what: &str) {
+    assert_eq!(got.shape(), want.shape(), "{what} shape");
+    let diff =
+        got.data().iter().zip(want.data()).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
+    assert!(got.data() == want.data(), "{what} diverged from the serial oracle: max|Δ| = {diff:e}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `matmul` at 1/2/4 threads is bit-identical to the naive oracle for
+    /// shapes spanning the serial/parallel threshold.
+    #[test]
+    fn matmul_matches_oracle_at_any_thread_count(
+        m in 1usize..72, k in 1usize..72, n in 1usize..72,
+        seed in prop::collection::vec(-2.0f32..2.0, 128)
+    ) {
+        let a = Tensor::from_vec(m, k, seed.iter().cycle().take(m * k).copied().collect());
+        let b = Tensor::from_vec(k, n, seed.iter().rev().cycle().take(k * n).copied().collect());
+        let want = naive_matmul(&a, &b);
+        for threads in [1usize, 2, 4] {
+            let got = with_threads(threads, || a.matmul(&b));
+            assert_bit_identical(&got, &want, &format!("matmul@{threads}"));
+        }
+    }
+
+    /// Same contract for the transposed variants.
+    #[test]
+    fn transposed_variants_match_oracles_at_any_thread_count(
+        m in 1usize..40, k in 1usize..40, n in 1usize..40,
+        seed in prop::collection::vec(-2.0f32..2.0, 96)
+    ) {
+        let at = Tensor::from_vec(k, m, seed.iter().cycle().take(k * m).copied().collect());
+        let a = Tensor::from_vec(m, k, seed.iter().cycle().take(m * k).copied().collect());
+        let b = Tensor::from_vec(k, n, seed.iter().rev().cycle().take(k * n).copied().collect());
+        let bt = Tensor::from_vec(n, k, seed.iter().cycle().take(n * k).copied().collect());
+        let want_tn = naive_matmul_tn(&at, &b);
+        let want_nt = naive_matmul_nt(&a, &bt);
+        for threads in [1usize, 2, 4] {
+            let got_tn = with_threads(threads, || at.matmul_tn(&b));
+            assert_bit_identical(&got_tn, &want_tn, &format!("matmul_tn@{threads}"));
+            let got_nt = with_threads(threads, || a.matmul_nt(&bt));
+            assert_bit_identical(&got_nt, &want_nt, &format!("matmul_nt@{threads}"));
+        }
+    }
+
+    /// `transposed` round-trips and matches the definition at any thread
+    /// count and ragged shape.
+    #[test]
+    fn transpose_matches_definition_at_any_thread_count(
+        rows in 1usize..70, cols in 1usize..70,
+        seed in prop::collection::vec(-2.0f32..2.0, 64)
+    ) {
+        let t = Tensor::from_vec(rows, cols, seed.iter().cycle().take(rows * cols).copied().collect());
+        for threads in [1usize, 2, 4] {
+            let tt = with_threads(threads, || t.transposed());
+            prop_assert_eq!(tt.shape(), (cols, rows));
+            for r in 0..rows.min(8) {
+                for c in 0..cols.min(8) {
+                    prop_assert_eq!(t.at2(r, c), tt.at2(c, r));
+                }
+            }
+            let back = with_threads(threads, || tt.transposed());
+            prop_assert!(back.data() == t.data(), "transpose must round-trip exactly");
+        }
+    }
+
+    /// Pooled buffers behave like fresh zeroed memory: repeating an op after
+    /// its intermediates were recycled yields bit-identical results.
+    #[test]
+    fn pooled_reruns_are_bit_identical(
+        m in 4usize..32, k in 4usize..32, n in 4usize..32,
+        seed in prop::collection::vec(-2.0f32..2.0, 64)
+    ) {
+        let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let a = Tensor::from_vec(m, k, seed.iter().cycle().take(m * k).copied().collect());
+        let b = Tensor::from_vec(k, n, seed.iter().rev().cycle().take(k * n).copied().collect());
+        let first = a.matmul(&b);
+        // Poison the pool with the result's own (dirty) buffer, then rerun:
+        // the recycled allocation must come back zeroed.
+        pool::recycle(first.clone().into_data());
+        let second = a.matmul(&b);
+        prop_assert!(first.data() == second.data(), "pooled rerun diverged");
+    }
+}
+
+/// The exact serial/parallel threshold: shapes straddling `PAR_MIN_FLOPS`
+/// agree with the oracle on both sides of the gate.
+#[test]
+fn threshold_boundary_shapes_are_bit_identical() {
+    // 64·64·64 == PAR_MIN_FLOPS; its neighbours sit just under/over.
+    assert_eq!(64 * 64 * 64, PAR_MIN_FLOPS);
+    for (m, k, n) in [(64, 64, 63), (64, 64, 64), (64, 64, 65), (63, 65, 64)] {
+        let a = Tensor::from_vec(m, k, (0..m * k).map(|i| ((i % 13) as f32) - 6.0).collect());
+        let b = Tensor::from_vec(k, n, (0..k * n).map(|i| ((i % 7) as f32) - 3.0).collect());
+        let want = naive_matmul(&a, &b);
+        for threads in [1usize, 2, 4] {
+            let got = with_threads(threads, || a.matmul(&b));
+            assert!(
+                got.data() == want.data(),
+                "matmul {m}x{k}x{n} at {threads} threads diverged at the threshold"
+            );
+        }
+    }
+}
