@@ -8,6 +8,8 @@
 #      4 threads — the parallel paths must not change results)
 #   4. kernel smoke     (exp_kernels --smoke exits non-zero on any
 #      parallel-vs-serial kernel divergence)
+#   5. inference smoke  (exp_inference --smoke at 1 and 4 threads exits
+#      non-zero if the tape-free plan's tags diverge from the tape path)
 #
 # The build is fully offline: every external dependency is a vendored stub
 # under compat/, so no network access is required.
@@ -28,5 +30,11 @@ NER_THREADS=4 cargo test -q
 
 echo "== kernel smoke: parallel must match the serial oracle =="
 cargo run --release -p ner-bench --bin exp_kernels -- --smoke
+
+echo "== inference smoke: the plan must reproduce the tape (NER_THREADS=1) =="
+NER_THREADS=1 cargo run --release -p ner-bench --bin exp_inference -- --smoke
+
+echo "== inference smoke: the plan must reproduce the tape (NER_THREADS=4) =="
+NER_THREADS=4 cargo run --release -p ner-bench --bin exp_inference -- --smoke
 
 echo "CI OK"

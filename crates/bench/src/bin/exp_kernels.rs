@@ -67,6 +67,10 @@ struct Report {
     description: String,
     seed: u64,
     smoke: bool,
+    /// Worker threads requested via `NER_THREADS` — the pool size the
+    /// thread sweep is driven from, as opposed to what the host offers.
+    requested_threads: usize,
+    /// True `available_parallelism` of the host the run executed on.
     host_parallelism: usize,
     kernels: Vec<KernelRow>,
     batch_scoring: Vec<ScoringRow>,
@@ -399,6 +403,7 @@ fn main() {
         description: "Serial vs blocked vs parallel kernel and batch-scoring throughput; all variants must match the naive oracle bit-for-bit".into(),
         seed: SEED,
         smoke,
+        requested_threads: ner_par::default_threads(),
         host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         kernels,
         batch_scoring,

@@ -266,9 +266,32 @@ pub fn report(raw: Vec<String>) -> CmdResult {
                 }
             }
         }
+        // Per-stage share of the planned inference path, when present.
+        let stage = |n: &str| histograms.iter().find(|h| h.name == n).map(|h| h.mean);
+        if let (Some(e), Some(c), Some(d)) =
+            (stage("infer.embed_us"), stage("infer.encode_us"), stage("infer.decode_us"))
+        {
+            let total = e + c + d;
+            if total > 0.0 {
+                println!(
+                    "stage split (mean): embed {:.0}%  encode {:.0}%  decode {:.0}%",
+                    100.0 * e / total,
+                    100.0 * c / total,
+                    100.0 * d / total
+                );
+            }
+        }
     }
 
     let counter = |name: &str| counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v);
+    if let (Some(hits), Some(misses)) = (counter("infer.cache.hits"), counter("infer.cache.misses"))
+    {
+        println!("\n== token-feature cache ==");
+        let total = hits + misses;
+        let rate = if total > 0.0 { 100.0 * hits / total } else { 0.0 };
+        println!("hits {hits:.0}  misses {misses:.0}  hit-rate {rate:.1}%");
+    }
+
     if let (Some(hits), Some(misses)) = (counter("pool.hits"), counter("pool.misses")) {
         println!("\n== tensor buffer pool ==");
         let total = hits + misses;

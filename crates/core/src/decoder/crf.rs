@@ -164,66 +164,50 @@ impl Crf {
     /// plus its unnormalized path score. When `constraints` is given,
     /// structurally invalid transitions (e.g. `O → I-PER` in BIOES) are
     /// hard-masked — predicted sequences are then always well-formed.
+    ///
+    /// Builds the log-space decode tables on the fly; callers decoding many
+    /// sentences should compile them once with
+    /// [`decode_tables`](Self::decode_tables) and reuse
+    /// [`CrfDecodeTables::viterbi`] — same implementation, same result.
     pub fn viterbi(
         &self,
         store: &ParamStore,
         emissions: &Tensor,
         constraints: Option<&TagSet>,
     ) -> (Vec<usize>, f64) {
-        let (t_len, k) = emissions.shape();
-        assert!(t_len > 0 && k == self.k);
-        let trans = store.value(self.transitions);
-        let start = store.value(self.start);
-        let end = store.value(self.end);
-        const NEG: f64 = -1e18;
+        self.decode_tables(store, constraints).viterbi(emissions)
+    }
 
-        let allowed_start = |j: usize| constraints.is_none_or(|c| c.start_allowed(j));
-        let allowed_end = |j: usize| constraints.is_none_or(|c| c.end_allowed(j));
-        let allowed = |i: usize, j: usize| constraints.is_none_or(|c| c.transition_allowed(i, j));
-
-        let mut score = vec![vec![NEG; k]; t_len];
-        let mut back = vec![vec![0usize; k]; t_len];
-        for j in 0..k {
-            if allowed_start(j) {
-                score[0][j] = start.at2(0, j) as f64 + emissions.at2(0, j) as f64;
-            }
-        }
-        for t in 1..t_len {
+    /// Precomputes the decode tables (parameters widened to `f64` log
+    /// space, structural-constraint masks materialized) so repeated Viterbi
+    /// calls stop re-deriving them per sentence. Snapshot semantics:
+    /// recompile after a parameter update.
+    pub fn decode_tables(
+        &self,
+        store: &ParamStore,
+        constraints: Option<&TagSet>,
+    ) -> CrfDecodeTables {
+        let k = self.k;
+        let trans_t = store.value(self.transitions);
+        let start_t = store.value(self.start);
+        let end_t = store.value(self.end);
+        let mut trans = vec![0.0f64; k * k];
+        let mut allowed = vec![true; k * k];
+        for i in 0..k {
             for j in 0..k {
-                let mut best = NEG;
-                let mut arg = 0;
-                for i in 0..k {
-                    if !allowed(i, j) {
-                        continue;
-                    }
-                    let s = score[t - 1][i] + trans.at2(i, j) as f64;
-                    if s > best {
-                        best = s;
-                        arg = i;
-                    }
-                }
-                score[t][j] = best + emissions.at2(t, j) as f64;
-                back[t][j] = arg;
+                trans[i * k + j] = trans_t.at2(i, j) as f64;
+                allowed[i * k + j] = constraints.is_none_or(|c| c.transition_allowed(i, j));
             }
         }
-        let mut best = NEG;
-        let mut arg = 0;
-        for j in 0..k {
-            if !allowed_end(j) {
-                continue;
-            }
-            let s = score[t_len - 1][j] + end.at2(0, j) as f64;
-            if s > best {
-                best = s;
-                arg = j;
-            }
+        CrfDecodeTables {
+            k,
+            trans,
+            start: (0..k).map(|j| start_t.at2(0, j) as f64).collect(),
+            end: (0..k).map(|j| end_t.at2(0, j) as f64).collect(),
+            allowed,
+            allowed_start: (0..k).map(|j| constraints.is_none_or(|c| c.start_allowed(j))).collect(),
+            allowed_end: (0..k).map(|j| constraints.is_none_or(|c| c.end_allowed(j))).collect(),
         }
-        let mut tags = vec![0usize; t_len];
-        tags[t_len - 1] = arg;
-        for t in (1..t_len).rev() {
-            tags[t - 1] = back[t][tags[t]];
-        }
-        (tags, best)
     }
 
     /// Log partition function for `emissions` (used to normalize Viterbi
@@ -294,6 +278,81 @@ impl Crf {
             }
         }
         out
+    }
+}
+
+/// Precompiled log-space Viterbi tables for one [`Crf`] (see
+/// [`Crf::decode_tables`]): the single source of truth for CRF decoding —
+/// [`Crf::viterbi`] delegates here, so the cached and uncached paths cannot
+/// diverge.
+pub struct CrfDecodeTables {
+    k: usize,
+    /// Row-major `[k, k]` transition scores, already widened to `f64`.
+    trans: Vec<f64>,
+    start: Vec<f64>,
+    end: Vec<f64>,
+    /// Row-major `[k, k]` structural-constraint mask (`true` = allowed).
+    allowed: Vec<bool>,
+    allowed_start: Vec<bool>,
+    allowed_end: Vec<bool>,
+}
+
+impl CrfDecodeTables {
+    /// Number of tags.
+    pub fn num_tags(&self) -> usize {
+        self.k
+    }
+
+    /// Viterbi decoding against the precompiled tables — bit-identical to
+    /// [`Crf::viterbi`] with the constraints the tables were built with.
+    pub fn viterbi(&self, emissions: &Tensor) -> (Vec<usize>, f64) {
+        let (t_len, k) = emissions.shape();
+        assert!(t_len > 0 && k == self.k);
+        const NEG: f64 = -1e18;
+
+        let mut score = vec![vec![NEG; k]; t_len];
+        let mut back = vec![vec![0usize; k]; t_len];
+        for j in 0..k {
+            if self.allowed_start[j] {
+                score[0][j] = self.start[j] + emissions.at2(0, j) as f64;
+            }
+        }
+        for t in 1..t_len {
+            for j in 0..k {
+                let mut best = NEG;
+                let mut arg = 0;
+                for i in 0..k {
+                    if !self.allowed[i * k + j] {
+                        continue;
+                    }
+                    let s = score[t - 1][i] + self.trans[i * k + j];
+                    if s > best {
+                        best = s;
+                        arg = i;
+                    }
+                }
+                score[t][j] = best + emissions.at2(t, j) as f64;
+                back[t][j] = arg;
+            }
+        }
+        let mut best = NEG;
+        let mut arg = 0;
+        for j in 0..k {
+            if !self.allowed_end[j] {
+                continue;
+            }
+            let s = score[t_len - 1][j] + self.end[j];
+            if s > best {
+                best = s;
+                arg = j;
+            }
+        }
+        let mut tags = vec![0usize; t_len];
+        tags[t_len - 1] = arg;
+        for t in (1..t_len).rev() {
+            tags[t - 1] = back[t][tags[t]];
+        }
+        (tags, best)
     }
 }
 

@@ -7,8 +7,9 @@
 //! decoding repeats greedily until the sentence is consumed.
 
 use crate::decoder::semicrf::Segment;
+use ner_tensor::fused::{self, Activation};
 use ner_tensor::nn::Linear;
-use ner_tensor::{init, ParamId, ParamStore, Tape, Var};
+use ner_tensor::{init, ParamId, ParamStore, Tape, Tensor, Var};
 use rand::Rng;
 
 /// A greedy segment-and-label pointer decoder.
@@ -135,6 +136,74 @@ impl PointerDecoder {
             segs.push(Segment { start: s, end: e, label });
             s = e;
         }
+        segs
+    }
+
+    /// Tape-free pointer scores over candidate ends, as a `[cands, 1]`
+    /// column (the tape path transposes to `[1, cands]`; scanning the
+    /// column top-down with a strict `>` is the identical argmax).
+    fn pointer_scores_eval(
+        &self,
+        store: &ParamStore,
+        enc: &Tensor,
+        s: usize,
+        cands: usize,
+    ) -> Tensor {
+        let d = enc.cols();
+        let mut h_s = Tensor::zeros_pooled(1, d);
+        h_s.row_mut(0).copy_from_slice(enc.row(s));
+        let proj_s = self.w_start.forward_eval(store, &h_s, Activation::None); // [1, att]
+        fused::recycle(h_s);
+        let mut ends = Tensor::zeros_pooled(cands, d);
+        for r in 0..cands {
+            ends.row_mut(r).copy_from_slice(enc.row(s + r));
+        }
+        let mut summed = self.w_end.forward_eval(store, &ends, Activation::None); // [cands, att]
+        fused::recycle(ends);
+        fused::add_bias_in_place(&mut summed, &proj_s); // broadcast start proj
+        fused::recycle(proj_s);
+        Activation::Tanh.apply(&mut summed);
+        let scores = summed.matmul(store.value(self.v)); // [cands, 1]
+        fused::recycle(summed);
+        scores
+    }
+
+    /// Tape-free [`decode`](Self::decode) — greedy chunk-then-label with
+    /// the identical floats and tie-breaking.
+    pub fn decode_eval(&self, store: &ParamStore, enc: &Tensor) -> Vec<Segment> {
+        let n = enc.rows();
+        let d = enc.cols();
+        let mut segs = Vec::new();
+        let mut rep = Tensor::zeros_pooled(1, 2 * d);
+        let mut s = 0;
+        while s < n {
+            let cands = self.max_len.min(n - s);
+            let len = if cands > 1 {
+                let scores = self.pointer_scores_eval(store, enc, s, cands);
+                let mut best = scores.at2(0, 0);
+                let mut arg = 0;
+                for r in 1..cands {
+                    let v = scores.at2(r, 0);
+                    if v > best {
+                        best = v;
+                        arg = r;
+                    }
+                }
+                fused::recycle(scores);
+                arg + 1
+            } else {
+                1
+            };
+            let e = s + len;
+            rep.row_mut(0)[..d].copy_from_slice(enc.row(s));
+            rep.row_mut(0)[d..].copy_from_slice(enc.row(e - 1));
+            let logits = self.classify.forward_eval(store, &rep, Activation::None);
+            let label = logits.argmax_row(0);
+            fused::recycle(logits);
+            segs.push(Segment { start: s, end: e, label });
+            s = e;
+        }
+        fused::recycle(rep);
         segs
     }
 }

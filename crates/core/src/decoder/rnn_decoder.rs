@@ -6,8 +6,9 @@
 //! previous tag; decoding is greedy, feeding back the argmax — the
 //! serialization cost the paper's §3.5 comparison calls out.
 
+use ner_tensor::fused::{self, Activation};
 use ner_tensor::nn::{Embedding, Linear, LstmCell};
-use ner_tensor::{ParamStore, Tape, Var};
+use ner_tensor::{ParamStore, Tape, Tensor, Var};
 use rand::Rng;
 
 /// An LSTM-based greedy tag decoder.
@@ -78,6 +79,30 @@ impl RnnDecoder {
             prev = tape.value(logits).argmax_row(0);
             tags.push(prev);
         }
+        tags
+    }
+
+    /// Tape-free [`decode`](Self::decode) — the same greedy feedback loop
+    /// (and the same floats) without building a graph.
+    pub fn decode_eval(&self, store: &ParamStore, enc: &Tensor) -> Vec<usize> {
+        let n = enc.rows();
+        let tag_table = store.value(self.tag_emb.table);
+        let (d_enc, d_tag) = (enc.cols(), tag_table.cols());
+        let mut state = self.cell.begin_eval();
+        let mut x = Tensor::zeros_pooled(1, d_enc + d_tag);
+        let mut tags = Vec::with_capacity(n);
+        let mut prev = self.k;
+        for t in 0..n {
+            let row = x.row_mut(0);
+            row[..d_enc].copy_from_slice(enc.row(t));
+            row[d_enc..].copy_from_slice(tag_table.row(prev));
+            self.cell.step_eval(store, &mut state, &x);
+            let logits = self.out.forward_eval(store, &state.h, Activation::None);
+            prev = logits.argmax_row(0);
+            fused::recycle(logits);
+            tags.push(prev);
+        }
+        fused::recycle(x);
         tags
     }
 }

@@ -6,8 +6,10 @@
 pub mod recursive;
 
 use crate::config::EncoderKind;
+use crate::plan::ForwardPlan;
+use ner_tensor::fused::{self, Activation};
 use ner_tensor::nn::{GruCell, Linear, LstmCell, TransformerBlock};
-use ner_tensor::{init, nn, ParamId, ParamStore, Tape, Var};
+use ner_tensor::{init, nn, ParamId, ParamStore, Tape, Tensor, Var};
 use rand::Rng;
 
 /// A built context encoder: maps `[n, in_dim] → [n, out_dim]`.
@@ -235,6 +237,140 @@ impl Encoder {
             }
         }
     }
+
+    /// Tape-free [`forward`](Self::forward): consumes `x` (recycling it
+    /// into the buffer pool once read) and returns a pooled `[n, out_dim]`
+    /// matrix, bit-identical to the tape path. `plan` supplies the shared
+    /// per-length positional-encoding table for Transformer encoders.
+    pub(crate) fn forward_eval(&self, store: &ParamStore, x: Tensor, plan: &ForwardPlan) -> Tensor {
+        match &self.imp {
+            EncoderImpl::Identity => x,
+            EncoderImpl::WindowMlp { lin, window } => {
+                let windowed = window_concat_eval(&x, *window);
+                fused::recycle(x);
+                let h = lin.forward_eval(store, &windowed, Activation::Tanh);
+                fused::recycle(windowed);
+                h
+            }
+            EncoderImpl::Cnn { layers, width, global } => {
+                let mut h = x;
+                for (w, b) in layers {
+                    let c = fused::conv1d_act(
+                        &h,
+                        store.value(*w),
+                        store.value(*b),
+                        *width,
+                        1,
+                        Activation::Relu,
+                    );
+                    fused::recycle(h);
+                    h = c;
+                }
+                if *global {
+                    let (n, f) = h.shape();
+                    let g = fused::max_over_rows(&h);
+                    let mut out = Tensor::zeros_pooled(n, 2 * f);
+                    for r in 0..n {
+                        let row = out.row_mut(r);
+                        row[..f].copy_from_slice(h.row(r));
+                        row[f..].copy_from_slice(g.row(0));
+                    }
+                    fused::recycle(h);
+                    fused::recycle(g);
+                    out
+                } else {
+                    h
+                }
+            }
+            EncoderImpl::IdCnn { initial, block, width, iterations } => {
+                let mut h = fused::conv1d_act(
+                    &x,
+                    store.value(initial.0),
+                    store.value(initial.1),
+                    *width,
+                    1,
+                    Activation::Relu,
+                );
+                fused::recycle(x);
+                for _ in 0..*iterations {
+                    for (w, b, dil) in block {
+                        let c = fused::conv1d_act(
+                            &h,
+                            store.value(*w),
+                            store.value(*b),
+                            *width,
+                            *dil,
+                            Activation::Relu,
+                        );
+                        fused::recycle(h);
+                        h = c;
+                    }
+                }
+                h
+            }
+            EncoderImpl::Lstm { layers } => {
+                let mut h = x;
+                for (fw, bw) in layers {
+                    let next = match bw {
+                        Some(bw) => nn::bidirectional_eval(store, fw, bw, &h),
+                        None => fw.sequence_eval(store, &h),
+                    };
+                    fused::recycle(h);
+                    h = next;
+                }
+                h
+            }
+            EncoderImpl::Gru { fw, bw } => {
+                let out = match bw {
+                    Some(bw) => {
+                        let f = fw.sequence_eval(store, &x);
+                        let b = bw.sequence_rev_eval(store, &x);
+                        let (n, hf, hb) = (x.rows(), f.cols(), b.cols());
+                        let mut out = Tensor::zeros_pooled(n, hf + hb);
+                        for r in 0..n {
+                            let row = out.row_mut(r);
+                            row[..hf].copy_from_slice(f.row(r));
+                            row[hf..].copy_from_slice(b.row(r));
+                        }
+                        fused::recycle(f);
+                        fused::recycle(b);
+                        out
+                    }
+                    None => fw.sequence_eval(store, &x),
+                };
+                fused::recycle(x);
+                out
+            }
+            EncoderImpl::Transformer { proj, blocks, d_model } => {
+                let mut p = proj.forward_eval(store, &x, Activation::None);
+                fused::recycle(x);
+                let pe = plan.positional_encoding(p.rows(), *d_model);
+                p.add_scaled(&pe, 1.0);
+                for block in blocks {
+                    let h = block.forward_eval(store, &p);
+                    fused::recycle(p);
+                    p = h;
+                }
+                p
+            }
+        }
+    }
+}
+
+/// Tape-free [`window_concat`]: the same zero-padded neighbor layout
+/// written directly into one pooled buffer.
+fn window_concat_eval(x: &Tensor, window: usize) -> Tensor {
+    let (n, d) = x.shape();
+    let mut out = Tensor::zeros_pooled(n, (2 * window + 1) * d);
+    for (blk, offset) in (-(window as isize)..=window as isize).enumerate() {
+        for t in 0..n {
+            let src = t as isize + offset;
+            if src >= 0 && (src as usize) < n {
+                out.row_mut(t)[blk * d..(blk + 1) * d].copy_from_slice(x.row(src as usize));
+            }
+        }
+    }
+    out
 }
 
 /// Concatenates each row with its ±`window` neighbors (zero-padded at the

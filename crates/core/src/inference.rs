@@ -2,21 +2,51 @@
 //! (the paper's Fig. 1 task illustration).
 
 use crate::model::NerModel;
+use crate::plan::{ForwardPlan, DEFAULT_TOKEN_CACHE};
 use crate::repr::SentenceEncoder;
 use ner_text::{tokenize, Sentence};
 
 /// A trained model bundled with its data encoder — the deployable artifact.
+///
+/// Construction compiles a [`ForwardPlan`], so `extract`/`annotate` (and
+/// their batch variants) run the tape-free fused inference path by default;
+/// the `*_tape` methods keep the original autograd-tape path available for
+/// verification and benchmarking. Both paths are bit-identical.
 pub struct NerPipeline {
     /// The data encoder (vocabularies, tag set, feature switches).
     pub encoder: SentenceEncoder,
     /// The trained model.
     pub model: NerModel,
+    plan: ForwardPlan,
 }
 
 impl NerPipeline {
-    /// Bundles an encoder and a model.
+    /// Bundles an encoder and a model, compiling the inference plan with
+    /// the default token-cache capacity.
     pub fn new(encoder: SentenceEncoder, model: NerModel) -> Self {
-        NerPipeline { encoder, model }
+        let plan = model.compile_plan(DEFAULT_TOKEN_CACHE);
+        NerPipeline { encoder, model, plan }
+    }
+
+    /// Recompiles the plan with the given token-cache capacity (`0`
+    /// disables the cache).
+    pub fn with_token_cache_capacity(mut self, capacity: usize) -> Self {
+        self.plan = self.model.compile_plan(capacity);
+        self
+    }
+
+    /// Recompiles the inference plan. Call after mutating
+    /// [`model`](Self::model)'s parameters (e.g. further training): the
+    /// plan snapshots the CRF decode tables and caches token features, so a
+    /// stale plan would serve outputs from the old weights.
+    pub fn refresh_plan(&mut self) {
+        let cap = self.plan.token_cache().map_or(0, |_| DEFAULT_TOKEN_CACHE);
+        self.plan = self.model.compile_plan(cap);
+    }
+
+    /// The compiled inference plan (cache statistics live here).
+    pub fn plan(&self) -> &ForwardPlan {
+        &self.plan
     }
 
     /// Tokenizes raw text and annotates it with predicted entities.
@@ -29,17 +59,51 @@ impl NerPipeline {
         self.annotate(&sentence)
     }
 
-    /// Annotates a pre-tokenized sentence (existing entities are ignored).
+    /// Annotates a pre-tokenized sentence (existing entities are ignored)
+    /// via the compiled tape-free plan.
     ///
     /// Feeds the `infer.sentence_us` latency histogram and the
-    /// `infer.tokens` counter, from which tokens/sec throughput is derived.
+    /// `infer.tokens` counter, from which tokens/sec throughput is derived;
+    /// the plan adds per-stage `infer.{embed,encode,decode}_us` histograms
+    /// and `infer.cache.{hits,misses}` counters.
     pub fn annotate(&self, sentence: &Sentence) -> Sentence {
+        let t = std::time::Instant::now();
+        let enc = self.encoder.encode(sentence);
+        let spans = self.model.predict_spans_planned(&self.plan, &enc);
+        ner_obs::observe("infer.sentence_us", t.elapsed().as_secs_f64() * 1e6);
+        ner_obs::counter("infer.tokens", sentence.len() as f64);
+        self.export_cache_stats();
+        Sentence { tokens: sentence.tokens.clone(), entities: spans }
+    }
+
+    /// [`extract`](Self::extract) through the original autograd-tape path
+    /// — the reference implementation the plan is verified against.
+    pub fn extract_tape(&self, text: &str) -> Sentence {
+        let tokens = tokenize::tokenize(text);
+        if tokens.is_empty() {
+            return Sentence::default();
+        }
+        self.annotate_tape(&Sentence::unlabeled(&tokens))
+    }
+
+    /// [`annotate`](Self::annotate) through the original autograd-tape
+    /// path (no plan, no caches). Bit-identical to the planned path.
+    pub fn annotate_tape(&self, sentence: &Sentence) -> Sentence {
         let t = std::time::Instant::now();
         let enc = self.encoder.encode(sentence);
         let spans = self.model.predict_spans(&enc);
         ner_obs::observe("infer.sentence_us", t.elapsed().as_secs_f64() * 1e6);
         ner_obs::counter("infer.tokens", sentence.len() as f64);
         Sentence { tokens: sentence.tokens.clone(), entities: spans }
+    }
+
+    /// Publishes the plan's token-cache hit/miss deltas to `ner-obs`.
+    fn export_cache_stats(&self) {
+        let (hits, misses) = self.plan.take_token_cache_stats();
+        if hits + misses > 0 {
+            ner_obs::counter("infer.cache.hits", hits as f64);
+            ner_obs::counter("infer.cache.misses", misses as f64);
+        }
     }
 
     /// Tokenizes and annotates a batch of raw texts, fanning the sentences

@@ -50,6 +50,7 @@ pub mod metrics;
 pub mod model;
 pub mod nested;
 pub mod persist;
+pub mod plan;
 pub mod repr;
 pub mod trainer;
 pub mod zoo;
@@ -61,6 +62,7 @@ pub mod prelude {
     pub use crate::metrics::{evaluate, EvalResult, Prf};
     pub use crate::model::NerModel;
     pub use crate::persist::Checkpoint;
+    pub use crate::plan::ForwardPlan;
     pub use crate::repr::{EncodedSentence, SentenceEncoder};
     pub use crate::trainer::{evaluate_model, predict_all, train, TrainConfig};
     pub use ner_text::{Dataset, EntitySpan, Sentence, TagScheme};

@@ -4,8 +4,10 @@
 use crate::config::{DecoderKind, NerConfig};
 use crate::decoder::{Crf, PointerDecoder, RnnDecoder, Segment, SemiCrf};
 use crate::encoder::Encoder;
+use crate::plan::ForwardPlan;
 use crate::repr::{EncodedSentence, InputLayer, SentenceEncoder};
 use ner_embed::WordEmbeddings;
+use ner_tensor::fused::{self, Activation};
 use ner_tensor::nn::Linear;
 use ner_tensor::{ParamStore, Tape, Tensor, Var};
 use ner_text::{EntitySpan, TagSet};
@@ -213,6 +215,87 @@ impl NerModel {
     pub fn predict_tags(&self, enc: &EncodedSentence) -> Vec<String> {
         let spans = self.predict_spans(enc);
         self.tag_set.scheme().spans_to_tags(enc.len(), &spans)
+    }
+
+    /// Compiles the tape-free inference plan for this model: precomputed
+    /// CRF decode tables plus an LRU token-feature cache of the given
+    /// capacity (`0` disables caching). The plan snapshots the CRF
+    /// parameters — recompile after any parameter update.
+    pub fn compile_plan(&self, token_cache_capacity: usize) -> ForwardPlan {
+        let crf_tables = match &self.head {
+            Head::Crf { crf, .. } => {
+                let constraints = self.cfg.constrained_decoding.then_some(&self.tag_set);
+                Some(crf.decode_tables(&self.store, constraints))
+            }
+            _ => None,
+        };
+        ForwardPlan::new(crf_tables, token_cache_capacity)
+    }
+
+    /// Planned (tape-free) [`predict_spans`](Self::predict_spans) —
+    /// bit-identical predictions via the fused kernels and pooled buffers,
+    /// feeding the `infer.embed_us` / `infer.encode_us` / `infer.decode_us`
+    /// per-stage latency histograms.
+    pub fn predict_spans_planned(
+        &self,
+        plan: &ForwardPlan,
+        enc: &EncodedSentence,
+    ) -> Vec<EntitySpan> {
+        let t0 = std::time::Instant::now();
+        let x = self.input.forward_eval(&self.store, enc, plan.token_cache());
+        let t1 = std::time::Instant::now();
+        let h = self.encoder.forward_eval(&self.store, x, plan);
+        let t2 = std::time::Instant::now();
+        let spans = self.decode_planned(plan, &h);
+        fused::recycle(h);
+        ner_obs::observe("infer.embed_us", (t1 - t0).as_secs_f64() * 1e6);
+        ner_obs::observe("infer.encode_us", (t2 - t1).as_secs_f64() * 1e6);
+        ner_obs::observe("infer.decode_us", t2.elapsed().as_secs_f64() * 1e6);
+        spans
+    }
+
+    /// Planned (tape-free) [`predict_tags`](Self::predict_tags).
+    pub fn predict_tags_planned(&self, plan: &ForwardPlan, enc: &EncodedSentence) -> Vec<String> {
+        let spans = self.predict_spans_planned(plan, enc);
+        self.tag_set.scheme().spans_to_tags(enc.len(), &spans)
+    }
+
+    /// Tape-free [`decode_from_states`](Self::decode_from_states).
+    fn decode_planned(&self, plan: &ForwardPlan, h: &Tensor) -> Vec<EntitySpan> {
+        match &self.head {
+            Head::Softmax { proj } => {
+                let logits = proj.forward_eval(&self.store, h, Activation::None);
+                let tags: Vec<usize> = (0..logits.rows()).map(|r| logits.argmax_row(r)).collect();
+                fused::recycle(logits);
+                self.tags_to_spans(&tags)
+            }
+            Head::Crf { proj, crf } => {
+                let emissions = proj.forward_eval(&self.store, h, Activation::None);
+                let tags = match plan.crf_tables() {
+                    Some(tables) => tables.viterbi(&emissions).0,
+                    None => {
+                        let constraints = self.cfg.constrained_decoding.then_some(&self.tag_set);
+                        crf.viterbi(&self.store, &emissions, constraints).0
+                    }
+                };
+                fused::recycle(emissions);
+                self.tags_to_spans(&tags)
+            }
+            Head::SemiCrf { proj, crf } => {
+                let emissions = proj.forward_eval(&self.store, h, Activation::None);
+                let segs = crf.decode(&self.store, &emissions);
+                fused::recycle(emissions);
+                SemiCrf::segments_to_spans(&segs, &self.entity_types)
+            }
+            Head::Rnn { dec } => {
+                let tags = dec.decode_eval(&self.store, h);
+                self.tags_to_spans(&tags)
+            }
+            Head::Pointer { dec } => {
+                let segs = dec.decode_eval(&self.store, h);
+                SemiCrf::segments_to_spans(&segs, &self.entity_types)
+            }
+        }
     }
 
     /// The decoder's *raw* tag sequence for token-level decoders (softmax,

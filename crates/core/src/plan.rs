@@ -1,0 +1,294 @@
+//! The compiled tape-free inference path.
+//!
+//! A [`ForwardPlan`] is compiled once per [`NerModel`](crate::model::NerModel)
+//! (via [`NerModel::compile_plan`](crate::model::NerModel::compile_plan)) and
+//! holds everything the model's forward pass can precompute or reuse across
+//! sentences:
+//!
+//! * **CRF decode tables** — the transition/start/end scores widened to log
+//!   space (`f64`) once, with the structural-constraint masks baked in, so
+//!   Viterbi stops re-deriving them per sentence
+//!   ([`CrfDecodeTables`](crate::decoder::crf::CrfDecodeTables)).
+//! * **Token feature cache** — an LRU of per-token base representations
+//!   (word embedding + char composition + gate), keyed by surface form.
+//!   Informal-text corpora repeat tokens heavily, and the base row depends
+//!   only on the token itself, so a hit skips the char-CNN/BiLSTM entirely.
+//!   Cached rows are bit-identical to freshly computed ones (per-row
+//!   evaluation equals batch evaluation for every op involved), so the
+//!   cache never changes predictions.
+//! * **Positional encodings** — the deterministic sinusoidal table per
+//!   sentence length, shared by every Transformer forward.
+//!
+//! The evaluation itself runs through the `*_eval` mirrors in `ner-tensor`
+//! and this crate: no tape nodes, no backward closures, and per-sentence
+//! intermediates drawn from (and returned to) the thread-local
+//! `ner_tensor::pool` buffer arena. The contract throughout is
+//! **bit-identity with the tape path** — `tests/plan_parity.rs` checks it
+//! across every zoo architecture, and the `exp_inference` harness exits
+//! non-zero if any benchmark sentence decodes differently.
+
+use crate::decoder::crf::CrfDecodeTables;
+use ner_tensor::{nn, Tensor};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default capacity of the per-plan token feature cache.
+pub const DEFAULT_TOKEN_CACHE: usize = 4096;
+
+const NIL: usize = usize::MAX;
+
+/// A compiled, reusable inference plan for one model (see module docs).
+///
+/// Thread-safe: batch inference shares one plan across the `ner-par` pool.
+/// The plan snapshots the CRF parameters at compile time — recompile (or
+/// call [`NerPipeline::refresh_plan`](crate::inference::NerPipeline::refresh_plan))
+/// after mutating the parameter store, or planned decoding will diverge
+/// from the tape path.
+pub struct ForwardPlan {
+    crf_tables: Option<CrfDecodeTables>,
+    token_cache: Option<TokenFeatureCache>,
+    pe_cache: Mutex<HashMap<usize, Arc<Tensor>>>,
+}
+
+impl ForwardPlan {
+    pub(crate) fn new(crf_tables: Option<CrfDecodeTables>, token_cache_capacity: usize) -> Self {
+        ForwardPlan {
+            crf_tables,
+            token_cache: (token_cache_capacity > 0)
+                .then(|| TokenFeatureCache::new(token_cache_capacity)),
+            pe_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub(crate) fn crf_tables(&self) -> Option<&CrfDecodeTables> {
+        self.crf_tables.as_ref()
+    }
+
+    pub(crate) fn token_cache(&self) -> Option<&TokenFeatureCache> {
+        self.token_cache.as_ref()
+    }
+
+    /// The sinusoidal positional-encoding table for an `n`-token sentence,
+    /// computed once per distinct length (it is deterministic).
+    pub(crate) fn positional_encoding(&self, n: usize, d: usize) -> Arc<Tensor> {
+        let mut cache = self.pe_cache.lock().unwrap();
+        Arc::clone(cache.entry(n).or_insert_with(|| Arc::new(nn::positional_encoding(n, d))))
+    }
+
+    /// Cumulative token-cache `(hits, misses)` since compile (0, 0 when the
+    /// cache is disabled).
+    pub fn token_cache_stats(&self) -> (u64, u64) {
+        self.token_cache
+            .as_ref()
+            .map_or((0, 0), |c| (c.hits.load(Ordering::Relaxed), c.misses.load(Ordering::Relaxed)))
+    }
+
+    /// Takes (reads and resets) the token-cache `(hits, misses)` deltas —
+    /// the feed for the `infer.cache.*` observability counters.
+    pub fn take_token_cache_stats(&self) -> (u64, u64) {
+        self.token_cache.as_ref().map_or((0, 0), |c| {
+            (c.hits.swap(0, Ordering::Relaxed), c.misses.swap(0, Ordering::Relaxed))
+        })
+    }
+}
+
+/// A thread-safe LRU cache of per-token base representation rows, keyed by
+/// surface form. Hand-rolled (slab + intrusive doubly-linked recency list)
+/// to stay dependency-free.
+pub struct TokenFeatureCache {
+    inner: Mutex<Lru>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TokenFeatureCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "token cache capacity must be positive");
+        TokenFeatureCache {
+            inner: Mutex::new(Lru::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Copies the cached row for `token` into `dst` and returns `true`, or
+    /// returns `false` on a miss. Counts the hit/miss either way.
+    pub(crate) fn copy_into(&self, token: &str, dst: &mut [f32]) -> bool {
+        let mut lru = self.inner.lock().unwrap();
+        match lru.get(token) {
+            Some(row) => {
+                dst.copy_from_slice(row);
+                drop(lru);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => {
+                drop(lru);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) the row for `token`, evicting the least
+    /// recently used entry when full.
+    pub(crate) fn insert(&self, token: &str, row: Vec<f32>) {
+        self.inner.lock().unwrap().insert(token, row);
+    }
+
+    /// Number of cached tokens.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+struct Slot {
+    key: String,
+    row: Vec<f32>,
+    prev: usize,
+    next: usize,
+}
+
+struct Lru {
+    capacity: usize,
+    map: HashMap<String, usize>,
+    slots: Vec<Slot>,
+    head: usize,
+    tail: usize,
+}
+
+impl Lru {
+    fn new(capacity: usize) -> Self {
+        Lru { capacity, map: HashMap::new(), slots: Vec::new(), head: NIL, tail: NIL }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slots[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    fn get(&mut self, key: &str) -> Option<&[f32]> {
+        let i = *self.map.get(key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        Some(&self.slots[i].row)
+    }
+
+    fn insert(&mut self, key: &str, row: Vec<f32>) {
+        if let Some(&i) = self.map.get(key) {
+            self.slots[i].row = row;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return;
+        }
+        let i = if self.slots.len() < self.capacity {
+            self.slots.push(Slot { key: key.to_string(), row, prev: NIL, next: NIL });
+            self.slots.len() - 1
+        } else {
+            // Evict the least recently used slot and reuse it in place.
+            let i = self.tail;
+            self.unlink(i);
+            let slot = &mut self.slots[i];
+            let old_key = std::mem::replace(&mut slot.key, key.to_string());
+            slot.row = row;
+            self.map.remove(&old_key);
+            i
+        };
+        self.map.insert(key.to_string(), i);
+        self.push_front(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = TokenFeatureCache::new(2);
+        cache.insert("a", vec![1.0]);
+        cache.insert("b", vec![2.0]);
+        let mut buf = [0.0f32];
+        assert!(cache.copy_into("a", &mut buf)); // touches "a": "b" is now LRU
+        assert_eq!(buf, [1.0]);
+        cache.insert("c", vec![3.0]); // evicts "b"
+        assert!(!cache.copy_into("b", &mut buf));
+        assert!(cache.copy_into("a", &mut buf));
+        assert!(cache.copy_into("c", &mut buf));
+        assert_eq!(buf, [3.0]);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let cache = TokenFeatureCache::new(2);
+        cache.insert("a", vec![1.0]);
+        cache.insert("b", vec![2.0]);
+        cache.insert("a", vec![9.0]); // refresh: "b" becomes LRU
+        cache.insert("c", vec![3.0]); // evicts "b"
+        let mut buf = [0.0f32];
+        assert!(cache.copy_into("a", &mut buf));
+        assert_eq!(buf, [9.0]);
+        assert!(!cache.copy_into("b", &mut buf));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let plan = ForwardPlan::new(None, 4);
+        let cache = plan.token_cache().unwrap();
+        let mut buf = [0.0f32; 2];
+        assert!(!cache.copy_into("x", &mut buf));
+        cache.insert("x", vec![1.0, 2.0]);
+        assert!(cache.copy_into("x", &mut buf));
+        assert_eq!(plan.token_cache_stats(), (1, 1));
+        assert_eq!(plan.take_token_cache_stats(), (1, 1));
+        assert_eq!(plan.token_cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn capacity_zero_disables_the_cache() {
+        let plan = ForwardPlan::new(None, 0);
+        assert!(plan.token_cache().is_none());
+        assert_eq!(plan.token_cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn single_slot_cache_churns_correctly() {
+        let cache = TokenFeatureCache::new(1);
+        let mut buf = [0.0f32];
+        for (i, key) in ["a", "b", "c", "a"].iter().enumerate() {
+            assert!(!cache.copy_into(key, &mut buf), "step {i}");
+            cache.insert(key, vec![i as f32]);
+            assert!(cache.copy_into(key, &mut buf));
+            assert_eq!(buf, [i as f32]);
+        }
+        assert_eq!(cache.len(), 1);
+    }
+}

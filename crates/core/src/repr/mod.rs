@@ -11,7 +11,9 @@
 //!   composition modules producing the `[n, d]` input matrix on a tape.
 
 use crate::config::{CharRepr, NerConfig, WordRepr};
+use crate::plan::TokenFeatureCache;
 use ner_embed::{ContextualEmbedder, WordEmbeddings};
+use ner_tensor::fused::{self, Activation};
 use ner_tensor::nn::{Embedding, Linear, LstmCell};
 use ner_tensor::{init, ParamId, ParamStore, Tape, Tensor, Var};
 use ner_text::features::{token_features, FEATURE_DIM};
@@ -216,6 +218,33 @@ impl CharModule {
             }
         }
     }
+
+    /// Tape-free [`word_vector`](Self::word_vector) — same floats via the
+    /// fused kernels.
+    fn word_vector_eval(&self, store: &ParamStore, chars: &[usize]) -> Tensor {
+        match self {
+            CharModule::Cnn { emb, w, b, .. } => {
+                let x = emb.lookup_eval(store, chars);
+                let c =
+                    fused::conv1d_act(&x, store.value(*w), store.value(*b), 3, 1, Activation::Relu);
+                let m = fused::max_over_rows(&c);
+                fused::recycle(c);
+                m
+            }
+            CharModule::Lstm { emb, fw, bw } => {
+                let x = emb.lookup_eval(store, chars);
+                let f = fw.sequence_eval(store, &x);
+                let b = bw.sequence_rev_eval(store, &x);
+                let (hf, hb) = (f.cols(), b.cols());
+                let mut out = Tensor::zeros_pooled(1, hf + hb);
+                out.row_mut(0)[..hf].copy_from_slice(f.row(f.rows() - 1));
+                out.row_mut(0)[hf..].copy_from_slice(b.row(0));
+                fused::recycle(f);
+                fused::recycle(b);
+                out
+            }
+        }
+    }
 }
 
 /// The trainable input layer assembling the per-token representation.
@@ -366,6 +395,93 @@ impl InputLayer {
         } else {
             rep
         }
+    }
+
+    /// Width of the cacheable per-token base slice (word + char [+ gate]) —
+    /// everything in [`forward`](Self::forward) that depends only on the
+    /// token itself, not its sentence position.
+    fn base_dim(&self) -> usize {
+        self.out_dim - self.feat_dim - self.ctx_dim
+    }
+
+    /// The base representation row for one token, tape-free. Every op here
+    /// (embedding gather, char composition, gate) treats rows
+    /// independently, so this is bit-identical to the corresponding row of
+    /// the batched [`forward`](Self::forward) — which is what makes caching
+    /// it by surface form safe.
+    fn base_row_eval(&self, store: &ParamStore, word_id: usize, chars: &[usize]) -> Vec<f32> {
+        let word = store.value(self.word_emb.table).row(word_id);
+        let cm = match &self.char {
+            None => return word.to_vec(),
+            Some(cm) => cm,
+        };
+        let char_vec = cm.word_vector_eval(store, chars);
+        let out = match &self.gate {
+            Some(gate) => {
+                // z = σ(W[w;c]); rep = z⊙w + (c − z⊙c), the tape's exact
+                // association of (1−z)⊙c.
+                let d = word.len();
+                let mut both = Tensor::zeros_pooled(1, d + char_vec.cols());
+                both.row_mut(0)[..d].copy_from_slice(word);
+                both.row_mut(0)[d..].copy_from_slice(char_vec.row(0));
+                let z = gate.forward_eval(store, &both, Activation::Sigmoid);
+                fused::recycle(both);
+                let out = word
+                    .iter()
+                    .zip(char_vec.row(0))
+                    .zip(z.row(0))
+                    .map(|((&w, &c), &z)| z * w + (c - z * c))
+                    .collect();
+                fused::recycle(z);
+                out
+            }
+            None => {
+                let mut out = Vec::with_capacity(word.len() + char_vec.cols());
+                out.extend_from_slice(word);
+                out.extend_from_slice(char_vec.row(0));
+                out
+            }
+        };
+        fused::recycle(char_vec);
+        out
+    }
+
+    /// Tape-free [`forward`](Self::forward) in evaluation mode (no
+    /// dropout), assembling the `[n, out_dim]` matrix in one pooled buffer.
+    /// When `cache` is given, per-token base rows are served from (and fed
+    /// back into) the LRU; position-dependent feature/context columns are
+    /// always appended fresh.
+    pub(crate) fn forward_eval(
+        &self,
+        store: &ParamStore,
+        enc: &EncodedSentence,
+        cache: Option<&TokenFeatureCache>,
+    ) -> Tensor {
+        let n = enc.len();
+        assert!(n > 0, "cannot represent an empty sentence");
+        let bd = self.base_dim();
+        let mut out = Tensor::zeros_pooled(n, self.out_dim);
+        for i in 0..n {
+            let token = enc.tokens[i].as_str();
+            let cached = cache.is_some_and(|c| c.copy_into(token, &mut out.row_mut(i)[..bd]));
+            if !cached {
+                let base = self.base_row_eval(store, enc.word_ids[i], &enc.char_ids[i]);
+                out.row_mut(i)[..bd].copy_from_slice(&base);
+                if let Some(c) = cache {
+                    c.insert(token, base);
+                }
+            }
+            let row = out.row_mut(i);
+            if self.feat_dim > 0 {
+                debug_assert_eq!(enc.feats.len(), n, "encoder/features mismatch");
+                row[bd..bd + self.feat_dim].copy_from_slice(&enc.feats[i]);
+            }
+            if self.ctx_dim > 0 {
+                assert_eq!(enc.ctx.len(), n, "contextual vectors missing from encoded sentence");
+                row[bd + self.feat_dim..].copy_from_slice(&enc.ctx[i]);
+            }
+        }
+        out
     }
 }
 

@@ -1,0 +1,90 @@
+//! Parity of the compiled tape-free inference path with the autograd-tape
+//! path, across every zoo architecture: identical predicted tag sequences
+//! on every sentence, with the token cache cold and warm. This is the
+//! integration-level counterpart of `ner-tensor/tests/prop_fused.rs` —
+//! the fused kernels are bit-identical op by op, so the assembled plan
+//! must be prediction-identical end to end.
+
+use ner_core::prelude::*;
+use ner_core::zoo;
+use ner_corpus::{GeneratorConfig, NewsGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SENTENCES: usize = 12;
+
+/// Zoo presets with pretrained embeddings swapped for random ones (as the
+/// CLI does when no embedding file is supplied).
+fn materialized_zoo() -> Vec<(String, NerConfig)> {
+    zoo::zoo()
+        .into_iter()
+        .map(|e| {
+            let mut cfg = e.config;
+            if matches!(cfg.word, WordRepr::Pretrained { .. }) {
+                cfg.word = WordRepr::Random { dim: 32 };
+            }
+            (e.name.to_string(), cfg)
+        })
+        .collect()
+}
+
+#[test]
+fn planned_predictions_match_tape_predictions_for_every_zoo_model() {
+    let ds = NewsGenerator::new(GeneratorConfig::default())
+        .dataset(&mut StdRng::seed_from_u64(11), SENTENCES);
+    for (name, cfg) in materialized_zoo() {
+        let encoder = SentenceEncoder::from_dataset(&ds, cfg.scheme, 1);
+        let encoded = encoder.encode_dataset(&ds, None);
+        let model = NerModel::new(cfg, &encoder, None, &mut StdRng::seed_from_u64(7));
+        let plan = model.compile_plan(256);
+        // Two passes: the first runs with a cold token cache, the second
+        // must reproduce the same tags entirely from cached base rows.
+        for pass in 0..2 {
+            for (i, enc) in encoded.iter().enumerate() {
+                let tape_tags = model.predict_tags(enc);
+                let plan_tags = model.predict_tags_planned(&plan, enc);
+                assert_eq!(
+                    plan_tags, tape_tags,
+                    "{name}: divergence on sentence {i} (pass {pass})"
+                );
+            }
+        }
+        let (hits, misses) = plan.token_cache_stats();
+        assert!(hits > 0, "{name}: second pass should hit the token cache");
+        assert!(misses > 0, "{name}: first pass should miss the token cache");
+    }
+}
+
+#[test]
+fn plan_without_cache_also_matches() {
+    let ds = NewsGenerator::new(GeneratorConfig::default())
+        .dataset(&mut StdRng::seed_from_u64(13), SENTENCES);
+    let cfg = NerConfig::default();
+    let encoder = SentenceEncoder::from_dataset(&ds, cfg.scheme, 1);
+    let encoded = encoder.encode_dataset(&ds, None);
+    let model = NerModel::new(cfg, &encoder, None, &mut StdRng::seed_from_u64(3));
+    let plan = model.compile_plan(0);
+    assert_eq!(plan.token_cache_stats(), (0, 0));
+    for enc in &encoded {
+        assert_eq!(model.predict_tags_planned(&plan, enc), model.predict_tags(enc));
+    }
+}
+
+#[test]
+fn pipeline_tape_and_planned_paths_agree_on_raw_text() {
+    let ds =
+        NewsGenerator::new(GeneratorConfig::default()).dataset(&mut StdRng::seed_from_u64(17), 40);
+    let cfg = NerConfig::default();
+    let encoder = SentenceEncoder::from_dataset(&ds, cfg.scheme, 1);
+    let model = NerModel::new(cfg, &encoder, None, &mut StdRng::seed_from_u64(5));
+    let pipeline = NerPipeline::new(encoder, model);
+    for text in [
+        "Michael Jordan was born in Brooklyn.",
+        "The European Commission met in Brussels on Tuesday.",
+        "Prices rose 4.2 percent, Reuters reported.",
+    ] {
+        let planned = pipeline.extract(text);
+        let tape = pipeline.extract_tape(text);
+        assert_eq!(planned.entities, tape.entities, "divergence on {text:?}");
+    }
+}

@@ -256,10 +256,13 @@ impl ThreadPool {
     where
         F: Fn(Range<usize>) + Sync,
     {
-        let grain = grain.max(1);
+        // Empty batches bail before anything else — tight inference loops
+        // may call this repeatedly with nothing to do, and an empty batch
+        // must not touch the deques or wake any worker.
         if n == 0 {
             return;
         }
+        let grain = grain.max(1);
         if self.threads <= 1 || n <= grain {
             f(0..n);
             return;
@@ -480,5 +483,21 @@ mod tests {
         assert!(pool.map(0, |i| i).is_empty());
         let one = pool.map(1, |i| i + 41);
         assert_eq!(one, vec![41]);
+    }
+
+    /// Repeated empty batches (the shape of a tight inference loop between
+    /// sentences) return immediately — even with a degenerate grain of 0 —
+    /// and never submit a job or run the closure.
+    #[test]
+    fn repeated_empty_batches_return_immediately() {
+        let pool = ThreadPool::new(4);
+        let t = std::time::Instant::now();
+        for _ in 0..10_000 {
+            pool.for_each_chunk(0, 0, |_| panic!("must not run"));
+        }
+        // Generous bound: 10k no-op calls finish in microseconds when the
+        // fast path holds, but would take far longer if each call woke the
+        // workers through the deques.
+        assert!(t.elapsed() < std::time::Duration::from_secs(1));
     }
 }

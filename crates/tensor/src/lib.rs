@@ -60,6 +60,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fused;
 pub mod init;
 mod kernels;
 pub mod nn;

@@ -6,6 +6,7 @@
 //! (`ner-embed`) and the NER models (`ner-core`); everything here is
 //! architecture-agnostic.
 
+use crate::fused::{self, Activation};
 use crate::{init, ParamId, ParamStore, Tape, Tensor, Var};
 use rand::Rng;
 
@@ -53,6 +54,12 @@ impl Linear {
         let b = tape.param(store, self.b);
         tape.affine(x, w, b)
     }
+
+    /// Tape-free [`forward`](Self::forward) with a fused activation —
+    /// bit-identical to `affine` followed by that activation's tape op.
+    pub fn forward_eval(&self, store: &ParamStore, x: &Tensor, act: Activation) -> Tensor {
+        fused::affine_act(x, store.value(self.w), store.value(self.b), act)
+    }
 }
 
 /// An embedding table with gather-based lookup.
@@ -78,6 +85,12 @@ impl Embedding {
     /// into the selected rows only.
     pub fn lookup(&self, tape: &mut Tape, store: &ParamStore, ids: &[usize]) -> Var {
         tape.param_rows(store, self.table, ids)
+    }
+
+    /// Tape-free [`lookup`](Self::lookup): copies the selected rows
+    /// straight out of the parameter store.
+    pub fn lookup_eval(&self, store: &ParamStore, ids: &[usize]) -> Tensor {
+        store.value(self.table).gather_rows(ids)
     }
 }
 
@@ -180,6 +193,105 @@ impl LstmCell {
         let out = self.sequence(tape, store, rev);
         tape.reverse_rows(out)
     }
+
+    /// Tape-free [`sequence`](Self::sequence): the same float operations in
+    /// the same order, with pooled buffers instead of tape nodes.
+    ///
+    /// The per-step input projections are batched into one `xs · W_ih`
+    /// product up front — matmul rows are independent, so row `t` of the
+    /// batch is bit-identical to the tape's per-step `x_t · W_ih`.
+    pub fn sequence_eval(&self, store: &ParamStore, xs: &Tensor) -> Tensor {
+        let n = xs.rows();
+        let h = self.hidden;
+        let w_hh = store.value(self.w_hh);
+        let b = store.value(self.b);
+        let xp = xs.matmul(store.value(self.w_ih)); // [n, 4h]
+        let mut out = Tensor::zeros_pooled(n, h);
+        let mut hstate = Tensor::zeros(1, h);
+        let mut c = vec![0.0f32; h];
+        let mut pre = vec![0.0f32; 4 * h];
+        for t in 0..n {
+            let hp = hstate.matmul(w_hh); // [1, 4h]
+                                          // pre = (xp_t + hp) + b: the tape's add-then-add_bias order.
+            for ((p, (&xv, &hv)), &bv) in
+                pre.iter_mut().zip(xp.row(t).iter().zip(hp.data())).zip(b.data())
+            {
+                *p = (xv + hv) + bv;
+            }
+            fused::recycle(hp);
+            let out_row = out.row_mut(t);
+            for j in 0..h {
+                let i = Activation::Sigmoid.eval(pre[j]);
+                let f = Activation::Sigmoid.eval(pre[h + j]);
+                let g = Activation::Tanh.eval(pre[2 * h + j]);
+                let o = Activation::Sigmoid.eval(pre[3 * h + j]);
+                let cn = f * c[j] + i * g;
+                c[j] = cn;
+                out_row[j] = o * cn.tanh();
+            }
+            hstate.row_mut(0).copy_from_slice(out.row(t));
+        }
+        fused::recycle(xp);
+        out
+    }
+
+    /// Tape-free [`sequence_rev`](Self::sequence_rev): reverse, run
+    /// forward, reverse back — aligned with the input order.
+    pub fn sequence_rev_eval(&self, store: &ParamStore, xs: &Tensor) -> Tensor {
+        let rev = reverse_rows_eval(xs);
+        let out_rev = self.sequence_eval(store, &rev);
+        fused::recycle(rev);
+        let out = reverse_rows_eval(&out_rev);
+        fused::recycle(out_rev);
+        out
+    }
+
+    /// Starts a tape-free stepping run (zeroed `h`/`c`) for decoders that
+    /// must feed back their own output one step at a time.
+    pub fn begin_eval(&self) -> LstmEvalState {
+        LstmEvalState { h: Tensor::zeros(1, self.hidden), c: vec![0.0; self.hidden] }
+    }
+
+    /// One tape-free timestep on `x [1, d_in]` — bit-identical to
+    /// [`step`](Self::step) on the same state.
+    pub fn step_eval(&self, store: &ParamStore, state: &mut LstmEvalState, x: &Tensor) {
+        let h = self.hidden;
+        let xp = x.matmul(store.value(self.w_ih)); // [1, 4h]
+        let hp = state.h.matmul(store.value(self.w_hh)); // [1, 4h]
+        let b = store.value(self.b);
+        let h_row = state.h.row_mut(0);
+        for j in 0..h {
+            // pre = (xp + hp) + b: the tape's add-then-add_bias order.
+            let pre = |off: usize| (xp.at2(0, off + j) + hp.at2(0, off + j)) + b.at2(0, off + j);
+            let i = Activation::Sigmoid.eval(pre(0));
+            let f = Activation::Sigmoid.eval(pre(h));
+            let g = Activation::Tanh.eval(pre(2 * h));
+            let o = Activation::Sigmoid.eval(pre(3 * h));
+            let cn = f * state.c[j] + i * g;
+            state.c[j] = cn;
+            h_row[j] = o * cn.tanh();
+        }
+        fused::recycle(xp);
+        fused::recycle(hp);
+    }
+}
+
+/// Tape-free stepping state of an LSTM (see [`LstmCell::begin_eval`]).
+pub struct LstmEvalState {
+    /// Current hidden state `[1, h]`.
+    pub h: Tensor,
+    c: Vec<f32>,
+}
+
+/// Row-reversed pooled copy of `xs` (the data movement of
+/// `Tape::reverse_rows`).
+fn reverse_rows_eval(xs: &Tensor) -> Tensor {
+    let (n, d) = xs.shape();
+    let mut out = Tensor::zeros_pooled(n, d);
+    for r in 0..n {
+        out.row_mut(r).copy_from_slice(xs.row(n - 1 - r));
+    }
+    out
 }
 
 /// A gated recurrent unit cell (PyTorch gate conventions).
@@ -282,6 +394,50 @@ impl GruCell {
         let out = self.sequence(tape, store, rev);
         tape.reverse_rows(out)
     }
+
+    /// Tape-free [`sequence`](Self::sequence) — same float operations in
+    /// the same order as the tape steps (see
+    /// [`LstmCell::sequence_eval`] for the batched-projection argument).
+    pub fn sequence_eval(&self, store: &ParamStore, xs: &Tensor) -> Tensor {
+        let n = xs.rows();
+        let h = self.hidden;
+        let w_hh = store.value(self.w_hh);
+        let b_hh = store.value(self.b_hh);
+        let mut xp = xs.matmul(store.value(self.w_ih)); // [n, 3h]
+        fused::add_bias_in_place(&mut xp, store.value(self.b_ih));
+        let mut out = Tensor::zeros_pooled(n, h);
+        let mut hstate = Tensor::zeros(1, h);
+        for t in 0..n {
+            let mut hp = hstate.matmul(w_hh); // [1, 3h]
+            fused::add_bias_in_place(&mut hp, b_hh);
+            let x_row = xp.row(t);
+            let h_row = hp.data();
+            let h_prev = hstate.data();
+            let out_row = out.row_mut(t);
+            for j in 0..h {
+                let z = Activation::Sigmoid.eval(x_row[j] + h_row[j]);
+                let r = Activation::Sigmoid.eval(x_row[h + j] + h_row[h + j]);
+                let nj = (x_row[2 * h + j] + r * h_row[2 * h + j]).tanh();
+                // h' = (n − z⊙n) + z⊙h, associated exactly as the tape's
+                // sub-then-add chain.
+                out_row[j] = (nj - z * nj) + z * h_prev[j];
+            }
+            hstate.row_mut(0).copy_from_slice(out.row(t));
+            fused::recycle(hp);
+        }
+        fused::recycle(xp);
+        out
+    }
+
+    /// Tape-free [`sequence_rev`](Self::sequence_rev).
+    pub fn sequence_rev_eval(&self, store: &ParamStore, xs: &Tensor) -> Tensor {
+        let rev = reverse_rows_eval(xs);
+        let out_rev = self.sequence_eval(store, &rev);
+        fused::recycle(rev);
+        let out = reverse_rows_eval(&out_rev);
+        fused::recycle(out_rev);
+        out
+    }
 }
 
 /// Concatenates a forward and a backward recurrent pass: `[n, 2·hidden]`.
@@ -296,6 +452,28 @@ pub fn bidirectional(
     let fw = forward.sequence(tape, store, xs);
     let bw = backward.sequence_rev(tape, store, xs);
     tape.concat_cols(&[fw, bw])
+}
+
+/// Tape-free [`bidirectional`]: forward ⧺ backward hidden states.
+pub fn bidirectional_eval(
+    store: &ParamStore,
+    forward: &LstmCell,
+    backward: &LstmCell,
+    xs: &Tensor,
+) -> Tensor {
+    let fw = forward.sequence_eval(store, xs);
+    let bw = backward.sequence_rev_eval(store, xs);
+    let n = xs.rows();
+    let (hf, hb) = (fw.cols(), bw.cols());
+    let mut out = Tensor::zeros_pooled(n, hf + hb);
+    for r in 0..n {
+        let row = out.row_mut(r);
+        row[..hf].copy_from_slice(fw.row(r));
+        row[hf..].copy_from_slice(bw.row(r));
+    }
+    fused::recycle(fw);
+    fused::recycle(bw);
+    out
 }
 
 /// Sinusoidal positional encodings `[n, d]` (Vaswani et al. 2017).
@@ -381,6 +559,46 @@ impl MultiHeadAttention {
         let concat = tape.concat_cols(&head_outputs);
         self.wo.forward(tape, store, concat)
     }
+
+    /// Tape-free bidirectional (non-causal) [`forward`](Self::forward), as
+    /// the NER encoder uses it.
+    ///
+    /// The per-head scores are computed as `q_h · (k_h)ᵀ` via an explicit
+    /// transpose + `matmul` — NOT `matmul_nt`, whose register-accumulator
+    /// dot products round differently from the tape's transpose-then-matmul
+    /// and would break bit-identity with the training-path forward.
+    pub fn forward_eval(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let n = x.rows();
+        let dk = self.d_model / self.heads;
+        let scale = 1.0 / (dk as f32).sqrt();
+        let q = self.wq.forward_eval(store, x, Activation::None);
+        let k = self.wk.forward_eval(store, x, Activation::None);
+        let v = self.wv.forward_eval(store, x, Activation::None);
+        let mut concat = Tensor::zeros_pooled(n, self.d_model);
+        for hd in 0..self.heads {
+            let qh = fused::slice_cols(&q, hd * dk, dk);
+            let kh = fused::slice_cols(&k, hd * dk, dk);
+            let vh = fused::slice_cols(&v, hd * dk, dk);
+            let kt = kh.transposed();
+            let mut scores = qh.matmul(&kt);
+            for s in scores.data_mut() {
+                *s *= scale;
+            }
+            fused::softmax_rows_in_place(&mut scores);
+            let oh = scores.matmul(&vh);
+            for r in 0..n {
+                concat.row_mut(r)[hd * dk..(hd + 1) * dk].copy_from_slice(oh.row(r));
+            }
+            for t in [qh, kh, vh, kt, scores, oh] {
+                fused::recycle(t);
+            }
+        }
+        let out = self.wo.forward_eval(store, &concat, Activation::None);
+        for t in [q, k, v, concat] {
+            fused::recycle(t);
+        }
+        out
+    }
 }
 
 /// A pre-LN Transformer block: `x + Attn(LN(x))` then `· + FF(LN(·))`.
@@ -432,6 +650,25 @@ impl TransformerBlock {
         let h = tape.relu(h);
         let h = self.ff2.forward(tape, store, h);
         tape.add(x, h)
+    }
+
+    /// Tape-free non-causal [`forward`](Self::forward).
+    pub fn forward_eval(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let normed = fused::layer_norm(x, store.value(self.ln1_g), store.value(self.ln1_b));
+        let attended = self.attn.forward_eval(store, &normed);
+        fused::recycle(normed);
+        let mut x1 = fused::pooled_copy(x);
+        x1.add_scaled(&attended, 1.0);
+        fused::recycle(attended);
+
+        let normed = fused::layer_norm(&x1, store.value(self.ln2_g), store.value(self.ln2_b));
+        let h = self.ff1.forward_eval(store, &normed, Activation::Relu);
+        fused::recycle(normed);
+        let h2 = self.ff2.forward_eval(store, &h, Activation::None);
+        fused::recycle(h);
+        x1.add_scaled(&h2, 1.0);
+        fused::recycle(h2);
+        x1
     }
 }
 

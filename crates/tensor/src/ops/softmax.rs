@@ -4,18 +4,10 @@
 use crate::{OpClass, Tape, Tensor, Var};
 
 pub(crate) fn softmax_rows_tensor(x: &Tensor) -> Tensor {
+    // One implementation shared with the tape-free inference path: the
+    // fused in-place kernel IS the tape kernel, so the two cannot diverge.
     let mut out = x.clone();
-    for r in 0..out.rows() {
-        let row = out.row_mut(r);
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let mut z = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            z += *v;
-        }
-        let inv = 1.0 / z;
-        row.iter_mut().for_each(|v| *v *= inv);
-    }
+    crate::fused::softmax_rows_in_place(&mut out);
     out
 }
 

@@ -1,0 +1,120 @@
+//! Property tests for the fused inference kernels: `affine_act`
+//! (matmul + bias + activation) and `softmax_rows_in_place` must match the
+//! unfused tape op sequence **bit for bit**, at 1, 2 and 4 threads — the
+//! determinism contract the tape-free `ForwardPlan` path is built on.
+
+use ner_tensor::fused::{self, Activation};
+use ner_tensor::{Tape, Tensor, PAR_MIN_FLOPS};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes tests that touch the global thread pool: `set_global_threads`
+/// swaps a process-wide pool, so these tests must not interleave.
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    ner_par::set_global_threads(threads);
+    let out = f();
+    ner_par::set_global_threads(1);
+    out
+}
+
+const ACTIVATIONS: [Activation; 4] =
+    [Activation::None, Activation::Relu, Activation::Tanh, Activation::Sigmoid];
+
+/// The unfused reference: the exact tape node sequence the training path
+/// builds (`affine` = matmul → add_bias, then the activation op).
+fn tape_affine_act(x: &Tensor, w: &Tensor, b: &Tensor, act: Activation) -> Tensor {
+    let mut tape = Tape::new();
+    let xv = tape.constant(x.clone());
+    let wv = tape.constant(w.clone());
+    let bv = tape.constant(b.clone());
+    let lin = tape.affine(xv, wv, bv);
+    let out = match act {
+        Activation::None => lin,
+        Activation::Relu => tape.relu(lin),
+        Activation::Tanh => tape.tanh(lin),
+        Activation::Sigmoid => tape.sigmoid(lin),
+    };
+    tape.value(out).clone()
+}
+
+fn tape_softmax(x: &Tensor) -> Tensor {
+    let mut tape = Tape::new();
+    let xv = tape.constant(x.clone());
+    let s = tape.softmax_rows(xv);
+    tape.value(s).clone()
+}
+
+fn tensor_from(rows: usize, cols: usize, data: &[f32]) -> Tensor {
+    Tensor::from_vec(rows, cols, data[..rows * cols].to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fused_affine_act_is_bit_identical_at_all_thread_counts(
+        m in 1usize..8,
+        k in 1usize..8,
+        n in 1usize..8,
+        data in prop::collection::vec(-3.0f32..3.0, 8 * 8 * 3),
+        act_idx in 0usize..4,
+    ) {
+        let x = tensor_from(m, k, &data);
+        let w = tensor_from(k, n, &data[64..]);
+        let b = tensor_from(1, n, &data[128..]);
+        let act = ACTIVATIONS[act_idx];
+        let expect = tape_affine_act(&x, &w, &b, act);
+        for threads in [1, 2, 4] {
+            let fused = with_threads(threads, || fused::affine_act(&x, &w, &b, act));
+            prop_assert_eq!(fused.data(), expect.data(), "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn fused_softmax_is_bit_identical_to_tape_softmax(
+        m in 1usize..8,
+        n in 1usize..8,
+        data in prop::collection::vec(-30.0f32..30.0, 64),
+    ) {
+        let x = tensor_from(m, n, &data);
+        let expect = tape_softmax(&x);
+        for threads in [1, 2, 4] {
+            let out = with_threads(threads, || {
+                let mut t = x.clone();
+                fused::softmax_rows_in_place(&mut t);
+                t
+            });
+            prop_assert_eq!(out.data(), expect.data(), "threads={}", threads);
+        }
+    }
+}
+
+/// Shapes straddling the kernel's parallel threshold: below it the matmul
+/// runs serially, above it rows split across the pool — both must match
+/// the tape bit for bit.
+#[test]
+fn fused_affine_act_crosses_the_parallel_threshold() {
+    let (m, k) = (72, 64);
+    let n = PAR_MIN_FLOPS / (m * k) + 8; // comfortably above the threshold
+    let fill = |rows: usize, cols: usize, salt: usize| {
+        Tensor::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|i| (((i * 7 + salt) % 23) as f32 - 11.0) * 0.13).collect(),
+        )
+    };
+    let x = fill(m, k, 1);
+    let w = fill(k, n, 2);
+    let b = fill(1, n, 3);
+    assert!(m * k * n >= PAR_MIN_FLOPS, "shape must trigger the parallel kernel");
+    for act in ACTIVATIONS {
+        let expect = tape_affine_act(&x, &w, &b, act);
+        for threads in [1, 2, 4] {
+            let fused = with_threads(threads, || fused::affine_act(&x, &w, &b, act));
+            assert_eq!(fused.data(), expect.data(), "{act:?} at {threads} threads");
+        }
+    }
+}
