@@ -1,0 +1,286 @@
+//! Closed-loop load test of the `ner-serve` batching server.
+//!
+//! Boots a real [`Server`] on an ephemeral port for each configuration in
+//! the grid `max_batch ∈ {1, 8, 32} × client_threads ∈ {1, 4}` and drives
+//! it with closed-loop clients (each thread sends the next request as soon
+//! as its previous response arrives) over keep-alive connections. Every
+//! response is checked against offline [`NerPipeline::extract`] on the
+//! same text — the batching layer must be **byte-identical** to sequential
+//! annotation, and any divergence makes the harness exit non-zero (CI runs
+//! this via `--smoke` at `NER_THREADS=1` and `4`).
+//!
+//! The headline number is the req/s ratio of `max_batch=32` over
+//! `max_batch=1` at 4 client threads: with concurrent clients the
+//! dispatcher coalesces queued requests into one `extract_batch` call
+//! fanned over the `ner-par` pool, so batching must buy throughput.
+//!
+//! Results land in `results/exp_serving.json` (with a run manifest) and,
+//! for the repo-level benchmark snapshot, `BENCH_serving.json`.
+
+use ner_bench::{init_harness, print_table, write_report, Scale};
+use ner_core::config::NerConfig;
+use ner_core::model::NerModel;
+use ner_core::prelude::NerPipeline;
+use ner_core::repr::SentenceEncoder;
+use ner_corpus::{GeneratorConfig, NewsGenerator};
+use ner_serve::{client, ServeConfig, ServeState, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Serialize, Value};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 31;
+
+/// One cell of the grid.
+#[derive(Serialize)]
+struct ServingRow {
+    max_batch: usize,
+    client_threads: usize,
+    requests: usize,
+    req_per_s: f64,
+    p50_us: f64,
+    p99_us: f64,
+    /// Mean scored batch size observed by the dispatcher for this cell.
+    mean_batch: f64,
+    divergences: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    experiment: String,
+    description: String,
+    seed: u64,
+    smoke: bool,
+    /// Worker threads of the scoring pool (`NER_THREADS` at launch).
+    requested_threads: usize,
+    host_parallelism: usize,
+    /// req/s of max_batch=32 over max_batch=1 at 4 client threads — the
+    /// headline number: batching must buy throughput under concurrency.
+    batch32_speedup_at_4_clients: f64,
+    rows: Vec<ServingRow>,
+    divergences: usize,
+}
+
+/// The workload: raw sentences plus the offline payload each one must
+/// serve back (the exact JSON the server is expected to emit).
+struct Workload {
+    texts: Vec<String>,
+    expected: Vec<Value>,
+}
+
+fn offline_payload(pipeline: &NerPipeline, text: &str) -> Value {
+    let s = pipeline.extract(text);
+    let entities = s
+        .entities
+        .iter()
+        .map(|e| {
+            Value::Object(vec![
+                ("start".into(), Value::Num(e.start as f64)),
+                ("end".into(), Value::Num(e.end as f64)),
+                ("label".into(), Value::Str(e.label.clone())),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        (
+            "tokens".into(),
+            Value::Array(s.tokens.iter().map(|t| Value::Str(t.text.clone())).collect()),
+        ),
+        ("entities".into(), Value::Array(entities)),
+        ("render".into(), Value::Str(s.render_brackets())),
+    ])
+}
+
+/// Delta-mean of the `serve.batch_size` histogram across one cell.
+fn batch_size_snapshot() -> (f64, f64) {
+    ner_obs::histogram_summaries()
+        .iter()
+        .find(|h| h.name == "serve.batch_size")
+        .map_or((0.0, 0.0), |h| (h.count as f64, h.count as f64 * h.mean))
+}
+
+/// Runs one grid cell: boots a fresh server, drives it closed-loop, and
+/// tears it down.
+fn run_cell(
+    pipeline: NerPipeline,
+    workload: &Workload,
+    max_batch: usize,
+    client_threads: usize,
+    reqs_per_thread: usize,
+) -> ServingRow {
+    let config = ServeConfig {
+        max_batch,
+        request_timeout: Duration::from_secs(60),
+        ..ServeConfig::default()
+    };
+    let state = ServeState::new(pipeline, None, config);
+    let server = Server::bind("127.0.0.1:0", state).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+
+    let (count0, sum0) = batch_size_snapshot();
+    let started = Instant::now();
+    let per_thread: Vec<(Vec<f64>, usize)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..client_threads)
+            .map(|worker| {
+                scope.spawn(move || drive_client(addr, workload, worker, reqs_per_thread))
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("client thread")).collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let (count1, sum1) = batch_size_snapshot();
+
+    let resp = client::post(addr, "/admin/shutdown", "").expect("shutdown");
+    assert_eq!(resp.status, 200);
+    server_thread.join().expect("server thread");
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut divergences = 0;
+    for (lat, div) in per_thread {
+        latencies.extend(lat);
+        divergences += div;
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let quantile = |q: f64| latencies[((latencies.len() - 1) as f64 * q).round() as usize];
+    ServingRow {
+        max_batch,
+        client_threads,
+        requests: latencies.len(),
+        req_per_s: latencies.len() as f64 / wall,
+        p50_us: quantile(0.5),
+        p99_us: quantile(0.99),
+        mean_batch: if count1 > count0 { (sum1 - sum0) / (count1 - count0) } else { 0.0 },
+        divergences,
+    }
+}
+
+/// One closed-loop client: sends `reqs` requests back-to-back over a
+/// keep-alive connection, timing each and checking it against the offline
+/// payload. Returns (latencies in µs, divergence count).
+fn drive_client(
+    addr: SocketAddr,
+    workload: &Workload,
+    worker: usize,
+    reqs: usize,
+) -> (Vec<f64>, usize) {
+    let mut conn = client::Conn::connect(addr).expect("connect");
+    let mut latencies = Vec::with_capacity(reqs);
+    let mut divergences = 0;
+    for i in 0..reqs {
+        // Stride by worker so concurrent clients hit different texts.
+        let idx = (worker * 31 + i) % workload.texts.len();
+        let body = format!("{{\"text\": \"{}\"}}", workload.texts[idx].replace('"', "\\\""));
+        let t = Instant::now();
+        let resp = conn.post("/v1/extract", &body).expect("extract request");
+        latencies.push(t.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(resp.status, 200, "unexpected status: {}", resp.body);
+        let served: Value = serde_json::from_str(&resp.body).expect("response json");
+        if served != workload.expected[idx] {
+            divergences += 1;
+            if divergences <= 3 {
+                eprintln!("divergence on {:?}:\n  served {served:?}", workload.texts[idx]);
+            }
+        }
+    }
+    (latencies, divergences)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::Quick } else { Scale::from_args() };
+    init_harness("exp_serving", SEED, scale);
+    let requested_threads = ner_par::default_threads();
+
+    // An untrained default-config model serves identically-shaped work at
+    // any weight values; skipping training keeps the harness CI-fast. Two
+    // pipelines from the same seed: one deployed, one as the offline
+    // reference (so the check cannot share cache state with the server).
+    let build = || {
+        let mut rng = StdRng::seed_from_u64(SEED);
+        let gen = NewsGenerator::new(GeneratorConfig::default());
+        let corpus = gen.dataset(&mut rng, 60);
+        let cfg = NerConfig::default();
+        let encoder = SentenceEncoder::from_dataset(&corpus, cfg.scheme, 1);
+        let model = NerModel::new(cfg, &encoder, None, &mut rng);
+        (corpus, NerPipeline::new(encoder, model))
+    };
+    let (corpus, offline) = build();
+    let texts: Vec<String> = corpus
+        .sentences
+        .iter()
+        .map(|s| s.tokens.iter().map(|t| t.text.as_str()).collect::<Vec<_>>().join(" "))
+        .collect();
+    let expected: Vec<Value> = texts.iter().map(|t| offline_payload(&offline, t)).collect();
+    let workload = Workload { texts, expected };
+
+    let reqs_per_thread = match scale {
+        Scale::Full => 300,
+        Scale::Quick => 30,
+    };
+
+    let mut rows = Vec::new();
+    for &max_batch in &[1usize, 8, 32] {
+        for &client_threads in &[1usize, 4] {
+            let (_, pipeline) = build();
+            let row = run_cell(pipeline, &workload, max_batch, client_threads, reqs_per_thread);
+            ner_obs::info(format!(
+                "max_batch={} clients={}: {:.0} req/s (p50 {:.0}µs, p99 {:.0}µs, mean batch {:.1}, {} divergences)",
+                row.max_batch, row.client_threads, row.req_per_s, row.p50_us, row.p99_us,
+                row.mean_batch, row.divergences
+            ));
+            rows.push(row);
+        }
+    }
+
+    let req_per_s_at = |mb: usize, ct: usize| {
+        rows.iter()
+            .find(|r| r.max_batch == mb && r.client_threads == ct)
+            .map_or(f64::NAN, |r| r.req_per_s)
+    };
+    let speedup = req_per_s_at(32, 4) / req_per_s_at(1, 4);
+    let divergences: usize = rows.iter().map(|r| r.divergences).sum();
+
+    print_table(
+        "closed-loop serving throughput",
+        &["max_batch", "clients", "reqs", "req/s", "p50 µs", "p99 µs", "mean batch", "diverged"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.max_batch.to_string(),
+                    r.client_threads.to_string(),
+                    r.requests.to_string(),
+                    format!("{:.0}", r.req_per_s),
+                    format!("{:.0}", r.p50_us),
+                    format!("{:.0}", r.p99_us),
+                    format!("{:.1}", r.mean_batch),
+                    r.divergences.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("\nreq/s speedup, max_batch=32 vs 1 at 4 clients: {speedup:.2}×");
+
+    let report = Report {
+        experiment: "exp_serving".into(),
+        description: "Closed-loop load test of the ner-serve micro-batching server: req/s and latency percentiles over max_batch x client-thread grid; every response checked against offline extract".into(),
+        seed: SEED,
+        smoke,
+        requested_threads,
+        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        batch32_speedup_at_4_clients: speedup,
+        rows,
+        divergences,
+    };
+    let path = write_report("exp_serving", &report);
+    let bench_json = serde_json::to_string_pretty(&report).expect("serialize BENCH report");
+    std::fs::write("BENCH_serving.json", bench_json).expect("write BENCH_serving.json");
+    println!("report: {} (+ BENCH_serving.json)", path.display());
+
+    if divergences > 0 {
+        eprintln!("{divergences} divergence(s); batched serving must match offline annotate");
+        std::process::exit(1);
+    }
+}

@@ -155,6 +155,41 @@ pub fn tag(raw: Vec<String>) -> CmdResult {
     Ok(())
 }
 
+/// `serve` — run the batching HTTP server over a checkpoint.
+pub fn serve(raw: Vec<String>) -> CmdResult {
+    let a = parse(raw, &["ckpt", "addr", "max-batch", "max-wait-us", "queue-cap", "timeout-ms"])?;
+    let ckpt = a.require("ckpt")?.to_string();
+    let addr = a.get("addr").unwrap_or("127.0.0.1:8080").to_string();
+    let defaults = ner_serve::ServeConfig::default();
+    let config = ner_serve::ServeConfig {
+        max_batch: a.get_parsed("max-batch", defaults.max_batch)?,
+        max_wait: std::time::Duration::from_micros(
+            a.get_parsed("max-wait-us", defaults.max_wait.as_micros() as u64)?,
+        ),
+        queue_cap: a.get_parsed("queue-cap", defaults.queue_cap)?,
+        request_timeout: std::time::Duration::from_millis(
+            a.get_parsed("timeout-ms", defaults.request_timeout.as_millis() as u64)?,
+        ),
+        ..defaults
+    };
+    if config.max_batch == 0 || config.queue_cap == 0 {
+        return Err("--max-batch and --queue-cap must be >= 1".into());
+    }
+    let pipeline = Checkpoint::load(&ckpt)?.restore()?;
+    ner_obs::info(format!(
+        "serving {} (max-batch {}, max-wait {}us, queue {})",
+        pipeline.model.cfg.signature(),
+        config.max_batch,
+        config.max_wait.as_micros(),
+        config.queue_cap
+    ));
+    let state = ner_serve::ServeState::new(pipeline, Some(ckpt.into()), config);
+    let server = ner_serve::Server::bind(addr.as_str(), state)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    server.run()?;
+    Ok(())
+}
+
 /// `zoo` — list presets.
 pub fn zoo(_raw: Vec<String>) -> CmdResult {
     println!("{:<22} {:<44} survey reference", "PRESET", "ARCHITECTURE");

@@ -17,6 +17,7 @@ USAGE:
   neural-ner train    --train FILE --model FILE [--dev FILE] [--preset NAME] [--epochs N] [--seed S] [--quiet]
   neural-ner eval     --model FILE --data FILE
   neural-ner tag      --model FILE [TEXT ...]        (reads stdin when no TEXT)
+  neural-ner serve    --ckpt FILE [--addr A] [--max-batch N] [--max-wait-us T] [--queue-cap Q] [--timeout-ms D]
   neural-ner zoo
   neural-ner report   RUN.jsonl
 
@@ -25,6 +26,9 @@ COMMANDS:
   train      train a model preset on a CoNLL corpus and save a checkpoint
   eval       exact + relaxed span metrics of a checkpoint on a corpus
   tag        annotate raw text with a trained checkpoint
+  serve      HTTP server with dynamic micro-batching over a checkpoint
+             (POST /v1/extract and /v1/extract_batch; GET /healthz, /metrics;
+              POST /admin/reload swaps the checkpoint in without downtime)
   zoo        list the available architecture presets (Table 3 families)
   report     summarize a JSONL run log (loss curve, latency, slowest spans)
 
@@ -84,6 +88,7 @@ fn main() -> ExitCode {
         "train" => commands::train(rest),
         "eval" => commands::eval(rest),
         "tag" => commands::tag(rest),
+        "serve" => commands::serve(rest),
         "zoo" => commands::zoo(rest),
         "report" => commands::report(rest),
         "help" | "--help" | "-h" => {

@@ -40,8 +40,7 @@ impl NerPipeline {
     /// plan snapshots the CRF decode tables and caches token features, so a
     /// stale plan would serve outputs from the old weights.
     pub fn refresh_plan(&mut self) {
-        let cap = self.plan.token_cache().map_or(0, |_| DEFAULT_TOKEN_CACHE);
-        self.plan = self.model.compile_plan(cap);
+        self.plan = self.model.compile_plan(self.plan.token_cache_capacity());
     }
 
     /// The compiled inference plan (cache statistics live here).
@@ -184,6 +183,48 @@ mod tests {
         // A trained model should find at least one entity in this sentence.
         assert!(!out.entities.is_empty(), "expected entities in: {}", out.render_brackets());
         assert!(out.entities.iter().all(|e| e.end <= out.len()));
+    }
+
+    #[test]
+    fn refresh_plan_preserves_custom_token_cache_capacity() {
+        // Regression: refresh_plan used to reset any custom capacity to
+        // DEFAULT_TOKEN_CACHE (and a disabled cache stayed disabled only by
+        // luck of the map_or arm ordering).
+        let gen = NewsGenerator::new(GeneratorConfig::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds = gen.dataset(&mut rng, 20);
+        let encoder = SentenceEncoder::from_dataset(&ds, TagScheme::Bio, 1);
+        let model = NerModel::new(
+            NerConfig {
+                word: WordRepr::Random { dim: 8 },
+                char_repr: CharRepr::None,
+                encoder: EncoderKind::Identity,
+                decoder: DecoderKind::Softmax,
+                dropout: 0.0,
+                scheme: TagScheme::Bio,
+                ..NerConfig::default()
+            },
+            &encoder,
+            None,
+            &mut rng,
+        );
+        let mut pipeline = NerPipeline::new(encoder, model).with_token_cache_capacity(7);
+        pipeline.refresh_plan();
+        assert_eq!(pipeline.plan().token_cache_capacity(), 7);
+        let cache = pipeline.plan().token_cache().expect("cache stays enabled across refresh");
+        assert_eq!(cache.capacity(), 7);
+        // Insert more distinct tokens than the capacity: the refreshed
+        // cache must still hold exactly 7.
+        for i in 0..10 {
+            cache.insert(&format!("tok{i}"), vec![i as f32]);
+        }
+        assert_eq!(cache.len(), 7);
+
+        // And a refresh must not resurrect a deliberately disabled cache.
+        pipeline = pipeline.with_token_cache_capacity(0);
+        pipeline.refresh_plan();
+        assert!(pipeline.plan().token_cache().is_none());
+        assert_eq!(pipeline.plan().token_cache_capacity(), 0);
     }
 
     #[test]

@@ -108,9 +108,30 @@ impl Checkpoint {
         Ok(NerPipeline::new(self.encoder, model))
     }
 
-    /// Writes the checkpoint to a file.
+    /// Writes the checkpoint to a file, atomically.
+    ///
+    /// The JSON is written to a sibling temp file and renamed into place,
+    /// so a crash mid-write can never leave a truncated checkpoint at
+    /// `path` — a pre-existing file stays intact until the new one is
+    /// complete. This matters once a server hot-reloads from disk: the
+    /// reload either sees the old complete checkpoint or the new one.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+        let path = path.as_ref();
+        let tmp = Self::staging_path(path);
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path).inspect_err(|_| {
+            // Leave no orphaned temp file behind a failed rename.
+            let _ = std::fs::remove_file(&tmp);
+        })
+    }
+
+    /// The sibling temp path `save` stages into before renaming. Includes
+    /// the pid so concurrent writers never clobber each other's staging
+    /// file (the final rename still makes the last writer win atomically).
+    fn staging_path(path: &std::path::Path) -> std::path::PathBuf {
+        let mut name = path.file_name().unwrap_or_default().to_os_string();
+        name.push(format!(".tmp.{}", std::process::id()));
+        path.with_file_name(name)
     }
 
     /// Reads a checkpoint from a file.
@@ -209,14 +230,63 @@ mod tests {
         assert!(matches!(err, RestoreError::ParameterMismatch { .. }), "got {err}");
     }
 
+    /// A per-process temp path: concurrent `cargo test` invocations must
+    /// not race on a shared fixed file name.
+    fn unique_temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("neural-ner-test-{tag}-{}.json", std::process::id()))
+    }
+
     #[test]
     fn file_round_trip() {
         let (pipeline, ds) = trained_pipeline(DecoderKind::Crf);
-        let dir = std::env::temp_dir().join("neural-ner-test-ckpt.json");
-        Checkpoint::capture(&pipeline).save(&dir).unwrap();
-        let restored = Checkpoint::load(&dir).unwrap().restore().unwrap();
+        let path = unique_temp_path("ckpt");
+        Checkpoint::capture(&pipeline).save(&path).unwrap();
+        let restored = Checkpoint::load(&path).unwrap().restore().unwrap();
         let s = &ds.sentences[0];
         assert_eq!(pipeline.annotate(s).entities, restored.annotate(s).entities);
-        let _ = std::fs::remove_file(dir);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn save_is_atomic_and_cleans_its_staging_file() {
+        let (pipeline, _) = trained_pipeline(DecoderKind::Softmax);
+        let ckpt = Checkpoint::capture(&pipeline);
+        let path = unique_temp_path("atomic");
+        let staging = Checkpoint::staging_path(&path);
+
+        // A crash mid-write means the staging file holds a truncated JSON
+        // while the real path still holds the previous complete checkpoint.
+        ckpt.save(&path).unwrap();
+        let complete = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&staging, &complete[..complete.len() / 2]).unwrap();
+        let reread = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(reread, complete, "a half-written staging file must not touch the target");
+        assert!(Checkpoint::load(&path).is_ok(), "target still parses after the simulated crash");
+
+        // The next successful save replaces both, leaving no staging file.
+        ckpt.save(&path).unwrap();
+        assert!(!staging.exists(), "save must not leave its staging file behind");
+        assert!(Checkpoint::load(&path).unwrap().restore().is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_save_leaves_existing_checkpoint_intact() {
+        let (pipeline, _) = trained_pipeline(DecoderKind::Softmax);
+        let ckpt = Checkpoint::capture(&pipeline);
+        let path = unique_temp_path("intact");
+        ckpt.save(&path).unwrap();
+        let before = std::fs::read_to_string(&path).unwrap();
+
+        // Make the atomic rename fail by turning the target into a
+        // non-empty directory; the original file elsewhere must be
+        // untouched and no staging file may linger.
+        let dir_target = unique_temp_path("intact-dir");
+        std::fs::create_dir_all(dir_target.join("occupied")).unwrap();
+        assert!(ckpt.save(&dir_target).is_err(), "rename onto a non-empty dir must fail");
+        assert!(!Checkpoint::staging_path(&dir_target).exists(), "failed save cleans staging");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), before);
+        let _ = std::fs::remove_dir_all(&dir_target);
+        let _ = std::fs::remove_file(&path);
     }
 }

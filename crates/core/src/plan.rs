@@ -48,7 +48,12 @@ const NIL: usize = usize::MAX;
 pub struct ForwardPlan {
     crf_tables: Option<CrfDecodeTables>,
     token_cache: Option<TokenFeatureCache>,
-    pe_cache: Mutex<HashMap<usize, Arc<Tensor>>>,
+    /// The capacity the plan was compiled with (0 = cache disabled), kept
+    /// so a refresh can recompile with the same setting.
+    token_cache_capacity: usize,
+    /// Keyed by `(n, d)`: two transformer stacks with different `d_model`
+    /// can share one plan, and their tables must not collide.
+    pe_cache: Mutex<HashMap<(usize, usize), Arc<Tensor>>>,
 }
 
 impl ForwardPlan {
@@ -57,8 +62,15 @@ impl ForwardPlan {
             crf_tables,
             token_cache: (token_cache_capacity > 0)
                 .then(|| TokenFeatureCache::new(token_cache_capacity)),
+            token_cache_capacity,
             pe_cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The token-cache capacity this plan was compiled with (`0` when the
+    /// cache is disabled).
+    pub fn token_cache_capacity(&self) -> usize {
+        self.token_cache_capacity
     }
 
     pub(crate) fn crf_tables(&self) -> Option<&CrfDecodeTables> {
@@ -69,11 +81,12 @@ impl ForwardPlan {
         self.token_cache.as_ref()
     }
 
-    /// The sinusoidal positional-encoding table for an `n`-token sentence,
-    /// computed once per distinct length (it is deterministic).
+    /// The sinusoidal positional-encoding table for an `n`-token sentence
+    /// at model width `d`, computed once per distinct `(n, d)` pair (it is
+    /// deterministic).
     pub(crate) fn positional_encoding(&self, n: usize, d: usize) -> Arc<Tensor> {
         let mut cache = self.pe_cache.lock().unwrap();
-        Arc::clone(cache.entry(n).or_insert_with(|| Arc::new(nn::positional_encoding(n, d))))
+        Arc::clone(cache.entry((n, d)).or_insert_with(|| Arc::new(nn::positional_encoding(n, d))))
     }
 
     /// Cumulative token-cache `(hits, misses)` since compile (0, 0 when the
@@ -140,6 +153,11 @@ impl TokenFeatureCache {
     /// Number of cached tokens.
     pub fn len(&self) -> usize {
         self.inner.lock().unwrap().map.len()
+    }
+
+    /// Maximum number of tokens the cache can hold.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().unwrap().capacity
     }
 
     /// True when nothing is cached yet.
@@ -277,6 +295,22 @@ mod tests {
         let plan = ForwardPlan::new(None, 0);
         assert!(plan.token_cache().is_none());
         assert_eq!(plan.token_cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn positional_encoding_cache_distinguishes_dims() {
+        // Regression: the cache used to be keyed by sentence length alone,
+        // so a second stack with a different d_model read the wrong table.
+        let plan = ForwardPlan::new(None, 0);
+        let narrow = plan.positional_encoding(5, 8);
+        let wide = plan.positional_encoding(5, 16);
+        assert_eq!((narrow.rows(), narrow.cols()), (5, 8));
+        assert_eq!((wide.rows(), wide.cols()), (5, 16));
+        // Both entries survive side by side and re-serve the right table.
+        assert_eq!(plan.positional_encoding(5, 8).cols(), 8);
+        assert_eq!(plan.positional_encoding(5, 16).cols(), 16);
+        assert_eq!(*plan.positional_encoding(5, 8), nn::positional_encoding(5, 8));
+        assert_eq!(*plan.positional_encoding(5, 16), nn::positional_encoding(5, 16));
     }
 
     #[test]

@@ -662,6 +662,23 @@ pub fn counter_value(name: &str) -> Option<f64> {
     lock().counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
 }
 
+/// Snapshot of every counter, in registration order. Metric exporters
+/// (e.g. the serving `/metrics` endpoint) render this live, without
+/// waiting for [`finish`].
+pub fn counters() -> Vec<(String, f64)> {
+    lock().counters.clone()
+}
+
+/// Snapshot of every gauge, in registration order.
+pub fn gauges() -> Vec<(String, f64)> {
+    lock().gauges.clone()
+}
+
+/// Summaries of every non-empty histogram, in registration order.
+pub fn histogram_summaries() -> Vec<HistogramSummary> {
+    lock().histograms.iter().filter(|(_, h)| !h.is_empty()).map(|(n, h)| h.summary(n)).collect()
+}
+
 /// Current value of a gauge, if any.
 pub fn gauge_value(name: &str) -> Option<f64> {
     lock().gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)

@@ -1,0 +1,325 @@
+//! The dynamic micro-batcher.
+//!
+//! Connection threads [`submit`](Batcher::submit) raw texts onto a bounded
+//! queue and block on a per-request reply channel. A single dispatcher
+//! thread drains up to `max_batch` requests — or whatever has accumulated
+//! once the oldest queued request has waited `max_wait`, closing the window
+//! early once the batch covers the scoring pool's parallel width — and
+//! scores the whole batch with [`NerPipeline::extract_batch`] on the global
+//! `ner-par` pool. Batching is purely a throughput device: scoring is
+//! read-only on a shared plan and `extract_batch` is defined as per-text
+//! `extract`, so a batched response is byte-identical to the same text
+//! scored alone.
+//!
+//! Overload is handled at the edges, never by buffering without bound:
+//!
+//! * a full queue rejects immediately ([`SubmitError::QueueFull`] → 429);
+//! * a request whose deadline passes while queued is answered
+//!   [`Outcome::TimedOut`] (→ 408) without being scored;
+//! * shutdown stops intake ([`SubmitError::ShuttingDown`] → 503) and the
+//!   dispatcher drains every request already accepted before exiting, so a
+//!   graceful stop loses nothing in flight.
+
+use crate::state::ServeState;
+use ner_text::Sentence;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Why a request was not accepted onto the queue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity — shed load (429).
+    QueueFull,
+    /// The server is draining for shutdown (503).
+    ShuttingDown,
+}
+
+/// What the dispatcher eventually answers for one accepted request.
+#[derive(Debug)]
+pub enum Outcome {
+    /// The annotated sentence, identical to offline `extract` of the text.
+    Scored(Sentence),
+    /// The request's deadline expired before it could be scored (408).
+    TimedOut,
+}
+
+/// One queued request.
+struct Pending {
+    text: String,
+    enqueued: Instant,
+    deadline: Instant,
+    reply: mpsc::SyncSender<Outcome>,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Pending>>,
+    arrived: Condvar,
+    state: Arc<ServeState>,
+    stop: AtomicBool,
+}
+
+/// Handle to the dispatcher; dropping it (or calling
+/// [`shutdown`](Batcher::shutdown)) drains the queue and joins the thread.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Starts the dispatcher thread for `state`.
+    pub fn start(state: Arc<ServeState>) -> Batcher {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            arrived: Condvar::new(),
+            state,
+            stop: AtomicBool::new(false),
+        });
+        let loop_shared = Arc::clone(&shared);
+        let dispatcher = std::thread::Builder::new()
+            .name("ner-serve-batcher".into())
+            .spawn(move || dispatch_loop(loop_shared))
+            .expect("spawn batcher dispatcher");
+        Batcher { shared, dispatcher: Some(dispatcher) }
+    }
+
+    /// Enqueues one text. On success the caller receives the channel the
+    /// dispatcher will answer on — wait with `recv_timeout` bounded by the
+    /// same deadline.
+    pub fn submit(
+        &self,
+        text: String,
+        deadline: Instant,
+    ) -> Result<mpsc::Receiver<Outcome>, SubmitError> {
+        if self.shared.state.is_shutting_down() || self.shared.stop.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let (reply, rx) = mpsc::sync_channel(1);
+        {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if queue.len() >= self.shared.state.config.queue_cap {
+                ner_obs::counter("serve.rejected", 1.0);
+                return Err(SubmitError::QueueFull);
+            }
+            queue.push_back(Pending { text, enqueued: Instant::now(), deadline, reply });
+            ner_obs::observe("serve.queue_depth", queue.len() as f64);
+        }
+        self.shared.arrived.notify_one();
+        Ok(rx)
+    }
+
+    /// Stops intake, drains everything already queued, and joins the
+    /// dispatcher. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.arrived.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn dispatch_loop(shared: Arc<Shared>) {
+    let cfg = shared.state.config.clone();
+    loop {
+        // Waiting for the window can only buy throughput while the batch is
+        // still narrower than the scoring pool: extra requests beyond the
+        // pool's width are scored sequentially anyway, so holding them back
+        // adds latency without adding parallelism. The window therefore
+        // closes early at `min(max_batch, pool width)` — larger batches
+        // still form work-conservingly from whatever accumulates while the
+        // previous batch scores.
+        let fill_target = cfg.max_batch.min(ner_par::global_threads().max(1));
+        // Collect a batch under the queue lock, releasing it while waiting.
+        let batch: Vec<Pending> = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                let stopping = shared.stop.load(Ordering::Acquire);
+                if queue.is_empty() {
+                    if stopping {
+                        return; // drained: nothing in flight can be lost
+                    }
+                    let (q, _) = shared
+                        .arrived
+                        .wait_timeout(queue, cfg.max_wait.max(std::time::Duration::from_millis(5)))
+                        .unwrap_or_else(|e| e.into_inner());
+                    queue = q;
+                    continue;
+                }
+                // The batch window opens at the oldest request's arrival:
+                // dispatch once it is full or the window has elapsed.
+                let oldest = queue.front().expect("non-empty queue").enqueued;
+                let waited = oldest.elapsed();
+                if stopping || queue.len() >= fill_target || waited >= cfg.max_wait {
+                    let n = queue.len().min(cfg.max_batch);
+                    break queue.drain(..n).collect();
+                }
+                let (q, _) = shared
+                    .arrived
+                    .wait_timeout(queue, cfg.max_wait - waited)
+                    .unwrap_or_else(|e| e.into_inner());
+                queue = q;
+            }
+        };
+
+        // Expired requests are answered without being scored; the rest
+        // form the scoring batch.
+        let now = Instant::now();
+        let (expired, live): (Vec<Pending>, Vec<Pending>) =
+            batch.into_iter().partition(|p| p.deadline <= now);
+        for p in expired {
+            ner_obs::counter("serve.timeouts", 1.0);
+            let _ = p.reply.send(Outcome::TimedOut);
+        }
+        if live.is_empty() {
+            continue;
+        }
+
+        if !cfg.score_delay.is_zero() {
+            std::thread::sleep(cfg.score_delay);
+        }
+        // Hold one pipeline snapshot for the whole batch: a concurrent
+        // reload swaps the Arc for *later* batches only.
+        let pipeline = shared.state.pipeline();
+        let texts: Vec<&str> = live.iter().map(|p| p.text.as_str()).collect();
+        let scored = pipeline.extract_batch(&texts);
+        ner_obs::observe("serve.batch_size", scored.len() as f64);
+
+        let done = Instant::now();
+        for (pending, sentence) in live.into_iter().zip(scored) {
+            ner_obs::observe(
+                "serve.request_us",
+                done.duration_since(pending.enqueued).as_secs_f64() * 1e6,
+            );
+            ner_obs::counter("serve.requests", 1.0);
+            // A send error means the client already gave up (e.g. its own
+            // recv_timeout fired); the result is simply dropped.
+            let _ = pending.reply.send(Outcome::Scored(sentence));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ServeConfig;
+    use crate::test_support::tiny_pipeline;
+    use std::time::Duration;
+
+    fn state_with(cfg: ServeConfig) -> Arc<ServeState> {
+        ServeState::new(tiny_pipeline(), None, cfg)
+    }
+
+    fn far_deadline() -> Instant {
+        Instant::now() + Duration::from_secs(5)
+    }
+
+    #[test]
+    fn scores_a_single_request() {
+        let state = state_with(ServeConfig::default());
+        let batcher = Batcher::start(Arc::clone(&state));
+        let rx = batcher.submit("Alice went to Paris .".into(), far_deadline()).unwrap();
+        let Outcome::Scored(got) = rx.recv_timeout(Duration::from_secs(5)).unwrap() else {
+            panic!("expected a scored outcome");
+        };
+        assert_eq!(got, state.pipeline().extract("Alice went to Paris ."));
+    }
+
+    #[test]
+    fn full_queue_rejects_immediately() {
+        // Keep the dispatcher busy with an artificial scoring delay so the
+        // queue genuinely fills.
+        let cfg = ServeConfig {
+            queue_cap: 2,
+            max_batch: 1,
+            score_delay: Duration::from_millis(100),
+            ..ServeConfig::default()
+        };
+        let batcher = Batcher::start(state_with(cfg));
+        let mut accepted = Vec::new();
+        let mut rejected = 0;
+        for i in 0..8 {
+            match batcher.submit(format!("text {i}"), far_deadline()) {
+                Ok(rx) => accepted.push(rx),
+                Err(e) => {
+                    assert_eq!(e, SubmitError::QueueFull);
+                    rejected += 1;
+                }
+            }
+        }
+        assert!(rejected > 0, "a 2-slot queue must reject some of 8 instant submits");
+        // Everything accepted is still answered.
+        for rx in accepted {
+            assert!(matches!(rx.recv_timeout(Duration::from_secs(10)), Ok(Outcome::Scored(_))));
+        }
+    }
+
+    #[test]
+    fn expired_requests_time_out_instead_of_scoring() {
+        let cfg = ServeConfig {
+            score_delay: Duration::from_millis(50),
+            max_batch: 1,
+            ..ServeConfig::default()
+        };
+        let batcher = Batcher::start(state_with(cfg));
+        // The first request occupies the dispatcher; the second's deadline
+        // expires while it waits in the queue.
+        let first = batcher.submit("first".into(), far_deadline()).unwrap();
+        let doomed =
+            batcher.submit("doomed".into(), Instant::now() + Duration::from_millis(1)).unwrap();
+        assert!(matches!(first.recv_timeout(Duration::from_secs(10)), Ok(Outcome::Scored(_))));
+        assert!(matches!(doomed.recv_timeout(Duration::from_secs(10)), Ok(Outcome::TimedOut)));
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests() {
+        let cfg = ServeConfig {
+            score_delay: Duration::from_millis(20),
+            max_batch: 2,
+            ..ServeConfig::default()
+        };
+        let mut batcher = Batcher::start(state_with(cfg));
+        let pending: Vec<_> = (0..6)
+            .map(|i| batcher.submit(format!("sentence {i}"), far_deadline()).unwrap())
+            .collect();
+        batcher.shutdown();
+        for rx in pending {
+            assert!(
+                matches!(rx.try_recv(), Ok(Outcome::Scored(_))),
+                "shutdown must answer every accepted request before returning"
+            );
+        }
+        assert_eq!(
+            batcher.submit("late".into(), far_deadline()).unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn batched_results_match_individual_extraction() {
+        let state = state_with(ServeConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(20),
+            ..ServeConfig::default()
+        });
+        let batcher = Batcher::start(Arc::clone(&state));
+        let texts: Vec<String> =
+            (0..8).map(|i| format!("Bob visited office number {i} in London .")).collect();
+        let rxs: Vec<_> =
+            texts.iter().map(|t| batcher.submit(t.clone(), far_deadline()).unwrap()).collect();
+        let pipeline = state.pipeline();
+        for (text, rx) in texts.iter().zip(rxs) {
+            let Outcome::Scored(got) = rx.recv_timeout(Duration::from_secs(5)).unwrap() else {
+                panic!("expected a scored outcome");
+            };
+            assert_eq!(got, pipeline.extract(text), "batched != sequential for {text:?}");
+        }
+    }
+}

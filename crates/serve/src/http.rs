@@ -1,0 +1,305 @@
+//! Minimal HTTP/1.1 over `std::net`: just enough of RFC 9112 for the
+//! serving endpoints — request-line + headers + `Content-Length` bodies,
+//! keep-alive connections, and plain responses. No chunked encoding, no
+//! TLS, no compression; anything outside that subset gets a clean 4xx.
+
+use std::io::{BufRead, Write};
+
+/// Upper bound on a request body (1 MiB): a batch of sentences, not a file
+/// upload. Larger bodies are refused with 413 before buffering.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Upper bound on a single header line, and on the header count.
+const MAX_HEADER_LINE: usize = 8 * 1024;
+const MAX_HEADERS: usize = 64;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method, e.g. `GET` / `POST`.
+    pub method: String,
+    /// Request target path (query strings are kept verbatim).
+    pub path: String,
+    /// Lowercased header names with their values, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// True when the client asked to close the connection after this
+    /// exchange (HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection before sending a request line —
+    /// the normal end of a keep-alive session, not an error to report.
+    Closed,
+    /// A socket read timeout fired before the first byte of a request
+    /// arrived: the connection is idle. The caller may retry (keep-alive
+    /// poll) or close; no data was consumed.
+    Idle,
+    /// The bytes did not form a request this server accepts; the payload
+    /// is the response to send before closing.
+    Bad(Response),
+    /// Transport-level failure mid-request.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Reads one request from a buffered stream. Blocks until a full request
+/// arrives (bound the wait with a socket read timeout).
+pub fn read_request(stream: &mut impl BufRead) -> Result<Request, ReadError> {
+    let request_line = match read_line(stream) {
+        Ok(None) => return Err(ReadError::Closed),
+        Ok(Some(l)) => l,
+        // Idle is only clean before the first byte of a request; a timeout
+        // once headers have started means a stalled client.
+        Err(ReadError::Idle) => return Err(ReadError::Idle),
+        Err(e) => return Err(e),
+    };
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => return Err(ReadError::Bad(Response::text(400, "malformed request line"))),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ReadError::Bad(Response::text(505, "HTTP version not supported")));
+    }
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(stream) {
+            Ok(None) | Err(ReadError::Idle) => {
+                return Err(ReadError::Bad(Response::text(400, "truncated headers")))
+            }
+            Ok(Some(l)) => l,
+            Err(e) => return Err(e),
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ReadError::Bad(Response::text(431, "too many headers")));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Bad(Response::text(400, "malformed header")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => 0,
+        Some((_, v)) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return Err(ReadError::Bad(Response::text(400, "bad content-length"))),
+        },
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::Bad(Response::text(413, "request body too large")));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok(Request { method: method.to_string(), path: path.to_string(), headers, body })
+}
+
+/// Reads one CRLF- (or LF-) terminated line; `None` on immediate EOF,
+/// [`ReadError::Idle`] when a read timeout fires before the first byte.
+fn read_line(stream: &mut impl BufRead) -> Result<Option<String>, ReadError> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(ReadError::Bad(Response::text(400, "truncated request")));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    let line = String::from_utf8(buf)
+                        .map_err(|_| ReadError::Bad(Response::text(400, "non-UTF-8 header")))?;
+                    return Ok(Some(line));
+                }
+                if buf.len() >= MAX_HEADER_LINE {
+                    return Err(ReadError::Bad(Response::text(431, "header line too long")));
+                }
+                buf.push(byte[0]);
+            }
+            Err(e)
+                if buf.is_empty()
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return Err(ReadError::Idle)
+            }
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug)]
+pub struct Response {
+    /// Numeric status code.
+    pub status: u16,
+    /// Extra headers beyond `Content-Type`/`Content-Length`/`Connection`.
+    pub headers: Vec<(String, String)>,
+    /// Media type of `body`.
+    pub content_type: &'static str,
+    /// Response payload.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `text/plain` response (a trailing newline is appended).
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        let mut body = body.into();
+        if !body.ends_with('\n') {
+            body.push('\n');
+        }
+        Response { status, headers: Vec::new(), content_type: "text/plain", body: body.into() }
+    }
+
+    /// An `application/json` response from an already-serialized payload.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// The standard reason phrase for this status.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            505 => "HTTP Version Not Supported",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the response onto a stream. `close` adds
+    /// `Connection: close` so the client stops reusing the socket.
+    pub fn write_to(&self, stream: &mut impl Write, close: bool) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        if close {
+            head.push_str("connection: close\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r =
+            parse("POST /v1/extract HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/v1/extract");
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.body, b"abcd");
+        assert!(!r.wants_close());
+    }
+
+    #[test]
+    fn parses_get_without_body_and_lf_only_lines() {
+        let r = parse("GET /healthz HTTP/1.1\nConnection: close\n\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert!(r.body.is_empty());
+        assert!(r.wants_close());
+    }
+
+    #[test]
+    fn eof_before_request_is_a_clean_close() {
+        assert!(matches!(parse(""), Err(ReadError::Closed)));
+    }
+
+    #[test]
+    fn rejects_garbage_with_400() {
+        let Err(ReadError::Bad(resp)) = parse("not an http request\r\n\r\n") else {
+            panic!("garbage must be rejected");
+        };
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn rejects_oversized_body_with_413() {
+        let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        let Err(ReadError::Bad(resp)) = parse(&raw) else {
+            panic!("oversized body must be rejected");
+        };
+        assert_eq!(resp.status, 413);
+    }
+
+    #[test]
+    fn response_serializes_with_headers() {
+        let mut out = Vec::new();
+        Response::text(429, "busy")
+            .with_header("retry-after", "1")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nbusy\n"));
+    }
+}

@@ -1,0 +1,82 @@
+//! # ner-serve — the HTTP serving layer of `neural-ner`
+//!
+//! The survey's future-work call is an *easy-to-use, end-to-end* NER
+//! toolkit; this crate is the "end" of end-to-end: it loads a
+//! [`Checkpoint`](ner_core::persist::Checkpoint) and serves it over a
+//! dependency-free HTTP/1.1 server built on [`std::net::TcpListener`].
+//!
+//! ## Dynamic micro-batching
+//!
+//! The throughput device is the [`batcher::Batcher`]: connection threads
+//! enqueue raw texts onto a bounded queue and a single dispatcher drains
+//! up to `max_batch` requests — or whatever accumulated once the oldest
+//! waited `max_wait` — and scores them together with
+//! [`NerPipeline::extract_batch`](ner_core::prelude::NerPipeline::extract_batch)
+//! on the global `ner-par` pool. Scoring is read-only on the shared
+//! compiled [`ForwardPlan`](ner_core::prelude::ForwardPlan), and
+//! `extract_batch` is *defined* as per-text `extract` fanned over the
+//! pool, so a batched response is **byte-identical** to scoring the same
+//! text alone — concurrency buys throughput, never different answers.
+//! The `exp_serving` harness and this crate's integration tests verify
+//! that equivalence over a real socket.
+//!
+//! ## Overload & operations
+//!
+//! * bounded queue; overflow → `429` + `Retry-After` (the server never
+//!   buffers without bound and never falls over under load);
+//! * per-request deadline; expiry → `408` (queued requests are shed
+//!   without being scored);
+//! * `GET /healthz` liveness, `GET /metrics` live `ner-obs` metrics
+//!   (`serve.queue_depth`, `serve.batch_size`, `serve.request_us`, the
+//!   `infer.*` family, …);
+//! * `POST /admin/reload` atomically swaps in a freshly restored
+//!   checkpoint (`Arc` swap — in-flight batches finish on the old model);
+//! * `POST /admin/shutdown` drains gracefully: intake stops, everything
+//!   accepted is answered, then the process-facing [`server::Server::run`]
+//!   returns.
+//!
+//! Wired into the CLI as `neural-ner serve --ckpt model.json --addr
+//! 127.0.0.1:8080 [--max-batch N] [--max-wait-us T] [--queue-cap Q]
+//! [--threads K]`.
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod http;
+pub mod router;
+pub mod server;
+pub mod state;
+
+pub use server::{client, Server};
+pub use state::{ServeConfig, ServeState};
+
+/// Shared fixture for this crate's unit tests: a tiny untrained pipeline
+/// (deterministic predictions are all the serving layer needs).
+#[cfg(test)]
+pub(crate) mod test_support {
+    use ner_core::config::{CharRepr, DecoderKind, EncoderKind, NerConfig, WordRepr};
+    use ner_core::model::NerModel;
+    use ner_core::prelude::NerPipeline;
+    use ner_core::repr::SentenceEncoder;
+    use ner_corpus::{GeneratorConfig, NewsGenerator};
+    use ner_text::TagScheme;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    pub fn tiny_pipeline() -> NerPipeline {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ds = NewsGenerator::new(GeneratorConfig::default()).dataset(&mut rng, 30);
+        let encoder = SentenceEncoder::from_dataset(&ds, TagScheme::Bio, 1);
+        let cfg = NerConfig {
+            scheme: TagScheme::Bio,
+            word: WordRepr::Random { dim: 8 },
+            char_repr: CharRepr::None,
+            encoder: EncoderKind::Lstm { hidden: 8, bidirectional: false, layers: 1 },
+            decoder: DecoderKind::Crf,
+            dropout: 0.0,
+            ..NerConfig::default()
+        };
+        let model = NerModel::new(cfg, &encoder, None, &mut rng);
+        NerPipeline::new(encoder, model)
+    }
+}

@@ -1,0 +1,220 @@
+//! Maps parsed requests onto the serving endpoints.
+//!
+//! | route                    | behaviour                                      |
+//! |--------------------------|------------------------------------------------|
+//! | `POST /v1/extract`       | `{"text": …}` → one annotated sentence         |
+//! | `POST /v1/extract_batch` | `{"texts": […]}` → one result per text         |
+//! | `GET /healthz`           | liveness + drain status                        |
+//! | `GET /metrics`           | live `ner-obs` counters/gauges/histograms      |
+//! | `POST /admin/reload`     | atomically swap in the checkpoint from disk    |
+//! | `POST /admin/shutdown`   | begin graceful drain                           |
+//!
+//! Extraction requests go through the [`Batcher`]; admin and introspection
+//! routes answer inline on the connection thread.
+
+use crate::batcher::{Batcher, Outcome, SubmitError};
+use crate::http::{Request, Response};
+use crate::state::ServeState;
+use ner_text::Sentence;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+#[derive(Deserialize)]
+struct ExtractRequest {
+    text: String,
+}
+
+#[derive(Deserialize)]
+struct ExtractBatchRequest {
+    texts: Vec<String>,
+}
+
+/// One annotated sentence as the wire format: surface tokens, entity spans
+/// (token-index `[start, end)` plus label), and the bracket rendering.
+#[derive(Serialize)]
+struct ExtractResponse {
+    tokens: Vec<String>,
+    entities: Vec<ner_text::EntitySpan>,
+    render: String,
+}
+
+impl ExtractResponse {
+    fn from_sentence(s: Sentence) -> ExtractResponse {
+        ExtractResponse {
+            render: s.render_brackets(),
+            tokens: s.tokens.into_iter().map(|t| t.text).collect(),
+            entities: s.entities,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct ExtractBatchResponse {
+    results: Vec<ExtractResponse>,
+}
+
+#[derive(Serialize)]
+struct HealthResponse {
+    status: String,
+    reloads: u64,
+}
+
+#[derive(Serialize)]
+struct ReloadResponse {
+    status: String,
+    reloads: u64,
+}
+
+/// Dispatches one request. Never panics on malformed input — every error
+/// path maps to a 4xx/5xx the connection loop writes back.
+pub fn route(req: &Request, state: &ServeState, batcher: &Batcher) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/extract") => extract(req, state, batcher),
+        ("POST", "/v1/extract_batch") => extract_batch(req, state, batcher),
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/metrics") => metrics(),
+        ("POST", "/admin/reload") => reload(state),
+        ("POST", "/admin/shutdown") => shutdown(state),
+        (_, "/v1/extract" | "/v1/extract_batch" | "/admin/reload" | "/admin/shutdown") => {
+            Response::text(405, "use POST").with_header("allow", "POST")
+        }
+        (_, "/healthz" | "/metrics") => Response::text(405, "use GET").with_header("allow", "GET"),
+        _ => Response::text(404, format!("no route for {}", req.path)),
+    }
+}
+
+fn extract(req: &Request, state: &ServeState, batcher: &Batcher) -> Response {
+    let parsed: ExtractRequest = match parse_body(req) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let deadline = Instant::now() + state.config.request_timeout;
+    match score_one(batcher, parsed.text, deadline) {
+        Ok(sentence) => json_ok(serde_json::to_string(&ExtractResponse::from_sentence(sentence))),
+        Err(resp) => resp,
+    }
+}
+
+fn extract_batch(req: &Request, state: &ServeState, batcher: &Batcher) -> Response {
+    let parsed: ExtractBatchRequest = match parse_body(req) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let deadline = Instant::now() + state.config.request_timeout;
+    // Each text is its own queue entry, so one oversized client request
+    // still interleaves fairly with concurrent single extractions — and is
+    // subject to the same queue bound.
+    let mut receivers = Vec::with_capacity(parsed.texts.len());
+    for text in parsed.texts {
+        match batcher.submit(text, deadline) {
+            Ok(rx) => receivers.push(rx),
+            Err(e) => return submit_error(e),
+        }
+    }
+    let mut results = Vec::with_capacity(receivers.len());
+    for rx in receivers {
+        match wait_outcome(rx, deadline) {
+            Ok(sentence) => results.push(ExtractResponse::from_sentence(sentence)),
+            Err(resp) => return resp,
+        }
+    }
+    json_ok(serde_json::to_string(&ExtractBatchResponse { results }))
+}
+
+/// Submits one text and blocks until its outcome (or the deadline).
+fn score_one(batcher: &Batcher, text: String, deadline: Instant) -> Result<Sentence, Response> {
+    let rx = batcher.submit(text, deadline).map_err(submit_error)?;
+    wait_outcome(rx, deadline)
+}
+
+fn wait_outcome(
+    rx: std::sync::mpsc::Receiver<Outcome>,
+    deadline: Instant,
+) -> Result<Sentence, Response> {
+    // Small slack past the deadline: the dispatcher answers TimedOut
+    // itself for expired requests; the slack just covers scheduling skew
+    // so we prefer its verdict over racing it.
+    let wait = deadline.saturating_duration_since(Instant::now()) + Duration::from_millis(100);
+    match rx.recv_timeout(wait) {
+        Ok(Outcome::Scored(sentence)) => Ok(sentence),
+        Ok(Outcome::TimedOut) => Err(Response::text(408, "request deadline expired")),
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            Err(Response::text(408, "request deadline expired"))
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+            // The dispatcher dropped the channel without answering — only
+            // possible if it is gone; surface as unavailable.
+            Err(Response::text(503, "scoring backend unavailable"))
+        }
+    }
+}
+
+fn submit_error(e: SubmitError) -> Response {
+    match e {
+        SubmitError::QueueFull => {
+            Response::text(429, "queue full, retry shortly").with_header("retry-after", "1")
+        }
+        SubmitError::ShuttingDown => Response::text(503, "server is draining"),
+    }
+}
+
+fn healthz(state: &ServeState) -> Response {
+    let status = if state.is_shutting_down() { "draining" } else { "ok" };
+    let body = HealthResponse { status: status.to_string(), reloads: state.reload_count() };
+    json_ok(serde_json::to_string(&body))
+}
+
+/// Renders the live `ner-obs` registry as plain text, one metric per line
+/// (Prometheus-like exposition: counters/gauges as `name value`, histogram
+/// summaries as labeled quantile fields).
+fn metrics() -> Response {
+    let mut out = String::new();
+    for (name, value) in ner_obs::counters() {
+        out.push_str(&format!("counter {name} {value}\n"));
+    }
+    for (name, value) in ner_obs::gauges() {
+        out.push_str(&format!("gauge {name} {value}\n"));
+    }
+    for h in ner_obs::histogram_summaries() {
+        out.push_str(&format!(
+            "histogram {} count={} mean={:.1} p50={:.1} p90={:.1} p99={:.1} max={:.1}\n",
+            h.name, h.count, h.mean, h.p50, h.p90, h.p99, h.max
+        ));
+    }
+    Response::text(200, out)
+}
+
+fn reload(state: &ServeState) -> Response {
+    if state.is_shutting_down() {
+        return Response::text(503, "server is draining");
+    }
+    match state.reload_from_disk() {
+        Ok(reloads) => {
+            ner_obs::info(format!("checkpoint reloaded (#{reloads})"));
+            json_ok(serde_json::to_string(&ReloadResponse {
+                status: "reloaded".to_string(),
+                reloads,
+            }))
+        }
+        Err(e) => Response::text(500, format!("reload failed: {e}")),
+    }
+}
+
+fn shutdown(state: &ServeState) -> Response {
+    state.begin_shutdown();
+    ner_obs::info("shutdown requested; draining");
+    Response::text(200, "draining")
+}
+
+fn parse_body<T: Deserialize>(req: &Request) -> Result<T, Response> {
+    let text =
+        std::str::from_utf8(&req.body).map_err(|_| Response::text(400, "body is not UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| Response::text(400, format!("bad request body: {e}")))
+}
+
+fn json_ok(body: Result<String, serde_json::Error>) -> Response {
+    match body {
+        Ok(json) => Response::json(200, json),
+        Err(e) => Response::text(500, format!("serialization error: {e}")),
+    }
+}

@@ -1,0 +1,259 @@
+//! The accept loop: binds a `TcpListener`, hands each connection to a
+//! thread that parses requests and routes them, and coordinates graceful
+//! shutdown — stop accepting, finish every connection's in-flight request,
+//! drain the batcher, then return.
+
+use crate::batcher::Batcher;
+use crate::http::{read_request, ReadError};
+use crate::router;
+use crate::state::ServeState;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long an idle keep-alive connection may sit between requests.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Socket read timeout: each expiry is one poll of the shutdown flag, so
+/// idle connections notice a drain quickly instead of holding it open.
+const READ_POLL: Duration = Duration::from_millis(250);
+
+/// How often the accept loop re-checks the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// A bound, not-yet-running server. [`run`](Server::run) blocks until a
+/// graceful shutdown completes (via `POST /admin/shutdown` or
+/// [`ServeState::begin_shutdown`] from another thread).
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServeState>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:8080`; port 0 picks an ephemeral
+    /// port) over the given state.
+    pub fn bind(addr: impl ToSocketAddrs, state: Arc<ServeState>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server { listener, state, addr })
+    }
+
+    /// The actual bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state, for triggering shutdown or reloads in-process.
+    pub fn state(&self) -> Arc<ServeState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Serves until shutdown is requested, then drains and returns.
+    ///
+    /// The shutdown sequence loses no accepted work: the accept loop
+    /// closes first, connection threads finish the request they are on
+    /// (new requests on live connections are refused with 503 by the
+    /// batcher), and the batcher scores everything it already queued
+    /// before its dispatcher exits.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut batcher = Batcher::start(Arc::clone(&self.state));
+        let batcher_ref: &Batcher = &batcher;
+        ner_obs::info(format!("serving on http://{}", self.addr));
+
+        std::thread::scope(|scope| {
+            let mut connections = Vec::new();
+            loop {
+                if self.state.is_shutting_down() {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let state = Arc::clone(&self.state);
+                        connections.push(scope.spawn(move || {
+                            handle_connection(stream, &state, batcher_ref);
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) => {
+                        ner_obs::warn(format!("accept error: {e}"));
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                }
+                // Reap finished connection threads so long-running servers
+                // don't accumulate handles.
+                connections.retain(|h| !h.is_finished());
+            }
+            for handle in connections {
+                let _ = handle.join();
+            }
+        });
+        // All connections done: drain whatever the batcher still holds.
+        batcher.shutdown();
+        ner_obs::info("drained; server stopped");
+        Ok(())
+    }
+}
+
+/// Serves one keep-alive connection until the peer closes, errors, asks to
+/// close, idles past [`IDLE_TIMEOUT`], or the server drains.
+fn handle_connection(stream: TcpStream, state: &ServeState, batcher: &Batcher) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut idle_since = std::time::Instant::now();
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(req) => req,
+            Err(ReadError::Idle) => {
+                // No request in flight: safe moment to notice a drain or
+                // hang up on a long-idle peer.
+                if state.is_shutting_down() || idle_since.elapsed() >= IDLE_TIMEOUT {
+                    return;
+                }
+                continue;
+            }
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Bad(resp)) => {
+                let _ = resp.write_to(&mut writer, true);
+                return;
+            }
+            Err(ReadError::Io(_)) => return,
+        };
+        let resp = router::route(&req, state, batcher);
+        // Responses during drain tell clients to stop reusing the socket.
+        let close = req.wants_close() || state.is_shutting_down();
+        if resp.write_to(&mut writer, close).is_err() || close {
+            return;
+        }
+        idle_since = std::time::Instant::now();
+    }
+}
+
+/// A minimal blocking HTTP client — just enough for the integration tests
+/// and the `exp_serving` load generator to drive a real socket without an
+/// external dependency.
+pub mod client {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::{SocketAddr, TcpStream};
+    use std::time::Duration;
+
+    /// A keep-alive connection to the server.
+    pub struct Conn {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+
+    /// A response as the client sees it.
+    #[derive(Debug)]
+    pub struct ClientResponse {
+        /// HTTP status code.
+        pub status: u16,
+        /// Lowercased headers.
+        pub headers: Vec<(String, String)>,
+        /// Body bytes as a string (all served bodies are UTF-8).
+        pub body: String,
+    }
+
+    impl ClientResponse {
+        /// First value of a header, by case-insensitive name.
+        pub fn header(&self, name: &str) -> Option<&str> {
+            let name = name.to_ascii_lowercase();
+            self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+        }
+    }
+
+    impl Conn {
+        /// Connects with a generous I/O timeout.
+        pub fn connect(addr: SocketAddr) -> std::io::Result<Conn> {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+            stream.set_nodelay(true)?;
+            let writer = stream.try_clone()?;
+            Ok(Conn { reader: BufReader::new(stream), writer })
+        }
+
+        /// Sends `GET path`.
+        pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+            self.request("GET", path, None)
+        }
+
+        /// Sends `POST path` with a JSON body.
+        pub fn post(&mut self, path: &str, json: &str) -> std::io::Result<ClientResponse> {
+            self.request("POST", path, Some(json))
+        }
+
+        fn request(
+            &mut self,
+            method: &str,
+            path: &str,
+            body: Option<&str>,
+        ) -> std::io::Result<ClientResponse> {
+            let body = body.unwrap_or("");
+            let head = format!(
+                "{method} {path} HTTP/1.1\r\nhost: ner-serve\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+                body.len()
+            );
+            self.writer.write_all(head.as_bytes())?;
+            self.writer.write_all(body.as_bytes())?;
+            self.writer.flush()?;
+            self.read_response()
+        }
+
+        fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+            let bad =
+                |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+            let mut status_line = String::new();
+            if self.reader.read_line(&mut status_line)? == 0 {
+                return Err(bad("connection closed before status line"));
+            }
+            let status: u16 = status_line
+                .split(' ')
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| bad("malformed status line"))?;
+            let mut headers = Vec::new();
+            let mut content_length = 0usize;
+            loop {
+                let mut line = String::new();
+                if self.reader.read_line(&mut line)? == 0 {
+                    return Err(bad("connection closed mid-headers"));
+                }
+                let line = line.trim_end();
+                if line.is_empty() {
+                    break;
+                }
+                if let Some((name, value)) = line.split_once(':') {
+                    let name = name.trim().to_ascii_lowercase();
+                    let value = value.trim().to_string();
+                    if name == "content-length" {
+                        content_length = value.parse().map_err(|_| bad("bad content-length"))?;
+                    }
+                    headers.push((name, value));
+                }
+            }
+            let mut body = vec![0u8; content_length];
+            self.reader.read_exact(&mut body)?;
+            let body = String::from_utf8(body).map_err(|_| bad("non-UTF-8 body"))?;
+            Ok(ClientResponse { status, headers, body })
+        }
+    }
+
+    /// One-shot POST on a fresh connection.
+    pub fn post(addr: SocketAddr, path: &str, json: &str) -> std::io::Result<ClientResponse> {
+        Conn::connect(addr)?.post(path, json)
+    }
+
+    /// One-shot GET on a fresh connection.
+    pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<ClientResponse> {
+        Conn::connect(addr)?.get(path)
+    }
+}

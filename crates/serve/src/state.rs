@@ -1,0 +1,113 @@
+//! State shared by every connection thread: the hot-swappable pipeline,
+//! the serving configuration, and lifecycle flags.
+
+use ner_core::persist::Checkpoint;
+use ner_core::prelude::NerPipeline;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// Tunables for the serving layer. The CLI flags map onto these 1:1.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Largest batch the dispatcher scores in one `extract_batch` call.
+    pub max_batch: usize,
+    /// Longest the dispatcher waits for a batch to fill, measured from the
+    /// oldest queued request.
+    pub max_wait: Duration,
+    /// Bounded queue capacity; requests beyond it get 429 + `Retry-After`.
+    pub queue_cap: usize,
+    /// Per-request deadline: a request that has not been scored this long
+    /// after arrival is answered 408 instead (queued or in flight).
+    pub request_timeout: Duration,
+    /// Artificial per-batch scoring delay — load-test instrumentation for
+    /// exercising overload behaviour with a fast model. Zero in production.
+    pub score_delay: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 32,
+            max_wait: Duration::from_micros(500),
+            queue_cap: 1024,
+            request_timeout: Duration::from_secs(10),
+            score_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Shared, thread-safe serving state.
+pub struct ServeState {
+    /// The deployed pipeline. Swapped wholesale on reload: in-flight
+    /// batches keep their `Arc` clone of the old pipeline, so a reload
+    /// never disturbs requests already being scored.
+    pipeline: RwLock<Arc<NerPipeline>>,
+    /// Where `/admin/reload` restores from (`None` disables reload).
+    ckpt_path: Option<PathBuf>,
+    /// The serving tunables.
+    pub config: ServeConfig,
+    /// Set when a graceful shutdown has been requested.
+    shutting_down: AtomicBool,
+    /// Completed reloads since boot.
+    reloads: AtomicU64,
+}
+
+impl ServeState {
+    /// Wraps a pipeline for serving. `ckpt_path` enables `/admin/reload`.
+    pub fn new(
+        pipeline: NerPipeline,
+        ckpt_path: Option<PathBuf>,
+        config: ServeConfig,
+    ) -> Arc<ServeState> {
+        Arc::new(ServeState {
+            pipeline: RwLock::new(Arc::new(pipeline)),
+            ckpt_path,
+            config,
+            shutting_down: AtomicBool::new(false),
+            reloads: AtomicU64::new(0),
+        })
+    }
+
+    /// The current pipeline. Callers hold the returned `Arc` for the whole
+    /// batch they score, so a concurrent reload cannot pull the model out
+    /// from under them.
+    pub fn pipeline(&self) -> Arc<NerPipeline> {
+        Arc::clone(&self.pipeline.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Atomically replaces the served pipeline.
+    pub fn swap_pipeline(&self, fresh: NerPipeline) {
+        *self.pipeline.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(fresh);
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Restores the checkpoint from disk and swaps it in. Returns the
+    /// reload count after the swap.
+    pub fn reload_from_disk(&self) -> Result<u64, String> {
+        let path = self.ckpt_path.as_ref().ok_or("no checkpoint path configured")?;
+        let fresh = Checkpoint::load(path)
+            .map_err(|e| format!("cannot load {}: {e}", path.display()))?
+            .restore()
+            .map_err(|e| format!("cannot restore {}: {e}", path.display()))?;
+        self.swap_pipeline(fresh);
+        ner_obs::counter("serve.reloads", 1.0);
+        Ok(self.reloads.load(Ordering::Relaxed))
+    }
+
+    /// Completed reloads since boot.
+    pub fn reload_count(&self) -> u64 {
+        self.reloads.load(Ordering::Relaxed)
+    }
+
+    /// Flags the server as draining; new requests are refused with 503.
+    pub fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Release);
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,283 @@
+//! End-to-end tests over a real socket: batched serving must be
+//! byte-identical to offline annotation, overload must shed load without
+//! taking the server down, and a hot reload must lose no in-flight
+//! request.
+
+use ner_core::config::{CharRepr, DecoderKind, EncoderKind, NerConfig, WordRepr};
+use ner_core::model::NerModel;
+use ner_core::persist::Checkpoint;
+use ner_core::prelude::NerPipeline;
+use ner_core::repr::SentenceEncoder;
+use ner_corpus::{GeneratorConfig, NewsGenerator};
+use ner_serve::client;
+use ner_serve::{ServeConfig, ServeState, Server};
+use ner_text::TagScheme;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Value;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tiny_pipeline() -> NerPipeline {
+    let mut rng = StdRng::seed_from_u64(11);
+    let ds = NewsGenerator::new(GeneratorConfig::default()).dataset(&mut rng, 40);
+    let encoder = SentenceEncoder::from_dataset(&ds, TagScheme::Bio, 1);
+    let cfg = NerConfig {
+        scheme: TagScheme::Bio,
+        word: WordRepr::Random { dim: 8 },
+        char_repr: CharRepr::None,
+        encoder: EncoderKind::Lstm { hidden: 8, bidirectional: true, layers: 1 },
+        decoder: DecoderKind::Crf,
+        dropout: 0.0,
+        ..NerConfig::default()
+    };
+    let model = NerModel::new(cfg, &encoder, None, &mut rng);
+    NerPipeline::new(encoder, model)
+}
+
+/// Starts a server on an ephemeral port; returns its address, state, and
+/// the thread to join after shutdown.
+fn start_server(
+    cfg: ServeConfig,
+    ckpt_path: Option<std::path::PathBuf>,
+) -> (SocketAddr, Arc<ServeState>, std::thread::JoinHandle<()>) {
+    let state = ServeState::new(tiny_pipeline(), ckpt_path, cfg);
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&state)).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, state, handle)
+}
+
+fn stop_server(addr: SocketAddr, handle: std::thread::JoinHandle<()>) {
+    let resp = client::post(addr, "/admin/shutdown", "").expect("shutdown request");
+    assert_eq!(resp.status, 200);
+    handle.join().expect("server thread");
+}
+
+/// The serialized form the server sends for one sentence — built from the
+/// offline pipeline so equality is checked on the exact wire payload.
+fn offline_payload(pipeline: &NerPipeline, text: &str) -> Value {
+    let s = pipeline.extract(text);
+    let entities = s
+        .entities
+        .iter()
+        .map(|e| {
+            Value::Object(vec![
+                ("start".into(), Value::Num(e.start as f64)),
+                ("end".into(), Value::Num(e.end as f64)),
+                ("label".into(), Value::Str(e.label.clone())),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        (
+            "tokens".into(),
+            Value::Array(s.tokens.iter().map(|t| Value::Str(t.text.clone())).collect()),
+        ),
+        ("entities".into(), Value::Array(entities)),
+        ("render".into(), Value::Str(s.render_brackets())),
+    ])
+}
+
+fn json_escape(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[test]
+fn concurrent_batched_responses_match_offline_annotate() {
+    let cfg = ServeConfig {
+        max_batch: 16,
+        max_wait: Duration::from_micros(500),
+        ..ServeConfig::default()
+    };
+    let (addr, state, handle) = start_server(cfg, None);
+    let offline = state.pipeline();
+
+    let texts: Vec<String> = (0..24)
+        .map(|i| format!("Alice Smith flew to Paris with delegation number {i} yesterday ."))
+        .collect();
+    let results: Vec<(String, Value)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = texts
+            .chunks(6)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut conn = client::Conn::connect(addr).expect("connect");
+                    chunk
+                        .iter()
+                        .map(|text| {
+                            let body = format!("{{\"text\": \"{}\"}}", json_escape(text));
+                            let resp = conn.post("/v1/extract", &body).expect("extract");
+                            assert_eq!(resp.status, 200, "body: {}", resp.body);
+                            let parsed: Value =
+                                serde_json::from_str(&resp.body).expect("response json");
+                            (text.clone(), parsed)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        workers.into_iter().flat_map(|w| w.join().expect("client thread")).collect()
+    });
+    for (text, served) in &results {
+        assert_eq!(
+            *served,
+            offline_payload(&offline, text),
+            "served response diverged from offline extract for {text:?}"
+        );
+    }
+
+    // The batch endpoint returns the same payloads, in request order.
+    let mut conn = client::Conn::connect(addr).expect("connect");
+    let batch_body = format!(
+        "{{\"texts\": [{}]}}",
+        texts
+            .iter()
+            .take(5)
+            .map(|t| format!("\"{}\"", json_escape(t)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let resp = conn.post("/v1/extract_batch", &batch_body).expect("extract_batch");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    let parsed: Value = serde_json::from_str(&resp.body).expect("batch json");
+    let results = parsed.get("results").and_then(|r| r.as_array()).expect("results array");
+    assert_eq!(results.len(), 5);
+    for (text, served) in texts.iter().take(5).zip(results) {
+        assert_eq!(*served, offline_payload(&offline, text));
+    }
+
+    stop_server(addr, handle);
+}
+
+#[test]
+fn overflow_sheds_load_with_429_and_keeps_serving() {
+    // A deliberately tiny queue and slow scoring: most of a burst must be
+    // rejected, but the server itself must stay responsive throughout.
+    let cfg = ServeConfig {
+        max_batch: 1,
+        queue_cap: 2,
+        score_delay: Duration::from_millis(120),
+        ..ServeConfig::default()
+    };
+    let (addr, _state, handle) = start_server(cfg, None);
+
+    let (oks, rejected) = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..12)
+            .map(|i| {
+                scope.spawn(move || {
+                    let body = format!("{{\"text\": \"burst request number {i} .\"}}");
+                    let resp = client::post(addr, "/v1/extract", &body).expect("request");
+                    resp.status
+                })
+            })
+            .collect();
+        // While the burst is in flight, liveness must not degrade.
+        let health = client::get(addr, "/healthz").expect("healthz during burst");
+        assert_eq!(health.status, 200);
+        let mut oks = 0;
+        let mut rejected = 0;
+        for w in workers {
+            match w.join().expect("client thread") {
+                200 => oks += 1,
+                429 => rejected += 1,
+                other => panic!("unexpected status {other} during overload"),
+            }
+        }
+        (oks, rejected)
+    });
+    assert!(oks >= 1, "some of the burst must be served");
+    assert!(rejected >= 1, "a 2-slot queue must shed most of a 12-request burst");
+
+    // Shed load is advisory: the client that retries after the burst wins.
+    let resp = client::post(addr, "/v1/extract", "{\"text\": \"after the storm .\"}")
+        .expect("post-burst request");
+    assert_eq!(resp.status, 200);
+    // And the 429s told it when to come back.
+    stop_server(addr, handle);
+}
+
+#[test]
+fn reload_mid_traffic_loses_no_requests() {
+    let ckpt_path =
+        std::env::temp_dir().join(format!("ner-serve-reload-test-{}.json", std::process::id()));
+    // The checkpoint on disk is captured from an identical pipeline, so
+    // predictions stay comparable across the swap.
+    Checkpoint::capture(&tiny_pipeline()).save(&ckpt_path).expect("save checkpoint");
+
+    let cfg = ServeConfig { max_batch: 8, ..ServeConfig::default() };
+    let (addr, state, handle) = start_server(cfg, Some(ckpt_path.clone()));
+    let offline = state.pipeline();
+
+    let reload_status = std::thread::scope(|scope| {
+        let traffic: Vec<_> = (0..4)
+            .map(|worker| {
+                let offline = &offline;
+                scope.spawn(move || {
+                    let mut conn = client::Conn::connect(addr).expect("connect");
+                    for i in 0..25 {
+                        let text = format!("Bob Jones works in London office {worker}-{i} .");
+                        let body = format!("{{\"text\": \"{text}\"}}");
+                        let resp = conn.post("/v1/extract", &body).expect("extract");
+                        assert_eq!(
+                            resp.status, 200,
+                            "request {worker}-{i} dropped during reload: {}",
+                            resp.body
+                        );
+                        let parsed: Value = serde_json::from_str(&resp.body).expect("json");
+                        assert_eq!(parsed, offline_payload(offline, &text));
+                    }
+                })
+            })
+            .collect();
+        // Fire the reload while the traffic threads are mid-stream.
+        std::thread::sleep(Duration::from_millis(30));
+        let resp = client::post(addr, "/admin/reload", "").expect("reload");
+        for t in traffic {
+            t.join().expect("traffic thread");
+        }
+        resp.status
+    });
+    assert_eq!(reload_status, 200, "reload must succeed");
+    assert_eq!(state.reload_count(), 1);
+
+    // The reloaded model keeps serving.
+    let resp = client::post(addr, "/v1/extract", "{\"text\": \"Carol visited Berlin .\"}")
+        .expect("post-reload request");
+    assert_eq!(resp.status, 200);
+
+    stop_server(addr, handle);
+    let _ = std::fs::remove_file(ckpt_path);
+}
+
+#[test]
+fn health_metrics_and_errors_speak_http() {
+    let (addr, _state, handle) = start_server(ServeConfig::default(), None);
+
+    let health = client::get(addr, "/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    let parsed: Value = serde_json::from_str(&health.body).expect("health json");
+    assert_eq!(parsed.get("status").and_then(|s| s.as_str()), Some("ok"));
+
+    // Generate some traffic so the serving histograms exist.
+    let resp = client::post(addr, "/v1/extract", "{\"text\": \"Dana met Erik in Oslo .\"}")
+        .expect("extract");
+    assert_eq!(resp.status, 200);
+    let metrics = client::get(addr, "/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body.contains("serve.batch_size"), "metrics:\n{}", metrics.body);
+    assert!(metrics.body.contains("serve.request_us"), "metrics:\n{}", metrics.body);
+    assert!(metrics.body.contains("serve.queue_depth"), "metrics:\n{}", metrics.body);
+
+    // Error surfaces: bad JSON, wrong method, unknown route, no reload path.
+    let bad = client::post(addr, "/v1/extract", "{not json").expect("bad body");
+    assert_eq!(bad.status, 400);
+    let wrong = client::get(addr, "/v1/extract").expect("wrong method");
+    assert_eq!(wrong.status, 405);
+    let missing = client::get(addr, "/nope").expect("unknown route");
+    assert_eq!(missing.status, 404);
+    let reload = client::post(addr, "/admin/reload", "").expect("reload without path");
+    assert_eq!(reload.status, 500);
+
+    stop_server(addr, handle);
+}
