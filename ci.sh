@@ -4,6 +4,7 @@
 # Runs the same checks as .github/workflows/ci.yml:
 #   1. formatting       (cargo fmt --check, rustfmt.toml style)
 #   2. lints            (cargo clippy --workspace, warnings are errors)
+#      + docs           (cargo doc --no-deps, rustdoc warnings are errors)
 #   3. tier-1 tests     (release build + full test suite, serial and at
 #      4 threads — the parallel paths must not change results)
 #   4. kernel smoke     (exp_kernels --smoke exits non-zero on any
@@ -23,6 +24,9 @@ cargo fmt --check
 
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo doc (deny rustdoc warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 
 echo "== tier-1: release build + tests (NER_THREADS=1) =="
 cargo build --release

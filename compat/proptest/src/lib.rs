@@ -230,7 +230,7 @@ pub mod prop {
         use rand::Rng;
         use std::ops::Range;
 
-        /// Anything usable as the length argument of [`vec`].
+        /// Anything usable as the length argument of [`vec()`].
         pub trait SizeRange {
             /// Picks a concrete length.
             fn pick(&self, rng: &mut TestRng) -> usize;
@@ -254,7 +254,7 @@ pub mod prop {
             VecStrategy { element, size }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         pub struct VecStrategy<S, L> {
             element: S,
             size: L,

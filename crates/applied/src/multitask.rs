@@ -106,7 +106,12 @@ impl MultitaskNer {
         enc: &EncodedSentence,
         rng: &mut impl Rng,
     ) -> ner_tensor::Var {
-        let x = self.input.forward(tape, &self.store, enc, true, rng);
+        let x0 = self.input.forward(tape, &self.store, enc, None);
+        let x = if self.input.dropout() > 0.0 {
+            tape.dropout(x0, self.input.dropout(), rng)
+        } else {
+            x0
+        };
         let h = self.encoder.forward(tape, &self.store, x);
         let emissions = self.proj.forward(tape, &self.store, h);
         let mut total = self.crf.nll(tape, &self.store, emissions, &enc.tag_ids);
@@ -145,9 +150,8 @@ impl MultitaskNer {
 
     /// Predicted spans (constrained Viterbi).
     pub fn predict_spans(&self, enc: &EncodedSentence) -> Vec<EntitySpan> {
-        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
         let mut tape = Tape::new();
-        let x = self.input.forward(&mut tape, &self.store, enc, false, &mut rng);
+        let x = self.input.forward(&mut tape, &self.store, enc, None);
         let h = self.encoder.forward(&mut tape, &self.store, x);
         let emissions = self.proj.forward(&mut tape, &self.store, h);
         let (tags, _) = self.crf.viterbi(&self.store, tape.value(emissions), Some(&self.tag_set));

@@ -337,6 +337,15 @@ pub fn report(raw: Vec<String>) -> CmdResult {
         );
     }
 
+    if let Some(skipped) = counter("train.skipped_updates") {
+        println!("\n== training stability ==");
+        if skipped > 0.0 {
+            println!("{skipped:.0} optimizer updates skipped on non-finite loss/gradient");
+        } else {
+            println!("no updates skipped (all losses and gradient norms finite)");
+        }
+    }
+
     if !spans.is_empty() {
         spans.sort_by(|a, b| b.2.total_cmp(&a.2));
         println!("\n== slowest spans ==");

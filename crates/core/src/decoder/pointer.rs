@@ -7,9 +7,8 @@
 //! decoding repeats greedily until the sentence is consumed.
 
 use crate::decoder::semicrf::Segment;
-use ner_tensor::fused::{self, Activation};
 use ner_tensor::nn::Linear;
-use ner_tensor::{init, ParamId, ParamStore, Tape, Tensor, Var};
+use ner_tensor::{init, Exec, ParamId, ParamStore, Tape, Var};
 use rand::Rng;
 
 /// A greedy segment-and-label pointer decoder.
@@ -63,37 +62,37 @@ impl PointerDecoder {
     }
 
     /// Pointer logits over candidate ends `e ∈ (s, s+cands]` as `[1, cands]`.
-    fn pointer_logits(
+    fn pointer_logits<E: Exec>(
         &self,
-        tape: &mut Tape,
+        ex: &mut E,
         store: &ParamStore,
-        enc: Var,
+        enc: E::V,
         s: usize,
         cands: usize,
-    ) -> Var {
-        let h_s = tape.row(enc, s);
-        let proj_s = self.w_start.forward(tape, store, h_s); // [1, att]
-        let ends = tape.slice_rows(enc, s, cands); // h_s .. h_{s+cands-1}
-        let proj_e = self.w_end.forward(tape, store, ends); // [cands, att]
-        let summed = tape.add_bias(proj_e, proj_s); // broadcast start proj
-        let act = tape.tanh(summed);
-        let v = tape.param(store, self.v);
-        let scores = tape.matmul(act, v); // [cands, 1]
-        tape.transpose(scores) // [1, cands]
+    ) -> E::V {
+        let h_s = ex.row(enc, s);
+        let proj_s = self.w_start.forward(ex, store, h_s); // [1, att]
+        let ends = ex.slice_rows(enc, s, cands); // h_s .. h_{s+cands-1}
+        let proj_e = self.w_end.forward(ex, store, ends); // [cands, att]
+        let summed = ex.add_bias(proj_e, proj_s); // broadcast start proj
+        let act = ex.activation(summed, ner_tensor::fused::Activation::Tanh);
+        let v = ex.param(store, self.v);
+        let scores = ex.matmul(act, v); // [cands, 1]
+        ex.transpose(scores) // [1, cands]
     }
 
-    fn segment_logits(
+    fn segment_logits<E: Exec>(
         &self,
-        tape: &mut Tape,
+        ex: &mut E,
         store: &ParamStore,
-        enc: Var,
+        enc: E::V,
         s: usize,
         e: usize,
-    ) -> Var {
-        let h_s = tape.row(enc, s);
-        let h_e = tape.row(enc, e - 1);
-        let rep = tape.concat_cols(&[h_s, h_e]);
-        self.classify.forward(tape, store, rep)
+    ) -> E::V {
+        let h_s = ex.row(enc, s);
+        let h_e = ex.row(enc, e - 1);
+        let rep = ex.concat_cols(&[h_s, h_e]);
+        self.classify.forward(ex, store, rep)
     }
 
     /// Teacher-forced loss over the gold segmentation.
@@ -117,93 +116,26 @@ impl PointerDecoder {
         tape.sum(total)
     }
 
-    /// Greedy decoding into a segmentation covering the whole sentence.
-    pub fn decode(&self, tape: &mut Tape, store: &ParamStore, enc: Var) -> Vec<Segment> {
-        let n = tape.value(enc).rows();
+    /// Greedy decoding into a segmentation covering the whole sentence, on
+    /// any backend — identical floats and tie-breaking either way.
+    pub fn decode<E: Exec>(&self, ex: &mut E, store: &ParamStore, enc: E::V) -> Vec<Segment> {
+        let n = ex.value(enc).rows();
         let mut segs = Vec::new();
         let mut s = 0;
         while s < n {
             let cands = self.max_len.min(n - s);
             let len = if cands > 1 {
-                let logits = self.pointer_logits(tape, store, enc, s, cands);
-                tape.value(logits).argmax_row(0) + 1
+                let logits = self.pointer_logits(ex, store, enc, s, cands);
+                ex.value(logits).argmax_row(0) + 1
             } else {
                 1
             };
             let e = s + len;
-            let logits = self.segment_logits(tape, store, enc, s, e);
-            let label = tape.value(logits).argmax_row(0);
+            let logits = self.segment_logits(ex, store, enc, s, e);
+            let label = ex.value(logits).argmax_row(0);
             segs.push(Segment { start: s, end: e, label });
             s = e;
         }
-        segs
-    }
-
-    /// Tape-free pointer scores over candidate ends, as a `[cands, 1]`
-    /// column (the tape path transposes to `[1, cands]`; scanning the
-    /// column top-down with a strict `>` is the identical argmax).
-    fn pointer_scores_eval(
-        &self,
-        store: &ParamStore,
-        enc: &Tensor,
-        s: usize,
-        cands: usize,
-    ) -> Tensor {
-        let d = enc.cols();
-        let mut h_s = Tensor::zeros_pooled(1, d);
-        h_s.row_mut(0).copy_from_slice(enc.row(s));
-        let proj_s = self.w_start.forward_eval(store, &h_s, Activation::None); // [1, att]
-        fused::recycle(h_s);
-        let mut ends = Tensor::zeros_pooled(cands, d);
-        for r in 0..cands {
-            ends.row_mut(r).copy_from_slice(enc.row(s + r));
-        }
-        let mut summed = self.w_end.forward_eval(store, &ends, Activation::None); // [cands, att]
-        fused::recycle(ends);
-        fused::add_bias_in_place(&mut summed, &proj_s); // broadcast start proj
-        fused::recycle(proj_s);
-        Activation::Tanh.apply(&mut summed);
-        let scores = summed.matmul(store.value(self.v)); // [cands, 1]
-        fused::recycle(summed);
-        scores
-    }
-
-    /// Tape-free [`decode`](Self::decode) — greedy chunk-then-label with
-    /// the identical floats and tie-breaking.
-    pub fn decode_eval(&self, store: &ParamStore, enc: &Tensor) -> Vec<Segment> {
-        let n = enc.rows();
-        let d = enc.cols();
-        let mut segs = Vec::new();
-        let mut rep = Tensor::zeros_pooled(1, 2 * d);
-        let mut s = 0;
-        while s < n {
-            let cands = self.max_len.min(n - s);
-            let len = if cands > 1 {
-                let scores = self.pointer_scores_eval(store, enc, s, cands);
-                let mut best = scores.at2(0, 0);
-                let mut arg = 0;
-                for r in 1..cands {
-                    let v = scores.at2(r, 0);
-                    if v > best {
-                        best = v;
-                        arg = r;
-                    }
-                }
-                fused::recycle(scores);
-                arg + 1
-            } else {
-                1
-            };
-            let e = s + len;
-            rep.row_mut(0)[..d].copy_from_slice(enc.row(s));
-            rep.row_mut(0)[d..].copy_from_slice(enc.row(e - 1));
-            let logits = self.classify.forward_eval(store, &rep, Activation::None);
-            let label = logits.argmax_row(0);
-            fused::recycle(logits);
-            segs.push(Segment { start: s, end: e, label });
-            s = e;
-        }
-        fused::recycle(rep);
         segs
     }
 }

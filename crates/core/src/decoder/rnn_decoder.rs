@@ -6,9 +6,8 @@
 //! previous tag; decoding is greedy, feeding back the argmax — the
 //! serialization cost the paper's §3.5 comparison calls out.
 
-use ner_tensor::fused::{self, Activation};
 use ner_tensor::nn::{Embedding, Linear, LstmCell};
-use ner_tensor::{ParamStore, Tape, Tensor, Var};
+use ner_tensor::{Exec, ParamStore, Tape, Var};
 use rand::Rng;
 
 /// An LSTM-based greedy tag decoder.
@@ -64,45 +63,23 @@ impl RnnDecoder {
         tape.cross_entropy_sum(logits, tags)
     }
 
-    /// Greedy decoding: predicts a tag sequence for `enc [n, enc_dim]`.
-    pub fn decode(&self, tape: &mut Tape, store: &ParamStore, enc: Var) -> Vec<usize> {
-        let n = tape.value(enc).rows();
-        let mut run = self.cell.begin(tape, store);
+    /// Greedy decoding: predicts a tag sequence for `enc [n, enc_dim]` on
+    /// any backend — the same feedback loop (and the same floats) whether
+    /// or not a graph is being recorded.
+    pub fn decode<E: Exec>(&self, ex: &mut E, store: &ParamStore, enc: E::V) -> Vec<usize> {
+        let n = ex.value(enc).rows();
+        let mut run = self.cell.begin(ex, store);
         let mut tags = Vec::with_capacity(n);
         let mut prev = self.k;
         for t in 0..n {
-            let prev_emb = self.tag_emb.lookup(tape, store, &[prev]);
-            let enc_t = tape.row(enc, t);
-            let x = tape.concat_cols(&[enc_t, prev_emb]);
-            self.cell.step(tape, &mut run, x);
-            let logits = self.out.forward(tape, store, run.h);
-            prev = tape.value(logits).argmax_row(0);
+            let prev_emb = self.tag_emb.lookup(ex, store, &[prev]);
+            let enc_t = ex.row(enc, t);
+            let x = ex.concat_cols(&[enc_t, prev_emb]);
+            self.cell.step(ex, &mut run, x);
+            let logits = self.out.forward(ex, store, run.h);
+            prev = ex.value(logits).argmax_row(0);
             tags.push(prev);
         }
-        tags
-    }
-
-    /// Tape-free [`decode`](Self::decode) — the same greedy feedback loop
-    /// (and the same floats) without building a graph.
-    pub fn decode_eval(&self, store: &ParamStore, enc: &Tensor) -> Vec<usize> {
-        let n = enc.rows();
-        let tag_table = store.value(self.tag_emb.table);
-        let (d_enc, d_tag) = (enc.cols(), tag_table.cols());
-        let mut state = self.cell.begin_eval();
-        let mut x = Tensor::zeros_pooled(1, d_enc + d_tag);
-        let mut tags = Vec::with_capacity(n);
-        let mut prev = self.k;
-        for t in 0..n {
-            let row = x.row_mut(0);
-            row[..d_enc].copy_from_slice(enc.row(t));
-            row[d_enc..].copy_from_slice(tag_table.row(prev));
-            self.cell.step_eval(store, &mut state, &x);
-            let logits = self.out.forward_eval(store, &state.h, Activation::None);
-            prev = logits.argmax_row(0);
-            fused::recycle(logits);
-            tags.push(prev);
-        }
-        fused::recycle(x);
         tags
     }
 }

@@ -6,10 +6,9 @@
 pub mod recursive;
 
 use crate::config::EncoderKind;
-use crate::plan::ForwardPlan;
-use ner_tensor::fused::{self, Activation};
+use ner_tensor::fused::Activation;
 use ner_tensor::nn::{GruCell, Linear, LstmCell, TransformerBlock};
-use ner_tensor::{init, nn, ParamId, ParamStore, Tape, Tensor, Var};
+use ner_tensor::{init, nn, Exec, ParamId, ParamStore, Tensor};
 use rand::Rng;
 
 /// A built context encoder: maps `[n, in_dim] → [n, out_dim]`.
@@ -164,45 +163,41 @@ impl Encoder {
         self.out_dim
     }
 
-    /// Encodes `x [n, in_dim] → [n, out_dim]`.
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+    /// Encodes `x [n, in_dim] → [n, out_dim]` on any backend.
+    pub fn forward<E: Exec>(&self, ex: &mut E, store: &ParamStore, x: E::V) -> E::V {
         match &self.imp {
             EncoderImpl::Identity => x,
             EncoderImpl::WindowMlp { lin, window } => {
-                let windowed = window_concat(tape, x, *window);
-                let h = lin.forward(tape, store, windowed);
-                tape.tanh(h)
+                let windowed = window_concat(ex, x, *window);
+                lin.forward_act(ex, store, windowed, Activation::Tanh)
             }
             EncoderImpl::Cnn { layers, width, global } => {
                 let mut h = x;
                 for (w, b) in layers {
-                    let wv = tape.param(store, *w);
-                    let bv = tape.param(store, *b);
-                    let c = tape.conv1d(h, wv, bv, *width, 1);
-                    h = tape.relu(c);
+                    let wv = ex.param(store, *w);
+                    let bv = ex.param(store, *b);
+                    h = ex.conv1d_act(h, wv, bv, *width, 1, Activation::Relu);
                 }
                 if *global {
                     // Fig. 5's sentence-level global feature: max over time,
                     // broadcast back onto every position.
-                    let n = tape.value(h).rows();
-                    let g = tape.max_over_rows(h);
-                    let broadcast = tape.concat_rows(&vec![g; n]);
-                    tape.concat_cols(&[h, broadcast])
+                    let n = ex.value(h).rows();
+                    let g = ex.max_over_rows(h);
+                    let broadcast = ex.concat_rows(&vec![g; n]);
+                    ex.concat_cols(&[h, broadcast])
                 } else {
                     h
                 }
             }
             EncoderImpl::IdCnn { initial, block, width, iterations } => {
-                let wv = tape.param(store, initial.0);
-                let bv = tape.param(store, initial.1);
-                let c = tape.conv1d(x, wv, bv, *width, 1);
-                let mut h = tape.relu(c);
+                let wv = ex.param(store, initial.0);
+                let bv = ex.param(store, initial.1);
+                let mut h = ex.conv1d_act(x, wv, bv, *width, 1, Activation::Relu);
                 for _ in 0..*iterations {
                     for (w, b, dil) in block {
-                        let wv = tape.param(store, *w);
-                        let bv = tape.param(store, *b);
-                        let c = tape.conv1d(h, wv, bv, *width, *dil);
-                        h = tape.relu(c);
+                        let wv = ex.param(store, *w);
+                        let bv = ex.param(store, *b);
+                        h = ex.conv1d_act(h, wv, bv, *width, *dil, Activation::Relu);
                     }
                 }
                 h
@@ -211,172 +206,38 @@ impl Encoder {
                 let mut h = x;
                 for (fw, bw) in layers {
                     h = match bw {
-                        Some(bw) => nn::bidirectional(tape, store, fw, bw, h),
-                        None => fw.sequence(tape, store, h),
+                        Some(bw) => nn::bidirectional(ex, store, fw, bw, h),
+                        None => fw.sequence(ex, store, h),
                     };
                 }
                 h
             }
             EncoderImpl::Gru { fw, bw } => match bw {
                 Some(bw) => {
-                    let f = fw.sequence(tape, store, x);
-                    let b = bw.sequence_rev(tape, store, x);
-                    tape.concat_cols(&[f, b])
+                    let f = fw.sequence(ex, store, x);
+                    let b = bw.sequence_rev(ex, store, x);
+                    ex.concat_cols(&[f, b])
                 }
-                None => fw.sequence(tape, store, x),
+                None => fw.sequence(ex, store, x),
             },
             EncoderImpl::Transformer { proj, blocks, d_model } => {
-                let p = proj.forward(tape, store, x);
-                let n = tape.value(p).rows();
-                let pe = tape.constant(nn::positional_encoding(n, *d_model));
-                let mut h = tape.add(p, pe);
+                let p = proj.forward(ex, store, x);
+                let n = ex.value(p).rows();
+                let pe = ex.positional_encoding(n, *d_model);
+                let mut h = ex.add(p, pe);
                 for block in blocks {
-                    h = block.forward(tape, store, h, false);
+                    h = block.forward(ex, store, h, false);
                 }
                 h
             }
         }
     }
-
-    /// Tape-free [`forward`](Self::forward): consumes `x` (recycling it
-    /// into the buffer pool once read) and returns a pooled `[n, out_dim]`
-    /// matrix, bit-identical to the tape path. `plan` supplies the shared
-    /// per-length positional-encoding table for Transformer encoders.
-    pub(crate) fn forward_eval(&self, store: &ParamStore, x: Tensor, plan: &ForwardPlan) -> Tensor {
-        match &self.imp {
-            EncoderImpl::Identity => x,
-            EncoderImpl::WindowMlp { lin, window } => {
-                let windowed = window_concat_eval(&x, *window);
-                fused::recycle(x);
-                let h = lin.forward_eval(store, &windowed, Activation::Tanh);
-                fused::recycle(windowed);
-                h
-            }
-            EncoderImpl::Cnn { layers, width, global } => {
-                let mut h = x;
-                for (w, b) in layers {
-                    let c = fused::conv1d_act(
-                        &h,
-                        store.value(*w),
-                        store.value(*b),
-                        *width,
-                        1,
-                        Activation::Relu,
-                    );
-                    fused::recycle(h);
-                    h = c;
-                }
-                if *global {
-                    let (n, f) = h.shape();
-                    let g = fused::max_over_rows(&h);
-                    let mut out = Tensor::zeros_pooled(n, 2 * f);
-                    for r in 0..n {
-                        let row = out.row_mut(r);
-                        row[..f].copy_from_slice(h.row(r));
-                        row[f..].copy_from_slice(g.row(0));
-                    }
-                    fused::recycle(h);
-                    fused::recycle(g);
-                    out
-                } else {
-                    h
-                }
-            }
-            EncoderImpl::IdCnn { initial, block, width, iterations } => {
-                let mut h = fused::conv1d_act(
-                    &x,
-                    store.value(initial.0),
-                    store.value(initial.1),
-                    *width,
-                    1,
-                    Activation::Relu,
-                );
-                fused::recycle(x);
-                for _ in 0..*iterations {
-                    for (w, b, dil) in block {
-                        let c = fused::conv1d_act(
-                            &h,
-                            store.value(*w),
-                            store.value(*b),
-                            *width,
-                            *dil,
-                            Activation::Relu,
-                        );
-                        fused::recycle(h);
-                        h = c;
-                    }
-                }
-                h
-            }
-            EncoderImpl::Lstm { layers } => {
-                let mut h = x;
-                for (fw, bw) in layers {
-                    let next = match bw {
-                        Some(bw) => nn::bidirectional_eval(store, fw, bw, &h),
-                        None => fw.sequence_eval(store, &h),
-                    };
-                    fused::recycle(h);
-                    h = next;
-                }
-                h
-            }
-            EncoderImpl::Gru { fw, bw } => {
-                let out = match bw {
-                    Some(bw) => {
-                        let f = fw.sequence_eval(store, &x);
-                        let b = bw.sequence_rev_eval(store, &x);
-                        let (n, hf, hb) = (x.rows(), f.cols(), b.cols());
-                        let mut out = Tensor::zeros_pooled(n, hf + hb);
-                        for r in 0..n {
-                            let row = out.row_mut(r);
-                            row[..hf].copy_from_slice(f.row(r));
-                            row[hf..].copy_from_slice(b.row(r));
-                        }
-                        fused::recycle(f);
-                        fused::recycle(b);
-                        out
-                    }
-                    None => fw.sequence_eval(store, &x),
-                };
-                fused::recycle(x);
-                out
-            }
-            EncoderImpl::Transformer { proj, blocks, d_model } => {
-                let mut p = proj.forward_eval(store, &x, Activation::None);
-                fused::recycle(x);
-                let pe = plan.positional_encoding(p.rows(), *d_model);
-                p.add_scaled(&pe, 1.0);
-                for block in blocks {
-                    let h = block.forward_eval(store, &p);
-                    fused::recycle(p);
-                    p = h;
-                }
-                p
-            }
-        }
-    }
-}
-
-/// Tape-free [`window_concat`]: the same zero-padded neighbor layout
-/// written directly into one pooled buffer.
-fn window_concat_eval(x: &Tensor, window: usize) -> Tensor {
-    let (n, d) = x.shape();
-    let mut out = Tensor::zeros_pooled(n, (2 * window + 1) * d);
-    for (blk, offset) in (-(window as isize)..=window as isize).enumerate() {
-        for t in 0..n {
-            let src = t as isize + offset;
-            if src >= 0 && (src as usize) < n {
-                out.row_mut(t)[blk * d..(blk + 1) * d].copy_from_slice(x.row(src as usize));
-            }
-        }
-    }
-    out
 }
 
 /// Concatenates each row with its ±`window` neighbors (zero-padded at the
 /// edges): `[n, d] → [n, (2·window+1)·d]`. Collobert's window approach.
-pub fn window_concat(tape: &mut Tape, x: Var, window: usize) -> Var {
-    let (n, d) = tape.value(x).shape();
+pub fn window_concat<E: Exec>(ex: &mut E, x: E::V, window: usize) -> E::V {
+    let (n, d) = ex.value(x).shape();
     let mut parts = Vec::with_capacity(2 * window + 1);
     for offset in -(window as isize)..=(window as isize) {
         let shifted = if offset == 0 {
@@ -385,32 +246,32 @@ pub fn window_concat(tape: &mut Tape, x: Var, window: usize) -> Var {
             // Row t sees row t+offset (earlier): pad |offset| zero rows on top.
             let k = (-offset) as usize;
             if k >= n {
-                tape.constant(ner_tensor::Tensor::zeros(n, d))
+                ex.constant(Tensor::zeros(n, d))
             } else {
-                let zeros = tape.constant(ner_tensor::Tensor::zeros(k, d));
-                let body = tape.slice_rows(x, 0, n - k);
-                tape.concat_rows(&[zeros, body])
+                let zeros = ex.constant(Tensor::zeros(k, d));
+                let body = ex.slice_rows(x, 0, n - k);
+                ex.concat_rows(&[zeros, body])
             }
         } else {
             let k = offset as usize;
             if k >= n {
-                tape.constant(ner_tensor::Tensor::zeros(n, d))
+                ex.constant(Tensor::zeros(n, d))
             } else {
-                let body = tape.slice_rows(x, k, n - k);
-                let zeros = tape.constant(ner_tensor::Tensor::zeros(k, d));
-                tape.concat_rows(&[body, zeros])
+                let body = ex.slice_rows(x, k, n - k);
+                let zeros = ex.constant(Tensor::zeros(k, d));
+                ex.concat_rows(&[body, zeros])
             }
         };
         parts.push(shifted);
     }
-    tape.concat_cols(&parts)
+    ex.concat_cols(&parts)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::EncoderKind;
-    use ner_tensor::Tensor;
+    use ner_tensor::{Tape, Tensor};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -2,14 +2,14 @@
 //! decoder, exactly the pipeline of the survey's Fig. 2 taxonomy.
 
 use crate::config::{DecoderKind, NerConfig};
+use crate::decoder::crf::CrfDecodeTables;
 use crate::decoder::{Crf, PointerDecoder, RnnDecoder, Segment, SemiCrf};
 use crate::encoder::Encoder;
 use crate::plan::ForwardPlan;
 use crate::repr::{EncodedSentence, InputLayer, SentenceEncoder};
 use ner_embed::WordEmbeddings;
-use ner_tensor::fused::{self, Activation};
 use ner_tensor::nn::Linear;
-use ner_tensor::{ParamStore, Tape, Tensor, Var};
+use ner_tensor::{Exec, FusedExec, ParamStore, Tape, Tensor, Var};
 use ner_text::{EntitySpan, TagSet};
 use rand::Rng;
 
@@ -96,7 +96,9 @@ impl NerModel {
         self.store.num_scalars()
     }
 
-    /// Runs representation + context encoding; dropout only when `train`.
+    /// Runs representation + context encoding on a tape; dropout only when
+    /// `train`. The layer forwards themselves are backend-generic — this
+    /// seam adds the tape-only dropout between them.
     fn encode(
         &self,
         tape: &mut Tape,
@@ -104,7 +106,12 @@ impl NerModel {
         train: bool,
         rng: &mut impl Rng,
     ) -> Var {
-        let x = self.input.forward(tape, &self.store, enc, train, rng);
+        let x0 = self.input.forward(tape, &self.store, enc, None);
+        let x = if train && self.cfg.dropout > 0.0 {
+            tape.dropout(x0, self.cfg.dropout, rng)
+        } else {
+            x0
+        };
         let h = self.encoder.forward(tape, &self.store, x);
         if train && self.cfg.dropout > 0.0 {
             tape.dropout(h, self.cfg.dropout, rng)
@@ -161,7 +168,7 @@ impl NerModel {
         let mut rng = rand::rngs::mock::StepRng::new(0, 1);
         let mut tape = Tape::new();
         let h = self.encode(&mut tape, enc, false, &mut rng);
-        self.decode_from_states(&mut tape, h)
+        self.decode_from_states(&mut tape, h, None)
     }
 
     /// Predicts from an externally supplied input-representation matrix
@@ -176,35 +183,48 @@ impl NerModel {
         let mut tape = Tape::new();
         let x = tape.constant(input);
         let h = self.encoder.forward(&mut tape, &self.store, x);
-        self.decode_from_states(&mut tape, h)
+        self.decode_from_states(&mut tape, h, None)
     }
 
-    fn decode_from_states(&self, tape: &mut Tape, h: Var) -> Vec<EntitySpan> {
-        let tape = &mut *tape;
+    /// Decodes entity spans from encoder states `h` on any backend. When
+    /// `tables` is given (the planned path), CRF Viterbi runs on the
+    /// precompiled log-space tables instead of re-deriving them — the
+    /// floats are identical either way.
+    fn decode_from_states<E: Exec>(
+        &self,
+        ex: &mut E,
+        h: E::V,
+        tables: Option<&CrfDecodeTables>,
+    ) -> Vec<EntitySpan> {
         match &self.head {
             Head::Softmax { proj } => {
-                let logits = proj.forward(tape, &self.store, h);
-                let v = tape.value(logits);
+                let logits = proj.forward(ex, &self.store, h);
+                let v = ex.value(logits);
                 let tags: Vec<usize> = (0..v.rows()).map(|r| v.argmax_row(r)).collect();
                 self.tags_to_spans(&tags)
             }
             Head::Crf { proj, crf } => {
-                let emissions = proj.forward(tape, &self.store, h);
-                let constraints = self.cfg.constrained_decoding.then_some(&self.tag_set);
-                let (tags, _) = crf.viterbi(&self.store, tape.value(emissions), constraints);
+                let emissions = proj.forward(ex, &self.store, h);
+                let tags = match tables {
+                    Some(t) => t.viterbi(ex.value(emissions)).0,
+                    None => {
+                        let constraints = self.cfg.constrained_decoding.then_some(&self.tag_set);
+                        crf.viterbi(&self.store, ex.value(emissions), constraints).0
+                    }
+                };
                 self.tags_to_spans(&tags)
             }
             Head::SemiCrf { proj, crf } => {
-                let emissions = proj.forward(tape, &self.store, h);
-                let segs = crf.decode(&self.store, tape.value(emissions));
+                let emissions = proj.forward(ex, &self.store, h);
+                let segs = crf.decode(&self.store, ex.value(emissions));
                 SemiCrf::segments_to_spans(&segs, &self.entity_types)
             }
             Head::Rnn { dec } => {
-                let tags = dec.decode(tape, &self.store, h);
+                let tags = dec.decode(ex, &self.store, h);
                 self.tags_to_spans(&tags)
             }
             Head::Pointer { dec } => {
-                let segs = dec.decode(tape, &self.store, h);
+                let segs = dec.decode(ex, &self.store, h);
                 SemiCrf::segments_to_spans(&segs, &self.entity_types)
             }
         }
@@ -232,22 +252,23 @@ impl NerModel {
         ForwardPlan::new(crf_tables, token_cache_capacity)
     }
 
-    /// Planned (tape-free) [`predict_spans`](Self::predict_spans) —
-    /// bit-identical predictions via the fused kernels and pooled buffers,
-    /// feeding the `infer.embed_us` / `infer.encode_us` / `infer.decode_us`
-    /// per-stage latency histograms.
+    /// Planned (tape-free) [`predict_spans`](Self::predict_spans) — the
+    /// SAME layer forwards as the tape path, driven by the `FusedExec`
+    /// backend (fused kernels, pooled buffers, plan caches), so the
+    /// predictions are bit-identical. Feeds the `infer.embed_us` /
+    /// `infer.encode_us` / `infer.decode_us` per-stage latency histograms.
     pub fn predict_spans_planned(
         &self,
         plan: &ForwardPlan,
         enc: &EncodedSentence,
     ) -> Vec<EntitySpan> {
+        let mut ex = FusedExec::new(&self.store).with_pe_cache(plan.pe_cache());
         let t0 = std::time::Instant::now();
-        let x = self.input.forward_eval(&self.store, enc, plan.token_cache());
+        let x = self.input.forward(&mut ex, &self.store, enc, plan.token_cache());
         let t1 = std::time::Instant::now();
-        let h = self.encoder.forward_eval(&self.store, x, plan);
+        let h = self.encoder.forward(&mut ex, &self.store, x);
         let t2 = std::time::Instant::now();
-        let spans = self.decode_planned(plan, &h);
-        fused::recycle(h);
+        let spans = self.decode_from_states(&mut ex, h, plan.crf_tables());
         ner_obs::observe("infer.embed_us", (t1 - t0).as_secs_f64() * 1e6);
         ner_obs::observe("infer.encode_us", (t2 - t1).as_secs_f64() * 1e6);
         ner_obs::observe("infer.decode_us", t2.elapsed().as_secs_f64() * 1e6);
@@ -258,44 +279,6 @@ impl NerModel {
     pub fn predict_tags_planned(&self, plan: &ForwardPlan, enc: &EncodedSentence) -> Vec<String> {
         let spans = self.predict_spans_planned(plan, enc);
         self.tag_set.scheme().spans_to_tags(enc.len(), &spans)
-    }
-
-    /// Tape-free [`decode_from_states`](Self::decode_from_states).
-    fn decode_planned(&self, plan: &ForwardPlan, h: &Tensor) -> Vec<EntitySpan> {
-        match &self.head {
-            Head::Softmax { proj } => {
-                let logits = proj.forward_eval(&self.store, h, Activation::None);
-                let tags: Vec<usize> = (0..logits.rows()).map(|r| logits.argmax_row(r)).collect();
-                fused::recycle(logits);
-                self.tags_to_spans(&tags)
-            }
-            Head::Crf { proj, crf } => {
-                let emissions = proj.forward_eval(&self.store, h, Activation::None);
-                let tags = match plan.crf_tables() {
-                    Some(tables) => tables.viterbi(&emissions).0,
-                    None => {
-                        let constraints = self.cfg.constrained_decoding.then_some(&self.tag_set);
-                        crf.viterbi(&self.store, &emissions, constraints).0
-                    }
-                };
-                fused::recycle(emissions);
-                self.tags_to_spans(&tags)
-            }
-            Head::SemiCrf { proj, crf } => {
-                let emissions = proj.forward_eval(&self.store, h, Activation::None);
-                let segs = crf.decode(&self.store, &emissions);
-                fused::recycle(emissions);
-                SemiCrf::segments_to_spans(&segs, &self.entity_types)
-            }
-            Head::Rnn { dec } => {
-                let tags = dec.decode_eval(&self.store, h);
-                self.tags_to_spans(&tags)
-            }
-            Head::Pointer { dec } => {
-                let segs = dec.decode_eval(&self.store, h);
-                SemiCrf::segments_to_spans(&segs, &self.entity_types)
-            }
-        }
     }
 
     /// The decoder's *raw* tag sequence for token-level decoders (softmax,
@@ -413,9 +396,8 @@ impl NerModel {
     /// finds implausible — the standard noisy-label signal used by the
     /// §4.4 instance selector.
     pub fn nll_of_labels(&self, enc: &EncodedSentence) -> f64 {
-        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
         let mut tape = Tape::new();
-        let x = self.input.forward(&mut tape, &self.store, enc, false, &mut rng);
+        let x = self.input.forward(&mut tape, &self.store, enc, None);
         let h = self.encoder.forward(&mut tape, &self.store, x);
         let loss = self.loss_from_states(&mut tape, h, enc);
         tape.value(loss).item() as f64 / enc.len().max(1) as f64
@@ -430,7 +412,12 @@ impl NerModel {
         train: bool,
         rng: &mut impl Rng,
     ) -> (Var, Var) {
-        let x = self.input.forward(tape, &self.store, enc, train, rng);
+        let x0 = self.input.forward(tape, &self.store, enc, None);
+        let x = if train && self.cfg.dropout > 0.0 {
+            tape.dropout(x0, self.cfg.dropout, rng)
+        } else {
+            x0
+        };
         let h0 = self.encoder.forward(tape, &self.store, x);
         let h = if train && self.cfg.dropout > 0.0 {
             tape.dropout(h0, self.cfg.dropout, rng)

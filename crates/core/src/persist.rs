@@ -65,9 +65,12 @@ impl Checkpoint {
         serde_json::to_string(self).expect("checkpoint serialization cannot fail")
     }
 
-    /// Parses a checkpoint from JSON.
+    /// Parses a checkpoint from JSON. Parse failures carry a position hint
+    /// (byte offset plus line/column) pointing at the offending input.
     pub fn from_json(json: &str) -> Result<Self, RestoreError> {
-        serde_json::from_str(json).map_err(|e| RestoreError::Parse(e.to_string()))
+        serde_json::from_str(json).map_err(|e| {
+            RestoreError::Parse(format!("{e}, {}", position_hint(json, &e.to_string())))
+        })
     }
 
     /// Rebuilds the runnable pipeline.
@@ -134,11 +137,34 @@ impl Checkpoint {
         path.with_file_name(name)
     }
 
-    /// Reads a checkpoint from a file.
+    /// Reads a checkpoint from a file. Failures name the offending path;
+    /// parse failures additionally carry the position hint of
+    /// [`Checkpoint::from_json`].
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, RestoreError> {
-        let text = std::fs::read_to_string(path).map_err(|e| RestoreError::Parse(e.to_string()))?;
-        Self::from_json(&text)
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| RestoreError::Parse(format!("cannot read {}: {e}", path.display())))?;
+        Self::from_json(&text).map_err(|e| match e {
+            RestoreError::Parse(msg) => RestoreError::Parse(format!("{}: {msg}", path.display())),
+            other => other,
+        })
     }
+}
+
+/// Renders "around byte N (line L, column C)" for a parse error, using the
+/// byte offset embedded in the parser's message when present and the end of
+/// the input otherwise (the truncated-file case).
+fn position_hint(json: &str, msg: &str) -> String {
+    let offset = msg
+        .rsplit("at byte ")
+        .next()
+        .and_then(|t| t.parse::<usize>().ok())
+        .unwrap_or(json.len())
+        .min(json.len());
+    let prefix = &json.as_bytes()[..offset];
+    let line = prefix.iter().filter(|&&b| b == b'\n').count() + 1;
+    let column = offset - prefix.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1) + 1;
+    format!("around byte {offset} (line {line}, column {column})")
 }
 
 #[cfg(test)]
@@ -216,6 +242,37 @@ mod tests {
             panic!("corrupted JSON must not parse");
         };
         assert!(matches!(err, RestoreError::Parse(_)));
+    }
+
+    #[test]
+    fn truncated_file_error_names_path_and_position() {
+        let (pipeline, _) = trained_pipeline(DecoderKind::Softmax);
+        let json = Checkpoint::capture(&pipeline).to_json();
+        let path = unique_temp_path("truncated");
+        std::fs::write(&path, &json[..json.len() / 2]).unwrap();
+        let Err(err) = Checkpoint::load(&path) else {
+            panic!("truncated checkpoint must not parse");
+        };
+        let msg = err.to_string();
+        assert!(
+            msg.contains(path.to_str().unwrap()),
+            "error should name the offending file, got: {msg}"
+        );
+        assert!(
+            msg.contains("around byte") && msg.contains("line"),
+            "error should carry a parse-position hint, got: {msg}"
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_file_error_names_path() {
+        let path = unique_temp_path("does-not-exist");
+        let _ = std::fs::remove_file(&path);
+        let Err(err) = Checkpoint::load(&path) else {
+            panic!("missing checkpoint must not load");
+        };
+        assert!(err.to_string().contains(path.to_str().unwrap()), "got: {err}");
     }
 
     #[test]

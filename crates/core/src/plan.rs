@@ -8,7 +8,7 @@
 //! * **CRF decode tables** — the transition/start/end scores widened to log
 //!   space (`f64`) once, with the structural-constraint masks baked in, so
 //!   Viterbi stops re-deriving them per sentence
-//!   ([`CrfDecodeTables`](crate::decoder::crf::CrfDecodeTables)).
+//!   ([`CrfDecodeTables`]).
 //! * **Token feature cache** — an LRU of per-token base representations
 //!   (word embedding + char composition + gate), keyed by surface form.
 //!   Informal-text corpora repeat tokens heavily, and the base row depends
@@ -19,19 +19,20 @@
 //! * **Positional encodings** — the deterministic sinusoidal table per
 //!   sentence length, shared by every Transformer forward.
 //!
-//! The evaluation itself runs through the `*_eval` mirrors in `ner-tensor`
-//! and this crate: no tape nodes, no backward closures, and per-sentence
-//! intermediates drawn from (and returned to) the thread-local
-//! `ner_tensor::pool` buffer arena. The contract throughout is
-//! **bit-identity with the tape path** — `tests/plan_parity.rs` checks it
-//! across every zoo architecture, and the `exp_inference` harness exits
-//! non-zero if any benchmark sentence decodes differently.
+//! The evaluation itself runs through the **same layer forwards as
+//! training**, driven by the [`ner_tensor::FusedExec`] backend: no tape
+//! nodes, no backward closures, and per-sentence intermediates drawn from
+//! (and returned to) the thread-local `ner_tensor::pool` buffer arena. The
+//! contract throughout is **bit-identity with the tape backend** —
+//! `tests/plan_parity.rs` checks it across every zoo architecture, and the
+//! `exp_inference` harness exits non-zero if any benchmark sentence decodes
+//! differently.
 
 use crate::decoder::crf::CrfDecodeTables;
-use ner_tensor::{nn, Tensor};
+use ner_tensor::PeCache;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
 
 /// Default capacity of the per-plan token feature cache.
 pub const DEFAULT_TOKEN_CACHE: usize = 4096;
@@ -51,9 +52,9 @@ pub struct ForwardPlan {
     /// The capacity the plan was compiled with (0 = cache disabled), kept
     /// so a refresh can recompile with the same setting.
     token_cache_capacity: usize,
-    /// Keyed by `(n, d)`: two transformer stacks with different `d_model`
-    /// can share one plan, and their tables must not collide.
-    pe_cache: Mutex<HashMap<(usize, usize), Arc<Tensor>>>,
+    /// Shared per-`(n, d)` positional-encoding tables, handed to the
+    /// `FusedExec` backend so transformer forwards skip recomputation.
+    pe_cache: PeCache,
 }
 
 impl ForwardPlan {
@@ -63,7 +64,7 @@ impl ForwardPlan {
             token_cache: (token_cache_capacity > 0)
                 .then(|| TokenFeatureCache::new(token_cache_capacity)),
             token_cache_capacity,
-            pe_cache: Mutex::new(HashMap::new()),
+            pe_cache: PeCache::new(),
         }
     }
 
@@ -81,12 +82,10 @@ impl ForwardPlan {
         self.token_cache.as_ref()
     }
 
-    /// The sinusoidal positional-encoding table for an `n`-token sentence
-    /// at model width `d`, computed once per distinct `(n, d)` pair (it is
-    /// deterministic).
-    pub(crate) fn positional_encoding(&self, n: usize, d: usize) -> Arc<Tensor> {
-        let mut cache = self.pe_cache.lock().unwrap();
-        Arc::clone(cache.entry((n, d)).or_insert_with(|| Arc::new(nn::positional_encoding(n, d))))
+    /// The plan's shared positional-encoding cache, for wiring into a
+    /// [`ner_tensor::FusedExec`] backend.
+    pub(crate) fn pe_cache(&self) -> &PeCache {
+        &self.pe_cache
     }
 
     /// Cumulative token-cache `(hits, misses)` since compile (0, 0 when the
@@ -247,6 +246,7 @@ impl Lru {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ner_tensor::nn;
 
     #[test]
     fn lru_evicts_least_recently_used() {
@@ -302,15 +302,16 @@ mod tests {
         // Regression: the cache used to be keyed by sentence length alone,
         // so a second stack with a different d_model read the wrong table.
         let plan = ForwardPlan::new(None, 0);
-        let narrow = plan.positional_encoding(5, 8);
-        let wide = plan.positional_encoding(5, 16);
+        let pe = plan.pe_cache();
+        let narrow = pe.get(5, 8);
+        let wide = pe.get(5, 16);
         assert_eq!((narrow.rows(), narrow.cols()), (5, 8));
         assert_eq!((wide.rows(), wide.cols()), (5, 16));
         // Both entries survive side by side and re-serve the right table.
-        assert_eq!(plan.positional_encoding(5, 8).cols(), 8);
-        assert_eq!(plan.positional_encoding(5, 16).cols(), 16);
-        assert_eq!(*plan.positional_encoding(5, 8), nn::positional_encoding(5, 8));
-        assert_eq!(*plan.positional_encoding(5, 16), nn::positional_encoding(5, 16));
+        assert_eq!(pe.get(5, 8).cols(), 8);
+        assert_eq!(pe.get(5, 16).cols(), 16);
+        assert_eq!(*pe.get(5, 8), nn::positional_encoding(5, 8));
+        assert_eq!(*pe.get(5, 16), nn::positional_encoding(5, 16));
     }
 
     #[test]

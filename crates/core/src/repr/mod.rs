@@ -13,9 +13,9 @@
 use crate::config::{CharRepr, NerConfig, WordRepr};
 use crate::plan::TokenFeatureCache;
 use ner_embed::{ContextualEmbedder, WordEmbeddings};
-use ner_tensor::fused::{self, Activation};
+use ner_tensor::fused::Activation;
 use ner_tensor::nn::{Embedding, Linear, LstmCell};
-use ner_tensor::{init, ParamId, ParamStore, Tape, Tensor, Var};
+use ner_tensor::{init, Exec, ParamId, ParamStore, Tensor};
 use ner_text::features::{token_features, FEATURE_DIM};
 use ner_text::pos::{tag_sentence, POS_DIM};
 use ner_text::{Dataset, EntitySpan, Gazetteer, Sentence, TagScheme, TagSet, Vocab};
@@ -196,52 +196,24 @@ impl CharModule {
         }
     }
 
-    /// One `[1, out_dim]` row per word.
-    fn word_vector(&self, tape: &mut Tape, store: &ParamStore, chars: &[usize]) -> Var {
+    /// One `[1, out_dim]` row per word, on any backend.
+    fn word_vector<E: Exec>(&self, ex: &mut E, store: &ParamStore, chars: &[usize]) -> E::V {
         match self {
             CharModule::Cnn { emb, w, b, .. } => {
-                let x = emb.lookup(tape, store, chars);
-                let wv = tape.param(store, *w);
-                let bv = tape.param(store, *b);
-                let c = tape.conv1d(x, wv, bv, 3, 1);
-                let r = tape.relu(c);
-                tape.max_over_rows(r)
+                let x = emb.lookup(ex, store, chars);
+                let wv = ex.param(store, *w);
+                let bv = ex.param(store, *b);
+                let c = ex.conv1d_act(x, wv, bv, 3, 1, Activation::Relu);
+                ex.max_over_rows(c)
             }
             CharModule::Lstm { emb, fw, bw } => {
-                let x = emb.lookup(tape, store, chars);
-                let f = fw.sequence(tape, store, x);
-                let n = tape.value(f).rows();
-                let f_last = tape.row(f, n - 1);
-                let b = bw.sequence_rev(tape, store, x);
-                let b_first = tape.row(b, 0);
-                tape.concat_cols(&[f_last, b_first])
-            }
-        }
-    }
-
-    /// Tape-free [`word_vector`](Self::word_vector) — same floats via the
-    /// fused kernels.
-    fn word_vector_eval(&self, store: &ParamStore, chars: &[usize]) -> Tensor {
-        match self {
-            CharModule::Cnn { emb, w, b, .. } => {
-                let x = emb.lookup_eval(store, chars);
-                let c =
-                    fused::conv1d_act(&x, store.value(*w), store.value(*b), 3, 1, Activation::Relu);
-                let m = fused::max_over_rows(&c);
-                fused::recycle(c);
-                m
-            }
-            CharModule::Lstm { emb, fw, bw } => {
-                let x = emb.lookup_eval(store, chars);
-                let f = fw.sequence_eval(store, &x);
-                let b = bw.sequence_rev_eval(store, &x);
-                let (hf, hb) = (f.cols(), b.cols());
-                let mut out = Tensor::zeros_pooled(1, hf + hb);
-                out.row_mut(0)[..hf].copy_from_slice(f.row(f.rows() - 1));
-                out.row_mut(0)[hf..].copy_from_slice(b.row(0));
-                fused::recycle(f);
-                fused::recycle(b);
-                out
+                let x = emb.lookup(ex, store, chars);
+                let f = fw.sequence(ex, store, x);
+                let n = ex.value(f).rows();
+                let f_last = ex.row(f, n - 1);
+                let b = bw.sequence_rev(ex, store, x);
+                let b_first = ex.row(b, 0);
+                ex.concat_cols(&[f_last, b_first])
             }
         }
     }
@@ -341,59 +313,47 @@ impl InputLayer {
         self.gate.is_some()
     }
 
-    /// Assembles the `[n, out_dim]` input matrix for one sentence.
-    /// `train = true` applies inverted dropout.
-    pub fn forward(
+    /// Inverted-dropout probability from the config; the *model* applies it
+    /// at the representation seam (this layer's output is dropout-free so
+    /// the same forward serves training and inference).
+    pub fn dropout(&self) -> f32 {
+        self.dropout
+    }
+
+    /// Assembles the `[n, out_dim]` input matrix for one sentence on any
+    /// backend. Base rows (word + char [+ gate]) depend only on the token
+    /// surface, so when `cache` is given they are served from (and fed back
+    /// into) the LRU; position-dependent feature/context columns are always
+    /// appended fresh. Pass `None` on training tapes — cached rows enter as
+    /// constants and would silence embedding gradients.
+    pub fn forward<E: Exec>(
         &self,
-        tape: &mut Tape,
+        ex: &mut E,
         store: &ParamStore,
         enc: &EncodedSentence,
-        train: bool,
-        rng: &mut impl Rng,
-    ) -> Var {
+        cache: Option<&TokenFeatureCache>,
+    ) -> E::V {
         let n = enc.len();
         assert!(n > 0, "cannot represent an empty sentence");
-        let words = self.word_emb.lookup(tape, store, &enc.word_ids);
+        let base = match cache {
+            Some(c) => self.cached_base(ex, store, enc, c),
+            None => self.batched_base(ex, store, enc),
+        };
 
-        let char_rows = self.char.as_ref().map(|cm| {
-            let rows: Vec<Var> =
-                enc.char_ids.iter().map(|chars| cm.word_vector(tape, store, chars)).collect();
-            tape.concat_rows(&rows)
-        });
-
-        let mut parts: Vec<Var> = Vec::with_capacity(4);
-        match (char_rows, &self.gate) {
-            (Some(chars), Some(gate)) => {
-                // z = σ(W[w;c]); rep = z⊙w + (1−z)⊙c
-                let both = tape.concat_cols(&[words, chars]);
-                let z_pre = gate.forward(tape, store, both);
-                let z = tape.sigmoid(z_pre);
-                let zw = tape.mul(z, words);
-                let zc = tape.mul(z, chars);
-                let c_minus = tape.sub(chars, zc);
-                parts.push(tape.add(zw, c_minus));
-            }
-            (Some(chars), None) => {
-                parts.push(words);
-                parts.push(chars);
-            }
-            (None, _) => parts.push(words),
-        }
-
+        let mut parts: Vec<E::V> = Vec::with_capacity(3);
+        parts.push(base);
         if self.feat_dim > 0 {
             debug_assert_eq!(enc.feats.len(), n, "encoder/features mismatch");
-            parts.push(tape.constant(rows_to_tensor(&enc.feats, self.feat_dim)));
+            parts.push(ex.constant(rows_to_tensor(&enc.feats, self.feat_dim)));
         }
         if self.ctx_dim > 0 {
             assert_eq!(enc.ctx.len(), n, "contextual vectors missing from encoded sentence");
-            parts.push(tape.constant(rows_to_tensor(&enc.ctx, self.ctx_dim)));
+            parts.push(ex.constant(rows_to_tensor(&enc.ctx, self.ctx_dim)));
         }
-
-        let rep = if parts.len() == 1 { parts[0] } else { tape.concat_cols(&parts) };
-        if train && self.dropout > 0.0 {
-            tape.dropout(rep, self.dropout, rng)
+        if parts.len() == 1 {
+            parts[0]
         } else {
-            rep
+            ex.concat_cols(&parts)
         }
     }
 
@@ -404,84 +364,90 @@ impl InputLayer {
         self.out_dim - self.feat_dim - self.ctx_dim
     }
 
-    /// The base representation row for one token, tape-free. Every op here
-    /// (embedding gather, char composition, gate) treats rows
-    /// independently, so this is bit-identical to the corresponding row of
-    /// the batched [`forward`](Self::forward) — which is what makes caching
-    /// it by surface form safe.
-    fn base_row_eval(&self, store: &ParamStore, word_id: usize, chars: &[usize]) -> Vec<f32> {
-        let word = store.value(self.word_emb.table).row(word_id);
+    /// Sentence-batched base `[n, base_dim]`: one embedding gather for all
+    /// word ids, char rows stacked, the gate applied to the whole matrix.
+    /// This is the gradient-carrying formulation the trainer records.
+    fn batched_base<E: Exec>(&self, ex: &mut E, store: &ParamStore, enc: &EncodedSentence) -> E::V {
+        let words = self.word_emb.lookup(ex, store, &enc.word_ids);
         let cm = match &self.char {
-            None => return word.to_vec(),
+            None => return words,
             Some(cm) => cm,
         };
-        let char_vec = cm.word_vector_eval(store, chars);
-        let out = match &self.gate {
+        let rows: Vec<E::V> =
+            enc.char_ids.iter().map(|chars| cm.word_vector(ex, store, chars)).collect();
+        let chars = ex.concat_rows(&rows);
+        match &self.gate {
             Some(gate) => {
-                // z = σ(W[w;c]); rep = z⊙w + (c − z⊙c), the tape's exact
-                // association of (1−z)⊙c.
-                let d = word.len();
-                let mut both = Tensor::zeros_pooled(1, d + char_vec.cols());
-                both.row_mut(0)[..d].copy_from_slice(word);
-                both.row_mut(0)[d..].copy_from_slice(char_vec.row(0));
-                let z = gate.forward_eval(store, &both, Activation::Sigmoid);
-                fused::recycle(both);
-                let out = word
-                    .iter()
-                    .zip(char_vec.row(0))
-                    .zip(z.row(0))
-                    .map(|((&w, &c), &z)| z * w + (c - z * c))
-                    .collect();
-                fused::recycle(z);
-                out
+                // z = σ(W[w;c]); rep = z⊙w + (c − z⊙c).
+                let both = ex.concat_cols(&[words, chars]);
+                let z = gate.forward_act(ex, store, both, Activation::Sigmoid);
+                let zw = ex.mul(z, words);
+                let zc = ex.mul(z, chars);
+                let c_minus = ex.sub(chars, zc);
+                ex.add(zw, c_minus)
             }
-            None => {
-                let mut out = Vec::with_capacity(word.len() + char_vec.cols());
-                out.extend_from_slice(word);
-                out.extend_from_slice(char_vec.row(0));
-                out
-            }
-        };
-        fused::recycle(char_vec);
-        out
+            None => ex.concat_cols(&[words, chars]),
+        }
     }
 
-    /// Tape-free [`forward`](Self::forward) in evaluation mode (no
-    /// dropout), assembling the `[n, out_dim]` matrix in one pooled buffer.
-    /// When `cache` is given, per-token base rows are served from (and fed
-    /// back into) the LRU; position-dependent feature/context columns are
-    /// always appended fresh.
-    pub(crate) fn forward_eval(
+    /// Base matrix assembled row by row through the token cache: hits are
+    /// copied straight into the output, misses run [`Self::base_row`] and
+    /// feed the cache. The result enters the graph as a single constant —
+    /// gradient-free, which is why training passes `cache: None`. Rows are
+    /// bit-identical to [`Self::batched_base`]'s because every base op
+    /// treats rows independently.
+    fn cached_base<E: Exec>(
         &self,
+        ex: &mut E,
         store: &ParamStore,
         enc: &EncodedSentence,
-        cache: Option<&TokenFeatureCache>,
-    ) -> Tensor {
+        cache: &TokenFeatureCache,
+    ) -> E::V {
         let n = enc.len();
-        assert!(n > 0, "cannot represent an empty sentence");
-        let bd = self.base_dim();
-        let mut out = Tensor::zeros_pooled(n, self.out_dim);
+        let mut base = Tensor::zeros_pooled(n, self.base_dim());
         for i in 0..n {
             let token = enc.tokens[i].as_str();
-            let cached = cache.is_some_and(|c| c.copy_into(token, &mut out.row_mut(i)[..bd]));
-            if !cached {
-                let base = self.base_row_eval(store, enc.word_ids[i], &enc.char_ids[i]);
-                out.row_mut(i)[..bd].copy_from_slice(&base);
-                if let Some(c) = cache {
-                    c.insert(token, base);
-                }
+            if cache.copy_into(token, base.row_mut(i)) {
+                continue;
             }
-            let row = out.row_mut(i);
-            if self.feat_dim > 0 {
-                debug_assert_eq!(enc.feats.len(), n, "encoder/features mismatch");
-                row[bd..bd + self.feat_dim].copy_from_slice(&enc.feats[i]);
-            }
-            if self.ctx_dim > 0 {
-                assert_eq!(enc.ctx.len(), n, "contextual vectors missing from encoded sentence");
-                row[bd + self.feat_dim..].copy_from_slice(&enc.ctx[i]);
-            }
+            let v = self.base_row(ex, store, enc.word_ids[i], &enc.char_ids[i]);
+            let row = ex.value(v).row(0).to_vec();
+            base.row_mut(i).copy_from_slice(&row);
+            cache.insert(token, row);
         }
-        out
+        ex.constant(base)
+    }
+
+    /// The `[1, base_dim]` representation for one token. Every op here
+    /// (embedding gather, char composition, gate) treats rows
+    /// independently, so the result is bit-identical to the corresponding
+    /// row of a batched formulation — which is what makes caching it by
+    /// surface form safe.
+    fn base_row<E: Exec>(
+        &self,
+        ex: &mut E,
+        store: &ParamStore,
+        word_id: usize,
+        chars: &[usize],
+    ) -> E::V {
+        let word = self.word_emb.lookup(ex, store, &[word_id]);
+        let cm = match &self.char {
+            None => return word,
+            Some(cm) => cm,
+        };
+        let char_vec = cm.word_vector(ex, store, chars);
+        match &self.gate {
+            Some(gate) => {
+                // z = σ(W[w;c]); rep = z⊙w + (c − z⊙c).
+                let both = ex.concat_cols(&[word, char_vec]);
+                let z = gate.forward_act(ex, store, both, Activation::Sigmoid);
+                let zw = ex.mul(z, word);
+                let zc = ex.mul(z, char_vec);
+                let c_minus = ex.sub(char_vec, zc);
+                ex.add(zw, c_minus)
+            }
+            None => ex.concat_cols(&[word, char_vec]),
+        }
     }
 }
 
@@ -555,8 +521,8 @@ mod tests {
             None,
         );
         let e = enc.encode(&ds.sentences[0]);
-        let mut tape = Tape::new();
-        let x = layer.forward(&mut tape, &store, &e, false, &mut rng);
+        let mut tape = ner_tensor::Tape::new();
+        let x = layer.forward(&mut tape, &store, &e, None);
         assert_eq!(tape.value(x).shape(), (e.len(), layer.out_dim()));
         assert!(tape.value(x).all_finite());
         layer.out_dim()

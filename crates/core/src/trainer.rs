@@ -394,6 +394,9 @@ pub fn train(
             skipped_updates: skipped,
         };
         ner_obs::gauge_max("tape.peak_nodes", peak_nodes as f64);
+        // Always registered (even at 0) so run logs make "no updates were
+        // skipped" explicit rather than ambiguous.
+        ner_obs::counter("train.skipped_updates", skipped as f64);
         ner_obs::emit_record("epoch", &record);
         ner_obs::info(format!(
             "epoch {:>2}  loss {:>9.4}  |grad| {:>7.3}  lr {:.4}{}  [{} ms]",
@@ -527,6 +530,34 @@ mod tests {
         // The restored model must reproduce the recorded best dev F1.
         let now = evaluate_model(&model, &dev_enc).micro.f1;
         assert!((now - best).abs() < 1e-9, "restored {now} vs recorded best {best}");
+    }
+
+    #[test]
+    fn nan_loss_skips_every_update_and_exports_the_counter() {
+        let gen = NewsGenerator::new(GeneratorConfig::default());
+        let mut rng = StdRng::seed_from_u64(7);
+        let ds = gen.dataset(&mut rng, 8);
+        let enc = SentenceEncoder::from_dataset(&ds, TagScheme::Bio, 1);
+        let train_enc = enc.encode_dataset(&ds, None);
+        let mut model = NerModel::new(quick_cfg(), &enc, None, &mut rng);
+        // Poison every parameter: each per-sentence loss is NaN, so the
+        // non-finite guard must skip every optimizer update.
+        let ids: Vec<_> = model.store.ids().collect();
+        for id in ids {
+            model.store.value_mut(id).data_mut().fill(f32::NAN);
+        }
+        let before = ner_obs::counter_value("train.skipped_updates").unwrap_or(0.0);
+        let cfg = TrainConfig { epochs: 2, patience: None, ..Default::default() };
+        let report = train(&mut model, &train_enc, None, &cfg, &mut rng);
+        for e in &report.epochs {
+            assert_eq!(e.skipped_updates, train_enc.len(), "epoch {}", e.epoch);
+        }
+        let after = ner_obs::counter_value("train.skipped_updates").unwrap_or(0.0);
+        let expected = (cfg.epochs * train_enc.len()) as f64;
+        assert!(
+            after - before >= expected,
+            "counter should grow by at least {expected} (before {before}, after {after})"
+        );
     }
 
     #[test]

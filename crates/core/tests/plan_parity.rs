@@ -56,6 +56,34 @@ fn planned_predictions_match_tape_predictions_for_every_zoo_model() {
 }
 
 #[test]
+fn parity_survives_a_training_step_and_plan_refresh_for_every_zoo_model() {
+    // A stale plan is the classic failure mode: training mutates the CRF
+    // parameters the plan snapshotted at compile time. After one optimizer
+    // step plus `refresh_plan`, the planned path must agree with the tape
+    // path again on every preset.
+    let ds = NewsGenerator::new(GeneratorConfig::default())
+        .dataset(&mut StdRng::seed_from_u64(19), SENTENCES);
+    for (name, cfg) in materialized_zoo() {
+        let encoder = SentenceEncoder::from_dataset(&ds, cfg.scheme, 1);
+        let encoded = encoder.encode_dataset(&ds, None);
+        let mut rng = StdRng::seed_from_u64(23);
+        let model = NerModel::new(cfg, &encoder, None, &mut rng);
+        let mut pipeline = NerPipeline::new(encoder, model);
+
+        let train_cfg =
+            TrainConfig { epochs: 1, patience: None, shuffle: false, ..Default::default() };
+        ner_core::trainer::train(&mut pipeline.model, &encoded[..1], None, &train_cfg, &mut rng);
+        pipeline.refresh_plan();
+
+        for (i, enc) in encoded.iter().enumerate() {
+            let tape_tags = pipeline.model.predict_tags(enc);
+            let plan_tags = pipeline.model.predict_tags_planned(pipeline.plan(), enc);
+            assert_eq!(plan_tags, tape_tags, "{name}: post-training divergence on sentence {i}");
+        }
+    }
+}
+
+#[test]
 fn plan_without_cache_also_matches() {
     let ds = NewsGenerator::new(GeneratorConfig::default())
         .dataset(&mut StdRng::seed_from_u64(13), SENTENCES);

@@ -5,7 +5,7 @@
 //! thread drains up to `max_batch` requests — or whatever has accumulated
 //! once the oldest queued request has waited `max_wait`, closing the window
 //! early once the batch covers the scoring pool's parallel width — and
-//! scores the whole batch with [`NerPipeline::extract_batch`] on the global
+//! scores the whole batch with [`ner_core::inference::NerPipeline::extract_batch`] on the global
 //! `ner-par` pool. Batching is purely a throughput device: scoring is
 //! read-only on a shared plan and `extract_batch` is defined as per-text
 //! `extract`, so a batched response is byte-identical to the same text
@@ -103,7 +103,7 @@ impl Batcher {
                 return Err(SubmitError::QueueFull);
             }
             queue.push_back(Pending { text, enqueued: Instant::now(), deadline, reply });
-            ner_obs::observe("serve.queue_depth", queue.len() as f64);
+            ner_obs::gauge("serve.queue_depth", queue.len() as f64);
         }
         self.shared.arrived.notify_one();
         Ok(rx)
@@ -159,7 +159,9 @@ fn dispatch_loop(shared: Arc<Shared>) {
                 let waited = oldest.elapsed();
                 if stopping || queue.len() >= fill_target || waited >= cfg.max_wait {
                     let n = queue.len().min(cfg.max_batch);
-                    break queue.drain(..n).collect();
+                    let batch: Vec<Pending> = queue.drain(..n).collect();
+                    ner_obs::gauge("serve.queue_depth", queue.len() as f64);
+                    break batch;
                 }
                 let (q, _) = shared
                     .arrived

@@ -267,7 +267,9 @@ fn health_metrics_and_errors_speak_http() {
     assert_eq!(metrics.status, 200);
     assert!(metrics.body.contains("serve.batch_size"), "metrics:\n{}", metrics.body);
     assert!(metrics.body.contains("serve.request_us"), "metrics:\n{}", metrics.body);
-    assert!(metrics.body.contains("serve.queue_depth"), "metrics:\n{}", metrics.body);
+    // The queue depth must be exported as a *gauge* (current depth), not a
+    // histogram of past depths.
+    assert!(metrics.body.contains("gauge serve.queue_depth"), "metrics:\n{}", metrics.body);
 
     // Error surfaces: bad JSON, wrong method, unknown route, no reload path.
     let bad = client::post(addr, "/v1/extract", "{not json").expect("bad body");

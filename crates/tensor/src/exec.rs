@@ -1,0 +1,837 @@
+//! The execution backend behind every layer forward.
+//!
+//! Each neural building block in [`crate::nn`] (and every module built on
+//! top of it in `ner-core`) has exactly **one** forward implementation,
+//! written against the [`Exec`] trait. The trait has two implementations:
+//!
+//! * [`Tape`] (aliased [`TapeExec`]) — records an autograd node per
+//!   operation so the trainer can backpropagate. The trait methods expand
+//!   coarse operations (`affine_act`, `lstm_gates`, …) into exactly the
+//!   node chains the historical per-layer forwards pushed, so training
+//!   trajectories are preserved.
+//! * [`FusedExec`] — tape-free inference. Operations write into pooled
+//!   buffers via the fused kernels in [`crate::fused`]; nothing is
+//!   recorded, parameters are borrowed rather than copied, and every
+//!   intermediate buffer is recycled into the thread-local [`crate::pool`]
+//!   when the backend is dropped.
+//!
+//! **Determinism contract.** For every operation the two backends perform
+//! the same floating-point arithmetic in the same order, so a forward pass
+//! is bit-identical whichever backend runs it (`tests/prop_fused.rs`,
+//! `ner-core/tests/plan_parity.rs`). Coarse operations exist precisely
+//! where a fused kernel can skip tape bookkeeping without touching the
+//! accumulation order.
+
+use crate::fused::{self, Activation};
+use crate::{pool, ParamId, ParamStore, Tape, Tensor, Var};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// An execution backend for layer forwards: either records autograd nodes
+/// ([`Tape`]) or evaluates eagerly into pooled buffers ([`FusedExec`]).
+///
+/// Values are lightweight `Copy` handles; [`value`](Exec::value) reads the
+/// tensor behind a handle.
+pub trait Exec {
+    /// Handle to a computed tensor.
+    type V: Copy;
+
+    /// Introduces a literal tensor.
+    fn constant(&mut self, value: Tensor) -> Self::V;
+    /// Leases a parameter.
+    fn param(&mut self, store: &ParamStore, id: ParamId) -> Self::V;
+    /// Gathers rows of an embedding table: `[ids.len(), dim]`.
+    fn lookup(&mut self, store: &ParamStore, id: ParamId, ids: &[usize]) -> Self::V;
+    /// Reads the tensor behind a handle.
+    fn value(&self, v: Self::V) -> &Tensor;
+
+    /// Matrix product `a·b`.
+    fn matmul(&mut self, a: Self::V, b: Self::V) -> Self::V;
+    /// Matrix transpose.
+    fn transpose(&mut self, a: Self::V) -> Self::V;
+    /// Elementwise sum.
+    fn add(&mut self, a: Self::V, b: Self::V) -> Self::V;
+    /// Elementwise difference.
+    fn sub(&mut self, a: Self::V, b: Self::V) -> Self::V;
+    /// Elementwise product.
+    fn mul(&mut self, a: Self::V, b: Self::V) -> Self::V;
+    /// Multiplication by a scalar.
+    fn scale(&mut self, a: Self::V, s: f32) -> Self::V;
+    /// Broadcast-adds the row vector `bias [1, d]` to every row of `m`.
+    fn add_bias(&mut self, m: Self::V, bias: Self::V) -> Self::V;
+    /// Applies a nonlinearity ([`Activation::None`] is the identity and
+    /// returns `a` unchanged on both backends).
+    fn activation(&mut self, a: Self::V, act: Activation) -> Self::V;
+
+    /// Fused affine layer `act(x·w + b)` — on the tape this is the
+    /// `affine` node followed by the activation node.
+    fn affine_act(&mut self, x: Self::V, w: Self::V, b: Self::V, act: Activation) -> Self::V;
+    /// Fused same-padded 1-D convolution + activation (layouts of
+    /// `Tape::conv1d`).
+    fn conv1d_act(
+        &mut self,
+        x: Self::V,
+        w: Self::V,
+        b: Self::V,
+        k: usize,
+        dilation: usize,
+        act: Activation,
+    ) -> Self::V;
+    /// Row-wise layer normalization with learned gain/bias.
+    fn layer_norm(&mut self, x: Self::V, gain: Self::V, bias: Self::V) -> Self::V;
+    /// Row-wise softmax.
+    fn softmax_rows(&mut self, a: Self::V) -> Self::V;
+    /// Column-wise max over rows `[n, d] → [1, d]`.
+    fn max_over_rows(&mut self, a: Self::V) -> Self::V;
+
+    /// Copies columns `[start, start+len)`.
+    fn slice_cols(&mut self, a: Self::V, start: usize, len: usize) -> Self::V;
+    /// Copies rows `[start, start+len)`.
+    fn slice_rows(&mut self, a: Self::V, start: usize, len: usize) -> Self::V;
+    /// Copies row `i` as a `[1, d]` tensor.
+    fn row(&mut self, a: Self::V, i: usize) -> Self::V;
+    /// Stacks parts vertically.
+    fn concat_rows(&mut self, parts: &[Self::V]) -> Self::V;
+    /// Concatenates parts side by side.
+    fn concat_cols(&mut self, parts: &[Self::V]) -> Self::V;
+    /// Reverses the row order.
+    fn reverse_rows(&mut self, a: Self::V) -> Self::V;
+
+    /// One LSTM gate application on the pre-activation `pre [1, 4·hidden]`
+    /// (gate order i, f, g, o) and previous cell state `c [1, hidden]`;
+    /// returns `(h', c')`.
+    fn lstm_gates(&mut self, pre: Self::V, c: Self::V, hidden: usize) -> (Self::V, Self::V);
+    /// One GRU gate application on the bias-added projections
+    /// `xp`/`hp [1, 3·hidden]` (gate order z, r, n) and previous hidden
+    /// state; returns `h'`.
+    fn gru_gates(&mut self, xp: Self::V, hp: Self::V, h_prev: Self::V, hidden: usize) -> Self::V;
+
+    /// Sinusoidal positional encodings `[n, d]` — [`FusedExec`] serves
+    /// them from a shared [`PeCache`] when one is attached.
+    fn positional_encoding(&mut self, n: usize, d: usize) -> Self::V;
+
+    /// Runs a whole LSTM pass left to right, `xs [n, d_in] → [n, hidden]`
+    /// (gate order i, f, g, o). The provided implementation expands to the
+    /// historical per-step chain — lease weights and zero states, then per
+    /// step `row`, two `matmul`s, `add`, `add_bias`, [`Exec::lstm_gates`] —
+    /// which is what the tape records. [`FusedExec`] overrides it with a
+    /// sequence-batched input projection and an in-place gate sweep that
+    /// compute the same floats in the same per-element order.
+    fn lstm_sequence(
+        &mut self,
+        store: &ParamStore,
+        w_ih: ParamId,
+        w_hh: ParamId,
+        b: ParamId,
+        hidden: usize,
+        xs: Self::V,
+    ) -> Self::V {
+        let n = self.value(xs).rows();
+        let w_ih = self.param(store, w_ih);
+        let w_hh = self.param(store, w_hh);
+        let b = self.param(store, b);
+        let mut h = self.constant(Tensor::zeros(1, hidden));
+        let mut c = self.constant(Tensor::zeros(1, hidden));
+        let mut outputs = Vec::with_capacity(n);
+        for t in 0..n {
+            let x_t = self.row(xs, t);
+            let xp = self.matmul(x_t, w_ih);
+            let hp = self.matmul(h, w_hh);
+            let s = self.add(xp, hp);
+            let pre = self.add_bias(s, b);
+            let (h_new, c_new) = self.lstm_gates(pre, c, hidden);
+            h = h_new;
+            c = c_new;
+            outputs.push(h);
+        }
+        self.concat_rows(&outputs)
+    }
+
+    /// Runs a whole GRU pass left to right, `xs [n, d_in] → [n, hidden]`
+    /// (gate order z, r, n). Same contract as [`Exec::lstm_sequence`]: the
+    /// provided implementation is the historical per-step tape chain,
+    /// [`FusedExec`] overrides it with a batched equivalent.
+    #[allow(clippy::too_many_arguments)]
+    fn gru_sequence(
+        &mut self,
+        store: &ParamStore,
+        w_ih: ParamId,
+        w_hh: ParamId,
+        b_ih: ParamId,
+        b_hh: ParamId,
+        hidden: usize,
+        xs: Self::V,
+    ) -> Self::V {
+        let n = self.value(xs).rows();
+        let w_ih = self.param(store, w_ih);
+        let w_hh = self.param(store, w_hh);
+        let b_ih = self.param(store, b_ih);
+        let b_hh = self.param(store, b_hh);
+        let mut h = self.constant(Tensor::zeros(1, hidden));
+        let mut outputs = Vec::with_capacity(n);
+        for t in 0..n {
+            let x_t = self.row(xs, t);
+            let xp0 = self.matmul(x_t, w_ih);
+            let xp = self.add_bias(xp0, b_ih);
+            let hp0 = self.matmul(h, w_hh);
+            let hp = self.add_bias(hp0, b_hh);
+            h = self.gru_gates(xp, hp, h, hidden);
+            outputs.push(h);
+        }
+        self.concat_rows(&outputs)
+    }
+}
+
+/// The recording backend: [`Tape`] itself. Named for symmetry with
+/// [`FusedExec`].
+pub type TapeExec = Tape;
+
+impl Exec for Tape {
+    type V = Var;
+
+    fn constant(&mut self, value: Tensor) -> Var {
+        Tape::constant(self, value)
+    }
+
+    fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        Tape::param(self, store, id)
+    }
+
+    fn lookup(&mut self, store: &ParamStore, id: ParamId, ids: &[usize]) -> Var {
+        self.param_rows(store, id, ids)
+    }
+
+    fn value(&self, v: Var) -> &Tensor {
+        Tape::value(self, v)
+    }
+
+    fn matmul(&mut self, a: Var, b: Var) -> Var {
+        Tape::matmul(self, a, b)
+    }
+
+    fn transpose(&mut self, a: Var) -> Var {
+        Tape::transpose(self, a)
+    }
+
+    fn add(&mut self, a: Var, b: Var) -> Var {
+        Tape::add(self, a, b)
+    }
+
+    fn sub(&mut self, a: Var, b: Var) -> Var {
+        Tape::sub(self, a, b)
+    }
+
+    fn mul(&mut self, a: Var, b: Var) -> Var {
+        Tape::mul(self, a, b)
+    }
+
+    fn scale(&mut self, a: Var, s: f32) -> Var {
+        Tape::scale(self, a, s)
+    }
+
+    fn add_bias(&mut self, m: Var, bias: Var) -> Var {
+        Tape::add_bias(self, m, bias)
+    }
+
+    fn activation(&mut self, a: Var, act: Activation) -> Var {
+        match act {
+            Activation::None => a,
+            Activation::Relu => self.relu(a),
+            Activation::Tanh => self.tanh(a),
+            Activation::Sigmoid => self.sigmoid(a),
+        }
+    }
+
+    fn affine_act(&mut self, x: Var, w: Var, b: Var, act: Activation) -> Var {
+        let lin = self.affine(x, w, b);
+        Exec::activation(self, lin, act)
+    }
+
+    fn conv1d_act(
+        &mut self,
+        x: Var,
+        w: Var,
+        b: Var,
+        k: usize,
+        dilation: usize,
+        act: Activation,
+    ) -> Var {
+        let conv = self.conv1d(x, w, b, k, dilation);
+        Exec::activation(self, conv, act)
+    }
+
+    fn layer_norm(&mut self, x: Var, gain: Var, bias: Var) -> Var {
+        Tape::layer_norm(self, x, gain, bias)
+    }
+
+    fn softmax_rows(&mut self, a: Var) -> Var {
+        Tape::softmax_rows(self, a)
+    }
+
+    fn max_over_rows(&mut self, a: Var) -> Var {
+        Tape::max_over_rows(self, a)
+    }
+
+    fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
+        Tape::slice_cols(self, a, start, len)
+    }
+
+    fn slice_rows(&mut self, a: Var, start: usize, len: usize) -> Var {
+        Tape::slice_rows(self, a, start, len)
+    }
+
+    fn row(&mut self, a: Var, i: usize) -> Var {
+        Tape::row(self, a, i)
+    }
+
+    fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        Tape::concat_rows(self, parts)
+    }
+
+    fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        Tape::concat_cols(self, parts)
+    }
+
+    fn reverse_rows(&mut self, a: Var) -> Var {
+        Tape::reverse_rows(self, a)
+    }
+
+    // Expands to exactly the node chain `LstmCell::step` historically
+    // pushed, so training tapes are unchanged node for node.
+    fn lstm_gates(&mut self, pre: Var, c: Var, hidden: usize) -> (Var, Var) {
+        let h = hidden;
+        let i_pre = self.slice_cols(pre, 0, h);
+        let f_pre = self.slice_cols(pre, h, h);
+        let g_pre = self.slice_cols(pre, 2 * h, h);
+        let o_pre = self.slice_cols(pre, 3 * h, h);
+        let i = self.sigmoid(i_pre);
+        let f = self.sigmoid(f_pre);
+        let g = self.tanh(g_pre);
+        let o = self.sigmoid(o_pre);
+        let fc = Tape::mul(self, f, c);
+        let ig = Tape::mul(self, i, g);
+        let c_new = Tape::add(self, fc, ig);
+        let ct = self.tanh(c_new);
+        let h_new = Tape::mul(self, o, ct);
+        (h_new, c_new)
+    }
+
+    // The historical `GruCell::step` chain, node for node.
+    fn gru_gates(&mut self, xp: Var, hp: Var, h_prev: Var, hidden: usize) -> Var {
+        let h = hidden;
+        let xz = self.slice_cols(xp, 0, h);
+        let xr = self.slice_cols(xp, h, h);
+        let xn = self.slice_cols(xp, 2 * h, h);
+        let hz = self.slice_cols(hp, 0, h);
+        let hr = self.slice_cols(hp, h, h);
+        let hn = self.slice_cols(hp, 2 * h, h);
+        let z_pre = Tape::add(self, xz, hz);
+        let z = self.sigmoid(z_pre);
+        let r_pre = Tape::add(self, xr, hr);
+        let r = self.sigmoid(r_pre);
+        let rhn = Tape::mul(self, r, hn);
+        let n_pre = Tape::add(self, xn, rhn);
+        let n = self.tanh(n_pre);
+        // h' = (1−z)⊙n + z⊙h  =  n − z⊙n + z⊙h
+        let zn = Tape::mul(self, z, n);
+        let zh = Tape::mul(self, z, h_prev);
+        let n_minus = Tape::sub(self, n, zn);
+        Tape::add(self, n_minus, zh)
+    }
+
+    fn positional_encoding(&mut self, n: usize, d: usize) -> Var {
+        let pe = crate::nn::positional_encoding(n, d);
+        Tape::constant(self, pe)
+    }
+}
+
+/// A shared, thread-safe cache of sinusoidal positional encodings keyed by
+/// `(length, dim)` — encodings are deterministic, so one computation per
+/// shape serves every sentence.
+#[derive(Default)]
+pub struct PeCache {
+    cache: Mutex<HashMap<(usize, usize), Arc<Tensor>>>,
+}
+
+impl PeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PeCache::default()
+    }
+
+    /// Returns the `[n, d]` encoding, computing and caching it on a miss.
+    pub fn get(&self, n: usize, d: usize) -> Arc<Tensor> {
+        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            cache.entry((n, d)).or_insert_with(|| Arc::new(crate::nn::positional_encoding(n, d))),
+        )
+    }
+
+    /// Number of cached shapes.
+    pub fn len(&self) -> usize {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// What a [`FusedExec`] slot holds.
+enum Slot {
+    /// A computed intermediate, recycled into the buffer pool on drop.
+    Owned(Tensor),
+    /// A cache-shared tensor (positional encodings).
+    Shared(Arc<Tensor>),
+    /// A borrowed parameter — never copied.
+    Param(ParamId),
+}
+
+/// Handle to a [`FusedExec`] value.
+#[derive(Clone, Copy, Debug)]
+pub struct FusedVal(usize);
+
+/// The tape-free inference backend: evaluates each operation eagerly with
+/// the fused kernels in [`crate::fused`], writing into pooled buffers.
+///
+/// Parameters are leased by id (no copy); every owned intermediate is
+/// returned to the thread-local buffer [`crate::pool`] when the backend is
+/// dropped, so a warm evaluation loop allocates nothing per sentence.
+pub struct FusedExec<'a> {
+    store: &'a ParamStore,
+    pe: Option<&'a PeCache>,
+    slots: Vec<Slot>,
+}
+
+impl<'a> FusedExec<'a> {
+    /// A fresh backend reading parameters from `store`.
+    pub fn new(store: &'a ParamStore) -> Self {
+        FusedExec { store, pe: None, slots: Vec::with_capacity(64) }
+    }
+
+    /// Serves positional encodings from `cache` instead of recomputing.
+    pub fn with_pe_cache(mut self, cache: &'a PeCache) -> Self {
+        self.pe = Some(cache);
+        self
+    }
+
+    fn push(&mut self, t: Tensor) -> FusedVal {
+        self.slots.push(Slot::Owned(t));
+        FusedVal(self.slots.len() - 1)
+    }
+
+    fn tensor(&self, v: FusedVal) -> &Tensor {
+        match &self.slots[v.0] {
+            Slot::Owned(t) => t,
+            Slot::Shared(t) => t,
+            Slot::Param(id) => self.store.value(*id),
+        }
+    }
+}
+
+impl Drop for FusedExec<'_> {
+    fn drop(&mut self) {
+        // One recycling sweep instead of per-op frees — mirrors how a
+        // dropped Tape returns all node buffers to the pool.
+        for slot in self.slots.drain(..) {
+            if let Slot::Owned(t) = slot {
+                pool::recycle(t.into_data());
+            }
+        }
+    }
+}
+
+impl Exec for FusedExec<'_> {
+    type V = FusedVal;
+
+    fn constant(&mut self, value: Tensor) -> FusedVal {
+        self.push(value)
+    }
+
+    fn param(&mut self, store: &ParamStore, id: ParamId) -> FusedVal {
+        debug_assert!(std::ptr::eq(store, self.store), "FusedExec reads from its own store");
+        let _ = store;
+        self.slots.push(Slot::Param(id));
+        FusedVal(self.slots.len() - 1)
+    }
+
+    fn lookup(&mut self, store: &ParamStore, id: ParamId, ids: &[usize]) -> FusedVal {
+        let out = {
+            let table = store.value(id);
+            let mut out = Tensor::zeros_pooled(ids.len(), table.cols());
+            for (r, &i) in ids.iter().enumerate() {
+                out.row_mut(r).copy_from_slice(table.row(i));
+            }
+            out
+        };
+        self.push(out)
+    }
+
+    fn value(&self, v: FusedVal) -> &Tensor {
+        self.tensor(v)
+    }
+
+    fn matmul(&mut self, a: FusedVal, b: FusedVal) -> FusedVal {
+        let out = self.tensor(a).matmul(self.tensor(b));
+        self.push(out)
+    }
+
+    fn transpose(&mut self, a: FusedVal) -> FusedVal {
+        let out = self.tensor(a).transposed();
+        self.push(out)
+    }
+
+    fn add(&mut self, a: FusedVal, b: FusedVal) -> FusedVal {
+        let out = {
+            let (av, bv) = (self.tensor(a), self.tensor(b));
+            let mut out = Tensor::zeros_pooled(av.rows(), av.cols());
+            for ((o, &x), &y) in out.data_mut().iter_mut().zip(av.data()).zip(bv.data()) {
+                *o = x + y;
+            }
+            out
+        };
+        self.push(out)
+    }
+
+    fn sub(&mut self, a: FusedVal, b: FusedVal) -> FusedVal {
+        let out = {
+            let (av, bv) = (self.tensor(a), self.tensor(b));
+            let mut out = Tensor::zeros_pooled(av.rows(), av.cols());
+            for ((o, &x), &y) in out.data_mut().iter_mut().zip(av.data()).zip(bv.data()) {
+                *o = x - y;
+            }
+            out
+        };
+        self.push(out)
+    }
+
+    fn mul(&mut self, a: FusedVal, b: FusedVal) -> FusedVal {
+        let out = {
+            let (av, bv) = (self.tensor(a), self.tensor(b));
+            let mut out = Tensor::zeros_pooled(av.rows(), av.cols());
+            for ((o, &x), &y) in out.data_mut().iter_mut().zip(av.data()).zip(bv.data()) {
+                *o = x * y;
+            }
+            out
+        };
+        self.push(out)
+    }
+
+    fn scale(&mut self, a: FusedVal, s: f32) -> FusedVal {
+        let out = {
+            let av = self.tensor(a);
+            let mut out = Tensor::zeros_pooled(av.rows(), av.cols());
+            for (o, &x) in out.data_mut().iter_mut().zip(av.data()) {
+                *o = x * s;
+            }
+            out
+        };
+        self.push(out)
+    }
+
+    fn add_bias(&mut self, m: FusedVal, bias: FusedVal) -> FusedVal {
+        let out = {
+            let (mv, bv) = (self.tensor(m), self.tensor(bias));
+            let mut out = fused::pooled_copy(mv);
+            fused::add_bias_in_place(&mut out, bv);
+            out
+        };
+        self.push(out)
+    }
+
+    fn activation(&mut self, a: FusedVal, act: Activation) -> FusedVal {
+        if act == Activation::None {
+            return a;
+        }
+        let out = {
+            let av = self.tensor(a);
+            let mut out = fused::pooled_copy(av);
+            act.apply(&mut out);
+            out
+        };
+        self.push(out)
+    }
+
+    fn affine_act(&mut self, x: FusedVal, w: FusedVal, b: FusedVal, act: Activation) -> FusedVal {
+        let out = fused::affine_act(self.tensor(x), self.tensor(w), self.tensor(b), act);
+        self.push(out)
+    }
+
+    fn conv1d_act(
+        &mut self,
+        x: FusedVal,
+        w: FusedVal,
+        b: FusedVal,
+        k: usize,
+        dilation: usize,
+        act: Activation,
+    ) -> FusedVal {
+        let out =
+            fused::conv1d_act(self.tensor(x), self.tensor(w), self.tensor(b), k, dilation, act);
+        self.push(out)
+    }
+
+    fn layer_norm(&mut self, x: FusedVal, gain: FusedVal, bias: FusedVal) -> FusedVal {
+        let out = fused::layer_norm(self.tensor(x), self.tensor(gain), self.tensor(bias));
+        self.push(out)
+    }
+
+    fn softmax_rows(&mut self, a: FusedVal) -> FusedVal {
+        let out = {
+            let mut out = fused::pooled_copy(self.tensor(a));
+            fused::softmax_rows_in_place(&mut out);
+            out
+        };
+        self.push(out)
+    }
+
+    fn max_over_rows(&mut self, a: FusedVal) -> FusedVal {
+        let out = fused::max_over_rows(self.tensor(a));
+        self.push(out)
+    }
+
+    fn slice_cols(&mut self, a: FusedVal, start: usize, len: usize) -> FusedVal {
+        let out = fused::slice_cols(self.tensor(a), start, len);
+        self.push(out)
+    }
+
+    fn slice_rows(&mut self, a: FusedVal, start: usize, len: usize) -> FusedVal {
+        let out = {
+            let av = self.tensor(a);
+            assert!(start + len <= av.rows(), "slice_rows out of bounds");
+            let mut out = Tensor::zeros_pooled(len, av.cols());
+            for r in 0..len {
+                out.row_mut(r).copy_from_slice(av.row(start + r));
+            }
+            out
+        };
+        self.push(out)
+    }
+
+    fn row(&mut self, a: FusedVal, i: usize) -> FusedVal {
+        let out = {
+            let av = self.tensor(a);
+            let mut out = Tensor::zeros_pooled(1, av.cols());
+            out.row_mut(0).copy_from_slice(av.row(i));
+            out
+        };
+        self.push(out)
+    }
+
+    fn concat_rows(&mut self, parts: &[FusedVal]) -> FusedVal {
+        assert!(!parts.is_empty(), "concat_rows of nothing");
+        let out = {
+            let total: usize = parts.iter().map(|&p| self.tensor(p).rows()).sum();
+            let cols = self.tensor(parts[0]).cols();
+            let mut out = Tensor::zeros_pooled(total, cols);
+            let mut r = 0;
+            for &p in parts {
+                let pv = self.tensor(p);
+                assert_eq!(pv.cols(), cols, "concat_rows width mismatch");
+                for pr in 0..pv.rows() {
+                    out.row_mut(r).copy_from_slice(pv.row(pr));
+                    r += 1;
+                }
+            }
+            out
+        };
+        self.push(out)
+    }
+
+    fn concat_cols(&mut self, parts: &[FusedVal]) -> FusedVal {
+        assert!(!parts.is_empty(), "concat_cols of nothing");
+        let out = {
+            let rows = self.tensor(parts[0]).rows();
+            let total: usize = parts.iter().map(|&p| self.tensor(p).cols()).sum();
+            let mut out = Tensor::zeros_pooled(rows, total);
+            let mut c = 0;
+            for &p in parts {
+                let pv = self.tensor(p);
+                assert_eq!(pv.rows(), rows, "concat_cols height mismatch");
+                let w = pv.cols();
+                for r in 0..rows {
+                    out.row_mut(r)[c..c + w].copy_from_slice(pv.row(r));
+                }
+                c += w;
+            }
+            out
+        };
+        self.push(out)
+    }
+
+    fn reverse_rows(&mut self, a: FusedVal) -> FusedVal {
+        let out = {
+            let av = self.tensor(a);
+            let (n, d) = av.shape();
+            let mut out = Tensor::zeros_pooled(n, d);
+            for r in 0..n {
+                out.row_mut(r).copy_from_slice(av.row(n - 1 - r));
+            }
+            out
+        };
+        self.push(out)
+    }
+
+    // The same scalar expressions the tape's expanded gate chain computes,
+    // associated identically: cₙ = f·c + i·g, h = o·tanh(cₙ).
+    fn lstm_gates(&mut self, pre: FusedVal, c: FusedVal, hidden: usize) -> (FusedVal, FusedVal) {
+        let (h_new, c_new) = {
+            let (pv, cv) = (self.tensor(pre), self.tensor(c));
+            assert_eq!(pv.shape(), (1, 4 * hidden), "lstm_gates pre-activation shape");
+            let mut h_new = Tensor::zeros_pooled(1, hidden);
+            let mut c_new = Tensor::zeros_pooled(1, hidden);
+            let p = pv.row(0);
+            let c_prev = cv.row(0);
+            for j in 0..hidden {
+                let i = Activation::Sigmoid.eval(p[j]);
+                let f = Activation::Sigmoid.eval(p[hidden + j]);
+                let g = Activation::Tanh.eval(p[2 * hidden + j]);
+                let o = Activation::Sigmoid.eval(p[3 * hidden + j]);
+                let cn = f * c_prev[j] + i * g;
+                c_new.row_mut(0)[j] = cn;
+                h_new.row_mut(0)[j] = o * cn.tanh();
+            }
+            (h_new, c_new)
+        };
+        let h = self.push(h_new);
+        let c = self.push(c_new);
+        (h, c)
+    }
+
+    // h' = (n − z⊙n) + z⊙h, associated exactly as the tape's
+    // sub-then-add chain.
+    fn gru_gates(
+        &mut self,
+        xp: FusedVal,
+        hp: FusedVal,
+        h_prev: FusedVal,
+        hidden: usize,
+    ) -> FusedVal {
+        let out = {
+            let (xv, hv, prev) = (self.tensor(xp), self.tensor(hp), self.tensor(h_prev));
+            assert_eq!(xv.shape(), (1, 3 * hidden), "gru_gates projection shape");
+            let mut out = Tensor::zeros_pooled(1, hidden);
+            let (x, h, hp_row) = (xv.row(0), hv.row(0), prev.row(0));
+            for j in 0..hidden {
+                let z = Activation::Sigmoid.eval(x[j] + h[j]);
+                let r = Activation::Sigmoid.eval(x[hidden + j] + h[hidden + j]);
+                let nj = (x[2 * hidden + j] + r * h[2 * hidden + j]).tanh();
+                out.row_mut(0)[j] = (nj - z * nj) + z * hp_row[j];
+            }
+            out
+        };
+        self.push(out)
+    }
+
+    fn positional_encoding(&mut self, n: usize, d: usize) -> FusedVal {
+        match self.pe {
+            Some(cache) => {
+                self.slots.push(Slot::Shared(cache.get(n, d)));
+                FusedVal(self.slots.len() - 1)
+            }
+            None => {
+                let pe = crate::nn::positional_encoding(n, d);
+                self.push(pe)
+            }
+        }
+    }
+
+    // Batched override: one `[n, 4h]` input projection for the whole
+    // sequence instead of n `[1, 4h]` matmuls, and the gate sweep runs in
+    // place with no per-step slot bookkeeping. Per output element the
+    // accumulation order equals the per-step chain's (row-wise matmul is
+    // the same sweep; `(x + h) + b` is the tape's add-then-add_bias
+    // association), so the floats are bit-identical to the default.
+    fn lstm_sequence(
+        &mut self,
+        store: &ParamStore,
+        w_ih: ParamId,
+        w_hh: ParamId,
+        b: ParamId,
+        hidden: usize,
+        xs: FusedVal,
+    ) -> FusedVal {
+        let out = {
+            let xsv = self.tensor(xs);
+            let n = xsv.rows();
+            let h = hidden;
+            let w_hh = store.value(w_hh);
+            let b = store.value(b);
+            let xp = xsv.matmul(store.value(w_ih)); // [n, 4h]
+            let mut out = Tensor::zeros_pooled(n, h);
+            let mut hstate = Tensor::zeros(1, h);
+            let mut c = vec![0.0f32; h];
+            let mut pre = vec![0.0f32; 4 * h];
+            for t in 0..n {
+                let hp = hstate.matmul(w_hh); // [1, 4h]
+                for ((p, (&xv, &hv)), &bv) in
+                    pre.iter_mut().zip(xp.row(t).iter().zip(hp.data())).zip(b.data())
+                {
+                    *p = (xv + hv) + bv;
+                }
+                fused::recycle(hp);
+                let out_row = out.row_mut(t);
+                for j in 0..h {
+                    let i = Activation::Sigmoid.eval(pre[j]);
+                    let f = Activation::Sigmoid.eval(pre[h + j]);
+                    let g = Activation::Tanh.eval(pre[2 * h + j]);
+                    let o = Activation::Sigmoid.eval(pre[3 * h + j]);
+                    let cn = f * c[j] + i * g;
+                    c[j] = cn;
+                    out_row[j] = o * cn.tanh();
+                }
+                hstate.row_mut(0).copy_from_slice(out.row(t));
+            }
+            fused::recycle(xp);
+            out
+        };
+        self.push(out)
+    }
+
+    // Batched override, same contract as `lstm_sequence`: per-element
+    // float order matches the per-step chain exactly.
+    fn gru_sequence(
+        &mut self,
+        store: &ParamStore,
+        w_ih: ParamId,
+        w_hh: ParamId,
+        b_ih: ParamId,
+        b_hh: ParamId,
+        hidden: usize,
+        xs: FusedVal,
+    ) -> FusedVal {
+        let out = {
+            let xsv = self.tensor(xs);
+            let n = xsv.rows();
+            let h = hidden;
+            let w_hh = store.value(w_hh);
+            let b_hh = store.value(b_hh);
+            let mut xp = xsv.matmul(store.value(w_ih)); // [n, 3h]
+            fused::add_bias_in_place(&mut xp, store.value(b_ih));
+            let mut out = Tensor::zeros_pooled(n, h);
+            let mut hstate = Tensor::zeros(1, h);
+            for t in 0..n {
+                let mut hp = hstate.matmul(w_hh); // [1, 3h]
+                fused::add_bias_in_place(&mut hp, b_hh);
+                let x_row = xp.row(t);
+                let h_row = hp.data();
+                let h_prev = hstate.data();
+                let out_row = out.row_mut(t);
+                for j in 0..h {
+                    let z = Activation::Sigmoid.eval(x_row[j] + h_row[j]);
+                    let r = Activation::Sigmoid.eval(x_row[h + j] + h_row[h + j]);
+                    let nj = (x_row[2 * h + j] + r * h_row[2 * h + j]).tanh();
+                    // h' = (n − z⊙n) + z⊙h, associated exactly as the
+                    // tape's sub-then-add chain.
+                    out_row[j] = (nj - z * nj) + z * h_prev[j];
+                }
+                hstate.row_mut(0).copy_from_slice(out.row(t));
+                fused::recycle(hp);
+            }
+            fused::recycle(xp);
+            out
+        };
+        self.push(out)
+    }
+}

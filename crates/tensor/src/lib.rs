@@ -60,6 +60,7 @@
 
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod fused;
 pub mod init;
 mod kernels;
@@ -71,6 +72,7 @@ pub mod pool;
 mod tape;
 mod tensor;
 
+pub use exec::{Exec, FusedExec, FusedVal, PeCache, TapeExec};
 pub use kernels::PAR_MIN_FLOPS;
 pub use param::{ParamId, ParamStore};
 pub use tape::{GradBuffer, GradSink, OpClass, Tape, Var};

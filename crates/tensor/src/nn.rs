@@ -1,13 +1,20 @@
-//! Reusable neural building blocks composed from tape primitives:
-//! linear layers, embeddings, LSTM/GRU cells with sequence runners,
-//! multi-head self-attention and (pre-LN) Transformer blocks.
+//! Reusable neural building blocks: linear layers, embeddings, LSTM/GRU
+//! cells with sequence runners, multi-head self-attention and (pre-LN)
+//! Transformer blocks.
+//!
+//! Every block has exactly **one** forward implementation, written against
+//! the [`Exec`] backend: run it with a [`crate::Tape`] to record autograd
+//! nodes for training, or with a [`crate::FusedExec`] for tape-free pooled
+//! inference. The two backends produce bit-identical forward values (see
+//! [`crate::exec`]).
 //!
 //! These are substrate components shared by the embedding pretrainers
 //! (`ner-embed`) and the NER models (`ner-core`); everything here is
 //! architecture-agnostic.
 
-use crate::fused::{self, Activation};
-use crate::{init, ParamId, ParamStore, Tape, Tensor, Var};
+use crate::exec::Exec;
+use crate::fused::Activation;
+use crate::{init, ParamId, ParamStore, Tensor};
 use rand::Rng;
 
 /// A fully connected layer `y = x·W + b`.
@@ -49,16 +56,22 @@ impl Linear {
     }
 
     /// Applies the layer to `x [n, d_in] → [n, d_out]`.
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
-        let w = tape.param(store, self.w);
-        let b = tape.param(store, self.b);
-        tape.affine(x, w, b)
+    pub fn forward<E: Exec>(&self, ex: &mut E, store: &ParamStore, x: E::V) -> E::V {
+        self.forward_act(ex, store, x, Activation::None)
     }
 
-    /// Tape-free [`forward`](Self::forward) with a fused activation —
-    /// bit-identical to `affine` followed by that activation's tape op.
-    pub fn forward_eval(&self, store: &ParamStore, x: &Tensor, act: Activation) -> Tensor {
-        fused::affine_act(x, store.value(self.w), store.value(self.b), act)
+    /// [`forward`](Self::forward) with a fused activation — on a tape this
+    /// is the `affine` node followed by the activation's node.
+    pub fn forward_act<E: Exec>(
+        &self,
+        ex: &mut E,
+        store: &ParamStore,
+        x: E::V,
+        act: Activation,
+    ) -> E::V {
+        let w = ex.param(store, self.w);
+        let b = ex.param(store, self.b);
+        ex.affine_act(x, w, b, act)
     }
 }
 
@@ -81,16 +94,10 @@ impl Embedding {
         Embedding { table: store.register(name, init::embedding(rng, vocab, dim)) }
     }
 
-    /// Looks up `ids`, producing `[ids.len(), dim]`. Gradients scatter-add
-    /// into the selected rows only.
-    pub fn lookup(&self, tape: &mut Tape, store: &ParamStore, ids: &[usize]) -> Var {
-        tape.param_rows(store, self.table, ids)
-    }
-
-    /// Tape-free [`lookup`](Self::lookup): copies the selected rows
-    /// straight out of the parameter store.
-    pub fn lookup_eval(&self, store: &ParamStore, ids: &[usize]) -> Tensor {
-        store.value(self.table).gather_rows(ids)
+    /// Looks up `ids`, producing `[ids.len(), dim]`. On a tape, gradients
+    /// scatter-add into the selected rows only.
+    pub fn lookup<E: Exec>(&self, ex: &mut E, store: &ParamStore, ids: &[usize]) -> E::V {
+        ex.lookup(store, self.table, ids)
     }
 }
 
@@ -103,15 +110,15 @@ pub struct LstmCell {
     hidden: usize,
 }
 
-/// Per-tape running state of an LSTM: leased weights plus `(h, c)`.
-pub struct LstmRun {
-    w_ih: Var,
-    w_hh: Var,
-    b: Var,
+/// Running state of an LSTM on some backend: leased weights plus `(h, c)`.
+pub struct LstmRun<V> {
+    w_ih: V,
+    w_hh: V,
+    b: V,
     /// Current hidden state `[1, h]`.
-    pub h: Var,
+    pub h: V,
     /// Current cell state `[1, h]`.
-    pub c: Var,
+    pub c: V,
 }
 
 impl LstmCell {
@@ -140,158 +147,42 @@ impl LstmCell {
         self.hidden
     }
 
-    /// Leases weights into `tape` and returns zeroed `(h, c)` state.
-    pub fn begin(&self, tape: &mut Tape, store: &ParamStore) -> LstmRun {
+    /// Leases weights into the backend and returns zeroed `(h, c)` state.
+    pub fn begin<E: Exec>(&self, ex: &mut E, store: &ParamStore) -> LstmRun<E::V> {
         LstmRun {
-            w_ih: tape.param(store, self.w_ih),
-            w_hh: tape.param(store, self.w_hh),
-            b: tape.param(store, self.b),
-            h: tape.constant(Tensor::zeros(1, self.hidden)),
-            c: tape.constant(Tensor::zeros(1, self.hidden)),
+            w_ih: ex.param(store, self.w_ih),
+            w_hh: ex.param(store, self.w_hh),
+            b: ex.param(store, self.b),
+            h: ex.constant(Tensor::zeros(1, self.hidden)),
+            c: ex.constant(Tensor::zeros(1, self.hidden)),
         }
     }
 
     /// One timestep on input `x [1, d_in]`; updates `run.h` / `run.c`.
-    pub fn step(&self, tape: &mut Tape, run: &mut LstmRun, x: Var) {
-        let xp = tape.matmul(x, run.w_ih);
-        let hp = tape.matmul(run.h, run.w_hh);
-        let s = tape.add(xp, hp);
-        let pre = tape.add_bias(s, run.b);
-        let h = self.hidden;
-        let i_pre = tape.slice_cols(pre, 0, h);
-        let f_pre = tape.slice_cols(pre, h, h);
-        let g_pre = tape.slice_cols(pre, 2 * h, h);
-        let o_pre = tape.slice_cols(pre, 3 * h, h);
-        let i = tape.sigmoid(i_pre);
-        let f = tape.sigmoid(f_pre);
-        let g = tape.tanh(g_pre);
-        let o = tape.sigmoid(o_pre);
-        let fc = tape.mul(f, run.c);
-        let ig = tape.mul(i, g);
-        run.c = tape.add(fc, ig);
-        let ct = tape.tanh(run.c);
-        run.h = tape.mul(o, ct);
+    pub fn step<E: Exec>(&self, ex: &mut E, run: &mut LstmRun<E::V>, x: E::V) {
+        let xp = ex.matmul(x, run.w_ih);
+        let hp = ex.matmul(run.h, run.w_hh);
+        let s = ex.add(xp, hp);
+        let pre = ex.add_bias(s, run.b);
+        let (h, c) = ex.lstm_gates(pre, run.c, self.hidden);
+        run.h = h;
+        run.c = c;
     }
 
-    /// Runs the whole sequence `xs [n, d_in] → [n, hidden]` left to right.
-    pub fn sequence(&self, tape: &mut Tape, store: &ParamStore, xs: Var) -> Var {
-        let n = tape.value(xs).rows();
-        let mut run = self.begin(tape, store);
-        let mut outputs = Vec::with_capacity(n);
-        for t in 0..n {
-            let x_t = tape.row(xs, t);
-            self.step(tape, &mut run, x_t);
-            outputs.push(run.h);
-        }
-        tape.concat_rows(&outputs)
+    /// Runs the whole sequence `xs [n, d_in] → [n, hidden]` left to right
+    /// via [`Exec::lstm_sequence`] (the tape expands it to the per-step
+    /// chain of [`LstmCell::step`]; the fused backend batches it).
+    pub fn sequence<E: Exec>(&self, ex: &mut E, store: &ParamStore, xs: E::V) -> E::V {
+        ex.lstm_sequence(store, self.w_ih, self.w_hh, self.b, self.hidden, xs)
     }
 
     /// Runs right to left, returning outputs aligned with the input order
     /// (row `t` is the backward state at position `t`).
-    pub fn sequence_rev(&self, tape: &mut Tape, store: &ParamStore, xs: Var) -> Var {
-        let rev = tape.reverse_rows(xs);
-        let out = self.sequence(tape, store, rev);
-        tape.reverse_rows(out)
+    pub fn sequence_rev<E: Exec>(&self, ex: &mut E, store: &ParamStore, xs: E::V) -> E::V {
+        let rev = ex.reverse_rows(xs);
+        let out = self.sequence(ex, store, rev);
+        ex.reverse_rows(out)
     }
-
-    /// Tape-free [`sequence`](Self::sequence): the same float operations in
-    /// the same order, with pooled buffers instead of tape nodes.
-    ///
-    /// The per-step input projections are batched into one `xs · W_ih`
-    /// product up front — matmul rows are independent, so row `t` of the
-    /// batch is bit-identical to the tape's per-step `x_t · W_ih`.
-    pub fn sequence_eval(&self, store: &ParamStore, xs: &Tensor) -> Tensor {
-        let n = xs.rows();
-        let h = self.hidden;
-        let w_hh = store.value(self.w_hh);
-        let b = store.value(self.b);
-        let xp = xs.matmul(store.value(self.w_ih)); // [n, 4h]
-        let mut out = Tensor::zeros_pooled(n, h);
-        let mut hstate = Tensor::zeros(1, h);
-        let mut c = vec![0.0f32; h];
-        let mut pre = vec![0.0f32; 4 * h];
-        for t in 0..n {
-            let hp = hstate.matmul(w_hh); // [1, 4h]
-                                          // pre = (xp_t + hp) + b: the tape's add-then-add_bias order.
-            for ((p, (&xv, &hv)), &bv) in
-                pre.iter_mut().zip(xp.row(t).iter().zip(hp.data())).zip(b.data())
-            {
-                *p = (xv + hv) + bv;
-            }
-            fused::recycle(hp);
-            let out_row = out.row_mut(t);
-            for j in 0..h {
-                let i = Activation::Sigmoid.eval(pre[j]);
-                let f = Activation::Sigmoid.eval(pre[h + j]);
-                let g = Activation::Tanh.eval(pre[2 * h + j]);
-                let o = Activation::Sigmoid.eval(pre[3 * h + j]);
-                let cn = f * c[j] + i * g;
-                c[j] = cn;
-                out_row[j] = o * cn.tanh();
-            }
-            hstate.row_mut(0).copy_from_slice(out.row(t));
-        }
-        fused::recycle(xp);
-        out
-    }
-
-    /// Tape-free [`sequence_rev`](Self::sequence_rev): reverse, run
-    /// forward, reverse back — aligned with the input order.
-    pub fn sequence_rev_eval(&self, store: &ParamStore, xs: &Tensor) -> Tensor {
-        let rev = reverse_rows_eval(xs);
-        let out_rev = self.sequence_eval(store, &rev);
-        fused::recycle(rev);
-        let out = reverse_rows_eval(&out_rev);
-        fused::recycle(out_rev);
-        out
-    }
-
-    /// Starts a tape-free stepping run (zeroed `h`/`c`) for decoders that
-    /// must feed back their own output one step at a time.
-    pub fn begin_eval(&self) -> LstmEvalState {
-        LstmEvalState { h: Tensor::zeros(1, self.hidden), c: vec![0.0; self.hidden] }
-    }
-
-    /// One tape-free timestep on `x [1, d_in]` — bit-identical to
-    /// [`step`](Self::step) on the same state.
-    pub fn step_eval(&self, store: &ParamStore, state: &mut LstmEvalState, x: &Tensor) {
-        let h = self.hidden;
-        let xp = x.matmul(store.value(self.w_ih)); // [1, 4h]
-        let hp = state.h.matmul(store.value(self.w_hh)); // [1, 4h]
-        let b = store.value(self.b);
-        let h_row = state.h.row_mut(0);
-        for j in 0..h {
-            // pre = (xp + hp) + b: the tape's add-then-add_bias order.
-            let pre = |off: usize| (xp.at2(0, off + j) + hp.at2(0, off + j)) + b.at2(0, off + j);
-            let i = Activation::Sigmoid.eval(pre(0));
-            let f = Activation::Sigmoid.eval(pre(h));
-            let g = Activation::Tanh.eval(pre(2 * h));
-            let o = Activation::Sigmoid.eval(pre(3 * h));
-            let cn = f * state.c[j] + i * g;
-            state.c[j] = cn;
-            h_row[j] = o * cn.tanh();
-        }
-        fused::recycle(xp);
-        fused::recycle(hp);
-    }
-}
-
-/// Tape-free stepping state of an LSTM (see [`LstmCell::begin_eval`]).
-pub struct LstmEvalState {
-    /// Current hidden state `[1, h]`.
-    pub h: Tensor,
-    c: Vec<f32>,
-}
-
-/// Row-reversed pooled copy of `xs` (the data movement of
-/// `Tape::reverse_rows`).
-fn reverse_rows_eval(xs: &Tensor) -> Tensor {
-    let (n, d) = xs.shape();
-    let mut out = Tensor::zeros_pooled(n, d);
-    for r in 0..n {
-        out.row_mut(r).copy_from_slice(xs.row(n - 1 - r));
-    }
-    out
 }
 
 /// A gated recurrent unit cell (PyTorch gate conventions).
@@ -304,14 +195,14 @@ pub struct GruCell {
     hidden: usize,
 }
 
-/// Per-tape running state of a GRU.
-pub struct GruRun {
-    w_ih: Var,
-    w_hh: Var,
-    b_ih: Var,
-    b_hh: Var,
+/// Running state of a GRU on some backend.
+pub struct GruRun<V> {
+    w_ih: V,
+    w_hh: V,
+    b_ih: V,
+    b_hh: V,
     /// Current hidden state `[1, h]`.
-    pub h: Var,
+    pub h: V,
 }
 
 impl GruCell {
@@ -338,142 +229,52 @@ impl GruCell {
     }
 
     /// Leases weights and returns a zeroed state.
-    pub fn begin(&self, tape: &mut Tape, store: &ParamStore) -> GruRun {
+    pub fn begin<E: Exec>(&self, ex: &mut E, store: &ParamStore) -> GruRun<E::V> {
         GruRun {
-            w_ih: tape.param(store, self.w_ih),
-            w_hh: tape.param(store, self.w_hh),
-            b_ih: tape.param(store, self.b_ih),
-            b_hh: tape.param(store, self.b_hh),
-            h: tape.constant(Tensor::zeros(1, self.hidden)),
+            w_ih: ex.param(store, self.w_ih),
+            w_hh: ex.param(store, self.w_hh),
+            b_ih: ex.param(store, self.b_ih),
+            b_hh: ex.param(store, self.b_hh),
+            h: ex.constant(Tensor::zeros(1, self.hidden)),
         }
     }
 
     /// One timestep on `x [1, d_in]`; updates `run.h`.
-    pub fn step(&self, tape: &mut Tape, run: &mut GruRun, x: Var) {
-        let h = self.hidden;
-        let xp0 = tape.matmul(x, run.w_ih);
-        let xp = tape.add_bias(xp0, run.b_ih);
-        let hp0 = tape.matmul(run.h, run.w_hh);
-        let hp = tape.add_bias(hp0, run.b_hh);
-        let xz = tape.slice_cols(xp, 0, h);
-        let xr = tape.slice_cols(xp, h, h);
-        let xn = tape.slice_cols(xp, 2 * h, h);
-        let hz = tape.slice_cols(hp, 0, h);
-        let hr = tape.slice_cols(hp, h, h);
-        let hn = tape.slice_cols(hp, 2 * h, h);
-        let z_pre = tape.add(xz, hz);
-        let z = tape.sigmoid(z_pre);
-        let r_pre = tape.add(xr, hr);
-        let r = tape.sigmoid(r_pre);
-        let rhn = tape.mul(r, hn);
-        let n_pre = tape.add(xn, rhn);
-        let n = tape.tanh(n_pre);
-        // h' = (1−z)⊙n + z⊙h  =  n − z⊙n + z⊙h
-        let zn = tape.mul(z, n);
-        let zh = tape.mul(z, run.h);
-        let n_minus = tape.sub(n, zn);
-        run.h = tape.add(n_minus, zh);
+    pub fn step<E: Exec>(&self, ex: &mut E, run: &mut GruRun<E::V>, x: E::V) {
+        let xp0 = ex.matmul(x, run.w_ih);
+        let xp = ex.add_bias(xp0, run.b_ih);
+        let hp0 = ex.matmul(run.h, run.w_hh);
+        let hp = ex.add_bias(hp0, run.b_hh);
+        run.h = ex.gru_gates(xp, hp, run.h, self.hidden);
     }
 
-    /// Runs the whole sequence left to right: `[n, d_in] → [n, hidden]`.
-    pub fn sequence(&self, tape: &mut Tape, store: &ParamStore, xs: Var) -> Var {
-        let n = tape.value(xs).rows();
-        let mut run = self.begin(tape, store);
-        let mut outputs = Vec::with_capacity(n);
-        for t in 0..n {
-            let x_t = tape.row(xs, t);
-            self.step(tape, &mut run, x_t);
-            outputs.push(run.h);
-        }
-        tape.concat_rows(&outputs)
+    /// Runs the whole sequence left to right, `[n, d_in] → [n, hidden]`,
+    /// via [`Exec::gru_sequence`] (the tape expands it to the per-step
+    /// chain of [`GruCell::step`]; the fused backend batches it).
+    pub fn sequence<E: Exec>(&self, ex: &mut E, store: &ParamStore, xs: E::V) -> E::V {
+        ex.gru_sequence(store, self.w_ih, self.w_hh, self.b_ih, self.b_hh, self.hidden, xs)
     }
 
     /// Runs right to left with outputs aligned to input order.
-    pub fn sequence_rev(&self, tape: &mut Tape, store: &ParamStore, xs: Var) -> Var {
-        let rev = tape.reverse_rows(xs);
-        let out = self.sequence(tape, store, rev);
-        tape.reverse_rows(out)
-    }
-
-    /// Tape-free [`sequence`](Self::sequence) — same float operations in
-    /// the same order as the tape steps (see
-    /// [`LstmCell::sequence_eval`] for the batched-projection argument).
-    pub fn sequence_eval(&self, store: &ParamStore, xs: &Tensor) -> Tensor {
-        let n = xs.rows();
-        let h = self.hidden;
-        let w_hh = store.value(self.w_hh);
-        let b_hh = store.value(self.b_hh);
-        let mut xp = xs.matmul(store.value(self.w_ih)); // [n, 3h]
-        fused::add_bias_in_place(&mut xp, store.value(self.b_ih));
-        let mut out = Tensor::zeros_pooled(n, h);
-        let mut hstate = Tensor::zeros(1, h);
-        for t in 0..n {
-            let mut hp = hstate.matmul(w_hh); // [1, 3h]
-            fused::add_bias_in_place(&mut hp, b_hh);
-            let x_row = xp.row(t);
-            let h_row = hp.data();
-            let h_prev = hstate.data();
-            let out_row = out.row_mut(t);
-            for j in 0..h {
-                let z = Activation::Sigmoid.eval(x_row[j] + h_row[j]);
-                let r = Activation::Sigmoid.eval(x_row[h + j] + h_row[h + j]);
-                let nj = (x_row[2 * h + j] + r * h_row[2 * h + j]).tanh();
-                // h' = (n − z⊙n) + z⊙h, associated exactly as the tape's
-                // sub-then-add chain.
-                out_row[j] = (nj - z * nj) + z * h_prev[j];
-            }
-            hstate.row_mut(0).copy_from_slice(out.row(t));
-            fused::recycle(hp);
-        }
-        fused::recycle(xp);
-        out
-    }
-
-    /// Tape-free [`sequence_rev`](Self::sequence_rev).
-    pub fn sequence_rev_eval(&self, store: &ParamStore, xs: &Tensor) -> Tensor {
-        let rev = reverse_rows_eval(xs);
-        let out_rev = self.sequence_eval(store, &rev);
-        fused::recycle(rev);
-        let out = reverse_rows_eval(&out_rev);
-        fused::recycle(out_rev);
-        out
+    pub fn sequence_rev<E: Exec>(&self, ex: &mut E, store: &ParamStore, xs: E::V) -> E::V {
+        let rev = ex.reverse_rows(xs);
+        let out = self.sequence(ex, store, rev);
+        ex.reverse_rows(out)
     }
 }
 
 /// Concatenates a forward and a backward recurrent pass: `[n, 2·hidden]`.
 /// This is the "bidirectional RNN as de-facto standard" of paper §3.3.2.
-pub fn bidirectional(
-    tape: &mut Tape,
+pub fn bidirectional<E: Exec>(
+    ex: &mut E,
     store: &ParamStore,
     forward: &LstmCell,
     backward: &LstmCell,
-    xs: Var,
-) -> Var {
-    let fw = forward.sequence(tape, store, xs);
-    let bw = backward.sequence_rev(tape, store, xs);
-    tape.concat_cols(&[fw, bw])
-}
-
-/// Tape-free [`bidirectional`]: forward ⧺ backward hidden states.
-pub fn bidirectional_eval(
-    store: &ParamStore,
-    forward: &LstmCell,
-    backward: &LstmCell,
-    xs: &Tensor,
-) -> Tensor {
-    let fw = forward.sequence_eval(store, xs);
-    let bw = backward.sequence_rev_eval(store, xs);
-    let n = xs.rows();
-    let (hf, hb) = (fw.cols(), bw.cols());
-    let mut out = Tensor::zeros_pooled(n, hf + hb);
-    for r in 0..n {
-        let row = out.row_mut(r);
-        row[..hf].copy_from_slice(fw.row(r));
-        row[hf..].copy_from_slice(bw.row(r));
-    }
-    fused::recycle(fw);
-    fused::recycle(bw);
-    out
+    xs: E::V,
+) -> E::V {
+    let fw = forward.sequence(ex, store, xs);
+    let bw = backward.sequence_rev(ex, store, xs);
+    ex.concat_cols(&[fw, bw])
 }
 
 /// Sinusoidal positional encodings `[n, d]` (Vaswani et al. 2017).
@@ -524,13 +325,17 @@ impl MultiHeadAttention {
     /// Self-attention over `x [n, d_model]`. With `causal = true`, position
     /// `t` may only attend to positions `≤ t` (the GPT-style mask); with
     /// `false`, attention is bidirectional (the BERT-style encoder).
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var, causal: bool) -> Var {
-        let n = tape.value(x).rows();
+    ///
+    /// The per-head scores are `q_h · (k_h)ᵀ` via an explicit transpose +
+    /// `matmul` — NOT `matmul_nt`, whose register-accumulator dot products
+    /// round differently and would break bit-identity between backends.
+    pub fn forward<E: Exec>(&self, ex: &mut E, store: &ParamStore, x: E::V, causal: bool) -> E::V {
+        let n = ex.value(x).rows();
         let dk = self.d_model / self.heads;
         let scale = 1.0 / (dk as f32).sqrt();
-        let q = self.wq.forward(tape, store, x);
-        let k = self.wk.forward(tape, store, x);
-        let v = self.wv.forward(tape, store, x);
+        let q = self.wq.forward(ex, store, x);
+        let k = self.wk.forward(ex, store, x);
+        let v = self.wv.forward(ex, store, x);
 
         let mask = causal.then(|| {
             let mut m = Tensor::zeros(n, n);
@@ -539,65 +344,25 @@ impl MultiHeadAttention {
                     m.set2(r, c, -1e9);
                 }
             }
-            tape.constant(m)
+            ex.constant(m)
         });
 
         let mut head_outputs = Vec::with_capacity(self.heads);
         for h in 0..self.heads {
-            let qh = tape.slice_cols(q, h * dk, dk);
-            let kh = tape.slice_cols(k, h * dk, dk);
-            let vh = tape.slice_cols(v, h * dk, dk);
-            let kt = tape.transpose(kh);
-            let scores0 = tape.matmul(qh, kt);
-            let mut scores = tape.scale(scores0, scale);
+            let qh = ex.slice_cols(q, h * dk, dk);
+            let kh = ex.slice_cols(k, h * dk, dk);
+            let vh = ex.slice_cols(v, h * dk, dk);
+            let kt = ex.transpose(kh);
+            let scores0 = ex.matmul(qh, kt);
+            let mut scores = ex.scale(scores0, scale);
             if let Some(m) = mask {
-                scores = tape.add(scores, m);
+                scores = ex.add(scores, m);
             }
-            let attn = tape.softmax_rows(scores);
-            head_outputs.push(tape.matmul(attn, vh));
+            let attn = ex.softmax_rows(scores);
+            head_outputs.push(ex.matmul(attn, vh));
         }
-        let concat = tape.concat_cols(&head_outputs);
-        self.wo.forward(tape, store, concat)
-    }
-
-    /// Tape-free bidirectional (non-causal) [`forward`](Self::forward), as
-    /// the NER encoder uses it.
-    ///
-    /// The per-head scores are computed as `q_h · (k_h)ᵀ` via an explicit
-    /// transpose + `matmul` — NOT `matmul_nt`, whose register-accumulator
-    /// dot products round differently from the tape's transpose-then-matmul
-    /// and would break bit-identity with the training-path forward.
-    pub fn forward_eval(&self, store: &ParamStore, x: &Tensor) -> Tensor {
-        let n = x.rows();
-        let dk = self.d_model / self.heads;
-        let scale = 1.0 / (dk as f32).sqrt();
-        let q = self.wq.forward_eval(store, x, Activation::None);
-        let k = self.wk.forward_eval(store, x, Activation::None);
-        let v = self.wv.forward_eval(store, x, Activation::None);
-        let mut concat = Tensor::zeros_pooled(n, self.d_model);
-        for hd in 0..self.heads {
-            let qh = fused::slice_cols(&q, hd * dk, dk);
-            let kh = fused::slice_cols(&k, hd * dk, dk);
-            let vh = fused::slice_cols(&v, hd * dk, dk);
-            let kt = kh.transposed();
-            let mut scores = qh.matmul(&kt);
-            for s in scores.data_mut() {
-                *s *= scale;
-            }
-            fused::softmax_rows_in_place(&mut scores);
-            let oh = scores.matmul(&vh);
-            for r in 0..n {
-                concat.row_mut(r)[hd * dk..(hd + 1) * dk].copy_from_slice(oh.row(r));
-            }
-            for t in [qh, kh, vh, kt, scores, oh] {
-                fused::recycle(t);
-            }
-        }
-        let out = self.wo.forward_eval(store, &concat, Activation::None);
-        for t in [q, k, v, concat] {
-            fused::recycle(t);
-        }
-        out
+        let concat = ex.concat_cols(&head_outputs);
+        self.wo.forward(ex, store, concat)
     }
 }
 
@@ -636,39 +401,19 @@ impl TransformerBlock {
     }
 
     /// Applies the block to `x [n, d_model]`.
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var, causal: bool) -> Var {
-        let g1 = tape.param(store, self.ln1_g);
-        let b1 = tape.param(store, self.ln1_b);
-        let normed = tape.layer_norm(x, g1, b1);
-        let attended = self.attn.forward(tape, store, normed, causal);
-        let x = tape.add(x, attended);
+    pub fn forward<E: Exec>(&self, ex: &mut E, store: &ParamStore, x: E::V, causal: bool) -> E::V {
+        let g1 = ex.param(store, self.ln1_g);
+        let b1 = ex.param(store, self.ln1_b);
+        let normed = ex.layer_norm(x, g1, b1);
+        let attended = self.attn.forward(ex, store, normed, causal);
+        let x = ex.add(x, attended);
 
-        let g2 = tape.param(store, self.ln2_g);
-        let b2 = tape.param(store, self.ln2_b);
-        let normed = tape.layer_norm(x, g2, b2);
-        let h = self.ff1.forward(tape, store, normed);
-        let h = tape.relu(h);
-        let h = self.ff2.forward(tape, store, h);
-        tape.add(x, h)
-    }
-
-    /// Tape-free non-causal [`forward`](Self::forward).
-    pub fn forward_eval(&self, store: &ParamStore, x: &Tensor) -> Tensor {
-        let normed = fused::layer_norm(x, store.value(self.ln1_g), store.value(self.ln1_b));
-        let attended = self.attn.forward_eval(store, &normed);
-        fused::recycle(normed);
-        let mut x1 = fused::pooled_copy(x);
-        x1.add_scaled(&attended, 1.0);
-        fused::recycle(attended);
-
-        let normed = fused::layer_norm(&x1, store.value(self.ln2_g), store.value(self.ln2_b));
-        let h = self.ff1.forward_eval(store, &normed, Activation::Relu);
-        fused::recycle(normed);
-        let h2 = self.ff2.forward_eval(store, &h, Activation::None);
-        fused::recycle(h);
-        x1.add_scaled(&h2, 1.0);
-        fused::recycle(h2);
-        x1
+        let g2 = ex.param(store, self.ln2_g);
+        let b2 = ex.param(store, self.ln2_b);
+        let normed = ex.layer_norm(x, g2, b2);
+        let h = self.ff1.forward_act(ex, store, normed, Activation::Relu);
+        let h = self.ff2.forward(ex, store, h);
+        ex.add(x, h)
     }
 }
 
@@ -676,6 +421,7 @@ impl TransformerBlock {
 mod tests {
     use super::*;
     use crate::optim::{Adam, Optimizer};
+    use crate::{FusedExec, Tape, Var};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -839,5 +585,55 @@ mod tests {
         // Row 0 alternates sin(0)=0, cos(0)=1.
         assert_eq!(pe.at2(0, 0), 0.0);
         assert!((pe.at2(0, 1) - 1.0).abs() < 1e-6);
+    }
+
+    /// One forward, two backends: the fused backend must reproduce the
+    /// tape's forward values bit for bit on every layer family.
+    #[test]
+    fn fused_backend_matches_tape_on_every_layer() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, &mut rng, "lin", 6, 5);
+        let emb = Embedding::new(&mut store, &mut rng, "emb", 9, 6);
+        let lstm_fw = LstmCell::new(&mut store, &mut rng, "lstm.fw", 6, 4);
+        let lstm_bw = LstmCell::new(&mut store, &mut rng, "lstm.bw", 6, 4);
+        let gru = GruCell::new(&mut store, &mut rng, "gru", 6, 4);
+        let block = TransformerBlock::new(&mut store, &mut rng, "blk", 6, 2, 12);
+        let ids = [3usize, 1, 7, 7, 0];
+
+        fn run<E: Exec>(
+            ex: &mut E,
+            store: &ParamStore,
+            layers: &(Linear, Embedding, LstmCell, LstmCell, GruCell, TransformerBlock),
+            ids: &[usize],
+        ) -> Vec<Vec<f32>> {
+            let (lin, emb, fw, bw, gru, block) = layers;
+            let x = emb.lookup(ex, store, ids);
+            let mut outs = Vec::new();
+            for act in [Activation::None, Activation::Relu, Activation::Tanh, Activation::Sigmoid] {
+                let y = lin.forward_act(ex, store, x, act);
+                outs.push(ex.value(y).data().to_vec());
+            }
+            let bi = bidirectional(ex, store, fw, bw, x);
+            outs.push(ex.value(bi).data().to_vec());
+            let g = gru.sequence(ex, store, x);
+            outs.push(ex.value(g).data().to_vec());
+            let t = block.forward(ex, store, x, false);
+            outs.push(ex.value(t).data().to_vec());
+            let pe = ex.positional_encoding(5, 6);
+            let xp = ex.add(x, pe);
+            outs.push(ex.value(xp).data().to_vec());
+            outs
+        }
+
+        let layers = (lin, emb, lstm_fw, lstm_bw, gru, block);
+        let mut tape = Tape::new();
+        let expect = run(&mut tape, &store, &layers, &ids);
+        let mut fe = FusedExec::new(&store);
+        let got = run(&mut fe, &store, &layers, &ids);
+        assert_eq!(expect.len(), got.len());
+        for (i, (e, g)) in expect.iter().zip(&got).enumerate() {
+            assert_eq!(e, g, "layer output {i} diverged between backends");
+        }
     }
 }

@@ -200,7 +200,7 @@ impl Tensor {
 
     /// Matrix product `self [m,k] × rhs [k,n] → [m,n]`.
     ///
-    /// Cache-blocked i-k-j kernel (see [`crate::kernels`]); splits output
+    /// Cache-blocked i-k-j kernel (see the `kernels` module); splits output
     /// rows across the global `ner-par` pool above the FLOP threshold.
     /// Parallel and serial results are bit-identical — blocking and row
     /// splitting never reorder the per-element accumulation.
