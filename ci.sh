@@ -11,9 +11,12 @@
 #      parallel-vs-serial kernel divergence)
 #   5. inference smoke  (exp_inference --smoke at 1 and 4 threads exits
 #      non-zero if the tape-free plan's tags diverge from the tape path)
-#   6. serving smoke    (serve integration tests + exp_serving --smoke at
-#      1 and 4 threads exit non-zero if a batched response diverges from
-#      offline annotate)
+#   6. prometheus lint  (the /metrics exposition must have typed, unique
+#      families with cumulative histogram buckets)
+#   7. serving smoke    (serve integration tests — including the request
+#      tracing and flight-recorder suite — + exp_serving --smoke at 1 and
+#      4 threads exit non-zero if a batched response diverges from offline
+#      annotate or trace stage timings stop accounting for the latency)
 #
 # The build is fully offline: every external dependency is a vendored stub
 # under compat/, so no network access is required.
@@ -44,11 +47,14 @@ NER_THREADS=1 cargo run --release -p ner-bench --bin exp_inference -- --smoke
 echo "== inference smoke: the plan must reproduce the tape (NER_THREADS=4) =="
 NER_THREADS=4 cargo run --release -p ner-bench --bin exp_inference -- --smoke
 
-echo "== serving: batched responses must match offline annotate (NER_THREADS=1) =="
+echo "== prometheus lint: /metrics families must be typed, unique, cumulative =="
+cargo test --release -p ner-serve --lib -q prometheus
+
+echo "== serving + tracing: batched == offline, traces account for latency (NER_THREADS=1) =="
 NER_THREADS=1 cargo test --release -p ner-serve --test serve_integration -q
 NER_THREADS=1 cargo run --release -p ner-bench --bin exp_serving -- --smoke
 
-echo "== serving: batched responses must match offline annotate (NER_THREADS=4) =="
+echo "== serving + tracing: batched == offline, traces account for latency (NER_THREADS=4) =="
 NER_THREADS=4 cargo test --release -p ner-serve --test serve_integration -q
 NER_THREADS=4 cargo run --release -p ner-bench --bin exp_serving -- --smoke
 

@@ -43,7 +43,23 @@ struct ServingRow {
     p99_us: f64,
     /// Mean scored batch size observed by the dispatcher for this cell.
     mean_batch: f64,
+    /// Per-cell mean stage attribution (µs), from the same server-side
+    /// histograms request traces are fed from: where did a request's time
+    /// go in this cell?
+    queue_wait_mean_us: f64,
+    embed_mean_us: f64,
+    encode_mean_us: f64,
+    decode_mean_us: f64,
     divergences: usize,
+}
+
+/// Whole-run percentiles of one per-stage latency histogram.
+#[derive(Serialize)]
+struct StageQuantiles {
+    stage: String,
+    count: u64,
+    p50_us: f64,
+    p99_us: f64,
 }
 
 #[derive(Serialize)]
@@ -58,6 +74,10 @@ struct Report {
     /// req/s of max_batch=32 over max_batch=1 at 4 client threads — the
     /// headline number: batching must buy throughput under concurrency.
     batch32_speedup_at_4_clients: f64,
+    /// Whole-run p50/p99 of every serving stage (queue wait, featurize,
+    /// embed, encode, decode) plus end-to-end `serve.request_us` — the
+    /// attribution columns traces are reconciled against.
+    stage_percentiles: Vec<StageQuantiles>,
     rows: Vec<ServingRow>,
     divergences: usize,
 }
@@ -92,12 +112,36 @@ fn offline_payload(pipeline: &NerPipeline, text: &str) -> Value {
     ])
 }
 
-/// Delta-mean of the `serve.batch_size` histogram across one cell.
-fn batch_size_snapshot() -> (f64, f64) {
-    ner_obs::histogram_summaries()
-        .iter()
-        .find(|h| h.name == "serve.batch_size")
-        .map_or((0.0, 0.0), |h| (h.count as f64, h.count as f64 * h.mean))
+/// Histograms whose per-cell delta-means land in the report rows, in
+/// column order: batch size, then the stage attribution set.
+const CELL_HISTOGRAMS: [&str; 5] = [
+    "serve.batch_size",
+    "serve.queue_wait_us",
+    "infer.embed_us",
+    "infer.encode_us",
+    "infer.decode_us",
+];
+
+/// `(count, sum)` snapshot of each [`CELL_HISTOGRAMS`] entry. The global
+/// registry is cumulative across cells, so a cell's mean is the delta of
+/// two snapshots: `(sum1 - sum0) / (count1 - count0)`.
+fn cell_snapshot() -> [(f64, f64); 5] {
+    let summaries = ner_obs::histogram_summaries();
+    CELL_HISTOGRAMS.map(|name| {
+        summaries
+            .iter()
+            .find(|h| h.name == name)
+            .map_or((0.0, 0.0), |h| (h.count as f64, h.count as f64 * h.mean))
+    })
+}
+
+/// Delta-mean between two snapshots of one histogram.
+fn delta_mean((count0, sum0): (f64, f64), (count1, sum1): (f64, f64)) -> f64 {
+    if count1 > count0 {
+        (sum1 - sum0) / (count1 - count0)
+    } else {
+        0.0
+    }
 }
 
 /// Runs one grid cell: boots a fresh server, drives it closed-loop, and
@@ -119,7 +163,7 @@ fn run_cell(
     let addr = server.local_addr();
     let server_thread = std::thread::spawn(move || server.run().expect("server run"));
 
-    let (count0, sum0) = batch_size_snapshot();
+    let snap0 = cell_snapshot();
     let started = Instant::now();
     let per_thread: Vec<(Vec<f64>, usize)> = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..client_threads)
@@ -130,7 +174,7 @@ fn run_cell(
         workers.into_iter().map(|w| w.join().expect("client thread")).collect()
     });
     let wall = started.elapsed().as_secs_f64();
-    let (count1, sum1) = batch_size_snapshot();
+    let snap1 = cell_snapshot();
 
     let resp = client::post(addr, "/admin/shutdown", "").expect("shutdown");
     assert_eq!(resp.status, 200);
@@ -151,7 +195,11 @@ fn run_cell(
         req_per_s: latencies.len() as f64 / wall,
         p50_us: quantile(0.5),
         p99_us: quantile(0.99),
-        mean_batch: if count1 > count0 { (sum1 - sum0) / (count1 - count0) } else { 0.0 },
+        mean_batch: delta_mean(snap0[0], snap1[0]),
+        queue_wait_mean_us: delta_mean(snap0[1], snap1[1]),
+        embed_mean_us: delta_mean(snap0[2], snap1[2]),
+        encode_mean_us: delta_mean(snap0[3], snap1[3]),
+        decode_mean_us: delta_mean(snap0[4], snap1[4]),
         divergences,
     }
 }
@@ -226,9 +274,11 @@ fn main() {
             let (_, pipeline) = build();
             let row = run_cell(pipeline, &workload, max_batch, client_threads, reqs_per_thread);
             ner_obs::info(format!(
-                "max_batch={} clients={}: {:.0} req/s (p50 {:.0}µs, p99 {:.0}µs, mean batch {:.1}, {} divergences)",
+                "max_batch={} clients={}: {:.0} req/s (p50 {:.0}µs, p99 {:.0}µs, mean batch {:.1}, \
+                 qwait {:.0}µs, embed/encode/decode {:.0}/{:.0}/{:.0}µs, {} divergences)",
                 row.max_batch, row.client_threads, row.req_per_s, row.p50_us, row.p99_us,
-                row.mean_batch, row.divergences
+                row.mean_batch, row.queue_wait_mean_us, row.embed_mean_us, row.encode_mean_us,
+                row.decode_mean_us, row.divergences
             ));
             rows.push(row);
         }
@@ -244,7 +294,20 @@ fn main() {
 
     print_table(
         "closed-loop serving throughput",
-        &["max_batch", "clients", "reqs", "req/s", "p50 µs", "p99 µs", "mean batch", "diverged"],
+        &[
+            "max_batch",
+            "clients",
+            "reqs",
+            "req/s",
+            "p50 µs",
+            "p99 µs",
+            "mean batch",
+            "qwait µs",
+            "embed µs",
+            "encode µs",
+            "decode µs",
+            "diverged",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -256,12 +319,41 @@ fn main() {
                     format!("{:.0}", r.p50_us),
                     format!("{:.0}", r.p99_us),
                     format!("{:.1}", r.mean_batch),
+                    format!("{:.0}", r.queue_wait_mean_us),
+                    format!("{:.0}", r.embed_mean_us),
+                    format!("{:.0}", r.encode_mean_us),
+                    format!("{:.0}", r.decode_mean_us),
                     r.divergences.to_string(),
                 ]
             })
             .collect::<Vec<_>>(),
     );
     println!("\nreq/s speedup, max_batch=32 vs 1 at 4 clients: {speedup:.2}×");
+
+    // Whole-run per-stage percentiles: the global histograms accumulated
+    // over every cell, the same data request traces attribute from.
+    let stage_percentiles: Vec<StageQuantiles> = [
+        "serve.queue_wait_us",
+        "infer.featurize_us",
+        "infer.embed_us",
+        "infer.encode_us",
+        "infer.decode_us",
+        "serve.request_us",
+    ]
+    .iter()
+    .filter_map(|name| {
+        ner_obs::histogram_summary(name).map(|h| StageQuantiles {
+            stage: name.to_string(),
+            count: h.count,
+            p50_us: h.p50,
+            p99_us: h.p99,
+        })
+    })
+    .collect();
+    println!("\nper-stage attribution over the whole run (p50 / p99 µs):");
+    for s in &stage_percentiles {
+        println!("  {:<22} {:>8.0} / {:>8.0}  (n={})", s.stage, s.p50_us, s.p99_us, s.count);
+    }
 
     let report = Report {
         experiment: "exp_serving".into(),
@@ -271,6 +363,7 @@ fn main() {
         requested_threads,
         host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         batch32_speedup_at_4_clients: speedup,
+        stage_percentiles,
         rows,
         divergences,
     };

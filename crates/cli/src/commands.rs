@@ -157,7 +157,10 @@ pub fn tag(raw: Vec<String>) -> CmdResult {
 
 /// `serve` — run the batching HTTP server over a checkpoint.
 pub fn serve(raw: Vec<String>) -> CmdResult {
-    let a = parse(raw, &["ckpt", "addr", "max-batch", "max-wait-us", "queue-cap", "timeout-ms"])?;
+    let a = parse(
+        raw,
+        &["ckpt", "addr", "max-batch", "max-wait-us", "queue-cap", "timeout-ms", "trace-ring"],
+    )?;
     let ckpt = a.require("ckpt")?.to_string();
     let addr = a.get("addr").unwrap_or("127.0.0.1:8080").to_string();
     let defaults = ner_serve::ServeConfig::default();
@@ -170,6 +173,7 @@ pub fn serve(raw: Vec<String>) -> CmdResult {
         request_timeout: std::time::Duration::from_millis(
             a.get_parsed("timeout-ms", defaults.request_timeout.as_millis() as u64)?,
         ),
+        trace_recent: a.get_parsed("trace-ring", defaults.trace_recent)?,
         ..defaults
     };
     if config.max_batch == 0 || config.queue_cap == 0 {
@@ -365,6 +369,152 @@ pub fn report(raw: Vec<String>) -> CmdResult {
         }
     }
     Ok(())
+}
+
+/// `trace` — render per-request waterfalls from a serving flight recorder
+/// (`http://HOST:PORT`, fetched via `GET /admin/trace`) or from the
+/// `"trace"` records of a JSONL run log.
+pub fn trace(raw: Vec<String>) -> CmdResult {
+    let a = parse(raw, &["top"])?;
+    let top = a.get_parsed("top", 8usize)?;
+    let pos = a.positional();
+    if pos.len() != 1 {
+        return Err("usage: neural-ner trace <RUN.jsonl|http://HOST:PORT> [--top N]".into());
+    }
+    let source = &pos[0];
+    let mut records = if let Some(addr) = source.strip_prefix("http://") {
+        fetch_traces(addr.trim_end_matches('/'))?
+    } else {
+        read_traces_jsonl(source)?
+    };
+    if records.is_empty() {
+        return Err(format!(
+            "no traces in {source} (serve some /v1/extract traffic first, or pass a \
+             run log written with --log-json while serving)"
+        )
+        .into());
+    }
+    // Dedup (a trace can be both "recent" and "slowest"), slowest first.
+    records.sort_by(|x, y| y.total_us.total_cmp(&x.total_us));
+    records.dedup_by(|x, y| x.id == y.id);
+    render_trace_split(&records);
+    println!();
+    for rec in records.iter().take(top) {
+        render_trace_waterfall(rec);
+    }
+    if records.len() > top {
+        println!("... and {} more traces (raise --top to see them)", records.len() - top);
+    }
+    Ok(())
+}
+
+/// Pulls `GET /admin/trace` from a running server.
+fn fetch_traces(addr: &str) -> Result<Vec<ner_obs::trace::TraceRecord>, Box<dyn Error>> {
+    use std::net::ToSocketAddrs;
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("cannot resolve {addr}"))?;
+    let resp = ner_serve::client::get(sock, "/admin/trace")
+        .map_err(|e| format!("GET http://{addr}/admin/trace failed: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("GET /admin/trace returned {}: {}", resp.status, resp.body).into());
+    }
+    let snap: ner_obs::trace::FlightSnapshot = serde_json::from_str(&resp.body)
+        .map_err(|e| format!("cannot parse /admin/trace body: {e:?}"))?;
+    let mut records = snap.slowest;
+    records.extend(snap.recent);
+    Ok(records)
+}
+
+/// Collects the `"trace"` records of a JSONL run log.
+fn read_traces_jsonl(path: &str) -> Result<Vec<ner_obs::trace::TraceRecord>, Box<dyn Error>> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut records = Vec::new();
+    for (i, l) in text.lines().enumerate() {
+        if l.trim().is_empty() {
+            continue;
+        }
+        let line: ner_obs::LogLine = serde_json::from_str(l)
+            .map_err(|e| format!("{path}:{}: not a run-log line ({e:?})", i + 1))?;
+        if let ner_obs::Event::Record { kind, body } = line.event {
+            if kind == "trace" {
+                let rec = serde::Deserialize::deserialize(&body)
+                    .map_err(|e| format!("{path}:{}: bad trace record ({e:?})", i + 1))?;
+                records.push(rec);
+            }
+        }
+    }
+    Ok(records)
+}
+
+/// The queue-vs-compute split aggregated over every trace: where does a
+/// served request's wall time go, on average?
+fn render_trace_split(records: &[ner_obs::trace::TraceRecord]) {
+    let mut queue = 0.0;
+    let mut compute = 0.0;
+    let mut respond = 0.0;
+    let mut other = 0.0;
+    for rec in records {
+        for s in &rec.stages {
+            match s.stage.as_str() {
+                "queue_wait" | "batch_form" => queue += s.us,
+                "featurize" | "embed" | "encode" | "decode" => compute += s.us,
+                "respond" => respond += s.us,
+                _ => other += s.us,
+            }
+        }
+    }
+    let sum = queue + compute + respond + other;
+    println!("== queue vs compute ({} traces) ==", records.len());
+    if sum <= 0.0 {
+        println!("no stage data");
+        return;
+    }
+    let pct = |v: f64| 100.0 * v / sum;
+    print!(
+        "queue {:.0}% (wait+batch-form)   compute {:.0}% (featurize+embed+encode+decode)   \
+         respond {:.0}%",
+        pct(queue),
+        pct(compute),
+        pct(respond)
+    );
+    if other > 0.0 {
+        print!("   other {:.0}%", pct(other));
+    }
+    println!();
+}
+
+/// One trace as a per-stage waterfall, stage durations aggregated by
+/// label (a batch request repeats labels per item).
+fn render_trace_waterfall(rec: &ner_obs::trace::TraceRecord) {
+    print!(
+        "trace {}  {}  status {}  total {:.0}us",
+        rec.id, rec.endpoint, rec.status, rec.total_us
+    );
+    if rec.batch_id > 0 {
+        print!("  batch #{} (size {})", rec.batch_id, rec.batch_size);
+    }
+    println!();
+    let mut stages: Vec<(String, f64)> = Vec::new();
+    for s in &rec.stages {
+        match stages.iter_mut().find(|(n, _)| *n == s.stage) {
+            Some((_, us)) => *us += s.us,
+            None => stages.push((s.stage.clone(), s.us)),
+        }
+    }
+    const BAR: usize = 36;
+    for (name, us) in &stages {
+        let frac = if rec.total_us > 0.0 { (us / rec.total_us).clamp(0.0, 1.0) } else { 0.0 };
+        let filled = (frac * BAR as f64).round() as usize;
+        println!(
+            "  {name:<12} {us:>9.0}us {:>5.1}%  |{}{}|",
+            100.0 * frac,
+            "#".repeat(filled),
+            " ".repeat(BAR - filled)
+        );
+    }
 }
 
 fn parse_scheme(s: &str) -> Result<TagScheme, Box<dyn Error>> {

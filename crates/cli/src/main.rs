@@ -17,9 +17,10 @@ USAGE:
   neural-ner train    --train FILE --model FILE [--dev FILE] [--preset NAME] [--epochs N] [--seed S] [--quiet]
   neural-ner eval     --model FILE --data FILE
   neural-ner tag      --model FILE [TEXT ...]        (reads stdin when no TEXT)
-  neural-ner serve    --ckpt FILE [--addr A] [--max-batch N] [--max-wait-us T] [--queue-cap Q] [--timeout-ms D]
+  neural-ner serve    --ckpt FILE [--addr A] [--max-batch N] [--max-wait-us T] [--queue-cap Q] [--timeout-ms D] [--trace-ring N]
   neural-ner zoo
   neural-ner report   RUN.jsonl
+  neural-ner trace    <RUN.jsonl|http://HOST:PORT> [--top N]
 
 COMMANDS:
   generate   write a synthetic annotated corpus in CoNLL format
@@ -27,10 +28,14 @@ COMMANDS:
   eval       exact + relaxed span metrics of a checkpoint on a corpus
   tag        annotate raw text with a trained checkpoint
   serve      HTTP server with dynamic micro-batching over a checkpoint
-             (POST /v1/extract and /v1/extract_batch; GET /healthz, /metrics;
-              POST /admin/reload swaps the checkpoint in without downtime)
+             (POST /v1/extract and /v1/extract_batch; GET /healthz, /metrics
+              in Prometheus format, /admin/trace for the flight recorder;
+              POST /admin/reload swaps the checkpoint in without downtime;
+              every response carries an x-trace-id, ?trace=1 inlines stages)
   zoo        list the available architecture presets (Table 3 families)
   report     summarize a JSONL run log (loss curve, latency, slowest spans)
+  trace      per-request waterfalls and queue-vs-compute split from a live
+             server's /admin/trace or a run log's \"trace\" records
 
 GLOBAL OPTIONS (any command):
   --verbosity LEVEL   stderr chatter: quiet|normal|verbose|trace (or 0-3)
@@ -91,6 +96,7 @@ fn main() -> ExitCode {
         "serve" => commands::serve(rest),
         "zoo" => commands::zoo(rest),
         "report" => commands::report(rest),
+        "trace" => commands::trace(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

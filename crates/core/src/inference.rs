@@ -63,11 +63,19 @@ impl NerPipeline {
     ///
     /// Feeds the `infer.sentence_us` latency histogram and the
     /// `infer.tokens` counter, from which tokens/sec throughput is derived;
-    /// the plan adds per-stage `infer.{embed,encode,decode}_us` histograms
-    /// and `infer.cache.{hits,misses}` counters.
+    /// the plan adds per-stage `infer.{featurize,embed,encode,decode}_us`
+    /// histograms and `infer.cache.{hits,misses}` counters. Each stage
+    /// observation also lands on the thread's active
+    /// [`ner_obs::trace::TraceCtx`], if one is installed.
     pub fn annotate(&self, sentence: &Sentence) -> Sentence {
+        use crate::plan::stage;
         let t = std::time::Instant::now();
         let enc = self.encoder.encode(sentence);
+        ner_obs::trace::observe_stage(
+            stage::FEATURIZE_US,
+            stage::FEATURIZE,
+            t.elapsed().as_secs_f64() * 1e6,
+        );
         let spans = self.model.predict_spans_planned(&self.plan, &enc);
         ner_obs::observe("infer.sentence_us", t.elapsed().as_secs_f64() * 1e6);
         ner_obs::counter("infer.tokens", sentence.len() as f64);
@@ -111,11 +119,36 @@ impl NerPipeline {
     /// at any thread count; each sentence still feeds the
     /// `infer.sentence_us` histogram individually.
     pub fn extract_batch(&self, texts: &[&str]) -> Vec<Sentence> {
+        self.extract_batch_traced(texts, &[])
+    }
+
+    /// [`extract_batch`](Self::extract_batch) with per-request trace
+    /// attribution: `traces[i]` (when present) is installed as the scoring
+    /// thread's active [`TraceCtx`](ner_obs::trace::TraceCtx) while text
+    /// `i` scores, so the per-stage `infer.*` timings land on the owning
+    /// request, and a `batch_form` stage records how long the request sat
+    /// between dequeue and its own scoring slot. `traces` may be shorter
+    /// than `texts` (missing entries score untraced); outputs are
+    /// byte-identical either way.
+    pub fn extract_batch_traced(
+        &self,
+        texts: &[&str],
+        traces: &[Option<ner_obs::trace::TraceCtx>],
+    ) -> Vec<Sentence> {
+        use crate::plan::stage;
+        let score = |i: usize| match traces.get(i).and_then(Option::as_ref) {
+            Some(trace) => {
+                trace.stage_since_mark(stage::BATCH_FORM, stage::MARK_DEQUEUE);
+                let _active = trace.install();
+                self.extract(texts[i])
+            }
+            None => self.extract(texts[i]),
+        };
         let pool = ner_par::global();
         if pool.threads() <= 1 || texts.len() < 2 {
-            return texts.iter().map(|t| self.extract(t)).collect();
+            return (0..texts.len()).map(score).collect();
         }
-        let out = pool.map(texts.len(), |i| self.extract(texts[i]));
+        let out = pool.map(texts.len(), score);
         export_pool_stats();
         out
     }

@@ -256,12 +256,15 @@ impl NerModel {
     /// SAME layer forwards as the tape path, driven by the `FusedExec`
     /// backend (fused kernels, pooled buffers, plan caches), so the
     /// predictions are bit-identical. Feeds the `infer.embed_us` /
-    /// `infer.encode_us` / `infer.decode_us` per-stage latency histograms.
+    /// `infer.encode_us` / `infer.decode_us` per-stage latency histograms —
+    /// and, when a [`ner_obs::trace::TraceCtx`] is installed on this
+    /// thread, attributes the same stage timings to the owning request.
     pub fn predict_spans_planned(
         &self,
         plan: &ForwardPlan,
         enc: &EncodedSentence,
     ) -> Vec<EntitySpan> {
+        use crate::plan::stage;
         let mut ex = FusedExec::new(&self.store).with_pe_cache(plan.pe_cache());
         let t0 = std::time::Instant::now();
         let x = self.input.forward(&mut ex, &self.store, enc, plan.token_cache());
@@ -269,9 +272,10 @@ impl NerModel {
         let h = self.encoder.forward(&mut ex, &self.store, x);
         let t2 = std::time::Instant::now();
         let spans = self.decode_from_states(&mut ex, h, plan.crf_tables());
-        ner_obs::observe("infer.embed_us", (t1 - t0).as_secs_f64() * 1e6);
-        ner_obs::observe("infer.encode_us", (t2 - t1).as_secs_f64() * 1e6);
-        ner_obs::observe("infer.decode_us", t2.elapsed().as_secs_f64() * 1e6);
+        let tee = ner_obs::trace::observe_stage;
+        tee(stage::EMBED_US, stage::EMBED, (t1 - t0).as_secs_f64() * 1e6);
+        tee(stage::ENCODE_US, stage::ENCODE, (t2 - t1).as_secs_f64() * 1e6);
+        tee(stage::DECODE_US, stage::DECODE, t2.elapsed().as_secs_f64() * 1e6);
         spans
     }
 

@@ -37,6 +37,41 @@ use std::sync::Mutex;
 /// Default capacity of the per-plan token feature cache.
 pub const DEFAULT_TOKEN_CACHE: usize = 4096;
 
+/// Canonical names for the per-request inference stages: the histogram
+/// each stage feeds and the short label it carries inside a
+/// [`TraceRecord`](ner_obs::trace::TraceRecord). Sharing one vocabulary
+/// across the model, the serving layer, the benches, and the CLI renderer
+/// keeps "where did this request's time go" answerable by exact string
+/// match everywhere.
+pub mod stage {
+    /// Histogram fed by sentence featurization (vocabulary lookups and
+    /// feature-id encoding, before any tensor work).
+    pub const FEATURIZE_US: &str = "infer.featurize_us";
+    /// Histogram fed by the input layer (embeddings + char composition).
+    pub const EMBED_US: &str = "infer.embed_us";
+    /// Histogram fed by the context encoder (BiLSTM/Transformer/...).
+    pub const ENCODE_US: &str = "infer.encode_us";
+    /// Histogram fed by tag decoding (CRF Viterbi or softmax argmax).
+    pub const DECODE_US: &str = "infer.decode_us";
+
+    /// Trace label for the featurization stage.
+    pub const FEATURIZE: &str = "featurize";
+    /// Trace label for the input-layer stage.
+    pub const EMBED: &str = "embed";
+    /// Trace label for the context-encoder stage.
+    pub const ENCODE: &str = "encode";
+    /// Trace label for the decoding stage.
+    pub const DECODE: &str = "decode";
+    /// Trace label for time spent queued in the serving batcher.
+    pub const QUEUE_WAIT: &str = "queue_wait";
+    /// Trace label for batch formation: dequeue until this request's own
+    /// scoring starts (covers in-batch waiting on a busy pool).
+    pub const BATCH_FORM: &str = "batch_form";
+    /// Trace mark set by the batcher at dequeue time; [`BATCH_FORM`] is
+    /// measured from it.
+    pub const MARK_DEQUEUE: &str = "dequeue";
+}
+
 const NIL: usize = usize::MAX;
 
 /// A compiled, reusable inference plan for one model (see module docs).

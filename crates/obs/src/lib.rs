@@ -26,6 +26,8 @@
 
 #![warn(missing_docs)]
 
+pub mod trace;
+
 use serde::{Deserialize, Serialize, Value};
 use std::cell::RefCell;
 use std::io::Write as _;
@@ -291,6 +293,39 @@ impl Histogram {
             p99: self.quantile(0.99),
         }
     }
+
+    /// Full bucket contents under a metric name, with *cumulative* bucket
+    /// counts — the shape Prometheus text exposition wants (`le`-labeled
+    /// bucket series are counts of observations ≤ the bound). The implicit
+    /// overflow bucket is folded into `count` (the `+Inf` series).
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let mut cumulative = 0u64;
+        let buckets = self
+            .bounds
+            .iter()
+            .zip(&self.counts)
+            .map(|(&le, &c)| {
+                cumulative += c;
+                (le, cumulative)
+            })
+            .collect();
+        HistogramSnapshot { name: name.to_string(), buckets, count: self.count, sum: self.sum }
+    }
+}
+
+/// Point-in-time bucket dump of a [`Histogram`] with cumulative counts,
+/// ready for Prometheus-style exposition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// `(upper_bound, observations ≤ upper_bound)`, ascending. Does not
+    /// include the `+Inf` bucket — that is [`count`](HistogramSnapshot::count).
+    pub buckets: Vec<(f64, u64)>,
+    /// Total observation count (the `+Inf` cumulative bucket).
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
 }
 
 /// Point-in-time percentile summary of a [`Histogram`].
@@ -677,6 +712,12 @@ pub fn gauges() -> Vec<(String, f64)> {
 /// Summaries of every non-empty histogram, in registration order.
 pub fn histogram_summaries() -> Vec<HistogramSummary> {
     lock().histograms.iter().filter(|(_, h)| !h.is_empty()).map(|(n, h)| h.summary(n)).collect()
+}
+
+/// Cumulative-bucket snapshots of every non-empty histogram, in
+/// registration order — the raw material for Prometheus exposition.
+pub fn histogram_snapshots() -> Vec<HistogramSnapshot> {
+    lock().histograms.iter().filter(|(_, h)| !h.is_empty()).map(|(n, h)| h.snapshot(n)).collect()
 }
 
 /// Current value of a gauge, if any.

@@ -1,0 +1,459 @@
+//! Per-request tracing: [`TraceCtx`] spans one request end to end, and a
+//! global **flight recorder** keeps the last completed traces (slowest
+//! pinned) for post-hoc inspection via `GET /admin/trace` or the JSONL
+//! run log.
+//!
+//! The design is allocation-light and lock-cheap on the request path:
+//!
+//! * a trace is an `Arc` around a small `Mutex`-protected event vector —
+//!   cloning it across the batcher thread boundary is one refcount bump;
+//! * stage events are appended by whichever thread currently owns the
+//!   request (connection thread, dispatcher, scoring worker) — the mutex
+//!   is only ever contended for nanosecond-scale pushes;
+//! * instrumented library code (e.g. the per-stage timers in
+//!   `ner-core`) does not take a `TraceCtx` parameter. Instead the
+//!   serving layer [`install`](TraceCtx::install)s the trace into a
+//!   thread-local before scoring, and [`observe_stage`] tees each stage
+//!   observation into both the global histogram and the active trace.
+//!   Code running outside any trace pays one thread-local read.
+//!
+//! A trace is sealed exactly once by [`finish`](TraceCtx::finish), which
+//! appends a final `respond` stage covering the tail (result hand-off and
+//! serialization), pushes the completed [`TraceRecord`] into the flight
+//! recorder, and — when a sink is installed — emits it as a `"trace"`
+//! record on the JSONL run log.
+
+use crate::{emit_record, observe};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Records (the serializable wire/log form)
+// ---------------------------------------------------------------------------
+
+/// One timed stage inside a trace.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceStage {
+    /// Stage label, e.g. `queue_wait`, `embed`, `decode`.
+    pub stage: String,
+    /// Stage duration in microseconds.
+    pub us: f64,
+    /// Offset from the trace start (microseconds) at which the stage was
+    /// recorded — i.e. when the stage *ended*.
+    pub at_us: f64,
+}
+
+/// A completed trace: what `?trace=1` inlines, `GET /admin/trace` dumps,
+/// and the JSONL sink logs under kind `"trace"`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Process-unique trace id (16 hex digits), also sent as the
+    /// `x-trace-id` response header.
+    pub id: String,
+    /// What the request hit, e.g. `/v1/extract`.
+    pub endpoint: String,
+    /// HTTP status the request was answered with.
+    pub status: u64,
+    /// End-to-end duration in microseconds (ingress to seal).
+    pub total_us: f64,
+    /// Id of the scoring batch this request rode in (0 = never batched,
+    /// e.g. a 4xx before scoring).
+    pub batch_id: u64,
+    /// How many requests shared that batch.
+    pub batch_size: u64,
+    /// Timed stages in completion order.
+    pub stages: Vec<TraceStage>,
+}
+
+impl TraceRecord {
+    /// Sum of all stage durations — for batch requests whose items score
+    /// in parallel this can exceed [`total_us`](TraceRecord::total_us).
+    pub fn stage_sum_us(&self) -> f64 {
+        self.stages.iter().map(|s| s.us).sum()
+    }
+
+    /// Total microseconds attributed to `stage` (a label may repeat, e.g.
+    /// once per item of a batch request).
+    pub fn stage_us(&self, stage: &str) -> f64 {
+        self.stages.iter().filter(|s| s.stage == stage).map(|s| s.us).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace ids
+// ---------------------------------------------------------------------------
+
+/// Finalizer of splitmix64 — a bijection on `u64`, so distinct inputs give
+/// distinct ids without any coordination.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Process-unique 64-bit trace id: a per-boot random-ish seed (clock ⊕
+/// pid) mixed with an atomic counter through a bijective finalizer.
+fn next_trace_id() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let seed = *SEED.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos() as u64);
+        nanos ^ (u64::from(std::process::id()) << 32)
+    });
+    splitmix64(seed ^ COUNTER.fetch_add(1, Ordering::Relaxed))
+}
+
+// ---------------------------------------------------------------------------
+// TraceCtx
+// ---------------------------------------------------------------------------
+
+/// Mutable trace state behind the shared mutex.
+#[derive(Default)]
+struct Data {
+    endpoint: String,
+    stages: Vec<TraceStage>,
+    /// Named time marks (`at_us` offsets); last write wins per name.
+    marks: Vec<(&'static str, f64)>,
+    batch_id: u64,
+    batch_size: u64,
+    status: u64,
+    total_us: f64,
+}
+
+struct Shared {
+    id: u64,
+    start: Instant,
+    finished: AtomicBool,
+    data: Mutex<Data>,
+}
+
+/// A live per-request trace. Clones share state (`Arc`), so the serving
+/// layer can hand one clone to the batcher while the connection thread
+/// keeps another; whoever finishes last still appends to the same record.
+#[derive(Clone)]
+pub struct TraceCtx {
+    shared: Arc<Shared>,
+}
+
+impl TraceCtx {
+    /// Opens a trace for one request against `endpoint`. The clock starts
+    /// now; every stage offset is relative to this instant.
+    pub fn new(endpoint: &str) -> TraceCtx {
+        TraceCtx {
+            shared: Arc::new(Shared {
+                id: next_trace_id(),
+                start: Instant::now(),
+                finished: AtomicBool::new(false),
+                data: Mutex::new(Data { endpoint: endpoint.to_string(), ..Data::default() }),
+            }),
+        }
+    }
+
+    /// The trace id as 16 lowercase hex digits.
+    pub fn id_hex(&self) -> String {
+        format!("{:016x}", self.shared.id)
+    }
+
+    /// Microseconds since the trace opened.
+    pub fn elapsed_us(&self) -> f64 {
+        self.shared.start.elapsed().as_secs_f64() * 1e6
+    }
+
+    fn data(&self) -> std::sync::MutexGuard<'_, Data> {
+        self.shared.data.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends a stage with an explicit duration, stamped at the current
+    /// offset.
+    pub fn stage(&self, name: &str, us: f64) {
+        let at_us = self.elapsed_us();
+        self.data().stages.push(TraceStage { stage: name.to_string(), us, at_us });
+    }
+
+    /// Sets (or moves) a named time mark to *now* — a lightweight anchor
+    /// for [`stage_since_mark`](TraceCtx::stage_since_mark). Marks are not
+    /// serialized into the record.
+    pub fn mark(&self, name: &'static str) {
+        let at_us = self.elapsed_us();
+        let mut data = self.data();
+        match data.marks.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, at)) => *at = at_us,
+            None => data.marks.push((name, at_us)),
+        }
+    }
+
+    /// Appends a stage whose duration is measured from the named mark (or
+    /// from the trace start when the mark was never set) to now.
+    pub fn stage_since_mark(&self, name: &str, mark: &str) {
+        let at_us = self.elapsed_us();
+        let mut data = self.data();
+        let from = data.marks.iter().find(|(n, _)| *n == mark).map_or(0.0, |(_, at)| *at);
+        let us = (at_us - from).max(0.0);
+        data.stages.push(TraceStage { stage: name.to_string(), us, at_us });
+    }
+
+    /// Records which scoring batch carried this request.
+    pub fn set_batch(&self, batch_id: u64, batch_size: u64) {
+        let mut data = self.data();
+        data.batch_id = batch_id;
+        data.batch_size = batch_size;
+    }
+
+    /// Makes this trace the thread's active trace until the guard drops;
+    /// [`observe_stage`] calls on this thread tee into it. Nests: the
+    /// previous active trace is restored on drop.
+    #[must_use = "the trace is only active while the guard lives"]
+    pub fn install(&self) -> ActiveGuard {
+        ACTIVE.with(|stack| stack.borrow_mut().push(self.clone()));
+        ActiveGuard { _not_send: std::marker::PhantomData }
+    }
+
+    /// Seals the trace: stamps the total and HTTP status, appends a final
+    /// `respond` stage covering the unattributed tail, pushes the record
+    /// into the flight recorder, and emits it to any JSONL sink. Exactly
+    /// one call seals; later calls just return the sealed record.
+    pub fn finish(&self, status: u64) -> TraceRecord {
+        let first = !self.shared.finished.swap(true, Ordering::AcqRel);
+        let record = {
+            let mut data = self.data();
+            if first {
+                let total_us = self.elapsed_us();
+                data.total_us = total_us;
+                data.status = status;
+                let covered = data.stages.last().map_or(0.0, |s| s.at_us);
+                let tail = total_us - covered;
+                if tail > 0.0 {
+                    data.stages.push(TraceStage {
+                        stage: "respond".to_string(),
+                        us: tail,
+                        at_us: total_us,
+                    });
+                }
+            }
+            TraceRecord {
+                id: self.id_hex(),
+                endpoint: data.endpoint.clone(),
+                status: data.status,
+                total_us: data.total_us,
+                batch_id: data.batch_id,
+                batch_size: data.batch_size,
+                stages: data.stages.clone(),
+            }
+        };
+        if first {
+            recorder().lock().unwrap_or_else(|e| e.into_inner()).push(record.clone());
+            emit_record("trace", &record);
+        }
+        record
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Vec<TraceCtx>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Keeps a trace installed as the thread's active trace; restores the
+/// previous one when dropped.
+pub struct ActiveGuard {
+    /// The guard must drop on the thread that created it.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+/// Records `us` into the named global histogram **and** appends it as a
+/// `stage` event on the thread's active trace, if one is installed. This
+/// is how per-stage instrumentation deep inside the model attributes its
+/// timings to the owning request without threading a context through
+/// every call signature.
+pub fn observe_stage(metric: &str, stage: &'static str, us: f64) {
+    observe(metric, us);
+    ACTIVE.with(|stack| {
+        if let Some(trace) = stack.borrow().last() {
+            trace.stage(stage, us);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+/// Default size of the recent-traces ring.
+pub const DEFAULT_RECENT_CAP: usize = 64;
+/// Default number of slowest traces pinned alongside the ring.
+pub const DEFAULT_SLOWEST_CAP: usize = 8;
+
+/// The always-on ring of completed traces: the last `recent_cap` in
+/// completion order, plus the `slowest_cap` largest-`total_us` traces
+/// pinned so a burst of fast requests cannot evict the outlier you are
+/// hunting.
+struct FlightRecorder {
+    recent: VecDeque<TraceRecord>,
+    recent_cap: usize,
+    slowest: Vec<TraceRecord>,
+    slowest_cap: usize,
+}
+
+impl FlightRecorder {
+    fn push(&mut self, record: TraceRecord) {
+        while self.recent.len() >= self.recent_cap.max(1) {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(record.clone());
+        let pos = self
+            .slowest
+            .iter()
+            .position(|r| r.total_us < record.total_us)
+            .unwrap_or(self.slowest.len());
+        self.slowest.insert(pos, record);
+        self.slowest.truncate(self.slowest_cap);
+    }
+}
+
+fn recorder() -> &'static Mutex<FlightRecorder> {
+    static RECORDER: OnceLock<Mutex<FlightRecorder>> = OnceLock::new();
+    RECORDER.get_or_init(|| {
+        Mutex::new(FlightRecorder {
+            recent: VecDeque::new(),
+            recent_cap: DEFAULT_RECENT_CAP,
+            slowest: Vec::new(),
+            slowest_cap: DEFAULT_SLOWEST_CAP,
+        })
+    })
+}
+
+/// Point-in-time dump of the flight recorder (the `GET /admin/trace`
+/// payload).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlightSnapshot {
+    /// Last completed traces, oldest first.
+    pub recent: Vec<TraceRecord>,
+    /// Slowest completed traces, slowest first.
+    pub slowest: Vec<TraceRecord>,
+}
+
+/// Resizes the flight recorder (existing entries beyond the new caps are
+/// dropped). Zero caps are clamped to 1.
+pub fn configure_flight_recorder(recent_cap: usize, slowest_cap: usize) {
+    let mut rec = recorder().lock().unwrap_or_else(|e| e.into_inner());
+    rec.recent_cap = recent_cap.max(1);
+    rec.slowest_cap = slowest_cap.max(1);
+    while rec.recent.len() > rec.recent_cap {
+        rec.recent.pop_front();
+    }
+    let cap = rec.slowest_cap;
+    rec.slowest.truncate(cap);
+}
+
+/// Snapshot of the flight recorder.
+pub fn flight_snapshot() -> FlightSnapshot {
+    let rec = recorder().lock().unwrap_or_else(|e| e.into_inner());
+    FlightSnapshot { recent: rec.recent.iter().cloned().collect(), slowest: rec.slowest.clone() }
+}
+
+/// Empties the flight recorder — test helper.
+pub fn reset_flight_recorder() {
+    let mut rec = recorder().lock().unwrap_or_else(|e| e.into_inner());
+    rec.recent.clear();
+    rec.slowest.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_and_hex() {
+        let a = TraceCtx::new("/x");
+        let b = TraceCtx::new("/x");
+        assert_ne!(a.id_hex(), b.id_hex());
+        assert_eq!(a.id_hex().len(), 16);
+        assert!(a.id_hex().chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn stages_accumulate_and_finish_seals_once() {
+        let t = TraceCtx::new("/v1/extract");
+        t.stage("queue_wait", 120.0);
+        t.mark("dequeue");
+        t.stage_since_mark("batch_form", "dequeue");
+        t.set_batch(3, 4);
+        let rec = t.finish(200);
+        assert_eq!(rec.endpoint, "/v1/extract");
+        assert_eq!(rec.status, 200);
+        assert_eq!((rec.batch_id, rec.batch_size), (3, 4));
+        assert_eq!(rec.stages.first().unwrap().stage, "queue_wait");
+        // A `respond` tail stage covers total − last stage offset.
+        assert_eq!(rec.stages.last().unwrap().stage, "respond");
+        assert!(rec.total_us > 0.0);
+        // Second finish returns the same sealed record, ignoring the new
+        // status.
+        let again = t.finish(500);
+        assert_eq!(again.status, 200);
+        assert_eq!(again.total_us, rec.total_us);
+    }
+
+    #[test]
+    fn observe_stage_tees_into_the_installed_trace() {
+        let t = TraceCtx::new("/v1/extract");
+        {
+            let _active = t.install();
+            observe_stage("infer.test_stage_us", "embed", 42.0);
+        }
+        // After the guard drops the tee is inert.
+        observe_stage("infer.test_stage_us", "embed", 7.0);
+        let rec = t.finish(200);
+        assert_eq!(rec.stage_us("embed"), 42.0);
+    }
+
+    #[test]
+    fn flight_recorder_evicts_recent_but_pins_slowest() {
+        // The recorder is process-global; distinct endpoint tags keep this
+        // test's records identifiable next to other tests' traffic.
+        let tag = "/test/flight_pins";
+        let mk = |us: f64| {
+            let t = TraceCtx::new(tag);
+            t.stage("queue_wait", us); // irrelevant to total
+            let rec = t.finish(200);
+            (rec.id.clone(), us)
+        };
+        let mut slow = Vec::new();
+        for i in 0..(DEFAULT_RECENT_CAP + 8) {
+            slow.push(mk(i as f64));
+        }
+        let snap = flight_snapshot();
+        assert!(snap.recent.len() <= DEFAULT_RECENT_CAP);
+        assert!(snap.slowest.len() <= DEFAULT_SLOWEST_CAP);
+        // The most recent of ours must still be in the ring.
+        let last_id = &slow.last().unwrap().0;
+        assert!(snap.recent.iter().any(|r| &r.id == last_id));
+        // Slowest list is ordered.
+        for pair in snap.slowest.windows(2) {
+            assert!(pair[0].total_us >= pair[1].total_us);
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let t = TraceCtx::new("/v1/extract");
+        t.stage("embed", 10.0);
+        let rec = t.finish(200);
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: TraceRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+    }
+}

@@ -21,6 +21,8 @@
 //!   graceful stop loses nothing in flight.
 
 use crate::state::ServeState;
+use ner_core::plan::stage;
+use ner_obs::trace::TraceCtx;
 use ner_text::Sentence;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -51,6 +53,9 @@ struct Pending {
     enqueued: Instant,
     deadline: Instant,
     reply: mpsc::SyncSender<Outcome>,
+    /// The owning request's trace, when the caller wants queue-wait and
+    /// per-stage scoring timings attributed to it.
+    trace: Option<TraceCtx>,
 }
 
 struct Shared {
@@ -92,6 +97,19 @@ impl Batcher {
         text: String,
         deadline: Instant,
     ) -> Result<mpsc::Receiver<Outcome>, SubmitError> {
+        self.submit_traced(text, deadline, None)
+    }
+
+    /// [`submit`](Batcher::submit) with a request trace attached: the
+    /// dispatcher records the entry's queue wait and batch id/size on it,
+    /// and installs it while the text scores so the `infer.*` stage
+    /// timings attribute to the owning request.
+    pub fn submit_traced(
+        &self,
+        text: String,
+        deadline: Instant,
+        trace: Option<TraceCtx>,
+    ) -> Result<mpsc::Receiver<Outcome>, SubmitError> {
         if self.shared.state.is_shutting_down() || self.shared.stop.load(Ordering::Acquire) {
             return Err(SubmitError::ShuttingDown);
         }
@@ -102,7 +120,7 @@ impl Batcher {
                 ner_obs::counter("serve.rejected", 1.0);
                 return Err(SubmitError::QueueFull);
             }
-            queue.push_back(Pending { text, enqueued: Instant::now(), deadline, reply });
+            queue.push_back(Pending { text, enqueued: Instant::now(), deadline, reply, trace });
             ner_obs::gauge("serve.queue_depth", queue.len() as f64);
         }
         self.shared.arrived.notify_one();
@@ -128,6 +146,9 @@ impl Drop for Batcher {
 
 fn dispatch_loop(shared: Arc<Shared>) {
     let cfg = shared.state.config.clone();
+    // Scored-batch ids, unique per dispatcher lifetime; traces carry them
+    // so a slow request can be correlated with its batch mates.
+    let mut batch_seq: u64 = 0;
     loop {
         // Waiting for the window can only buy throughput while the batch is
         // still narrower than the scoring pool: extra requests beyond the
@@ -171,9 +192,20 @@ fn dispatch_loop(shared: Arc<Shared>) {
             }
         };
 
+        // Dequeue is the end of queue wait for everything in the batch —
+        // including requests about to be shed as expired (their traces
+        // should still show where the time went).
+        let now = Instant::now();
+        for p in &batch {
+            let wait_us = now.duration_since(p.enqueued).as_secs_f64() * 1e6;
+            ner_obs::observe("serve.queue_wait_us", wait_us);
+            if let Some(trace) = &p.trace {
+                trace.stage(stage::QUEUE_WAIT, wait_us);
+                trace.mark(stage::MARK_DEQUEUE);
+            }
+        }
         // Expired requests are answered without being scored; the rest
         // form the scoring batch.
-        let now = Instant::now();
         let (expired, live): (Vec<Pending>, Vec<Pending>) =
             batch.into_iter().partition(|p| p.deadline <= now);
         for p in expired {
@@ -187,11 +219,18 @@ fn dispatch_loop(shared: Arc<Shared>) {
         if !cfg.score_delay.is_zero() {
             std::thread::sleep(cfg.score_delay);
         }
+        batch_seq += 1;
+        for p in &live {
+            if let Some(trace) = &p.trace {
+                trace.set_batch(batch_seq, live.len() as u64);
+            }
+        }
         // Hold one pipeline snapshot for the whole batch: a concurrent
         // reload swaps the Arc for *later* batches only.
         let pipeline = shared.state.pipeline();
         let texts: Vec<&str> = live.iter().map(|p| p.text.as_str()).collect();
-        let scored = pipeline.extract_batch(&texts);
+        let traces: Vec<Option<TraceCtx>> = live.iter().map(|p| p.trace.clone()).collect();
+        let scored = pipeline.extract_batch_traced(&texts, &traces);
         ner_obs::observe("serve.batch_size", scored.len() as f64);
 
         let done = Instant::now();

@@ -33,6 +33,24 @@ impl Request {
         self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
     }
 
+    /// The request path with any query string removed — what routing
+    /// matches on (`/metrics?format=json` → `/metrics`).
+    pub fn route_path(&self) -> &str {
+        self.path.split('?').next().unwrap_or(&self.path)
+    }
+
+    /// Value of one query parameter. `?a=1&b=2` yields `Some("1")` for
+    /// `a`; a bare flag (`?trace`) yields `Some("")`; an absent name
+    /// yields `None`. No percent-decoding — the serving API only uses
+    /// simple token values.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        let (_, query) = self.path.split_once('?')?;
+        query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
+    }
+
     /// True when the client asked to close the connection after this
     /// exchange (HTTP/1.1 defaults to keep-alive).
     pub fn wants_close(&self) -> bool {
@@ -198,6 +216,13 @@ impl Response {
         self
     }
 
+    /// Overrides the media type (e.g. the Prometheus exposition type on an
+    /// otherwise-plain-text body).
+    pub fn with_content_type(mut self, content_type: &'static str) -> Response {
+        self.content_type = content_type;
+        self
+    }
+
     /// The standard reason phrase for this status.
     pub fn reason(&self) -> &'static str {
         match self.status {
@@ -287,6 +312,18 @@ mod tests {
             panic!("oversized body must be rejected");
         };
         assert_eq!(resp.status, 413);
+    }
+
+    #[test]
+    fn query_strings_split_off_the_route_path() {
+        let r = parse("GET /metrics?format=json&trace HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.route_path(), "/metrics");
+        assert_eq!(r.query_param("format"), Some("json"));
+        assert_eq!(r.query_param("trace"), Some(""));
+        assert_eq!(r.query_param("missing"), None);
+        let plain = parse("GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(plain.route_path(), "/metrics");
+        assert_eq!(plain.query_param("format"), None);
     }
 
     #[test]

@@ -20,15 +20,28 @@
 //! The `exp_serving` harness and this crate's integration tests verify
 //! that equivalence over a real socket.
 //!
+//! ## Request tracing
+//!
+//! Every request gets a [`ner_obs::trace::TraceCtx`] at ingress. The
+//! batcher stamps queue wait and batch id/size onto it, the scoring
+//! worker installs it thread-locally so the model's per-stage
+//! `infer.{featurize,embed,encode,decode}_us` timings attribute to the
+//! owning request, and the router seals it into a
+//! [`TraceRecord`](ner_obs::trace::TraceRecord). Extraction responses
+//! carry the id as an `x-trace-id` header; `?trace=1` inlines the full
+//! per-stage record; `GET /admin/trace` dumps the always-on flight
+//! recorder (last-N completed traces, slowest-K pinned).
+//!
 //! ## Overload & operations
 //!
 //! * bounded queue; overflow → `429` + `Retry-After` (the server never
 //!   buffers without bound and never falls over under load);
 //! * per-request deadline; expiry → `408` (queued requests are shed
 //!   without being scored);
-//! * `GET /healthz` liveness, `GET /metrics` live `ner-obs` metrics
-//!   (`serve.queue_depth`, `serve.batch_size`, `serve.request_us`, the
-//!   `infer.*` family, …);
+//! * `GET /healthz` liveness, `GET /metrics` Prometheus text exposition
+//!   of the live `ner-obs` registry (`serve.queue_depth`,
+//!   `serve.batch_size`, `serve.queue_wait_us`, `serve.request_us`, the
+//!   `infer.*` family, …) — `?format=json` for the JSON form;
 //! * `POST /admin/reload` atomically swaps in a freshly restored
 //!   checkpoint (`Arc` swap — in-flight batches finish on the old model);
 //! * `POST /admin/shutdown` drains gracefully: intake stops, everything
@@ -37,12 +50,13 @@
 //!
 //! Wired into the CLI as `neural-ner serve --ckpt model.json --addr
 //! 127.0.0.1:8080 [--max-batch N] [--max-wait-us T] [--queue-cap Q]
-//! [--threads K]`.
+//! [--threads K] [--trace-ring N]`.
 
 #![warn(missing_docs)]
 
 pub mod batcher;
 pub mod http;
+pub mod prometheus;
 pub mod router;
 pub mod server;
 pub mod state;

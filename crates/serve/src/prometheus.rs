@@ -1,0 +1,254 @@
+//! Prometheus text exposition (format version 0.0.4) over the live
+//! `ner-obs` registry, plus a small lint used by the integration tests and
+//! CI to reject malformed output.
+//!
+//! Metric names are sanitized into the Prometheus charset and prefixed
+//! `ner_` (`serve.request_us` → `ner_serve_request_us`). Histograms render
+//! the full cumulative `_bucket{le="…"}` series from
+//! [`ner_obs::histogram_snapshots`], so a scraper recovers the exact same
+//! bucket layout the in-process quantile estimates are computed from.
+
+/// The content-type Prometheus scrapers expect.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Renders the whole live registry — counters, gauges, and histograms —
+/// as Prometheus text exposition. Families are deduplicated after name
+/// sanitization (first registration wins; a comment line notes any
+/// dropped collision, rather than silently emitting an invalid family).
+pub fn render() -> String {
+    let mut out = String::new();
+    let mut seen: Vec<String> = Vec::new();
+    let mut fresh = |name: &str, out: &mut String| {
+        if seen.iter().any(|s| s == name) {
+            out.push_str(&format!("# duplicate family after sanitization skipped: {name}\n"));
+            false
+        } else {
+            seen.push(name.to_string());
+            true
+        }
+    };
+    for (name, value) in ner_obs::counters() {
+        let name = prom_name(&name);
+        if fresh(&name, &mut out) {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", num(value)));
+        }
+    }
+    for (name, value) in ner_obs::gauges() {
+        let name = prom_name(&name);
+        if fresh(&name, &mut out) {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", num(value)));
+        }
+    }
+    for h in ner_obs::histogram_snapshots() {
+        let name = prom_name(&h.name);
+        if !fresh(&name, &mut out) {
+            continue;
+        }
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        for (le, cumulative) in &h.buckets {
+            out.push_str(&format!("{name}_bucket{{le=\"{}\"}} {cumulative}\n", num(*le)));
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{name}_sum {}\n", num(h.sum)));
+        out.push_str(&format!("{name}_count {}\n", h.count));
+    }
+    out
+}
+
+/// Maps a registry metric name into the Prometheus charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`, and
+/// the `ner_` namespace prefix guarantees a legal first character.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("ner_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' || ch == ':' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Formats a sample value: integral values render without a fractional
+/// part (`32`, not `32.0`) so `le` labels stay canonical across renders.
+fn num(v: f64) -> String {
+    if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Validates Prometheus text exposition: every sample must belong to a
+/// `# TYPE`-declared family, no family may be declared twice, values must
+/// parse, and histogram bucket series must be cumulative (non-decreasing
+/// in `le` order, closed by `+Inf` equal to `_count`). Returns the first
+/// violation.
+pub fn lint(text: &str) -> Result<(), String> {
+    /// Closing-series bookkeeping for one histogram family.
+    #[derive(Default)]
+    struct Closure {
+        inf: Option<f64>,
+        count: Option<f64>,
+    }
+    let mut families: Vec<(String, String)> = Vec::new(); // (name, kind)
+    let mut last_bucket: Vec<(String, f64)> = Vec::new(); // (family, last cumulative)
+    let mut counts: Vec<(String, Closure)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let ctx = |what: &str| format!("line {}: {what}: {line}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(ctx("malformed TYPE line"));
+            };
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(ctx("unknown family kind"));
+            }
+            if families.iter().any(|(n, _)| n == name) {
+                return Err(ctx("duplicate family declaration"));
+            }
+            families.push((name.to_string(), kind.to_string()));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments are legal and unchecked
+        }
+        // A sample: `name[{labels}] value`.
+        let name_end = line.find(['{', ' ']).ok_or_else(|| ctx("malformed sample"))?;
+        let name = &line[..name_end];
+        let value_str = line.rsplit(' ').next().ok_or_else(|| ctx("missing sample value"))?;
+        let value: f64 = value_str.parse().map_err(|_| ctx("unparsable sample value"))?;
+        // Resolve the family: histogram series carry suffixes.
+        let family_of = |suffix: &str| {
+            name.strip_suffix(suffix)
+                .filter(|base| families.iter().any(|(n, k)| n == base && k == "histogram"))
+        };
+        let (family, series) = if let Some(base) = family_of("_bucket") {
+            (base, "bucket")
+        } else if let Some(base) = family_of("_sum") {
+            (base, "sum")
+        } else if let Some(base) = family_of("_count") {
+            (base, "count")
+        } else {
+            (name, "plain")
+        };
+        let Some((_, kind)) = families.iter().find(|(n, _)| n == family) else {
+            return Err(ctx("sample without a TYPE declaration"));
+        };
+        if kind == "histogram" && series == "plain" {
+            return Err(ctx("bare sample for a histogram family"));
+        }
+        match series {
+            "bucket" => {
+                let le = line
+                    .split_once("le=\"")
+                    .and_then(|(_, rest)| rest.split_once('"'))
+                    .map(|(le, _)| le)
+                    .ok_or_else(|| ctx("bucket sample without an le label"))?;
+                match last_bucket.iter_mut().find(|(f, _)| f == family) {
+                    Some((_, prev)) => {
+                        if value < *prev {
+                            return Err(ctx("non-cumulative bucket series"));
+                        }
+                        *prev = value;
+                    }
+                    None => last_bucket.push((family.to_string(), value)),
+                }
+                if le == "+Inf" {
+                    match counts.iter_mut().find(|(f, _)| f == family) {
+                        Some((_, c)) => c.inf = Some(value),
+                        None => counts.push((
+                            family.to_string(),
+                            Closure { inf: Some(value), ..Closure::default() },
+                        )),
+                    }
+                }
+            }
+            "count" => match counts.iter_mut().find(|(f, _)| f == family) {
+                Some((_, c)) => c.count = Some(value),
+                None => counts.push((
+                    family.to_string(),
+                    Closure { count: Some(value), ..Closure::default() },
+                )),
+            },
+            _ => {}
+        }
+    }
+    for (family, Closure { inf, count }) in &counts {
+        match (inf, count) {
+            (Some(inf), Some(count)) if inf == count => {}
+            (Some(_), Some(_)) => return Err(format!("{family}: +Inf bucket != _count")),
+            _ => return Err(format!("{family}: histogram missing +Inf bucket or _count")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_names_into_the_prometheus_charset() {
+        assert_eq!(prom_name("serve.request_us"), "ner_serve_request_us");
+        assert_eq!(prom_name("infer.cache.hits"), "ner_infer_cache_hits");
+        assert_eq!(prom_name("weird-name!"), "ner_weird_name_");
+    }
+
+    #[test]
+    fn values_render_canonically() {
+        assert_eq!(num(32.0), "32");
+        assert_eq!(num(0.5), "0.5");
+        assert_eq!(num(1048576.0), "1048576");
+    }
+
+    #[test]
+    fn lint_accepts_well_formed_exposition() {
+        let text = "# TYPE ner_requests counter\n\
+                    ner_requests 10\n\
+                    # TYPE ner_lat histogram\n\
+                    ner_lat_bucket{le=\"1\"} 2\n\
+                    ner_lat_bucket{le=\"2\"} 5\n\
+                    ner_lat_bucket{le=\"+Inf\"} 7\n\
+                    ner_lat_sum 9.5\n\
+                    ner_lat_count 7\n";
+        assert_eq!(lint(text), Ok(()));
+    }
+
+    #[test]
+    fn lint_rejects_untyped_duplicate_and_non_cumulative() {
+        assert!(lint("ner_orphan 1\n").unwrap_err().contains("without a TYPE"));
+        let dup = "# TYPE ner_x counter\n# TYPE ner_x counter\nner_x 1\n";
+        assert!(lint(dup).unwrap_err().contains("duplicate"));
+        let decreasing = "# TYPE ner_h histogram\n\
+                          ner_h_bucket{le=\"1\"} 5\n\
+                          ner_h_bucket{le=\"2\"} 3\n\
+                          ner_h_bucket{le=\"+Inf\"} 5\n\
+                          ner_h_sum 1\n\
+                          ner_h_count 5\n";
+        assert!(lint(decreasing).unwrap_err().contains("non-cumulative"));
+        let mismatched = "# TYPE ner_h histogram\n\
+                          ner_h_bucket{le=\"+Inf\"} 5\n\
+                          ner_h_sum 1\n\
+                          ner_h_count 6\n";
+        assert!(lint(mismatched).unwrap_err().contains("+Inf bucket != _count"));
+    }
+
+    #[test]
+    fn live_registry_renders_lintable_exposition() {
+        ner_obs::counter("prom.test.counter", 3.0);
+        ner_obs::gauge("prom.test.gauge", 1.5);
+        ner_obs::observe("prom.test.hist_us", 123.0);
+        ner_obs::observe("prom.test.hist_us", 45000.0);
+        let text = render();
+        assert!(text.contains("# TYPE ner_prom_test_counter counter"));
+        assert!(text.contains("# TYPE ner_prom_test_hist_us histogram"));
+        assert!(text.contains("ner_prom_test_hist_us_bucket{le=\"+Inf\"}"));
+        lint(&text).unwrap();
+    }
+}

@@ -5,18 +5,27 @@
 //! | `POST /v1/extract`       | `{"text": …}` → one annotated sentence         |
 //! | `POST /v1/extract_batch` | `{"texts": […]}` → one result per text         |
 //! | `GET /healthz`           | liveness + drain status                        |
-//! | `GET /metrics`           | live `ner-obs` counters/gauges/histograms      |
+//! | `GET /metrics`           | Prometheus exposition (`?format=json` for JSON)|
+//! | `GET /admin/trace`       | flight-recorder dump (recent + slowest traces) |
 //! | `POST /admin/reload`     | atomically swap in the checkpoint from disk    |
 //! | `POST /admin/shutdown`   | begin graceful drain                           |
 //!
 //! Extraction requests go through the [`Batcher`]; admin and introspection
 //! routes answer inline on the connection thread.
+//!
+//! Every extraction response — success or error — carries the request's
+//! trace id as an `x-trace-id` header, and `?trace=1` inlines the full
+//! per-stage [`TraceRecord`](ner_obs::trace::TraceRecord) into the JSON
+//! body under a `"trace"` key (the default body is unchanged, preserving
+//! byte-identity with offline extraction).
 
 use crate::batcher::{Batcher, Outcome, SubmitError};
 use crate::http::{Request, Response};
+use crate::prometheus;
 use crate::state::ServeState;
+use ner_obs::trace::TraceCtx;
 use ner_text::Sentence;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::time::{Duration, Instant};
 
 #[derive(Deserialize)]
@@ -66,64 +75,128 @@ struct ReloadResponse {
 }
 
 /// Dispatches one request. Never panics on malformed input — every error
-/// path maps to a 4xx/5xx the connection loop writes back.
-pub fn route(req: &Request, state: &ServeState, batcher: &Batcher) -> Response {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/v1/extract") => extract(req, state, batcher),
-        ("POST", "/v1/extract_batch") => extract_batch(req, state, batcher),
+/// path maps to a 4xx/5xx the connection loop writes back. `trace` is the
+/// per-request context the server opened at ingress; the extraction
+/// routes seal it and stamp its id onto the response.
+pub fn route(req: &Request, state: &ServeState, batcher: &Batcher, trace: &TraceCtx) -> Response {
+    match (req.method.as_str(), req.route_path()) {
+        ("POST", "/v1/extract") => extract(req, state, batcher, trace),
+        ("POST", "/v1/extract_batch") => extract_batch(req, state, batcher, trace),
         ("GET", "/healthz") => healthz(state),
-        ("GET", "/metrics") => metrics(),
+        ("GET", "/metrics") => metrics(req),
+        ("GET", "/admin/trace") => admin_trace(),
         ("POST", "/admin/reload") => reload(state),
         ("POST", "/admin/shutdown") => shutdown(state),
         (_, "/v1/extract" | "/v1/extract_batch" | "/admin/reload" | "/admin/shutdown") => {
             Response::text(405, "use POST").with_header("allow", "POST")
         }
-        (_, "/healthz" | "/metrics") => Response::text(405, "use GET").with_header("allow", "GET"),
-        _ => Response::text(404, format!("no route for {}", req.path)),
+        (_, "/healthz" | "/metrics" | "/admin/trace") => {
+            Response::text(405, "use GET").with_header("allow", "GET")
+        }
+        _ => Response::text(404, format!("no route for {}", req.route_path())),
     }
 }
 
-fn extract(req: &Request, state: &ServeState, batcher: &Batcher) -> Response {
+/// Whether the client opted into an inline `"trace"` object. Unknown
+/// values are a client error, mirroring `?format=` on `/metrics`.
+fn wants_trace(req: &Request) -> Result<bool, Response> {
+    match req.query_param("trace") {
+        None | Some("0") | Some("false") => Ok(false),
+        Some("1") | Some("true") => Ok(true),
+        Some(other) => {
+            Err(Response::text(400, format!("unknown ?trace= value {other:?} (1|0|true|false)")))
+        }
+    }
+}
+
+/// Seals the trace with the response's status and stamps `x-trace-id`.
+fn finish_trace(resp: Response, trace: &TraceCtx) -> Response {
+    let record = trace.finish(u64::from(resp.status));
+    resp.with_header("x-trace-id", record.id)
+}
+
+/// Appends the sealed trace record under a `"trace"` key. The default
+/// response body never carries the key, keeping successful extraction
+/// bodies byte-identical to offline `extract`.
+fn attach_trace(body: &mut Value, record: &ner_obs::trace::TraceRecord) {
+    if let Value::Object(fields) = body {
+        fields.push(("trace".to_string(), record.serialize()));
+    }
+}
+
+fn extract(req: &Request, state: &ServeState, batcher: &Batcher, trace: &TraceCtx) -> Response {
+    let inline = match wants_trace(req) {
+        Ok(w) => w,
+        Err(resp) => return finish_trace(resp, trace),
+    };
     let parsed: ExtractRequest = match parse_body(req) {
         Ok(p) => p,
-        Err(resp) => return resp,
+        Err(resp) => return finish_trace(resp, trace),
     };
     let deadline = Instant::now() + state.config.request_timeout;
-    match score_one(batcher, parsed.text, deadline) {
-        Ok(sentence) => json_ok(serde_json::to_string(&ExtractResponse::from_sentence(sentence))),
-        Err(resp) => resp,
+    match score_one(batcher, parsed.text, deadline, trace) {
+        Ok(sentence) => {
+            let mut body = ExtractResponse::from_sentence(sentence).serialize();
+            let record = trace.finish(200);
+            if inline {
+                attach_trace(&mut body, &record);
+            }
+            json_ok(serde_json::to_string(&body)).with_header("x-trace-id", record.id)
+        }
+        Err(resp) => finish_trace(resp, trace),
     }
 }
 
-fn extract_batch(req: &Request, state: &ServeState, batcher: &Batcher) -> Response {
+fn extract_batch(
+    req: &Request,
+    state: &ServeState,
+    batcher: &Batcher,
+    trace: &TraceCtx,
+) -> Response {
+    let inline = match wants_trace(req) {
+        Ok(w) => w,
+        Err(resp) => return finish_trace(resp, trace),
+    };
     let parsed: ExtractBatchRequest = match parse_body(req) {
         Ok(p) => p,
-        Err(resp) => return resp,
+        Err(resp) => return finish_trace(resp, trace),
     };
     let deadline = Instant::now() + state.config.request_timeout;
     // Each text is its own queue entry, so one oversized client request
     // still interleaves fairly with concurrent single extractions — and is
-    // subject to the same queue bound.
+    // subject to the same queue bound. Every entry carries a clone of the
+    // same request trace, so stage events from all items accumulate on it
+    // (they may overlap in time when items score in parallel).
     let mut receivers = Vec::with_capacity(parsed.texts.len());
     for text in parsed.texts {
-        match batcher.submit(text, deadline) {
+        match batcher.submit_traced(text, deadline, Some(trace.clone())) {
             Ok(rx) => receivers.push(rx),
-            Err(e) => return submit_error(e),
+            Err(e) => return finish_trace(submit_error(e), trace),
         }
     }
     let mut results = Vec::with_capacity(receivers.len());
     for rx in receivers {
         match wait_outcome(rx, deadline) {
             Ok(sentence) => results.push(ExtractResponse::from_sentence(sentence)),
-            Err(resp) => return resp,
+            Err(resp) => return finish_trace(resp, trace),
         }
     }
-    json_ok(serde_json::to_string(&ExtractBatchResponse { results }))
+    let mut body = ExtractBatchResponse { results }.serialize();
+    let record = trace.finish(200);
+    if inline {
+        attach_trace(&mut body, &record);
+    }
+    json_ok(serde_json::to_string(&body)).with_header("x-trace-id", record.id)
 }
 
 /// Submits one text and blocks until its outcome (or the deadline).
-fn score_one(batcher: &Batcher, text: String, deadline: Instant) -> Result<Sentence, Response> {
-    let rx = batcher.submit(text, deadline).map_err(submit_error)?;
+fn score_one(
+    batcher: &Batcher,
+    text: String,
+    deadline: Instant,
+    trace: &TraceCtx,
+) -> Result<Sentence, Response> {
+    let rx = batcher.submit_traced(text, deadline, Some(trace.clone())).map_err(submit_error)?;
     wait_outcome(rx, deadline)
 }
 
@@ -164,24 +237,40 @@ fn healthz(state: &ServeState) -> Response {
     json_ok(serde_json::to_string(&body))
 }
 
-/// Renders the live `ner-obs` registry as plain text, one metric per line
-/// (Prometheus-like exposition: counters/gauges as `name value`, histogram
-/// summaries as labeled quantile fields).
-fn metrics() -> Response {
-    let mut out = String::new();
-    for (name, value) in ner_obs::counters() {
-        out.push_str(&format!("counter {name} {value}\n"));
+/// Renders the live `ner-obs` registry. The default (and
+/// `?format=prometheus`) is Prometheus text exposition with `# TYPE`
+/// lines and cumulative histogram buckets; `?format=json` returns a JSON
+/// object of counters, gauges, and histogram summaries; anything else is
+/// a 400.
+fn metrics(req: &Request) -> Response {
+    match req.query_param("format") {
+        None | Some("prometheus") => {
+            Response::text(200, prometheus::render()).with_content_type(prometheus::CONTENT_TYPE)
+        }
+        Some("json") => {
+            let pairs = |kv: Vec<(String, f64)>| {
+                Value::Object(kv.into_iter().map(|(n, v)| (n, Value::Num(v))).collect())
+            };
+            let histograms = Value::Array(
+                ner_obs::histogram_summaries().iter().map(|h| h.serialize()).collect(),
+            );
+            let body = Value::Object(vec![
+                ("counters".to_string(), pairs(ner_obs::counters())),
+                ("gauges".to_string(), pairs(ner_obs::gauges())),
+                ("histograms".to_string(), histograms),
+            ]);
+            json_ok(serde_json::to_string(&body))
+        }
+        Some(other) => {
+            Response::text(400, format!("unknown ?format= value {other:?} (prometheus|json)"))
+        }
     }
-    for (name, value) in ner_obs::gauges() {
-        out.push_str(&format!("gauge {name} {value}\n"));
-    }
-    for h in ner_obs::histogram_summaries() {
-        out.push_str(&format!(
-            "histogram {} count={} mean={:.1} p50={:.1} p90={:.1} p99={:.1} max={:.1}\n",
-            h.name, h.count, h.mean, h.p50, h.p90, h.p99, h.max
-        ));
-    }
-    Response::text(200, out)
+}
+
+/// Dumps the flight recorder: the last completed traces plus the pinned
+/// slowest ones, as one JSON object.
+fn admin_trace() -> Response {
+    json_ok(serde_json::to_string(&ner_obs::trace::flight_snapshot()))
 }
 
 fn reload(state: &ServeState) -> Response {

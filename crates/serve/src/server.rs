@@ -128,7 +128,11 @@ fn handle_connection(stream: TcpStream, state: &ServeState, batcher: &Batcher) {
             }
             Err(ReadError::Io(_)) => return,
         };
-        let resp = router::route(&req, state, batcher);
+        // The trace clock starts at ingress, the moment the request is
+        // fully read — so queue wait, batch formation, scoring, and the
+        // response tail are all measured against one monotonic origin.
+        let trace = ner_obs::trace::TraceCtx::new(req.route_path());
+        let resp = router::route(&req, state, batcher, &trace);
         // Responses during drain tell clients to stop reusing the socket.
         let close = req.wants_close() || state.is_shutting_down();
         if resp.write_to(&mut writer, close).is_err() || close {

@@ -24,6 +24,11 @@ pub struct ServeConfig {
     /// Artificial per-batch scoring delay — load-test instrumentation for
     /// exercising overload behaviour with a fast model. Zero in production.
     pub score_delay: Duration,
+    /// How many recently completed request traces the flight recorder
+    /// ring retains for `GET /admin/trace`.
+    pub trace_recent: usize,
+    /// How many slowest traces stay pinned alongside the ring.
+    pub trace_slowest: usize,
 }
 
 impl Default for ServeConfig {
@@ -34,6 +39,8 @@ impl Default for ServeConfig {
             queue_cap: 1024,
             request_timeout: Duration::from_secs(10),
             score_delay: Duration::ZERO,
+            trace_recent: ner_obs::trace::DEFAULT_RECENT_CAP,
+            trace_slowest: ner_obs::trace::DEFAULT_SLOWEST_CAP,
         }
     }
 }
@@ -61,6 +68,9 @@ impl ServeState {
         ckpt_path: Option<PathBuf>,
         config: ServeConfig,
     ) -> Arc<ServeState> {
+        // The flight recorder is process-global; the serving layer is its
+        // only producer, so sizing it from the serve config is sound.
+        ner_obs::trace::configure_flight_recorder(config.trace_recent, config.trace_slowest);
         Arc::new(ServeState {
             pipeline: RwLock::new(Arc::new(pipeline)),
             ckpt_path,

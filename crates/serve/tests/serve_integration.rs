@@ -256,6 +256,7 @@ fn health_metrics_and_errors_speak_http() {
 
     let health = client::get(addr, "/healthz").expect("healthz");
     assert_eq!(health.status, 200);
+    assert_eq!(health.header("content-type"), Some("application/json"));
     let parsed: Value = serde_json::from_str(&health.body).expect("health json");
     assert_eq!(parsed.get("status").and_then(|s| s.as_str()), Some("ok"));
 
@@ -263,13 +264,42 @@ fn health_metrics_and_errors_speak_http() {
     let resp = client::post(addr, "/v1/extract", "{\"text\": \"Dana met Erik in Oslo .\"}")
         .expect("extract");
     assert_eq!(resp.status, 200);
+
+    // The default is Prometheus text exposition: typed families, the
+    // batcher's histograms as cumulative bucket series, and the queue
+    // depth as a *gauge* (current depth), not a histogram of past depths.
     let metrics = client::get(addr, "/metrics").expect("metrics");
     assert_eq!(metrics.status, 200);
-    assert!(metrics.body.contains("serve.batch_size"), "metrics:\n{}", metrics.body);
-    assert!(metrics.body.contains("serve.request_us"), "metrics:\n{}", metrics.body);
-    // The queue depth must be exported as a *gauge* (current depth), not a
-    // histogram of past depths.
-    assert!(metrics.body.contains("gauge serve.queue_depth"), "metrics:\n{}", metrics.body);
+    assert_eq!(metrics.header("content-type"), Some(ner_serve::prometheus::CONTENT_TYPE));
+    for needle in [
+        "# TYPE ner_serve_queue_depth gauge",
+        "# TYPE ner_serve_batch_size histogram",
+        "# TYPE ner_serve_queue_wait_us histogram",
+        "ner_serve_batch_size_bucket{le=\"",
+        "ner_serve_queue_wait_us_bucket{le=\"+Inf\"}",
+        "ner_serve_request_us_count",
+    ] {
+        assert!(metrics.body.contains(needle), "missing {needle:?} in:\n{}", metrics.body);
+    }
+    ner_serve::prometheus::lint(&metrics.body).expect("live /metrics must pass the lint");
+    let also_prom = client::get(addr, "/metrics?format=prometheus").expect("explicit format");
+    assert_eq!(also_prom.status, 200);
+    assert_eq!(also_prom.header("content-type"), Some(ner_serve::prometheus::CONTENT_TYPE));
+
+    // `?format=json` keeps the structured form; unknown formats are a 400.
+    let json = client::get(addr, "/metrics?format=json").expect("metrics json");
+    assert_eq!(json.status, 200);
+    assert_eq!(json.header("content-type"), Some("application/json"));
+    let parsed: Value = serde_json::from_str(&json.body).expect("metrics json body");
+    for key in ["counters", "gauges", "histograms"] {
+        assert!(parsed.get(key).is_some(), "metrics json lacks {key:?}: {}", json.body);
+    }
+    let histograms = parsed.get("histograms").and_then(|h| h.as_array()).expect("histograms");
+    assert!(histograms
+        .iter()
+        .any(|h| h.get("name").and_then(|n| n.as_str()) == Some("serve.batch_size")));
+    let unknown = client::get(addr, "/metrics?format=xml").expect("unknown format");
+    assert_eq!(unknown.status, 400);
 
     // Error surfaces: bad JSON, wrong method, unknown route, no reload path.
     let bad = client::post(addr, "/v1/extract", "{not json").expect("bad body");
@@ -280,6 +310,177 @@ fn health_metrics_and_errors_speak_http() {
     assert_eq!(missing.status, 404);
     let reload = client::post(addr, "/admin/reload", "").expect("reload without path");
     assert_eq!(reload.status, 500);
+    let bad_trace =
+        client::post(addr, "/v1/extract?trace=2", "{\"text\": \"x\"}").expect("bad trace flag");
+    assert_eq!(bad_trace.status, 400);
+
+    stop_server(addr, handle);
+}
+
+#[test]
+fn every_extraction_response_carries_a_unique_trace_id() {
+    let (addr, _state, handle) = start_server(ServeConfig::default(), None);
+
+    let mut ids: Vec<String> = Vec::new();
+    let mut take_id = |resp: &client::ClientResponse| {
+        let id = resp.header("x-trace-id").expect("x-trace-id header").to_string();
+        assert_eq!(id.len(), 16, "trace id {id:?} is not 16 hex digits");
+        assert!(id.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+        ids.push(id);
+    };
+
+    let mut conn = client::Conn::connect(addr).expect("connect");
+    for i in 0..6 {
+        let body = format!("{{\"text\": \"Frank toured museum {i} in Rome .\"}}");
+        let resp = conn.post("/v1/extract", &body).expect("extract");
+        assert_eq!(resp.status, 200);
+        take_id(&resp);
+    }
+    let resp = conn
+        .post("/v1/extract_batch", "{\"texts\": [\"Gina sang .\", \"Hugo danced .\"]}")
+        .expect("extract_batch");
+    assert_eq!(resp.status, 200);
+    take_id(&resp);
+    // Error responses are traced too — a 400 still identifies itself.
+    let resp = conn.post("/v1/extract", "{broken").expect("bad body");
+    assert_eq!(resp.status, 400);
+    take_id(&resp);
+
+    let mut unique = ids.clone();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(unique.len(), ids.len(), "trace ids must be unique: {ids:?}");
+
+    stop_server(addr, handle);
+}
+
+/// Parses the inline `"trace"` object out of a `?trace=1` response body.
+fn inline_trace(body: &str) -> ner_obs::trace::TraceRecord {
+    let parsed: Value = serde_json::from_str(body).expect("response json");
+    let trace = parsed.get("trace").expect("inline trace object");
+    serde::Deserialize::deserialize(trace).expect("trace record json")
+}
+
+#[test]
+fn inline_trace_stage_timings_account_for_the_total() {
+    // A few ms of artificial scoring delay (attributed to `batch_form`:
+    // it sits between dequeue and the scoring slot) keeps the request
+    // long enough that the fixed per-request bookkeeping — channel hops,
+    // clock reads — cannot eat the 10% attribution budget by itself.
+    let cfg = ServeConfig { score_delay: Duration::from_millis(5), ..ServeConfig::default() };
+    let (addr, _state, handle) = start_server(cfg, None);
+    let mut conn = client::Conn::connect(addr).expect("connect");
+
+    // The default body must stay byte-identical to offline extraction: no
+    // "trace" key unless asked for.
+    let resp = conn.post("/v1/extract", "{\"text\": \"Ivy left Lisbon .\"}").expect("extract");
+    assert_eq!(resp.status, 200);
+    let parsed: Value = serde_json::from_str(&resp.body).expect("json");
+    assert!(parsed.get("trace").is_none(), "untraced body grew a trace key: {}", resp.body);
+
+    // `?trace=1` inlines the per-stage record; the pipeline stages plus
+    // queue accounting must explain (nearly) all of the wall clock. The
+    // gap is scheduler noise, so take the best of a few tries before
+    // calling the attribution broken.
+    let mut best_gap = f64::INFINITY;
+    let mut last = None;
+    for i in 0..5 {
+        let body = format!("{{\"text\": \"Judy met partner {i} in Kyoto .\"}}");
+        let resp = conn.post("/v1/extract?trace=1", &body).expect("traced extract");
+        assert_eq!(resp.status, 200);
+        let record = inline_trace(&resp.body);
+        assert_eq!(Some(record.id.as_str()), resp.header("x-trace-id"));
+        assert_eq!(record.endpoint, "/v1/extract");
+        assert_eq!(record.status, 200);
+        assert!(record.batch_id >= 1, "scored request must carry its batch id");
+        assert!(record.batch_size >= 1);
+        for stage in ["queue_wait", "batch_form", "featurize", "embed", "encode", "decode"] {
+            assert!(
+                record.stages.iter().any(|s| s.stage == stage),
+                "stage {stage:?} missing from {:?}",
+                record.stages
+            );
+        }
+        assert!(record.total_us > 0.0);
+        let gap = (record.total_us - record.stage_sum_us()).abs() / record.total_us;
+        best_gap = best_gap.min(gap);
+        last = Some(record);
+    }
+    assert!(
+        best_gap <= 0.10,
+        "stage timings leave {:.1}% of the total unattributed: {:?}",
+        best_gap * 100.0,
+        last
+    );
+
+    // A batch request shares one trace across its items: each item
+    // contributes its own decode stage to the same record.
+    let resp = conn
+        .post(
+            "/v1/extract_batch?trace=1",
+            "{\"texts\": [\"Kim ran .\", \"Lee swam .\", \"Max rowed .\"]}",
+        )
+        .expect("traced batch");
+    assert_eq!(resp.status, 200);
+    let record = inline_trace(&resp.body);
+    assert_eq!(record.endpoint, "/v1/extract_batch");
+    assert_eq!(record.stages.iter().filter(|s| s.stage == "decode").count(), 3);
+
+    stop_server(addr, handle);
+}
+
+#[test]
+fn flight_recorder_pins_the_slowest_request() {
+    // Serial scoring with an artificial per-batch delay: later arrivals
+    // queue behind earlier ones, so the burst produces a wide spread of
+    // totals with a clear slowest request.
+    let cfg = ServeConfig {
+        max_batch: 1,
+        score_delay: Duration::from_millis(40),
+        ..ServeConfig::default()
+    };
+    let (addr, _state, handle) = start_server(cfg, None);
+
+    let mine: Vec<(String, f64)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..8)
+            .map(|i| {
+                scope.spawn(move || {
+                    let body = format!("{{\"text\": \"recorder probe {i} .\"}}");
+                    let resp =
+                        client::post(addr, "/v1/extract?trace=1", &body).expect("traced extract");
+                    assert_eq!(resp.status, 200, "body: {}", resp.body);
+                    let record = inline_trace(&resp.body);
+                    (record.id, record.total_us)
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("client thread")).collect()
+    });
+    let (slowest_id, slowest_us) =
+        mine.iter().max_by(|a, b| a.1.total_cmp(&b.1)).cloned().expect("eight results");
+    // With a 40ms serial floor per request the worst of eight must be slow.
+    assert!(slowest_us >= 40_000.0, "slowest request took only {slowest_us}µs");
+
+    let resp = client::get(addr, "/admin/trace").expect("admin trace");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("content-type"), Some("application/json"));
+    let snap: ner_obs::trace::FlightSnapshot =
+        serde_json::from_str(&resp.body).expect("flight snapshot json");
+
+    // The slowest list is ordered, and pinning holds: nothing in the
+    // recent ring may be slower than the slowest pinned trace.
+    assert!(!snap.slowest.is_empty());
+    for pair in snap.slowest.windows(2) {
+        assert!(pair[0].total_us >= pair[1].total_us);
+    }
+    let ring_max = snap.recent.iter().map(|r| r.total_us).fold(0.0, f64::max);
+    assert!(ring_max <= snap.slowest[0].total_us);
+    // And the burst's genuinely slowest request survived the churn.
+    assert!(
+        snap.slowest.iter().any(|r| r.id == slowest_id),
+        "slowest request {slowest_id} ({slowest_us}µs) missing from {:?}",
+        snap.slowest.iter().map(|r| (&r.id, r.total_us)).collect::<Vec<_>>()
+    );
 
     stop_server(addr, handle);
 }
