@@ -10,13 +10,15 @@
 #   4. kernel smoke     (exp_kernels --smoke exits non-zero on any
 #      parallel-vs-serial kernel divergence)
 #   5. inference smoke  (exp_inference --smoke at 1 and 4 threads exits
-#      non-zero if the tape-free plan's tags diverge from the tape path)
+#      non-zero if the tape-free plan's tags — or the batched [B,T]
+#      backend's — diverge from the tape path)
 #   6. prometheus lint  (the /metrics exposition must have typed, unique
 #      families with cumulative histogram buckets)
 #   7. serving smoke    (serve integration tests — including the request
-#      tracing and flight-recorder suite — + exp_serving --smoke at 1 and
-#      4 threads exit non-zero if a batched response diverges from offline
-#      annotate or trace stage timings stop accounting for the latency)
+#      tracing, flight-recorder and batch-formation suites — + exp_serving
+#      --smoke at 1 and 4 threads exit non-zero if a padded-[B,T] batched
+#      response diverges from offline annotate or trace stage timings stop
+#      accounting for the latency)
 #
 # The build is fully offline: every external dependency is a vendored stub
 # under compat/, so no network access is required.
@@ -41,20 +43,20 @@ NER_THREADS=4 cargo test -q
 echo "== kernel smoke: parallel must match the serial oracle =="
 cargo run --release -p ner-bench --bin exp_kernels -- --smoke
 
-echo "== inference smoke: the plan must reproduce the tape (NER_THREADS=1) =="
+echo "== inference smoke: plan and batched [B,T] must reproduce the tape (NER_THREADS=1) =="
 NER_THREADS=1 cargo run --release -p ner-bench --bin exp_inference -- --smoke
 
-echo "== inference smoke: the plan must reproduce the tape (NER_THREADS=4) =="
+echo "== inference smoke: plan and batched [B,T] must reproduce the tape (NER_THREADS=4) =="
 NER_THREADS=4 cargo run --release -p ner-bench --bin exp_inference -- --smoke
 
 echo "== prometheus lint: /metrics families must be typed, unique, cumulative =="
 cargo test --release -p ner-serve --lib -q prometheus
 
-echo "== serving + tracing: batched == offline, traces account for latency (NER_THREADS=1) =="
+echo "== serving + tracing: batched [B,T] == offline, traces account for latency (NER_THREADS=1) =="
 NER_THREADS=1 cargo test --release -p ner-serve --test serve_integration -q
 NER_THREADS=1 cargo run --release -p ner-bench --bin exp_serving -- --smoke
 
-echo "== serving + tracing: batched == offline, traces account for latency (NER_THREADS=4) =="
+echo "== serving + tracing: batched [B,T] == offline, traces account for latency (NER_THREADS=4) =="
 NER_THREADS=4 cargo test --release -p ner-serve --test serve_integration -q
 NER_THREADS=4 cargo run --release -p ner-bench --bin exp_serving -- --smoke
 

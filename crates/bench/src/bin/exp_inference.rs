@@ -10,10 +10,17 @@
 //! * **plan+cache** — the plan with the LRU token-feature cache, measured
 //!   both cold (first pass after compilation) and warm (steady state).
 //!
-//! The plan is *verified*, not trusted: before any timing, every sentence
-//! is decoded through both paths and the predicted tag sequences must be
-//! identical — any divergence makes the harness exit non-zero (CI runs
-//! this via `--smoke` at `NER_THREADS=1` and `4`).
+//! Batch throughput compares scoring sentences one at a time (fanned over
+//! the pool) against the **batched** backend — `annotate_batch` packs each
+//! length-sorted bucket into one padded `[B,T]` forward — and reports the
+//! per-row `batch_compute_efficiency` (per-sentence wall time over batched
+//! wall time at the same thread count).
+//!
+//! The plan and the batched backend are *verified*, not trusted: before
+//! any timing, every sentence is decoded through tape, per-sentence plan,
+//! and the batched path, and the predicted tag sequences must be identical
+//! — any divergence makes the harness exit non-zero (CI runs this via
+//! `--smoke` at `NER_THREADS=1` and `4`).
 //!
 //! Results land in `results/exp_inference.json` (with a run manifest)
 //! and, for the repo-level benchmark snapshot, `BENCH_inference.json`.
@@ -55,6 +62,27 @@ struct ThroughputRow {
     best_ms: f64,
     tokens_per_sec: f64,
     speedup_vs_tape_1thr: f64,
+    /// Per-row efficiency of this variant against scoring each sentence
+    /// individually at the same thread count: per-sentence wall time over
+    /// this variant's wall time. 1.0 for the per-sentence baseline itself;
+    /// >1 means batching made each row cheaper.
+    batch_compute_efficiency: f64,
+}
+
+/// Batched-vs-per-sentence wall time across LSTM hidden sizes, 1 thread.
+///
+/// The batched backend's win is bounded by how much of a sentence's cost
+/// is GEMM: gate activations and decode are per-row at any batch width.
+/// Sweeping `hidden` moves the GEMM share, so this row set shows where
+/// cross-sentence batching pays on the measured host.
+#[derive(Serialize)]
+struct HiddenSweepRow {
+    hidden: usize,
+    per_sentence_ms: f64,
+    batched_ms: f64,
+    /// per_sentence_ms / batched_ms; >1 means the `[B,T]` forward beat
+    /// scoring the same sentences one at a time.
+    batched_speedup: f64,
 }
 
 /// Warm-cache token-feature statistics over the timed passes.
@@ -78,8 +106,15 @@ struct Report {
     /// Warm plan+cache p50 over tape p50 at 1 thread (>1 means the plan
     /// wins) — the headline number of this experiment.
     p50_speedup_plan_cache_vs_tape: f64,
+    /// Whole-batch wall time scoring one sentence at a time over the
+    /// batched `[B,T]` backend, at 1 thread — the offline batched-
+    /// throughput headline (compute buckets cap at 32 rows).
+    batched_speedup_vs_per_sentence_1thr: f64,
     latency: Vec<LatencyRow>,
     throughput: Vec<ThroughputRow>,
+    /// Batched-vs-per-sentence ratio as the LSTM grows: the GEMM share
+    /// of a sentence rises with `hidden`, and with it the batched win.
+    batched_hidden_sweep: Vec<HiddenSweepRow>,
     token_cache: CacheReport,
     divergence_failures: usize,
 }
@@ -159,20 +194,39 @@ fn main() {
 
     let mut pipeline = NerPipeline::new(encoder, model).with_token_cache_capacity(CACHE_CAPACITY);
 
-    // -- correctness gate: the plan must reproduce the tape exactly ------
+    // -- correctness gate: plan must reproduce the tape, and the batched
+    // [B,T] backend must reproduce the per-sentence plan, exactly --------
     ner_par::set_global_threads(1);
     let mut failures = 0usize;
+    let mut planned_all = Vec::with_capacity(sentences.len());
     for (i, s) in sentences.iter().enumerate() {
         let planned = pipeline.annotate(s);
         let tape = pipeline.annotate_tape(s);
         if planned.entities != tape.entities {
             failures += 1;
             if failures <= 5 {
-                eprintln!("divergence on sentence {i}: {:?}", s.tokens);
+                eprintln!("plan/tape divergence on sentence {i}: {:?}", s.tokens);
+            }
+        }
+        planned_all.push(planned);
+    }
+    // Batched pass twice: once against the cache the gate loop warmed,
+    // once cold after a plan refresh.
+    for pass in ["warm", "cold"] {
+        if pass == "cold" {
+            pipeline.refresh_plan();
+        }
+        for (i, (b, p)) in pipeline.annotate_batch(&sentences).iter().zip(&planned_all).enumerate()
+        {
+            if b.entities != p.entities {
+                failures += 1;
+                if failures <= 5 {
+                    eprintln!("batched ({pass}) divergence on sentence {i}: {:?}", p.tokens);
+                }
             }
         }
     }
-    println!("verified {} sentences: {} divergence(s)", sentences.len(), failures);
+    println!("verified {} sentences x 3 paths: {} divergence(s)", sentences.len(), failures);
 
     // -- single-sentence latency at 1 thread -----------------------------
     let tape_us = time_per_sentence(&sentences, rounds, || {}, |s| drop(pipeline.annotate_tape(s)));
@@ -213,8 +267,12 @@ fn main() {
     let p50_speedup = latency[0].p50_us / latency[3].p50_us;
 
     // -- batch throughput at 1/2/4 threads -------------------------------
+    // Three ways to score the same corpus: the tape, the per-sentence
+    // fused plan fanned over the pool, and the batched [B,T] backend
+    // (length-sorted buckets of up to 32 rows, one padded forward each).
     let mut throughput = Vec::new();
     let mut tape_1thr_ms = f64::NAN;
+    let mut batched_speedup_1thr = f64::NAN;
     for &t in &[1usize, 2, 4] {
         ner_par::set_global_threads(t);
         let pool = ner_par::global();
@@ -224,10 +282,18 @@ fn main() {
         if t == 1 {
             tape_1thr_ms = tape_ms;
         }
-        let plan_ms = time_batch(rounds, || {
+        let per_sentence_ms = time_batch(rounds, || {
+            drop(pool.map(sentences.len(), |i| pipeline.annotate(&sentences[i])));
+        });
+        let batched_ms = time_batch(rounds, || {
             drop(pipeline.annotate_batch(&sentences));
         });
-        for (variant, ms) in [("tape", tape_ms), ("plan+cache(warm)", plan_ms)] {
+        if t == 1 {
+            batched_speedup_1thr = per_sentence_ms / batched_ms;
+        }
+        for (variant, ms) in
+            [("tape", tape_ms), ("per-sentence", per_sentence_ms), ("batched", batched_ms)]
+        {
             throughput.push(ThroughputRow {
                 variant: variant.to_string(),
                 threads: t,
@@ -236,10 +302,48 @@ fn main() {
                 best_ms: ms,
                 tokens_per_sec: tokens as f64 / (ms / 1e3),
                 speedup_vs_tape_1thr: tape_1thr_ms / ms,
+                batch_compute_efficiency: per_sentence_ms / ms,
             });
         }
     }
     ner_par::set_global_threads(1);
+
+    // -- batched win vs hidden size, 1 thread ----------------------------
+    // A pure BiLSTM+CRF stack (no char channel) isolates the recurrent
+    // GEMMs the batched backend amortizes; parity is asserted per size.
+    let mut batched_hidden_sweep = Vec::new();
+    for &hidden in &[48usize, 128, 256] {
+        let cfg = NerConfig {
+            word: ner_core::config::WordRepr::Random { dim: 64 },
+            char_repr: ner_core::config::CharRepr::None,
+            encoder: ner_core::config::EncoderKind::Lstm { hidden, bidirectional: true, layers: 1 },
+            ..NerConfig::default()
+        };
+        let enc = SentenceEncoder::from_dataset(&corpus, cfg.scheme, 1);
+        let model = NerModel::new(cfg, &enc, None, &mut rng);
+        let swept = NerPipeline::new(enc, model);
+        let batched = swept.annotate_batch(&sentences); // warm + parity input
+        for (i, (b, s)) in batched.iter().zip(&sentences).enumerate() {
+            if b.entities != swept.annotate(s).entities {
+                failures += 1;
+                if failures <= 5 {
+                    eprintln!("hidden={hidden} batched divergence on sentence {i}");
+                }
+            }
+        }
+        let per_sentence_ms = time_batch(rounds, || {
+            for s in &sentences {
+                drop(swept.annotate(s));
+            }
+        });
+        let batched_ms = time_batch(rounds, || drop(swept.annotate_batch(&sentences)));
+        batched_hidden_sweep.push(HiddenSweepRow {
+            hidden,
+            per_sentence_ms,
+            batched_ms,
+            batched_speedup: per_sentence_ms / batched_ms,
+        });
+    }
 
     print_table(
         "single-sentence latency, 1 thread",
@@ -259,7 +363,7 @@ fn main() {
     );
     print_table(
         "batch throughput",
-        &["variant", "thr", "sent", "tokens", "ms", "tok/s", "×tape@1"],
+        &["variant", "thr", "sent", "tokens", "ms", "tok/s", "×tape@1", "eff/row"],
         &throughput
             .iter()
             .map(|r| {
@@ -271,6 +375,22 @@ fn main() {
                     format!("{:.1}", r.best_ms),
                     format!("{:.0}", r.tokens_per_sec),
                     format!("{:.2}", r.speedup_vs_tape_1thr),
+                    format!("{:.2}", r.batch_compute_efficiency),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    print_table(
+        "batched [B,T] vs per-sentence across LSTM hidden sizes, 1 thread",
+        &["hidden", "per-sentence ms", "batched ms", "batched ×"],
+        &batched_hidden_sweep
+            .iter()
+            .map(|r| {
+                vec![
+                    r.hidden.to_string(),
+                    format!("{:.1}", r.per_sentence_ms),
+                    format!("{:.1}", r.batched_ms),
+                    format!("{:.2}", r.batched_speedup),
                 ]
             })
             .collect::<Vec<_>>(),
@@ -282,17 +402,20 @@ fn main() {
         100.0 * token_cache.hit_rate
     );
     println!("p50 speedup, plan+cache(warm) vs tape @1 thread: {p50_speedup:.2}×");
+    println!("batched [B,T] vs per-sentence plan @1 thread: {batched_speedup_1thr:.2}×");
 
     let report = Report {
         experiment: "exp_inference".into(),
-        description: "Single-sentence latency and batch throughput: autograd tape vs compiled ForwardPlan vs plan + token-feature cache; the plan must reproduce the tape's tags exactly".into(),
+        description: "Single-sentence latency and batch throughput: autograd tape vs compiled ForwardPlan vs plan + token-feature cache vs the batched [B,T] backend; every path must reproduce the tape's tags exactly".into(),
         seed: SEED,
         smoke,
         requested_threads,
         host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         p50_speedup_plan_cache_vs_tape: p50_speedup,
+        batched_speedup_vs_per_sentence_1thr: batched_speedup_1thr,
         latency,
         throughput,
+        batched_hidden_sweep,
         token_cache,
         divergence_failures: failures,
     };
@@ -302,7 +425,9 @@ fn main() {
     println!("report: {} (+ BENCH_inference.json)", path.display());
 
     if failures > 0 {
-        eprintln!("{failures} divergence failure(s); the plan must reproduce the tape exactly");
+        eprintln!(
+            "{failures} divergence failure(s); plan and batched paths must reproduce the tape exactly"
+        );
         std::process::exit(1);
     }
 }

@@ -11,8 +11,14 @@
 //!
 //! The headline number is the req/s ratio of `max_batch=32` over
 //! `max_batch=1` at 4 client threads: with concurrent clients the
-//! dispatcher coalesces queued requests into one `extract_batch` call
-//! fanned over the `ner-par` pool, so batching must buy throughput.
+//! dispatcher coalesces queued requests into one `extract_batch` call,
+//! which packs the whole batch into padded `[B,T]` buckets and evaluates
+//! them with one GEMM per timestep — so batching must buy throughput.
+//! Each cell also reports `tokens/s` and `batch_compute_efficiency`: the
+//! per-request model compute (Δ embed+encode+decode stage time over the
+//! cell, per request) of the `max_batch=1` cell at the same client count
+//! divided by this cell's — how much model time the wider batches save
+//! per row, independent of queueing and HTTP overhead.
 //!
 //! Results land in `results/exp_serving.json` (with a run manifest) and,
 //! for the repo-level benchmark snapshot, `BENCH_serving.json`.
@@ -39,10 +45,22 @@ struct ServingRow {
     client_threads: usize,
     requests: usize,
     req_per_s: f64,
+    /// Served tokens per second — req/s weighted by sentence length, the
+    /// throughput unit comparable across workloads.
+    tokens_per_s: f64,
     p50_us: f64,
     p99_us: f64,
     /// Mean scored batch size observed by the dispatcher for this cell.
     mean_batch: f64,
+    /// Model compute spent per request in this cell: Δ(embed + encode +
+    /// decode) histogram sums over the cell divided by its request count.
+    compute_us_per_row: f64,
+    /// Per-row compute of the `max_batch=1` cell at the same client count
+    /// over this cell's [`ServingRow::compute_us_per_row`] — > 1 means the padded
+    /// `[B,T]` batches genuinely cheapen each row, independent of
+    /// queueing and HTTP overhead. `1.0` by construction on baseline
+    /// cells.
+    batch_compute_efficiency: f64,
     /// Per-cell mean stage attribution (µs), from the same server-side
     /// histograms request traces are fed from: where did a request's time
     /// go in this cell?
@@ -87,6 +105,8 @@ struct Report {
 struct Workload {
     texts: Vec<String>,
     expected: Vec<Value>,
+    /// Token count per text, for tokens/s accounting.
+    tokens: Vec<usize>,
 }
 
 fn offline_payload(pipeline: &NerPipeline, text: &str) -> Value {
@@ -144,14 +164,19 @@ fn delta_mean((count0, sum0): (f64, f64), (count1, sum1): (f64, f64)) -> f64 {
     }
 }
 
-/// Runs one grid cell: boots a fresh server, drives it closed-loop, and
-/// tears it down.
+/// Runs one grid cell: boots a fresh server, primes the token-feature
+/// cache with one unmeasured pass over the workload, then drives the
+/// closed-loop clients for `rounds` measured rounds, keeping the best
+/// round's throughput (the same best-of-R discipline `exp_inference`
+/// uses — a shared-machine scheduling hiccup must not masquerade as a
+/// batching effect). Divergence counts accumulate across every round.
 fn run_cell(
     pipeline: NerPipeline,
     workload: &Workload,
     max_batch: usize,
     client_threads: usize,
     reqs_per_thread: usize,
+    rounds: usize,
 ) -> ServingRow {
     let config = ServeConfig {
         max_batch,
@@ -163,58 +188,84 @@ fn run_cell(
     let addr = server.local_addr();
     let server_thread = std::thread::spawn(move || server.run().expect("server run"));
 
-    let snap0 = cell_snapshot();
-    let started = Instant::now();
-    let per_thread: Vec<(Vec<f64>, usize)> = std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..client_threads)
-            .map(|worker| {
-                scope.spawn(move || drive_client(addr, workload, worker, reqs_per_thread))
-            })
-            .collect();
-        workers.into_iter().map(|w| w.join().expect("client thread")).collect()
-    });
-    let wall = started.elapsed().as_secs_f64();
-    let snap1 = cell_snapshot();
+    // Priming pass: every text once, sequentially — the measured rounds
+    // then see a warm token-feature cache in every cell, instead of a
+    // cold-start fraction that shrinks as the cell sends more requests.
+    let _ = drive_client(addr, workload, 0, workload.texts.len());
+
+    let mut best: Option<ServingRow> = None;
+    let mut divergences = 0;
+    for _ in 0..rounds {
+        let snap0 = cell_snapshot();
+        let started = Instant::now();
+        let per_thread: Vec<(Vec<f64>, usize, usize)> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..client_threads)
+                .map(|worker| {
+                    scope.spawn(move || drive_client(addr, workload, worker, reqs_per_thread))
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().expect("client thread")).collect()
+        });
+        let wall = started.elapsed().as_secs_f64();
+        let snap1 = cell_snapshot();
+
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut tokens_served = 0usize;
+        for (lat, tok, div) in per_thread {
+            latencies.extend(lat);
+            tokens_served += tok;
+            divergences += div;
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let quantile = |q: f64| latencies[((latencies.len() - 1) as f64 * q).round() as usize];
+        // Model compute for the round is the growth of the per-batch
+        // stage histograms' sums; per request it is comparable across
+        // cells because every cell serves the same striped workload.
+        let compute_us =
+            (snap1[2].1 - snap0[2].1) + (snap1[3].1 - snap0[3].1) + (snap1[4].1 - snap0[4].1);
+        let row = ServingRow {
+            max_batch,
+            client_threads,
+            requests: latencies.len(),
+            req_per_s: latencies.len() as f64 / wall,
+            tokens_per_s: tokens_served as f64 / wall,
+            p50_us: quantile(0.5),
+            p99_us: quantile(0.99),
+            mean_batch: delta_mean(snap0[0], snap1[0]),
+            compute_us_per_row: compute_us / latencies.len().max(1) as f64,
+            batch_compute_efficiency: 1.0,
+            queue_wait_mean_us: delta_mean(snap0[1], snap1[1]),
+            embed_mean_us: delta_mean(snap0[2], snap1[2]),
+            encode_mean_us: delta_mean(snap0[3], snap1[3]),
+            decode_mean_us: delta_mean(snap0[4], snap1[4]),
+            divergences: 0,
+        };
+        if best.as_ref().is_none_or(|b| row.req_per_s > b.req_per_s) {
+            best = Some(row);
+        }
+    }
 
     let resp = client::post(addr, "/admin/shutdown", "").expect("shutdown");
     assert_eq!(resp.status, 200);
     server_thread.join().expect("server thread");
 
-    let mut latencies: Vec<f64> = Vec::new();
-    let mut divergences = 0;
-    for (lat, div) in per_thread {
-        latencies.extend(lat);
-        divergences += div;
-    }
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let quantile = |q: f64| latencies[((latencies.len() - 1) as f64 * q).round() as usize];
-    ServingRow {
-        max_batch,
-        client_threads,
-        requests: latencies.len(),
-        req_per_s: latencies.len() as f64 / wall,
-        p50_us: quantile(0.5),
-        p99_us: quantile(0.99),
-        mean_batch: delta_mean(snap0[0], snap1[0]),
-        queue_wait_mean_us: delta_mean(snap0[1], snap1[1]),
-        embed_mean_us: delta_mean(snap0[2], snap1[2]),
-        encode_mean_us: delta_mean(snap0[3], snap1[3]),
-        decode_mean_us: delta_mean(snap0[4], snap1[4]),
-        divergences,
-    }
+    let mut row = best.expect("at least one round");
+    row.divergences = divergences;
+    row
 }
 
 /// One closed-loop client: sends `reqs` requests back-to-back over a
 /// keep-alive connection, timing each and checking it against the offline
-/// payload. Returns (latencies in µs, divergence count).
+/// payload. Returns (latencies in µs, tokens served, divergence count).
 fn drive_client(
     addr: SocketAddr,
     workload: &Workload,
     worker: usize,
     reqs: usize,
-) -> (Vec<f64>, usize) {
+) -> (Vec<f64>, usize, usize) {
     let mut conn = client::Conn::connect(addr).expect("connect");
     let mut latencies = Vec::with_capacity(reqs);
+    let mut tokens = 0usize;
     let mut divergences = 0;
     for i in 0..reqs {
         // Stride by worker so concurrent clients hit different texts.
@@ -223,6 +274,7 @@ fn drive_client(
         let t = Instant::now();
         let resp = conn.post("/v1/extract", &body).expect("extract request");
         latencies.push(t.elapsed().as_secs_f64() * 1e6);
+        tokens += workload.tokens[idx];
         assert_eq!(resp.status, 200, "unexpected status: {}", resp.body);
         let served: Value = serde_json::from_str(&resp.body).expect("response json");
         if served != workload.expected[idx] {
@@ -232,7 +284,7 @@ fn drive_client(
             }
         }
     }
-    (latencies, divergences)
+    (latencies, tokens, divergences)
 }
 
 fn main() {
@@ -261,26 +313,56 @@ fn main() {
         .map(|s| s.tokens.iter().map(|t| t.text.as_str()).collect::<Vec<_>>().join(" "))
         .collect();
     let expected: Vec<Value> = texts.iter().map(|t| offline_payload(&offline, t)).collect();
-    let workload = Workload { texts, expected };
+    let tokens: Vec<usize> = corpus.sentences.iter().map(|s| s.tokens.len()).collect();
+    let workload = Workload { texts, expected, tokens };
 
     let reqs_per_thread = match scale {
         Scale::Full => 300,
         Scale::Quick => 30,
+    };
+    let rounds = match scale {
+        Scale::Full => 3,
+        Scale::Quick => 1,
     };
 
     let mut rows = Vec::new();
     for &max_batch in &[1usize, 8, 32] {
         for &client_threads in &[1usize, 4] {
             let (_, pipeline) = build();
-            let row = run_cell(pipeline, &workload, max_batch, client_threads, reqs_per_thread);
+            let row =
+                run_cell(pipeline, &workload, max_batch, client_threads, reqs_per_thread, rounds);
             ner_obs::info(format!(
-                "max_batch={} clients={}: {:.0} req/s (p50 {:.0}µs, p99 {:.0}µs, mean batch {:.1}, \
-                 qwait {:.0}µs, embed/encode/decode {:.0}/{:.0}/{:.0}µs, {} divergences)",
-                row.max_batch, row.client_threads, row.req_per_s, row.p50_us, row.p99_us,
-                row.mean_batch, row.queue_wait_mean_us, row.embed_mean_us, row.encode_mean_us,
-                row.decode_mean_us, row.divergences
+                "max_batch={} clients={}: {:.0} req/s, {:.0} tok/s (p50 {:.0}µs, p99 {:.0}µs, \
+                 mean batch {:.1}, qwait {:.0}µs, compute/row {:.0}µs, {} divergences)",
+                row.max_batch,
+                row.client_threads,
+                row.req_per_s,
+                row.tokens_per_s,
+                row.p50_us,
+                row.p99_us,
+                row.mean_batch,
+                row.queue_wait_mean_us,
+                row.compute_us_per_row,
+                row.divergences
             ));
             rows.push(row);
+        }
+    }
+
+    // Per-row compute efficiency: each cell against the `max_batch=1`
+    // cell at the same client count. Computed as a post-pass so the
+    // baseline row exists regardless of grid order.
+    let baseline_compute: Vec<(usize, f64)> = rows
+        .iter()
+        .filter(|r| r.max_batch == 1)
+        .map(|r| (r.client_threads, r.compute_us_per_row))
+        .collect();
+    for row in &mut rows {
+        if let Some(&(_, base)) = baseline_compute.iter().find(|(ct, _)| *ct == row.client_threads)
+        {
+            if row.compute_us_per_row > 0.0 {
+                row.batch_compute_efficiency = base / row.compute_us_per_row;
+            }
         }
     }
 
@@ -299,13 +381,13 @@ fn main() {
             "clients",
             "reqs",
             "req/s",
+            "tok/s",
             "p50 µs",
             "p99 µs",
             "mean batch",
             "qwait µs",
-            "embed µs",
-            "encode µs",
-            "decode µs",
+            "compute µs/row",
+            "eff/row",
             "diverged",
         ],
         &rows
@@ -316,13 +398,13 @@ fn main() {
                     r.client_threads.to_string(),
                     r.requests.to_string(),
                     format!("{:.0}", r.req_per_s),
+                    format!("{:.0}", r.tokens_per_s),
                     format!("{:.0}", r.p50_us),
                     format!("{:.0}", r.p99_us),
                     format!("{:.1}", r.mean_batch),
                     format!("{:.0}", r.queue_wait_mean_us),
-                    format!("{:.0}", r.embed_mean_us),
-                    format!("{:.0}", r.encode_mean_us),
-                    format!("{:.0}", r.decode_mean_us),
+                    format!("{:.0}", r.compute_us_per_row),
+                    format!("{:.2}", r.batch_compute_efficiency),
                     r.divergences.to_string(),
                 ]
             })

@@ -8,7 +8,7 @@ pub mod recursive;
 use crate::config::EncoderKind;
 use ner_tensor::fused::Activation;
 use ner_tensor::nn::{GruCell, Linear, LstmCell, TransformerBlock};
-use ner_tensor::{init, nn, Exec, ParamId, ParamStore, Tensor};
+use ner_tensor::{init, nn, BatchedExec, Exec, FusedVal, ParamId, ParamStore, Tensor};
 use rand::Rng;
 
 /// A built context encoder: maps `[n, in_dim] → [n, out_dim]`.
@@ -230,6 +230,70 @@ impl Encoder {
                 }
                 h
             }
+        }
+    }
+
+    /// Encodes a packed batch `x [N, in_dim] → [N, out_dim]` on the
+    /// batched backend; each segment's output rows are bit-identical to
+    /// [`Self::forward`] on that segment alone.
+    ///
+    /// Most encoder kinds fall through to the generic forward — the
+    /// [`BatchedExec`] overrides already make convolutions, sequence
+    /// reversal and the recurrent runners segment-aware. The three cases
+    /// with sentence-shaped intermediates that those overrides cannot see
+    /// (window stacking, the global max pool, the attention core) are
+    /// handled per segment here.
+    pub fn forward_batch(
+        &self,
+        bx: &mut BatchedExec<'_>,
+        store: &ParamStore,
+        x: FusedVal,
+    ) -> FusedVal {
+        match &self.imp {
+            EncoderImpl::WindowMlp { lin, window } => {
+                // Window stacking pads with zeros at *sentence* edges, so
+                // it runs per segment on the inner backend.
+                let mut segs = Vec::with_capacity(bx.segments());
+                for s in 0..bx.segments() {
+                    let xs = bx.slice_segment(x, s);
+                    segs.push(window_concat(bx.inner_mut(), xs, *window));
+                }
+                let windowed = bx.inner_mut().concat_rows(&segs);
+                lin.forward_act(bx, store, windowed, Activation::Tanh)
+            }
+            EncoderImpl::Cnn { layers, width, global: true } => {
+                let mut h = x;
+                for (w, b) in layers {
+                    let wv = bx.param(store, *w);
+                    let bv = bx.param(store, *b);
+                    h = bx.conv1d_act(h, wv, bv, *width, 1, Activation::Relu);
+                }
+                // The global feature is a *sentence-level* max, broadcast
+                // back over that sentence's positions only.
+                let mut segs = Vec::with_capacity(bx.segments());
+                for s in 0..bx.segments() {
+                    let hs = bx.slice_segment(h, s);
+                    let n = bx.len_of(s);
+                    let ex = bx.inner_mut();
+                    let g = ex.max_over_rows(hs);
+                    segs.push(ex.concat_rows(&vec![g; n]));
+                }
+                let broadcast = bx.inner_mut().concat_rows(&segs);
+                bx.concat_cols(&[h, broadcast])
+            }
+            EncoderImpl::Transformer { proj, blocks, d_model } => {
+                let p = proj.forward(bx, store, x);
+                let n = bx.value(p).rows();
+                let pe = bx.positional_encoding(n, *d_model);
+                let mut h = bx.add(p, pe);
+                for block in blocks {
+                    h = block.forward_batch(bx, store, h, false);
+                }
+                h
+            }
+            // Identity, plain CNN, ID-CNN, LSTM and GRU: every op in the
+            // generic forward is row-wise or already overridden.
+            _ => self.forward(bx, store, x),
         }
     }
 }

@@ -2,9 +2,9 @@
 //! (the paper's Fig. 1 task illustration).
 
 use crate::model::NerModel;
-use crate::plan::{ForwardPlan, DEFAULT_TOKEN_CACHE};
-use crate::repr::SentenceEncoder;
-use ner_text::{tokenize, Sentence};
+use crate::plan::{BatchedPlan, ForwardPlan, DEFAULT_TOKEN_CACHE};
+use crate::repr::{EncodedSentence, SentenceEncoder};
+use ner_text::{tokenize, EntitySpan, Sentence};
 
 /// A trained model bundled with its data encoder — the deployable artifact.
 ///
@@ -111,58 +111,166 @@ impl NerPipeline {
             ner_obs::counter("infer.cache.hits", hits as f64);
             ner_obs::counter("infer.cache.misses", misses as f64);
         }
+        let batch_lookups = self.plan.take_token_cache_batch_lookups();
+        if batch_lookups > 0 {
+            ner_obs::counter("infer.cache.batch_lookups", batch_lookups as f64);
+        }
     }
 
-    /// Tokenizes and annotates a batch of raw texts, fanning the sentences
-    /// out over the global `ner-par` pool. Scoring is read-only, so the
-    /// output is identical to calling [`extract`](Self::extract) per text,
-    /// at any thread count; each sentence still feeds the
-    /// `infer.sentence_us` histogram individually.
+    /// Tokenizes and annotates a batch of raw texts through the **packed
+    /// batched forward**: sentences are grouped into length-sorted compute
+    /// buckets ([`BatchedPlan::buckets`]) and each bucket scores as one
+    /// [`NerModel::predict_spans_batch`] call — one GEMM per op (and per
+    /// timestep for the recurrent encoders) across the whole bucket,
+    /// instead of one forward per sentence. Buckets fan out over the
+    /// global `ner-par` pool. The batched backend is bit-identical to the
+    /// per-sentence plan, so the output equals calling
+    /// [`extract`](Self::extract) per text, at any thread count.
     pub fn extract_batch(&self, texts: &[&str]) -> Vec<Sentence> {
         self.extract_batch_traced(texts, &[])
     }
 
     /// [`extract_batch`](Self::extract_batch) with per-request trace
-    /// attribution: `traces[i]` (when present) is installed as the scoring
-    /// thread's active [`TraceCtx`](ner_obs::trace::TraceCtx) while text
-    /// `i` scores, so the per-stage `infer.*` timings land on the owning
-    /// request, and a `batch_form` stage records how long the request sat
-    /// between dequeue and its own scoring slot. `traces` may be shorter
-    /// than `texts` (missing entries score untraced); outputs are
-    /// byte-identical either way.
+    /// attribution: `traces[i]` (when present) receives a `batch_form`
+    /// stage (dequeue → scoring start), its sentence's `featurize` stage,
+    /// and the `embed`/`encode`/`decode` timings of the compute bucket the
+    /// sentence scored in. Bucket stages land on every member trace in
+    /// full — for batched requests the per-stage sum can exceed the
+    /// request's wall time, which [`ner_obs::trace::TraceRecord`]
+    /// documents. `traces` may be shorter than `texts` (missing entries
+    /// score untraced); outputs are byte-identical either way.
     pub fn extract_batch_traced(
         &self,
         texts: &[&str],
         traces: &[Option<ner_obs::trace::TraceCtx>],
     ) -> Vec<Sentence> {
         use crate::plan::stage;
-        let score = |i: usize| match traces.get(i).and_then(Option::as_ref) {
-            Some(trace) => {
+        let trace_of = |i: usize| traces.get(i).and_then(Option::as_ref);
+
+        // Featurize on the dispatching thread, per sentence, with the
+        // owning trace installed so `infer.featurize_us` tees to it.
+        let mut base: Vec<Sentence> = Vec::with_capacity(texts.len());
+        let mut encs: Vec<Option<EncodedSentence>> = Vec::with_capacity(texts.len());
+        let mut featurize_us: Vec<f64> = vec![0.0; texts.len()];
+        for (i, text) in texts.iter().enumerate() {
+            if let Some(trace) = trace_of(i) {
                 trace.stage_since_mark(stage::BATCH_FORM, stage::MARK_DEQUEUE);
-                let _active = trace.install();
-                self.extract(texts[i])
             }
-            None => self.extract(texts[i]),
-        };
-        let pool = ner_par::global();
-        if pool.threads() <= 1 || texts.len() < 2 {
-            return (0..texts.len()).map(score).collect();
+            let tokens = tokenize::tokenize(text);
+            if tokens.is_empty() {
+                base.push(Sentence::default());
+                encs.push(None);
+                continue;
+            }
+            let sentence = Sentence::unlabeled(&tokens);
+            let t = std::time::Instant::now();
+            let _active = trace_of(i).map(|tr| tr.install());
+            let enc = self.encoder.encode(&sentence);
+            let us = t.elapsed().as_secs_f64() * 1e6;
+            ner_obs::trace::observe_stage(stage::FEATURIZE_US, stage::FEATURIZE, us);
+            featurize_us[i] = us;
+            base.push(sentence);
+            encs.push(Some(enc));
         }
-        let out = pool.map(texts.len(), score);
-        export_pool_stats();
-        out
+
+        let lens: Vec<usize> = encs.iter().map(|e| e.as_ref().map_or(0, |e| e.len())).collect();
+        let spans = self.score_buckets(&encs, &lens, |bucket, stages, bucket_us| {
+            let share = bucket_us / bucket.len() as f64;
+            for &i in bucket {
+                if let Some(trace) = trace_of(i) {
+                    trace.stage(stage::EMBED, stages.embed_us);
+                    trace.stage(stage::ENCODE, stages.encode_us);
+                    trace.stage(stage::DECODE, stages.decode_us);
+                }
+                ner_obs::observe("infer.sentence_us", featurize_us[i] + share);
+                ner_obs::counter("infer.tokens", lens[i] as f64);
+            }
+        });
+
+        base.into_iter()
+            .zip(spans)
+            .map(|(s, entities)| Sentence { tokens: s.tokens, entities })
+            .collect()
     }
 
-    /// Annotates a batch of pre-tokenized sentences in parallel (see
-    /// [`extract_batch`](Self::extract_batch) for the guarantees).
+    /// Annotates a batch of pre-tokenized sentences through the same
+    /// packed batched forward as [`extract_batch`](Self::extract_batch)
+    /// (existing entities are ignored; empty sentences come back empty).
     pub fn annotate_batch(&self, sentences: &[Sentence]) -> Vec<Sentence> {
-        let pool = ner_par::global();
-        if pool.threads() <= 1 || sentences.len() < 2 {
-            return sentences.iter().map(|s| self.annotate(s)).collect();
+        use crate::plan::stage;
+        let mut encs: Vec<Option<EncodedSentence>> = Vec::with_capacity(sentences.len());
+        let mut featurize_us: Vec<f64> = vec![0.0; sentences.len()];
+        for (i, s) in sentences.iter().enumerate() {
+            if s.is_empty() {
+                encs.push(None);
+                continue;
+            }
+            let t = std::time::Instant::now();
+            let enc = self.encoder.encode(s);
+            let us = t.elapsed().as_secs_f64() * 1e6;
+            ner_obs::trace::observe_stage(stage::FEATURIZE_US, stage::FEATURIZE, us);
+            featurize_us[i] = us;
+            encs.push(Some(enc));
         }
-        let out = pool.map(sentences.len(), |i| self.annotate(&sentences[i]));
+        let lens: Vec<usize> = sentences.iter().map(Sentence::len).collect();
+        let spans = self.score_buckets(&encs, &lens, |bucket, _stages, bucket_us| {
+            let share = bucket_us / bucket.len() as f64;
+            for &i in bucket {
+                ner_obs::observe("infer.sentence_us", featurize_us[i] + share);
+                ner_obs::counter("infer.tokens", lens[i] as f64);
+            }
+        });
+        sentences
+            .iter()
+            .zip(spans)
+            .map(|(s, entities)| Sentence { tokens: s.tokens.clone(), entities })
+            .collect()
+    }
+
+    /// Shared bucket-scoring engine behind the batch entry points: groups
+    /// the non-empty sentences into length-sorted buckets, scores each
+    /// bucket as one packed forward (buckets fan out over the `ner-par`
+    /// pool when it has threads to spare), runs `attribute` per bucket on
+    /// the calling thread, and returns one span list per input slot
+    /// (empty for empty inputs).
+    fn score_buckets(
+        &self,
+        encs: &[Option<EncodedSentence>],
+        lens: &[usize],
+        mut attribute: impl FnMut(&[usize], &crate::model::BatchStageMicros, f64),
+    ) -> Vec<Vec<EntitySpan>> {
+        use crate::plan::stage;
+        let pool = ner_par::global();
+        let buckets = BatchedPlan::new(&self.plan).buckets(lens, pool.threads());
+        let mut results: Vec<Vec<EntitySpan>> = vec![Vec::new(); encs.len()];
+        if buckets.is_empty() {
+            return results;
+        }
+        let score = |b: usize| {
+            let members: Vec<&EncodedSentence> =
+                buckets[b].iter().map(|&i| encs[i].as_ref().expect("bucketed")).collect();
+            let t = std::time::Instant::now();
+            let (spans, stages) = self.model.predict_spans_batch(&self.plan, &members);
+            (spans, stages, t.elapsed().as_secs_f64() * 1e6)
+        };
+        let scored: Vec<_> = if pool.threads() > 1 && buckets.len() > 1 {
+            pool.map(buckets.len(), score)
+        } else {
+            (0..buckets.len()).map(score).collect()
+        };
+        for (bucket, (spans, stages, bucket_us)) in buckets.iter().zip(scored) {
+            // Batch-compute histograms: one observation per packed forward.
+            ner_obs::observe(stage::EMBED_US, stages.embed_us);
+            ner_obs::observe(stage::ENCODE_US, stages.encode_us);
+            ner_obs::observe(stage::DECODE_US, stages.decode_us);
+            attribute(bucket, &stages, bucket_us);
+            for (&i, s) in bucket.iter().zip(spans) {
+                results[i] = s;
+            }
+        }
+        self.export_cache_stats();
         export_pool_stats();
-        out
+        results
     }
 }
 

@@ -9,7 +9,7 @@ use crate::plan::ForwardPlan;
 use crate::repr::{EncodedSentence, InputLayer, SentenceEncoder};
 use ner_embed::WordEmbeddings;
 use ner_tensor::nn::Linear;
-use ner_tensor::{Exec, FusedExec, ParamStore, Tape, Tensor, Var};
+use ner_tensor::{BatchedExec, Exec, FusedExec, FusedVal, ParamStore, Tape, Tensor, Var};
 use ner_text::{EntitySpan, TagSet};
 use rand::Rng;
 
@@ -19,6 +19,20 @@ enum Head {
     SemiCrf { proj: Linear, crf: SemiCrf },
     Rnn { dec: RnnDecoder },
     Pointer { dec: PointerDecoder },
+}
+
+/// Wall-clock split of one batched forward
+/// ([`NerModel::predict_spans_batch`]) across the inference stages, in
+/// microseconds. These cover the *whole batch*; the caller amortizes or
+/// attributes them per sentence.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchStageMicros {
+    /// Input-layer time (embeddings + char composition + cache traffic).
+    pub embed_us: f64,
+    /// Context-encoder time.
+    pub encode_us: f64,
+    /// Decode time (emission projection + per-sentence search).
+    pub decode_us: f64,
 }
 
 /// A complete neural NER model.
@@ -283,6 +297,102 @@ impl NerModel {
     pub fn predict_tags_planned(&self, plan: &ForwardPlan, enc: &EncodedSentence) -> Vec<String> {
         let spans = self.predict_spans_planned(plan, enc);
         self.tag_set.scheme().spans_to_tags(enc.len(), &spans)
+    }
+
+    /// Scores a whole batch of (non-empty) sentences as one packed
+    /// [`BatchedExec`] forward: the input layer, the encoder and the
+    /// decoder's emission projection each run as single batch-wide
+    /// operations; only the structured decode (Viterbi / segment DP /
+    /// greedy steps) runs per sentence, over that sentence's slice of the
+    /// batched emissions. Predictions are bit-identical to
+    /// [`Self::predict_spans_planned`] on each sentence alone.
+    ///
+    /// Returns one span list per input (same order) plus the wall-clock
+    /// split across the embed/encode/decode stages — the caller decides
+    /// how to attribute those to histograms and traces, since one batch
+    /// serves many requests.
+    pub fn predict_spans_batch(
+        &self,
+        plan: &ForwardPlan,
+        encs: &[&EncodedSentence],
+    ) -> (Vec<Vec<EntitySpan>>, BatchStageMicros) {
+        assert!(!encs.is_empty(), "predict_spans_batch needs at least one sentence");
+        let lens: Vec<usize> = encs.iter().map(|e| e.len()).collect();
+        let mut bx = BatchedExec::new(&self.store, &lens).with_pe_cache(plan.pe_cache());
+        let t0 = std::time::Instant::now();
+        let x = self.input.forward_batch(&mut bx, &self.store, encs, plan.token_cache());
+        let t1 = std::time::Instant::now();
+        let h = self.encoder.forward_batch(&mut bx, &self.store, x);
+        let t2 = std::time::Instant::now();
+        let spans = self.decode_from_states_batch(&mut bx, h, plan.crf_tables());
+        let stages = BatchStageMicros {
+            embed_us: (t1 - t0).as_secs_f64() * 1e6,
+            encode_us: (t2 - t1).as_secs_f64() * 1e6,
+            decode_us: t2.elapsed().as_secs_f64() * 1e6,
+        };
+        (spans, stages)
+    }
+
+    /// Batched decode: the emission projection runs as one GEMM over the
+    /// packed encoder states wherever the head has one (softmax, CRF,
+    /// semi-CRF); the structured search itself stays per sentence.
+    fn decode_from_states_batch(
+        &self,
+        bx: &mut BatchedExec<'_>,
+        h: FusedVal,
+        tables: Option<&CrfDecodeTables>,
+    ) -> Vec<Vec<EntitySpan>> {
+        let nseg = bx.segments();
+        let mut out = Vec::with_capacity(nseg);
+        match &self.head {
+            Head::Softmax { proj } => {
+                let logits = proj.forward(bx, &self.store, h);
+                let v = bx.value(logits);
+                for s in 0..nseg {
+                    let (off, len) = (bx.offset_of(s), bx.len_of(s));
+                    let tags: Vec<usize> = (off..off + len).map(|r| v.argmax_row(r)).collect();
+                    out.push(self.tags_to_spans(&tags));
+                }
+            }
+            Head::Crf { proj, crf } => {
+                let emissions = proj.forward(bx, &self.store, h);
+                for s in 0..nseg {
+                    let es = bx.slice_segment(emissions, s);
+                    let tags = match tables {
+                        Some(t) => t.viterbi(bx.value(es)).0,
+                        None => {
+                            let constraints =
+                                self.cfg.constrained_decoding.then_some(&self.tag_set);
+                            crf.viterbi(&self.store, bx.value(es), constraints).0
+                        }
+                    };
+                    out.push(self.tags_to_spans(&tags));
+                }
+            }
+            Head::SemiCrf { proj, crf } => {
+                let emissions = proj.forward(bx, &self.store, h);
+                for s in 0..nseg {
+                    let es = bx.slice_segment(emissions, s);
+                    let segs = crf.decode(&self.store, bx.value(es));
+                    out.push(SemiCrf::segments_to_spans(&segs, &self.entity_types));
+                }
+            }
+            Head::Rnn { dec } => {
+                for s in 0..nseg {
+                    let hs = bx.slice_segment(h, s);
+                    let tags = dec.decode(bx.inner_mut(), &self.store, hs);
+                    out.push(self.tags_to_spans(&tags));
+                }
+            }
+            Head::Pointer { dec } => {
+                for s in 0..nseg {
+                    let hs = bx.slice_segment(h, s);
+                    let segs = dec.decode(bx.inner_mut(), &self.store, hs);
+                    out.push(SemiCrf::segments_to_spans(&segs, &self.entity_types));
+                }
+            }
+        }
+        out
     }
 
     /// The decoder's *raw* tag sequence for token-level decoders (softmax,

@@ -29,13 +29,17 @@
 //! differently.
 
 use crate::decoder::crf::CrfDecodeTables;
-use ner_tensor::PeCache;
+use ner_tensor::{PeCache, Tensor};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Default capacity of the per-plan token feature cache.
 pub const DEFAULT_TOKEN_CACHE: usize = 4096;
+
+/// Default cap on how many sentences one packed
+/// [`ner_tensor::BatchedExec`] forward evaluates together.
+pub const DEFAULT_COMPUTE_BATCH: usize = 32;
 
 /// Canonical names for the per-request inference stages: the histogram
 /// each stage feeds and the short label it carries inside a
@@ -138,6 +142,65 @@ impl ForwardPlan {
             (c.hits.swap(0, Ordering::Relaxed), c.misses.swap(0, Ordering::Relaxed))
         })
     }
+
+    /// Takes (reads and resets) the count of whole-batch cache lookups —
+    /// each is one lock acquisition covering every token of a packed batch
+    /// (the feed for the `infer.cache.batch_lookups` counter).
+    pub fn take_token_cache_batch_lookups(&self) -> u64 {
+        self.token_cache.as_ref().map_or(0, |c| c.batch_lookups.swap(0, Ordering::Relaxed))
+    }
+}
+
+/// The batched entry point over a compiled [`ForwardPlan`]: decides how a
+/// set of sentences is grouped into packed compute batches for
+/// [`ner_tensor::BatchedExec`] scoring.
+///
+/// Buckets are **length-sorted**: sentences are ordered longest-first and
+/// chunked, so each packed batch holds sentences of similar length and the
+/// per-timestep live-row prefix shrinks late — the batched recurrent GEMMs
+/// stay near-full instead of degrading toward per-sentence work. Because
+/// the batched backend is bit-identical to the per-sentence path, bucket
+/// composition (and therefore thread count) cannot change predictions —
+/// only throughput.
+pub struct BatchedPlan<'a> {
+    plan: &'a ForwardPlan,
+    max_compute_batch: usize,
+}
+
+impl<'a> BatchedPlan<'a> {
+    /// A batched entry point with the default compute-batch cap.
+    pub fn new(plan: &'a ForwardPlan) -> Self {
+        BatchedPlan { plan, max_compute_batch: DEFAULT_COMPUTE_BATCH }
+    }
+
+    /// Overrides the maximum number of sentences per packed batch.
+    pub fn with_max_compute_batch(mut self, cap: usize) -> Self {
+        self.max_compute_batch = cap.max(1);
+        self
+    }
+
+    /// The underlying compiled plan.
+    pub fn plan(&self) -> &'a ForwardPlan {
+        self.plan
+    }
+
+    /// Groups sentence indices into length-sorted compute buckets.
+    ///
+    /// `lens[i]` is the token count of sentence `i`; zero-length sentences
+    /// are skipped (they have nothing to score). Indices come back sorted
+    /// longest-first (ties by index, so bucketing is deterministic),
+    /// chunked to at most `max_compute_batch` sentences while leaving at
+    /// least `threads` buckets when there is enough work to go around.
+    pub fn buckets(&self, lens: &[usize], threads: usize) -> Vec<Vec<usize>> {
+        let mut idx: Vec<usize> = (0..lens.len()).filter(|&i| lens[i] > 0).collect();
+        idx.sort_by_key(|&i| std::cmp::Reverse(lens[i]));
+        if idx.is_empty() {
+            return Vec::new();
+        }
+        let threads = threads.max(1);
+        let chunk = idx.len().div_ceil(threads).clamp(1, self.max_compute_batch);
+        idx.chunks(chunk).map(|c| c.to_vec()).collect()
+    }
 }
 
 /// A thread-safe LRU cache of per-token base representation rows, keyed by
@@ -147,6 +210,7 @@ pub struct TokenFeatureCache {
     inner: Mutex<Lru>,
     hits: AtomicU64,
     misses: AtomicU64,
+    batch_lookups: AtomicU64,
 }
 
 impl TokenFeatureCache {
@@ -156,6 +220,7 @@ impl TokenFeatureCache {
             inner: Mutex::new(Lru::new(capacity)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            batch_lookups: AtomicU64::new(0),
         }
     }
 
@@ -182,6 +247,36 @@ impl TokenFeatureCache {
     /// recently used entry when full.
     pub(crate) fn insert(&self, token: &str, row: Vec<f32>) {
         self.inner.lock().unwrap().insert(token, row);
+    }
+
+    /// Looks up every token of a packed batch under **one** lock
+    /// acquisition: hit rows are copied into the matching rows of
+    /// `dst [tokens.len(), base_dim]`, and the indices of the misses come
+    /// back for the caller to compute. Counts one batch lookup plus the
+    /// per-token hits/misses.
+    pub(crate) fn lookup_batch(&self, tokens: &[&str], dst: &mut Tensor) -> Vec<usize> {
+        let mut missed = Vec::new();
+        {
+            let mut lru = self.inner.lock().unwrap();
+            for (i, tok) in tokens.iter().enumerate() {
+                match lru.get(tok) {
+                    Some(row) => dst.row_mut(i).copy_from_slice(row),
+                    None => missed.push(i),
+                }
+            }
+        }
+        self.batch_lookups.fetch_add(1, Ordering::Relaxed);
+        self.hits.fetch_add((tokens.len() - missed.len()) as u64, Ordering::Relaxed);
+        self.misses.fetch_add(missed.len() as u64, Ordering::Relaxed);
+        missed
+    }
+
+    /// Inserts a batch of freshly computed rows under one lock acquisition.
+    pub(crate) fn insert_batch(&self, entries: Vec<(&str, Vec<f32>)>) {
+        let mut lru = self.inner.lock().unwrap();
+        for (tok, row) in entries {
+            lru.insert(tok, row);
+        }
     }
 
     /// Number of cached tokens.
@@ -347,6 +442,38 @@ mod tests {
         assert_eq!(pe.get(5, 16).cols(), 16);
         assert_eq!(*pe.get(5, 8), nn::positional_encoding(5, 8));
         assert_eq!(*pe.get(5, 16), nn::positional_encoding(5, 16));
+    }
+
+    #[test]
+    fn batch_lookup_copies_hits_and_returns_miss_indices() {
+        let plan = ForwardPlan::new(None, 4);
+        let cache = plan.token_cache().unwrap();
+        cache.insert("a", vec![1.0, 2.0]);
+        let mut dst = Tensor::zeros(3, 2);
+        let missed = cache.lookup_batch(&["a", "b", "a"], &mut dst);
+        assert_eq!(missed, vec![1]);
+        assert_eq!(dst.row(0), [1.0, 2.0]);
+        assert_eq!(dst.row(2), [1.0, 2.0]);
+        assert_eq!(plan.token_cache_stats(), (2, 1));
+        // One whole-batch lookup == one lock acquisition counted.
+        assert_eq!(plan.take_token_cache_batch_lookups(), 1);
+        cache.insert_batch(vec![("b", vec![3.0, 4.0])]);
+        let missed = cache.lookup_batch(&["b", "a"], &mut dst);
+        assert!(missed.is_empty());
+        assert_eq!(dst.row(0), [3.0, 4.0]);
+        assert_eq!(plan.take_token_cache_batch_lookups(), 1);
+    }
+
+    #[test]
+    fn buckets_are_length_sorted_capped_and_skip_empties() {
+        let plan = ForwardPlan::new(None, 0);
+        let bp = BatchedPlan::new(&plan).with_max_compute_batch(2);
+        // Longest first, ties by index, zero-length dropped, chunks of ≤ 2.
+        assert_eq!(bp.buckets(&[3, 0, 7, 7, 1, 5], 1), vec![vec![2, 3], vec![5, 0], vec![4]]);
+        // Enough work for every thread: 8 sentences over 4 threads → 4 buckets.
+        assert_eq!(BatchedPlan::new(&plan).buckets(&[4; 8], 4).len(), 4);
+        assert!(bp.buckets(&[0, 0], 4).is_empty());
+        assert!(bp.buckets(&[], 1).is_empty());
     }
 
     #[test]

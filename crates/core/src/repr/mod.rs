@@ -15,7 +15,7 @@ use crate::plan::TokenFeatureCache;
 use ner_embed::{ContextualEmbedder, WordEmbeddings};
 use ner_tensor::fused::Activation;
 use ner_tensor::nn::{Embedding, Linear, LstmCell};
-use ner_tensor::{init, Exec, ParamId, ParamStore, Tensor};
+use ner_tensor::{init, BatchedExec, Exec, FusedVal, ParamId, ParamStore, Tensor};
 use ner_text::features::{token_features, FEATURE_DIM};
 use ner_text::pos::{tag_sentence, POS_DIM};
 use ner_text::{Dataset, EntitySpan, Gazetteer, Sentence, TagScheme, TagSet, Vocab};
@@ -357,6 +357,130 @@ impl InputLayer {
         }
     }
 
+    /// Assembles the packed `[N, out_dim]` input matrix for a whole batch
+    /// of sentences (`N = Σ lenᵢ`, segment layout owned by `bx`). Rows are
+    /// bit-identical to running [`Self::forward`] per sentence: every base
+    /// op treats rows independently, the char composition runs per word on
+    /// the inner backend either way, and the feature/context columns are
+    /// plain copies.
+    ///
+    /// With a token cache, the whole batch is served through **one** lock
+    /// acquisition (`TokenFeatureCache::lookup_batch`) instead of one per
+    /// token, and duplicate uncached surfaces are computed once.
+    pub fn forward_batch(
+        &self,
+        bx: &mut BatchedExec<'_>,
+        store: &ParamStore,
+        encs: &[&EncodedSentence],
+        cache: Option<&TokenFeatureCache>,
+    ) -> FusedVal {
+        debug_assert_eq!(encs.len(), bx.segments(), "one encoded sentence per segment");
+        let base = match cache {
+            Some(c) => self.cached_base_batch(bx, store, encs, c),
+            None => self.packed_base_batch(bx, store, encs),
+        };
+
+        let mut parts: Vec<FusedVal> = Vec::with_capacity(3);
+        parts.push(base);
+        if self.feat_dim > 0 {
+            let rows: Vec<&Vec<f32>> = encs.iter().flat_map(|e| e.feats.iter()).collect();
+            parts.push(bx.constant(row_refs_to_tensor(&rows, self.feat_dim)));
+        }
+        if self.ctx_dim > 0 {
+            let rows: Vec<&Vec<f32>> = encs.iter().flat_map(|e| e.ctx.iter()).collect();
+            assert_eq!(rows.len(), bx.total_rows(), "contextual vectors missing from batch");
+            parts.push(bx.constant(row_refs_to_tensor(&rows, self.ctx_dim)));
+        }
+        if parts.len() == 1 {
+            parts[0]
+        } else {
+            bx.concat_cols(&parts)
+        }
+    }
+
+    /// Packed-batch analogue of [`Self::batched_base`]: one embedding
+    /// gather over every word id in the batch, char rows stacked across
+    /// sentence boundaries (each word's composition still runs alone on
+    /// the inner backend), and the gate applied to the whole packed matrix
+    /// — all row-wise, so rows match the per-sentence formulation bit for
+    /// bit.
+    fn packed_base_batch(
+        &self,
+        bx: &mut BatchedExec<'_>,
+        store: &ParamStore,
+        encs: &[&EncodedSentence],
+    ) -> FusedVal {
+        let word_ids: Vec<usize> = encs.iter().flat_map(|e| e.word_ids.iter().copied()).collect();
+        let words = self.word_emb.lookup(bx, store, &word_ids);
+        let cm = match &self.char {
+            None => return words,
+            Some(cm) => cm,
+        };
+        let rows: Vec<FusedVal> = encs
+            .iter()
+            .flat_map(|e| e.char_ids.iter())
+            .map(|chars| cm.word_vector(bx.inner_mut(), store, chars))
+            .collect();
+        let chars = bx.inner_mut().concat_rows(&rows);
+        match &self.gate {
+            Some(gate) => {
+                // z = σ(W[w;c]); rep = z⊙w + (c − z⊙c).
+                let both = bx.concat_cols(&[words, chars]);
+                let z = gate.forward_act(bx, store, both, Activation::Sigmoid);
+                let zw = bx.mul(z, words);
+                let zc = bx.mul(z, chars);
+                let c_minus = bx.sub(chars, zc);
+                bx.add(zw, c_minus)
+            }
+            None => bx.concat_cols(&[words, chars]),
+        }
+    }
+
+    /// Packed-batch analogue of [`Self::cached_base`]: hits for the whole
+    /// batch are copied under a single cache lock, missed surfaces are
+    /// computed once each (duplicates within the batch share the row), and
+    /// the fresh rows feed back in one batched insert. Values are
+    /// bit-identical to the per-sentence cached path.
+    fn cached_base_batch(
+        &self,
+        bx: &mut BatchedExec<'_>,
+        store: &ParamStore,
+        encs: &[&EncodedSentence],
+        cache: &TokenFeatureCache,
+    ) -> FusedVal {
+        let tokens: Vec<&str> =
+            encs.iter().flat_map(|e| e.tokens.iter().map(String::as_str)).collect();
+        let mut base = Tensor::zeros_pooled(tokens.len(), self.base_dim());
+        let missed = cache.lookup_batch(&tokens, &mut base);
+        if !missed.is_empty() {
+            let word_ids: Vec<usize> =
+                encs.iter().flat_map(|e| e.word_ids.iter().copied()).collect();
+            let char_ids: Vec<&[usize]> =
+                encs.iter().flat_map(|e| e.char_ids.iter().map(Vec::as_slice)).collect();
+            // Discovery-ordered so cache insertion order is deterministic.
+            let mut fresh: Vec<(&str, Vec<f32>)> = Vec::new();
+            let mut by_surface: std::collections::HashMap<&str, usize> =
+                std::collections::HashMap::new();
+            for &i in &missed {
+                let token = tokens[i];
+                let slot = match by_surface.get(token) {
+                    Some(&f) => f,
+                    None => {
+                        let ex = bx.inner_mut();
+                        let v = self.base_row(ex, store, word_ids[i], char_ids[i]);
+                        let row = ex.value(v).row(0).to_vec();
+                        fresh.push((token, row));
+                        by_surface.insert(token, fresh.len() - 1);
+                        fresh.len() - 1
+                    }
+                };
+                base.row_mut(i).copy_from_slice(&fresh[slot].1);
+            }
+            cache.insert_batch(fresh);
+        }
+        bx.constant(base)
+    }
+
     /// Width of the cacheable per-token base slice (word + char [+ gate]) —
     /// everything in [`forward`](Self::forward) that depends only on the
     /// token itself, not its sentence position.
@@ -452,6 +576,15 @@ impl InputLayer {
 }
 
 fn rows_to_tensor(rows: &[Vec<f32>], dim: usize) -> Tensor {
+    let mut t = Tensor::zeros(rows.len(), dim);
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.len(), dim, "feature row width mismatch");
+        t.row_mut(i).copy_from_slice(row);
+    }
+    t
+}
+
+fn row_refs_to_tensor(rows: &[&Vec<f32>], dim: usize) -> Tensor {
     let mut t = Tensor::zeros(rows.len(), dim);
     for (i, row) in rows.iter().enumerate() {
         assert_eq!(row.len(), dim, "feature row width mismatch");

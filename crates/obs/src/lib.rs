@@ -261,7 +261,13 @@ impl Histogram {
                 if hi <= lo {
                     return lo;
                 }
-                return lo + (hi - lo) * ((rank - cum) as f64 / c as f64);
+                // Continuity correction: the rank-th observation is treated
+                // as sitting at the *middle* of its 1/c slice of the bucket,
+                // not at its upper edge. Without the -0.5 a rank landing on
+                // the last in-bucket observation returns exactly `hi`, so
+                // low-count stages report quantiles frozen at bucket
+                // boundaries (e.g. a p99 of exactly 32 from two samples).
+                return lo + (hi - lo) * (((rank - cum) as f64 - 0.5) / c as f64);
             }
             cum += c;
         }
@@ -881,6 +887,36 @@ mod tests {
         assert_eq!(h.quantile(1.0), 3.0);
         let s = h.summary("x");
         assert_eq!((s.min, s.max, s.mean), (3.0, 3.0, 3.0));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets_on_a_known_distribution() {
+        // Uniform 1..=1000 through the standard latency buckets. The true
+        // percentiles fall mid-bucket; the estimate must land near them
+        // instead of snapping to a power-of-two boundary.
+        let mut h = Histogram::latency_micros();
+        for v in 1..=1000 {
+            h.record(v as f64);
+        }
+        assert!((h.quantile(0.50) - 500.0).abs() <= 2.0, "p50 = {}", h.quantile(0.50));
+        assert!((h.quantile(0.90) - 900.0).abs() <= 2.0, "p90 = {}", h.quantile(0.90));
+        assert!((h.quantile(0.99) - 990.0).abs() <= 2.0, "p99 = {}", h.quantile(0.99));
+    }
+
+    #[test]
+    fn low_count_quantiles_are_not_truncated_to_bucket_boundaries() {
+        // Regression: with {20, 100} every quantile up to p50 used to come
+        // back as exactly 32.0 — the upper edge of 20's (16, 32] bucket —
+        // because the in-bucket fraction hit 1.0. The corrected estimate
+        // stays strictly inside the bucket.
+        let mut h = Histogram::latency_micros();
+        h.record(20.0);
+        h.record(100.0);
+        let p50 = h.quantile(0.50);
+        assert!(p50 > 20.0 && p50 < 32.0, "p50 = {p50} snapped to a bucket edge");
+        // And the top quantile is still clamped to the observed max, never
+        // the overflow bound of 100's bucket.
+        assert!(h.quantile(0.99) <= 100.0);
     }
 
     #[test]

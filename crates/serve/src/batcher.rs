@@ -2,14 +2,16 @@
 //!
 //! Connection threads [`submit`](Batcher::submit) raw texts onto a bounded
 //! queue and block on a per-request reply channel. A single dispatcher
-//! thread drains up to `max_batch` requests — or whatever has accumulated
-//! once the oldest queued request has waited `max_wait`, closing the window
-//! early once the batch covers the scoring pool's parallel width — and
-//! scores the whole batch with [`ner_core::inference::NerPipeline::extract_batch`] on the global
-//! `ner-par` pool. Batching is purely a throughput device: scoring is
-//! read-only on a shared plan and `extract_batch` is defined as per-text
-//! `extract`, so a batched response is byte-identical to the same text
-//! scored alone.
+//! thread drains up to `max_batch` requests the moment it is free to score
+//! — batches widen work-conservingly, from requests that accumulate while
+//! the previous batch scores, never by holding an idle scorer back — and
+//! scores the whole batch with one
+//! [`ner_core::inference::NerPipeline::extract_batch`] call, which packs
+//! the sentences into a padded `[B,T]` batched forward (one GEMM per
+//! timestep across the batch). Batching is a throughput device only:
+//! scoring is read-only on a shared plan and the batched backend is
+//! bit-identical to per-sentence evaluation, so a batched response is
+//! byte-identical to the same text scored alone.
 //!
 //! Overload is handled at the edges, never by buffering without bound:
 //!
@@ -150,15 +152,13 @@ fn dispatch_loop(shared: Arc<Shared>) {
     // so a slow request can be correlated with its batch mates.
     let mut batch_seq: u64 = 0;
     loop {
-        // Waiting for the window can only buy throughput while the batch is
-        // still narrower than the scoring pool: extra requests beyond the
-        // pool's width are scored sequentially anyway, so holding them back
-        // adds latency without adding parallelism. The window therefore
-        // closes early at `min(max_batch, pool width)` — larger batches
-        // still form work-conservingly from whatever accumulates while the
-        // previous batch scores.
-        let fill_target = cfg.max_batch.min(ner_par::global_threads().max(1));
-        // Collect a batch under the queue lock, releasing it while waiting.
+        // Batching is work-conserving: the dispatcher scores whatever has
+        // queued the moment it is free, up to `max_batch` rows. Width is
+        // not bought with waiting — it comes from requests that accumulate
+        // while the previous batch scores, and the scorer packs however
+        // many there are into one padded [B,T] forward. Holding requests
+        // back to grow the batch would only add latency: an idle scorer
+        // plus a non-empty queue means nothing is gained by waiting.
         let batch: Vec<Pending> = {
             let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
@@ -174,21 +174,10 @@ fn dispatch_loop(shared: Arc<Shared>) {
                     queue = q;
                     continue;
                 }
-                // The batch window opens at the oldest request's arrival:
-                // dispatch once it is full or the window has elapsed.
-                let oldest = queue.front().expect("non-empty queue").enqueued;
-                let waited = oldest.elapsed();
-                if stopping || queue.len() >= fill_target || waited >= cfg.max_wait {
-                    let n = queue.len().min(cfg.max_batch);
-                    let batch: Vec<Pending> = queue.drain(..n).collect();
-                    ner_obs::gauge("serve.queue_depth", queue.len() as f64);
-                    break batch;
-                }
-                let (q, _) = shared
-                    .arrived
-                    .wait_timeout(queue, cfg.max_wait - waited)
-                    .unwrap_or_else(|e| e.into_inner());
-                queue = q;
+                let n = queue.len().min(cfg.max_batch);
+                let batch: Vec<Pending> = queue.drain(..n).collect();
+                ner_obs::gauge("serve.queue_depth", queue.len() as f64);
+                break batch;
             }
         };
 

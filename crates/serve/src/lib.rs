@@ -9,14 +9,16 @@
 //!
 //! The throughput device is the [`batcher::Batcher`]: connection threads
 //! enqueue raw texts onto a bounded queue and a single dispatcher drains
-//! up to `max_batch` requests — or whatever accumulated once the oldest
-//! waited `max_wait` — and scores them together with
+//! up to `max_batch` requests the moment it is free — batches widen from
+//! what accumulates while the previous batch scores, never by holding the
+//! scorer idle — and scores them together with one
 //! [`NerPipeline::extract_batch`](ner_core::prelude::NerPipeline::extract_batch)
-//! on the global `ner-par` pool. Scoring is read-only on the shared
-//! compiled [`ForwardPlan`](ner_core::prelude::ForwardPlan), and
-//! `extract_batch` is *defined* as per-text `extract` fanned over the
-//! pool, so a batched response is **byte-identical** to scoring the same
-//! text alone — concurrency buys throughput, never different answers.
+//! call. Scoring is read-only on the shared compiled
+//! [`ForwardPlan`](ner_core::prelude::ForwardPlan); `extract_batch` packs
+//! the batch into padded `[B,T]` buckets whose backend is bit-identical to
+//! per-sentence evaluation, so a batched response is **byte-identical** to
+//! scoring the same text alone — concurrency buys throughput, never
+//! different answers.
 //! The `exp_serving` harness and this crate's integration tests verify
 //! that equivalence over a real socket.
 //!

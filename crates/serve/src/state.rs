@@ -13,8 +13,10 @@ use std::time::Duration;
 pub struct ServeConfig {
     /// Largest batch the dispatcher scores in one `extract_batch` call.
     pub max_batch: usize,
-    /// Longest the dispatcher waits for a batch to fill, measured from the
-    /// oldest queued request.
+    /// Upper bound on one idle-dispatcher sleep between queue checks.
+    /// Batching itself is work-conserving — the dispatcher never holds an
+    /// idle scorer back to widen a batch — so this only paces the wakeup
+    /// loop while the queue is empty.
     pub max_wait: Duration,
     /// Bounded queue capacity; requests beyond it get 429 + `Retry-After`.
     pub queue_cap: usize,

@@ -150,6 +150,57 @@ fn concurrent_batched_responses_match_offline_annotate() {
     stop_server(addr, handle);
 }
 
+/// `(batches scored, requests scored)` so far — the `serve.batch_size`
+/// histogram's count and sum. Deltas of these give the mean batch width
+/// over a window even while other tests observe into the same registry.
+fn batch_size_totals() -> (u64, f64) {
+    ner_obs::histogram_snapshots()
+        .into_iter()
+        .find(|h| h.name == "serve.batch_size")
+        .map(|h| (h.count, h.sum))
+        .unwrap_or((0, 0.0))
+}
+
+#[test]
+fn concurrent_load_forms_batches_wider_than_one() {
+    // A scoring delay long enough that a burst piles up behind the first
+    // dispatch: the batcher must drain the pile as real multi-request
+    // batches, not as a serial stream of singletons. This regression-tests
+    // the fill target — it must not be capped below `max_batch` (e.g. at
+    // the thread-pool width) now that scoring packs the whole batch into
+    // one [B,T] forward.
+    let cfg = ServeConfig {
+        max_batch: 32,
+        score_delay: Duration::from_millis(25),
+        ..ServeConfig::default()
+    };
+    let (addr, _state, handle) = start_server(cfg, None);
+
+    let (batches_before, requests_before) = batch_size_totals();
+    std::thread::scope(|scope| {
+        for i in 0..32 {
+            scope.spawn(move || {
+                let body = format!("{{\"text\": \"batched burst probe {i} .\"}}");
+                let resp = client::post(addr, "/v1/extract", &body).expect("extract");
+                assert_eq!(resp.status, 200, "body: {}", resp.body);
+            });
+        }
+    });
+    let (batches_after, requests_after) = batch_size_totals();
+
+    let batches = batches_after - batches_before;
+    let requests = requests_after - requests_before;
+    assert!(requests >= 32.0, "all 32 burst requests must be scored, saw {requests}");
+    let mean_batch = requests / batches as f64;
+    assert!(
+        mean_batch > 1.0,
+        "a 32-request burst against 25ms scoring must batch: \
+         {requests} requests over {batches} batches (mean {mean_batch:.2})"
+    );
+
+    stop_server(addr, handle);
+}
+
 #[test]
 fn overflow_sheds_load_with_429_and_keeps_serving() {
     // A deliberately tiny queue and slow scoring: most of a burst must be

@@ -835,3 +835,678 @@ impl Exec for FusedExec<'_> {
         self.push(out)
     }
 }
+
+/// The cross-sentence batched inference backend: evaluates a whole batch of
+/// sentences as one *packed-rows* problem.
+///
+/// The batch's token rows are packed into a single `[N, d]` matrix
+/// (`N = Σ lenᵢ`), segment `s` occupying rows
+/// `[offset_of(s), offset_of(s) + len_of(s))` in caller order. Row-wise
+/// operations (affine layers, activations, layer norm, embedding lookups)
+/// need no special handling — the inner [`FusedExec`] computes each packed
+/// row exactly as it would the same row of a single sentence. The
+/// sequence-shaped operations are overridden to respect segment
+/// boundaries:
+///
+/// * [`lstm_sequence`](Exec::lstm_sequence) / [`gru_sequence`](Exec::gru_sequence)
+///   run **one recurrent GEMM per timestep across the whole batch**: the
+///   hidden states of every sentence still alive at timestep `t` form a
+///   `[live, h]` matrix multiplied against `w_hh` in a single call.
+///   Segments are ordered longest-first internally, so the live set at any
+///   timestep is a contiguous prefix — the "per-timestep live-row mask" is
+///   a prefix length, and shorter sentences drop out cleanly with no
+///   padding arithmetic.
+/// * [`conv1d_act`](Exec::conv1d_act) and
+///   [`reverse_rows`](Exec::reverse_rows) apply per segment (a convolution
+///   window must not straddle a sentence boundary).
+/// * [`positional_encoding`](Exec::positional_encoding) stacks the
+///   per-segment encodings.
+///
+/// **Float-parity contract.** The kernels in `crate::kernels` keep the
+/// per-output-element accumulation order independent of how many rows a
+/// GEMM has, and the gate sweeps here are the same scalar expressions as
+/// the per-sentence [`FusedExec`] overrides, so every packed output row is
+/// **bit-identical** to the row the per-sentence path produces — not just
+/// tag-identical (`ner-core/tests/prop_batched.rs` pins this across the
+/// model zoo).
+///
+/// Operations whose inputs are *not* packed token rows (per-word character
+/// matrices, per-segment attention scores, greedy decoder steps) must run
+/// on the [`inner`](BatchedExec::inner_mut) backend directly; the two share
+/// one slot space, so handles interchange freely.
+pub struct BatchedExec<'a> {
+    inner: FusedExec<'a>,
+    /// Per-segment lengths, caller order. Every length is ≥ 1.
+    lens: Vec<usize>,
+    /// Packed row offset of each segment, caller order.
+    offsets: Vec<usize>,
+    /// Segment indices sorted longest-first (ties by index, so the
+    /// ordering — and therefore every float — is deterministic).
+    order: Vec<usize>,
+    /// `lens[order[p]]` — descending.
+    sorted_lens: Vec<usize>,
+    /// Total packed rows, `Σ lens`.
+    total: usize,
+}
+
+impl<'a> BatchedExec<'a> {
+    /// A fresh batched backend for segments of the given lengths.
+    ///
+    /// # Panics
+    /// Panics if `lens` is empty or contains a zero length — empty
+    /// sentences must be filtered out before packing.
+    pub fn new(store: &'a ParamStore, lens: &[usize]) -> Self {
+        assert!(!lens.is_empty(), "BatchedExec needs at least one segment");
+        assert!(lens.iter().all(|&l| l > 0), "BatchedExec segments must be non-empty");
+        let mut offsets = Vec::with_capacity(lens.len());
+        let mut total = 0;
+        for &l in lens {
+            offsets.push(total);
+            total += l;
+        }
+        let mut order: Vec<usize> = (0..lens.len()).collect();
+        order.sort_by_key(|&s| std::cmp::Reverse(lens[s]));
+        let sorted_lens = order.iter().map(|&s| lens[s]).collect();
+        BatchedExec {
+            inner: FusedExec::new(store),
+            lens: lens.to_vec(),
+            offsets,
+            order,
+            sorted_lens,
+            total,
+        }
+    }
+
+    /// Serves positional encodings from `cache` instead of recomputing.
+    pub fn with_pe_cache(mut self, cache: &'a PeCache) -> Self {
+        self.inner = self.inner.with_pe_cache(cache);
+        self
+    }
+
+    /// Number of segments (sentences) in the batch.
+    pub fn segments(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// Length of segment `s`.
+    pub fn len_of(&self, s: usize) -> usize {
+        self.lens[s]
+    }
+
+    /// Packed row offset of segment `s`.
+    pub fn offset_of(&self, s: usize) -> usize {
+        self.offsets[s]
+    }
+
+    /// Total packed rows across all segments.
+    pub fn total_rows(&self) -> usize {
+        self.total
+    }
+
+    /// The inner per-sentence backend, for operations on tensors that are
+    /// not packed token rows (char matrices, attention cores, decoders).
+    pub fn inner_mut(&mut self) -> &mut FusedExec<'a> {
+        &mut self.inner
+    }
+
+    /// Copies segment `s` out of a packed `[N, d]` value as its own
+    /// `[len_of(s), d]` value.
+    pub fn slice_segment(&mut self, v: FusedVal, s: usize) -> FusedVal {
+        let (off, len) = (self.offsets[s], self.lens[s]);
+        Exec::slice_rows(&mut self.inner, v, off, len)
+    }
+
+    /// How many segments are still alive (length > `t`) at timestep `t`.
+    /// Sorted longest-first, the live set is always the prefix
+    /// `order[..live_at(t)]`.
+    fn live_at(&self, t: usize) -> usize {
+        self.sorted_lens.partition_point(|&l| l > t)
+    }
+}
+
+impl Exec for BatchedExec<'_> {
+    type V = FusedVal;
+
+    fn constant(&mut self, value: Tensor) -> FusedVal {
+        self.inner.constant(value)
+    }
+
+    fn param(&mut self, store: &ParamStore, id: ParamId) -> FusedVal {
+        self.inner.param(store, id)
+    }
+
+    fn lookup(&mut self, store: &ParamStore, id: ParamId, ids: &[usize]) -> FusedVal {
+        self.inner.lookup(store, id, ids)
+    }
+
+    fn value(&self, v: FusedVal) -> &Tensor {
+        self.inner.value(v)
+    }
+
+    fn matmul(&mut self, a: FusedVal, b: FusedVal) -> FusedVal {
+        self.inner.matmul(a, b)
+    }
+
+    fn transpose(&mut self, a: FusedVal) -> FusedVal {
+        self.inner.transpose(a)
+    }
+
+    fn add(&mut self, a: FusedVal, b: FusedVal) -> FusedVal {
+        self.inner.add(a, b)
+    }
+
+    fn sub(&mut self, a: FusedVal, b: FusedVal) -> FusedVal {
+        self.inner.sub(a, b)
+    }
+
+    fn mul(&mut self, a: FusedVal, b: FusedVal) -> FusedVal {
+        self.inner.mul(a, b)
+    }
+
+    fn scale(&mut self, a: FusedVal, s: f32) -> FusedVal {
+        self.inner.scale(a, s)
+    }
+
+    fn add_bias(&mut self, m: FusedVal, bias: FusedVal) -> FusedVal {
+        self.inner.add_bias(m, bias)
+    }
+
+    fn activation(&mut self, a: FusedVal, act: Activation) -> FusedVal {
+        self.inner.activation(a, act)
+    }
+
+    fn affine_act(&mut self, x: FusedVal, w: FusedVal, b: FusedVal, act: Activation) -> FusedVal {
+        self.inner.affine_act(x, w, b, act)
+    }
+
+    // A convolution window must not straddle a sentence boundary, so the
+    // packed input is convolved per segment; each segment's rows come out
+    // bit-identical to convolving that sentence alone.
+    fn conv1d_act(
+        &mut self,
+        x: FusedVal,
+        w: FusedVal,
+        b: FusedVal,
+        k: usize,
+        dilation: usize,
+        act: Activation,
+    ) -> FusedVal {
+        if self.segments() <= 1 {
+            return self.inner.conv1d_act(x, w, b, k, dilation, act);
+        }
+        let out = {
+            let xv = self.inner.tensor(x);
+            let wv = self.inner.tensor(w);
+            let bv = self.inner.tensor(b);
+            assert_eq!(xv.rows(), self.total, "BatchedExec::conv1d_act expects packed token rows");
+            let mut out: Option<Tensor> = None;
+            for s in 0..self.lens.len() {
+                let (off, len) = (self.offsets[s], self.lens[s]);
+                let mut seg = Tensor::zeros_pooled(len, xv.cols());
+                for r in 0..len {
+                    seg.row_mut(r).copy_from_slice(xv.row(off + r));
+                }
+                let res = fused::conv1d_act(&seg, wv, bv, k, dilation, act);
+                let dst = out.get_or_insert_with(|| Tensor::zeros_pooled(self.total, res.cols()));
+                for r in 0..len {
+                    dst.row_mut(off + r).copy_from_slice(res.row(r));
+                }
+                fused::recycle(res);
+                fused::recycle(seg);
+            }
+            out.expect("at least one segment")
+        };
+        self.inner.push(out)
+    }
+
+    fn layer_norm(&mut self, x: FusedVal, gain: FusedVal, bias: FusedVal) -> FusedVal {
+        self.inner.layer_norm(x, gain, bias)
+    }
+
+    fn softmax_rows(&mut self, a: FusedVal) -> FusedVal {
+        self.inner.softmax_rows(a)
+    }
+
+    fn max_over_rows(&mut self, a: FusedVal) -> FusedVal {
+        self.inner.max_over_rows(a)
+    }
+
+    fn slice_cols(&mut self, a: FusedVal, start: usize, len: usize) -> FusedVal {
+        self.inner.slice_cols(a, start, len)
+    }
+
+    fn slice_rows(&mut self, a: FusedVal, start: usize, len: usize) -> FusedVal {
+        self.inner.slice_rows(a, start, len)
+    }
+
+    fn row(&mut self, a: FusedVal, i: usize) -> FusedVal {
+        self.inner.row(a, i)
+    }
+
+    fn concat_rows(&mut self, parts: &[FusedVal]) -> FusedVal {
+        self.inner.concat_rows(parts)
+    }
+
+    fn concat_cols(&mut self, parts: &[FusedVal]) -> FusedVal {
+        self.inner.concat_cols(parts)
+    }
+
+    // Sequence reversal is per sentence: each segment's rows flip in
+    // place, never crossing its boundary.
+    fn reverse_rows(&mut self, a: FusedVal) -> FusedVal {
+        if self.segments() <= 1 {
+            return self.inner.reverse_rows(a);
+        }
+        let out = {
+            let av = self.inner.tensor(a);
+            assert_eq!(
+                av.rows(),
+                self.total,
+                "BatchedExec::reverse_rows expects packed token rows"
+            );
+            let mut out = Tensor::zeros_pooled(self.total, av.cols());
+            for s in 0..self.lens.len() {
+                let (off, len) = (self.offsets[s], self.lens[s]);
+                for r in 0..len {
+                    out.row_mut(off + r).copy_from_slice(av.row(off + len - 1 - r));
+                }
+            }
+            out
+        };
+        self.inner.push(out)
+    }
+
+    fn lstm_gates(&mut self, pre: FusedVal, c: FusedVal, hidden: usize) -> (FusedVal, FusedVal) {
+        self.inner.lstm_gates(pre, c, hidden)
+    }
+
+    fn gru_gates(
+        &mut self,
+        xp: FusedVal,
+        hp: FusedVal,
+        h_prev: FusedVal,
+        hidden: usize,
+    ) -> FusedVal {
+        self.inner.gru_gates(xp, hp, h_prev, hidden)
+    }
+
+    // Each segment restarts its positional clock: the packed encoding is
+    // the per-segment `[len, d]` encodings stacked in caller order.
+    fn positional_encoding(&mut self, n: usize, d: usize) -> FusedVal {
+        if self.segments() <= 1 {
+            return self.inner.positional_encoding(n, d);
+        }
+        assert_eq!(n, self.total, "BatchedExec::positional_encoding expects packed token rows");
+        let out = {
+            let mut out = Tensor::zeros_pooled(n, d);
+            for s in 0..self.lens.len() {
+                let (off, len) = (self.offsets[s], self.lens[s]);
+                match self.inner.pe {
+                    Some(cache) => {
+                        let pe = cache.get(len, d);
+                        for r in 0..len {
+                            out.row_mut(off + r).copy_from_slice(pe.row(r));
+                        }
+                    }
+                    None => {
+                        let pe = crate::nn::positional_encoding(len, d);
+                        for r in 0..len {
+                            out.row_mut(off + r).copy_from_slice(pe.row(r));
+                        }
+                        fused::recycle(pe);
+                    }
+                }
+            }
+            out
+        };
+        self.inner.push(out)
+    }
+
+    // One `[N, 4h]` input projection for the whole batch, then one
+    // `[live, 4h]` recurrent GEMM per timestep shared by every sentence
+    // still alive at that timestep. Per live row the recurrent product,
+    // the `(x + h) + b` association, and the gate sweep are exactly the
+    // per-sentence override's — the kernels keep per-output-element
+    // accumulation order independent of GEMM height, so every output row
+    // is bit-identical to scoring its sentence alone.
+    fn lstm_sequence(
+        &mut self,
+        store: &ParamStore,
+        w_ih: ParamId,
+        w_hh: ParamId,
+        b: ParamId,
+        hidden: usize,
+        xs: FusedVal,
+    ) -> FusedVal {
+        if self.segments() <= 1 {
+            return self.inner.lstm_sequence(store, w_ih, w_hh, b, hidden, xs);
+        }
+        let out = {
+            let xsv = self.inner.tensor(xs);
+            assert_eq!(
+                xsv.rows(),
+                self.total,
+                "BatchedExec::lstm_sequence expects packed token rows"
+            );
+            let h = hidden;
+            let w_hh = store.value(w_hh);
+            let b = store.value(b);
+            let xp = xsv.matmul(store.value(w_ih)); // [N, 4h]
+            let mut out = Tensor::zeros_pooled(self.total, h);
+            let nseg = self.order.len();
+            let max_len = self.sorted_lens[0];
+            // Hidden/cell state per sorted position; the live prefix only
+            // ever shrinks, so positions are stable for a segment's whole
+            // lifetime.
+            let mut hstate = Tensor::zeros(nseg, h);
+            let mut c = vec![0.0f32; nseg * h];
+            let mut pre = vec![0.0f32; 4 * h];
+            let mut live = nseg;
+            for t in 0..max_len {
+                let new_live = self.live_at(t);
+                if new_live < live {
+                    // Shrink the recurrent GEMM to the rows still alive.
+                    let mut shrunk = Tensor::zeros(new_live, h);
+                    for p in 0..new_live {
+                        shrunk.row_mut(p).copy_from_slice(hstate.row(p));
+                    }
+                    hstate = shrunk;
+                    live = new_live;
+                }
+                let hp = hstate.matmul(w_hh); // [live, 4h]
+                for p in 0..live {
+                    let r = self.offsets[self.order[p]] + t;
+                    for ((pz, (&xv, &hv)), &bv) in
+                        pre.iter_mut().zip(xp.row(r).iter().zip(hp.row(p))).zip(b.data())
+                    {
+                        *pz = (xv + hv) + bv;
+                    }
+                    let cs = &mut c[p * h..(p + 1) * h];
+                    let out_row = out.row_mut(r);
+                    for j in 0..h {
+                        let i = Activation::Sigmoid.eval(pre[j]);
+                        let f = Activation::Sigmoid.eval(pre[h + j]);
+                        let g = Activation::Tanh.eval(pre[2 * h + j]);
+                        let o = Activation::Sigmoid.eval(pre[3 * h + j]);
+                        let cn = f * cs[j] + i * g;
+                        cs[j] = cn;
+                        out_row[j] = o * cn.tanh();
+                    }
+                    hstate.row_mut(p).copy_from_slice(out.row(r));
+                }
+                fused::recycle(hp);
+            }
+            fused::recycle(xp);
+            out
+        };
+        self.inner.push(out)
+    }
+
+    // Batched override, same contract as `lstm_sequence`: one recurrent
+    // GEMM per timestep over the live prefix, per-element float order
+    // identical to the per-sentence sweep.
+    fn gru_sequence(
+        &mut self,
+        store: &ParamStore,
+        w_ih: ParamId,
+        w_hh: ParamId,
+        b_ih: ParamId,
+        b_hh: ParamId,
+        hidden: usize,
+        xs: FusedVal,
+    ) -> FusedVal {
+        if self.segments() <= 1 {
+            return self.inner.gru_sequence(store, w_ih, w_hh, b_ih, b_hh, hidden, xs);
+        }
+        let out = {
+            let xsv = self.inner.tensor(xs);
+            assert_eq!(
+                xsv.rows(),
+                self.total,
+                "BatchedExec::gru_sequence expects packed token rows"
+            );
+            let h = hidden;
+            let w_hh = store.value(w_hh);
+            let b_hh = store.value(b_hh);
+            let mut xp = xsv.matmul(store.value(w_ih)); // [N, 3h]
+            fused::add_bias_in_place(&mut xp, store.value(b_ih));
+            let mut out = Tensor::zeros_pooled(self.total, h);
+            let nseg = self.order.len();
+            let max_len = self.sorted_lens[0];
+            let mut hstate = Tensor::zeros(nseg, h);
+            let mut live = nseg;
+            for t in 0..max_len {
+                let new_live = self.live_at(t);
+                if new_live < live {
+                    let mut shrunk = Tensor::zeros(new_live, h);
+                    for p in 0..new_live {
+                        shrunk.row_mut(p).copy_from_slice(hstate.row(p));
+                    }
+                    hstate = shrunk;
+                    live = new_live;
+                }
+                let mut hp = hstate.matmul(w_hh); // [live, 3h]
+                fused::add_bias_in_place(&mut hp, b_hh);
+                for p in 0..live {
+                    let r = self.offsets[self.order[p]] + t;
+                    let x_row = xp.row(r);
+                    let h_row = hp.row(p);
+                    let out_row = out.row_mut(r);
+                    {
+                        let h_prev = hstate.row(p);
+                        for j in 0..h {
+                            let z = Activation::Sigmoid.eval(x_row[j] + h_row[j]);
+                            let rr = Activation::Sigmoid.eval(x_row[h + j] + h_row[h + j]);
+                            let nj = (x_row[2 * h + j] + rr * h_row[2 * h + j]).tanh();
+                            // h' = (n − z⊙n) + z⊙h, associated exactly as
+                            // the tape's sub-then-add chain.
+                            out_row[j] = (nj - z * nj) + z * h_prev[j];
+                        }
+                    }
+                    hstate.row_mut(p).copy_from_slice(out.row(r));
+                }
+                fused::recycle(hp);
+            }
+            fused::recycle(xp);
+            out
+        };
+        self.inner.push(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random fill so tests need no RNG plumbing.
+    fn filled(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut t = Tensor::zeros(rows, cols);
+        let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        for v in t.data_mut() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *v = ((s >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+        }
+        t
+    }
+
+    fn pack(store: &ParamStore, lens: &[usize], d: usize, seed: u64) -> (Tensor, Vec<Tensor>) {
+        let _ = store;
+        let total: usize = lens.iter().sum();
+        let packed = filled(total, d, seed);
+        let mut segs = Vec::new();
+        let mut off = 0;
+        for &l in lens {
+            let mut seg = Tensor::zeros(l, d);
+            for r in 0..l {
+                seg.row_mut(r).copy_from_slice(packed.row(off + r));
+            }
+            segs.push(seg);
+            off += l;
+        }
+        (packed, segs)
+    }
+
+    fn assert_bits_eq(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "element {i}: {x} vs {y}");
+        }
+    }
+
+    const LENS: &[usize] = &[5, 1, 3, 5, 2];
+
+    #[test]
+    fn batched_lstm_rows_are_bit_identical_to_per_segment_fused() {
+        let h = 7;
+        let d = 4;
+        let mut store = ParamStore::default();
+        let w_ih = store.register("w_ih", filled(d, 4 * h, 1));
+        let w_hh = store.register("w_hh", filled(h, 4 * h, 2));
+        let b = store.register("b", filled(1, 4 * h, 3));
+        let (packed, segs) = pack(&store, LENS, d, 9);
+
+        let mut bx = BatchedExec::new(&store, LENS);
+        let xs = bx.constant(packed);
+        let out = bx.lstm_sequence(&store, w_ih, w_hh, b, h, xs);
+        let batched = bx.value(out).clone();
+
+        let mut off = 0;
+        for seg in &segs {
+            let mut fx = FusedExec::new(&store);
+            let xs = fx.constant(seg.clone());
+            let out = fx.lstm_sequence(&store, w_ih, w_hh, b, h, xs);
+            let want = fx.value(out);
+            for r in 0..seg.rows() {
+                assert_bits_eq(batched.row(off + r), want.row(r));
+            }
+            off += seg.rows();
+        }
+    }
+
+    #[test]
+    fn batched_gru_rows_are_bit_identical_to_per_segment_fused() {
+        let h = 6;
+        let d = 5;
+        let mut store = ParamStore::default();
+        let w_ih = store.register("w_ih", filled(d, 3 * h, 4));
+        let w_hh = store.register("w_hh", filled(h, 3 * h, 5));
+        let b_ih = store.register("b_ih", filled(1, 3 * h, 6));
+        let b_hh = store.register("b_hh", filled(1, 3 * h, 7));
+        let (packed, segs) = pack(&store, LENS, d, 11);
+
+        let mut bx = BatchedExec::new(&store, LENS);
+        let xs = bx.constant(packed);
+        let out = bx.gru_sequence(&store, w_ih, w_hh, b_ih, b_hh, h, xs);
+        let batched = bx.value(out).clone();
+
+        let mut off = 0;
+        for seg in &segs {
+            let mut fx = FusedExec::new(&store);
+            let xs = fx.constant(seg.clone());
+            let out = fx.gru_sequence(&store, w_ih, w_hh, b_ih, b_hh, h, xs);
+            let want = fx.value(out);
+            for r in 0..seg.rows() {
+                assert_bits_eq(batched.row(off + r), want.row(r));
+            }
+            off += seg.rows();
+        }
+    }
+
+    #[test]
+    fn batched_conv_and_reverse_respect_segment_boundaries() {
+        let d = 4;
+        let dout = 3;
+        let k = 3;
+        let mut store = ParamStore::default();
+        let w = store.register("w", filled(k * d, dout, 8));
+        let b = store.register("b", filled(1, dout, 9));
+        let (packed, segs) = pack(&store, LENS, d, 13);
+
+        let mut bx = BatchedExec::new(&store, LENS);
+        let xs = bx.constant(packed);
+        let (wv, bv) = (bx.param(&store, w), bx.param(&store, b));
+        let conv = bx.conv1d_act(xs, wv, bv, k, 1, Activation::Relu);
+        let rev = bx.reverse_rows(xs);
+        let conv_t = bx.value(conv).clone();
+        let rev_t = bx.value(rev).clone();
+
+        let mut off = 0;
+        for seg in &segs {
+            let mut fx = FusedExec::new(&store);
+            let xs = fx.constant(seg.clone());
+            let (wv, bv) = (fx.param(&store, w), fx.param(&store, b));
+            let conv = fx.conv1d_act(xs, wv, bv, k, 1, Activation::Relu);
+            let rev = fx.reverse_rows(xs);
+            for r in 0..seg.rows() {
+                assert_bits_eq(conv_t.row(off + r), fx.value(conv).row(r));
+                assert_bits_eq(rev_t.row(off + r), fx.value(rev).row(r));
+            }
+            off += seg.rows();
+        }
+    }
+
+    #[test]
+    fn batched_positional_encoding_restarts_per_segment() {
+        let d = 8;
+        let store = ParamStore::default();
+        let cache = PeCache::new();
+        for with_cache in [false, true] {
+            let mut bx = BatchedExec::new(&store, LENS);
+            if with_cache {
+                bx = bx.with_pe_cache(&cache);
+            }
+            let total = bx.total_rows();
+            let pe = bx.positional_encoding(total, d);
+            let pe_t = bx.value(pe).clone();
+            let mut off = 0;
+            for &l in LENS {
+                let want = crate::nn::positional_encoding(l, d);
+                for r in 0..l {
+                    assert_bits_eq(pe_t.row(off + r), want.row(r));
+                }
+                off += l;
+            }
+        }
+    }
+
+    #[test]
+    fn single_segment_batch_delegates_to_fused() {
+        let h = 4;
+        let d = 3;
+        let mut store = ParamStore::default();
+        let w_ih = store.register("w_ih", filled(d, 4 * h, 1));
+        let w_hh = store.register("w_hh", filled(h, 4 * h, 2));
+        let b = store.register("b", filled(1, 4 * h, 3));
+        let x = filled(6, d, 21);
+
+        let mut bx = BatchedExec::new(&store, &[6]);
+        let xs = bx.constant(x.clone());
+        let out = bx.lstm_sequence(&store, w_ih, w_hh, b, h, xs);
+        let got = bx.value(out).clone();
+
+        let mut fx = FusedExec::new(&store);
+        let xs = fx.constant(x);
+        let out = fx.lstm_sequence(&store, w_ih, w_hh, b, h, xs);
+        assert_bits_eq(got.data(), fx.value(out).data());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_length_segments_are_rejected() {
+        let store = ParamStore::default();
+        let _ = BatchedExec::new(&store, &[3, 0, 2]);
+    }
+
+    #[test]
+    fn slice_segment_recovers_caller_order_rows() {
+        let store = ParamStore::default();
+        let lens = [2usize, 4, 1];
+        let (packed, segs) = pack(&store, &lens, 3, 17);
+        let mut bx = BatchedExec::new(&store, &lens);
+        let xs = bx.constant(packed);
+        for (s, seg) in segs.iter().enumerate() {
+            let sl = bx.slice_segment(xs, s);
+            assert_bits_eq(bx.value(sl).data(), seg.data());
+        }
+    }
+}

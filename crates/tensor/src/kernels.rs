@@ -24,6 +24,16 @@ const NC: usize = 128;
 /// Square tile edge for the blocked transpose.
 const TC: usize = 32;
 
+/// Rows per register tile in [`matmul_rows`]. With [`JB`] this sizes the
+/// accumulator block that stays in registers across a full `p` sweep.
+const RB: usize = 4;
+
+/// Columns per register tile in [`matmul_rows`]. `RB × JB` f32
+/// accumulators (8 SSE vectors at 4 lanes) plus the broadcast `a` values
+/// and one `b` panel fit the 16 xmm registers of baseline x86-64, so the
+/// tile never spills mid-sweep.
+const JB: usize = 8;
+
 /// Minimum multiply-add count (`m·k·n`) before a kernel consults the
 /// thread pool. Below this, dispatch overhead exceeds the work: a
 /// `64×64×64` product is ~260k FLOPs ≈ tens of microseconds.
@@ -70,30 +80,114 @@ where
     });
 }
 
-/// `out[r0..r1] = a[r0..r1] × b` for `a: [m,k]`, `b: [k,n]`.
+/// One row's contribution over the output panel `[jb, je)` — the scalar
+/// i-k-j loop the register tile reduces to on remainder rows/columns.
+/// `p` ascends over the full inner dimension for every element and rows
+/// of `a` that are exactly zero at `p` are skipped, so the per-element
+/// operation sequence is the reference one for the whole kernel.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn row_panel(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i: usize,
+    r0: usize,
+    jb: usize,
+    je: usize,
+    k: usize,
+    n: usize,
+) {
+    let a_row = &a[i * k..(i + 1) * k];
+    let out_row = &mut out[(i - r0) * n + jb..(i - r0) * n + je];
+    for (p, &av) in a_row.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let b_row = &b[p * n + jb..p * n + je];
+        for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+            *o += av * bv;
+        }
+    }
+}
+
+/// An `RB × JB` register tile at rows `i0..i0+RB`, columns `j0..j0+JB`:
+/// the accumulators live in `acc` across the entire ascending-`p` sweep,
+/// so each `b` panel load feeds `RB` multiply-adds instead of one.
 ///
-/// i-k-j ordering with `i`/`j` cache blocking: the innermost loop streams
-/// an output-row panel and the matching `b`-row panel (autovectorizes),
-/// while the `j` blocking keeps the `b` panel resident across the `MC`
-/// rows of the block. `p` ascends over the full inner dimension for every
-/// element, so the summation order matches the unblocked loop exactly.
+/// Bit-identical to [`row_panel`]: each element starts from the value
+/// already in `out`, accumulates `av * bv` in the same ascending-`p`
+/// order, and keeps the per-row `av == 0.0` skip — only *which* element
+/// the next operation touches changes, never an element's own sequence.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn tile_quad(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    r0: usize,
+    j0: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut acc = [[0.0f32; JB]; RB];
+    for (r, row) in acc.iter_mut().enumerate() {
+        row.copy_from_slice(&out[(i0 + r - r0) * n + j0..][..JB]);
+    }
+    let a0 = &a[i0 * k..][..k];
+    let a1 = &a[(i0 + 1) * k..][..k];
+    let a2 = &a[(i0 + 2) * k..][..k];
+    let a3 = &a[(i0 + 3) * k..][..k];
+    for p in 0..k {
+        let b_row: &[f32; JB] = b[p * n + j0..][..JB].try_into().unwrap();
+        let av = [a0[p], a1[p], a2[p], a3[p]];
+        for r in 0..RB {
+            if av[r] == 0.0 {
+                continue;
+            }
+            for c in 0..JB {
+                acc[r][c] += av[r] * b_row[c];
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        out[(i0 + r - r0) * n + j0..][..JB].copy_from_slice(row);
+    }
+}
+
+/// `out[r0..r1] += a[r0..r1] × b` for `a: [m,k]`, `b: [k,n]`.
+///
+/// Full `RB`-row × `JB`-column groups go through the register tile of
+/// [`tile_quad`]; remainder rows and columns fall back to the panel loop
+/// of [`row_panel`]. The `i`/`j` cache blocking keeps the `b` panel
+/// resident across the `MC` rows of a block. Both paths accumulate each
+/// output element over the full ascending-`p` sweep with the same
+/// operation sequence, so tiling never changes a result bit — single-row
+/// products (`m == 1`) simply take the panel path, which is why batched
+/// `[B,T]` evaluation amortizes weight-panel traffic that per-sentence
+/// `[1,k]` products cannot.
 fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], r0: usize, r1: usize, k: usize, n: usize) {
     for ib in (r0..r1).step_by(MC) {
         let ie = (ib + MC).min(r1);
         for jb in (0..n).step_by(NC) {
             let je = (jb + NC).min(n);
-            for i in ib..ie {
-                let a_row = &a[i * k..(i + 1) * k];
-                let out_row = &mut out[(i - r0) * n + jb..(i - r0) * n + je];
-                for (p, &av) in a_row.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[p * n + jb..p * n + je];
-                    for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                        *o += av * bv;
+            let mut i = ib;
+            while i + RB <= ie {
+                let mut j = jb;
+                while j + JB <= je {
+                    tile_quad(a, b, out, i, r0, j, k, n);
+                    j += JB;
+                }
+                if j < je {
+                    for ii in i..i + RB {
+                        row_panel(a, b, out, ii, r0, j, je, k, n);
                     }
                 }
+                i += RB;
+            }
+            for ii in i..ie {
+                row_panel(a, b, out, ii, r0, jb, je, k, n);
             }
         }
     }

@@ -72,7 +72,7 @@ pub mod pool;
 mod tape;
 mod tensor;
 
-pub use exec::{Exec, FusedExec, FusedVal, PeCache, TapeExec};
+pub use exec::{BatchedExec, Exec, FusedExec, FusedVal, PeCache, TapeExec};
 pub use kernels::PAR_MIN_FLOPS;
 pub use param::{ParamId, ParamStore};
 pub use tape::{GradBuffer, GradSink, OpClass, Tape, Var};

@@ -9,18 +9,23 @@
 //! [`crate::Tensor::zeros_pooled`].
 //!
 //! The pool is strictly thread-local (no locks on the hot path), holds
-//! exact-length free lists, and is bounded both per length and in total so
-//! a one-off giant tape cannot pin memory forever. Hit/miss/recycle
-//! counters are kept per thread; the trainer and inference layers export
-//! them through `ner-obs` as `pool.hits` / `pool.misses` (see
-//! [`take_stats`]).
+//! free lists keyed by **power-of-two size class** (a request is served
+//! from the class that is the next power of two ≥ its length), and is
+//! bounded both per class and in total so a one-off giant tape cannot pin
+//! memory forever. Size classes matter for the batched `[B,T]` path: its
+//! buffer lengths scale with the *total token count of a batch*, which
+//! rarely repeats exactly from batch to batch, so exact-length lists
+//! would miss on nearly every batched allocation while class-keyed lists
+//! keep serving recycled memory. Hit/miss/recycle counters are kept per
+//! thread; the trainer and inference layers export them through `ner-obs`
+//! as `pool.hits` / `pool.misses` (see [`take_stats`]).
 
 use std::cell::RefCell;
 
 /// Buffers shorter than this are cheaper to allocate than to pool.
 const MIN_POOLED_LEN: usize = 16;
 
-/// Free-list depth per distinct length.
+/// Free-list depth per size class.
 const MAX_BUFS_PER_LEN: usize = 64;
 
 /// Total `f32`s the pool may hold per thread (16M floats = 64 MiB).
@@ -41,8 +46,8 @@ pub struct PoolStats {
 
 #[derive(Default)]
 struct PoolInner {
-    /// Exact-length free lists; small linear scan (a model uses a handful
-    /// of distinct shapes).
+    /// Free lists keyed by power-of-two size class; small linear scan (a
+    /// model touches a handful of classes).
     buckets: Vec<(usize, Vec<Vec<f32>>)>,
     held_floats: usize,
     hits: u64,
@@ -54,54 +59,69 @@ thread_local! {
     static POOL: RefCell<PoolInner> = RefCell::new(PoolInner::default());
 }
 
+/// Size class serving requests of `len` elements: the next power of two.
+/// Wastes at most 2x capacity per buffer, in exchange for letting the
+/// batch-dependent lengths of the `[B,T]` path share free lists.
+fn class_of(len: usize) -> usize {
+    len.next_power_of_two()
+}
+
 /// A zeroed buffer of exactly `len` elements, reusing a pooled allocation
-/// when one of the right length is available.
+/// from the matching size class when one is available.
 pub fn take(len: usize) -> Vec<f32> {
     if len < MIN_POOLED_LEN {
         return vec![0.0; len];
     }
+    let class = class_of(len);
     POOL.with(|p| {
         let mut p = p.borrow_mut();
-        let slot = p.buckets.iter().position(|(l, _)| *l == len);
+        let slot = p.buckets.iter().position(|(c, _)| *c == class);
         if let Some(i) = slot {
             if let Some(mut buf) = p.buckets[i].1.pop() {
-                p.held_floats -= len;
+                p.held_floats -= class;
                 p.hits += 1;
+                buf.truncate(len);
                 buf.fill(0.0);
                 return buf;
             }
         }
         p.misses += 1;
-        vec![0.0; len]
+        let mut buf = Vec::with_capacity(class);
+        buf.resize(len, 0.0);
+        buf
     })
 }
 
 /// Offers a buffer back to the current thread's pool. Buffers that are too
-/// small, or that would push a free list or the pool past its bounds, are
-/// simply dropped.
-pub fn recycle(buf: Vec<f32>) {
-    let len = buf.len();
-    if len < MIN_POOLED_LEN || buf.capacity() != len {
+/// small, whose capacity is not a pool size class (i.e. they were not
+/// allocated by [`take`]), or that would push a free list or the pool past
+/// its bounds, are simply dropped.
+pub fn recycle(mut buf: Vec<f32>) {
+    let class = buf.capacity();
+    if class < MIN_POOLED_LEN || !class.is_power_of_two() {
         return;
     }
     POOL.with(|p| {
         let mut p = p.borrow_mut();
-        if p.held_floats + len > MAX_POOLED_FLOATS {
+        if p.held_floats + class > MAX_POOLED_FLOATS {
             return;
         }
-        let slot = p.buckets.iter().position(|(l, _)| *l == len);
+        let slot = p.buckets.iter().position(|(c, _)| *c == class);
         let i = match slot {
             Some(i) => i,
             None => {
-                p.buckets.push((len, Vec::new()));
+                p.buckets.push((class, Vec::new()));
                 p.buckets.len() - 1
             }
         };
         if p.buckets[i].1.len() >= MAX_BUFS_PER_LEN {
             return;
         }
+        // Stored at full class length so a later `take` of any `len` up to
+        // the class can truncate down to its exact size.
+        buf.resize(class, 0.0);
         p.buckets[i].1.push(buf);
-        p.held_floats += len;
+        p.held_floats += class;
         p.recycled += 1;
     });
 }
@@ -187,6 +207,23 @@ mod tests {
         assert_eq!(take_stats().recycled, 0);
         // The buffer itself survives the counter reset.
         assert_eq!(stats().held_floats, 128);
+        clear();
+    }
+
+    #[test]
+    fn nearby_lengths_share_a_size_class() {
+        clear();
+        // Batched buffers are sized by the total token count of a batch,
+        // which drifts from batch to batch; the class must still hit.
+        let buf = take(900);
+        let ptr = buf.as_ptr();
+        recycle(buf);
+        let again = take(1000);
+        assert_eq!(again.as_ptr(), ptr, "class-mate take must reuse the buffer");
+        assert_eq!(again.len(), 1000);
+        assert!(again.iter().all(|&x| x == 0.0));
+        let s = stats();
+        assert_eq!((s.hits, s.misses, s.recycled), (1, 1, 1));
         clear();
     }
 
