@@ -6,9 +6,12 @@
 #   2. lints            (cargo clippy --workspace, warnings are errors)
 #      + docs           (cargo doc --no-deps, rustdoc warnings are errors)
 #   3. tier-1 tests     (release build + full test suite, serial and at
-#      4 threads — the parallel paths must not change results)
+#      4 threads — the parallel paths must not change results — and once
+#      more at NER_SIMD=off so forced-scalar kernels reproduce the same
+#      bits the default SIMD level produced)
 #   4. kernel smoke     (exp_kernels --smoke exits non-zero on any
-#      parallel-vs-serial kernel divergence)
+#      blocked/SIMD/parallel-vs-naive kernel divergence, run at both the
+#      default SIMD level and NER_SIMD=off)
 #   5. inference smoke  (exp_inference --smoke at 1 and 4 threads exits
 #      non-zero if the tape-free plan's tags — or the batched [B,T]
 #      backend's — diverge from the tape path)
@@ -40,8 +43,17 @@ NER_THREADS=1 cargo test -q
 echo "== tier-1: tests again on the parallel paths (NER_THREADS=4) =="
 NER_THREADS=4 cargo test -q
 
-echo "== kernel smoke: parallel must match the serial oracle =="
+echo "== tier-1: tests with SIMD forced off (NER_SIMD=off, NER_THREADS=1) =="
+NER_SIMD=off NER_THREADS=1 cargo test -q
+
+echo "== tier-1: tests with SIMD forced off (NER_SIMD=off, NER_THREADS=4) =="
+NER_SIMD=off NER_THREADS=4 cargo test -q
+
+echo "== kernel smoke: blocked/SIMD/parallel must match the naive oracle =="
 cargo run --release -p ner-bench --bin exp_kernels -- --smoke
+
+echo "== kernel smoke again with SIMD forced off (NER_SIMD=off) =="
+NER_SIMD=off cargo run --release -p ner-bench --bin exp_kernels -- --smoke
 
 echo "== inference smoke: plan and batched [B,T] must reproduce the tape (NER_THREADS=1) =="
 NER_THREADS=1 cargo run --release -p ner-bench --bin exp_inference -- --smoke

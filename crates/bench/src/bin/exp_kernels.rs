@@ -1,18 +1,23 @@
-//! Kernel and batch-scoring throughput: naive vs blocked vs parallel.
+//! Kernel and batch-scoring throughput: naive vs blocked vs SIMD vs
+//! parallel.
 //!
 //! Benchmarks the three matmul variants (`matmul`, `matmul_tn`,
 //! `matmul_nt`) at several shapes against a local copy of the original
-//! naive kernels, then measures encoder-class batch scoring
+//! naive kernels — with the scalar blocked kernels forced via
+//! `simd::with_level(Off, …)` and one forced row per supported SIMD
+//! level (`sse2`, `avx2`) — then measures encoder-class batch scoring
 //! (`predict_all`) at thread counts 1/2/4 on the global `ner-par` pool.
 //!
-//! The blocked and parallel kernels preserve the naive kernels'
-//! per-element accumulation order, so every variant must agree with the
-//! naive oracle **bit for bit** — any divergence beyond 1e-5 makes the
-//! harness exit non-zero (CI runs this via `--smoke`).
+//! The blocked, SIMD and parallel kernels all preserve the naive
+//! kernels' per-element accumulation order, so every row must agree
+//! with the naive oracle **bit for bit** — any nonzero
+//! `max_abs_diff_vs_naive` makes the harness exit non-zero (CI runs
+//! this via `--smoke` at both `NER_SIMD=off` and the default level).
 //!
-//! Results land in `results/exp_kernels.json` (with a run manifest) and,
-//! for the repo-level benchmark snapshot, `BENCH_kernels.json` at the
-//! current directory root.
+//! Results land in `results/exp_kernels.json` (with a run manifest that
+//! records the kernel backend) and, for the repo-level benchmark
+//! snapshot, `BENCH_kernels.json` at the current directory root; both
+//! record the host's CPU features next to every row's SIMD level.
 
 use ner_bench::{init_harness, print_table, write_report, Scale};
 use ner_core::config::NerConfig;
@@ -20,6 +25,7 @@ use ner_core::model::NerModel;
 use ner_core::repr::SentenceEncoder;
 use ner_core::trainer::predict_all;
 use ner_corpus::{GeneratorConfig, NewsGenerator};
+use ner_tensor::simd::{self, SimdLevel};
 use ner_tensor::Tensor;
 use ner_text::TagScheme;
 use rand::rngs::StdRng;
@@ -29,11 +35,6 @@ use std::time::Instant;
 
 const SEED: u64 = 17;
 
-/// Divergence beyond this between any kernel variant and the naive oracle
-/// fails the harness (the contract is exact equality; the tolerance only
-/// guards the exit code).
-const MAX_DIVERGENCE: f64 = 1e-5;
-
 /// One timed kernel measurement.
 #[derive(Serialize)]
 struct KernelRow {
@@ -42,10 +43,15 @@ struct KernelRow {
     k: usize,
     n: usize,
     variant: String,
+    /// SIMD level the row ran at (`off` / `sse2` / `avx2`), forced via
+    /// `simd::with_level` so the row means the same thing on every host.
+    simd: String,
     threads: usize,
     best_ms: f64,
     gflops: f64,
     speedup_vs_naive: f64,
+    /// Must be exactly `0.0` — the determinism contract is bit-identity,
+    /// and any nonzero value fails the harness.
     max_abs_diff_vs_naive: f64,
 }
 
@@ -72,6 +78,17 @@ struct Report {
     requested_threads: usize,
     /// True `available_parallelism` of the host the run executed on.
     host_parallelism: usize,
+    /// Active kernel backend descriptor, e.g. `"avx2 (cpu: sse2+avx2+fma)"`.
+    kernel_backend: String,
+    /// SIMD level the unforced (default) rows ran at.
+    simd_default: String,
+    /// Host CPU: 128-bit f32 lanes available.
+    cpu_sse2: bool,
+    /// Host CPU: 256-bit f32 lanes available.
+    cpu_avx2: bool,
+    /// Host CPU: fused multiply-add available (detected but never used —
+    /// FMA rounds once where the scalar oracle rounds twice).
+    cpu_fma: bool,
     kernels: Vec<KernelRow>,
     batch_scoring: Vec<ScoringRow>,
     divergence_failures: usize,
@@ -161,19 +178,28 @@ fn push_variant(
     op: &str,
     (m, k, n): (usize, usize, usize),
     variant: &str,
+    lvl: SimdLevel,
     threads: usize,
     naive_best: f64,
     reps: usize,
     oracle: &[f32],
     run: impl Fn() -> Tensor,
 ) {
-    let ms = best_ms(reps, || {
-        std::hint::black_box(run());
+    // Force the SIMD level for both the timed loop and the correctness
+    // pass; the kernels capture the level once at entry on this thread,
+    // so the override reaches the `ner-par` workers too.
+    let (ms, diff) = simd::with_level(lvl, || {
+        let ms = best_ms(reps, || {
+            std::hint::black_box(run());
+        });
+        (ms, max_abs_diff(run().data(), oracle))
     });
-    let diff = max_abs_diff(run().data(), oracle);
-    if diff > MAX_DIVERGENCE {
+    if diff != 0.0 {
         *failures += 1;
-        eprintln!("DIVERGENCE: {op} {m}x{k}x{n} {variant}@{threads}: max|Δ| = {diff:e}");
+        eprintln!(
+            "DIVERGENCE: {op} {m}x{k}x{n} {variant}/{}@{threads}: max|Δ| = {diff:e}",
+            lvl.name()
+        );
     }
     rows.push(KernelRow {
         op: op.to_string(),
@@ -181,12 +207,22 @@ fn push_variant(
         k,
         n,
         variant: variant.to_string(),
+        simd: lvl.name().to_string(),
         threads,
         best_ms: ms,
         gflops: (2.0 * m as f64 * k as f64 * n as f64) / (ms * 1e6),
         speedup_vs_naive: naive_best / ms,
         max_abs_diff_vs_naive: diff,
     });
+}
+
+/// The SIMD levels a forced row can run at on this host: always `Off`,
+/// plus every vector level the CPU supports.
+fn forced_levels() -> Vec<SimdLevel> {
+    [SimdLevel::Off, SimdLevel::Sse2, SimdLevel::Avx2]
+        .into_iter()
+        .filter(|&l| simd::is_supported(l))
+        .collect()
 }
 
 fn bench_kernels(
@@ -205,7 +241,11 @@ fn bench_kernels(
         let ta_tn = Tensor::from_vec(k, m, a[..k * m].to_vec());
         let tb = Tensor::from_vec(k, n, b.clone());
 
-        // matmul: naive oracle, then blocked/parallel at each thread count.
+        // matmul: naive oracle, then at one thread a forced scalar
+        // "blocked" row plus one forced "simd" row per supported lane
+        // width, then "parallel" at the remaining thread counts (at the
+        // configured level, so `NER_SIMD=off` runs reproduce the
+        // pre-SIMD numbers bit-for-bit).
         let oracle = naive_matmul(&a, &b, m, k, n);
         let naive_best = best_ms(reps, || {
             std::hint::black_box(naive_matmul(&a, &b, m, k, n));
@@ -216,6 +256,7 @@ fn bench_kernels(
             k,
             n,
             variant: "naive".into(),
+            simd: SimdLevel::Off.name().into(),
             threads: 1,
             best_ms: naive_best,
             gflops: (2.0 * m as f64 * k as f64 * n as f64) / (naive_best * 1e6),
@@ -224,41 +265,93 @@ fn bench_kernels(
         });
         for &t in thread_counts {
             ner_par::set_global_threads(t);
-            let variant = if t == 1 { "blocked" } else { "parallel" };
-            push_variant(
-                &mut rows,
-                failures,
-                "matmul",
-                (m, k, n),
-                variant,
-                t,
-                naive_best,
-                reps,
-                &oracle,
-                || ta.matmul(&tb),
-            );
+            if t == 1 {
+                for lvl in forced_levels() {
+                    let variant = if lvl == SimdLevel::Off { "blocked" } else { "simd" };
+                    push_variant(
+                        &mut rows,
+                        failures,
+                        "matmul",
+                        (m, k, n),
+                        variant,
+                        lvl,
+                        t,
+                        naive_best,
+                        reps,
+                        &oracle,
+                        || ta.matmul(&tb),
+                    );
+                }
+            } else {
+                push_variant(
+                    &mut rows,
+                    failures,
+                    "matmul",
+                    (m, k, n),
+                    "parallel",
+                    simd::configured(),
+                    t,
+                    naive_best,
+                    reps,
+                    &oracle,
+                    || ta.matmul(&tb),
+                );
+            }
         }
 
-        // matmul_tn and matmul_nt: correctness at every thread count,
+        // matmul_tn and matmul_nt: the same forced sweep at one thread
+        // (so the nt-within-1.5x-of-nn comparison reads off rows at the
+        // same SIMD level), correctness at every thread count, parallel
         // timing at the highest (the row-split story is the same).
         let top = *thread_counts.iter().max().unwrap_or(&1);
         let oracle_tn = naive_matmul_tn(&a[..k * m], &b, k, m, n);
         let oracle_nt = naive_matmul_nt(&a, bt.data(), m, k, n);
-        for &t in thread_counts {
+        ner_par::set_global_threads(1);
+        let naive_tn = best_ms(reps, || {
+            std::hint::black_box(naive_matmul_tn(&a[..k * m], &b, k, m, n));
+        });
+        let naive_nt = best_ms(reps, || {
+            std::hint::black_box(naive_matmul_nt(&a, bt.data(), m, k, n));
+        });
+        for lvl in forced_levels() {
+            let variant = if lvl == SimdLevel::Off { "blocked" } else { "simd" };
+            push_variant(
+                &mut rows,
+                failures,
+                "matmul_tn",
+                (m, k, n),
+                variant,
+                lvl,
+                1,
+                naive_tn,
+                reps,
+                &oracle_tn,
+                || ta_tn.matmul_tn(&tb),
+            );
+            push_variant(
+                &mut rows,
+                failures,
+                "matmul_nt",
+                (m, k, n),
+                variant,
+                lvl,
+                1,
+                naive_nt,
+                reps,
+                &oracle_nt,
+                || ta.matmul_nt(&bt),
+            );
+        }
+        for &t in thread_counts.iter().filter(|&&t| t > 1) {
             ner_par::set_global_threads(t);
             if t == top {
-                let naive_tn = best_ms(reps, || {
-                    std::hint::black_box(naive_matmul_tn(&a[..k * m], &b, k, m, n));
-                });
-                let naive_nt = best_ms(reps, || {
-                    std::hint::black_box(naive_matmul_nt(&a, bt.data(), m, k, n));
-                });
                 push_variant(
                     &mut rows,
                     failures,
                     "matmul_tn",
                     (m, k, n),
                     "parallel",
+                    simd::configured(),
                     t,
                     naive_tn,
                     reps,
@@ -271,6 +364,7 @@ fn bench_kernels(
                     "matmul_nt",
                     (m, k, n),
                     "parallel",
+                    simd::configured(),
                     t,
                     naive_nt,
                     reps,
@@ -281,7 +375,7 @@ fn bench_kernels(
                 let d_tn = max_abs_diff(ta_tn.matmul_tn(&tb).data(), &oracle_tn);
                 let d_nt = max_abs_diff(ta.matmul_nt(&bt).data(), &oracle_nt);
                 for (op, d) in [("matmul_tn", d_tn), ("matmul_nt", d_nt)] {
-                    if d > MAX_DIVERGENCE {
+                    if d != 0.0 {
                         *failures += 1;
                         eprintln!("DIVERGENCE: {op} {m}x{k}x{n} @{t} threads: max|Δ| = {d:e}");
                     }
@@ -360,9 +454,10 @@ fn main() {
         }
     }
 
+    println!("kernel backend: {}", simd::descriptor());
     print_table(
         "kernel throughput (best of reps)",
-        &["op", "shape", "variant", "thr", "ms", "GFLOP/s", "×naive", "max|Δ|"],
+        &["op", "shape", "variant", "simd", "thr", "ms", "GFLOP/s", "×naive", "max|Δ|"],
         &kernels
             .iter()
             .map(|r| {
@@ -370,6 +465,7 @@ fn main() {
                     r.op.clone(),
                     format!("{}x{}x{}", r.m, r.k, r.n),
                     r.variant.clone(),
+                    r.simd.clone(),
                     r.threads.to_string(),
                     format!("{:.3}", r.best_ms),
                     format!("{:.2}", r.gflops),
@@ -398,13 +494,19 @@ fn main() {
             .collect::<Vec<_>>(),
     );
 
+    let cpu = simd::cpu_features();
     let report = Report {
         experiment: "exp_kernels".into(),
-        description: "Serial vs blocked vs parallel kernel and batch-scoring throughput; all variants must match the naive oracle bit-for-bit".into(),
+        description: "Serial vs blocked vs SIMD vs parallel kernel and batch-scoring throughput; every variant must match the naive oracle bit-for-bit".into(),
         seed: SEED,
         smoke,
         requested_threads: ner_par::default_threads(),
         host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        kernel_backend: simd::descriptor(),
+        simd_default: simd::configured().name().into(),
+        cpu_sse2: cpu.sse2,
+        cpu_avx2: cpu.avx2,
+        cpu_fma: cpu.fma,
         kernels,
         batch_scoring,
         divergence_failures: failures,
@@ -416,7 +518,7 @@ fn main() {
 
     if failures > 0 {
         eprintln!(
-            "{failures} divergence failure(s); parallel kernels must match the serial oracle"
+            "{failures} divergence failure(s); blocked/SIMD/parallel kernels must match the naive scalar oracle bit-for-bit"
         );
         std::process::exit(1);
     }

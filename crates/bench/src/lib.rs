@@ -202,6 +202,7 @@ fn build_manifest<T: Serialize>(name: &str, value: &T) -> Option<ner_obs::RunMan
         config_signature: format!("{}:seed={}:{:?}", run.name, run.seed, run.scale),
         wall_clock_secs: ner_obs::elapsed_secs(),
         peak_tape_nodes: ner_obs::gauge_value("tape.peak_nodes").unwrap_or(0.0) as u64,
+        kernel_backend: ner_tensor::simd::descriptor(),
         final_metrics,
     })
 }

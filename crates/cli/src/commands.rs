@@ -258,6 +258,9 @@ pub fn report(raw: Vec<String>) -> CmdResult {
         println!("name {}   version {}   seed {}", m.name, m.version, m.seed);
         println!("config {}", m.config_signature);
         println!("wall clock {:.2} s   peak tape nodes {}", m.wall_clock_secs, m.peak_tape_nodes);
+        if !m.kernel_backend.is_empty() {
+            println!("kernel backend {}", m.kernel_backend);
+        }
         if !m.final_metrics.is_empty() {
             println!("final metrics:");
             let shown = m.final_metrics.len().min(16);

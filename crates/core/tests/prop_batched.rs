@@ -8,6 +8,7 @@
 use ner_core::prelude::*;
 use ner_core::zoo;
 use ner_corpus::{GeneratorConfig, NewsGenerator};
+use ner_tensor::simd::{self, SimdLevel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Mutex;
@@ -120,6 +121,43 @@ fn annotate_batch_matches_annotate_on_pretokenized_ragged_input() {
     for threads in [1, 2, 4] {
         let got = with_threads(threads, || pipeline.annotate_batch(&sentences));
         assert_sentences_eq(&got, &want, &format!("annotate_batch threads={threads}"));
+    }
+}
+
+/// Batched-vs-per-sentence parity must hold at every SIMD level the CPU
+/// supports, not just the configured one: the per-sentence oracle runs
+/// forced-scalar, the batch runs forced to each level at 1/2/4 threads.
+/// Exercises a representative slice of the zoo (first, middle, last
+/// preset) to keep the runtime bounded.
+#[test]
+fn batched_extraction_is_identical_at_every_simd_level() {
+    let texts = ragged_texts();
+    let levels: Vec<SimdLevel> = [SimdLevel::Off, SimdLevel::Sse2, SimdLevel::Avx2]
+        .into_iter()
+        .filter(|&l| simd::is_supported(l))
+        .collect();
+    let zoo = materialized_zoo();
+    let picks = [0, zoo.len() / 2, zoo.len() - 1];
+    for (i, (name, cfg)) in zoo.into_iter().enumerate() {
+        if !picks.contains(&i) {
+            continue;
+        }
+        let pipeline = pipeline_for(cfg, 23);
+        let want: Vec<Sentence> = simd::with_level(SimdLevel::Off, || {
+            texts.iter().map(|t| pipeline.extract(t)).collect()
+        });
+        for &lvl in &levels {
+            for threads in [1, 2, 4] {
+                let got = with_threads(threads, || {
+                    simd::with_level(lvl, || pipeline.extract_batch(&texts))
+                });
+                assert_sentences_eq(
+                    &got,
+                    &want,
+                    &format!("{name} simd={} threads={threads}", lvl.name()),
+                );
+            }
+        }
     }
 }
 

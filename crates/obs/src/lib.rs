@@ -156,6 +156,9 @@ pub struct RunManifest {
     pub wall_clock_secs: f64,
     /// Largest autodiff tape observed during the run (0 if untracked).
     pub peak_tape_nodes: u64,
+    /// Active kernel backend: the SIMD variant plus the CPU features it
+    /// was chosen from (e.g. `"avx2 (cpu: sse2+avx2+fma)"`).
+    pub kernel_backend: String,
     /// Flattened final metrics (name → value).
     pub final_metrics: Vec<(String, f64)>,
 }

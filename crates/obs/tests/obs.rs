@@ -121,6 +121,7 @@ fn every_event_type_round_trips_through_jsonl() {
         config_signature: "fig6:seed=42:Full".into(),
         wall_clock_secs: 123.75,
         peak_tape_nodes: 15000,
+        kernel_backend: "avx2 (cpu: sse2+avx2+fma)".into(),
         final_metrics: vec![("f1_bilstm".into(), 0.82), ("f1_idcnn".into(), 0.81)],
     }));
 }

@@ -23,7 +23,7 @@
 //! accumulation order.
 
 use crate::fused::{self, Activation};
-use crate::{pool, ParamId, ParamStore, Tape, Tensor, Var};
+use crate::{pool, simd, ParamId, ParamStore, Tape, Tensor, Var};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -763,13 +763,14 @@ impl Exec for FusedExec<'_> {
             let mut hstate = Tensor::zeros(1, h);
             let mut c = vec![0.0f32; h];
             let mut pre = vec![0.0f32; 4 * h];
+            // The pre-activation build `(x + h) + b` runs across SIMD
+            // lanes (same two-add sequence per element); the gate sweep
+            // below is transcendental-bound and stays scalar for
+            // bit-identity with the tape chain.
+            let lvl = simd::active();
             for t in 0..n {
                 let hp = hstate.matmul(w_hh); // [1, 4h]
-                for ((p, (&xv, &hv)), &bv) in
-                    pre.iter_mut().zip(xp.row(t).iter().zip(hp.data())).zip(b.data())
-                {
-                    *p = (xv + hv) + bv;
-                }
+                simd::add3(lvl, &mut pre, xp.row(t), hp.data(), b.data());
                 fused::recycle(hp);
                 let out_row = out.row_mut(t);
                 for j in 0..h {
@@ -1201,6 +1202,7 @@ impl Exec for BatchedExec<'_> {
             let mut hstate = Tensor::zeros(nseg, h);
             let mut c = vec![0.0f32; nseg * h];
             let mut pre = vec![0.0f32; 4 * h];
+            let lvl = simd::active();
             let mut live = nseg;
             for t in 0..max_len {
                 let new_live = self.live_at(t);
@@ -1216,11 +1218,7 @@ impl Exec for BatchedExec<'_> {
                 let hp = hstate.matmul(w_hh); // [live, 4h]
                 for p in 0..live {
                     let r = self.offsets[self.order[p]] + t;
-                    for ((pz, (&xv, &hv)), &bv) in
-                        pre.iter_mut().zip(xp.row(r).iter().zip(hp.row(p))).zip(b.data())
-                    {
-                        *pz = (xv + hv) + bv;
-                    }
+                    simd::add3(lvl, &mut pre, xp.row(r), hp.row(p), b.data());
                     let cs = &mut c[p * h..(p + 1) * h];
                     let out_row = out.row_mut(r);
                     for j in 0..h {

@@ -15,7 +15,7 @@
 //! DESIGN.md) — the property `tests/prop_fused.rs` checks at 1/2/4
 //! threads.
 
-use crate::{pool, Tensor};
+use crate::{pool, simd, Tensor};
 
 /// A nonlinearity fused into [`affine_act`] / [`conv1d_act`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,12 +44,21 @@ impl Activation {
     }
 
     /// Applies the activation elementwise in place.
+    ///
+    /// `Relu` runs across [`simd`] lanes (`MAXPS` with the value as first
+    /// operand reproduces scalar `v.max(0.0)` bit-for-bit, including the
+    /// NaN and `-0.0` cases — pinned by a unit test in `simd.rs`); `Tanh`
+    /// and `Sigmoid` are transcendental and stay scalar so the bits match
+    /// the tape ops exactly.
     pub fn apply(self, t: &mut Tensor) {
-        if self == Activation::None {
-            return;
-        }
-        for v in t.data_mut() {
-            *v = self.eval(*v);
+        match self {
+            Activation::None => {}
+            Activation::Relu => simd::relu_in_place(simd::active(), t.data_mut()),
+            Activation::Tanh | Activation::Sigmoid => {
+                for v in t.data_mut() {
+                    *v = self.eval(*v);
+                }
+            }
         }
     }
 }
@@ -60,10 +69,9 @@ impl Activation {
 pub fn add_bias_in_place(out: &mut Tensor, b: &Tensor) {
     assert_eq!(b.rows(), 1, "bias must be a row vector");
     assert_eq!(out.cols(), b.cols(), "bias width mismatch");
+    let lvl = simd::active();
     for r in 0..out.rows() {
-        for (o, &bv) in out.row_mut(r).iter_mut().zip(b.data()) {
-            *o += bv;
-        }
+        simd::add_in_place(lvl, out.row_mut(r), b.data());
     }
 }
 
@@ -85,8 +93,12 @@ pub fn affine_act(x: &Tensor, w: &Tensor, b: &Tensor, act: Activation) -> Tensor
 /// (max-subtraction, exponentiation with a running sum, then one multiply
 /// by the reciprocal), without the output clone.
 pub fn softmax_rows_in_place(t: &mut Tensor) {
+    let lvl = simd::active();
     for r in 0..t.rows() {
         let row = t.row_mut(r);
+        // The max fold and the exp with its running sum are sequential
+        // reductions — they stay scalar to keep the bits; only the final
+        // reciprocal scale is an independent-lane sweep.
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let mut z = 0.0;
         for v in row.iter_mut() {
@@ -94,7 +106,7 @@ pub fn softmax_rows_in_place(t: &mut Tensor) {
             z += *v;
         }
         let inv = 1.0 / z;
-        row.iter_mut().for_each(|v| *v *= inv);
+        simd::scale_in_place(lvl, row, inv);
     }
 }
 
@@ -119,6 +131,7 @@ pub fn conv1d_act(
     assert_eq!(b.shape(), (1, d_out), "bias shape must be [1, d_out]");
 
     let half = (k / 2) as isize;
+    let lvl = simd::active();
     let mut out = Tensor::zeros_pooled(n, d_out);
     for t in 0..n as isize {
         let out_row = out.row_mut(t as usize);
@@ -134,9 +147,7 @@ pub fn conv1d_act(
                     continue;
                 }
                 let w_row = w.row(j as usize * d_in + i);
-                for (o, &wv) in out_row.iter_mut().zip(w_row) {
-                    *o += xv * wv;
-                }
+                simd::axpy_in_place(lvl, out_row, w_row, xv);
             }
         }
     }
@@ -151,16 +162,15 @@ pub fn layer_norm(x: &Tensor, gain: &Tensor, bias: &Tensor) -> Tensor {
     let (n, d) = x.shape();
     assert_eq!(gain.shape(), (1, d), "gain must be [1, d]");
     assert_eq!(bias.shape(), (1, d), "bias must be [1, d]");
+    let lvl = simd::active();
     let mut out = Tensor::zeros_pooled(n, d);
     for r in 0..n {
         let row = x.row(r);
+        // Mean/variance are sequential reductions: scalar for bit-identity.
         let mu: f32 = row.iter().sum::<f32>() / d as f32;
         let var: f32 = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
         let istd = 1.0 / (var + EPS).sqrt();
-        let out_row = out.row_mut(r);
-        for c in 0..d {
-            out_row[c] = gain.at2(0, c) * ((row[c] - mu) * istd) + bias.at2(0, c);
-        }
+        simd::norm_scale_shift(lvl, out.row_mut(r), row, gain.data(), bias.data(), mu, istd);
     }
     out
 }
@@ -170,16 +180,15 @@ pub fn layer_norm(x: &Tensor, gain: &Tensor, bias: &Tensor) -> Tensor {
 pub fn max_over_rows(x: &Tensor) -> Tensor {
     let (n, d) = x.shape();
     assert!(n > 0, "max_over_rows on empty tensor");
+    let lvl = simd::active();
     let mut out = Tensor::zeros_pooled(1, d);
-    for c in 0..d {
-        let mut best = x.at2(0, c);
-        for r in 1..n {
-            let v = x.at2(r, c);
-            if v > best {
-                best = v;
-            }
-        }
-        out.set2(0, c, best);
+    // Row-major fold with columns as lanes: each column sees the same
+    // ascending-`r` sequence of `v > best` comparisons as the scalar
+    // column-at-a-time loop, so ties (first row wins) and NaN handling
+    // are unchanged — and the walk is now cache-friendly.
+    out.row_mut(0).copy_from_slice(x.row(0));
+    for r in 1..n {
+        simd::colmax_in_place(lvl, out.row_mut(0), x.row(r));
     }
     out
 }

@@ -14,19 +14,22 @@
 //! unit-scale tensors never pay pool overhead, and only when the global
 //! [`ner_par`] pool has more than one thread.
 
+use crate::pool;
+use crate::simd;
+
 /// Rows of the left operand / output processed per cache block.
-const MC: usize = 32;
+pub(crate) const MC: usize = 32;
 
 /// Output columns processed per cache block (×4 bytes ≈ a 512-byte panel
 /// per row, small enough that an `MC`-row working set stays in L1/L2).
-const NC: usize = 128;
+pub(crate) const NC: usize = 128;
 
 /// Square tile edge for the blocked transpose.
 const TC: usize = 32;
 
 /// Rows per register tile in [`matmul_rows`]. With [`JB`] this sizes the
 /// accumulator block that stays in registers across a full `p` sweep.
-const RB: usize = 4;
+pub(crate) const RB: usize = 4;
 
 /// Columns per register tile in [`matmul_rows`]. `RB × JB` f32
 /// accumulators (8 SSE vectors at 4 lanes) plus the broadcast `a` values
@@ -195,8 +198,19 @@ fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], r0: usize, r1: usize, k: u
 
 /// `a [m,k] × b [k,n] → out [m,n]` (zero-initialized by the caller),
 /// parallel over output rows above the FLOP threshold.
-pub(crate) fn matmul(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    over_rows(m, n, m * k * n, out, |r0, r1, rows| matmul_rows(a, b, rows, r0, r1, k, n));
+///
+/// The active [`simd`] level is captured here on the calling thread —
+/// before the row split — so a [`simd::with_level`] override covers the
+/// `ner-par` workers; [`simd::SimdLevel::Off`] runs the scalar
+/// `matmul_rows` oracle the lane kernels are checked against.
+pub fn matmul(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let lvl = simd::active();
+    over_rows(m, n, m * k * n, out, |r0, r1, rows| {
+        if simd::nn_rows(lvl, a, b, rows, r0, r1, k, n) {
+            return;
+        }
+        matmul_rows(a, b, rows, r0, r1, k, n)
+    });
 }
 
 /// `out[r0..r1] = (aᵀ × b)[r0..r1]` for `a: [k,m]`, `b: [k,n]` (no
@@ -224,8 +238,14 @@ fn matmul_tn_rows(a: &[f32], b: &[f32], out: &mut [f32], r0: usize, r1: usize, k
 }
 
 /// `aᵀ [m,k-rows] × b → out [m,n]` where `a: [k,m]`, `b: [k,n]`.
-pub(crate) fn matmul_tn(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
-    over_rows(m, n, m * k * n, out, |r0, r1, rows| matmul_tn_rows(a, b, rows, r0, r1, k, n));
+pub fn matmul_tn(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+    let lvl = simd::active();
+    over_rows(m, n, m * k * n, out, |r0, r1, rows| {
+        if simd::tn_rows(lvl, a, b, rows, r0, r1, k, n, m) {
+            return;
+        }
+        matmul_tn_rows(a, b, rows, r0, r1, k, n)
+    });
 }
 
 /// `out[r0..r1] = (a × bᵀ)[r0..r1]` for `a: [m,k]`, `b: [n,k]`. Each
@@ -252,9 +272,140 @@ fn matmul_nt_rows(a: &[f32], b: &[f32], out: &mut [f32], r0: usize, r1: usize, k
     }
 }
 
+/// One NT output element as a dot product over a contiguous row of
+/// `b: [n,k]` — the historical NT inner loop (accumulate from zero, no
+/// zero-skip, one final `out += acc`), kept as the remainder path and the
+/// per-element reference the tiled kernels must reproduce bit-for-bit.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn nt_dot(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i: usize,
+    r0: usize,
+    j: usize,
+    k: usize,
+    n: usize,
+) {
+    let a_row = &a[i * k..(i + 1) * k];
+    let b_row = &b[j * k..(j + 1) * k];
+    let mut acc = 0.0;
+    for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+        acc += av * bv;
+    }
+    out[(i - r0) * n + j] += acc;
+}
+
+/// An `RB × JB` register tile of the NT kernel over the packed panel
+/// `bt = bᵀ: [k,n]`. Bit-identical to [`nt_dot`] per element: every
+/// accumulator starts at zero, sweeps `p` ascending with no zero-skip, and
+/// lands with one `out += acc` — only the element grouping changes, which
+/// is what turns `n` sequential dot products into a panel reuse pattern.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn nt_tile_quad(
+    a: &[f32],
+    bt: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    r0: usize,
+    j0: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut acc = [[0.0f32; JB]; RB];
+    let a0 = &a[i0 * k..][..k];
+    let a1 = &a[(i0 + 1) * k..][..k];
+    let a2 = &a[(i0 + 2) * k..][..k];
+    let a3 = &a[(i0 + 3) * k..][..k];
+    for p in 0..k {
+        let b_row: &[f32; JB] = bt[p * n + j0..][..JB].try_into().unwrap();
+        let av = [a0[p], a1[p], a2[p], a3[p]];
+        for r in 0..RB {
+            for c in 0..JB {
+                acc[r][c] += av[r] * b_row[c];
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        for (o, &v) in out[(i0 + r - r0) * n + j0..][..JB].iter_mut().zip(row.iter()) {
+            *o += v;
+        }
+    }
+}
+
+/// `out[r0..r1] += (a × bᵀ)[r0..r1]` through register tiles over the packed
+/// panel `bt`; remainder rows/columns run [`nt_dot`] on the original `b`.
+#[allow(clippy::too_many_arguments)]
+fn matmul_nt_rows_tiled(
+    a: &[f32],
+    b: &[f32],
+    bt: &[f32],
+    out: &mut [f32],
+    r0: usize,
+    r1: usize,
+    k: usize,
+    n: usize,
+) {
+    for ib in (r0..r1).step_by(MC) {
+        let ie = (ib + MC).min(r1);
+        for jb in (0..n).step_by(NC) {
+            let je = (jb + NC).min(n);
+            let mut i = ib;
+            while i + RB <= ie {
+                let mut j = jb;
+                while j + JB <= je {
+                    nt_tile_quad(a, bt, out, i, r0, j, k, n);
+                    j += JB;
+                }
+                for ii in i..i + RB {
+                    for jj in j..je {
+                        nt_dot(a, b, out, ii, r0, jj, k, n);
+                    }
+                }
+                i += RB;
+            }
+            for ii in i..ie {
+                for jj in jb..je {
+                    nt_dot(a, b, out, ii, r0, jj, k, n);
+                }
+            }
+        }
+    }
+}
+
+/// Minimum `m` before [`matmul_nt`] packs `bᵀ`: the pack (zero + tiled
+/// transpose) costs ~2·k·n memory passes, which the register tiles only
+/// amortize once several output rows reuse the panel. Below this the
+/// historical per-row dot kernel runs unchanged (it is bit-identical, so
+/// the threshold is perf-only).
+const NT_PACK_MIN_M: usize = 4;
+
 /// `a [m,k] × bᵀ [k,n-rows] → out [m,n]` where `b: [n,k]`.
-pub(crate) fn matmul_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    over_rows(m, n, m * k * n, out, |r0, r1, rows| matmul_nt_rows(a, b, rows, r0, r1, k, n));
+///
+/// For `m ≥ NT_PACK_MIN_M` the kernel packs `bᵀ` once, on the calling
+/// thread, into a cache-aligned pooled panel, then runs register tiles
+/// over it (`nt_tile_quad` or the [`simd`] lane tiles) — replacing the
+/// loop-carried dependence of `n` sequential dot products per output row
+/// with `RB × JB` independent accumulators, which is where the historical
+/// ~2.5x NT-vs-NN GFLOPS gap came from.
+pub fn matmul_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let lvl = simd::active();
+    if m < NT_PACK_MIN_M {
+        over_rows(m, n, m * k * n, out, |r0, r1, rows| matmul_nt_rows(a, b, rows, r0, r1, k, n));
+        return;
+    }
+    let mut bt = pool::take_aligned(k * n);
+    transpose(b, bt.as_mut_slice(), n, k);
+    let bts = bt.as_slice();
+    over_rows(m, n, m * k * n, out, |r0, r1, rows| {
+        if simd::nt_rows(lvl, a, b, bts, rows, r0, r1, k, n) {
+            return;
+        }
+        matmul_nt_rows_tiled(a, b, bts, rows, r0, r1, k, n)
+    });
+    pool::recycle_aligned(bt);
 }
 
 /// Tiled transpose of the `[rows, cols]` matrix `src` into the
@@ -344,6 +495,72 @@ mod tests {
             // nt accumulates each dot product before the final add, so it
             // agrees with the naive j-inner loop only to rounding.
             assert!((x - y).abs() <= 1e-4 * y.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn tiled_nt_is_bit_identical_to_the_dot_product_kernel() {
+        for &(m, k, n) in &[(4, 9, 8), (5, 17, 9), (33, 40, 31), (32, 64, 128)] {
+            let a = ramp(m * k, 0.25);
+            let b = ramp(n * k, 0.5);
+            let mut want = vec![0.0f32; m * n];
+            matmul_nt_rows(&a, &b, &mut want, 0, m, k, n);
+            let mut bt = vec![0.0f32; k * n];
+            transpose_rows(&b, &mut bt, 0, k, n, k);
+            let mut got = vec![0.0f32; m * n];
+            matmul_nt_rows_tiled(&a, &b, &bt, &mut got, 0, m, k, n);
+            assert_eq!(got, want, "shape {m}x{k}x{n}");
+        }
+    }
+
+    fn lane_levels() -> Vec<simd::SimdLevel> {
+        [simd::SimdLevel::Sse2, simd::SimdLevel::Avx2]
+            .into_iter()
+            .filter(|&l| simd::is_supported(l))
+            .collect()
+    }
+
+    #[test]
+    fn lane_matmuls_match_the_scalar_oracle_bitwise() {
+        let shapes = [
+            (1, 7, 1),
+            (2, 3, 5),
+            (4, 16, 8),
+            (5, 33, 9),
+            (7, 12, 17),
+            (33, 40, 31),
+            (32, 64, 128),
+        ];
+        for &(m, k, n) in &shapes {
+            let a = ramp(m * k, 0.25);
+            let b = ramp(k * n, 0.5);
+            let mut want = vec![0.0f32; m * n];
+            matmul_rows(&a, &b, &mut want, 0, m, k, n);
+            for &lvl in &lane_levels() {
+                let mut got = vec![0.0f32; m * n];
+                assert!(simd::nn_rows(lvl, &a, &b, &mut got, 0, m, k, n));
+                assert_eq!(got, want, "nn {m}x{k}x{n} {lvl:?}");
+            }
+
+            let at = ramp(k * m, 0.3); // [k, m]
+            let mut want = vec![0.0f32; m * n];
+            matmul_tn_rows(&at, &b, &mut want, 0, m, k, n);
+            for &lvl in &lane_levels() {
+                let mut got = vec![0.0f32; m * n];
+                assert!(simd::tn_rows(lvl, &at, &b, &mut got, 0, m, k, n, m));
+                assert_eq!(got, want, "tn {m}x{k}x{n} {lvl:?}");
+            }
+
+            let b2 = ramp(n * k, 0.4); // [n, k]
+            let mut want = vec![0.0f32; m * n];
+            matmul_nt_rows(&a, &b2, &mut want, 0, m, k, n);
+            let mut bt = vec![0.0f32; k * n];
+            transpose_rows(&b2, &mut bt, 0, k, n, k);
+            for &lvl in &lane_levels() {
+                let mut got = vec![0.0f32; m * n];
+                assert!(simd::nt_rows(lvl, &a, &b2, &bt, &mut got, 0, m, k, n));
+                assert_eq!(got, want, "nt {m}x{k}x{n} {lvl:?}");
+            }
         }
     }
 

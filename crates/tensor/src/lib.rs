@@ -23,12 +23,15 @@
 //!
 //! The design favours clarity and determinism: graphs are built per sentence
 //! (lengths ≤ ~50) and every random component is seeded. Throughput comes
-//! from three mechanisms that never change the floats: cache-blocked matmul
+//! from four mechanisms that never change the floats: cache-blocked matmul
 //! and transpose kernels that split output rows across the `ner-par`
 //! work-stealing pool above a size threshold (accumulation order per output
 //! element is preserved exactly, so serial and parallel results are
-//! bit-identical), a thread-local [`pool`] of `Vec<f32>` buffers that tape
-//! nodes recycle on drop, and a [`GradBuffer`] sink that lets data-parallel
+//! bit-identical), runtime-dispatched [`simd`] lane kernels (`NER_SIMD`,
+//! SSE2/AVX2) whose lanes are independent output elements accumulating in
+//! scalar order — bit-identical by construction, checked against the scalar
+//! oracle — a thread-local [`pool`] of `Vec<f32>` buffers that tape nodes
+//! recycle on drop, and a [`GradBuffer`] sink that lets data-parallel
 //! trainers backpropagate without mutable access to shared parameters.
 //!
 //! ```
@@ -63,17 +66,19 @@
 pub mod exec;
 pub mod fused;
 pub mod init;
-mod kernels;
+pub mod kernels;
 pub mod nn;
 pub mod ops;
 pub mod optim;
 mod param;
 pub mod pool;
+pub mod simd;
 mod tape;
 mod tensor;
 
 pub use exec::{BatchedExec, Exec, FusedExec, FusedVal, PeCache, TapeExec};
 pub use kernels::PAR_MIN_FLOPS;
 pub use param::{ParamId, ParamStore};
+pub use simd::SimdLevel;
 pub use tape::{GradBuffer, GradSink, OpClass, Tape, Var};
 pub use tensor::Tensor;

@@ -20,10 +20,16 @@
 //! thread; the trainer and inference layers export them through `ner-obs`
 //! as `pool.hits` / `pool.misses` (see [`take_stats`]).
 
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
 use std::cell::RefCell;
+use std::ptr::NonNull;
 
 /// Buffers shorter than this are cheaper to allocate than to pool.
 const MIN_POOLED_LEN: usize = 16;
+
+/// Alignment of [`AlignedBuf`] allocations: one cache line, which also
+/// covers the 32-byte loads of the AVX2 lane kernels.
+const PANEL_ALIGN: usize = 64;
 
 /// Free-list depth per size class.
 const MAX_BUFS_PER_LEN: usize = 64;
@@ -49,10 +55,74 @@ struct PoolInner {
     /// Free lists keyed by power-of-two size class; small linear scan (a
     /// model touches a handful of classes).
     buckets: Vec<(usize, Vec<Vec<f32>>)>,
+    /// Free lists for cache-aligned panel buffers, same class keying.
+    aligned: Vec<(usize, Vec<AlignedBuf>)>,
     held_floats: usize,
     hits: u64,
     misses: u64,
     recycled: u64,
+}
+
+/// A cache-line-aligned `f32` buffer for packed kernel panels (the `bᵀ`
+/// panel of `matmul_nt`). `Vec<f32>` cannot guarantee alignment beyond 4
+/// bytes — and rebuilding one around an over-aligned allocation would hand
+/// the wrong [`Layout`] to its destructor — so this type owns its
+/// allocation outright: capacity is always a pool size class and the
+/// [`Drop`] impl deallocates with the exact layout used to allocate.
+pub struct AlignedBuf {
+    ptr: NonNull<f32>,
+    len: usize,
+    cap: usize,
+}
+
+// Safety: `AlignedBuf` exclusively owns its heap allocation, exactly like
+// `Vec<f32>`; moving it between threads moves unique ownership.
+unsafe impl Send for AlignedBuf {}
+
+impl AlignedBuf {
+    /// Allocates a zeroed buffer of `cap` floats at [`PANEL_ALIGN`].
+    fn alloc(cap: usize) -> Self {
+        let layout = Layout::from_size_align(cap * std::mem::size_of::<f32>(), PANEL_ALIGN)
+            .expect("panel layout");
+        // Safety: `cap >= MIN_POOLED_LEN` (callers round up), so the layout
+        // is never zero-sized.
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<f32>()) else {
+            handle_alloc_error(layout);
+        };
+        AlignedBuf { ptr, len: cap, cap }
+    }
+
+    /// Number of addressable floats (the requested length, ≤ capacity).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer has zero addressable floats.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The buffer as a shared slice of its `len` floats.
+    pub fn as_slice(&self) -> &[f32] {
+        // Safety: `ptr` addresses `cap >= len` initialized floats.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// The buffer as a mutable slice of its `len` floats.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        // Safety: as `as_slice`, plus exclusive access through `&mut self`.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        let layout = Layout::from_size_align(self.cap * std::mem::size_of::<f32>(), PANEL_ALIGN)
+            .expect("panel layout");
+        // Safety: `ptr` was allocated in `alloc` with exactly this layout.
+        unsafe { dealloc(self.ptr.as_ptr().cast(), layout) };
+    }
 }
 
 thread_local! {
@@ -121,6 +191,58 @@ pub fn recycle(mut buf: Vec<f32>) {
         // the class can truncate down to its exact size.
         buf.resize(class, 0.0);
         p.buckets[i].1.push(buf);
+        p.held_floats += class;
+        p.recycled += 1;
+    });
+}
+
+/// A zeroed cache-line-aligned buffer of exactly `len` floats for packed
+/// kernel panels, served from the aligned free lists when possible. Small
+/// requests still pool (panels are reused immediately by the next product
+/// of the same shape family).
+pub fn take_aligned(len: usize) -> AlignedBuf {
+    let class = class_of(len.max(MIN_POOLED_LEN));
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        let slot = p.aligned.iter().position(|(c, _)| *c == class);
+        if let Some(i) = slot {
+            if let Some(mut buf) = p.aligned[i].1.pop() {
+                p.held_floats -= class;
+                p.hits += 1;
+                buf.len = len;
+                buf.as_mut_slice().fill(0.0);
+                return buf;
+            }
+        }
+        p.misses += 1;
+        let mut buf = AlignedBuf::alloc(class);
+        buf.len = len;
+        buf
+    })
+}
+
+/// Offers an aligned panel back to the current thread's pool, subject to
+/// the same per-class and total bounds as [`recycle`].
+pub fn recycle_aligned(mut buf: AlignedBuf) {
+    let class = buf.cap;
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.held_floats + class > MAX_POOLED_FLOATS {
+            return;
+        }
+        let slot = p.aligned.iter().position(|(c, _)| *c == class);
+        let i = match slot {
+            Some(i) => i,
+            None => {
+                p.aligned.push((class, Vec::new()));
+                p.aligned.len() - 1
+            }
+        };
+        if p.aligned[i].1.len() >= MAX_BUFS_PER_LEN {
+            return;
+        }
+        buf.len = class;
+        p.aligned[i].1.push(buf);
         p.held_floats += class;
         p.recycled += 1;
     });
@@ -224,6 +346,37 @@ mod tests {
         assert!(again.iter().all(|&x| x == 0.0));
         let s = stats();
         assert_eq!((s.hits, s.misses, s.recycled), (1, 1, 1));
+        clear();
+    }
+
+    #[test]
+    fn aligned_panels_are_aligned_zeroed_and_reused() {
+        clear();
+        let mut buf = take_aligned(100);
+        assert_eq!(buf.len(), 100);
+        assert_eq!(buf.as_slice().as_ptr() as usize % PANEL_ALIGN, 0);
+        buf.as_mut_slice().fill(3.5);
+        let ptr = buf.as_slice().as_ptr();
+        recycle_aligned(buf);
+        let again = take_aligned(120);
+        assert_eq!(again.as_slice().as_ptr(), ptr, "class-mate take must reuse the panel");
+        assert_eq!(again.len(), 120);
+        assert!(again.as_slice().iter().all(|&x| x == 0.0));
+        let s = stats();
+        assert_eq!((s.hits, s.misses, s.recycled), (1, 1, 1));
+        clear();
+    }
+
+    #[test]
+    fn aligned_and_vec_free_lists_are_disjoint() {
+        clear();
+        recycle_aligned(take_aligned(64));
+        // A plain take of the same class must miss (different list) …
+        let v = take(64);
+        assert_eq!(stats().misses, 2);
+        recycle(v);
+        // … and the aligned panel is still pooled.
+        assert_eq!(stats().held_floats, 128);
         clear();
     }
 

@@ -4,6 +4,7 @@
 //! determinism contract the tape-free `ForwardPlan` path is built on.
 
 use ner_tensor::fused::{self, Activation};
+use ner_tensor::simd::{self, SimdLevel};
 use ner_tensor::{Tape, Tensor, PAR_MIN_FLOPS};
 use proptest::prelude::*;
 use std::sync::Mutex;
@@ -88,6 +89,73 @@ proptest! {
                 t
             });
             prop_assert_eq!(out.data(), expect.data(), "threads={}", threads);
+        }
+    }
+}
+
+/// Every fused kernel that runs across SIMD lanes, executed once per call
+/// so one comparison covers them all.
+fn all_fused(
+    x: &Tensor,
+    w: &Tensor,
+    b: &Tensor,
+    xs: &Tensor,
+    gain: &Tensor,
+    bias: &Tensor,
+    cw: &Tensor,
+) -> Vec<Tensor> {
+    let mut outs = Vec::new();
+    for act in ACTIVATIONS {
+        outs.push(fused::affine_act(x, w, b, act));
+    }
+    let mut sm = xs.clone();
+    fused::softmax_rows_in_place(&mut sm);
+    outs.push(sm);
+    outs.push(fused::layer_norm(xs, gain, bias));
+    outs.push(fused::max_over_rows(xs));
+    outs.push(fused::conv1d_act(xs, cw, b, 3, 1, Activation::Relu));
+    outs
+}
+
+/// Forced-SIMD vs forced-scalar bit-identity for every fused kernel at the
+/// lane-remainder widths around the 4- and 8-lane boundaries, 1/2/4
+/// threads.
+#[test]
+fn fused_kernels_match_forced_scalar_at_lane_remainder_widths() {
+    let vector_levels: Vec<SimdLevel> =
+        [SimdLevel::Sse2, SimdLevel::Avx2].into_iter().filter(|&l| simd::is_supported(l)).collect();
+    let fill = |rows: usize, cols: usize, salt: usize| {
+        Tensor::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|i| (((i * 7 + salt) % 11) as f32 - 5.0) * 0.19).collect(),
+        )
+    };
+    let widths: Vec<usize> = (1usize..=9).chain([15, 17]).collect();
+    for &n in &widths {
+        let x = fill(5, 7, 1);
+        let w = fill(7, n, 2);
+        let b = fill(1, n, 3);
+        let xs = fill(6, n, 4);
+        let gain = fill(1, n, 5);
+        let bias = fill(1, n, 6);
+        let cw = fill(3 * n, n, 7); // conv1d filter bank, k=3, d_in=d_out=n
+        for threads in [1usize, 2, 4] {
+            let want = with_threads(threads, || {
+                simd::with_level(SimdLevel::Off, || all_fused(&x, &w, &b, &xs, &gain, &bias, &cw))
+            });
+            for &lvl in &vector_levels {
+                let got = with_threads(threads, || {
+                    simd::with_level(lvl, || all_fused(&x, &w, &b, &xs, &gain, &bias, &cw))
+                });
+                for (i, (g, e)) in got.iter().zip(&want).enumerate() {
+                    assert!(
+                        g.data() == e.data(),
+                        "fused kernel #{i} diverged from scalar: width={n} {}@{threads}thr",
+                        lvl.name()
+                    );
+                }
+            }
         }
     }
 }

@@ -4,7 +4,8 @@
 //! must in fact match **bit for bit**. Pooled allocations must behave like
 //! fresh zeroed memory.
 
-use ner_tensor::{pool, Tensor, PAR_MIN_FLOPS};
+use ner_tensor::simd::{self, SimdLevel};
+use ner_tensor::{kernels, pool, Tensor, PAR_MIN_FLOPS};
 use proptest::prelude::*;
 use std::sync::Mutex;
 
@@ -163,6 +164,105 @@ proptest! {
         pool::recycle(first.clone().into_data());
         let second = a.matmul(&b);
         prop_assert!(first.data() == second.data(), "pooled rerun diverged");
+    }
+}
+
+/// The vector levels this CPU can actually run (empty on a pre-SSE2 host,
+/// which cannot exist on x86-64; possibly empty elsewhere).
+fn vector_levels() -> Vec<SimdLevel> {
+    [SimdLevel::Sse2, SimdLevel::Avx2].into_iter().filter(|&l| simd::is_supported(l)).collect()
+}
+
+/// Deterministic fill with exact zeros sprinkled in (`i*7+salt ≡ 5 mod 11`),
+/// so the kernels' zero-skip paths run.
+fn fill(len: usize, salt: usize, scale: f32) -> Vec<f32> {
+    (0..len).map(|i| (((i * 7 + salt) % 11) as f32 - 5.0) * scale).collect()
+}
+
+/// Forced-SIMD vs forced-scalar bit-identity at every lane-remainder width
+/// around the 4- and 8-lane boundaries, for all three matmul variants at
+/// 1/2/4 threads.
+#[test]
+fn simd_levels_match_forced_scalar_at_lane_remainder_widths() {
+    let widths: Vec<usize> = (1usize..=9).chain([15, 17]).collect();
+    for &n in &widths {
+        for (m, k) in [(1usize, 3usize), (4, 16), (7, 33)] {
+            let a = Tensor::from_vec(m, k, fill(m * k, 1, 0.37));
+            let at = Tensor::from_vec(k, m, fill(k * m, 2, 0.29));
+            let b = Tensor::from_vec(k, n, fill(k * n, 3, 0.23));
+            let bt = Tensor::from_vec(n, k, fill(n * k, 4, 0.31));
+            for threads in [1usize, 2, 4] {
+                let (want_nn, want_tn, want_nt) = with_threads(threads, || {
+                    simd::with_level(SimdLevel::Off, || {
+                        (a.matmul(&b), at.matmul_tn(&b), a.matmul_nt(&bt))
+                    })
+                });
+                for lvl in vector_levels() {
+                    let (nn, tn, nt) = with_threads(threads, || {
+                        simd::with_level(lvl, || (a.matmul(&b), at.matmul_tn(&b), a.matmul_nt(&bt)))
+                    });
+                    let ctx = format!("{m}x{k}x{n} {}@{threads}thr", lvl.name());
+                    assert_bit_identical(&nn, &want_nn, &format!("matmul {ctx}"));
+                    assert_bit_identical(&tn, &want_tn, &format!("matmul_tn {ctx}"));
+                    assert_bit_identical(&nt, &want_nt, &format!("matmul_nt {ctx}"));
+                }
+            }
+        }
+    }
+}
+
+/// Buffer base alignment must never change the bits: the same values run
+/// through the public slice kernels from a 64-byte-aligned pool panel and
+/// from starts offset by 1..4 floats (so no vector width sees its natural
+/// alignment), at every supported SIMD level.
+#[test]
+fn buffer_alignment_never_changes_the_bits() {
+    let (m, k, n) = (7usize, 19usize, 17usize);
+    let vals_a = fill(m * k, 5, 0.41); // also reads as (k, m) for tn
+    let vals_b = fill(k * n, 6, 0.27);
+    let vals_bt = fill(n * k, 8, 0.33);
+    let run = |a: &[f32], b: &[f32], bt: &[f32]| {
+        let mut nn = vec![0.0f32; m * n];
+        kernels::matmul(a, b, &mut nn, m, k, n);
+        let mut tn = vec![0.0f32; m * n];
+        kernels::matmul_tn(a, b, &mut tn, k, m, n);
+        let mut nt = vec![0.0f32; m * n];
+        kernels::matmul_nt(a, bt, &mut nt, m, k, n);
+        (nn, tn, nt)
+    };
+    let mut levels = vec![SimdLevel::Off];
+    levels.extend(vector_levels());
+    for lvl in levels {
+        with_threads(1, || {
+            simd::with_level(lvl, || {
+                let want = run(&vals_a, &vals_b, &vals_bt);
+
+                // 64-byte-aligned starts straight from the panel pool.
+                let mut pa = pool::take_aligned(m * k);
+                pa.as_mut_slice().copy_from_slice(&vals_a);
+                let mut pb = pool::take_aligned(k * n);
+                pb.as_mut_slice().copy_from_slice(&vals_b);
+                let mut pbt = pool::take_aligned(n * k);
+                pbt.as_mut_slice().copy_from_slice(&vals_bt);
+                let got = run(pa.as_slice(), pb.as_slice(), pbt.as_slice());
+                assert!(got == want, "aligned pool buffers diverged at {}", lvl.name());
+                pool::recycle_aligned(pa);
+                pool::recycle_aligned(pb);
+                pool::recycle_aligned(pbt);
+
+                // Misaligned starts: shift every operand by `off` floats.
+                for off in 1usize..4 {
+                    let shift = |v: &[f32]| {
+                        let mut s = vec![0.0f32; off + v.len()];
+                        s[off..].copy_from_slice(v);
+                        s
+                    };
+                    let (sa, sb, sbt) = (shift(&vals_a), shift(&vals_b), shift(&vals_bt));
+                    let got = run(&sa[off..], &sb[off..], &sbt[off..]);
+                    assert!(got == want, "offset-{off} buffers diverged at {}", lvl.name());
+                }
+            })
+        });
     }
 }
 
