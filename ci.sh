@@ -18,10 +18,12 @@
 #   6. prometheus lint  (the /metrics exposition must have typed, unique
 #      families with cumulative histogram buckets)
 #   7. serving smoke    (serve integration tests — including the request
-#      tracing, flight-recorder and batch-formation suites — + exp_serving
-#      --smoke at 1 and 4 threads exit non-zero if a padded-[B,T] batched
-#      response diverges from offline annotate or trace stage timings stop
-#      accounting for the latency)
+#      tracing, flight-recorder, batch-formation, slow-client and
+#      shutdown-race suites — + exp_serving --smoke at 1 and 4 threads:
+#      its overload-and-recovery soak drives the server into SLO shedding,
+#      hot-reloads it under load, and drains it, exiting non-zero if a
+#      batched response diverges from offline annotate, an accepted
+#      request is lost, or the server fails to recover after overload)
 #
 # The build is fully offline: every external dependency is a vendored stub
 # under compat/, so no network access is required.
@@ -64,11 +66,11 @@ NER_THREADS=4 cargo run --release -p ner-bench --bin exp_inference -- --smoke
 echo "== prometheus lint: /metrics families must be typed, unique, cumulative =="
 cargo test --release -p ner-serve --lib -q prometheus
 
-echo "== serving + tracing: batched [B,T] == offline, traces account for latency (NER_THREADS=1) =="
+echo "== serving: poll-loop integration + exp_serving soak (overload, reload, recovery; NER_THREADS=1) =="
 NER_THREADS=1 cargo test --release -p ner-serve --test serve_integration -q
 NER_THREADS=1 cargo run --release -p ner-bench --bin exp_serving -- --smoke
 
-echo "== serving + tracing: batched [B,T] == offline, traces account for latency (NER_THREADS=4) =="
+echo "== serving: poll-loop integration + exp_serving soak (overload, reload, recovery; NER_THREADS=4) =="
 NER_THREADS=4 cargo test --release -p ner-serve --test serve_integration -q
 NER_THREADS=4 cargo run --release -p ner-bench --bin exp_serving -- --smoke
 

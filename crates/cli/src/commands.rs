@@ -159,11 +159,27 @@ pub fn tag(raw: Vec<String>) -> CmdResult {
 pub fn serve(raw: Vec<String>) -> CmdResult {
     let a = parse(
         raw,
-        &["ckpt", "addr", "max-batch", "max-wait-us", "queue-cap", "timeout-ms", "trace-ring"],
+        &[
+            "ckpt",
+            "addr",
+            "max-batch",
+            "max-wait-us",
+            "queue-cap",
+            "timeout-ms",
+            "slo-ms",
+            "replicas",
+            "poll-shards",
+            "read-timeout-ms",
+            "trace-ring",
+        ],
     )?;
     let ckpt = a.require("ckpt")?.to_string();
     let addr = a.get("addr").unwrap_or("127.0.0.1:8080").to_string();
     let defaults = ner_serve::ServeConfig::default();
+    // One pipeline replica per core by default: each gets its own
+    // dispatcher thread, compiled plan, and caches.
+    let default_replicas =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
     let config = ner_serve::ServeConfig {
         max_batch: a.get_parsed("max-batch", defaults.max_batch)?,
         max_wait: std::time::Duration::from_micros(
@@ -173,19 +189,32 @@ pub fn serve(raw: Vec<String>) -> CmdResult {
         request_timeout: std::time::Duration::from_millis(
             a.get_parsed("timeout-ms", defaults.request_timeout.as_millis() as u64)?,
         ),
+        slo_p99: std::time::Duration::from_millis(
+            a.get_parsed("slo-ms", defaults.slo_p99.as_millis() as u64)?,
+        ),
+        replicas: a.get_parsed("replicas", default_replicas)?,
+        poll_shards: a.get_parsed("poll-shards", defaults.poll_shards)?,
+        read_timeout: std::time::Duration::from_millis(
+            a.get_parsed("read-timeout-ms", defaults.read_timeout.as_millis() as u64)?,
+        ),
         trace_recent: a.get_parsed("trace-ring", defaults.trace_recent)?,
         ..defaults
     };
     if config.max_batch == 0 || config.queue_cap == 0 {
         return Err("--max-batch and --queue-cap must be >= 1".into());
     }
+    if config.replicas == 0 || config.poll_shards == 0 {
+        return Err("--replicas and --poll-shards must be >= 1".into());
+    }
     let pipeline = Checkpoint::load(&ckpt)?.restore()?;
     ner_obs::info(format!(
-        "serving {} (max-batch {}, max-wait {}us, queue {})",
+        "serving {} ({} replicas, {} poll shards, max-batch {}, queue {}, slo {}ms)",
         pipeline.model.cfg.signature(),
+        config.replicas,
+        config.poll_shards,
         config.max_batch,
-        config.max_wait.as_micros(),
-        config.queue_cap
+        config.queue_cap,
+        config.slo_p99.as_millis()
     ));
     let state = ner_serve::ServeState::new(pipeline, Some(ckpt.into()), config);
     let server = ner_serve::Server::bind(addr.as_str(), state)

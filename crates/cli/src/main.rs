@@ -17,7 +17,7 @@ USAGE:
   neural-ner train    --train FILE --model FILE [--dev FILE] [--preset NAME] [--epochs N] [--seed S] [--quiet]
   neural-ner eval     --model FILE --data FILE
   neural-ner tag      --model FILE [TEXT ...]        (reads stdin when no TEXT)
-  neural-ner serve    --ckpt FILE [--addr A] [--max-batch N] [--max-wait-us T] [--queue-cap Q] [--timeout-ms D] [--trace-ring N]
+  neural-ner serve    --ckpt FILE [--addr A] [--replicas N] [--poll-shards S] [--max-batch N] [--max-wait-us T] [--queue-cap Q] [--timeout-ms D] [--slo-ms B] [--read-timeout-ms R] [--trace-ring N]
   neural-ner zoo
   neural-ner report   RUN.jsonl
   neural-ner trace    <RUN.jsonl|http://HOST:PORT> [--top N]
@@ -27,10 +27,11 @@ COMMANDS:
   train      train a model preset on a CoNLL corpus and save a checkpoint
   eval       exact + relaxed span metrics of a checkpoint on a corpus
   tag        annotate raw text with a trained checkpoint
-  serve      HTTP server with dynamic micro-batching over a checkpoint
+  serve      HTTP server: sharded nonblocking poll loop, per-core pipeline
+             replicas with dynamic micro-batching, SLO-aware admission
              (POST /v1/extract and /v1/extract_batch; GET /healthz, /metrics
               in Prometheus format, /admin/trace for the flight recorder;
-              POST /admin/reload swaps the checkpoint in without downtime;
+              POST /admin/reload swaps all replicas atomically, no downtime;
               every response carries an x-trace-id, ?trace=1 inlines stages)
   zoo        list the available architecture presets (Table 3 families)
   report     summarize a JSONL run log (loss curve, latency, slowest spans)

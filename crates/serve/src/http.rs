@@ -2,8 +2,19 @@
 //! serving endpoints — request-line + headers + `Content-Length` bodies,
 //! keep-alive connections, and plain responses. No chunked encoding, no
 //! TLS, no compression; anything outside that subset gets a clean 4xx.
+//!
+//! Parsing is **incremental**: [`RequestParser`] consumes bytes as they
+//! arrive off a nonblocking socket and yields a [`Request`] only once the
+//! head and body are complete, which is what lets the server's poll loop
+//! serve thousands of slow connections without a thread (or a blocked
+//! read) per socket. The blocking [`read_request`] used by tests and
+//! simple callers is a thin loop over the same parser, retrying
+//! `WouldBlock`/`TimedOut` reads under an overall per-request deadline —
+//! a client that dribbles its body across several read-timeout windows is
+//! waited for, not dropped.
 
 use std::io::{BufRead, Write};
+use std::time::{Duration, Instant};
 
 /// Upper bound on a request body (1 MiB): a batch of sentences, not a file
 /// upload. Larger bodies are refused with 413 before buffering.
@@ -13,6 +24,27 @@ pub const MAX_BODY_BYTES: usize = 1 << 20;
 const MAX_HEADER_LINE: usize = 8 * 1024;
 const MAX_HEADERS: usize = 64;
 
+/// Upper bound on a buffered-but-incomplete request head. A peer that
+/// sends this much without finishing its headers is slow-loris-ing, not
+/// negotiating.
+const MAX_HEAD_BYTES: usize = 32 * 1024;
+
+/// Default overall deadline for reading one request (first byte of the
+/// request line through the last body byte) in the blocking
+/// [`read_request`] path.
+pub const DEFAULT_READ_DEADLINE: Duration = Duration::from_secs(10);
+
+/// The HTTP protocol version a request was made with. The server answers
+/// both the same way; the difference is connection semantics — HTTP/1.0
+/// defaults to close-after-response, HTTP/1.1 to keep-alive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpVersion {
+    /// `HTTP/1.0` — connections close unless `Connection: keep-alive`.
+    Http10,
+    /// `HTTP/1.1` — connections persist unless `Connection: close`.
+    Http11,
+}
+
 /// A parsed HTTP request.
 #[derive(Debug)]
 pub struct Request {
@@ -20,6 +52,8 @@ pub struct Request {
     pub method: String,
     /// Request target path (query strings are kept verbatim).
     pub path: String,
+    /// Protocol version from the request line.
+    pub version: HttpVersion,
     /// Lowercased header names with their values, in arrival order.
     pub headers: Vec<(String, String)>,
     /// Raw request body (empty unless `Content-Length` said otherwise).
@@ -51,10 +85,19 @@ impl Request {
         })
     }
 
-    /// True when the client asked to close the connection after this
-    /// exchange (HTTP/1.1 defaults to keep-alive).
+    /// True when the connection should close after this exchange.
+    /// HTTP/1.1 defaults to keep-alive and closes on `Connection: close`;
+    /// HTTP/1.0 defaults to close and persists only on an explicit
+    /// `Connection: keep-alive`.
     pub fn wants_close(&self) -> bool {
-        self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        match self.version {
+            HttpVersion::Http11 => {
+                self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+            }
+            HttpVersion::Http10 => {
+                !self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+            }
+        }
     }
 }
 
@@ -81,100 +124,212 @@ impl From<std::io::Error> for ReadError {
     }
 }
 
-/// Reads one request from a buffered stream. Blocks until a full request
-/// arrives (bound the wait with a socket read timeout).
-pub fn read_request(stream: &mut impl BufRead) -> Result<Request, ReadError> {
-    let request_line = match read_line(stream) {
-        Ok(None) => return Err(ReadError::Closed),
-        Ok(Some(l)) => l,
-        // Idle is only clean before the first byte of a request; a timeout
-        // once headers have started means a stalled client.
-        Err(ReadError::Idle) => return Err(ReadError::Idle),
-        Err(e) => return Err(e),
-    };
-    let mut parts = request_line.split(' ');
-    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
-        _ => return Err(ReadError::Bad(Response::text(400, "malformed request line"))),
-    };
-    if version != "HTTP/1.1" && version != "HTTP/1.0" {
-        return Err(ReadError::Bad(Response::text(505, "HTTP version not supported")));
-    }
-    let mut headers = Vec::new();
-    loop {
-        let line = match read_line(stream) {
-            Ok(None) | Err(ReadError::Idle) => {
-                return Err(ReadError::Bad(Response::text(400, "truncated headers")))
-            }
-            Ok(Some(l)) => l,
-            Err(e) => return Err(e),
-        };
-        if line.is_empty() {
-            break;
-        }
-        if headers.len() >= MAX_HEADERS {
-            return Err(ReadError::Bad(Response::text(431, "too many headers")));
-        }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(ReadError::Bad(Response::text(400, "malformed header")));
-        };
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
-    }
-
-    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
-        None => 0,
-        Some((_, v)) => match v.parse::<usize>() {
-            Ok(n) => n,
-            Err(_) => return Err(ReadError::Bad(Response::text(400, "bad content-length"))),
-        },
-    };
-    if content_length > MAX_BODY_BYTES {
-        return Err(ReadError::Bad(Response::text(413, "request body too large")));
-    }
-    let mut body = vec![0u8; content_length];
-    stream.read_exact(&mut body)?;
-    Ok(Request { method: method.to_string(), path: path.to_string(), headers, body })
+/// The parsed head of a request whose body is still arriving.
+struct PendingHead {
+    request: Request,
+    content_length: usize,
 }
 
-/// Reads one CRLF- (or LF-) terminated line; `None` on immediate EOF,
-/// [`ReadError::Idle`] when a read timeout fires before the first byte.
-fn read_line(stream: &mut impl BufRead) -> Result<Option<String>, ReadError> {
-    let mut buf = Vec::new();
+/// Incremental request parser over a per-connection byte buffer.
+///
+/// [`feed`](RequestParser::feed) bytes as the socket yields them, then
+/// [`poll`](RequestParser::poll) for complete requests. Leftover bytes
+/// after a request stay buffered, so pipelined requests parse one after
+/// another with no extra reads. A parse error poisons the connection — the
+/// caller writes the error response and closes.
+#[derive(Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    head: Option<PendingHead>,
+}
+
+impl RequestParser {
+    /// An empty parser for a fresh connection.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Appends bytes read from the connection.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True when no request is in progress: nothing buffered, no head
+    /// awaiting its body. The safe state to idle or close a keep-alive
+    /// connection in.
+    pub fn is_idle(&self) -> bool {
+        self.buf.is_empty() && self.head.is_none()
+    }
+
+    /// Tries to complete one request from the buffered bytes. `Ok(None)`
+    /// means more bytes are needed; an `Err` response should be written
+    /// back before closing the connection.
+    pub fn poll(&mut self) -> Result<Option<Request>, Response> {
+        if self.head.is_none() {
+            match self.parse_head()? {
+                Some(head) => self.head = Some(head),
+                None => return Ok(None),
+            }
+        }
+        let ready = self.head.as_ref().is_some_and(|head| self.buf.len() >= head.content_length);
+        if !ready {
+            return Ok(None);
+        }
+        let PendingHead { mut request, content_length } = self.head.take().expect("head present");
+        request.body = self.buf.drain(..content_length).collect();
+        Ok(Some(request))
+    }
+
+    /// Parses the request line + headers once the blank line has arrived.
+    fn parse_head(&mut self) -> Result<Option<PendingHead>, Response> {
+        let Some(head_end) = find_head_end(&self.buf) else {
+            // Not complete yet — but bound how much an unfinished head may
+            // buffer, and how long any single line may grow.
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(Response::text(431, "request head too large"));
+            }
+            if current_line_len(&self.buf) > MAX_HEADER_LINE {
+                return Err(Response::text(431, "header line too long"));
+            }
+            return Ok(None);
+        };
+        let head: Vec<u8> = self.buf.drain(..head_end).collect();
+        let mut lines = split_head_lines(&head)?;
+        let request_line = lines.next().unwrap_or_default();
+        let mut parts = request_line.split(' ');
+        let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+        {
+            (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+            _ => return Err(Response::text(400, "malformed request line")),
+        };
+        let version = match version {
+            "HTTP/1.1" => HttpVersion::Http11,
+            "HTTP/1.0" => HttpVersion::Http10,
+            _ => return Err(Response::text(505, "HTTP version not supported")),
+        };
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                break;
+            }
+            if line.len() > MAX_HEADER_LINE {
+                return Err(Response::text(431, "header line too long"));
+            }
+            if headers.len() >= MAX_HEADERS {
+                return Err(Response::text(431, "too many headers"));
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(Response::text(400, "malformed header"));
+            };
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+            None => 0,
+            Some((_, v)) => match v.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => return Err(Response::text(400, "bad content-length")),
+            },
+        };
+        if content_length > MAX_BODY_BYTES {
+            return Err(Response::text(413, "request body too large"));
+        }
+        let request = Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            version,
+            headers,
+            body: Vec::new(),
+        };
+        Ok(Some(PendingHead { request, content_length }))
+    }
+}
+
+/// Index just past the blank line that terminates the head, if buffered.
+/// Lines end in `\n` with an optional `\r`; the head ends at the first
+/// empty line.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut line_start = 0;
+    for (i, &b) in buf.iter().enumerate() {
+        if b != b'\n' {
+            continue;
+        }
+        let line = &buf[line_start..i];
+        let line = if line.last() == Some(&b'\r') { &line[..line.len() - 1] } else { line };
+        if line.is_empty() {
+            return Some(i + 1);
+        }
+        line_start = i + 1;
+    }
+    None
+}
+
+/// Length of the last, unterminated line in the buffer.
+fn current_line_len(buf: &[u8]) -> usize {
+    match buf.iter().rposition(|&b| b == b'\n') {
+        Some(i) => buf.len() - i - 1,
+        None => buf.len(),
+    }
+}
+
+/// Splits a complete head into `\n`-terminated lines with the `\r`
+/// stripped, validating UTF-8 per line.
+fn split_head_lines(head: &[u8]) -> Result<impl Iterator<Item = &str>, Response> {
+    let text = std::str::from_utf8(head).map_err(|_| Response::text(400, "non-UTF-8 header"))?;
+    Ok(text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l)))
+}
+
+/// Reads one request from a buffered stream, blocking until it is complete
+/// or `deadline` elapses (measured from the request's first byte — an idle
+/// wait beforehand does not count). Socket read timeouts that fire
+/// mid-request are retried, so a client that pauses between its headers
+/// and body is waited for instead of dropped; the deadline bounds how long
+/// such a dribble may take end to end.
+pub fn read_request_deadline(
+    stream: &mut impl BufRead,
+    deadline: Duration,
+) -> Result<Request, ReadError> {
+    let mut parser = RequestParser::new();
+    let mut started: Option<Instant> = None;
+    let mut chunk = [0u8; 4096];
     loop {
-        let mut byte = [0u8; 1];
-        match stream.read(&mut byte) {
+        if let Some(request) = parser.poll().map_err(ReadError::Bad)? {
+            return Ok(request);
+        }
+        if started.is_some_and(|t0| t0.elapsed() > deadline) {
+            return Err(ReadError::Bad(Response::text(408, "request read deadline expired")));
+        }
+        match stream.read(&mut chunk) {
             Ok(0) => {
-                if buf.is_empty() {
-                    return Ok(None);
+                if parser.is_idle() {
+                    return Err(ReadError::Closed);
                 }
                 return Err(ReadError::Bad(Response::text(400, "truncated request")));
             }
-            Ok(_) => {
-                if byte[0] == b'\n' {
-                    if buf.last() == Some(&b'\r') {
-                        buf.pop();
-                    }
-                    let line = String::from_utf8(buf)
-                        .map_err(|_| ReadError::Bad(Response::text(400, "non-UTF-8 header")))?;
-                    return Ok(Some(line));
-                }
-                if buf.len() >= MAX_HEADER_LINE {
-                    return Err(ReadError::Bad(Response::text(431, "header line too long")));
-                }
-                buf.push(byte[0]);
+            Ok(n) => {
+                started.get_or_insert_with(Instant::now);
+                parser.feed(&chunk[..n]);
             }
             Err(e)
-                if buf.is_empty()
-                    && matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
             {
-                return Err(ReadError::Idle)
+                if parser.is_idle() {
+                    return Err(ReadError::Idle);
+                }
+                // Mid-request timeout: a slow client, not a dead one —
+                // keep reading until the overall deadline says otherwise.
             }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(e) => return Err(ReadError::Io(e)),
         }
     }
+}
+
+/// [`read_request_deadline`] with the default per-request deadline.
+pub fn read_request(stream: &mut impl BufRead) -> Result<Request, ReadError> {
+    read_request_deadline(stream, DEFAULT_READ_DEADLINE)
 }
 
 /// An HTTP response ready to serialize.
@@ -241,9 +396,9 @@ impl Response {
         }
     }
 
-    /// Serializes the response onto a stream. `close` adds
+    /// Serializes the response to wire bytes. `close` adds
     /// `Connection: close` so the client stops reusing the socket.
-    pub fn write_to(&self, stream: &mut impl Write, close: bool) -> std::io::Result<()> {
+    pub fn to_bytes(&self, close: bool) -> Vec<u8> {
         let mut head = format!(
             "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
             self.status,
@@ -258,8 +413,15 @@ impl Response {
             head.push_str("connection: close\r\n");
         }
         head.push_str("\r\n");
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&self.body)?;
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Serializes the response onto a stream. `close` adds
+    /// `Connection: close` so the client stops reusing the socket.
+    pub fn write_to(&self, stream: &mut impl Write, close: bool) -> std::io::Result<()> {
+        stream.write_all(&self.to_bytes(close))?;
         stream.flush()
     }
 }
@@ -279,6 +441,7 @@ mod tests {
             parse("POST /v1/extract HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
         assert_eq!(r.method, "POST");
         assert_eq!(r.path, "/v1/extract");
+        assert_eq!(r.version, HttpVersion::Http11);
         assert_eq!(r.header("host"), Some("x"));
         assert_eq!(r.body, b"abcd");
         assert!(!r.wants_close());
@@ -293,8 +456,35 @@ mod tests {
     }
 
     #[test]
+    fn http10_defaults_to_close_unless_keep_alive_is_sent() {
+        // A bare HTTP/1.0 request closes after the response — the 1.1
+        // keep-alive default must not leak onto 1.0 connections.
+        let r = parse("GET /healthz HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(r.version, HttpVersion::Http10);
+        assert!(r.wants_close(), "HTTP/1.0 without keep-alive must close");
+        // Explicit keep-alive opts a 1.0 client in.
+        let r = parse("GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(!r.wants_close());
+        // And Connection: close on 1.0 stays closed.
+        let r = parse("GET /healthz HTTP/1.0\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(r.wants_close());
+        // HTTP/1.1 still defaults to keep-alive.
+        let r = parse("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert!(!r.wants_close());
+    }
+
+    #[test]
     fn eof_before_request_is_a_clean_close() {
         assert!(matches!(parse(""), Err(ReadError::Closed)));
+    }
+
+    #[test]
+    fn eof_mid_request_is_a_400() {
+        let Err(ReadError::Bad(resp)) = parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+        else {
+            panic!("truncated body must be rejected");
+        };
+        assert_eq!(resp.status, 400);
     }
 
     #[test]
@@ -306,12 +496,56 @@ mod tests {
     }
 
     #[test]
+    fn rejects_unknown_version_with_505() {
+        let Err(ReadError::Bad(resp)) = parse("GET / HTTP/2\r\n\r\n") else {
+            panic!("unknown version must be rejected");
+        };
+        assert_eq!(resp.status, 505);
+    }
+
+    #[test]
     fn rejects_oversized_body_with_413() {
         let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
         let Err(ReadError::Bad(resp)) = parse(&raw) else {
             panic!("oversized body must be rejected");
         };
         assert_eq!(resp.status, 413);
+    }
+
+    #[test]
+    fn incremental_parser_handles_split_and_pipelined_requests() {
+        let mut parser = RequestParser::new();
+        // Nothing yet: no request, parser idle.
+        assert!(parser.poll().unwrap().is_none());
+        assert!(parser.is_idle());
+        // The head arrives in two fragments, split mid-header.
+        parser.feed(b"POST /v1/extract HTTP/1.1\r\nContent-Le");
+        assert!(parser.poll().unwrap().is_none());
+        assert!(!parser.is_idle());
+        parser.feed(b"ngth: 4\r\n\r\n");
+        // Head complete, body not yet.
+        assert!(parser.poll().unwrap().is_none());
+        assert!(!parser.is_idle());
+        // Body plus a pipelined second request in one read.
+        parser.feed(b"abcdGET /healthz HTTP/1.1\r\n\r\n");
+        let first = parser.poll().unwrap().expect("first request");
+        assert_eq!(first.method, "POST");
+        assert_eq!(first.body, b"abcd");
+        let second = parser.poll().unwrap().expect("pipelined request");
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/healthz");
+        assert!(parser.is_idle());
+    }
+
+    #[test]
+    fn incremental_parser_caps_unfinished_heads() {
+        // One endless header line, never terminated: 431 once it passes
+        // the line bound, instead of buffering without limit.
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET / HTTP/1.1\r\nx-junk: ");
+        parser.feed(&vec![b'a'; MAX_HEADER_LINE + 1]);
+        let err = parser.poll().expect_err("oversized header line must be rejected");
+        assert_eq!(err.status, 431);
     }
 
     #[test]

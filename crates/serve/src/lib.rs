@@ -3,30 +3,45 @@
 //! The survey's future-work call is an *easy-to-use, end-to-end* NER
 //! toolkit; this crate is the "end" of end-to-end: it loads a
 //! [`Checkpoint`](ner_core::persist::Checkpoint) and serves it over a
-//! dependency-free HTTP/1.1 server built on [`std::net::TcpListener`].
+//! dependency-free HTTP/1.1 server built on `std::net` alone.
 //!
-//! ## Dynamic micro-batching
+//! ## The sharded poll loop
 //!
-//! The throughput device is the [`batcher::Batcher`]: connection threads
-//! enqueue raw texts onto a bounded queue and a single dispatcher drains
-//! up to `max_batch` requests the moment it is free — batches widen from
-//! what accumulates while the previous batch scores, never by holding the
-//! scorer idle — and scores them together with one
+//! Connections are not threads. An acceptor deals sockets round-robin to
+//! a fixed set of `poll_shards` I/O threads; each shard drives its
+//! connections with nonblocking reads and writes, feeding bytes to a
+//! per-connection incremental [`http::RequestParser`] and writing
+//! pipelined responses in request order. A slow client costs a buffer,
+//! not a blocked thread; a client that dribbles one request past
+//! `read_timeout` gets `408`, and idle keep-alives are reaped after 30 s.
+//! Routing is nonblocking too: extraction requests come back from the
+//! [`router`] as pending handles the shard re-polls each tick, so the
+//! event loop never waits on the scorer.
+//!
+//! ## Replicated dynamic micro-batching
+//!
+//! The throughput device is the [`batcher::Batcher`] over `replicas`
+//! pipeline replicas. Shards enqueue raw texts onto a bounded queue; one
+//! dispatcher per replica drains up to `max_batch` requests the moment it
+//! is free — batches widen from what accumulates while the previous batch
+//! scores, never by holding the scorer idle — and scores them together
+//! with one
 //! [`NerPipeline::extract_batch`](ner_core::prelude::NerPipeline::extract_batch)
-//! call. Scoring is read-only on the shared compiled
-//! [`ForwardPlan`](ner_core::prelude::ForwardPlan); `extract_batch` packs
-//! the batch into padded `[B,T]` buckets whose backend is bit-identical to
-//! per-sentence evaluation, so a batched response is **byte-identical** to
-//! scoring the same text alone — concurrency buys throughput, never
-//! different answers.
-//! The `exp_serving` harness and this crate's integration tests verify
-//! that equivalence over a real socket.
+//! call on its **own** replica: parameters restored bit-identically from
+//! one checkpoint, but a private compiled plan, token-feature cache, and
+//! buffer pool, so the scoring hot path touches no shared lock.
+//! `extract_batch` packs the batch into padded `[B,T]` buckets whose
+//! backend is bit-identical to per-sentence evaluation, so a batched
+//! response from any replica is **byte-identical** to scoring the same
+//! text alone — concurrency buys throughput, never different answers.
+//! The `exp_serving` soak harness and this crate's integration tests
+//! verify that equivalence over a real socket, including under overload.
 //!
 //! ## Request tracing
 //!
 //! Every request gets a [`ner_obs::trace::TraceCtx`] at ingress. The
 //! batcher stamps queue wait and batch id/size onto it, the scoring
-//! worker installs it thread-locally so the model's per-stage
+//! dispatcher installs it thread-locally so the model's per-stage
 //! `infer.{featurize,embed,encode,decode}_us` timings attribute to the
 //! owning request, and the router seals it into a
 //! [`TraceRecord`](ner_obs::trace::TraceRecord). Extraction responses
@@ -36,23 +51,31 @@
 //!
 //! ## Overload & operations
 //!
-//! * bounded queue; overflow → `429` + `Retry-After` (the server never
-//!   buffers without bound and never falls over under load);
-//! * per-request deadline; expiry → `408` (queued requests are shed
-//!   without being scored);
+//! * **SLO-aware admission**: each request carries a deadline into the
+//!   batcher, which predicts its completion from an EWMA of measured
+//!   per-row scoring cost, the queue backlog, and the replica count — a
+//!   request predicted to miss its deadline or the `slo_p99` budget is
+//!   shed with `429` + `Retry-After` at the door, keeping the queue
+//!   shallow enough that accepted requests meet their SLO;
+//! * the bounded queue is a hard backstop (overflow → `429`); a request
+//!   whose deadline passes while queued → `408` without being scored;
 //! * `GET /healthz` liveness, `GET /metrics` Prometheus text exposition
 //!   of the live `ner-obs` registry (`serve.queue_depth`,
-//!   `serve.batch_size`, `serve.queue_wait_us`, `serve.request_us`, the
-//!   `infer.*` family, …) — `?format=json` for the JSON form;
-//! * `POST /admin/reload` atomically swaps in a freshly restored
-//!   checkpoint (`Arc` swap — in-flight batches finish on the old model);
-//! * `POST /admin/shutdown` drains gracefully: intake stops, everything
-//!   accepted is answered, then the process-facing [`server::Server::run`]
-//!   returns.
+//!   `serve.batch_size`, `serve.queue_wait_us`, `serve.row_cost_us`,
+//!   `serve.shed_slo`, the `infer.*` family, …) — `?format=json` for the
+//!   JSON form;
+//! * `POST /admin/reload` rebuilds **all** replicas from a freshly
+//!   restored checkpoint and flips them atomically behind a generation
+//!   counter — in-flight batches finish on the old model, and no two
+//!   replicas ever serve different models to the same batch;
+//! * `POST /admin/shutdown` drains gracefully: the acceptor stops, live
+//!   connections finish what they started, everything the batcher
+//!   accepted is answered, then [`server::Server::run`] returns.
 //!
 //! Wired into the CLI as `neural-ner serve --ckpt model.json --addr
-//! 127.0.0.1:8080 [--max-batch N] [--max-wait-us T] [--queue-cap Q]
-//! [--threads K] [--trace-ring N]`.
+//! 127.0.0.1:8080 [--replicas N] [--poll-shards S] [--max-batch N]
+//! [--max-wait-us T] [--queue-cap Q] [--slo-ms B] [--timeout-ms D]
+//! [--read-timeout-ms R] [--threads K] [--trace-ring N]`.
 
 #![warn(missing_docs)]
 

@@ -7,11 +7,14 @@
 //! | `GET /healthz`           | liveness + drain status                        |
 //! | `GET /metrics`           | Prometheus exposition (`?format=json` for JSON)|
 //! | `GET /admin/trace`       | flight-recorder dump (recent + slowest traces) |
-//! | `POST /admin/reload`     | atomically swap in the checkpoint from disk    |
+//! | `POST /admin/reload`     | atomically swap the checkpoint into all replicas |
 //! | `POST /admin/shutdown`   | begin graceful drain                           |
 //!
-//! Extraction requests go through the [`Batcher`]; admin and introspection
-//! routes answer inline on the connection thread.
+//! Routing is **nonblocking**: [`dispatch`] either answers immediately
+//! ([`Routed::Done`] — admin and introspection routes, and every error
+//! path) or submits the texts to the [`Batcher`] and hands back a
+//! [`PendingExtract`] the poll loop re-polls each tick ([`Routed::Pending`]).
+//! No connection ever holds a thread hostage waiting for the scorer.
 //!
 //! Every extraction response — success or error — carries the request's
 //! trace id as an `x-trace-id` header, and `?trace=1` inlines the full
@@ -27,6 +30,12 @@ use ner_obs::trace::TraceCtx;
 use ner_text::Sentence;
 use serde::{Deserialize, Serialize, Value};
 use std::time::{Duration, Instant};
+
+/// Slack past the request deadline before the router gives up on the
+/// reply channel itself: the dispatcher answers `TimedOut` for expired
+/// requests, so the slack only covers scheduling skew — we prefer its
+/// verdict over racing it.
+const DEADLINE_SLACK: Duration = Duration::from_millis(100);
 
 #[derive(Deserialize)]
 struct ExtractRequest {
@@ -74,26 +83,112 @@ struct ReloadResponse {
     reloads: u64,
 }
 
-/// Dispatches one request. Never panics on malformed input — every error
-/// path maps to a 4xx/5xx the connection loop writes back. `trace` is the
-/// per-request context the server opened at ingress; the extraction
-/// routes seal it and stamp its id onto the response.
-pub fn route(req: &Request, state: &ServeState, batcher: &Batcher, trace: &TraceCtx) -> Response {
+/// The result of routing one request.
+pub enum Routed {
+    /// The response is ready now.
+    Done(Response),
+    /// The request was accepted by the batcher; poll
+    /// [`PendingExtract::poll`] until it yields the response.
+    Pending(PendingExtract),
+}
+
+/// An extraction in flight: reply channels the dispatchers will answer,
+/// polled without blocking from the connection's poll loop.
+pub struct PendingExtract {
+    /// One receiver per submitted text, in response order.
+    receivers: Vec<std::sync::mpsc::Receiver<Outcome>>,
+    /// Scored sentences as they resolve (index-aligned with `receivers`).
+    scored: Vec<Option<Sentence>>,
+    /// `extract_batch` wraps results in `{"results": […]}`; a single
+    /// extract answers the bare object.
+    batch: bool,
+    inline_trace: bool,
+    deadline: Instant,
+    trace: TraceCtx,
+}
+
+impl PendingExtract {
+    /// Checks the reply channels; `Some` once the response is ready. Never
+    /// blocks. After it yields, further calls would answer 503 — callers
+    /// consume the pending on `Some`.
+    pub fn poll(&mut self) -> Option<Response> {
+        for (i, rx) in self.receivers.iter().enumerate() {
+            if self.scored[i].is_some() {
+                continue;
+            }
+            match rx.try_recv() {
+                Ok(Outcome::Scored(sentence)) => self.scored[i] = Some(sentence),
+                Ok(Outcome::TimedOut) => {
+                    return Some(finish_trace(
+                        Response::text(408, "request deadline expired"),
+                        &self.trace,
+                    ));
+                }
+                Err(std::sync::mpsc::TryRecvError::Empty) => {}
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                    // The dispatcher dropped the channel without answering
+                    // — only possible if it is gone; surface as
+                    // unavailable.
+                    return Some(finish_trace(
+                        Response::text(503, "scoring backend unavailable"),
+                        &self.trace,
+                    ));
+                }
+            }
+        }
+        if self.scored.iter().all(Option::is_some) {
+            return Some(self.render());
+        }
+        if Instant::now() > self.deadline + DEADLINE_SLACK {
+            return Some(finish_trace(
+                Response::text(408, "request deadline expired"),
+                &self.trace,
+            ));
+        }
+        None
+    }
+
+    /// Serializes the completed extraction, sealing the trace.
+    fn render(&mut self) -> Response {
+        let sentences: Vec<Sentence> =
+            self.scored.iter_mut().map(|s| s.take().expect("all scored")).collect();
+        let mut body = if self.batch {
+            ExtractBatchResponse {
+                results: sentences.into_iter().map(ExtractResponse::from_sentence).collect(),
+            }
+            .serialize()
+        } else {
+            let sentence = sentences.into_iter().next().expect("one scored sentence");
+            ExtractResponse::from_sentence(sentence).serialize()
+        };
+        let record = self.trace.finish(200);
+        if self.inline_trace {
+            attach_trace(&mut body, &record);
+        }
+        json_ok(serde_json::to_string(&body)).with_header("x-trace-id", record.id)
+    }
+}
+
+/// Dispatches one request without blocking. Never panics on malformed
+/// input — every error path maps to a 4xx/5xx. `trace` is the per-request
+/// context opened at ingress; the extraction routes seal it and stamp its
+/// id onto the response.
+pub fn dispatch(req: &Request, state: &ServeState, batcher: &Batcher, trace: &TraceCtx) -> Routed {
     match (req.method.as_str(), req.route_path()) {
-        ("POST", "/v1/extract") => extract(req, state, batcher, trace),
-        ("POST", "/v1/extract_batch") => extract_batch(req, state, batcher, trace),
-        ("GET", "/healthz") => healthz(state),
-        ("GET", "/metrics") => metrics(req),
-        ("GET", "/admin/trace") => admin_trace(),
-        ("POST", "/admin/reload") => reload(state),
-        ("POST", "/admin/shutdown") => shutdown(state),
+        ("POST", "/v1/extract") => begin_extract(req, state, batcher, trace, false),
+        ("POST", "/v1/extract_batch") => begin_extract(req, state, batcher, trace, true),
+        ("GET", "/healthz") => Routed::Done(healthz(state)),
+        ("GET", "/metrics") => Routed::Done(metrics(req)),
+        ("GET", "/admin/trace") => Routed::Done(admin_trace()),
+        ("POST", "/admin/reload") => Routed::Done(reload(state)),
+        ("POST", "/admin/shutdown") => Routed::Done(shutdown(state)),
         (_, "/v1/extract" | "/v1/extract_batch" | "/admin/reload" | "/admin/shutdown") => {
-            Response::text(405, "use POST").with_header("allow", "POST")
+            Routed::Done(Response::text(405, "use POST").with_header("allow", "POST"))
         }
         (_, "/healthz" | "/metrics" | "/admin/trace") => {
-            Response::text(405, "use GET").with_header("allow", "GET")
+            Routed::Done(Response::text(405, "use GET").with_header("allow", "GET"))
         }
-        _ => Response::text(404, format!("no route for {}", req.route_path())),
+        _ => Routed::Done(Response::text(404, format!("no route for {}", req.route_path()))),
     }
 }
 
@@ -124,108 +219,70 @@ fn attach_trace(body: &mut Value, record: &ner_obs::trace::TraceRecord) {
     }
 }
 
-fn extract(req: &Request, state: &ServeState, batcher: &Batcher, trace: &TraceCtx) -> Response {
-    let inline = match wants_trace(req) {
-        Ok(w) => w,
-        Err(resp) => return finish_trace(resp, trace),
-    };
-    let parsed: ExtractRequest = match parse_body(req) {
-        Ok(p) => p,
-        Err(resp) => return finish_trace(resp, trace),
-    };
-    let deadline = Instant::now() + state.config.request_timeout;
-    match score_one(batcher, parsed.text, deadline, trace) {
-        Ok(sentence) => {
-            let mut body = ExtractResponse::from_sentence(sentence).serialize();
-            let record = trace.finish(200);
-            if inline {
-                attach_trace(&mut body, &record);
-            }
-            json_ok(serde_json::to_string(&body)).with_header("x-trace-id", record.id)
-        }
-        Err(resp) => finish_trace(resp, trace),
-    }
-}
-
-fn extract_batch(
+/// Parses an extraction request and submits its text(s) to the batcher.
+/// Each text is its own queue entry, so one oversized client request
+/// still interleaves fairly with concurrent single extractions — and is
+/// subject to the same admission control. Every entry carries a clone of
+/// the same request trace, so stage events from all items accumulate on
+/// it (they may overlap in time when items score in parallel).
+fn begin_extract(
     req: &Request,
     state: &ServeState,
     batcher: &Batcher,
     trace: &TraceCtx,
-) -> Response {
-    let inline = match wants_trace(req) {
+    batch: bool,
+) -> Routed {
+    let inline_trace = match wants_trace(req) {
         Ok(w) => w,
-        Err(resp) => return finish_trace(resp, trace),
+        Err(resp) => return Routed::Done(finish_trace(resp, trace)),
     };
-    let parsed: ExtractBatchRequest = match parse_body(req) {
-        Ok(p) => p,
-        Err(resp) => return finish_trace(resp, trace),
+    let texts: Vec<String> = if batch {
+        match parse_body::<ExtractBatchRequest>(req) {
+            Ok(p) => p.texts,
+            Err(resp) => return Routed::Done(finish_trace(resp, trace)),
+        }
+    } else {
+        match parse_body::<ExtractRequest>(req) {
+            Ok(p) => vec![p.text],
+            Err(resp) => return Routed::Done(finish_trace(resp, trace)),
+        }
     };
     let deadline = Instant::now() + state.config.request_timeout;
-    // Each text is its own queue entry, so one oversized client request
-    // still interleaves fairly with concurrent single extractions — and is
-    // subject to the same queue bound. Every entry carries a clone of the
-    // same request trace, so stage events from all items accumulate on it
-    // (they may overlap in time when items score in parallel).
-    let mut receivers = Vec::with_capacity(parsed.texts.len());
-    for text in parsed.texts {
+    let mut receivers = Vec::with_capacity(texts.len());
+    for text in texts {
         match batcher.submit_traced(text, deadline, Some(trace.clone())) {
             Ok(rx) => receivers.push(rx),
-            Err(e) => return finish_trace(submit_error(e), trace),
+            // Rejecting mid-batch drops the already-accepted receivers;
+            // their dispatcher sends fail harmlessly.
+            Err(e) => return Routed::Done(finish_trace(submit_error(e), trace)),
         }
     }
-    let mut results = Vec::with_capacity(receivers.len());
-    for rx in receivers {
-        match wait_outcome(rx, deadline) {
-            Ok(sentence) => results.push(ExtractResponse::from_sentence(sentence)),
-            Err(resp) => return finish_trace(resp, trace),
-        }
-    }
-    let mut body = ExtractBatchResponse { results }.serialize();
-    let record = trace.finish(200);
-    if inline {
-        attach_trace(&mut body, &record);
-    }
-    json_ok(serde_json::to_string(&body)).with_header("x-trace-id", record.id)
-}
-
-/// Submits one text and blocks until its outcome (or the deadline).
-fn score_one(
-    batcher: &Batcher,
-    text: String,
-    deadline: Instant,
-    trace: &TraceCtx,
-) -> Result<Sentence, Response> {
-    let rx = batcher.submit_traced(text, deadline, Some(trace.clone())).map_err(submit_error)?;
-    wait_outcome(rx, deadline)
-}
-
-fn wait_outcome(
-    rx: std::sync::mpsc::Receiver<Outcome>,
-    deadline: Instant,
-) -> Result<Sentence, Response> {
-    // Small slack past the deadline: the dispatcher answers TimedOut
-    // itself for expired requests; the slack just covers scheduling skew
-    // so we prefer its verdict over racing it.
-    let wait = deadline.saturating_duration_since(Instant::now()) + Duration::from_millis(100);
-    match rx.recv_timeout(wait) {
-        Ok(Outcome::Scored(sentence)) => Ok(sentence),
-        Ok(Outcome::TimedOut) => Err(Response::text(408, "request deadline expired")),
-        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
-            Err(Response::text(408, "request deadline expired"))
-        }
-        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
-            // The dispatcher dropped the channel without answering — only
-            // possible if it is gone; surface as unavailable.
-            Err(Response::text(503, "scoring backend unavailable"))
-        }
-    }
+    let scored = receivers.iter().map(|_| None).collect();
+    Routed::Pending(PendingExtract {
+        receivers,
+        scored,
+        batch,
+        inline_trace,
+        deadline,
+        trace: trace.clone(),
+    })
 }
 
 fn submit_error(e: SubmitError) -> Response {
     match e {
         SubmitError::QueueFull => {
             Response::text(429, "queue full, retry shortly").with_header("retry-after", "1")
+        }
+        SubmitError::Overloaded(predicted) => {
+            let retry_s = predicted.as_secs().clamp(1, 30);
+            Response::text(
+                429,
+                format!(
+                    "predicted queue wait {:.0}ms exceeds the latency budget, retry shortly",
+                    predicted.as_secs_f64() * 1e3
+                ),
+            )
+            .with_header("retry-after", retry_s.to_string())
         }
         SubmitError::ShuttingDown => Response::text(503, "server is draining"),
     }
@@ -279,7 +336,7 @@ fn reload(state: &ServeState) -> Response {
     }
     match state.reload_from_disk() {
         Ok(reloads) => {
-            ner_obs::info(format!("checkpoint reloaded (#{reloads})"));
+            ner_obs::info(format!("checkpoint reloaded into all replicas (#{reloads})"));
             json_ok(serde_json::to_string(&ReloadResponse {
                 status: "reloaded".to_string(),
                 reloads,

@@ -1,26 +1,53 @@
-//! The accept loop: binds a `TcpListener`, hands each connection to a
-//! thread that parses requests and routes them, and coordinates graceful
-//! shutdown — stop accepting, finish every connection's in-flight request,
-//! drain the batcher, then return.
+//! The serving front end: a nonblocking, readiness-driven poll loop over
+//! `std::net`, sharded across a small fixed set of I/O threads.
+//!
+//! The acceptor thread owns the listener and deals accepted sockets
+//! round-robin to `poll_shards` shard threads over channels. Each shard
+//! owns its connections outright — no lock is shared between shards — and
+//! drives them with nonblocking reads and writes:
+//!
+//! * bytes are fed to a per-connection incremental [`RequestParser`], so a
+//!   slow client costs a buffer, not a blocked thread;
+//! * complete requests dispatch through the router; extraction requests
+//!   come back as [`PendingExtract`]s the shard re-polls each tick, so the
+//!   loop never blocks on scoring;
+//! * responses are written in request order (keep-alive pipelining), with
+//!   partial writes resumed on the next tick;
+//! * a connection that dribbles one request past `read_timeout` is
+//!   answered 408 and closed; one idle past `IDLE_TIMEOUT` (30 s) is closed
+//!   silently.
+//!
+//! There is no thread per socket anywhere: a shard sleeps only when a full
+//! tick makes no progress, briefly while extractions are in flight and a
+//! little longer when fully idle.
+//!
+//! The shutdown sequence loses no accepted work: the acceptor closes
+//! first, shards finish every request already parsed or in flight (new
+//! submits are refused 503 by the batcher), and the batcher drains
+//! everything it accepted before its dispatchers exit.
 
 use crate::batcher::Batcher;
-use crate::http::{read_request, ReadError};
-use crate::router;
+use crate::http::{RequestParser, Response};
+use crate::router::{self, PendingExtract, Routed};
 use crate::state::ServeState;
-use std::io::BufReader;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 /// How long an idle keep-alive connection may sit between requests.
 const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Socket read timeout: each expiry is one poll of the shutdown flag, so
-/// idle connections notice a drain quickly instead of holding it open.
-const READ_POLL: Duration = Duration::from_millis(250);
+/// Acceptor sleep between empty `accept` polls.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
 
-/// How often the accept loop re-checks the shutdown flag.
-const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Shard sleep when a tick made no progress but extractions are in
+/// flight — short, so a scored batch turns into response bytes quickly.
+const INFLIGHT_POLL: Duration = Duration::from_micros(200);
+
+/// Shard sleep when a tick made no progress and nothing is in flight.
+const IDLE_POLL: Duration = Duration::from_millis(1);
 
 /// A bound, not-yet-running server. [`run`](Server::run) blocks until a
 /// graceful shutdown completes (via `POST /admin/shutdown` or
@@ -51,30 +78,40 @@ impl Server {
     }
 
     /// Serves until shutdown is requested, then drains and returns.
-    ///
-    /// The shutdown sequence loses no accepted work: the accept loop
-    /// closes first, connection threads finish the request they are on
-    /// (new requests on live connections are refused with 503 by the
-    /// batcher), and the batcher scores everything it already queued
-    /// before its dispatcher exits.
     pub fn run(self) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
-        let mut batcher = Batcher::start(Arc::clone(&self.state));
-        let batcher_ref: &Batcher = &batcher;
-        ner_obs::info(format!("serving on http://{}", self.addr));
+        let batcher = Batcher::start(Arc::clone(&self.state));
+        let shard_count = self.state.config.poll_shards.max(1);
+        ner_obs::info(format!(
+            "serving on http://{} ({} poll shards, {} replicas)",
+            self.addr,
+            shard_count,
+            self.state.replica_count()
+        ));
 
         std::thread::scope(|scope| {
-            let mut connections = Vec::new();
-            loop {
-                if self.state.is_shutting_down() {
-                    break;
-                }
+            // One channel per shard; dropping the senders after the accept
+            // loop is the shards' signal to drain and exit.
+            let mut senders = Vec::with_capacity(shard_count);
+            for shard in 0..shard_count {
+                let (tx, rx) = mpsc::channel::<TcpStream>();
+                senders.push(tx);
+                let state = &*self.state;
+                let batcher = &batcher;
+                std::thread::Builder::new()
+                    .name(format!("ner-serve-poll-{shard}"))
+                    .spawn_scoped(scope, move || shard_loop(rx, state, batcher))
+                    .expect("spawn poll shard");
+            }
+            let mut next_shard = 0usize;
+            while !self.state.is_shutting_down() {
                 match self.listener.accept() {
                     Ok((stream, _peer)) => {
-                        let state = Arc::clone(&self.state);
-                        connections.push(scope.spawn(move || {
-                            handle_connection(stream, &state, batcher_ref);
-                        }));
+                        // A shard only stops receiving when its channel is
+                        // dropped below, so this send cannot fail while
+                        // accepting.
+                        let _ = senders[next_shard % senders.len()].send(stream);
+                        next_shard = next_shard.wrapping_add(1);
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(ACCEPT_POLL);
@@ -84,61 +121,253 @@ impl Server {
                         std::thread::sleep(ACCEPT_POLL);
                     }
                 }
-                // Reap finished connection threads so long-running servers
-                // don't accumulate handles.
-                connections.retain(|h| !h.is_finished());
             }
-            for handle in connections {
-                let _ = handle.join();
-            }
+            drop(senders);
         });
-        // All connections done: drain whatever the batcher still holds.
+        // Shards are done: every accepted request has been answered. Drain
+        // whatever the batcher still holds (nothing, unless a caller used
+        // it directly) and join its dispatchers.
         batcher.shutdown();
         ner_obs::info("drained; server stopped");
         Ok(())
     }
 }
 
-/// Serves one keep-alive connection until the peer closes, errors, asks to
-/// close, idles past [`IDLE_TIMEOUT`], or the server drains.
-fn handle_connection(stream: TcpStream, state: &ServeState, batcher: &Batcher) {
-    let _ = stream.set_read_timeout(Some(READ_POLL));
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut idle_since = std::time::Instant::now();
+/// One poll shard: adopts connections from its channel and ticks them
+/// until the acceptor hangs up and every connection has drained.
+fn shard_loop(incoming: mpsc::Receiver<TcpStream>, state: &ServeState, batcher: &Batcher) {
+    let mut conns: Vec<Conn> = Vec::new();
     loop {
-        let req = match read_request(&mut reader) {
-            Ok(req) => req,
-            Err(ReadError::Idle) => {
-                // No request in flight: safe moment to notice a drain or
-                // hang up on a long-idle peer.
-                if state.is_shutting_down() || idle_since.elapsed() >= IDLE_TIMEOUT {
-                    return;
+        let mut accepting = true;
+        loop {
+            match incoming.try_recv() {
+                Ok(stream) => match Conn::adopt(stream) {
+                    Ok(conn) => conns.push(conn),
+                    Err(e) => ner_obs::warn(format!("could not adopt connection: {e}")),
+                },
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    accepting = false;
+                    break;
                 }
-                continue;
             }
-            Err(ReadError::Closed) => return,
-            Err(ReadError::Bad(resp)) => {
-                let _ = resp.write_to(&mut writer, true);
-                return;
-            }
-            Err(ReadError::Io(_)) => return,
-        };
-        // The trace clock starts at ingress, the moment the request is
-        // fully read — so queue wait, batch formation, scoring, and the
-        // response tail are all measured against one monotonic origin.
-        let trace = ner_obs::trace::TraceCtx::new(req.route_path());
-        let resp = router::route(&req, state, batcher, &trace);
-        // Responses during drain tell clients to stop reusing the socket.
-        let close = req.wants_close() || state.is_shutting_down();
-        if resp.write_to(&mut writer, close).is_err() || close {
+        }
+        let mut progress = false;
+        conns.retain_mut(|conn| {
+            let step = conn.step(state, batcher);
+            progress |= step.progress;
+            !step.done
+        });
+        if !accepting && conns.is_empty() {
             return;
         }
-        idle_since = std::time::Instant::now();
+        if !progress {
+            let waiting = conns.iter().any(Conn::has_pending_extracts);
+            std::thread::sleep(if waiting { INFLIGHT_POLL } else { IDLE_POLL });
+        }
+    }
+}
+
+/// One response slot, kept in request order for pipelining. A `Waiting`
+/// slot blocks everything behind it from being written — responses go out
+/// in the order their requests arrived — but later slots still poll, so a
+/// batch that scores out of order loses no time once the head resolves.
+enum Slot {
+    /// Serialized and ready to write.
+    Ready { bytes: Vec<u8>, close: bool },
+    /// An extraction the batcher has not answered yet.
+    Waiting { pending: PendingExtract, close: bool },
+}
+
+/// What one connection tick concluded.
+struct Step {
+    progress: bool,
+    done: bool,
+}
+
+/// One live connection owned by a poll shard.
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    /// Responses (ready or pending) in request order.
+    slots: VecDeque<Slot>,
+    /// Bytes waiting for the socket to accept them.
+    out: Vec<u8>,
+    /// When the currently-in-progress request's first byte arrived; the
+    /// per-request read deadline (slowloris/dribble bound) counts from
+    /// here. `None` whenever the parser is idle.
+    request_started: Option<Instant>,
+    idle_since: Instant,
+    /// No further reads or parses: the peer hit EOF, erred, asked to
+    /// close, or sent something unparseable.
+    stop_reading: bool,
+    /// A `Connection: close` response has been queued; once `out` drains
+    /// the connection is done.
+    closing: bool,
+}
+
+impl Conn {
+    fn adopt(stream: TcpStream) -> std::io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Conn {
+            stream,
+            parser: RequestParser::new(),
+            slots: VecDeque::new(),
+            out: Vec::new(),
+            request_started: None,
+            idle_since: Instant::now(),
+            stop_reading: false,
+            closing: false,
+        })
+    }
+
+    /// True while any extraction is awaiting the batcher — the shard polls
+    /// faster when so.
+    fn has_pending_extracts(&self) -> bool {
+        self.slots.iter().any(|s| matches!(s, Slot::Waiting { .. }))
+    }
+
+    /// Queues a response, stopping the read side when it will close the
+    /// connection (no later pipelined request could be answered).
+    fn enqueue(&mut self, slot: Slot) {
+        if matches!(slot, Slot::Ready { close: true, .. } | Slot::Waiting { close: true, .. }) {
+            self.stop_reading = true;
+        }
+        self.slots.push_back(slot);
+    }
+
+    /// One nonblocking tick: read, parse + dispatch, poll in-flight
+    /// extractions, write, then judge timeouts and lifetime.
+    fn step(&mut self, state: &ServeState, batcher: &Batcher) -> Step {
+        let mut progress = false;
+
+        // Read whatever the socket has.
+        if !self.stop_reading {
+            let mut chunk = [0u8; 4096];
+            loop {
+                match self.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        self.stop_reading = true;
+                        // EOF mid-request can never complete; EOF between
+                        // requests is the normal end of keep-alive.
+                        if !self.parser.is_idle() {
+                            self.enqueue(Slot::Ready {
+                                bytes: Response::text(400, "truncated request").to_bytes(true),
+                                close: true,
+                            });
+                        }
+                        break;
+                    }
+                    Ok(n) => {
+                        progress = true;
+                        self.parser.feed(&chunk[..n]);
+                        self.request_started.get_or_insert_with(Instant::now);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => return Step { progress, done: true },
+                }
+            }
+        }
+
+        // Parse and dispatch every complete request that arrived.
+        while !self.stop_reading {
+            match self.parser.poll() {
+                Ok(Some(req)) => {
+                    progress = true;
+                    // The trace clock starts the moment the request is
+                    // fully read, so queue wait, batch formation, scoring,
+                    // and the response tail share one monotonic origin.
+                    let trace = ner_obs::trace::TraceCtx::new(req.route_path());
+                    let routed = router::dispatch(&req, state, batcher, &trace);
+                    // Evaluated after dispatch, so the response to
+                    // `POST /admin/shutdown` itself says close.
+                    let close = req.wants_close() || state.is_shutting_down();
+                    match routed {
+                        Routed::Done(resp) => {
+                            self.enqueue(Slot::Ready { bytes: resp.to_bytes(close), close });
+                        }
+                        Routed::Pending(pending) => {
+                            self.enqueue(Slot::Waiting { pending, close });
+                        }
+                    }
+                    self.request_started =
+                        if self.parser.is_idle() { None } else { Some(Instant::now()) };
+                }
+                Ok(None) => break,
+                Err(resp) => {
+                    self.enqueue(Slot::Ready { bytes: resp.to_bytes(true), close: true });
+                    break;
+                }
+            }
+        }
+
+        // The per-request read deadline: a head or body still dribbling in
+        // past `read_timeout` is answered 408 and the connection closed —
+        // this bounds slowloris without dropping merely-slow clients,
+        // which the old fixed 250 ms read poll used to kill mid-body.
+        if let Some(t0) = self.request_started {
+            if t0.elapsed() > state.config.read_timeout {
+                self.request_started = None;
+                self.enqueue(Slot::Ready {
+                    bytes: Response::text(408, "request read deadline expired").to_bytes(true),
+                    close: true,
+                });
+            }
+        }
+
+        // Poll every in-flight extraction (not just the head, so the head
+        // resolving releases already-finished followers the same tick).
+        for slot in self.slots.iter_mut() {
+            let Slot::Waiting { pending, close } = slot else { continue };
+            let close = *close;
+            if let Some(resp) = pending.poll() {
+                progress = true;
+                *slot = Slot::Ready { bytes: resp.to_bytes(close), close };
+            }
+        }
+
+        // Move ready head-of-line responses into the write buffer.
+        while let Some(Slot::Ready { .. }) = self.slots.front() {
+            let Some(Slot::Ready { bytes, close }) = self.slots.pop_front() else {
+                unreachable!("front checked")
+            };
+            self.out.extend_from_slice(&bytes);
+            self.idle_since = Instant::now();
+            if close {
+                self.closing = true;
+                // Anything pipelined behind a close is dropped; its reply
+                // receivers drop with it and the dispatcher's sends fail
+                // harmlessly.
+                self.slots.clear();
+                break;
+            }
+        }
+
+        // Write as much as the socket accepts.
+        while !self.out.is_empty() {
+            match self.stream.write(&self.out) {
+                Ok(0) => return Step { progress, done: true },
+                Ok(n) => {
+                    progress = true;
+                    self.out.drain(..n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return Step { progress, done: true },
+            }
+        }
+
+        let flushed = self.out.is_empty() && self.slots.is_empty();
+        let done = (self.closing && self.out.is_empty())
+            // Peer finished sending and everything owed is written.
+            || (self.stop_reading && flushed)
+            // Server draining and this connection is between requests.
+            || (state.is_shutting_down() && self.parser.is_idle() && flushed)
+            // Idle keep-alive expiry.
+            || (self.parser.is_idle() && flushed && self.idle_since.elapsed() >= IDLE_TIMEOUT);
+        Step { progress, done }
     }
 }
 

@@ -1,28 +1,46 @@
-//! State shared by every connection thread: the hot-swappable pipeline,
-//! the serving configuration, and lifecycle flags.
+//! State shared by every poll-loop shard and dispatcher: the sharded,
+//! hot-swappable pipeline replicas, the serving configuration, and
+//! lifecycle flags.
 
 use ner_core::persist::Checkpoint;
 use ner_core::prelude::NerPipeline;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Tunables for the serving layer. The CLI flags map onto these 1:1.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
-    /// Largest batch the dispatcher scores in one `extract_batch` call.
+    /// Largest batch a dispatcher scores in one `extract_batch` call.
     pub max_batch: usize,
     /// Upper bound on one idle-dispatcher sleep between queue checks.
-    /// Batching itself is work-conserving — the dispatcher never holds an
+    /// Batching itself is work-conserving — a dispatcher never holds an
     /// idle scorer back to widen a batch — so this only paces the wakeup
     /// loop while the queue is empty.
     pub max_wait: Duration,
-    /// Bounded queue capacity; requests beyond it get 429 + `Retry-After`.
+    /// Hard backstop on queue depth; requests beyond it get 429 +
+    /// `Retry-After` regardless of what the SLO model predicts.
     pub queue_cap: usize,
     /// Per-request deadline: a request that has not been scored this long
     /// after arrival is answered 408 instead (queued or in flight).
     pub request_timeout: Duration,
+    /// Tail-latency budget for SLO-aware admission: a request whose
+    /// predicted completion (queue backlog × measured per-row cost ÷
+    /// replicas) would overshoot this budget — or its own deadline — is
+    /// shed with 429 at submit time, before it can rot in the queue.
+    pub slo_p99: Duration,
+    /// Pipeline replicas: dispatcher threads, each owning its own
+    /// compiled plan, token-feature cache, and pooled buffers, so scoring
+    /// never contends on a shared lock.
+    pub replicas: usize,
+    /// Poll-loop shards: connection I/O threads, each owning a subset of
+    /// the live sockets.
+    pub poll_shards: usize,
+    /// Overall per-request read deadline (request line through last body
+    /// byte). Slow-loris heads and dribbled bodies are answered 408 when
+    /// it expires; pauses shorter than this never drop a connection.
+    pub read_timeout: Duration,
     /// Artificial per-batch scoring delay — load-test instrumentation for
     /// exercising overload behaviour with a fast model. Zero in production.
     pub score_delay: Duration,
@@ -40,6 +58,10 @@ impl Default for ServeConfig {
             max_wait: Duration::from_micros(500),
             queue_cap: 1024,
             request_timeout: Duration::from_secs(10),
+            slo_p99: Duration::from_secs(10),
+            replicas: 1,
+            poll_shards: 2,
+            read_timeout: Duration::from_secs(10),
             score_delay: Duration::ZERO,
             trace_recent: ner_obs::trace::DEFAULT_RECENT_CAP,
             trace_slowest: ner_obs::trace::DEFAULT_SLOWEST_CAP,
@@ -48,11 +70,24 @@ impl Default for ServeConfig {
 }
 
 /// Shared, thread-safe serving state.
+///
+/// The deployed model lives as `replicas` independent [`NerPipeline`]s,
+/// each rebuilt from the same checkpoint so their parameters — and
+/// therefore their predictions — are bit-identical, while their compiled
+/// plans, token-feature caches, and buffer pools are private. A dispatcher
+/// pins one replica and touches no shared lock while scoring: it holds a
+/// cached `Arc` and re-fetches only when the [`generation`] counter says a
+/// reload happened.
+///
+/// [`generation`]: ServeState::generation
 pub struct ServeState {
-    /// The deployed pipeline. Swapped wholesale on reload: in-flight
-    /// batches keep their `Arc` clone of the old pipeline, so a reload
-    /// never disturbs requests already being scored.
-    pipeline: RwLock<Arc<NerPipeline>>,
+    /// One slot per replica. The `Mutex` is only taken at fetch/swap time
+    /// — never on the scoring hot path, which runs on a cached `Arc`.
+    replicas: Vec<Mutex<Arc<NerPipeline>>>,
+    /// Bumped once per completed swap, *after* every slot holds the fresh
+    /// pipeline — dispatchers watching it switch atomically between
+    /// batches, never mid-batch.
+    generation: AtomicU64,
     /// Where `/admin/reload` restores from (`None` disables reload).
     ckpt_path: Option<PathBuf>,
     /// The serving tunables.
@@ -64,7 +99,9 @@ pub struct ServeState {
 }
 
 impl ServeState {
-    /// Wraps a pipeline for serving. `ckpt_path` enables `/admin/reload`.
+    /// Wraps a pipeline for serving, cloning it into
+    /// `config.replicas` independent replicas (each with its own plan and
+    /// caches). `ckpt_path` enables `/admin/reload`.
     pub fn new(
         pipeline: NerPipeline,
         ckpt_path: Option<PathBuf>,
@@ -73,8 +110,16 @@ impl ServeState {
         // The flight recorder is process-global; the serving layer is its
         // only producer, so sizing it from the serve config is sound.
         ner_obs::trace::configure_flight_recorder(config.trace_recent, config.trace_slowest);
+        let n = config.replicas.max(1);
+        let mut replicas = Vec::with_capacity(n);
+        let template = Checkpoint::capture(&pipeline);
+        replicas.push(Mutex::new(Arc::new(pipeline)));
+        for _ in 1..n {
+            replicas.push(Mutex::new(Arc::new(restore_replica(&template))));
+        }
         Arc::new(ServeState {
-            pipeline: RwLock::new(Arc::new(pipeline)),
+            replicas,
+            generation: AtomicU64::new(1),
             ckpt_path,
             config,
             shutting_down: AtomicBool::new(false),
@@ -82,21 +127,55 @@ impl ServeState {
         })
     }
 
-    /// The current pipeline. Callers hold the returned `Arc` for the whole
-    /// batch they score, so a concurrent reload cannot pull the model out
-    /// from under them.
-    pub fn pipeline(&self) -> Arc<NerPipeline> {
-        Arc::clone(&self.pipeline.read().unwrap_or_else(|e| e.into_inner()))
+    /// How many pipeline replicas are deployed.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
     }
 
-    /// Atomically replaces the served pipeline.
+    /// The current swap generation. Dispatchers compare this (one atomic
+    /// load per batch) against the generation their cached `Arc` was
+    /// fetched at, and call [`replica`](ServeState::replica) again only
+    /// when it moved — the hot path never takes a lock.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Fetches replica `index`'s current pipeline with the generation it
+    /// belongs to. Callers hold the returned `Arc` for the whole batch
+    /// they score, so a concurrent reload cannot pull the model out from
+    /// under them.
+    pub fn replica(&self, index: usize) -> (u64, Arc<NerPipeline>) {
+        let gen = self.generation();
+        let slot = &self.replicas[index % self.replicas.len()];
+        (gen, Arc::clone(&slot.lock().unwrap_or_else(|e| e.into_inner())))
+    }
+
+    /// The current pipeline (replica 0) — the reference for parity checks
+    /// and admin introspection.
+    pub fn pipeline(&self) -> Arc<NerPipeline> {
+        self.replica(0).1
+    }
+
+    /// Atomically replaces the served pipeline across **all** replicas:
+    /// every slot is rebuilt from the new model's checkpoint, then the
+    /// generation bumps once, so dispatchers switch together at their next
+    /// batch boundary. In-flight batches finish on the old model.
     pub fn swap_pipeline(&self, fresh: NerPipeline) {
-        *self.pipeline.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(fresh);
+        let template = Checkpoint::capture(&fresh);
+        let mut incoming = Vec::with_capacity(self.replicas.len());
+        incoming.push(Arc::new(fresh));
+        for _ in 1..self.replicas.len() {
+            incoming.push(Arc::new(restore_replica(&template)));
+        }
+        for (slot, fresh) in self.replicas.iter().zip(incoming) {
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = fresh;
+        }
+        self.generation.fetch_add(1, Ordering::Release);
         self.reloads.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Restores the checkpoint from disk and swaps it in. Returns the
-    /// reload count after the swap.
+    /// Restores the checkpoint from disk and swaps it into every replica.
+    /// Returns the reload count after the swap.
     pub fn reload_from_disk(&self) -> Result<u64, String> {
         let path = self.ckpt_path.as_ref().ok_or("no checkpoint path configured")?;
         let fresh = Checkpoint::load(path)
@@ -122,4 +201,16 @@ impl ServeState {
     pub fn is_shutting_down(&self) -> bool {
         self.shutting_down.load(Ordering::Acquire)
     }
+}
+
+/// Rebuilds one replica from a captured checkpoint. Restoration is exact —
+/// the replica's parameters are byte-for-byte the template's, so replicas
+/// cannot diverge — only its plan, caches, and buffers are private.
+fn restore_replica(template: &Checkpoint) -> NerPipeline {
+    let copy = Checkpoint {
+        config: template.config.clone(),
+        encoder: template.encoder.clone(),
+        params: template.params.clone(),
+    };
+    copy.restore().expect("a captured checkpoint must restore onto its own architecture")
 }

@@ -1,7 +1,10 @@
 //! End-to-end tests over a real socket: batched serving must be
 //! byte-identical to offline annotation, overload must shed load without
-//! taking the server down, and a hot reload must lose no in-flight
-//! request.
+//! taking the server down, a hot reload must lose no in-flight request,
+//! and the poll loop must survive hostile clients — slowloris heads,
+//! dribbled bodies, disconnects while queued, shutdown racing traffic.
+
+use std::io::{BufRead, BufReader, Read, Write};
 
 use ner_core::config::{CharRepr, DecoderKind, EncoderKind, NerConfig, WordRepr};
 use ner_core::model::NerModel;
@@ -20,7 +23,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn tiny_pipeline() -> NerPipeline {
-    let mut rng = StdRng::seed_from_u64(11);
+    tiny_pipeline_seeded(11)
+}
+
+fn tiny_pipeline_seeded(seed: u64) -> NerPipeline {
+    let mut rng = StdRng::seed_from_u64(seed);
     let ds = NewsGenerator::new(GeneratorConfig::default()).dataset(&mut rng, 40);
     let encoder = SentenceEncoder::from_dataset(&ds, TagScheme::Bio, 1);
     let cfg = NerConfig {
@@ -534,4 +541,283 @@ fn flight_recorder_pins_the_slowest_request() {
     );
 
     stop_server(addr, handle);
+}
+
+/// Reads one HTTP response off a raw socket: status code and whether the
+/// server closed the connection afterwards. For the hostile-client tests
+/// that drive sockets directly instead of through the client module.
+fn read_raw_response(stream: std::net::TcpStream) -> (u16, bool) {
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line {status_line:?}"));
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content-length value");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    // EOF after the body means the server closed the connection; probe
+    // briefly so a keep-alive socket doesn't hold the test for its full
+    // read timeout.
+    reader.get_ref().set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+    let closed = matches!(reader.read(&mut [0u8; 1]), Ok(0));
+    (status, closed)
+}
+
+#[test]
+fn dribbled_body_is_waited_for_not_dropped() {
+    // Regression for the slow-body drop: the old blocking reader's 250 ms
+    // socket poll surfaced as an I/O error mid-`read_exact`, so a client
+    // pausing longer than that between headers and body was disconnected
+    // without a response. The poll loop must wait (the per-request read
+    // deadline, default 10 s, is the only bound).
+    let (addr, state, handle) = start_server(ServeConfig::default(), None);
+    let body = "{\"text\": \"Pat ran home .\"}";
+
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let head = format!(
+        "POST /v1/extract HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.flush().unwrap();
+    // Well past the old 250 ms poll window.
+    std::thread::sleep(Duration::from_millis(400));
+    stream.write_all(body.as_bytes()).expect("write dribbled body");
+    stream.flush().unwrap();
+    let (status, _) = read_raw_response(stream);
+    assert_eq!(status, 200, "a 400 ms body pause must not drop the connection");
+
+    // Same request again, body split mid-JSON this time.
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(&body.as_bytes()[..5]).expect("first body fragment");
+    stream.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    stream.write_all(&body.as_bytes()[5..]).expect("second body fragment");
+    stream.flush().unwrap();
+    let (status, _) = read_raw_response(stream);
+    assert_eq!(status, 200, "a split body must reassemble");
+
+    drop(state);
+    stop_server(addr, handle);
+}
+
+#[test]
+fn slowloris_partial_headers_get_408_and_the_server_stays_live() {
+    // A head that never finishes must be answered 408 and closed once the
+    // per-request read deadline expires — one buffered parser per socket,
+    // no thread held hostage — while well-behaved clients keep being
+    // served throughout.
+    let cfg = ServeConfig { read_timeout: Duration::from_millis(300), ..ServeConfig::default() };
+    let (addr, _state, handle) = start_server(cfg, None);
+
+    let mut loris = std::net::TcpStream::connect(addr).expect("connect");
+    loris.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    loris.write_all(b"POST /v1/extract HTTP/1.1\r\ncontent-le").expect("partial head");
+    loris.flush().unwrap();
+
+    // While the slowloris connection dangles, normal traffic flows.
+    let resp = client::post(addr, "/v1/extract", "{\"text\": \"Sam kept serving .\"}")
+        .expect("concurrent request");
+    assert_eq!(resp.status, 200);
+
+    let (status, closed) = read_raw_response(loris);
+    assert_eq!(status, 408, "an unfinished head must time out with 408");
+    assert!(closed, "a timed-out connection must be closed");
+
+    // A head dribbled *within* the deadline still completes: the timeout
+    // bounds the whole request read, it is not a per-read trigger.
+    let mut slow = std::net::TcpStream::connect(addr).expect("connect");
+    slow.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    slow.write_all(b"GET /healthz HTT").expect("fragment");
+    slow.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    slow.write_all(b"P/1.1\r\n\r\n").expect("rest");
+    slow.flush().unwrap();
+    let (status, _) = read_raw_response(slow);
+    assert_eq!(status, 200);
+
+    stop_server(addr, handle);
+}
+
+#[test]
+fn client_disconnect_while_queued_is_harmless() {
+    // A client that hangs up while its request waits for the scorer
+    // exercises the reply-channel send-failure path: the dispatcher's
+    // answer has nowhere to go and must be dropped without disturbing
+    // anything else in the batch.
+    let cfg = ServeConfig {
+        max_batch: 1,
+        replicas: 1,
+        score_delay: Duration::from_millis(120),
+        ..ServeConfig::default()
+    };
+    let (addr, _state, handle) = start_server(cfg, None);
+
+    // Occupy the single dispatcher so the deserter's request queues.
+    let occupant = std::thread::spawn(move || {
+        let resp = client::post(addr, "/v1/extract", "{\"text\": \"first in line .\"}")
+            .expect("occupant request");
+        assert_eq!(resp.status, 200);
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    for i in 0..4 {
+        let mut deserter = std::net::TcpStream::connect(addr).expect("connect");
+        let body = format!("{{\"text\": \"deserter {i} gives up .\"}}");
+        let head = format!(
+            "POST /v1/extract HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        deserter.write_all(head.as_bytes()).expect("write request");
+        deserter.flush().unwrap();
+        // Hang up without reading the response.
+        drop(deserter);
+    }
+    occupant.join().expect("occupant thread");
+
+    // The server shrugged it off: later requests still score correctly.
+    let resp = client::post(addr, "/v1/extract", "{\"text\": \"still standing .\"}")
+        .expect("post-desertion request");
+    assert_eq!(resp.status, 200);
+    stop_server(addr, handle);
+}
+
+#[test]
+fn shutdown_racing_http_traffic_loses_no_accepted_request() {
+    // Fire shutdown into the middle of live traffic. Every request that
+    // gets an HTTP response must be whole: 200 with a full payload, or an
+    // orderly rejection (503 draining, 429 shed, 408 expired). A connection
+    // error is only legitimate for a request the server never accepted
+    // (the socket closed between requests during drain).
+    let cfg = ServeConfig {
+        max_batch: 4,
+        score_delay: Duration::from_millis(5),
+        ..ServeConfig::default()
+    };
+    let (addr, state, handle) = start_server(cfg, None);
+    let offline = state.pipeline();
+
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..6)
+            .map(|worker| {
+                let offline = &offline;
+                scope.spawn(move || {
+                    let mut served = 0usize;
+                    'outer: loop {
+                        let Ok(mut conn) = client::Conn::connect(addr) else { break };
+                        loop {
+                            let text = format!("Racer {worker} lap {served} in Madrid .");
+                            let body = format!("{{\"text\": \"{text}\"}}");
+                            match conn.post("/v1/extract", &body) {
+                                Ok(resp) => match resp.status {
+                                    200 => {
+                                        let parsed: Value = serde_json::from_str(&resp.body)
+                                            .expect("a 200 during shutdown must be whole");
+                                        assert_eq!(parsed, offline_payload(offline, &text));
+                                        served += 1;
+                                    }
+                                    503 => break 'outer,
+                                    429 | 408 => {}
+                                    other => panic!("unexpected status {other} during drain"),
+                                },
+                                // The drain closed this keep-alive socket
+                                // between requests; try a fresh connection
+                                // (refused once the listener is gone).
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                    served
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(60));
+        let resp = client::post(addr, "/admin/shutdown", "").expect("shutdown");
+        assert_eq!(resp.status, 200);
+        let served: usize = workers.into_iter().map(|w| w.join().expect("racer")).sum();
+        assert!(served > 0, "some pre-shutdown traffic must have been served");
+    });
+    handle.join().expect("server drains and exits");
+}
+
+#[test]
+fn replicas_serve_identically_and_reload_swaps_them_all() {
+    // Four replicas, four dispatchers: every response must match replica
+    // 0's offline extraction, and a reload must swap *all* replicas — a
+    // stale replica would keep answering with the old model's predictions.
+    let ckpt_path =
+        std::env::temp_dir().join(format!("ner-serve-swap-test-{}.json", std::process::id()));
+    // The checkpoint on disk is a *different* model (different seed), so a
+    // replica that misses the swap is detectable.
+    let incoming = tiny_pipeline_seeded(23);
+    Checkpoint::capture(&incoming).save(&ckpt_path).expect("save checkpoint");
+
+    let cfg = ServeConfig { replicas: 4, max_batch: 2, ..ServeConfig::default() };
+    let (addr, state, handle) = start_server(cfg, Some(ckpt_path.clone()));
+    let offline = state.pipeline();
+
+    let texts: Vec<String> =
+        (0..24).map(|i| format!("Nora Qvist opened branch {i} in Geneva .")).collect();
+    std::thread::scope(|scope| {
+        for chunk in texts.chunks(6) {
+            let offline = &offline;
+            scope.spawn(move || {
+                for text in chunk {
+                    let body = format!("{{\"text\": \"{}\"}}", json_escape(text));
+                    let resp = client::post(addr, "/v1/extract", &body).expect("extract");
+                    assert_eq!(resp.status, 200);
+                    let parsed: Value = serde_json::from_str(&resp.body).expect("json");
+                    assert_eq!(
+                        parsed,
+                        offline_payload(offline, text),
+                        "a replica diverged from replica 0 on {text:?}"
+                    );
+                }
+            });
+        }
+    });
+
+    let resp = client::post(addr, "/admin/reload", "").expect("reload");
+    assert_eq!(resp.status, 200);
+    assert_eq!(state.reload_count(), 1);
+
+    // Enough traffic to hit every dispatcher: all answers must now come
+    // from the new model.
+    std::thread::scope(|scope| {
+        for chunk in texts.chunks(6) {
+            let incoming = &incoming;
+            scope.spawn(move || {
+                for text in chunk {
+                    let body = format!("{{\"text\": \"{}\"}}", json_escape(text));
+                    let resp = client::post(addr, "/v1/extract", &body).expect("extract");
+                    assert_eq!(resp.status, 200);
+                    let parsed: Value = serde_json::from_str(&resp.body).expect("json");
+                    assert_eq!(
+                        parsed,
+                        offline_payload(incoming, text),
+                        "a replica kept the old model after reload for {text:?}"
+                    );
+                }
+            });
+        }
+    });
+
+    stop_server(addr, handle);
+    let _ = std::fs::remove_file(ckpt_path);
 }
