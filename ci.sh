@@ -15,9 +15,14 @@
 #   5. inference smoke  (exp_inference --smoke at 1 and 4 threads exits
 #      non-zero if the tape-free plan's tags — or the batched [B,T]
 #      backend's — diverge from the tape path)
-#   6. prometheus lint  (the /metrics exposition must have typed, unique
+#   6. training smoke   (exp_train --smoke at 1 and 4 threads exits
+#      non-zero if the batched packed-autograd trainer's loss curve
+#      diverges in any f64 bit from the per-sentence oracle under the
+#      shared bucketed schedule; zoo-wide final-weight/F1 bit-identity
+#      is covered by ner-core's train_parity suite in step 3)
+#   7. prometheus lint  (the /metrics exposition must have typed, unique
 #      families with cumulative histogram buckets)
-#   7. serving smoke    (serve integration tests — including the request
+#   8. serving smoke    (serve integration tests — including the request
 #      tracing, flight-recorder, batch-formation, slow-client and
 #      shutdown-race suites — + exp_serving --smoke at 1 and 4 threads:
 #      its overload-and-recovery soak drives the server into SLO shedding,
@@ -62,6 +67,12 @@ NER_THREADS=1 cargo run --release -p ner-bench --bin exp_inference -- --smoke
 
 echo "== inference smoke: plan and batched [B,T] must reproduce the tape (NER_THREADS=4) =="
 NER_THREADS=4 cargo run --release -p ner-bench --bin exp_inference -- --smoke
+
+echo "== training smoke: batched trainer must reproduce the per-sentence oracle (NER_THREADS=1) =="
+NER_THREADS=1 cargo run --release -p ner-bench --bin exp_train -- --smoke
+
+echo "== training smoke: batched trainer must reproduce the per-sentence oracle (NER_THREADS=4) =="
+NER_THREADS=4 cargo run --release -p ner-bench --bin exp_train -- --smoke
 
 echo "== prometheus lint: /metrics families must be typed, unique, cumulative =="
 cargo test --release -p ner-serve --lib -q prometheus

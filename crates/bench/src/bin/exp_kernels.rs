@@ -432,9 +432,18 @@ fn main() {
 
     let shapes: Vec<(usize, usize, usize)> = match scale {
         // 64³ sits exactly on PAR_MIN_FLOPS; 40×128×512 is an LSTM-gate
-        // shaped workload (sentence × hidden × 4·hidden).
+        // shaped workload (sentence × hidden × 4·hidden); 128×40×512 is
+        // the TN gradient accumulation dW = Xᵀ·dY of the same gate (tall
+        // skinny aᵀ: k = sentence rows, m = input dim, n = 4·hidden).
         Scale::Full => {
-            vec![(32, 32, 32), (64, 64, 64), (128, 128, 128), (256, 256, 256), (40, 128, 512)]
+            vec![
+                (32, 32, 32),
+                (64, 64, 64),
+                (128, 128, 128),
+                (256, 256, 256),
+                (40, 128, 512),
+                (128, 40, 512),
+            ]
         }
         Scale::Quick => vec![(32, 32, 32), (64, 64, 64), (96, 96, 96)],
     };

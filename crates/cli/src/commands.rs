@@ -45,7 +45,10 @@ pub fn generate(raw: Vec<String>) -> CmdResult {
 
 /// `train` — fit a preset on a CoNLL file, checkpoint to JSON.
 pub fn train(raw: Vec<String>) -> CmdResult {
-    let a = parse(raw, &["train", "dev", "model", "preset", "epochs", "seed", "scheme", "lr"])?;
+    let a = parse(
+        raw,
+        &["train", "dev", "model", "preset", "epochs", "seed", "scheme", "lr", "trainer", "batch"],
+    )?;
     let train_path = a.require("train")?.to_string();
     let model_path = a.require("model")?.to_string();
     let preset_name = a.get("preset").unwrap_or("charcnn-bilstm-crf");
@@ -53,6 +56,14 @@ pub fn train(raw: Vec<String>) -> CmdResult {
     let seed = a.get_parsed("seed", 42u64)?;
     let lr = a.get_parsed("lr", 0.01f32)?;
     let scheme = parse_scheme(a.get("scheme").unwrap_or("bio"))?;
+    let trainer = match a.get("trainer") {
+        Some(s) => s.parse::<TrainerKind>()?,
+        None => TrainConfig::default().trainer,
+    };
+    let batch = a.get_parsed("batch", TrainConfig::default().batch)?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
 
     let mut cfg = ner_core::zoo::preset(preset_name)
         .ok_or_else(|| format!("unknown preset {preset_name:?}; run `neural-ner zoo`"))?;
@@ -84,7 +95,7 @@ pub fn train(raw: Vec<String>) -> CmdResult {
     let mut model = NerModel::new(cfg, &encoder, None, &mut rng);
     let train_enc = encoder.encode_dataset(&train_ds, None);
     let dev_enc = dev_ds.map(|d| encoder.encode_dataset(&d, None));
-    let tc = TrainConfig { epochs, lr, ..TrainConfig::default() };
+    let tc = TrainConfig { epochs, lr, trainer, batch, ..TrainConfig::default() };
     // Per-epoch progress is emitted by the trainer itself through the
     // observability sinks (stderr at normal verbosity, JSONL when enabled).
     let report =
@@ -248,6 +259,7 @@ pub fn report(raw: Vec<String>) -> CmdResult {
     let mut histograms: Vec<ner_obs::HistogramSummary> = Vec::new();
     let mut spans: Vec<(String, u64, f64, f64)> = Vec::new();
     let mut counters: Vec<(String, f64)> = Vec::new();
+    let mut gauges: Vec<(String, f64)> = Vec::new();
     let mut last_t_ms = 0u64;
     let mut n_lines = 0usize;
     for (i, l) in text.lines().enumerate() {
@@ -277,6 +289,10 @@ pub fn report(raw: Vec<String>) -> CmdResult {
                 counters.retain(|(n, _)| *n != name);
                 counters.push((name, value));
             }
+            ner_obs::Event::Gauge { name, value } => {
+                gauges.retain(|(n, _)| *n != name);
+                gauges.push((name, value));
+            }
             _ => {}
         }
     }
@@ -305,19 +321,31 @@ pub fn report(raw: Vec<String>) -> CmdResult {
     if !epochs.is_empty() {
         let num = |v: &serde::Value, k: &str| v.get(k).and_then(|x| x.as_f64());
         println!("\n== loss curve ==");
+        let gauge = |n: &str| gauges.iter().find(|(g, _)| g == n).map(|(_, v)| *v);
+        if let Some(batched) = gauge("train.batched") {
+            let backend = if batched != 0.0 { "batched" } else { "per-sentence" };
+            let batch = gauge("train.batch").unwrap_or(1.0) as u64;
+            match gauge("train.tokens_per_s") {
+                Some(tps) => {
+                    println!("trainer backend {backend} (batch {batch})   peak {tps:.0} tokens/sec")
+                }
+                None => println!("trainer backend {backend} (batch {batch})"),
+            }
+        }
         println!(
-            "{:>5}  {:>10}  {:>9}  {:>8}  {:>7}  {:>8}  {:>7}",
-            "epoch", "loss", "grad", "lr", "dev-F1", "wall", "skipped"
+            "{:>5}  {:>10}  {:>9}  {:>8}  {:>7}  {:>8}  {:>8}  {:>7}",
+            "epoch", "loss", "grad", "lr", "dev-F1", "wall", "tok/s", "skipped"
         );
         for e in &epochs {
             println!(
-                "{:>5}  {:>10.4}  {:>9.3}  {:>8.5}  {:>7}  {:>6.1}ms  {:>7}",
+                "{:>5}  {:>10.4}  {:>9.3}  {:>8.5}  {:>7}  {:>6.1}ms  {:>8}  {:>7}",
                 num(e, "epoch").unwrap_or(0.0) as u64,
                 num(e, "train_loss").unwrap_or(f64::NAN),
                 num(e, "grad_norm").unwrap_or(f64::NAN),
                 num(e, "lr").unwrap_or(f64::NAN),
                 num(e, "dev_f1").map_or("-".to_string(), |f| format!("{:.2}%", 100.0 * f)),
                 num(e, "wall_ms").unwrap_or(0.0),
+                num(e, "tokens_per_s").map_or("-".to_string(), |t| format!("{t:.0}")),
                 num(e, "skipped_updates").unwrap_or(0.0) as u64,
             );
         }

@@ -8,7 +8,7 @@ pub mod recursive;
 use crate::config::EncoderKind;
 use ner_tensor::fused::Activation;
 use ner_tensor::nn::{GruCell, Linear, LstmCell, TransformerBlock};
-use ner_tensor::{init, nn, BatchedExec, Exec, FusedVal, ParamId, ParamStore, Tensor};
+use ner_tensor::{init, nn, Exec, PackedExec, ParamId, ParamStore, Tensor};
 use rand::Rng;
 
 /// A built context encoder: maps `[n, in_dim] → [n, out_dim]`.
@@ -233,32 +233,27 @@ impl Encoder {
         }
     }
 
-    /// Encodes a packed batch `x [N, in_dim] → [N, out_dim]` on the
-    /// batched backend; each segment's output rows are bit-identical to
+    /// Encodes a packed batch `x [N, in_dim] → [N, out_dim]` on a packed
+    /// backend; each segment's output rows are bit-identical to
     /// [`Self::forward`] on that segment alone.
     ///
     /// Most encoder kinds fall through to the generic forward — the
-    /// [`BatchedExec`] overrides already make convolutions, sequence
+    /// packed-backend overrides already make convolutions, sequence
     /// reversal and the recurrent runners segment-aware. The three cases
     /// with sentence-shaped intermediates that those overrides cannot see
     /// (window stacking, the global max pool, the attention core) are
-    /// handled per segment here.
-    pub fn forward_batch(
-        &self,
-        bx: &mut BatchedExec<'_>,
-        store: &ParamStore,
-        x: FusedVal,
-    ) -> FusedVal {
+    /// handled per segment here via [`PackedExec::scoped`].
+    pub fn forward_batch<P: PackedExec>(&self, bx: &mut P, store: &ParamStore, x: P::V) -> P::V {
         match &self.imp {
             EncoderImpl::WindowMlp { lin, window } => {
                 // Window stacking pads with zeros at *sentence* edges, so
-                // it runs per segment on the inner backend.
+                // it runs per segment in sentence scope.
                 let mut segs = Vec::with_capacity(bx.segments());
                 for s in 0..bx.segments() {
                     let xs = bx.slice_segment(x, s);
-                    segs.push(window_concat(bx.inner_mut(), xs, *window));
+                    segs.push(bx.scoped(s, |ex| window_concat(ex, xs, *window)));
                 }
-                let windowed = bx.inner_mut().concat_rows(&segs);
+                let windowed = bx.concat_rows(&segs);
                 lin.forward_act(bx, store, windowed, Activation::Tanh)
             }
             EncoderImpl::Cnn { layers, width, global: true } => {
@@ -274,11 +269,12 @@ impl Encoder {
                 for s in 0..bx.segments() {
                     let hs = bx.slice_segment(h, s);
                     let n = bx.len_of(s);
-                    let ex = bx.inner_mut();
-                    let g = ex.max_over_rows(hs);
-                    segs.push(ex.concat_rows(&vec![g; n]));
+                    segs.push(bx.scoped(s, |ex| {
+                        let g = ex.max_over_rows(hs);
+                        ex.concat_rows(&vec![g; n])
+                    }));
                 }
-                let broadcast = bx.inner_mut().concat_rows(&segs);
+                let broadcast = bx.concat_rows(&segs);
                 bx.concat_cols(&[h, broadcast])
             }
             EncoderImpl::Transformer { proj, blocks, d_model } => {

@@ -9,9 +9,12 @@ use crate::plan::ForwardPlan;
 use crate::repr::{EncodedSentence, InputLayer, SentenceEncoder};
 use ner_embed::WordEmbeddings;
 use ner_tensor::nn::Linear;
-use ner_tensor::{BatchedExec, Exec, FusedExec, FusedVal, ParamStore, Tape, Tensor, Var};
+use ner_tensor::{
+    BatchedExec, BatchedTapeExec, Exec, FusedExec, FusedVal, PackedExec, ParamStore, Tape, Tensor,
+    Var,
+};
 use ner_text::{EntitySpan, TagSet};
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 enum Head {
     Softmax { proj: Linear },
@@ -177,6 +180,93 @@ impl NerModel {
         }
     }
 
+    /// Differentiable training loss for a packed bucket of (non-empty)
+    /// sentences, recorded through [`BatchedTapeExec`]: the input layer,
+    /// the encoder and the head's emission projection run as batch-wide
+    /// packed operations, while each sentence's structured loss (CRF /
+    /// semi-CRF partition, decoder steps) is recorded in that sentence's
+    /// segment scope so its parameter gradients land in the owning
+    /// [`ner_tensor::GradBuffer`] of a segmented backward.
+    ///
+    /// `rngs[s]` drives sentence `s`'s dropout masks; passing the same
+    /// streams the per-sentence oracle would use makes every loss value —
+    /// and, through `Tape::backward_into_segmented`, every applied
+    /// gradient — bit-identical to one tape per sentence.
+    ///
+    /// Returns the summed loss (each sentence's term receives exactly the
+    /// oracle's 1.0 gradient seed) plus the per-sentence loss values in
+    /// caller order.
+    pub fn loss_batch(
+        &self,
+        tape: &mut Tape,
+        encs: &[&EncodedSentence],
+        rngs: &mut [&mut dyn RngCore],
+    ) -> (Var, Vec<f64>) {
+        assert_eq!(encs.len(), rngs.len(), "one dropout stream per sentence");
+        let lens: Vec<usize> = encs.iter().map(|e| e.len()).collect();
+        let mut bx = BatchedTapeExec::new(tape, &lens);
+        let x0 = self.input.forward_batch(&mut bx, &self.store, encs);
+        let x =
+            if self.cfg.dropout > 0.0 { bx.dropout_packed(x0, self.cfg.dropout, rngs) } else { x0 };
+        let h0 = self.encoder.forward_batch(&mut bx, &self.store, x);
+        let h =
+            if self.cfg.dropout > 0.0 { bx.dropout_packed(h0, self.cfg.dropout, rngs) } else { h0 };
+
+        let mut losses: Vec<Var> = Vec::with_capacity(encs.len());
+        match &self.head {
+            Head::Softmax { proj } => {
+                let logits = proj.forward(&mut bx, &self.store, h);
+                for (s, enc) in encs.iter().enumerate() {
+                    let ls = bx.slice_segment(logits, s);
+                    losses
+                        .push(bx.scoped(s, |ex| ex.tape_mut().cross_entropy_sum(ls, &enc.tag_ids)));
+                }
+            }
+            Head::Crf { proj, crf } => {
+                let emissions = proj.forward(&mut bx, &self.store, h);
+                for (s, enc) in encs.iter().enumerate() {
+                    let es = bx.slice_segment(emissions, s);
+                    losses.push(
+                        bx.scoped(s, |ex| crf.nll(ex.tape_mut(), &self.store, es, &enc.tag_ids)),
+                    );
+                }
+            }
+            Head::SemiCrf { proj, crf } => {
+                let emissions = proj.forward(&mut bx, &self.store, h);
+                for (s, enc) in encs.iter().enumerate() {
+                    let es = bx.slice_segment(emissions, s);
+                    let ents = self.gold_entity_segments(enc, crf.max_len());
+                    let gold = SemiCrf::gold_segments(enc.len(), &ents);
+                    losses.push(bx.scoped(s, |ex| crf.nll(ex.tape_mut(), &self.store, es, &gold)));
+                }
+            }
+            Head::Rnn { dec } => {
+                for (s, enc) in encs.iter().enumerate() {
+                    let hs = bx.slice_segment(h, s);
+                    losses.push(
+                        bx.scoped(s, |ex| dec.nll(ex.tape_mut(), &self.store, hs, &enc.tag_ids)),
+                    );
+                }
+            }
+            Head::Pointer { dec } => {
+                for (s, enc) in encs.iter().enumerate() {
+                    let hs = bx.slice_segment(h, s);
+                    let ents = self.gold_entity_segments(enc, dec.max_len());
+                    let gold = SemiCrf::gold_segments(enc.len(), &ents);
+                    losses.push(bx.scoped(s, |ex| dec.nll(ex.tape_mut(), &self.store, hs, &gold)));
+                }
+            }
+        }
+
+        let mut total = losses[0];
+        for &l in &losses[1..] {
+            total = Exec::add(&mut bx, total, l);
+        }
+        drop(bx);
+        let per_sentence = losses.iter().map(|&l| tape.value(l).item() as f64).collect();
+        (total, per_sentence)
+    }
+
     /// Predicted entity spans for one sentence (evaluation mode).
     pub fn predict_spans(&self, enc: &EncodedSentence) -> Vec<EntitySpan> {
         let mut rng = rand::rngs::mock::StepRng::new(0, 1);
@@ -320,7 +410,7 @@ impl NerModel {
         let lens: Vec<usize> = encs.iter().map(|e| e.len()).collect();
         let mut bx = BatchedExec::new(&self.store, &lens).with_pe_cache(plan.pe_cache());
         let t0 = std::time::Instant::now();
-        let x = self.input.forward_batch(&mut bx, &self.store, encs, plan.token_cache());
+        let x = self.input.forward_batch_cached(&mut bx, &self.store, encs, plan.token_cache());
         let t1 = std::time::Instant::now();
         let h = self.encoder.forward_batch(&mut bx, &self.store, x);
         let t2 = std::time::Instant::now();

@@ -15,7 +15,7 @@ use crate::plan::TokenFeatureCache;
 use ner_embed::{ContextualEmbedder, WordEmbeddings};
 use ner_tensor::fused::Activation;
 use ner_tensor::nn::{Embedding, Linear, LstmCell};
-use ner_tensor::{init, BatchedExec, Exec, FusedVal, ParamId, ParamStore, Tensor};
+use ner_tensor::{init, BatchedExec, Exec, FusedVal, PackedExec, ParamId, ParamStore, Tensor};
 use ner_text::features::{token_features, FEATURE_DIM};
 use ner_text::pos::{tag_sentence, POS_DIM};
 use ner_text::{Dataset, EntitySpan, Gazetteer, Sentence, TagScheme, TagSet, Vocab};
@@ -360,14 +360,29 @@ impl InputLayer {
     /// Assembles the packed `[N, out_dim]` input matrix for a whole batch
     /// of sentences (`N = Σ lenᵢ`, segment layout owned by `bx`). Rows are
     /// bit-identical to running [`Self::forward`] per sentence: every base
-    /// op treats rows independently, the char composition runs per word on
-    /// the inner backend either way, and the feature/context columns are
-    /// plain copies.
-    ///
-    /// With a token cache, the whole batch is served through **one** lock
-    /// acquisition (`TokenFeatureCache::lookup_batch`) instead of one per
-    /// token, and duplicate uncached surfaces are computed once.
-    pub fn forward_batch(
+    /// op treats rows independently, the char composition runs per word in
+    /// sentence scope either way, and the feature/context columns are
+    /// plain copies. Works on any packed backend — tape-free inference or
+    /// the gradient-recording [`ner_tensor::BatchedTapeExec`].
+    pub fn forward_batch<P: PackedExec>(
+        &self,
+        bx: &mut P,
+        store: &ParamStore,
+        encs: &[&EncodedSentence],
+    ) -> P::V {
+        debug_assert_eq!(encs.len(), bx.segments(), "one encoded sentence per segment");
+        let base = self.packed_base_batch(bx, store, encs);
+        self.append_batch_cols(bx, encs, base)
+    }
+
+    /// Inference-only [`Self::forward_batch`] that routes the per-token
+    /// base through the serving token cache: hits for the whole batch are
+    /// served through **one** lock acquisition
+    /// (`TokenFeatureCache::lookup_batch`) instead of one per token, and
+    /// duplicate uncached surfaces are computed once. The cached base
+    /// enters the graph as a constant, so this path never records
+    /// gradients — training uses the generic [`Self::forward_batch`].
+    pub fn forward_batch_cached(
         &self,
         bx: &mut BatchedExec<'_>,
         store: &ParamStore,
@@ -379,8 +394,17 @@ impl InputLayer {
             Some(c) => self.cached_base_batch(bx, store, encs, c),
             None => self.packed_base_batch(bx, store, encs),
         };
+        self.append_batch_cols(bx, encs, base)
+    }
 
-        let mut parts: Vec<FusedVal> = Vec::with_capacity(3);
+    /// Appends the feature/context constant columns to a packed base.
+    fn append_batch_cols<P: PackedExec>(
+        &self,
+        bx: &mut P,
+        encs: &[&EncodedSentence],
+        base: P::V,
+    ) -> P::V {
+        let mut parts: Vec<P::V> = Vec::with_capacity(3);
         parts.push(base);
         if self.feat_dim > 0 {
             let rows: Vec<&Vec<f32>> = encs.iter().flat_map(|e| e.feats.iter()).collect();
@@ -400,28 +424,31 @@ impl InputLayer {
 
     /// Packed-batch analogue of [`Self::batched_base`]: one embedding
     /// gather over every word id in the batch, char rows stacked across
-    /// sentence boundaries (each word's composition still runs alone on
-    /// the inner backend), and the gate applied to the whole packed matrix
-    /// — all row-wise, so rows match the per-sentence formulation bit for
-    /// bit.
-    fn packed_base_batch(
+    /// sentence boundaries (each word's composition still runs alone, in
+    /// its sentence's scope), and the gate applied to the whole packed
+    /// matrix — all row-wise, so rows match the per-sentence formulation
+    /// bit for bit.
+    fn packed_base_batch<P: PackedExec>(
         &self,
-        bx: &mut BatchedExec<'_>,
+        bx: &mut P,
         store: &ParamStore,
         encs: &[&EncodedSentence],
-    ) -> FusedVal {
+    ) -> P::V {
         let word_ids: Vec<usize> = encs.iter().flat_map(|e| e.word_ids.iter().copied()).collect();
         let words = self.word_emb.lookup(bx, store, &word_ids);
         let cm = match &self.char {
             None => return words,
             Some(cm) => cm,
         };
-        let rows: Vec<FusedVal> = encs
-            .iter()
-            .flat_map(|e| e.char_ids.iter())
-            .map(|chars| cm.word_vector(bx.inner_mut(), store, chars))
-            .collect();
-        let chars = bx.inner_mut().concat_rows(&rows);
+        let mut rows: Vec<P::V> = Vec::with_capacity(bx.total_rows());
+        for (s, e) in encs.iter().enumerate() {
+            bx.scoped(s, |ex| {
+                for chars in &e.char_ids {
+                    rows.push(cm.word_vector(ex, store, chars));
+                }
+            });
+        }
+        let chars = bx.concat_rows(&rows);
         match &self.gate {
             Some(gate) => {
                 // z = σ(W[w;c]); rep = z⊙w + (c − z⊙c).

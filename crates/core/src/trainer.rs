@@ -1,18 +1,38 @@
-//! The training loop: per-sentence SGD with gradient clipping, optional
+//! The training loop: minibatch SGD with gradient clipping, optional
 //! learning-rate schedules, dev-set early stopping with best-model
 //! restoration, and evaluation helpers.
 //!
-//! # Threading
+//! # Backends
 //!
-//! When the global `ner-par` pool has more than one thread, each epoch is
-//! processed in minibatches of `threads` sentences: every worker builds its
-//! own [`Tape`] and backpropagates into a private [`GradBuffer`], and the
-//! coordinator merges the buffers **in shard order** (deterministic for a
-//! fixed thread count), clips once, and takes one optimizer step per batch.
-//! Gradients are summed — not averaged — over the shard, so the total SGD
-//! displacement per epoch matches the serial path's; Adam's update is
-//! scale-invariant either way. With `NER_THREADS=1` (or one core) the
-//! original per-sentence serial loop runs unchanged, bit for bit.
+//! Two gradient-recording backends drive an epoch ([`TrainerKind`]):
+//!
+//! * **Batched** (default): each worker packs its bucket of
+//!   [`TrainConfig::batch`] sentences into one `[N, d]` row matrix and
+//!   records a single [`Tape`] through `ner_tensor::BatchedTapeExec` — one
+//!   recurrent GEMM per timestep across the live prefix, exactly the
+//!   layout serving uses. A segmented backward scatters each sentence's
+//!   gradients into its own [`GradBuffer`], bit-identically to what a
+//!   per-sentence tape would have produced (see DESIGN.md "Batched
+//!   training").
+//! * **Per-sentence**: the historical one-tape-per-sentence formulation,
+//!   kept as the parity oracle.
+//!
+//! # Threading and schedule
+//!
+//! Each epoch walks the (shuffled) order in chunks of `threads × batch`
+//! sentences: every worker processes its bucket independently, and the
+//! coordinator merges the gradient buffers **in sentence order**
+//! (deterministic for a fixed thread count and batch size), clips once,
+//! and takes one optimizer step per chunk. Gradients are summed — not
+//! averaged — over the chunk, so the total SGD displacement per epoch
+//! matches the serial path's; Adam's update is scale-invariant either way.
+//! Dropout streams are seeded per sentence from one draw per chunk, so
+//! masks depend only on a sentence's position in the order — which makes
+//! the two backends produce bit-identical loss curves and final weights at
+//! any thread count. With `NER_THREADS=1` and `batch == 1` the sentences'
+//! dropout draws come straight from the shared epoch rng and one step is
+//! taken per sentence: the historical serial trajectory, reproduced bit
+//! for bit by both backends.
 
 use crate::metrics::{evaluate, EvalResult};
 use crate::model::NerModel;
@@ -22,8 +42,36 @@ use ner_tensor::{GradBuffer, OpClass, Tape};
 use ner_text::EntitySpan;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use serde::Serialize;
+
+/// Multiplier of the within-chunk index that derives each sentence's
+/// dropout-stream seed from the chunk's base seed (golden-ratio stride, so
+/// neighboring sentences get decorrelated streams).
+const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Which gradient-recording backend drives each epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum TrainerKind {
+    /// One packed tape per bucket of [`TrainConfig::batch`] sentences,
+    /// recorded through `ner_tensor::BatchedTapeExec` (default).
+    Batched,
+    /// One tape per sentence — the historical formulation, kept as the
+    /// bit-identity oracle for the batched backend.
+    PerSentence,
+}
+
+impl std::str::FromStr for TrainerKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "batched" => Ok(TrainerKind::Batched),
+            "per-sentence" => Ok(TrainerKind::PerSentence),
+            other => Err(format!("unknown trainer '{other}' (expected batched|per-sentence)")),
+        }
+    }
+}
 
 /// Optimizer selection.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize)]
@@ -54,6 +102,12 @@ pub struct TrainConfig {
     pub patience: Option<usize>,
     /// Shuffle the training order each epoch.
     pub shuffle: bool,
+    /// Gradient-recording backend.
+    pub trainer: TrainerKind,
+    /// Sentences per packed bucket (per worker). `1` reproduces the
+    /// historical per-sentence schedule bit for bit; larger buckets
+    /// amortize the recurrent GEMMs across sentences.
+    pub batch: usize,
 }
 
 /// Serializable schedule selector (mirrors [`LrSchedule`]).
@@ -78,6 +132,8 @@ impl Default for TrainConfig {
             clip: 5.0,
             patience: Some(4),
             shuffle: true,
+            trainer: TrainerKind::Batched,
+            batch: 1,
         }
     }
 }
@@ -98,6 +154,8 @@ pub struct EpochRecord {
     pub lr: f32,
     /// Wall-clock milliseconds spent on the epoch (including dev eval).
     pub wall_ms: u64,
+    /// Training tokens consumed per wall-clock second this epoch.
+    pub tokens_per_s: f64,
     /// Largest autodiff tape built during the epoch, in nodes.
     pub peak_tape_nodes: usize,
     /// Updates skipped because the loss or gradient norm was non-finite.
@@ -297,6 +355,258 @@ fn run_epoch_parallel(
     stats
 }
 
+/// Where a bucket's dropout streams come from.
+enum RngSrc<'a> {
+    /// Each sentence's stream is `StdRng` seeded with
+    /// `base + k·SEED_STRIDE` for its within-chunk index `k` — the same
+    /// derivation [`run_epoch_parallel`] uses, so schedules agree.
+    Seeded(u64),
+    /// The shared epoch rng, passed straight through (the
+    /// `threads == 1 && batch == 1` serial replay; at most one live
+    /// sentence per bucket).
+    Shared(&'a mut dyn RngCore),
+}
+
+/// What one worker produced for one sentence of its bucket.
+enum BucketItem {
+    /// Sentence was empty; nothing to do.
+    Empty,
+    /// No gradient contribution: the loss was non-finite, or (batched
+    /// mode) a bucket-mate's was and the whole bucket was rolled back.
+    NonFinite { index: usize, loss: f64, rolled_back: bool },
+    /// A usable gradient contribution.
+    Update { loss: f64, grads: GradBuffer },
+}
+
+/// One worker's result for one bucket.
+struct BucketResult {
+    /// Per-sentence items, in bucket (= schedule) order.
+    items: Vec<BucketItem>,
+    nodes: usize,
+    ops: Vec<(OpClass, u32)>,
+    pool: ner_tensor::pool::PoolStats,
+}
+
+/// Forward/backward for one bucket of sentences on one worker, through
+/// either backend. `k0` is the within-chunk index of `ids[0]`.
+fn run_bucket(
+    model: &NerModel,
+    train: &[EncodedSentence],
+    ids: &[usize],
+    k0: u64,
+    batched: bool,
+    src: RngSrc<'_>,
+) -> BucketResult {
+    // (within-chunk index, sentence index) of the non-empty sentences;
+    // empties keep their slot in the seed derivation, as in the
+    // historical parallel path.
+    let live: Vec<(u64, usize)> = ids
+        .iter()
+        .enumerate()
+        .filter(|&(_, &i)| !train[i].is_empty())
+        .map(|(j, &i)| (k0 + j as u64, i))
+        .collect();
+    if live.is_empty() {
+        return BucketResult {
+            items: ids.iter().map(|_| BucketItem::Empty).collect(),
+            nodes: 0,
+            ops: Vec::new(),
+            pool: ner_tensor::pool::take_stats(),
+        };
+    }
+    let (mut owned, mut shared): (Vec<StdRng>, Option<&mut dyn RngCore>) = match src {
+        RngSrc::Seeded(base) => (
+            live.iter()
+                .map(|&(k, _)| {
+                    StdRng::seed_from_u64(base.wrapping_add(k.wrapping_mul(SEED_STRIDE)))
+                })
+                .collect(),
+            None,
+        ),
+        RngSrc::Shared(r) => {
+            debug_assert!(live.len() <= 1, "shared-rng replay is single-sentence");
+            (Vec::new(), Some(r))
+        }
+    };
+
+    let mut items = Vec::with_capacity(ids.len());
+    let mut nodes = 0usize;
+    let mut ops: Vec<(OpClass, u32)> = Vec::new();
+
+    if batched {
+        let encs: Vec<&EncodedSentence> = live.iter().map(|&(_, i)| &train[i]).collect();
+        let mut streams: Vec<&mut dyn RngCore> = match &mut shared {
+            Some(r) => vec![&mut **r],
+            None => owned.iter_mut().map(|r| r as &mut dyn RngCore).collect(),
+        };
+        let mut tape = Tape::new();
+        let (total, losses) = model.loss_batch(&mut tape, &encs, &mut streams);
+        let total_val = tape.value(total).item() as f64;
+        if !total_val.is_finite() || losses.iter().any(|l| !l.is_finite()) {
+            // Roll back the whole bucket: a segmented backward from a
+            // non-finite loss would poison every segment's buffer, so no
+            // sentence in this bucket contributes.
+            let mut li = 0usize;
+            for &i in ids {
+                if train[i].is_empty() {
+                    items.push(BucketItem::Empty);
+                } else {
+                    let loss = losses[li];
+                    items.push(BucketItem::NonFinite {
+                        index: i,
+                        loss,
+                        rolled_back: loss.is_finite(),
+                    });
+                    li += 1;
+                }
+            }
+        } else {
+            let mut buffers: Vec<GradBuffer> =
+                (0..encs.len()).map(|_| GradBuffer::new(model.store.len())).collect();
+            tape.backward_into_segmented(total, &mut buffers);
+            nodes = tape.len();
+            ops = tape.op_counts().collect();
+            drop(tape);
+            let mut rest = losses.into_iter().zip(buffers);
+            for &i in ids {
+                if train[i].is_empty() {
+                    items.push(BucketItem::Empty);
+                } else {
+                    let (loss, grads) = rest.next().expect("one buffer per live sentence");
+                    items.push(BucketItem::Update { loss, grads });
+                }
+            }
+        }
+    } else {
+        let mut li = 0usize;
+        for &i in ids {
+            if train[i].is_empty() {
+                items.push(BucketItem::Empty);
+                continue;
+            }
+            let mut tape = Tape::new();
+            let loss = match &mut shared {
+                Some(r) => model.loss(&mut tape, &train[i], r),
+                None => model.loss(&mut tape, &train[i], &mut owned[li]),
+            };
+            li += 1;
+            let loss_val = tape.value(loss).item() as f64;
+            if !loss_val.is_finite() {
+                items.push(BucketItem::NonFinite { index: i, loss: loss_val, rolled_back: false });
+                continue;
+            }
+            let mut grads = GradBuffer::new(model.store.len());
+            tape.backward_into(loss, &mut grads);
+            nodes = nodes.max(tape.len());
+            ops.extend(tape.op_counts());
+            items.push(BucketItem::Update { loss: loss_val, grads });
+        }
+    }
+    BucketResult { items, nodes, ops, pool: ner_tensor::pool::take_stats() }
+}
+
+/// The unified bucketed epoch: chunks of `threads × batch` sentences, one
+/// bucket of `batch` per worker, gradients merged in sentence order and
+/// applied with a single clipped optimizer step per chunk. Runs both
+/// backends so the per-sentence oracle can be compared against the batched
+/// path under the *same* schedule.
+#[allow(clippy::too_many_arguments)]
+fn run_epoch_bucketed(
+    model: &mut NerModel,
+    train: &[EncodedSentence],
+    order: &[usize],
+    opt: &mut dyn Optimizer,
+    cfg: &TrainConfig,
+    epoch: usize,
+    pool: &ner_par::ThreadPool,
+    rng: &mut impl Rng,
+    op_totals: &mut [u64],
+) -> EpochStats {
+    let batched = cfg.trainer == TrainerKind::Batched;
+    let workers = pool.threads().max(1);
+    let bucket = cfg.batch.max(1);
+    // One worker, one sentence per bucket: replay the historical serial
+    // schedule — dropout draws come straight from the shared epoch rng
+    // and no per-chunk seed is drawn.
+    let serial_replay = workers == 1 && bucket == 1;
+    let mut stats = EpochStats::default();
+    for chunk in order.chunks(workers * bucket) {
+        let results: Vec<BucketResult> = if serial_replay {
+            vec![run_bucket(model, train, chunk, 0, batched, RngSrc::Shared(rng))]
+        } else {
+            // One seed per chunk; each sentence derives an independent
+            // stream from its position, so masks don't depend on worker
+            // scheduling or the backend.
+            let batch_seed: u64 = rng.gen();
+            let model_ref: &NerModel = model;
+            let buckets: Vec<(usize, &[usize])> =
+                chunk.chunks(bucket).enumerate().map(|(w, ids)| (w * bucket, ids)).collect();
+            pool.map(buckets.len(), |w| {
+                let (k0, ids) = buckets[w];
+                run_bucket(model_ref, train, ids, k0 as u64, batched, RngSrc::Seeded(batch_seed))
+            })
+        };
+
+        // Merge in sentence order — deterministic for a fixed thread
+        // count and bucket size, and identical between backends.
+        let mut contributed = 0usize;
+        for res in results {
+            stats.peak_nodes = stats.peak_nodes.max(res.nodes);
+            for (class, n) in res.ops {
+                op_totals[class as usize] += n as u64;
+            }
+            let p = res.pool;
+            if p.hits + p.misses + p.recycled > 0 {
+                ner_obs::counter("pool.hits", p.hits as f64);
+                ner_obs::counter("pool.misses", p.misses as f64);
+                ner_obs::counter("pool.recycled", p.recycled as f64);
+            }
+            for item in res.items {
+                match item {
+                    BucketItem::Empty => {}
+                    BucketItem::NonFinite { index, loss, rolled_back } => {
+                        stats.skipped += 1;
+                        if rolled_back {
+                            ner_obs::warn(format!(
+                                "epoch {epoch}: sentence {index} rolled back with its bucket (non-finite bucket loss); update skipped"
+                            ));
+                        } else {
+                            ner_obs::warn(format!(
+                                "epoch {epoch}: non-finite loss ({loss}) on sentence {index}; update skipped"
+                            ));
+                        }
+                    }
+                    BucketItem::Update { loss, grads } => {
+                        stats.total_loss += loss;
+                        grads.apply_to(&mut model.store);
+                        contributed += 1;
+                    }
+                }
+            }
+        }
+        if contributed == 0 {
+            continue;
+        }
+        let norm = if cfg.clip > 0.0 {
+            model.store.clip_grad_norm(cfg.clip)
+        } else {
+            model.store.grad_global_norm()
+        };
+        if !norm.is_finite() {
+            stats.skipped += contributed;
+            ner_obs::warn(format!(
+                "epoch {epoch}: non-finite gradient norm on a {contributed}-sentence chunk; update skipped"
+            ));
+            model.store.zero_grad();
+            continue;
+        }
+        stats.norm_sum += norm as f64;
+        stats.applied += 1;
+        opt.step(&mut model.store);
+    }
+    stats
+}
+
 fn make_optimizer(cfg: &TrainConfig) -> Box<dyn Optimizer> {
     match cfg.optimizer {
         OptimizerKind::Sgd => Box::new(Sgd::new(cfg.lr)),
@@ -332,6 +642,15 @@ pub fn train(
     ner_obs::gauge("params.scalars", model.store.num_scalars() as f64);
     let pool = ner_par::global();
     ner_obs::gauge("par.threads", pool.threads() as f64);
+    // Named gauges so run logs and `report` identify the gradient backend.
+    let backend = match cfg.trainer {
+        TrainerKind::Batched => "batched",
+        TrainerKind::PerSentence => "per-sentence",
+    };
+    ner_obs::gauge("train.batched", (cfg.trainer == TrainerKind::Batched) as u8 as f64);
+    ner_obs::gauge("train.batch", cfg.batch.max(1) as f64);
+    ner_obs::info(format!("trainer backend {backend} (batch {})", cfg.batch.max(1)));
+    let epoch_tokens: usize = train.iter().map(|s| s.len()).sum();
     let mut opt = make_optimizer(cfg);
     let sched = schedule(cfg);
     let mut order: Vec<usize> = (0..train.len()).collect();
@@ -351,7 +670,23 @@ pub fn train(
         if cfg.shuffle {
             order.shuffle(rng);
         }
-        let stats = if pool.threads() > 1 {
+        // The historical per-sentence runners are kept verbatim for the
+        // oracle configuration; everything else goes through the unified
+        // bucketed runner (which replays them bit for bit at batch == 1).
+        let historical = cfg.trainer == TrainerKind::PerSentence && cfg.batch <= 1;
+        let stats = if !historical {
+            run_epoch_bucketed(
+                model,
+                train,
+                &order,
+                opt.as_mut(),
+                cfg,
+                epoch,
+                &pool,
+                rng,
+                &mut op_totals,
+            )
+        } else if pool.threads() > 1 {
             run_epoch_parallel(
                 model,
                 train,
@@ -383,17 +718,22 @@ pub fn train(
             evaluate_model(model, d).micro.f1
         });
         drop(epoch_span);
+        let wall = epoch_start.elapsed();
+        let tokens_per_s =
+            if wall.as_secs_f64() > 0.0 { epoch_tokens as f64 / wall.as_secs_f64() } else { 0.0 };
         let record = EpochRecord {
             epoch,
             train_loss,
             dev_f1,
             grad_norm: if applied > 0 { norm_sum / applied as f64 } else { 0.0 },
             lr: effective_lr(cfg, epoch),
-            wall_ms: epoch_start.elapsed().as_millis() as u64,
+            wall_ms: wall.as_millis() as u64,
+            tokens_per_s,
             peak_tape_nodes: peak_nodes,
             skipped_updates: skipped,
         };
         ner_obs::gauge_max("tape.peak_nodes", peak_nodes as f64);
+        ner_obs::gauge_max("train.tokens_per_s", tokens_per_s);
         // Always registered (even at 0) so run logs make "no updates were
         // skipped" explicit rather than ambiguous.
         ner_obs::counter("train.skipped_updates", skipped as f64);

@@ -237,15 +237,44 @@ fn matmul_tn_rows(a: &[f32], b: &[f32], out: &mut [f32], r0: usize, r1: usize, k
     }
 }
 
+/// Minimum `m` before [`matmul_tn`] packs `aᵀ`: the pack costs ~2·k·m
+/// memory passes, which only pays once several output rows run through
+/// the register tiles. Below this the broadcast-and-skip kernel runs
+/// unchanged (bit-identical, so the threshold is perf-only).
+const TN_PACK_MIN_M: usize = 4;
+
 /// `aᵀ [m,k-rows] × b → out [m,n]` where `a: [k,m]`, `b: [k,n]`.
+///
+/// For `m ≥ TN_PACK_MIN_M` the kernel transposes `a` once, on the calling
+/// thread, into a cache-aligned pooled panel `at: [m,k]` and runs the NN
+/// register tiles (or [`simd`] lane tiles) over it. TN's per-element
+/// contract — ascending `p`, skip when the `a` value is exactly zero,
+/// accumulate into `out` — is exactly NN's contract applied to `aᵀ`
+/// (`at[i·k+p] = a[p·m+i]`), so the packed path is bit-identical to the
+/// broadcast kernel by construction while replacing its strided
+/// column-gather loads (the reason it ran at scalar speed) with the
+/// contiguous panels the tiles were built for.
 pub fn matmul_tn(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
     let lvl = simd::active();
+    if m < TN_PACK_MIN_M {
+        over_rows(m, n, m * k * n, out, |r0, r1, rows| {
+            if simd::tn_rows(lvl, a, b, rows, r0, r1, k, n, m) {
+                return;
+            }
+            matmul_tn_rows(a, b, rows, r0, r1, k, n)
+        });
+        return;
+    }
+    let mut at = pool::take_aligned(m * k);
+    transpose(a, at.as_mut_slice(), k, m);
+    let ats = at.as_slice();
     over_rows(m, n, m * k * n, out, |r0, r1, rows| {
-        if simd::tn_rows(lvl, a, b, rows, r0, r1, k, n, m) {
+        if simd::nn_rows(lvl, ats, b, rows, r0, r1, k, n) {
             return;
         }
-        matmul_tn_rows(a, b, rows, r0, r1, k, n)
+        matmul_rows(ats, b, rows, r0, r1, k, n)
     });
+    pool::recycle_aligned(at);
 }
 
 /// `out[r0..r1] = (a × bᵀ)[r0..r1]` for `a: [m,k]`, `b: [n,k]`. Each
@@ -561,6 +590,32 @@ mod tests {
                 assert!(simd::nt_rows(lvl, &a, &b2, &bt, &mut got, 0, m, k, n));
                 assert_eq!(got, want, "nt {m}x{k}x{n} {lvl:?}");
             }
+        }
+    }
+
+    #[test]
+    fn packed_tn_is_bit_identical_to_the_broadcast_kernel() {
+        // Shapes on both sides of TN_PACK_MIN_M, straddling tile edges;
+        // `ramp` contains exact zeros so the skip contract is exercised.
+        for &(k, m, n) in &[
+            (7, 1, 5),
+            (9, 3, 4),
+            (5, 4, 9),
+            (17, 5, 9),
+            (33, 31, 29),
+            (40, 33, 31),
+            (64, 32, 128),
+        ] {
+            let a = ramp(k * m, 0.25); // [k, m]
+            let b = ramp(k * n, 0.5); // [k, n]
+            let mut want = vec![0.0f32; m * n];
+            matmul_tn_rows(&a, &b, &mut want, 0, m, k, n);
+            let mut got = vec![0.0f32; m * n];
+            matmul_tn(&a, &b, &mut got, k, m, n);
+            assert!(
+                got.iter().zip(&want).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "tn {k}x{m}x{n}"
+            );
         }
     }
 

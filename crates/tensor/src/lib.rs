@@ -76,9 +76,11 @@ pub mod simd;
 mod tape;
 mod tensor;
 
-pub use exec::{BatchedExec, Exec, FusedExec, FusedVal, PeCache, TapeExec};
+pub use exec::{
+    BatchedExec, BatchedTapeExec, Exec, FusedExec, FusedVal, PackedExec, PeCache, TapeExec,
+};
 pub use kernels::PAR_MIN_FLOPS;
 pub use param::{ParamId, ParamStore};
 pub use simd::SimdLevel;
-pub use tape::{GradBuffer, GradSink, OpClass, Tape, Var};
+pub use tape::{GradBuffer, GradSink, OpClass, SegEmitter, Tape, Var};
 pub use tensor::Tensor;

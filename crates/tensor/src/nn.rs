@@ -12,7 +12,7 @@
 //! (`ner-embed`) and the NER models (`ner-core`); everything here is
 //! architecture-agnostic.
 
-use crate::exec::{BatchedExec, Exec, FusedVal};
+use crate::exec::{Exec, PackedExec};
 use crate::fused::Activation;
 use crate::{init, ParamId, ParamStore, Tensor};
 use rand::Rng;
@@ -368,17 +368,19 @@ impl MultiHeadAttention {
     /// Self-attention over a packed batch of segments: the q/k/v and
     /// output projections run as single GEMMs over all `[N, d_model]`
     /// packed rows, while the per-head attention core (scores, softmax,
-    /// weighted sum) runs per segment on the inner backend — attention
-    /// must not mix tokens from different sentences. Each segment's output
-    /// rows are bit-identical to [`MultiHeadAttention::forward`] on that
-    /// segment alone.
-    pub fn forward_batch(
+    /// weighted sum) runs per segment inside [`PackedExec::scoped`] —
+    /// attention must not mix tokens from different sentences. Each
+    /// segment's output rows are bit-identical to
+    /// [`MultiHeadAttention::forward`] on that segment alone, on both the
+    /// inference ([`crate::BatchedExec`]) and training
+    /// ([`crate::BatchedTapeExec`]) backends.
+    pub fn forward_batch<P: PackedExec>(
         &self,
-        bx: &mut BatchedExec<'_>,
+        bx: &mut P,
         store: &ParamStore,
-        x: FusedVal,
+        x: P::V,
         causal: bool,
-    ) -> FusedVal {
+    ) -> P::V {
         let dk = self.d_model / self.heads;
         let scale = 1.0 / (dk as f32).sqrt();
         let q = self.wq.forward(bx, store, x);
@@ -391,33 +393,35 @@ impl MultiHeadAttention {
             let ks = bx.slice_segment(k, s);
             let vs = bx.slice_segment(v, s);
             let n = bx.len_of(s);
-            let ex = bx.inner_mut();
-            let mask = causal.then(|| {
-                let mut m = Tensor::zeros(n, n);
-                for r in 0..n {
-                    for c in (r + 1)..n {
-                        m.set2(r, c, -1e9);
+            let out = bx.scoped(s, |ex| {
+                let mask = causal.then(|| {
+                    let mut m = Tensor::zeros(n, n);
+                    for r in 0..n {
+                        for c in (r + 1)..n {
+                            m.set2(r, c, -1e9);
+                        }
                     }
+                    ex.constant(m)
+                });
+                let mut head_outputs = Vec::with_capacity(self.heads);
+                for h in 0..self.heads {
+                    let qh = ex.slice_cols(qs, h * dk, dk);
+                    let kh = ex.slice_cols(ks, h * dk, dk);
+                    let vh = ex.slice_cols(vs, h * dk, dk);
+                    let kt = ex.transpose(kh);
+                    let scores0 = ex.matmul(qh, kt);
+                    let mut scores = ex.scale(scores0, scale);
+                    if let Some(m) = mask {
+                        scores = ex.add(scores, m);
+                    }
+                    let attn = ex.softmax_rows(scores);
+                    head_outputs.push(ex.matmul(attn, vh));
                 }
-                ex.constant(m)
+                ex.concat_cols(&head_outputs)
             });
-            let mut head_outputs = Vec::with_capacity(self.heads);
-            for h in 0..self.heads {
-                let qh = ex.slice_cols(qs, h * dk, dk);
-                let kh = ex.slice_cols(ks, h * dk, dk);
-                let vh = ex.slice_cols(vs, h * dk, dk);
-                let kt = ex.transpose(kh);
-                let scores0 = ex.matmul(qh, kt);
-                let mut scores = ex.scale(scores0, scale);
-                if let Some(m) = mask {
-                    scores = ex.add(scores, m);
-                }
-                let attn = ex.softmax_rows(scores);
-                head_outputs.push(ex.matmul(attn, vh));
-            }
-            seg_outputs.push(ex.concat_cols(&head_outputs));
+            seg_outputs.push(out);
         }
-        let concat = bx.inner_mut().concat_rows(&seg_outputs);
+        let concat = bx.concat_rows(&seg_outputs);
         self.wo.forward(bx, store, concat)
     }
 }
@@ -476,13 +480,13 @@ impl TransformerBlock {
     /// residual adds and the feed-forward are row-wise and run over the
     /// whole packed matrix; only the attention core is segment-aware (via
     /// [`MultiHeadAttention::forward_batch`]).
-    pub fn forward_batch(
+    pub fn forward_batch<P: PackedExec>(
         &self,
-        bx: &mut BatchedExec<'_>,
+        bx: &mut P,
         store: &ParamStore,
-        x: FusedVal,
+        x: P::V,
         causal: bool,
-    ) -> FusedVal {
+    ) -> P::V {
         let g1 = bx.param(store, self.ln1_g);
         let b1 = bx.param(store, self.ln1_b);
         let normed = bx.layer_norm(x, g1, b1);

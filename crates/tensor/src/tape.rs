@@ -19,12 +19,62 @@ enum Sink {
 /// list; `None` means "no gradient to this parent").
 type BackFn = Box<dyn Fn(&Tensor) -> Vec<Option<Tensor>>>;
 
+/// Backward rule for a *packed* multi-segment node: like [`BackFn`] but the
+/// rule additionally receives a [`SegEmitter`] through which it must emit
+/// per-segment parameter-gradient contributions (computed with the same
+/// per-sentence formulas and fold orders the oracle tape uses), instead of
+/// returning a gradient for the parameter parents.
+type SegBackFn = Box<dyn Fn(&Tensor, &mut SegEmitter) -> Vec<Option<Tensor>>>;
+
+/// Segment tag meaning "owned by no packing segment".
+const SEG_NONE: u32 = u32::MAX;
+
 struct Node {
     value: Tensor,
     grad: Option<Tensor>,
     parents: Vec<usize>,
     backward: Option<BackFn>,
     sink: Option<Sink>,
+    /// Packing segment that owns this node's parameter sink (`SEG_NONE` for
+    /// shared/packed nodes). Assigned from [`Tape::cur_seg`] on push.
+    seg: u32,
+    /// Segment-aware backward rule for packed nodes; mutually exclusive
+    /// with `backward`.
+    seg_backward: Option<SegBackFn>,
+}
+
+/// One parameter-gradient contribution recorded during a segmented sweep.
+enum Emit {
+    Dense(ParamId, Tensor),
+    Rows(ParamId, Vec<usize>, Tensor),
+}
+
+/// Collects per-segment parameter-gradient contributions during
+/// [`Tape::backward_into_segmented`]. Packed nodes emit each segment's
+/// contribution explicitly; scoped per-segment leaves emit automatically
+/// when the sweep reaches them. Phase two drains segment `s`'s list — in
+/// emission order — into the `s`-th [`GradBuffer`], so every accumulation
+/// folds in exactly the order the per-sentence oracle produced.
+pub struct SegEmitter {
+    lists: Vec<Vec<Emit>>,
+}
+
+impl SegEmitter {
+    fn new(segments: usize) -> SegEmitter {
+        SegEmitter { lists: (0..segments).map(|_| Vec::new()).collect() }
+    }
+
+    /// Records a whole-tensor gradient contribution for `id` on segment
+    /// `seg`.
+    pub fn dense(&mut self, seg: usize, id: ParamId, delta: Tensor) {
+        self.lists[seg].push(Emit::Dense(id, delta));
+    }
+
+    /// Records a row-scattered embedding gradient for `id` on segment
+    /// `seg`: row `i` of `delta` lands in table row `indices[i]`.
+    pub fn rows(&mut self, seg: usize, id: ParamId, indices: Vec<usize>, delta: Tensor) {
+        self.lists[seg].push(Emit::Rows(id, indices, delta));
+    }
 }
 
 /// Coarse classes of tape operations, counted per tape so observability
@@ -194,11 +244,20 @@ impl GradSink for GradBuffer {
 /// Operations append nodes; since every node's parents precede it, reverse
 /// insertion order is a valid reverse topological order and
 /// [`Tape::backward`] is a single reverse sweep. A tape is intended to live
-/// for exactly one forward/backward pass (one sentence, in the NER setting).
-#[derive(Default)]
+/// for exactly one forward/backward pass (one sentence — or, through
+/// `BatchedTapeExec`, one packed bucket of sentences — in the NER setting).
 pub struct Tape {
     nodes: Vec<Node>,
     op_counts: [u32; OpClass::ALL.len()],
+    /// Segment tag stamped on every pushed node; `SEG_NONE` outside
+    /// [`Tape::with_segment`].
+    cur_seg: u32,
+}
+
+impl Default for Tape {
+    fn default() -> Tape {
+        Tape { nodes: Vec::new(), op_counts: [0; OpClass::ALL.len()], cur_seg: SEG_NONE }
+    }
 }
 
 impl Tape {
@@ -222,17 +281,58 @@ impl Tape {
         OpClass::ALL.iter().map(|&c| (c, self.op_counts[c as usize])).filter(|&(_, n)| n > 0)
     }
 
-    fn push(&mut self, class: OpClass, node: Node) -> Var {
+    fn push(&mut self, class: OpClass, mut node: Node) -> Var {
+        node.seg = self.cur_seg;
         self.op_counts[class as usize] += 1;
         self.nodes.push(node);
         Var(self.nodes.len() - 1)
+    }
+
+    /// Tags every node appended inside `f` as owned by packing segment
+    /// `seg`: [`Tape::backward_into_segmented`] routes their parameter
+    /// sinks to the `seg`-th gradient buffer. Used by `BatchedTapeExec` to
+    /// record per-segment (per-sentence) subgraphs — decoder losses, char
+    /// compositions, attention cores — on a shared packed tape.
+    pub fn with_segment<R>(&mut self, seg: usize, f: impl FnOnce(&mut Tape) -> R) -> R {
+        let prev = self.cur_seg;
+        self.cur_seg = seg as u32;
+        let out = f(self);
+        self.cur_seg = prev;
+        out
+    }
+
+    /// Sets (or clears, with `None`) the segment tag applied to subsequently
+    /// pushed nodes. Plain-setter form of [`Tape::with_segment`] for callers
+    /// that cannot hand the tape to a closure (e.g. `BatchedTapeExec`, which
+    /// holds the tape behind `&mut self` while scoping).
+    pub fn set_segment(&mut self, seg: Option<usize>) {
+        self.cur_seg = match seg {
+            Some(s) => s as u32,
+            None => SEG_NONE,
+        };
+    }
+
+    /// The parameter behind a whole-parameter leaf, if `v` is one.
+    pub fn param_id_of(&self, v: Var) -> Option<ParamId> {
+        match self.nodes[v.0].sink {
+            Some(Sink::Param(id)) => Some(id),
+            _ => None,
+        }
     }
 
     /// A leaf holding a constant (no gradient is tracked through it).
     pub fn constant(&mut self, value: Tensor) -> Var {
         self.push(
             OpClass::Constant,
-            Node { value, grad: None, parents: vec![], backward: None, sink: None },
+            Node {
+                value,
+                grad: None,
+                parents: vec![],
+                backward: None,
+                sink: None,
+                seg: SEG_NONE,
+                seg_backward: None,
+            },
         )
     }
 
@@ -248,6 +348,8 @@ impl Tape {
                 parents: vec![],
                 backward: None,
                 sink: Some(Sink::Param(id)),
+                seg: SEG_NONE,
+                seg_backward: None,
             },
         )
     }
@@ -265,6 +367,8 @@ impl Tape {
                 parents: vec![],
                 backward: None,
                 sink: Some(Sink::ParamRows(id, indices.to_vec())),
+                seg: SEG_NONE,
+                seg_backward: None,
             },
         )
     }
@@ -300,6 +404,38 @@ impl Tape {
                 parents: parents.iter().map(|p| p.0).collect(),
                 backward: Some(Box::new(backward)),
                 sink: None,
+                seg: SEG_NONE,
+                seg_backward: None,
+            },
+        )
+    }
+
+    /// A packed multi-segment differentiable operation. `seg_backward` is
+    /// [`Tape::custom`]'s backward rule plus a [`SegEmitter`]: parameter
+    /// gradients must be computed *per segment* — with the same formulas
+    /// and fold orders the per-sentence oracle uses — and emitted rather
+    /// than returned, so [`Tape::backward_into_segmented`] can keep one
+    /// gradient buffer per segment bit-identical to the oracle's. Nodes
+    /// appended here are only valid on tapes driven through the segmented
+    /// backward.
+    pub fn custom_segmented(
+        &mut self,
+        class: OpClass,
+        value: Tensor,
+        parents: &[Var],
+        seg_backward: impl Fn(&Tensor, &mut SegEmitter) -> Vec<Option<Tensor>> + 'static,
+    ) -> Var {
+        debug_assert!(parents.iter().all(|p| p.0 < self.nodes.len()), "parent from another tape");
+        self.push(
+            class,
+            Node {
+                value,
+                grad: None,
+                parents: parents.iter().map(|p| p.0).collect(),
+                backward: None,
+                sink: None,
+                seg: SEG_NONE,
+                seg_backward: Some(Box::new(seg_backward)),
             },
         )
     }
@@ -369,6 +505,92 @@ impl Tape {
                     sink.accumulate_rows(*id, ix, node.grad.as_ref().unwrap())
                 }
                 None => {}
+            }
+        }
+    }
+
+    /// Segmented variant of [`Tape::backward_into`] for packed batched
+    /// training: one [`GradBuffer`] per packing segment (sentence). The
+    /// sweep itself is unchanged — reverse node order, identical
+    /// parent-delta folds — but parameter gradients are *collected* per
+    /// segment instead of sunk directly: packed nodes emit per-segment
+    /// contributions through their [`SegEmitter`] rule, scoped leaves
+    /// emit to the segment that owns them, and a second phase drains each
+    /// segment's list in emission order into its buffer. Applying the
+    /// buffers in segment order then reproduces the per-sentence oracle's
+    /// gradient floats bit for bit (DESIGN.md "Batched training").
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1 × 1`, if a segment index is out of range
+    /// for `buffers`, or if a parameter gradient reaches a leaf no segment
+    /// owns (a packed node should have emitted it instead).
+    pub fn backward_into_segmented(&mut self, loss: Var, buffers: &mut [GradBuffer]) {
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward requires a scalar loss node"
+        );
+        self.nodes[loss.0].grad = Some(Tensor::scalar(1.0));
+        let mut emitter = SegEmitter::new(buffers.len());
+
+        for i in (0..self.nodes.len()).rev() {
+            // Split so we can read node `i` while mutating earlier parents.
+            let (before, rest) = self.nodes.split_at_mut(i);
+            let node = &mut rest[0];
+            let Some(grad_out) = node.grad.as_ref() else { continue };
+
+            let deltas = match (node.seg_backward.as_ref(), node.backward.as_ref()) {
+                (Some(back), _) => Some(back(grad_out, &mut emitter)),
+                (None, Some(back)) => Some(back(grad_out)),
+                (None, None) => None,
+            };
+            if let Some(deltas) = deltas {
+                debug_assert_eq!(deltas.len(), node.parents.len());
+                for (slot, delta) in node.parents.iter().zip(deltas) {
+                    let Some(delta) = delta else { continue };
+                    let parent = &mut before[*slot];
+                    debug_assert_eq!(
+                        parent.value.shape(),
+                        delta.shape(),
+                        "gradient shape mismatch for parent"
+                    );
+                    match parent.grad.as_mut() {
+                        Some(g) => g.add_scaled(&delta, 1.0),
+                        None => parent.grad = Some(delta),
+                    }
+                }
+            }
+
+            match node.sink.as_ref() {
+                Some(Sink::Param(id)) => {
+                    assert_ne!(
+                        node.seg, SEG_NONE,
+                        "segmented backward reached an unscoped parameter leaf"
+                    );
+                    emitter.dense(node.seg as usize, *id, node.grad.as_ref().unwrap().clone());
+                }
+                Some(Sink::ParamRows(id, ix)) => {
+                    assert_ne!(
+                        node.seg, SEG_NONE,
+                        "segmented backward reached an unscoped embedding leaf"
+                    );
+                    emitter.rows(
+                        node.seg as usize,
+                        *id,
+                        ix.clone(),
+                        node.grad.as_ref().unwrap().clone(),
+                    );
+                }
+                None => {}
+            }
+        }
+
+        for (list, buf) in emitter.lists.iter_mut().zip(buffers.iter_mut()) {
+            for e in list.drain(..) {
+                match e {
+                    Emit::Dense(id, g) => buf.accumulate(id, &g),
+                    Emit::Rows(id, ix, g) => buf.accumulate_rows(id, &ix, &g),
+                }
             }
         }
     }
